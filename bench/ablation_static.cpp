@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation (paper §5.1 footnote 6): "we also implemented static cache
+ * partitioning schemes and found that no one static scheme performed
+ * well across all the workloads." Sweeps static L3 splits against
+ * the dynamic controller.
+ */
+
+#include "bench_common.h"
+
+using namespace csalt;
+using namespace csalt::bench;
+
+namespace
+{
+
+template <unsigned kL3Data>
+void
+staticSplit(SystemParams &p)
+{
+    p.l2_partition.policy = PartitionPolicy::staticHalf;
+    p.l2_partition.static_data_ways = 2;
+    p.l3_partition.policy = PartitionPolicy::staticHalf;
+    p.l3_partition.static_data_ways = kL3Data;
+}
+
+} // namespace
+
+int
+main()
+{
+    const BenchEnv env = benchEnv();
+    banner("Ablation: static partitions vs CSALT-CD (IPC vs POM-TLB)",
+           "no single static split wins everywhere; the dynamic "
+           "scheme matches or beats the best static per workload",
+           env);
+
+    const std::vector<std::string> pairs = {"ccomp", "gups",
+                                            "pagerank"};
+
+    TextTable table({"pair", "static d4", "static d8", "static d12",
+                     "CSALT-CD"});
+    for (const auto &label : pairs) {
+        const double base = runCell(label, kPomTlb, env).ipc_geomean;
+        const double s4 = runCell(label, kPomTlb, env, 2, true,
+                                  staticSplit<4>)
+                              .ipc_geomean;
+        const double s8 = runCell(label, kPomTlb, env, 2, true,
+                                  staticSplit<8>)
+                              .ipc_geomean;
+        const double s12 = runCell(label, kPomTlb, env, 2, true,
+                                   staticSplit<12>)
+                               .ipc_geomean;
+        const double cscd = runCell(label, kCsaltCD, env).ipc_geomean;
+        table.row()
+            .add(label)
+            .add(base > 0 ? s4 / base : 0.0, 3)
+            .add(base > 0 ? s8 / base : 0.0, 3)
+            .add(base > 0 ? s12 / base : 0.0, 3)
+            .add(base > 0 ? cscd / base : 0.0, 3);
+        std::fflush(stdout);
+    }
+    table.print();
+    return 0;
+}

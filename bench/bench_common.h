@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared harness code for the per-figure reproduction benches.
+ *
+ * Every bench binary follows the same recipe: build a system per
+ * (workload pair, scheme) cell, warm it up, clear statistics, run the
+ * measured slice, and print the paper's rows with a
+ * paper-expectation column. Run lengths honour:
+ *   CSALT_QUOTA       measured instructions per core (default 1M)
+ *   CSALT_WARMUP      warmup instructions per core (default 600K)
+ *   CSALT_BENCH_FAST  =1 shrinks both 4x for smoke runs
+ */
+
+#ifndef CSALT_BENCH_BENCH_COMMON_H
+#define CSALT_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/metrics.h"
+#include "sim/system_builder.h"
+#include "workloads/registry.h"
+
+namespace csalt::bench
+{
+
+/** Run-length knobs from the environment. */
+struct BenchEnv
+{
+    std::uint64_t quota = 1'000'000;
+    std::uint64_t warmup = 600'000;
+    double scale = 1.0;
+};
+
+inline std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    if (const char *s = std::getenv(name))
+        return std::strtoull(s, nullptr, 10);
+    return fallback;
+}
+
+inline BenchEnv
+benchEnv()
+{
+    BenchEnv env;
+    env.quota = envU64("CSALT_QUOTA", env.quota);
+    env.warmup = envU64("CSALT_WARMUP", env.warmup);
+    if (envU64("CSALT_BENCH_FAST", 0)) {
+        env.quota /= 4;
+        env.warmup /= 4;
+    }
+    return env;
+}
+
+/** Scheme selector used across benches. */
+struct Scheme
+{
+    const char *name;
+    void (*apply)(SystemParams &);
+};
+
+/**
+ * Build the two-VM (or n-VM) system for a paper pair label.
+ * @param contexts number of VMs; the pair's two workloads alternate
+ */
+inline std::unique_ptr<System>
+buildPairSystem(const std::string &label, const Scheme &scheme,
+                const BenchEnv &env, unsigned contexts = 2,
+                bool virtualized = true,
+                void (*tweak)(SystemParams &) = nullptr)
+{
+    BuildSpec spec;
+    scheme.apply(spec.params);
+    spec.params.virtualized = virtualized;
+    if (tweak)
+        tweak(spec.params);
+    const PairSpec pair = resolvePair(label);
+    for (unsigned i = 0; i < contexts; ++i)
+        spec.vm_workloads.push_back(i % 2 ? pair.vm2 : pair.vm1);
+    spec.workload_scale = env.scale;
+    return buildSystem(spec);
+}
+
+/** Warm up, clear, run the measured slice, and collect metrics. */
+inline RunMetrics
+measure(System &system, const BenchEnv &env)
+{
+    if (env.warmup) {
+        system.run(env.warmup);
+        system.clearAllStats();
+    }
+    system.run(env.quota);
+    return collectMetrics(system);
+}
+
+/** One-call cell: build + measure. */
+inline RunMetrics
+runCell(const std::string &label, const Scheme &scheme,
+        const BenchEnv &env, unsigned contexts = 2,
+        bool virtualized = true,
+        void (*tweak)(SystemParams &) = nullptr)
+{
+    auto system = buildPairSystem(label, scheme, env, contexts,
+                                  virtualized, tweak);
+    return measure(*system, env);
+}
+
+inline const Scheme kConventional{"Conventional", applyConventional};
+inline const Scheme kPomTlb{"POM-TLB", applyPomTlb};
+inline const Scheme kCsaltD{"CSALT-D", applyCsaltD};
+inline const Scheme kCsaltCD{"CSALT-CD", applyCsaltCD};
+inline const Scheme kTsb{"TSB", applyTsb};
+inline const Scheme kDip{"DIP", applyDipOverPom};
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *experiment, const char *claim, const BenchEnv &env)
+{
+    std::printf("== %s ==\n", experiment);
+    std::printf("paper expectation: %s\n", claim);
+    std::printf("run: %llu warmup + %llu measured instructions/core, "
+                "8 cores\n\n",
+                static_cast<unsigned long long>(env.warmup),
+                static_cast<unsigned long long>(env.quota));
+}
+
+} // namespace csalt::bench
+
+#endif // CSALT_BENCH_BENCH_COMMON_H

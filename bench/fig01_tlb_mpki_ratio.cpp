@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Paper Figure 1: increase in L2 TLB misses due to context switches.
+ *
+ * For each workload pair we report the ratio of each VM's L2 TLB
+ * MPKI under context switching to the same workload's standalone
+ * MPKI, and the geometric mean of the two VMs' ratios. The paper
+ * reports ratios between ~2 and ~11 with a geomean above 6.
+ */
+
+#include <map>
+
+#include "bench_common.h"
+
+using namespace csalt;
+using namespace csalt::bench;
+
+int
+main()
+{
+    const BenchEnv env = benchEnv();
+    banner("Figure 1: L2 TLB MPKI ratio (CS / no-CS)",
+           "every ratio > 1 for TLB-reach-limited workloads; "
+           "saturated giant-footprint workloads (gups) stay ~1; "
+           "geomean well above 1 (paper: >6)",
+           env);
+
+    // Standalone (non-context-switched) MPKI per workload.
+    std::map<std::string, double> standalone;
+    for (const auto &name : workloadNames()) {
+        const auto m = runCell(name, kConventional, env, 1);
+        standalone[name] = m.vms[0].l2_tlb_mpki;
+        std::fprintf(stderr, "  [standalone %s] MPKI %.3f\n",
+                     name.c_str(), standalone[name]);
+    }
+
+    TextTable table({"pair", "vm1", "vm1_noCS", "vm1_CS", "vm2",
+                     "vm2_noCS", "vm2_CS", "ratio"});
+    std::vector<double> ratios;
+    for (const auto &label : paperPairLabels()) {
+        const PairSpec pair = resolvePair(label);
+        const auto m = runCell(label, kConventional, env, 2);
+
+        const double r1 = standalone[pair.vm1] > 0
+                              ? m.vms[0].l2_tlb_mpki /
+                                    standalone[pair.vm1]
+                              : 0.0;
+        const double r2 = standalone[pair.vm2] > 0
+                              ? m.vms[1].l2_tlb_mpki /
+                                    standalone[pair.vm2]
+                              : 0.0;
+        const double ratio = geomean({r1, r2});
+        ratios.push_back(ratio);
+
+        table.row()
+            .add(label)
+            .add(pair.vm1)
+            .add(standalone[pair.vm1], 2)
+            .add(m.vms[0].l2_tlb_mpki, 2)
+            .add(pair.vm2)
+            .add(standalone[pair.vm2], 2)
+            .add(m.vms[1].l2_tlb_mpki, 2)
+            .add(ratio, 2);
+    }
+    table.row()
+        .add("geomean")
+        .add("")
+        .add("")
+        .add("")
+        .add("")
+        .add("")
+        .add("")
+        .add(geomean(ratios), 2);
+    table.print();
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Paper Figure 7: performance (geomean IPC) of Conventional, POM-TLB,
+ * CSALT-D and CSALT-CD, normalized to POM-TLB, on context-switched
+ * virtualized workloads.
+ *
+ * Shape to reproduce: Conventional < POM-TLB < CSALT-D <= CSALT-CD
+ * on the translation-heavy workloads; gups/graph500 gain little from
+ * partitioning (paper: CSALT-CD +25% geomean over POM-TLB, +85% over
+ * conventional; ccomp is the outlier at 2.2X).
+ */
+
+#include "bench_common.h"
+
+using namespace csalt;
+using namespace csalt::bench;
+
+int
+main()
+{
+    const BenchEnv env = benchEnv();
+    banner("Figure 7: performance normalized to POM-TLB",
+           "conv < POM < CSALT-D <= CSALT-CD; largest CSALT gain on "
+           "ccomp; little partitioning gain on gups",
+           env);
+
+    const std::vector<Scheme> schemes = {kConventional, kPomTlb,
+                                         kCsaltD, kCsaltCD};
+
+    TextTable table({"pair", "Conventional", "POM-TLB", "CSALT-D",
+                     "CSALT-CD"});
+    std::vector<std::vector<double>> norm(schemes.size());
+
+    for (const auto &label : paperPairLabels()) {
+        std::vector<double> ipc;
+        for (const auto &scheme : schemes)
+            ipc.push_back(runCell(label, scheme, env).ipc_geomean);
+        const double base = ipc[1]; // POM-TLB
+        auto &row = table.row();
+        row.add(label);
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            const double v = base > 0 ? ipc[s] / base : 0.0;
+            row.add(v, 3);
+            norm[s].push_back(v);
+        }
+        std::fflush(stdout);
+    }
+    auto &row = table.row();
+    row.add("geomean");
+    for (const auto &series : norm)
+        row.add(geomean(series), 3);
+    table.print();
+    return 0;
+}

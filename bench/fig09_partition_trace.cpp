@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Paper Figure 9: fraction of L2/L3 cache capacity allocated to TLB
+ * entries over execution time, for connected component under
+ * CSALT-CD.
+ *
+ * Shape to reproduce: the TLB fraction varies with the application's
+ * phases (expansion vs compaction), and when the L2 allocates more to
+ * TLB entries the L3's TLB allocation drops.
+ */
+
+#include <algorithm>
+
+#include "bench_common.h"
+
+using namespace csalt;
+using namespace csalt::bench;
+
+int
+main()
+{
+    BenchEnv env = benchEnv();
+    // The trace needs several phase alternations: lengthen the run.
+    env.quota *= 3;
+    banner("Figure 9: TLB way-fraction in L2/L3 over time (ccomp, "
+           "CSALT-CD)",
+           "phase-varying allocation; L2-TLB-heavy epochs coincide "
+           "with lighter L3 TLB allocation",
+           env);
+
+    auto system = buildPairSystem("ccomp", kCsaltCD, env);
+    system->run(env.warmup);
+    system->mem().l2Controller(0).clearTrace();
+    system->mem().l3Controller().clearTrace();
+    system->run(env.quota);
+
+    const auto &l2_trace =
+        system->mem().l2Controller(0).partitionTrace();
+    const auto &l3_trace = system->mem().l3Controller().partitionTrace();
+    const unsigned l2_ways = system->params().l2.ways;
+    const unsigned l3_ways = system->params().l3.ways;
+
+    const auto l2_small = l2_trace.downsampled(32);
+    const auto l3_small = l3_trace.downsampled(32);
+    const std::size_t rows =
+        std::min(l2_small.points().size(), l3_small.points().size());
+
+    const double t_end =
+        rows ? std::max(l2_small.points().back().time,
+                        l3_small.points().back().time)
+             : 1.0;
+    TextTable table({"time", "L2 TLB frac", "L3 TLB frac"});
+    for (std::size_t i = 0; i < rows; ++i) {
+        const double l2_frac =
+            1.0 - l2_small.points()[i].value / l2_ways;
+        const double l3_frac =
+            1.0 - l3_small.points()[i].value / l3_ways;
+        table.row()
+            .add(l2_small.points()[i].time / t_end, 2)
+            .add(l2_frac, 2)
+            .add(l3_frac, 2);
+    }
+    table.print();
+
+    const double l2_mean = 1.0 - l2_trace.meanValue() / l2_ways;
+    const double l3_mean = 1.0 - l3_trace.meanValue() / l3_ways;
+    std::printf("\nmean TLB fraction: L2 %.2f  L3 %.2f  (epochs: L2 "
+                "%zu, L3 %zu)\n",
+                l2_mean, l3_mean, l2_trace.points().size(),
+                l3_trace.points().size());
+    return 0;
+}

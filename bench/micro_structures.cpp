@@ -1,0 +1,178 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the core data structures: raw
+ * throughput sanity for the cache access path, shadow-tag profiling,
+ * marginal-utility computation, TLB lookups, POM-TLB probes, DRAM
+ * channel accesses and page walks.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.h"
+#include "cache/stack_dist.h"
+#include "common/config.h"
+#include "common/rng.h"
+#include "core/marginal_utility.h"
+#include "mem/dram.h"
+#include "mem/phys_alloc.h"
+#include "tlb/pom_tlb.h"
+#include "tlb/tlb.h"
+#include "vm/page_walker.h"
+
+using namespace csalt;
+
+namespace
+{
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheParams p;
+    p.name = "bench";
+    p.size_bytes = 256 << 10;
+    p.ways = 4;
+    Cache cache(p);
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(
+            rng.below(1 << 22) << kLineShift, AccessType::read,
+            LineType::data));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_CacheAccessPartitioned(benchmark::State &state)
+{
+    CacheParams p;
+    p.name = "bench";
+    p.size_bytes = 256 << 10;
+    p.ways = 4;
+    Cache cache(p);
+    cache.enablePartitioning(2);
+    cache.enableProfiling();
+    Rng rng(1);
+    for (auto _ : state) {
+        const LineType t =
+            rng.chance(0.5) ? LineType::data : LineType::translation;
+        benchmark::DoNotOptimize(cache.access(
+            rng.below(1 << 22) << kLineShift, AccessType::read, t));
+    }
+}
+BENCHMARK(BM_CacheAccessPartitioned);
+
+void
+BM_ShadowTagUpdate(benchmark::State &state)
+{
+    ShadowTagArray shadow(1024, 16, ReplacementKind::trueLru, 0);
+    Rng rng(2);
+    for (auto _ : state)
+        shadow.access(rng.below(1024), rng.below(1 << 18));
+}
+BENCHMARK(BM_ShadowTagUpdate);
+
+void
+BM_MarginalUtilityArgmax(benchmark::State &state)
+{
+    StackDistProfiler d(16);
+    StackDistProfiler t(16);
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        if (rng.chance(0.9))
+            d.recordHit(static_cast<unsigned>(rng.below(16)));
+        else
+            t.recordHit(static_cast<unsigned>(rng.below(16)));
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bestPartition(d, t, 16, 1));
+}
+BENCHMARK(BM_MarginalUtilityArgmax);
+
+void
+BM_TlbLookup(benchmark::State &state)
+{
+    Tlb tlb("bench", {1536, 12, 17});
+    Rng rng(4);
+    for (int i = 0; i < 1536; ++i) {
+        TlbEntry e;
+        e.asid = 1;
+        e.vpn = i;
+        e.frame = i << kPageShift;
+        e.valid = true;
+        tlb.insert(e);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tlb.lookup(1, rng.below(3000), PageSize::size4K));
+    }
+}
+BENCHMARK(BM_TlbLookup);
+
+void
+BM_PomTlbProbe(benchmark::State &state)
+{
+    PomTlb pom(PomTlbParams{}, 0x40000000);
+    Rng rng(5);
+    for (Vpn v = 0; v < 100000; ++v)
+        pom.insert(1, v << kPageShift, {v << kPageShift,
+                                        PageSize::size4K});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pom.probe(
+            1, rng.below(200000) << kPageShift, PageSize::size4K));
+    }
+}
+BENCHMARK(BM_PomTlbProbe);
+
+void
+BM_DramAccess(benchmark::State &state)
+{
+    DramChannel dram(defaultParams().ddr);
+    Rng rng(6);
+    Cycles now = 0;
+    for (auto _ : state) {
+        now += 50;
+        benchmark::DoNotOptimize(
+            dram.access(rng.below(1ull << 30), now));
+    }
+}
+BENCHMARK(BM_DramAccess);
+
+class NullMem : public TranslationMemIf
+{
+  public:
+    Cycles
+    translationAccess(unsigned, Addr, Cycles) override
+    {
+        return 30;
+    }
+};
+
+void
+BM_NestedPageWalk(benchmark::State &state)
+{
+    FrameAllocator data(0, 4ull << 30, 1);
+    FrameAllocator pt(4ull << 30, (4ull << 30) + (512ull << 20), 2);
+    VmContext::Params vp;
+    vp.asid = 1;
+    vp.virtualized = true;
+    vp.seed = 7;
+    VmContext vm(vp, data, pt);
+    MmuCaches mmu(MmuCacheParams{});
+    NullMem mem;
+    PageWalker walker(0, mmu, mem);
+    Rng rng(8);
+
+    // Pre-map a working set.
+    for (int i = 0; i < 4096; ++i)
+        vm.translate(static_cast<Addr>(i) << kPageShift);
+
+    for (auto _ : state) {
+        const Addr gva = rng.below(4096) << kPageShift;
+        benchmark::DoNotOptimize(walker.walk(vm, gva, 0));
+    }
+}
+BENCHMARK(BM_NestedPageWalk);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Paste a recorded bench_output.txt into EXPERIMENTS.md.
+
+Replaces the <!-- RESULTS --> marker with the full bench output
+wrapped in a fenced block. Run after:
+    for b in build/bench/*; do $b; done 2>&1 | tee bench_output.txt
+"""
+import re
+import sys
+
+bench_path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+exp_path = sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md"
+
+with open(bench_path) as f:
+    bench = f.read()
+bench = bench.replace("FINAL_DONE", "").rstrip() + "\n"
+
+block = "## Recorded run\n\n```text\n" + bench + "```\n"
+
+with open(exp_path) as f:
+    doc = f.read()
+doc = re.sub(r"<!-- RESULTS -->", block, doc, count=1)
+with open(exp_path, "w") as f:
+    f.write(doc)
+print(f"inserted {len(bench.splitlines())} lines into {exp_path}")

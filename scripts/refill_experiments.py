@@ -1,0 +1,20 @@
+#!/usr/bin/env python3
+"""Replace the '## Recorded run' block of EXPERIMENTS.md with a new
+bench output (used when re-recording the evaluation)."""
+import re
+import sys
+
+bench_path = sys.argv[1]
+exp_path = sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md"
+
+with open(bench_path) as f:
+    bench = f.read().replace("FINAL_DONE", "").rstrip() + "\n"
+block = "## Recorded run\n\n```text\n" + bench + "```\n"
+
+with open(exp_path) as f:
+    doc = f.read()
+doc = re.sub(r"## Recorded run\n\n```text\n.*?```\n", block, doc,
+             count=1, flags=re.S)
+with open(exp_path, "w") as f:
+    f.write(doc)
+print("replaced recorded run block")

@@ -1,0 +1,244 @@
+#include "cache/cache.h"
+
+#include "common/log.h"
+
+namespace csalt
+{
+
+Cache::Cache(const CacheParams &params)
+    : name_(params.name), ways_(params.ways), latency_(params.latency),
+      repl_kind_(params.repl)
+{
+    const std::uint64_t nsets = params.numSets();
+    if (nsets == 0 || (nsets & (nsets - 1)) != 0)
+        fatal(msgOf(name_, ": set count must be a nonzero power of two"));
+    sets_.resize(nsets);
+    for (auto &set : sets_) {
+        set.lines.resize(ways_);
+        set.repl = makeSetReplacement(params.repl, ways_);
+    }
+    if (params.insertion == InsertionKind::dip)
+        enableDip();
+    if (params.repl == ReplacementKind::rrip)
+        drrip_ = std::make_unique<DrripController>(nsets);
+}
+
+CacheAccessResult
+Cache::access(Addr addr, AccessType type, LineType ltype)
+{
+    const Addr line_addr = addr >> kLineShift;
+    const std::uint64_t si = setIndexOf(line_addr);
+    Set &set = sets_[si];
+
+    // Shadow profilers observe every access of their type, regardless
+    // of the current partition (they model "what if this type had the
+    // whole cache").
+    if (data_shadow_) {
+        if (ltype == LineType::data)
+            data_shadow_->access(si, line_addr);
+        else
+            tlb_shadow_->access(si, line_addr);
+    }
+
+    // Lookup scans all ways (partition affects replacement only).
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = set.lines[w];
+        if (line.valid && line.tag == line_addr) {
+            ++stats_.hits[static_cast<int>(ltype)];
+            set.repl->touch(w);
+            if (type == AccessType::write)
+                line.dirty = true;
+            return {true, {}};
+        }
+    }
+
+    ++stats_.misses[static_cast<int>(ltype)];
+    if (dip_)
+        dip_->onMiss(si);
+    if (drrip_)
+        drrip_->onMiss(si);
+
+    // Fill path: pick a victim way.
+    const unsigned w = chooseVictimWay(set, ltype);
+    Line &line = set.lines[w];
+
+    CacheAccessResult result;
+    result.hit = false;
+    if (line.valid) {
+        result.victim = {true, line.tag << kLineShift, line.dirty,
+                         line.type};
+        ++stats_.evictions;
+        if (line.dirty)
+            ++stats_.writebacks;
+        --type_count_[static_cast<int>(line.type)];
+    }
+
+    line.tag = line_addr;
+    line.valid = true;
+    line.dirty = (type == AccessType::write);
+    line.type = ltype;
+    ++type_count_[static_cast<int>(ltype)];
+
+    if (drrip_) {
+        // RRIP fills set an insertion RRPV rather than promoting.
+        static_cast<RripSet &>(*set.repl).insertAt(
+            w, drrip_->insertLong(si));
+    } else {
+        const bool promote = dip_ ? dip_->insertAtMru(si) : true;
+        if (promote)
+            set.repl->touch(w);
+    }
+
+    return result;
+}
+
+unsigned
+Cache::chooseVictimWay(Set &set, LineType ltype) const
+{
+    unsigned lo = 0;
+    unsigned hi = ways_ - 1;
+    if (partition_) {
+        if (ltype == LineType::data) {
+            lo = partition_->dataLo();
+            hi = partition_->dataHi();
+        } else {
+            lo = partition_->tlbLo();
+            hi = partition_->tlbHi();
+        }
+    }
+
+    for (unsigned w = lo; w <= hi; ++w)
+        if (!set.lines[w].valid)
+            return w;
+    return set.repl->victimIn(lo, hi);
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const Addr line_addr = addr >> kLineShift;
+    const Set &set = sets_[setIndexOf(line_addr)];
+    for (const auto &line : set.lines)
+        if (line.valid && line.tag == line_addr)
+            return true;
+    return false;
+}
+
+bool
+Cache::markDirtyIfPresent(Addr addr)
+{
+    const Addr line_addr = addr >> kLineShift;
+    Set &set = sets_[setIndexOf(line_addr)];
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = set.lines[w];
+        if (line.valid && line.tag == line_addr) {
+            line.dirty = true;
+            set.repl->touch(w);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    const Addr line_addr = addr >> kLineShift;
+    Set &set = sets_[setIndexOf(line_addr)];
+    for (auto &line : set.lines) {
+        if (line.valid && line.tag == line_addr) {
+            --type_count_[static_cast<int>(line.type)];
+            line = Line{};
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &set : sets_) {
+        for (auto &line : set.lines)
+            line = Line{};
+        set.repl = makeSetReplacement(repl_kind_, ways_);
+    }
+    type_count_[0] = 0;
+    type_count_[1] = 0;
+}
+
+void
+Cache::enablePartitioning(unsigned data_ways)
+{
+    partition_ = WayPartition{ways_, data_ways};
+    setDataWays(data_ways);
+}
+
+void
+Cache::setDataWays(unsigned data_ways)
+{
+    if (!partition_)
+        panic(msgOf(name_, ": setDataWays without partitioning"));
+    if (data_ways == 0 || data_ways >= ways_)
+        panic(msgOf(name_, ": data_ways ", data_ways,
+                    " must leave >=1 way per type"));
+    partition_->data_ways = data_ways;
+}
+
+unsigned
+Cache::dataWays() const
+{
+    return partition_ ? partition_->data_ways : ways_;
+}
+
+void
+Cache::enableProfiling(unsigned sample_shift)
+{
+    data_shadow_ = std::make_unique<ShadowTagArray>(
+        numSets(), ways_, repl_kind_, sample_shift);
+    tlb_shadow_ = std::make_unique<ShadowTagArray>(
+        numSets(), ways_, repl_kind_, sample_shift);
+}
+
+StackDistProfiler &
+Cache::dataProfiler()
+{
+    if (!data_shadow_)
+        panic(msgOf(name_, ": profiling not enabled"));
+    return data_shadow_->profiler();
+}
+
+StackDistProfiler &
+Cache::tlbProfiler()
+{
+    if (!tlb_shadow_)
+        panic(msgOf(name_, ": profiling not enabled"));
+    return tlb_shadow_->profiler();
+}
+
+void
+Cache::enableDip(std::uint64_t seed)
+{
+    dip_ = std::make_unique<DipController>(numSets(), seed);
+}
+
+double
+Cache::occupancyOf(LineType t) const
+{
+    const double total =
+        static_cast<double>(numSets()) * static_cast<double>(ways_);
+    return static_cast<double>(type_count_[static_cast<int>(t)]) / total;
+}
+
+std::uint64_t
+Cache::scanCountOf(LineType t) const
+{
+    std::uint64_t count = 0;
+    for (const auto &set : sets_)
+        for (const auto &line : set.lines)
+            if (line.valid && line.type == t)
+                ++count;
+    return count;
+}
+
+} // namespace csalt

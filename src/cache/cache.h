@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Set-associative cache model with CSALT's partition hooks.
+ *
+ * The cache is functional (hit/miss + victim bookkeeping); latency
+ * accumulation and miss propagation live in sim/memory_system. What
+ * makes it CSALT-capable:
+ *
+ *  - every line carries a LineType (data vs translation), derived by
+ *    the caller from the physical address range;
+ *  - optional way partitioning: replacement victimises only inside
+ *    the type's way range while lookup scans all ways (paper §3.1);
+ *  - optional per-type shadow-tag stack-distance profilers feeding
+ *    the marginal-utility controllers (paper Eq. 1/2);
+ *  - optional DIP insertion (prior-work baseline, Fig. 13);
+ *  - exact per-type occupancy counters (paper Fig. 3).
+ */
+
+#ifndef CSALT_CACHE_CACHE_H
+#define CSALT_CACHE_CACHE_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/dip.h"
+#include "cache/rrip.h"
+#include "cache/partition.h"
+#include "cache/replacement.h"
+#include "cache/stack_dist.h"
+#include "common/config.h"
+#include "common/types.h"
+
+namespace csalt
+{
+
+/** Raw event counters of one cache. */
+struct CacheStats
+{
+    std::uint64_t hits[2] = {0, 0};   //!< indexed by LineType
+    std::uint64_t misses[2] = {0, 0}; //!< indexed by LineType
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+
+    std::uint64_t hitsOf(LineType t) const
+    {
+        return hits[static_cast<int>(t)];
+    }
+    std::uint64_t missesOf(LineType t) const
+    {
+        return misses[static_cast<int>(t)];
+    }
+    std::uint64_t totalHits() const { return hits[0] + hits[1]; }
+    std::uint64_t totalMisses() const { return misses[0] + misses[1]; }
+    std::uint64_t accesses() const
+    {
+        return totalHits() + totalMisses();
+    }
+};
+
+/** Evicted-line descriptor returned from a fill. */
+struct Victim
+{
+    bool valid = false;
+    Addr line_addr = kInvalidAddr;
+    bool dirty = false;
+    LineType type = LineType::data;
+};
+
+/** Outcome of one cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    Victim victim; //!< meaningful only on miss (fill path)
+};
+
+/**
+ * One level of the data-cache hierarchy.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Access (and on miss, fill) a line.
+     *
+     * @param addr byte address; aligned down to the line internally
+     * @param type read or write (write marks the line dirty)
+     * @param ltype data or translation classification of the address
+     * @return hit flag plus any evicted victim
+     */
+    CacheAccessResult access(Addr addr, AccessType type, LineType ltype);
+
+    /** Tag probe without any state change. */
+    bool probe(Addr addr) const;
+
+    /**
+     * Writeback landing: mark the line dirty if present (no fill, no
+     * demand stats, no profiler update — absorbing a writeback saves
+     * bandwidth, not load latency, so it must not bias the partition
+     * toward data ways). @return true when the writeback was absorbed.
+     */
+    bool markDirtyIfPresent(Addr addr);
+
+    /**
+     * Invalidate a line if present (no writeback modelling).
+     * @return true when the line was present.
+     */
+    bool invalidate(Addr addr);
+
+    /** Drop all lines and reset partitions' lazy state. */
+    void invalidateAll();
+
+    // ------------------------------------------------ partition control
+
+    /** Turn on way partitioning with an initial data-way count. */
+    void enablePartitioning(unsigned data_ways);
+
+    /** Adjust the partition (takes effect on subsequent fills). */
+    void setDataWays(unsigned data_ways);
+
+    bool partitioned() const { return partition_.has_value(); }
+    unsigned dataWays() const;
+
+    // ------------------------------------------------------- profiling
+
+    /**
+     * Attach per-type shadow-tag profilers.
+     * @param sample_shift sample every 2^shift-th set
+     */
+    void enableProfiling(unsigned sample_shift = 3);
+
+    bool profiling() const { return data_shadow_ != nullptr; }
+    StackDistProfiler &dataProfiler();
+    StackDistProfiler &tlbProfiler();
+
+    // ------------------------------------------------------------- DIP
+
+    /** Switch insertion to set-dueling DIP (baseline scheme). */
+    void enableDip(std::uint64_t seed = 7);
+
+    // ----------------------------------------------------------- stats
+
+    const CacheStats &stats() const { return stats_; }
+    void clearStats() { stats_ = CacheStats{}; }
+
+    /** Fraction of lines (valid or not) currently holding @p t. */
+    double occupancyOf(LineType t) const;
+
+    /** Recount occupancy by scanning every line (test cross-check). */
+    std::uint64_t scanCountOf(LineType t) const;
+
+    // -------------------------------------------------------- geometry
+
+    unsigned ways() const { return ways_; }
+    std::uint64_t numSets() const { return sets_.size(); }
+    Cycles latency() const { return latency_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = kInvalidAddr; //!< full line address; invalid if empty
+        bool valid = false;
+        bool dirty = false;
+        LineType type = LineType::data;
+    };
+
+    struct Set
+    {
+        std::vector<Line> lines;
+        std::unique_ptr<SetReplacement> repl;
+    };
+
+    std::uint64_t setIndexOf(Addr line_addr) const
+    {
+        return line_addr & (numSets() - 1);
+    }
+
+    /** Pick the fill way honouring partition + invalid-first rules. */
+    unsigned chooseVictimWay(Set &set, LineType ltype) const;
+
+    std::string name_;
+    unsigned ways_;
+    Cycles latency_;
+    ReplacementKind repl_kind_;
+    std::vector<Set> sets_;
+    std::optional<WayPartition> partition_;
+    std::unique_ptr<ShadowTagArray> data_shadow_;
+    std::unique_ptr<ShadowTagArray> tlb_shadow_;
+    std::unique_ptr<DipController> dip_;
+    std::unique_ptr<DrripController> drrip_; //!< when repl == rrip
+    CacheStats stats_;
+    std::uint64_t type_count_[2] = {0, 0}; //!< valid lines per type
+};
+
+} // namespace csalt
+
+#endif // CSALT_CACHE_CACHE_H

@@ -1,0 +1,62 @@
+#include "cache/dip.h"
+
+namespace csalt
+{
+
+DipController::DipController(std::uint64_t sets, std::uint64_t seed)
+    : sets_(sets), rng_(seed)
+{
+}
+
+DipController::SetRole
+DipController::roleOf(std::uint64_t set) const
+{
+    // Interleave leader sets through the index space: one LRU leader
+    // and one BIP leader per kLeaderStride-set region.
+    const std::uint64_t phase = set % kLeaderStride;
+    if (phase == 0)
+        return SetRole::lruLeader;
+    if (phase == kLeaderStride / 2)
+        return SetRole::bipLeader;
+    return SetRole::follower;
+}
+
+bool
+DipController::insertAtMru(std::uint64_t set)
+{
+    bool use_bip;
+    switch (roleOf(set)) {
+      case SetRole::lruLeader:
+        use_bip = false;
+        break;
+      case SetRole::bipLeader:
+        use_bip = true;
+        break;
+      case SetRole::follower:
+      default:
+        use_bip = followersUseBip();
+        break;
+    }
+    if (!use_bip)
+        return true;
+    return rng_.chance(kBipEpsilon);
+}
+
+void
+DipController::onMiss(std::uint64_t set)
+{
+    switch (roleOf(set)) {
+      case SetRole::lruLeader:
+        if (psel_ < kPselMax)
+            ++psel_;
+        break;
+      case SetRole::bipLeader:
+        if (psel_ > 0)
+            --psel_;
+        break;
+      case SetRole::follower:
+        break;
+    }
+}
+
+} // namespace csalt

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Dynamic Insertion Policy (Qureshi et al., ISCA 2007) — the prior-
+ * work cache-management baseline of paper Fig. 13, implemented on top
+ * of the POM-TLB exactly as the authors did for fairness.
+ */
+
+#ifndef CSALT_CACHE_DIP_H
+#define CSALT_CACHE_DIP_H
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace csalt
+{
+
+/**
+ * Set-dueling DIP controller for one cache.
+ *
+ * A few leader sets always use MRU insertion (classic LRU), another
+ * few always use bimodal insertion (BIP: insert at LRU, promote to
+ * MRU with probability 1/32). A saturating PSEL counter, incremented
+ * on LRU-leader misses and decremented on BIP-leader misses, selects
+ * the policy followed by all other sets.
+ */
+class DipController
+{
+  public:
+    /**
+     * @param sets number of sets in the governed cache
+     * @param seed RNG seed for the bimodal coin
+     */
+    explicit DipController(std::uint64_t sets, std::uint64_t seed = 7);
+
+    /**
+     * Decide the insertion position for a fill into @p set.
+     * @return true to insert at MRU, false to insert at LRU.
+     */
+    bool insertAtMru(std::uint64_t set);
+
+    /** Report a miss in @p set (updates PSEL for leader sets). */
+    void onMiss(std::uint64_t set);
+
+    /** Current PSEL value (for tests). */
+    std::uint32_t psel() const { return psel_; }
+
+    /** True when follower sets currently use BIP. */
+    bool followersUseBip() const { return psel_ >= kPselThreshold; }
+
+  private:
+    enum class SetRole { lruLeader, bipLeader, follower };
+
+    SetRole roleOf(std::uint64_t set) const;
+
+    static constexpr std::uint32_t kPselMax = 1023;
+    static constexpr std::uint32_t kPselThreshold = 512;
+    static constexpr std::uint64_t kLeaderStride = 64;
+    static constexpr double kBipEpsilon = 1.0 / 32.0;
+
+    std::uint64_t sets_;
+    std::uint32_t psel_ = kPselThreshold;
+    Rng rng_;
+};
+
+} // namespace csalt
+
+#endif // CSALT_CACHE_DIP_H

@@ -1,0 +1,22 @@
+#include "cache/occupancy.h"
+
+#include "cache/cache.h"
+
+namespace csalt
+{
+
+void
+OccupancySampler::sample(double time)
+{
+    const double frac = cache_.occupancyOf(LineType::translation);
+    series_.push(time, frac);
+    acc_.add(frac);
+}
+
+double
+OccupancySampler::meanTranslationFraction() const
+{
+    return acc_.mean();
+}
+
+} // namespace csalt

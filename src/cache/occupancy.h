@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Periodic sampler of per-type cache occupancy (paper Fig. 3 / §2.2
+ * footnote 2: "periodically the simulator scanned the caches to
+ * record the fraction of TLB entries held in them").
+ */
+
+#ifndef CSALT_CACHE_OCCUPANCY_H
+#define CSALT_CACHE_OCCUPANCY_H
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace csalt
+{
+
+class Cache;
+
+/**
+ * Samples the translation-entry fraction of one cache on demand and
+ * accumulates both the full time series and its running mean.
+ */
+class OccupancySampler
+{
+  public:
+    explicit OccupancySampler(const Cache &cache) : cache_(cache) {}
+
+    /** Record one sample at timestamp @p time (any monotone unit). */
+    void sample(double time);
+
+    /** Mean translation-entry fraction across all samples so far. */
+    double meanTranslationFraction() const;
+
+    /** Drop all samples (end of warmup). */
+    void
+    reset()
+    {
+        series_ = TimeSeries{};
+        acc_ = Accumulator{};
+    }
+
+    const TimeSeries &series() const { return series_; }
+
+  private:
+    const Cache &cache_;
+    TimeSeries series_;
+    Accumulator acc_;
+};
+
+} // namespace csalt
+
+#endif // CSALT_CACHE_OCCUPANCY_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Way-partition descriptor shared by the cache and the controllers.
+ */
+
+#ifndef CSALT_CACHE_PARTITION_H
+#define CSALT_CACHE_PARTITION_H
+
+namespace csalt
+{
+
+/**
+ * A split of a K-way set between data and translation entries:
+ * data entries own ways [0, data_ways-1], translation entries own
+ * [data_ways, total_ways-1] (paper §3.1). Enforced on replacement
+ * only; lookup always scans all ways, so lines of the other type
+ * stranded by a repartition drain lazily.
+ */
+struct WayPartition
+{
+    unsigned total_ways = 0;
+    unsigned data_ways = 0;
+
+    unsigned tlbWays() const { return total_ways - data_ways; }
+
+    /** Victim search range for a data fill: [lo, hi]. */
+    unsigned dataLo() const { return 0; }
+    unsigned dataHi() const { return data_ways - 1; }
+
+    /** Victim search range for a translation fill: [lo, hi]. */
+    unsigned tlbLo() const { return data_ways; }
+    unsigned tlbHi() const { return total_ways - 1; }
+};
+
+} // namespace csalt
+
+#endif // CSALT_CACHE_PARTITION_H

@@ -1,0 +1,178 @@
+#include "cache/replacement.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cache/rrip.h"
+#include "common/log.h"
+
+namespace csalt
+{
+
+// ---------------------------------------------------------------- TrueLru
+
+TrueLruSet::TrueLruSet(unsigned ways) : rank_(ways)
+{
+    std::iota(rank_.begin(), rank_.end(), 0u);
+}
+
+void
+TrueLruSet::touch(unsigned way)
+{
+    const unsigned old = rank_[way];
+    for (auto &r : rank_)
+        if (r < old)
+            ++r;
+    rank_[way] = 0;
+}
+
+unsigned
+TrueLruSet::victimIn(unsigned lo, unsigned hi) const
+{
+    unsigned victim = lo;
+    unsigned worst = rank_[lo];
+    for (unsigned w = lo + 1; w <= hi; ++w) {
+        if (rank_[w] > worst) {
+            worst = rank_[w];
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+unsigned
+TrueLruSet::stackPosOf(unsigned way) const
+{
+    return rank_[way];
+}
+
+// ------------------------------------------------------------------- NRU
+
+NruSet::NruSet(unsigned ways) : ref_(ways, false) {}
+
+void
+NruSet::touch(unsigned way)
+{
+    ref_[way] = true;
+    if (std::all_of(ref_.begin(), ref_.end(), [](bool b) { return b; })) {
+        std::fill(ref_.begin(), ref_.end(), false);
+        ref_[way] = true;
+    }
+}
+
+unsigned
+NruSet::victimIn(unsigned lo, unsigned hi) const
+{
+    for (unsigned w = lo; w <= hi; ++w)
+        if (!ref_[w])
+            return w;
+    return lo;
+}
+
+unsigned
+NruSet::stackPosOf(unsigned way) const
+{
+    // Coarse two-bucket estimate: referenced lines sit in the upper
+    // (recent) half of the stack, unreferenced in the lower half.
+    const unsigned k = ways();
+    return ref_[way] ? (k - 1) / 4 : (3 * (k - 1)) / 4;
+}
+
+// --------------------------------------------------------------- BT-PLRU
+
+namespace
+{
+
+bool
+isPow2(unsigned v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+BtPlruSet::BtPlruSet(unsigned ways) : ways_(ways), levels_(0),
+    bits_(ways, false)
+{
+    if (!isPow2(ways))
+        panic(msgOf("BT-PLRU requires power-of-two ways, got ", ways));
+    for (unsigned v = ways; v > 1; v >>= 1)
+        ++levels_;
+}
+
+void
+BtPlruSet::touch(unsigned way)
+{
+    // Walk root->leaf; point every tree bit *away* from the way.
+    unsigned node = 1;
+    for (unsigned level = 0; level < levels_; ++level) {
+        const bool right = (way >> (levels_ - 1 - level)) & 1u;
+        bits_[node] = !right; // bit=false means "victim is left"
+        node = 2 * node + (right ? 1 : 0);
+    }
+}
+
+unsigned
+BtPlruSet::victimIn(unsigned lo, unsigned hi) const
+{
+    // Follow the tree bits, but clamp the descent so the final leaf
+    // lands inside [lo, hi]: at each node prefer the pointed-to child
+    // unless its whole subtree lies outside the range.
+    unsigned node = 1;
+    unsigned first = 0;
+    unsigned count = ways_;
+    for (unsigned level = 0; level < levels_; ++level) {
+        count /= 2;
+        const unsigned left_first = first;
+        const unsigned right_first = first + count;
+        bool go_right = bits_[node];
+        const bool left_ok =
+            left_first + count > lo && left_first <= hi;
+        const bool right_ok =
+            right_first + count > lo && right_first <= hi;
+        if (go_right && !right_ok)
+            go_right = false;
+        else if (!go_right && !left_ok)
+            go_right = true;
+        first = go_right ? right_first : left_first;
+        node = 2 * node + (go_right ? 1 : 0);
+    }
+    return std::clamp(first, lo, hi);
+}
+
+unsigned
+BtPlruSet::stackPosOf(unsigned way) const
+{
+    // Identifier estimate: accumulate, root to leaf, whether each bit
+    // points toward the way (1) or away from it (0); a way every bit
+    // points to is the PLRU victim and gets position K-1.
+    unsigned node = 1;
+    unsigned pos = 0;
+    for (unsigned level = 0; level < levels_; ++level) {
+        const bool right = (way >> (levels_ - 1 - level)) & 1u;
+        const bool points_to_way = bits_[node] == right;
+        pos = (pos << 1) | (points_to_way ? 1u : 0u);
+        node = 2 * node + (right ? 1 : 0);
+    }
+    return pos;
+}
+
+// ---------------------------------------------------------------- factory
+
+std::unique_ptr<SetReplacement>
+makeSetReplacement(ReplacementKind kind, unsigned ways)
+{
+    switch (kind) {
+      case ReplacementKind::trueLru:
+        return std::make_unique<TrueLruSet>(ways);
+      case ReplacementKind::nru:
+        return std::make_unique<NruSet>(ways);
+      case ReplacementKind::btPlru:
+        return std::make_unique<BtPlruSet>(ways);
+      case ReplacementKind::rrip:
+        return std::make_unique<RripSet>(ways);
+    }
+    panic("unknown ReplacementKind");
+}
+
+} // namespace csalt

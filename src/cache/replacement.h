@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Per-set replacement state: true LRU, NRU and binary-tree pseudo-LRU.
+ *
+ * CSALT needs two things from a replacement policy beyond victim
+ * selection: (1) victim choice restricted to a *way range* so the
+ * partition controller can confine data and translation entries to
+ * their allocated ways (paper §3.1, "Cache Replacement"), and (2) an
+ * estimated LRU *stack position* for every access so the Mattson
+ * profilers keep working under pseudo-LRU policies (paper §3.4,
+ * following Kedzierski et al., IPDPS 2010).
+ */
+
+#ifndef CSALT_CACHE_REPLACEMENT_H
+#define CSALT_CACHE_REPLACEMENT_H
+
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+
+namespace csalt
+{
+
+/**
+ * Replacement state for a single cache set.
+ *
+ * Way indices are 0..K-1. Victim selection considers only ways inside
+ * [lo, hi] (inclusive); invalid ways are preferred by the cache before
+ * this policy is consulted.
+ */
+class SetReplacement
+{
+  public:
+    virtual ~SetReplacement() = default;
+
+    /** Promote a way on hit or fill. */
+    virtual void touch(unsigned way) = 0;
+
+    /**
+     * Pick the eviction victim among ways in [lo, hi].
+     * @pre lo <= hi < K.
+     */
+    virtual unsigned victimIn(unsigned lo, unsigned hi) const = 0;
+
+    /**
+     * Estimated LRU stack position of a way (0 = MRU, K-1 = LRU).
+     * Exact for true LRU; an estimate for NRU / BT-PLRU.
+     */
+    virtual unsigned stackPosOf(unsigned way) const = 0;
+
+    /** Associativity this state covers. */
+    virtual unsigned ways() const = 0;
+};
+
+/** Exact recency-ordered LRU. */
+class TrueLruSet : public SetReplacement
+{
+  public:
+    explicit TrueLruSet(unsigned ways);
+
+    void touch(unsigned way) override;
+    unsigned victimIn(unsigned lo, unsigned hi) const override;
+    unsigned stackPosOf(unsigned way) const override;
+    unsigned ways() const override
+    {
+        return static_cast<unsigned>(rank_.size());
+    }
+
+  private:
+    /** rank_[way] = current stack position (0 = MRU). */
+    std::vector<unsigned> rank_;
+};
+
+/** Not-recently-used: one reference bit per way. */
+class NruSet : public SetReplacement
+{
+  public:
+    explicit NruSet(unsigned ways);
+
+    void touch(unsigned way) override;
+    unsigned victimIn(unsigned lo, unsigned hi) const override;
+    unsigned stackPosOf(unsigned way) const override;
+    unsigned ways() const override
+    {
+        return static_cast<unsigned>(ref_.size());
+    }
+
+  private:
+    std::vector<bool> ref_;
+};
+
+/**
+ * Binary-tree pseudo-LRU over a power-of-two associativity.
+ *
+ * Stack positions are estimated from the way's Identifier: the binary
+ * number formed root-to-leaf by whether each tree bit points toward
+ * (0) or away from (1) the way (Kedzierski et al.).
+ */
+class BtPlruSet : public SetReplacement
+{
+  public:
+    explicit BtPlruSet(unsigned ways);
+
+    void touch(unsigned way) override;
+    unsigned victimIn(unsigned lo, unsigned hi) const override;
+    unsigned stackPosOf(unsigned way) const override;
+    unsigned ways() const override { return ways_; }
+
+  private:
+    unsigned ways_;
+    unsigned levels_;
+    /** Heap-indexed tree bits; bits_[1] is the root. bit=0 -> left. */
+    std::vector<bool> bits_;
+};
+
+/** Factory for one set's replacement state. */
+std::unique_ptr<SetReplacement> makeSetReplacement(ReplacementKind kind,
+                                                   unsigned ways);
+
+} // namespace csalt
+
+#endif // CSALT_CACHE_REPLACEMENT_H

@@ -1,0 +1,98 @@
+#include "cache/rrip.h"
+
+namespace csalt
+{
+
+RripSet::RripSet(unsigned ways) : rrpv_(ways, kMax) {}
+
+void
+RripSet::touch(unsigned way)
+{
+    rrpv_[way] = 0;
+}
+
+void
+RripSet::insertAt(unsigned way, bool long_rrpv)
+{
+    rrpv_[way] = long_rrpv ? kMax : kMax - 1;
+}
+
+unsigned
+RripSet::victimIn(unsigned lo, unsigned hi) const
+{
+    // Age until some way in range reaches kMax. Aging mutates the
+    // (mutable) RRPV array; victimIn is called exactly once per fill,
+    // so this matches the hardware sequence.
+    for (;;) {
+        for (unsigned w = lo; w <= hi; ++w)
+            if (rrpv_[w] >= kMax)
+                return w;
+        for (unsigned w = lo; w <= hi; ++w)
+            ++rrpv_[w];
+    }
+}
+
+unsigned
+RripSet::stackPosOf(unsigned way) const
+{
+    // Coarse estimate for the Mattson profilers: spread the four
+    // RRPV buckets across the stack.
+    const unsigned k = ways();
+    return rrpv_[way] * (k - 1) / kMax;
+}
+
+DrripController::DrripController(std::uint64_t sets, std::uint64_t seed)
+    : sets_(sets), rng_(seed)
+{
+}
+
+DrripController::Role
+DrripController::roleOf(std::uint64_t set) const
+{
+    const std::uint64_t phase = set % kLeaderStride;
+    if (phase == 0)
+        return Role::srripLeader;
+    if (phase == kLeaderStride / 2)
+        return Role::brripLeader;
+    return Role::follower;
+}
+
+bool
+DrripController::insertLong(std::uint64_t set)
+{
+    bool brrip;
+    switch (roleOf(set)) {
+      case Role::srripLeader:
+        brrip = false;
+        break;
+      case Role::brripLeader:
+        brrip = true;
+        break;
+      case Role::follower:
+      default:
+        brrip = followersUseBrrip();
+        break;
+    }
+    if (!brrip)
+        return false; // SRRIP: distant (RRPV 2)
+    return !rng_.chance(kBrripEpsilon); // BRRIP: mostly far (RRPV 3)
+}
+
+void
+DrripController::onMiss(std::uint64_t set)
+{
+    switch (roleOf(set)) {
+      case Role::srripLeader:
+        if (psel_ < kPselMax)
+            ++psel_;
+        break;
+      case Role::brripLeader:
+        if (psel_ > 0)
+            --psel_;
+        break;
+      case Role::follower:
+        break;
+    }
+}
+
+} // namespace csalt

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * RRIP replacement (Jaleel et al., ISCA 2010) — SRRIP and the
+ * set-dueling DRRIP the paper's related-work section contrasts CSALT
+ * against (§6: content-oblivious replacement "not designed ... when
+ * different types of data coexist").
+ *
+ * 2-bit re-reference prediction values (RRPV): hit -> 0, victim =
+ * first way at RRPV 3 (aging every way until one exists). SRRIP
+ * inserts at RRPV 2; BRRIP inserts at 3 with rare 2s; DRRIP duels.
+ */
+
+#ifndef CSALT_CACHE_RRIP_H
+#define CSALT_CACHE_RRIP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/replacement.h"
+#include "common/rng.h"
+
+namespace csalt
+{
+
+/** Per-set RRIP state implementing the SetReplacement interface. */
+class RripSet : public SetReplacement
+{
+  public:
+    explicit RripSet(unsigned ways);
+
+    /** Promotion on hit: RRPV -> 0. */
+    void touch(unsigned way) override;
+
+    /**
+     * Fill-time placement: distant (RRPV 2) or far (RRPV 3)
+     * re-reference prediction; the cache's insertion controller
+     * decides which (see insertAt()).
+     */
+    void insertAt(unsigned way, bool long_rrpv);
+
+    unsigned victimIn(unsigned lo, unsigned hi) const override;
+    unsigned stackPosOf(unsigned way) const override;
+    unsigned ways() const override
+    {
+        return static_cast<unsigned>(rrpv_.size());
+    }
+
+  private:
+    static constexpr std::uint8_t kMax = 3;
+
+    /**
+     * Aging happens logically at victim selection; victimIn() is
+     * const, so the pending age amount is applied lazily on the next
+     * mutation. Simpler: age eagerly in insertAt/touch via a stored
+     * pending delta.
+     */
+    mutable std::vector<std::uint8_t> rrpv_;
+
+    friend class RripDuelTest;
+};
+
+/**
+ * DRRIP set-dueling controller: SRRIP leader sets vs BRRIP leader
+ * sets, PSEL-selected followers (mirrors DipController's shape).
+ */
+class DrripController
+{
+  public:
+    explicit DrripController(std::uint64_t sets,
+                             std::uint64_t seed = 11);
+
+    /** @return true when the fill should use the far (3) RRPV. */
+    bool insertLong(std::uint64_t set);
+
+    /** Report a demand miss in @p set. */
+    void onMiss(std::uint64_t set);
+
+    std::uint32_t psel() const { return psel_; }
+    bool followersUseBrrip() const { return psel_ >= kThreshold; }
+
+  private:
+    enum class Role
+    {
+        srripLeader,
+        brripLeader,
+        follower
+    };
+
+    Role roleOf(std::uint64_t set) const;
+
+    static constexpr std::uint32_t kPselMax = 1023;
+    static constexpr std::uint32_t kThreshold = 512;
+    static constexpr std::uint64_t kLeaderStride = 64;
+    static constexpr double kBrripEpsilon = 1.0 / 32.0;
+
+    std::uint64_t sets_;
+    std::uint32_t psel_ = kThreshold;
+    Rng rng_;
+};
+
+} // namespace csalt
+
+#endif // CSALT_CACHE_RRIP_H

@@ -1,0 +1,122 @@
+#include "cache/stack_dist.h"
+
+#include "common/log.h"
+
+namespace csalt
+{
+
+StackDistProfiler::StackDistProfiler(unsigned ways)
+    : counters_(ways + 1, 0)
+{
+    if (ways == 0)
+        panic("StackDistProfiler needs ways > 0");
+}
+
+void
+StackDistProfiler::recordHit(unsigned pos)
+{
+    if (pos >= ways())
+        panic(msgOf("stack position ", pos, " out of range"));
+    ++counters_[pos];
+    ++total_;
+}
+
+void
+StackDistProfiler::recordMiss()
+{
+    ++counters_[ways()];
+    ++total_;
+}
+
+std::uint64_t
+StackDistProfiler::hitsUpTo(unsigned n) const
+{
+    std::uint64_t sum = 0;
+    const unsigned limit = n < ways() ? n : ways();
+    for (unsigned i = 0; i < limit; ++i)
+        sum += counters_[i];
+    return sum;
+}
+
+void
+StackDistProfiler::reset()
+{
+    std::fill(counters_.begin(), counters_.end(), 0);
+    total_ = 0;
+}
+
+void
+StackDistProfiler::decay()
+{
+    total_ = 0;
+    for (auto &c : counters_) {
+        c >>= 1;
+        total_ += c;
+    }
+}
+
+void
+StackDistProfiler::setCounters(const std::vector<std::uint64_t> &values)
+{
+    if (values.size() != counters_.size())
+        panic("setCounters: size mismatch");
+    counters_ = values;
+    total_ = 0;
+    for (auto c : counters_)
+        total_ += c;
+}
+
+ShadowTagArray::ShadowTagArray(std::uint64_t sets, unsigned ways,
+                               ReplacementKind kind, unsigned sample_shift)
+    : ways_(ways), sample_mask_((std::uint64_t{1} << sample_shift) - 1),
+      profiler_(ways)
+{
+    const std::uint64_t sampled_sets =
+        (sets + sample_mask_) >> sample_shift;
+    sets_.reserve(sampled_sets);
+    for (std::uint64_t s = 0; s < sampled_sets; ++s) {
+        ShadowSet shadow;
+        shadow.tags.assign(ways, kInvalidAddr);
+        shadow.repl = makeSetReplacement(kind, ways);
+        sets_.push_back(std::move(shadow));
+    }
+}
+
+void
+ShadowTagArray::access(std::uint64_t set, Addr tag)
+{
+    if (!sampled(set))
+        return;
+    auto &shadow = sets_[set >> __builtin_ctzll(sample_mask_ + 1)];
+
+    // Look for the tag; note its estimated stack position on hit.
+    unsigned hit_way = ways_;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (shadow.tags[w] == tag) {
+            hit_way = w;
+            break;
+        }
+    }
+
+    if (hit_way != ways_) {
+        profiler_.recordHit(shadow.repl->stackPosOf(hit_way));
+        shadow.repl->touch(hit_way);
+        return;
+    }
+
+    profiler_.recordMiss();
+    // Fill: prefer an invalid way, else the policy's victim.
+    unsigned fill_way = ways_;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (shadow.tags[w] == kInvalidAddr) {
+            fill_way = w;
+            break;
+        }
+    }
+    if (fill_way == ways_)
+        fill_way = shadow.repl->victimIn(0, ways_ - 1);
+    shadow.tags[fill_way] = tag;
+    shadow.repl->touch(fill_way);
+}
+
+} // namespace csalt

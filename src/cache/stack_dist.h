@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Mattson stack-distance profiling (paper §3.1).
+ *
+ * Two pieces: StackDistProfiler holds the K+1 hit/miss counters of one
+ * LRU stack; ShadowTagArray maintains, per sampled set and per line
+ * type, a shadow tag store that behaves as if that type owned the
+ * whole cache, and feeds hit positions into the profiler. This is the
+ * UCP-style auxiliary tag directory the marginal-utility computation
+ * of Eq. (1) requires: D_LRU(i) counts hits that need at least i+1
+ * data ways, independent of how ways are currently split.
+ */
+
+#ifndef CSALT_CACHE_STACK_DIST_H
+#define CSALT_CACHE_STACK_DIST_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/replacement.h"
+#include "common/types.h"
+
+namespace csalt
+{
+
+/**
+ * K+1 counters over LRU stack positions; counter K counts misses.
+ */
+class StackDistProfiler
+{
+  public:
+    explicit StackDistProfiler(unsigned ways);
+
+    /** Record a hit at stack position pos (0 = MRU). */
+    void recordHit(unsigned pos);
+
+    /** Record a miss (counter K). */
+    void recordMiss();
+
+    /** Counter value at position pos (pos == ways() means misses). */
+    std::uint64_t counter(unsigned pos) const { return counters_[pos]; }
+
+    /** Sum of hit counters for positions [0, n). */
+    std::uint64_t hitsUpTo(unsigned n) const;
+
+    /** Total recorded accesses (hits at any position + misses). */
+    std::uint64_t total() const { return total_; }
+
+    unsigned ways() const
+    {
+        return static_cast<unsigned>(counters_.size()) - 1;
+    }
+
+    /** Zero all counters (start of a new epoch). */
+    void reset();
+
+    /** Halve all counters (exponential decay across epochs). */
+    void decay();
+
+    /** Directly set counters (unit tests of the paper's Fig. 5). */
+    void setCounters(const std::vector<std::uint64_t> &values);
+
+  private:
+    std::vector<std::uint64_t> counters_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Per-type shadow tag directory with set sampling.
+ *
+ * One instance profiles one line type in one cache. Only sets whose
+ * index is a multiple of the sampling factor carry shadow tags, which
+ * keeps the hardware analogue (and simulation cost) small; counter
+ * magnitudes scale uniformly so marginal-utility comparisons are
+ * unaffected.
+ */
+class ShadowTagArray
+{
+  public:
+    /**
+     * @param sets number of sets in the profiled cache
+     * @param ways associativity of the profiled cache
+     * @param kind replacement flavour to mirror (paper §3.4)
+     * @param sample_shift profile sets where (set & (2^shift-1)) == 0
+     */
+    ShadowTagArray(std::uint64_t sets, unsigned ways, ReplacementKind kind,
+                   unsigned sample_shift = 3);
+
+    /**
+     * Observe an access; updates the profiler when the set is sampled.
+     * @param set cache set index of the access
+     * @param tag full line address (used as shadow tag)
+     */
+    void access(std::uint64_t set, Addr tag);
+
+    const StackDistProfiler &profiler() const { return profiler_; }
+    StackDistProfiler &profiler() { return profiler_; }
+
+    /** True when this set index carries shadow tags. */
+    bool sampled(std::uint64_t set) const
+    {
+        return (set & sample_mask_) == 0;
+    }
+
+  private:
+    struct ShadowSet
+    {
+        std::vector<Addr> tags; //!< kInvalidAddr when empty
+        std::unique_ptr<SetReplacement> repl;
+    };
+
+    unsigned ways_;
+    std::uint64_t sample_mask_;
+    std::vector<ShadowSet> sets_;
+    StackDistProfiler profiler_;
+};
+
+} // namespace csalt
+
+#endif // CSALT_CACHE_STACK_DIST_H

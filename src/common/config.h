@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Central configuration structures with the paper's Table 2 defaults.
+ *
+ * Every experiment builds a SystemParams, tweaks the fields under
+ * study (translation scheme, partition policy, context count, epoch
+ * length, context-switch interval) and hands it to SystemBuilder.
+ *
+ * Time scaling: the paper switches contexts every 10 ms at 4 GHz
+ * (40 M cycles) over 10 B instructions. We preserve the *ratios* of
+ * all time parameters while scaling absolute durations down by
+ * kTimeScale so a full sweep runs in seconds (see DESIGN.md §2).
+ */
+
+#ifndef CSALT_COMMON_CONFIG_H
+#define CSALT_COMMON_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace csalt
+{
+
+/**
+ * Time-scale factor: all durations (and access-count-based epochs)
+ * shrink by this factor relative to the paper so full sweeps run in
+ * seconds while every ratio between intervals is preserved.
+ */
+inline constexpr std::uint64_t kTimeScale = 100;
+
+/** Cycles per "paper millisecond" after time scaling (real: 4 M/ms). */
+inline constexpr Cycles kCyclesPerPaperMs = 4'000'000 / kTimeScale;
+
+/** Scaled equivalent of a paper epoch length in cache accesses. */
+constexpr std::uint64_t
+scaledEpoch(std::uint64_t paper_accesses)
+{
+    return paper_accesses / kTimeScale;
+}
+
+/** Cache replacement policy (paper §3.4; rrip: related work §6). */
+enum class ReplacementKind : std::uint8_t
+{
+    trueLru, //!< exact LRU recency stack
+    nru,     //!< not-recently-used single bit
+    btPlru,  //!< binary-tree pseudo-LRU
+    rrip,    //!< DRRIP (set-dueling SRRIP/BRRIP, Jaleel et al.)
+};
+
+/** Cache insertion policy; DIP is the prior-work baseline (Fig. 13). */
+enum class InsertionKind : std::uint8_t
+{
+    mru, //!< conventional insert at MRU
+    dip, //!< dynamic insertion (set-dueling LRU vs BIP)
+};
+
+/** Which translation machinery services L2 TLB misses. */
+enum class TranslationKind : std::uint8_t
+{
+    conventional, //!< L1-L2 TLBs + page walk (baseline)
+    pomTlb,       //!< adds the 16MB in-memory L3 TLB [Ryoo et al.]
+    tsb,          //!< software translation storage buffer [SPARC]
+};
+
+/** Cache partitioning policy between data and translation lines. */
+enum class PartitionPolicy : std::uint8_t
+{
+    none,       //!< unpartitioned (POM-TLB baseline behaviour)
+    staticHalf, //!< fixed 50/50 split (static baseline, §5.1 fn. 6)
+    csaltD,     //!< dynamic marginal-utility partitioning (§3.1)
+    csaltCD,    //!< criticality-weighted dynamic partitioning (§3.2)
+};
+
+/** Human-readable name for a PartitionPolicy. */
+const char *partitionPolicyName(PartitionPolicy p);
+
+/** Human-readable name for a TranslationKind. */
+const char *translationKindName(TranslationKind t);
+
+/** Geometry and timing of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t size_bytes = 0;
+    unsigned ways = 1;
+    Cycles latency = 1; //!< total load-to-use hit latency
+    ReplacementKind repl = ReplacementKind::trueLru;
+    InsertionKind insertion = InsertionKind::mru;
+
+    std::uint64_t numLines() const { return size_bytes / kLineSize; }
+    std::uint64_t numSets() const { return numLines() / ways; }
+};
+
+/** Geometry and timing of one TLB level. */
+struct TlbParams
+{
+    unsigned entries = 0;
+    unsigned ways = 1;
+    Cycles latency = 1;
+};
+
+/** MMU paging-structure caches (Intel PSC; paper Table 2). */
+struct MmuCacheParams
+{
+    unsigned pml4e_entries = 2;
+    unsigned pdpe_entries = 4;
+    unsigned pde_entries = 32;
+    Cycles latency = 2;
+    /** Nested (gPA->hPA) walk cache used during 2-D walks. */
+    unsigned nested_entries = 16;
+};
+
+/**
+ * DRAM channel timing, pre-converted to core cycles.
+ *
+ * A single-rank, multi-bank open-page model: per-bank row buffer with
+ * hit (tCAS), miss (tRP+tRCD+tCAS) and cold (tRCD+tCAS) latencies,
+ * plus per-access data-burst occupancy of the shared channel.
+ */
+struct DramParams
+{
+    std::string name = "dram";
+    unsigned banks = 16;
+    std::uint64_t row_bytes = 2048;
+    Cycles tcas = 53;  //!< column access
+    Cycles trcd = 53;  //!< row activate
+    Cycles trp = 53;   //!< precharge
+    Cycles burst = 15; //!< channel occupancy per 64B line
+    /**
+     * Controller pipeline + bus turnaround latency added to every
+     * access (pure latency, not occupancy).
+     */
+    Cycles overhead = 80;
+};
+
+/** The memory-mapped large L3 TLB (POM-TLB). */
+struct PomTlbParams
+{
+    std::uint64_t size_bytes = 16ull << 20;
+    unsigned ways = 4;           //!< entries per 64B line-set
+    std::uint64_t entry_bytes = 16;
+};
+
+/** Software translation storage buffer baseline (Fig. 13). */
+struct TsbParams
+{
+    std::uint64_t entries_per_context = 128 * 1024;
+    unsigned lookups = 2; //!< dependent cacheable probes per miss
+};
+
+/** CSALT partition controller configuration (one per cache). */
+struct PartitionParams
+{
+    PartitionPolicy policy = PartitionPolicy::none;
+    /** Paper default: 256K accesses, divided by the time scale. */
+    std::uint64_t epoch_accesses = scaledEpoch(256 * 1024);
+    unsigned min_ways_per_type = 1;
+    /** staticHalf only: data-way count; 0 means an even split. */
+    unsigned static_data_ways = 0;
+};
+
+/** Sizes of the simulated physical address ranges. */
+struct MemRangeParams
+{
+    std::uint64_t data_bytes = 8ull << 30; //!< application frames
+    std::uint64_t pt_bytes = 1ull << 30;   //!< page tables + TSBs
+};
+
+/** Core timing model. */
+struct CoreParams
+{
+    double base_cpi = 0.5;  //!< CPI of non-memory work (wide OoO)
+    double mlp = 4.0;       //!< overlap divisor for data-miss latency
+    Cycles cs_penalty = 2000; //!< direct context-switch cost (regs, OS)
+};
+
+/** Full system configuration. */
+struct SystemParams
+{
+    unsigned num_cores = 8;
+    unsigned contexts_per_core = 2;
+    /** Context-switch interval in cycles (10 paper-ms by default). */
+    Cycles cs_interval = 10 * kCyclesPerPaperMs;
+    bool virtualized = true;
+    TranslationKind translation = TranslationKind::pomTlb;
+
+    CacheParams l1d;
+    CacheParams l2; //!< private per-core
+    CacheParams l3; //!< shared
+    TlbParams l1tlb_4k;
+    TlbParams l1tlb_2m;
+    TlbParams l2tlb;
+    MmuCacheParams psc;
+    DramParams ddr;     //!< off-chip DDR4-2133
+    DramParams stacked; //!< die-stacked DRAM holding the POM-TLB
+    PomTlbParams pom;
+    TsbParams tsb;
+    PartitionParams l2_partition;
+    PartitionParams l3_partition;
+    CoreParams core;
+    MemRangeParams ranges;
+
+    /** Address spaces with reserved TSB arrays. */
+    unsigned max_asids = 16;
+
+    /** Fraction of pages the guest OS backs with 2MB pages (THP). */
+    double huge_page_fraction = 0.25;
+
+    /**
+     * Page-table depth: 4 (default x86-64) or 5 (LA57; the paper
+     * notes 5-level paging "will only strengthen the motivation").
+     */
+    int page_table_levels = 4;
+
+    std::uint64_t seed = 1;
+};
+
+/** Paper Table 2 configuration (8-core Skylake-like host). */
+SystemParams defaultParams();
+
+/**
+ * Check structural invariants (power-of-two geometry, nonzero sizes).
+ * Calls fatal() with a description on violation.
+ */
+void validate(const SystemParams &params);
+
+} // namespace csalt
+
+#endif // CSALT_COMMON_CONFIG_H

@@ -1,0 +1,53 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace csalt
+{
+
+namespace
+{
+LogLevel g_level = LogLevel::quiet;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+void
+inform(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) <= static_cast<int>(g_level))
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace csalt

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal logging and error-termination helpers.
+ *
+ * Follows the gem5 convention: fatal() is for user errors (bad
+ * configuration), panic() is for internal invariant violations.
+ * Both print a message and terminate; neither returns.
+ */
+
+#ifndef CSALT_COMMON_LOG_H
+#define CSALT_COMMON_LOG_H
+
+#include <sstream>
+#include <string>
+
+namespace csalt
+{
+
+/** Verbosity levels for inform(). */
+enum class LogLevel
+{
+    quiet,
+    info,
+    debug,
+};
+
+/** Global log level (default: quiet so benches print clean tables). */
+LogLevel logLevel();
+
+/** Set the global log level. */
+void setLogLevel(LogLevel level);
+
+/** Print an informational message when level <= global level. */
+void inform(LogLevel level, const std::string &msg);
+
+/** Print a warning (always shown) to stderr. */
+void warn(const std::string &msg);
+
+/**
+ * Terminate due to a user/configuration error (exit(1)).
+ * @param msg description of the misconfiguration.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Terminate due to an internal simulator bug (abort()).
+ * @param msg description of the violated invariant.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Build a message from stream-formattable pieces.
+ * Usage: fatal(msgOf("bad ways: ", ways));
+ */
+template <typename... Args>
+std::string
+msgOf(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace csalt
+
+#endif // CSALT_COMMON_LOG_H

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Small deterministic random number generator.
+ *
+ * Workload generators must be reproducible across runs and platforms,
+ * so we avoid std::mt19937's implementation-defined distributions and
+ * provide explicit integer/real helpers on top of SplitMix64 /
+ * xoshiro256**. All benchmarks seed their generators explicitly.
+ */
+
+#ifndef CSALT_COMMON_RNG_H
+#define CSALT_COMMON_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace csalt
+{
+
+/**
+ * xoshiro256** generator with SplitMix64 seeding.
+ *
+ * Passes BigCrush; tiny state; fully deterministic given a seed.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound) via Lemire's method. bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        const auto x = next();
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(x) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Approximate Zipf-distributed index in [0, n) with exponent s.
+     *
+     * Uses the rejection-inversion free approximation
+     * floor(n^(u^(1/(1-s)))) clamped to range; adequate for shaping
+     * skewed page popularity in workload generators (we need the
+     * qualitative skew, not an exact Zipf law).
+     */
+    std::uint64_t
+    zipf(std::uint64_t n, double s)
+    {
+        if (n <= 1)
+            return 0;
+        const double u = uniform();
+        // Inverse-CDF approximation of a truncated Pareto, which has
+        // the same heavy-tail shape as Zipf over item ranks.
+        const double one_minus_s = 1.0 - s;
+        double v;
+        if (one_minus_s > 1e-9 || one_minus_s < -1e-9) {
+            const double nn = static_cast<double>(n);
+            const double h = (std::pow(nn, one_minus_s) - 1.0) * u + 1.0;
+            v = std::pow(h, 1.0 / one_minus_s) - 1.0;
+        } else {
+            v = std::pow(static_cast<double>(n), u) - 1.0;
+        }
+        auto idx = static_cast<std::uint64_t>(v);
+        return idx >= n ? n - 1 : idx;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace csalt
+
+#endif // CSALT_COMMON_RNG_H

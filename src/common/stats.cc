@@ -1,0 +1,118 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace csalt
+{
+
+double
+mpki(std::uint64_t misses, std::uint64_t instructions)
+{
+    if (instructions == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(misses) /
+           static_cast<double>(instructions);
+}
+
+double
+hitRate(std::uint64_t hits, std::uint64_t misses)
+{
+    const auto total = hits + misses;
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+void
+Accumulator::add(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void
+TimeSeries::push(double time, double value)
+{
+    points_.push_back({time, value});
+}
+
+double
+TimeSeries::meanValue() const
+{
+    if (points_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &p : points_)
+        sum += p.value;
+    return sum / static_cast<double>(points_.size());
+}
+
+TimeSeries
+TimeSeries::downsampled(std::size_t n) const
+{
+    TimeSeries out;
+    if (points_.empty() || n == 0)
+        return out;
+    if (points_.size() <= n)
+        return *this;
+    const std::size_t bucket = (points_.size() + n - 1) / n;
+    for (std::size_t i = 0; i < points_.size(); i += bucket) {
+        const std::size_t end = std::min(i + bucket, points_.size());
+        double t = 0.0;
+        double v = 0.0;
+        for (std::size_t j = i; j < end; ++j) {
+            t += points_[j].time;
+            v += points_[j].value;
+        }
+        const auto w = static_cast<double>(end - i);
+        out.push(t / w, v / w);
+    }
+    return out;
+}
+
+} // namespace csalt

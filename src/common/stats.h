@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Statistics primitives used across the simulator.
+ *
+ * Modules expose raw counters; these helpers aggregate them into the
+ * derived metrics the paper reports (MPKI, hit rates, geometric-mean
+ * speedups, time series of partition fractions).
+ */
+
+#ifndef CSALT_COMMON_STATS_H
+#define CSALT_COMMON_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csalt
+{
+
+/** Misses-per-kilo-instruction; 0 when no instructions retired. */
+double mpki(std::uint64_t misses, std::uint64_t instructions);
+
+/** hits / (hits + misses); 0 when no accesses. */
+double hitRate(std::uint64_t hits, std::uint64_t misses);
+
+/** Geometric mean of strictly positive values; 0 on empty input. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean; 0 on empty input. */
+double mean(const std::vector<double> &values);
+
+/**
+ * Running scalar summary (count/sum/min/max/mean).
+ *
+ * Used for distributions we only need coarse shape from, e.g. page
+ * walk cycles per L2 TLB miss (Table 1).
+ */
+class Accumulator
+{
+  public:
+    /** Record one sample. */
+    void add(double v);
+
+    /** Merge another accumulator into this one. */
+    void merge(const Accumulator &other);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A sampled time series, e.g. the fraction of cache ways allocated to
+ * translation entries over execution time (paper Figure 9).
+ */
+class TimeSeries
+{
+  public:
+    struct Point
+    {
+        double time; //!< normalised or absolute time stamp
+        double value;
+    };
+
+    /** Append one sample. */
+    void push(double time, double value);
+
+    const std::vector<Point> &points() const { return points_; }
+    bool empty() const { return points_.empty(); }
+
+    /** Mean of the sampled values; 0 when empty. */
+    double meanValue() const;
+
+    /**
+     * Downsample to at most n points by averaging fixed-width buckets
+     * (used when printing long traces in benches).
+     */
+    TimeSeries downsampled(std::size_t n) const;
+
+  private:
+    std::vector<Point> points_;
+};
+
+} // namespace csalt
+
+#endif // CSALT_COMMON_STATS_H

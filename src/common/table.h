@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Aligned text-table printer used by the benchmark harnesses.
+ *
+ * Every bench binary prints rows in the same layout as the paper's
+ * tables/figures so EXPERIMENTS.md can diff paper-vs-measured.
+ */
+
+#ifndef CSALT_COMMON_TABLE_H
+#define CSALT_COMMON_TABLE_H
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace csalt
+{
+
+/**
+ * A simple column-aligned table.
+ *
+ * Cells are strings; helpers format doubles with fixed precision.
+ * Output goes to std::cout via print().
+ */
+class TextTable
+{
+  public:
+    /** Construct with column headers. */
+    explicit TextTable(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {}
+
+    /** Begin a new row. Subsequent add() calls fill it left to right. */
+    TextTable &
+    row()
+    {
+        rows_.emplace_back();
+        return *this;
+    }
+
+    /** Append a string cell to the current row. */
+    TextTable &
+    add(const std::string &cell)
+    {
+        rows_.back().push_back(cell);
+        return *this;
+    }
+
+    /** Append a fixed-precision numeric cell to the current row. */
+    TextTable &
+    add(double value, int precision = 3)
+    {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(precision) << value;
+        return add(os.str());
+    }
+
+    /** Append an integer cell to the current row. */
+    TextTable &
+    add(std::uint64_t value)
+    {
+        return add(std::to_string(value));
+    }
+
+    /** Render the table to an output stream. */
+    void
+    print(std::ostream &os = std::cout) const
+    {
+        std::vector<std::size_t> width(headers_.size());
+        for (std::size_t c = 0; c < headers_.size(); ++c)
+            width[c] = headers_[c].size();
+        for (const auto &r : rows_)
+            for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+                width[c] = std::max(width[c], r[c].size());
+
+        auto emit = [&](const std::vector<std::string> &cells) {
+            for (std::size_t c = 0; c < width.size(); ++c) {
+                const std::string &s = c < cells.size() ? cells[c] : "";
+                os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+                   << s;
+            }
+            os << '\n';
+        };
+        emit(headers_);
+        std::string rule;
+        for (std::size_t c = 0; c < width.size(); ++c)
+            rule += std::string(width[c], '-') + "  ";
+        os << rule << '\n';
+        for (const auto &r : rows_)
+            emit(r);
+    }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace csalt
+
+#endif // CSALT_COMMON_TABLE_H

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fundamental simulator types shared by every CSALT module.
+ *
+ * The simulator models two address spaces per virtual-machine context
+ * (guest-virtual and guest-physical/host-virtual) plus a single
+ * host-physical space in which caches, DRAM, page tables and the
+ * POM-TLB live. All addresses are byte addresses in 64-bit space.
+ */
+
+#ifndef CSALT_COMMON_TYPES_H
+#define CSALT_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace csalt
+{
+
+/** Byte address (virtual or physical depending on context). */
+using Addr = std::uint64_t;
+
+/** Virtual page number (address >> page shift). */
+using Vpn = std::uint64_t;
+
+/** Physical frame number. */
+using Pfn = std::uint64_t;
+
+/** Simulated clock cycles (core clock, 4 GHz by default). */
+using Cycles = std::uint64_t;
+
+/** Address-space identifier tagging TLB entries across contexts. */
+using Asid = std::uint16_t;
+
+/** An invalid / "no address" marker. */
+inline constexpr Addr kInvalidAddr = ~Addr{0};
+
+/** Base-page geometry (x86-64 4KB pages). */
+inline constexpr unsigned kPageShift = 12;
+inline constexpr Addr kPageSize = Addr{1} << kPageShift;
+
+/** Huge-page geometry (x86-64 2MB pages). */
+inline constexpr unsigned kHugePageShift = 21;
+inline constexpr Addr kHugePageSize = Addr{1} << kHugePageShift;
+
+/** Cache line geometry (64B lines throughout). */
+inline constexpr unsigned kLineShift = 6;
+inline constexpr Addr kLineSize = Addr{1} << kLineShift;
+
+/** Page sizes supported by the TLBs and page tables. */
+enum class PageSize : std::uint8_t
+{
+    size4K,
+    size2M,
+};
+
+/** Shift amount for a PageSize. */
+constexpr unsigned
+pageShift(PageSize ps)
+{
+    return ps == PageSize::size4K ? kPageShift : kHugePageShift;
+}
+
+/** Byte size for a PageSize. */
+constexpr Addr
+pageBytes(PageSize ps)
+{
+    return Addr{1} << pageShift(ps);
+}
+
+/** Read/write flavour of a memory reference. */
+enum class AccessType : std::uint8_t
+{
+    read,
+    write,
+};
+
+/**
+ * Classification of a cache line's contents.
+ *
+ * CSALT partitions caches between ordinary data lines and
+ * "translation" lines (POM-TLB sets and page-table nodes). The
+ * classification is derived from the physical address range
+ * (see MemoryMap), mirroring the paper's implementation choice of
+ * reading tag bits rather than storing per-line metadata.
+ */
+enum class LineType : std::uint8_t
+{
+    data,
+    translation,
+};
+
+/** Name string for a LineType (for stats / debug output). */
+constexpr const char *
+lineTypeName(LineType t)
+{
+    return t == LineType::data ? "data" : "translation";
+}
+
+} // namespace csalt
+
+#endif // CSALT_COMMON_TYPES_H

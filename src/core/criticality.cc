@@ -1,0 +1,68 @@
+#include "core/criticality.h"
+
+#include <algorithm>
+
+namespace csalt
+{
+
+CriticalityEstimator::CriticalityEstimator(Cycles l3_latency,
+                                           double data_overlap)
+    : l3_latency_(l3_latency), data_overlap_(data_overlap)
+{
+}
+
+void
+CriticalityEstimator::recordDramLatency(Cycles lat)
+{
+    dram_.add(static_cast<double>(lat));
+}
+
+void
+CriticalityEstimator::recordPomLatency(Cycles lat)
+{
+    pom_.add(static_cast<double>(lat));
+}
+
+void
+CriticalityEstimator::recordWalkLatency(Cycles lat)
+{
+    walk_.add(static_cast<double>(lat));
+}
+
+void
+CriticalityEstimator::recordPomOutcome(bool hit)
+{
+    pom_lookups_ += 1.0;
+    if (hit)
+        pom_hits_ += 1.0;
+}
+
+CriticalityWeights
+CriticalityEstimator::weights() const
+{
+    CriticalityWeights w;
+    const double l3 = static_cast<double>(l3_latency_);
+    if (dram_.count >= 1.0)
+        w.s_dat = std::max(1.0, dram_.avg() / l3 / data_overlap_);
+    if (pom_.count >= 1.0) {
+        const double miss_rate =
+            pom_lookups_ > 0.0 ? 1.0 - pom_hits_ / pom_lookups_ : 0.0;
+        const double walk_cost =
+            walk_.count >= 1.0 ? walk_.avg() : 0.0;
+        w.s_tr =
+            std::max(1.0, (pom_.avg() + miss_rate * walk_cost) / l3);
+    }
+    return w;
+}
+
+void
+CriticalityEstimator::decay()
+{
+    dram_.decay();
+    pom_.decay();
+    walk_.decay();
+    pom_hits_ *= 0.5;
+    pom_lookups_ *= 0.5;
+}
+
+} // namespace csalt

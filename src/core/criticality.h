@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Runtime estimator of the criticality weights used by CSALT-CD
+ * (paper §3.2).
+ *
+ * The paper computes, from performance counters, the expected cycles
+ * an entry's L3 miss costs, relative to an L3 hit:
+ *   S_dat = avg_offchip_DRAM_latency / L3_latency
+ *   S_tr  = expected_translation_miss_cost / L3_latency, where the
+ *           expected cost is the POM-TLB (stacked-DRAM) access plus
+ *           the page-walk cost weighted by the measured POM-TLB miss
+ *           rate — the generalisation of the paper's "(TLB latency +
+ *           DRAM latency)" example using the same counters it names.
+ *
+ * Latencies are measured averages, accumulated with per-epoch decay
+ * so the weights track phase changes.
+ */
+
+#ifndef CSALT_CORE_CRITICALITY_H
+#define CSALT_CORE_CRITICALITY_H
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "core/marginal_utility.h"
+
+namespace csalt
+{
+
+/** Sliding estimator fed by the memory system. */
+class CriticalityEstimator
+{
+  public:
+    /**
+     * @param l3_latency hit latency the gains are normalised to
+     * @param data_overlap divisor on the data weight: data misses
+     *        overlap via MSHRs while translations block the pipeline
+     *        (paper §2.2), so a data miss's *effective* stall is its
+     *        latency over the memory-level parallelism
+     */
+    explicit CriticalityEstimator(Cycles l3_latency,
+                                  double data_overlap = 1.0);
+
+    /** Record one off-chip DRAM access latency (data miss path). */
+    void recordDramLatency(Cycles lat);
+
+    /** Record one POM-TLB (stacked DRAM) access latency. */
+    void recordPomLatency(Cycles lat);
+
+    /** Record one full page-walk latency. */
+    void recordWalkLatency(Cycles lat);
+
+    /** Record a POM-TLB lookup outcome (for the miss-rate term). */
+    void recordPomOutcome(bool hit);
+
+    /** Current weights; {1,1} until enough samples accumulate. */
+    CriticalityWeights weights() const;
+
+    /** Halve history at epoch boundaries (phase tracking). */
+    void decay();
+
+  private:
+    struct DecayingAvg
+    {
+        double sum = 0.0;
+        double count = 0.0;
+
+        void
+        add(double v)
+        {
+            sum += v;
+            count += 1.0;
+        }
+        void
+        decay()
+        {
+            sum *= 0.5;
+            count *= 0.5;
+        }
+        double
+        avg() const
+        {
+            return count > 0.0 ? sum / count : 0.0;
+        }
+    };
+
+    Cycles l3_latency_;
+    double data_overlap_;
+    DecayingAvg dram_;
+    DecayingAvg pom_;
+    DecayingAvg walk_;
+    double pom_hits_ = 0.0;
+    double pom_lookups_ = 0.0;
+};
+
+} // namespace csalt
+
+#endif // CSALT_CORE_CRITICALITY_H

@@ -1,0 +1,97 @@
+#include "core/csalt_controller.h"
+
+#include "common/log.h"
+
+namespace csalt
+{
+
+PartitionController::PartitionController(
+    Cache &cache, const PartitionParams &params,
+    const CriticalityEstimator *criticality)
+    : cache_(cache), params_(params), criticality_(criticality)
+{
+    switch (params_.policy) {
+      case PartitionPolicy::none:
+        break;
+      case PartitionPolicy::staticHalf:
+        cache_.enablePartitioning(params_.static_data_ways
+                                      ? params_.static_data_ways
+                                      : cache_.ways() / 2);
+        break;
+      case PartitionPolicy::csaltD:
+      case PartitionPolicy::csaltCD:
+        // Start from an even split; the first epoch corrects it.
+        cache_.enablePartitioning(cache_.ways() / 2);
+        if (!cache_.profiling())
+            cache_.enableProfiling();
+        break;
+    }
+    if (params_.policy == PartitionPolicy::csaltCD && !criticality_)
+        fatal("CSALT-CD requires a criticality estimator");
+}
+
+void
+PartitionController::onAccess(Cycles now)
+{
+    if (params_.policy != PartitionPolicy::csaltD &&
+        params_.policy != PartitionPolicy::csaltCD) {
+        return;
+    }
+    if (++accesses_in_epoch_ >= params_.epoch_accesses) {
+        accesses_in_epoch_ = 0;
+        repartition(now);
+    }
+}
+
+namespace
+{
+/** Below this share of epoch traffic a class gets only min ways. */
+constexpr double kNegligibleTraffic = 0.02;
+} // namespace
+
+void
+PartitionController::repartition(Cycles now)
+{
+    if (params_.policy != PartitionPolicy::csaltD &&
+        params_.policy != PartitionPolicy::csaltCD) {
+        return;
+    }
+
+    last_weights_ = CriticalityWeights{};
+    if (params_.policy == PartitionPolicy::csaltCD)
+        last_weights_ = criticality_->weights();
+
+    // Guard: when one traffic class is negligible this epoch, give
+    // it the minimum reservation outright — the marginal-utility
+    // comparison over near-zero counters would otherwise wander on
+    // noise and tax the dominant class for nothing.
+    const StackDistProfiler &data = cache_.dataProfiler();
+    const StackDistProfiler &tlb = cache_.tlbProfiler();
+    const std::uint64_t total = data.total() + tlb.total();
+    const double tlb_frac =
+        total ? static_cast<double>(tlb.total()) / total : 0.0;
+
+    unsigned data_ways;
+    if (tlb_frac < kNegligibleTraffic) {
+        data_ways = cache_.ways() - params_.min_ways_per_type;
+    } else if (tlb_frac > 1.0 - kNegligibleTraffic) {
+        data_ways = params_.min_ways_per_type;
+    } else {
+        data_ways = bestPartition(data, tlb, cache_.ways(),
+                                  params_.min_ways_per_type,
+                                  last_weights_)
+                        .data_ways;
+    }
+    cache_.setDataWays(data_ways);
+
+    ++epochs_;
+    trace_.push(now ? static_cast<double>(now)
+                    : static_cast<double>(epochs_),
+                static_cast<double>(data_ways));
+
+    // Fresh profile for the next epoch (phase tracking).
+    cache_.dataProfiler().reset();
+    cache_.tlbProfiler().reset();
+}
+
+} // namespace csalt

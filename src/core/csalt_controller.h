@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The per-cache CSALT partition controller (paper §3.1-§3.2, Fig. 6).
+ *
+ * One controller governs one cache. Every access ticks the epoch
+ * counter; at each epoch boundary the controller evaluates the
+ * marginal utility of every candidate split over the cache's data
+ * and TLB stack-distance profilers — optionally scaled by the
+ * criticality weights — applies the argmax, and resets the profilers
+ * for the next epoch.
+ */
+
+#ifndef CSALT_CORE_CSALT_CONTROLLER_H
+#define CSALT_CORE_CSALT_CONTROLLER_H
+
+#include <cstdint>
+
+#include "cache/cache.h"
+#include "common/config.h"
+#include "common/stats.h"
+#include "core/criticality.h"
+#include "core/marginal_utility.h"
+
+namespace csalt
+{
+
+/** Epoch-driven dynamic way-partition controller for one cache. */
+class PartitionController
+{
+  public:
+    /**
+     * @param cache governed cache (profiling + partitioning enabled
+     *        here when the policy requires them)
+     * @param params policy / epoch length / minimum ways
+     * @param criticality weight source for CSALT-CD; may be nullptr
+     *        for CSALT-D and static policies
+     */
+    PartitionController(Cache &cache, const PartitionParams &params,
+                        const CriticalityEstimator *criticality);
+
+    /**
+     * Tick on each access to the governed cache; triggers the
+     * repartition at epoch boundaries.
+     * @param now current time (timestamps the Fig. 9 trace)
+     */
+    void onAccess(Cycles now = 0);
+
+    /** Force an immediate repartition (epoch boundary). */
+    void repartition(Cycles now = 0);
+
+    PartitionPolicy policy() const { return params_.policy; }
+    std::uint64_t epochsCompleted() const { return epochs_; }
+
+    /** data-way count chosen at each epoch (paper Fig. 9 trace). */
+    const TimeSeries &partitionTrace() const { return trace_; }
+
+    /** Drop the recorded trace (end of warmup). */
+    void clearTrace() { trace_ = TimeSeries{}; }
+
+    /** Weights used at the most recent epoch (CSALT-CD diagnostics). */
+    CriticalityWeights lastWeights() const { return last_weights_; }
+
+  private:
+    Cache &cache_;
+    PartitionParams params_;
+    const CriticalityEstimator *criticality_;
+    std::uint64_t accesses_in_epoch_ = 0;
+    std::uint64_t epochs_ = 0;
+    TimeSeries trace_;
+    CriticalityWeights last_weights_;
+};
+
+} // namespace csalt
+
+#endif // CSALT_CORE_CSALT_CONTROLLER_H

@@ -1,0 +1,40 @@
+#include "core/marginal_utility.h"
+
+#include "common/log.h"
+
+namespace csalt
+{
+
+double
+marginalUtility(const StackDistProfiler &data,
+                const StackDistProfiler &tlb, unsigned data_ways,
+                unsigned total_ways, const CriticalityWeights &weights)
+{
+    if (data_ways > total_ways)
+        panic("marginalUtility: data_ways > total_ways");
+    const unsigned tlb_ways = total_ways - data_ways;
+    return weights.s_dat * static_cast<double>(data.hitsUpTo(data_ways)) +
+           weights.s_tr * static_cast<double>(tlb.hitsUpTo(tlb_ways));
+}
+
+PartitionChoice
+bestPartition(const StackDistProfiler &data, const StackDistProfiler &tlb,
+              unsigned total_ways, unsigned min_ways,
+              const CriticalityWeights &weights)
+{
+    if (min_ways == 0 || 2 * min_ways > total_ways)
+        panic("bestPartition: bad min_ways");
+
+    PartitionChoice best;
+    for (unsigned n = min_ways; n <= total_ways - min_ways; ++n) {
+        const double mu =
+            marginalUtility(data, tlb, n, total_ways, weights);
+        if (best.data_ways == 0 || mu >= best.utility) {
+            best.data_ways = n;
+            best.utility = mu;
+        }
+    }
+    return best;
+}
+
+} // namespace csalt

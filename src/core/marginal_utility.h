@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Marginal-utility computation over data/TLB stack-distance profiles
+ * — paper Algorithms 1 & 2 (Eq. 1) and their criticality-weighted
+ * variant, Algorithm 3 (Eq. 2).
+ *
+ * For a K-way cache and a candidate split giving N ways to data,
+ *   MU(N)   =        sum_{i<N} D_LRU(i) +        sum_{j<K-N} T_LRU(j)
+ *   CWMU(N) = S_dat * sum_{i<N} D_LRU(i) + S_tr * sum_{j<K-N} T_LRU(j)
+ * and the controller picks argmax over N in [min, K-min].
+ */
+
+#ifndef CSALT_CORE_MARGINAL_UTILITY_H
+#define CSALT_CORE_MARGINAL_UTILITY_H
+
+#include "cache/stack_dist.h"
+
+namespace csalt
+{
+
+/** Relative benefit of a hit, per entry type (paper §3.2). */
+struct CriticalityWeights
+{
+    double s_dat = 1.0;
+    double s_tr = 1.0;
+};
+
+/**
+ * Weighted marginal utility of giving @p data_ways of @p total_ways
+ * to data (Algorithm 2 / Algorithm 3).
+ */
+double marginalUtility(const StackDistProfiler &data,
+                       const StackDistProfiler &tlb, unsigned data_ways,
+                       unsigned total_ways,
+                       const CriticalityWeights &weights = {});
+
+/** Result of the argmax over candidate partitions (Algorithm 1). */
+struct PartitionChoice
+{
+    unsigned data_ways = 0;
+    double utility = 0.0;
+};
+
+/**
+ * Evaluate every split N in [min_ways, total-min_ways] and return the
+ * best (ties break toward more data ways, matching a scan from Nmin
+ * upward that keeps strictly better candidates).
+ */
+PartitionChoice bestPartition(const StackDistProfiler &data,
+                              const StackDistProfiler &tlb,
+                              unsigned total_ways, unsigned min_ways,
+                              const CriticalityWeights &weights = {});
+
+} // namespace csalt
+
+#endif // CSALT_CORE_MARGINAL_UTILITY_H

@@ -1,0 +1,64 @@
+#include "mem/dram.h"
+
+#include <algorithm>
+
+namespace csalt
+{
+
+DramChannel::DramChannel(const DramParams &params)
+    : params_(params), banks_(params.banks)
+{
+}
+
+void
+DramChannel::drainTo(Cycles now)
+{
+    if (now <= drain_time_)
+        return; // out-of-order arrival: see the current backlog
+    const auto elapsed = static_cast<double>(now - drain_time_);
+    drain_time_ = now;
+    channel_backlog_ = std::max(0.0, channel_backlog_ - elapsed);
+    for (auto &bank : banks_)
+        bank.backlog = std::max(0.0, bank.backlog - elapsed);
+}
+
+Cycles
+DramChannel::access(Addr addr, Cycles now)
+{
+    // Row-interleaved mapping: consecutive rows rotate across banks.
+    const std::uint64_t row_global = addr / params_.row_bytes;
+    const std::uint64_t bank_idx = row_global % params_.banks;
+    const std::uint64_t row = row_global / params_.banks;
+
+    drainTo(now);
+    Bank &bank = banks_[bank_idx];
+
+    Cycles row_latency;
+    if (bank.any_open && bank.open_row == row) {
+        row_latency = params_.tcas;
+        ++stats_.row_hits;
+    } else if (bank.any_open) {
+        row_latency = params_.trp + params_.trcd + params_.tcas;
+        ++stats_.row_conflicts;
+    } else {
+        row_latency = params_.trcd + params_.tcas;
+        ++stats_.row_cold;
+    }
+    bank.open_row = row;
+    bank.any_open = true;
+
+    // Wait behind outstanding work: the bank must finish its queue
+    // and the channel must have a free burst slot.
+    const double queue =
+        std::max(bank.backlog, channel_backlog_);
+    const Cycles service = row_latency + params_.burst;
+    bank.backlog = queue + static_cast<double>(service);
+    channel_backlog_ += static_cast<double>(params_.burst);
+
+    ++stats_.accesses;
+    stats_.queue_wait_cycles += static_cast<Cycles>(queue);
+    stats_.service_cycles += service + params_.overhead;
+    return static_cast<Cycles>(queue) + service + params_.overhead;
+}
+
+} // namespace csalt

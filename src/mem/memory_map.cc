@@ -1,0 +1,20 @@
+#include "mem/memory_map.h"
+
+#include "common/log.h"
+
+namespace csalt
+{
+
+MemoryMap::MemoryMap(std::uint64_t data_bytes, std::uint64_t pt_bytes,
+                     std::uint64_t pom_bytes)
+    : data_bytes_(data_bytes), pt_bytes_(pt_bytes), pom_bytes_(pom_bytes)
+{
+    if (data_bytes % kPageSize || pt_bytes % kPageSize ||
+        pom_bytes % kPageSize) {
+        fatal("MemoryMap ranges must be page aligned");
+    }
+    if (data_bytes == 0 || pt_bytes == 0)
+        fatal("MemoryMap: data and page-table ranges must be nonzero");
+}
+
+} // namespace csalt

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Host-physical address-space layout.
+ *
+ * Three disjoint ranges:
+ *   [0, data)                ordinary data pages, off-chip DDR4
+ *   [data, data+pt)          page-table pages, off-chip DDR4
+ *   [data+pt, data+pt+pom)   the POM-TLB, die-stacked DRAM
+ *
+ * The cache controller classifies a line as data vs translation by
+ * address range (paper §3.1, "Classifying Addresses as Data or TLB"
+ * — the tag-inspection option that needs no extra metadata).
+ */
+
+#ifndef CSALT_MEM_MEMORY_MAP_H
+#define CSALT_MEM_MEMORY_MAP_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace csalt
+{
+
+/** Which DRAM device backs an address. */
+enum class Backing : std::uint8_t
+{
+    offChip, //!< DDR4-2133
+    stacked, //!< die-stacked DRAM (holds the POM-TLB)
+};
+
+/** Immutable description of the physical address space. */
+class MemoryMap
+{
+  public:
+    /**
+     * @param data_bytes size of the ordinary-data range
+     * @param pt_bytes size of the page-table range
+     * @param pom_bytes size of the POM-TLB range
+     */
+    MemoryMap(std::uint64_t data_bytes, std::uint64_t pt_bytes,
+              std::uint64_t pom_bytes);
+
+    Addr dataBase() const { return 0; }
+    Addr dataLimit() const { return data_bytes_; }
+    Addr ptBase() const { return data_bytes_; }
+    Addr ptLimit() const { return data_bytes_ + pt_bytes_; }
+    Addr pomBase() const { return data_bytes_ + pt_bytes_; }
+    Addr pomLimit() const { return data_bytes_ + pt_bytes_ + pom_bytes_; }
+
+    bool inData(Addr a) const { return a < dataLimit(); }
+    bool inPageTable(Addr a) const
+    {
+        return a >= ptBase() && a < ptLimit();
+    }
+    bool inPom(Addr a) const { return a >= pomBase() && a < pomLimit(); }
+
+    /** Data vs translation classification for cache partitioning. */
+    LineType classify(Addr a) const
+    {
+        return inData(a) ? LineType::data : LineType::translation;
+    }
+
+    /** Which DRAM device services a physical address. */
+    Backing backingOf(Addr a) const
+    {
+        return inPom(a) ? Backing::stacked : Backing::offChip;
+    }
+
+  private:
+    std::uint64_t data_bytes_;
+    std::uint64_t pt_bytes_;
+    std::uint64_t pom_bytes_;
+};
+
+} // namespace csalt
+
+#endif // CSALT_MEM_MEMORY_MAP_H

@@ -1,0 +1,55 @@
+#include "mem/phys_alloc.h"
+
+#include "common/log.h"
+
+namespace csalt
+{
+
+FrameAllocator::FrameAllocator(Addr base, Addr limit,
+                               std::uint64_t seed, double huge_share)
+    : base_(base), limit_(limit), rng_(seed)
+{
+    if (base % kPageSize || limit % kPageSize || limit <= base)
+        fatal("FrameAllocator: bad range");
+    if (huge_share < 0.0 || huge_share > 1.0)
+        fatal("FrameAllocator: huge_share out of [0,1]");
+
+    // Reserve the top of the range (rounded to 2MB) for huge frames.
+    const Addr span = limit - base;
+    Addr huge_bytes =
+        static_cast<Addr>(static_cast<double>(span) * huge_share);
+    huge_bytes &= ~(kHugePageSize - 1);
+    const Addr small_limit = limit - huge_bytes;
+
+    small_frames_ = (small_limit - base) >> kPageShift;
+    small_used_.assign(small_frames_, false);
+    huge_next_ = limit & ~(kHugePageSize - 1);
+}
+
+Addr
+FrameAllocator::alloc4K()
+{
+    if (small_count_ >= small_frames_)
+        fatal("FrameAllocator: out of 4KB frames");
+    std::uint64_t idx = rng_.below(small_frames_);
+    while (small_used_[idx])
+        idx = (idx + 1) % small_frames_;
+    small_used_[idx] = true;
+    ++small_count_;
+    allocated_bytes_ += kPageSize;
+    return base_ + (idx << kPageShift);
+}
+
+Addr
+FrameAllocator::alloc2M()
+{
+    const Addr small_limit =
+        base_ + (small_frames_ << kPageShift);
+    if (huge_next_ < small_limit + kHugePageSize)
+        fatal("FrameAllocator: out of 2MB frames");
+    huge_next_ -= kHugePageSize;
+    allocated_bytes_ += kHugePageSize;
+    return huge_next_;
+}
+
+} // namespace csalt

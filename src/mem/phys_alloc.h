@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic pseudo-random physical frame allocator.
+ *
+ * Real OS allocators hand out frames with little spatial correlation
+ * to virtual order, which is what spreads cache/DRAM-bank indices.
+ * We reproduce that by hashing an allocation counter into the frame
+ * space and linear-probing a free bitmap. 2MB (huge) frames come from
+ * the top of the range, 4KB frames from the bottom, so both stay
+ * aligned without fragmentation bookkeeping.
+ */
+
+#ifndef CSALT_MEM_PHYS_ALLOC_H
+#define CSALT_MEM_PHYS_ALLOC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace csalt
+{
+
+/** Allocator over [base, limit) handing out 4KB and 2MB frames. */
+class FrameAllocator
+{
+  public:
+    /**
+     * @param base start of the managed range (page aligned)
+     * @param limit end of the managed range (page aligned)
+     * @param seed determinism seed
+     * @param huge_share fraction of the range reserved for 2MB
+     *        frames (0 for pools that only ever serve 4KB frames,
+     *        e.g. page-table nodes)
+     */
+    FrameAllocator(Addr base, Addr limit, std::uint64_t seed,
+                   double huge_share = 0.5);
+
+    /** Allocate one 4KB frame; fatal() when exhausted. */
+    Addr alloc4K();
+
+    /** Allocate one 2MB-aligned huge frame; fatal() when exhausted. */
+    Addr alloc2M();
+
+    /** Bytes handed out so far. */
+    std::uint64_t allocatedBytes() const { return allocated_bytes_; }
+
+    /** Total manageable bytes. */
+    std::uint64_t capacityBytes() const { return limit_ - base_; }
+
+  private:
+    Addr base_;
+    Addr limit_;
+    Rng rng_;
+    std::uint64_t small_frames_;    //!< number of 4KB slots
+    std::vector<bool> small_used_;  //!< bitmap over 4KB slots
+    std::uint64_t small_count_ = 0; //!< 4KB slots in use
+    Addr huge_next_;                //!< bump pointer, top-down, 2MB step
+    std::uint64_t allocated_bytes_ = 0;
+};
+
+} // namespace csalt
+
+#endif // CSALT_MEM_PHYS_ALLOC_H

@@ -1,0 +1,15 @@
+#include "sim/context.h"
+
+#include "common/log.h"
+
+namespace csalt
+{
+
+SimContext::SimContext(VmContext *vm, std::unique_ptr<TraceSource> trace)
+    : vm_(vm), trace_(std::move(trace))
+{
+    if (!vm_ || !trace_)
+        panic("SimContext requires a VM and a trace");
+}
+
+} // namespace csalt

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * A schedulable context: one VM's thread on one core.
+ *
+ * All threads of a VM share a VmContext (address space, ASID); each
+ * (VM, core) pair owns its trace stream. A core rotates through its
+ * contexts on the context-switch interval.
+ */
+
+#ifndef CSALT_SIM_CONTEXT_H
+#define CSALT_SIM_CONTEXT_H
+
+#include <memory>
+
+#include "vm/address_space.h"
+#include "workloads/trace_source.h"
+
+namespace csalt
+{
+
+/** One VM thread bound to one core. */
+class SimContext
+{
+  public:
+    /**
+     * @param vm shared address space of the VM (not owned)
+     * @param trace this thread's reference stream (owned)
+     */
+    SimContext(VmContext *vm, std::unique_ptr<TraceSource> trace);
+
+    VmContext &vm() { return *vm_; }
+    TraceSource &trace() { return *trace_; }
+    Asid asid() const { return vm_->asid(); }
+
+  private:
+    VmContext *vm_;
+    std::unique_ptr<TraceSource> trace_;
+};
+
+} // namespace csalt
+
+#endif // CSALT_SIM_CONTEXT_H

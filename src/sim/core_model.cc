@@ -1,0 +1,139 @@
+#include "sim/core_model.h"
+
+#include "common/log.h"
+
+namespace csalt
+{
+
+CoreModel::CoreModel(unsigned id, const SystemParams &params,
+                     MemorySystem &mem)
+    : id_(id), params_(params), mem_(mem), tlbs_(params),
+      mmu_(params.psc), next_switch_(params.cs_interval)
+{
+    walker_ = std::make_unique<PageWalker>(id_, mmu_, mem_);
+}
+
+CoreModel::~CoreModel() = default;
+
+void
+CoreModel::setContexts(std::vector<std::unique_ptr<SimContext>> contexts)
+{
+    if (contexts.empty())
+        fatal("core needs at least one context");
+    contexts_ = std::move(contexts);
+    ctx_stats_.assign(contexts_.size(), ContextStats{});
+    current_ = 0;
+}
+
+void
+CoreModel::maybeContextSwitch()
+{
+    if (contexts_.size() < 2)
+        return;
+    if (clock() < next_switch_)
+        return;
+    current_ = (current_ + 1) % contexts_.size();
+    cycles_ += static_cast<double>(params_.core.cs_penalty);
+    next_switch_ += params_.cs_interval;
+    ++stats_.context_switches;
+}
+
+Cycles
+CoreModel::translate(SimContext &ctx, Addr gva, Mapping &out)
+{
+    VmContext &vm = ctx.vm();
+
+    // Demand-map before any simulated lookup so page tables exist.
+    out = vm.mappingOf(gva);
+
+    const Cycles now = clock();
+    TlbLookupResult tlb = tlbs_.lookup(vm.asid(), gva);
+    if (tlb.l1_hit || tlb.l2_hit) {
+        out = tlb.mapping;
+        return tlb.latency;
+    }
+    ++ctx_stats_[current_].l2_tlb_misses;
+    Cycles lat = tlb.latency; // the L2 TLB miss probe
+
+    switch (params_.translation) {
+      case TranslationKind::pomTlb: {
+        const auto pom = mem_.pomLookup(id_, vm.asid(), gva,
+                                        size_predictor_, now + lat);
+        lat += pom.latency;
+        if (pom.hit) {
+            out = pom.mapping;
+            tlbs_.fill(vm.asid(), gva, out);
+            return lat;
+        }
+        const auto walk = walker_->walk(vm, gva, now + lat);
+        lat += walk.latency;
+        ++stats_.walks;
+        stats_.walk_cycles += walk.latency;
+        mem_.recordWalk(walk.latency);
+        out = walk.mapping;
+        size_predictor_.update(gva, out.ps);
+        mem_.pomInsert(vm.asid(), gva, out);
+        tlbs_.fill(vm.asid(), gva, out);
+        return lat;
+      }
+      case TranslationKind::tsb: {
+        const auto tsb = mem_.tsbLookup(id_, vm, gva, now + lat);
+        lat += tsb.latency;
+        if (tsb.hit) {
+            out = tsb.mapping;
+            tlbs_.fill(vm.asid(), gva, out);
+            return lat;
+        }
+        const auto walk = walker_->walk(vm, gva, now + lat);
+        lat += walk.latency;
+        ++stats_.walks;
+        stats_.walk_cycles += walk.latency;
+        mem_.recordWalk(walk.latency);
+        out = walk.mapping;
+        mem_.tsbInsert(vm, gva, out);
+        tlbs_.fill(vm.asid(), gva, out);
+        return lat;
+      }
+      case TranslationKind::conventional:
+      default: {
+        const auto walk = walker_->walk(vm, gva, now + lat);
+        lat += walk.latency;
+        ++stats_.walks;
+        stats_.walk_cycles += walk.latency;
+        mem_.recordWalk(walk.latency);
+        out = walk.mapping;
+        tlbs_.fill(vm.asid(), gva, out);
+        return lat;
+      }
+    }
+}
+
+void
+CoreModel::step()
+{
+    maybeContextSwitch();
+
+    SimContext &ctx = *contexts_[current_];
+    const TraceRecord rec = ctx.trace().next();
+
+    cycles_ += params_.core.base_cpi * rec.icount;
+    stats_.instructions += rec.icount;
+    ++stats_.memrefs;
+    ctx_stats_[current_].instructions += rec.icount;
+    ++ctx_stats_[current_].memrefs;
+
+    Mapping mapping;
+    const Cycles tlat = translate(ctx, rec.vaddr, mapping);
+    cycles_ += static_cast<double>(tlat);
+    stats_.translation_cycles += tlat;
+
+    const Addr hpa =
+        mapping.frame + (rec.vaddr & (pageBytes(mapping.ps) - 1));
+    const Cycles dlat = mem_.dataAccess(id_, hpa, rec.type, clock());
+    const double charged =
+        static_cast<double>(dlat) / params_.core.mlp;
+    cycles_ += charged;
+    stats_.data_cycles += static_cast<Cycles>(charged);
+}
+
+} // namespace csalt

@@ -1,0 +1,246 @@
+#include "sim/memory_system.h"
+
+#include "common/log.h"
+
+namespace csalt
+{
+
+MemorySystem::MemorySystem(const SystemParams &params)
+    : params_(params),
+      map_(params.ranges.data_bytes, params.ranges.pt_bytes,
+           params.pom.size_bytes)
+{
+    validate(params_);
+
+    data_frames_ = std::make_unique<FrameAllocator>(
+        map_.dataBase(), map_.dataLimit(), params_.seed * 31 + 1);
+
+    // The TSB arrays are carved from the head of the page-table
+    // range; table nodes are allocated behind them.
+    const std::uint64_t tsb_reserve =
+        params_.max_asids * Tsb::bytesPerAsid(params_.tsb);
+    if (map_.ptBase() + tsb_reserve >= map_.ptLimit())
+        fatal("page-table range too small for the TSB arrays");
+    pt_frames_ = std::make_unique<FrameAllocator>(
+        map_.ptBase() + tsb_reserve, map_.ptLimit(),
+        params_.seed * 31 + 2, /*huge_share=*/0.0);
+    tsb_ = std::make_unique<Tsb>(params_.tsb, map_.ptBase(),
+                                 params_.max_asids);
+
+    pom_ = std::make_unique<PomTlb>(params_.pom, map_.pomBase());
+
+    for (unsigned c = 0; c < params_.num_cores; ++c) {
+        l1d_.push_back(std::make_unique<Cache>(params_.l1d));
+        l2_.push_back(std::make_unique<Cache>(params_.l2));
+    }
+    l3_ = std::make_unique<Cache>(params_.l3);
+
+    ddr_ = std::make_unique<DramChannel>(params_.ddr);
+    stacked_ = std::make_unique<DramChannel>(params_.stacked);
+
+    l2_crit_ = std::make_unique<CriticalityEstimator>(
+        params_.l2.latency, params_.core.mlp);
+    l3_crit_ = std::make_unique<CriticalityEstimator>(
+        params_.l3.latency, params_.core.mlp);
+
+    for (unsigned c = 0; c < params_.num_cores; ++c) {
+        l2_ctl_.push_back(std::make_unique<PartitionController>(
+            *l2_[c], params_.l2_partition, l2_crit_.get()));
+        l2_occ_.push_back(std::make_unique<OccupancySampler>(*l2_[c]));
+    }
+    l3_ctl_ = std::make_unique<PartitionController>(
+        *l3_, params_.l3_partition, l3_crit_.get());
+    l3_occ_ = std::make_unique<OccupancySampler>(*l3_);
+}
+
+MemorySystem::~MemorySystem() = default;
+
+Cycles
+MemorySystem::dramAccess(Addr hpa, Cycles now)
+{
+    return map_.backingOf(hpa) == Backing::stacked
+               ? stacked_->access(hpa, now)
+               : ddr_->access(hpa, now);
+}
+
+void
+MemorySystem::writeback(unsigned core, const Victim &victim,
+                        unsigned from_level, Cycles now)
+{
+    if (from_level < 2 &&
+        l2_[core]->markDirtyIfPresent(victim.line_addr)) {
+        return;
+    }
+    if (from_level < 3 && l3_->markDirtyIfPresent(victim.line_addr))
+        return;
+    // Off the critical path: occupy the channel, charge nobody.
+    dramAccess(victim.line_addr, now);
+}
+
+Cycles
+MemorySystem::dataAccess(unsigned core, Addr hpa, AccessType type,
+                         Cycles now)
+{
+    const LineType lt = map_.classify(hpa);
+
+    Cycles lat = l1d_[core]->latency();
+    const auto r1 = l1d_[core]->access(hpa, type, lt);
+    if (r1.hit)
+        return lat;
+    if (r1.victim.valid && r1.victim.dirty)
+        writeback(core, r1.victim, 1, now + lat);
+
+    lat += l2_[core]->latency();
+    l2_ctl_[core]->onAccess(now);
+    const auto r2 = l2_[core]->access(hpa, AccessType::read, lt);
+    if (r2.victim.valid && r2.victim.dirty)
+        writeback(core, r2.victim, 2, now + lat);
+    if (r2.hit)
+        return lat;
+    const Cycles beyond_l2_base = lat;
+
+    lat += l3_->latency();
+    l3_ctl_->onAccess(now);
+    const auto r3 = l3_->access(hpa, AccessType::read, lt);
+    if (r3.victim.valid && r3.victim.dirty)
+        writeback(core, r3.victim, 3, now + lat);
+    if (!r3.hit) {
+        const Cycles dlat = dramAccess(hpa, now + lat);
+        lat += dlat;
+        l3_crit_->recordDramLatency(dlat);
+    }
+    l2_crit_->recordDramLatency(lat - beyond_l2_base);
+    return lat;
+}
+
+Cycles
+MemorySystem::translationAccess(unsigned core, Addr hpa, Cycles now)
+{
+    const LineType lt = map_.classify(hpa);
+    if (lt != LineType::translation)
+        panic(msgOf("translationAccess to data address ", hpa));
+
+    Cycles lat = l2_[core]->latency();
+    l2_ctl_[core]->onAccess(now);
+    const auto r2 = l2_[core]->access(hpa, AccessType::read, lt);
+    if (r2.victim.valid && r2.victim.dirty)
+        writeback(core, r2.victim, 2, now + lat);
+    if (r2.hit)
+        return lat;
+    const Cycles beyond_l2_base = lat;
+
+    lat += l3_->latency();
+    l3_ctl_->onAccess(now);
+    const auto r3 = l3_->access(hpa, AccessType::read, lt);
+    if (r3.victim.valid && r3.victim.dirty)
+        writeback(core, r3.victim, 3, now + lat);
+    if (!r3.hit) {
+        const Cycles dlat = dramAccess(hpa, now + lat);
+        lat += dlat;
+        l3_crit_->recordPomLatency(dlat);
+    }
+    l2_crit_->recordPomLatency(lat - beyond_l2_base);
+    return lat;
+}
+
+MemorySystem::PomResult
+MemorySystem::pomLookup(unsigned core, Asid asid, Addr gva,
+                        PageSizePredictor &predictor, Cycles now)
+{
+    PomResult res;
+    ++pom_stats_.lookups;
+
+    const PageSize first = predictor.predict(gva);
+    const auto p1 = pom_->probe(asid, gva, first);
+    res.latency += translationAccess(core, p1.line_addr, now);
+    if (p1.hit) {
+        res.hit = true;
+        res.mapping = p1.mapping;
+    } else {
+        // Mispredicted size or genuine miss: probe the other set.
+        const PageSize second = first == PageSize::size4K
+                                    ? PageSize::size2M
+                                    : PageSize::size4K;
+        ++pom_stats_.second_probes;
+        const auto p2 = pom_->probe(asid, gva, second);
+        res.latency +=
+            translationAccess(core, p2.line_addr, now + res.latency);
+        if (p2.hit) {
+            res.hit = true;
+            res.mapping = p2.mapping;
+        }
+    }
+
+    if (res.hit) {
+        ++pom_stats_.hits;
+        predictor.update(gva, res.mapping.ps);
+    }
+    l2_crit_->recordPomOutcome(res.hit);
+    l3_crit_->recordPomOutcome(res.hit);
+    return res;
+}
+
+void
+MemorySystem::pomInsert(Asid asid, Addr gva, const Mapping &mapping)
+{
+    pom_->insert(asid, gva, mapping);
+}
+
+MemorySystem::TsbResult
+MemorySystem::tsbLookup(unsigned core, VmContext &ctx, Addr gva,
+                        Cycles now)
+{
+    TsbResult res;
+    const auto plan = tsb_->lookup(ctx, gva);
+    for (unsigned i = 0; i < plan.num_probes; ++i) {
+        res.latency += translationAccess(core, plan.probe_addrs[i],
+                                         now + res.latency);
+    }
+    res.hit = plan.hit;
+    res.mapping = plan.mapping;
+    l2_crit_->recordPomOutcome(res.hit);
+    l3_crit_->recordPomOutcome(res.hit);
+    return res;
+}
+
+void
+MemorySystem::tsbInsert(VmContext &ctx, Addr gva, const Mapping &mapping)
+{
+    tsb_->insert(ctx, gva, mapping);
+}
+
+void
+MemorySystem::recordWalk(Cycles latency)
+{
+    l2_crit_->recordWalkLatency(latency);
+    l3_crit_->recordWalkLatency(latency);
+}
+
+void
+MemorySystem::clearAllStats()
+{
+    for (unsigned c = 0; c < numCores(); ++c) {
+        l1d_[c]->clearStats();
+        l2_[c]->clearStats();
+        l2_occ_[c]->reset();
+        l2_ctl_[c]->clearTrace();
+    }
+    l3_->clearStats();
+    l3_occ_->reset();
+    l3_ctl_->clearTrace();
+    ddr_->clearStats();
+    stacked_->clearStats();
+    pom_->clearStats();
+    tsb_->clearStats();
+    pom_stats_ = PomLookupStats{};
+}
+
+void
+MemorySystem::sampleOccupancy(double time)
+{
+    for (auto &occ : l2_occ_)
+        occ->sample(time);
+    l3_occ_->sample(time);
+}
+
+} // namespace csalt

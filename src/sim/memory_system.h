@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The full memory hierarchy: per-core L1D/L2, shared L3, two DRAM
+ * channels, the POM-TLB, the TSB arrays, page-table/frame allocators,
+ * and the CSALT partition controllers — wired per paper Fig. 4/6.
+ *
+ * Latency accumulates along the demand path. Writebacks are modelled
+ * off the critical path: a dirty victim is absorbed by the next level
+ * that holds the line, or occupies the DRAM channel.
+ *
+ * Two access flavours exist, matching the paper's flowchart:
+ *  - dataAccess():  L1D -> L2 -> L3 -> off-chip DRAM
+ *  - translationAccess(): L2 -> L3 -> backing DRAM (stacked for POM
+ *    lines, off-chip for page-table lines); this is the path taken by
+ *    POM-TLB set probes, TSB probes and page-walk PTE reads.
+ */
+
+#ifndef CSALT_SIM_MEMORY_SYSTEM_H
+#define CSALT_SIM_MEMORY_SYSTEM_H
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.h"
+#include "cache/occupancy.h"
+#include "common/config.h"
+#include "core/criticality.h"
+#include "core/csalt_controller.h"
+#include "mem/dram.h"
+#include "mem/memory_map.h"
+#include "mem/phys_alloc.h"
+#include "tlb/pom_tlb.h"
+#include "tlb/tsb.h"
+#include "vm/page_walker.h"
+
+namespace csalt
+{
+
+/** Lookup-level POM-TLB counters (a lookup may probe two sets). */
+struct PomLookupStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t second_probes = 0;
+
+    double
+    hitRate() const
+    {
+        return lookups ? static_cast<double>(hits) / lookups : 0.0;
+    }
+};
+
+/** The complete memory side of the simulated machine. */
+class MemorySystem : public TranslationMemIf
+{
+  public:
+    explicit MemorySystem(const SystemParams &params);
+    ~MemorySystem() override;
+
+    // ------------------------------------------------- demand paths
+
+    /** Core data reference (full hierarchy). @return latency. */
+    Cycles dataAccess(unsigned core, Addr hpa, AccessType type,
+                      Cycles now);
+
+    /** Cacheable translation reference (POM/TSB/PTE). @return latency. */
+    Cycles translationAccess(unsigned core, Addr hpa,
+                             Cycles now) override;
+
+    // --------------------------------------------------- POM-TLB path
+
+    struct PomResult
+    {
+        bool hit = false;
+        Mapping mapping;
+        Cycles latency = 0;
+    };
+
+    /**
+     * Full POM-TLB lookup: predict page size, probe (cacheably) the
+     * predicted set, probe the other size on a functional miss.
+     */
+    PomResult pomLookup(unsigned core, Asid asid, Addr gva,
+                        PageSizePredictor &predictor, Cycles now);
+
+    /** Install a walk result into the POM-TLB (functional). */
+    void pomInsert(Asid asid, Addr gva, const Mapping &mapping);
+
+    // ------------------------------------------------------ TSB path
+
+    struct TsbResult
+    {
+        bool hit = false;
+        Mapping mapping;
+        Cycles latency = 0;
+    };
+
+    /** TSB lookup: 1 (native) or up to 2 (virtualized) probes. */
+    TsbResult tsbLookup(unsigned core, VmContext &ctx, Addr gva,
+                        Cycles now);
+
+    /** Fill the TSB arrays after a walk. */
+    void tsbInsert(VmContext &ctx, Addr gva, const Mapping &mapping);
+
+    // -------------------------------------------------- walk feedback
+
+    /** Record a completed page walk (criticality estimation). */
+    void recordWalk(Cycles latency);
+
+    // ------------------------------------------------------ sampling
+
+    /** Sample translation occupancy of every cache (paper Fig. 3). */
+    void sampleOccupancy(double time);
+
+    /**
+     * Zero every reporting counter (caches, DRAMs, POM/TSB, samplers,
+     * partition traces) without touching simulated state — used to
+     * discard warmup.
+     */
+    void clearAllStats();
+
+    // ----------------------------------------------------- components
+
+    Cache &l1d(unsigned core) { return *l1d_[core]; }
+    Cache &l2(unsigned core) { return *l2_[core]; }
+    const Cache &l2(unsigned core) const { return *l2_[core]; }
+    Cache &l3() { return *l3_; }
+    const Cache &l3() const { return *l3_; }
+    DramChannel &ddr() { return *ddr_; }
+    DramChannel &stacked() { return *stacked_; }
+    PomTlb &pom() { return *pom_; }
+    Tsb &tsb() { return *tsb_; }
+    const MemoryMap &map() const { return map_; }
+    FrameAllocator &dataFrames() { return *data_frames_; }
+    FrameAllocator &ptFrames() { return *pt_frames_; }
+
+    PartitionController &l2Controller(unsigned core)
+    {
+        return *l2_ctl_[core];
+    }
+    PartitionController &l3Controller() { return *l3_ctl_; }
+    CriticalityEstimator &l2Criticality() { return *l2_crit_; }
+    CriticalityEstimator &l3Criticality() { return *l3_crit_; }
+
+    OccupancySampler &l2Occupancy(unsigned core)
+    {
+        return *l2_occ_[core];
+    }
+    const OccupancySampler &l2Occupancy(unsigned core) const
+    {
+        return *l2_occ_[core];
+    }
+    OccupancySampler &l3Occupancy() { return *l3_occ_; }
+    const OccupancySampler &l3Occupancy() const { return *l3_occ_; }
+
+    const PomLookupStats &pomLookupStats() const { return pom_stats_; }
+
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(l1d_.size());
+    }
+
+  private:
+    /**
+     * Route a dirty victim downward (off the critical path).
+     * @param from_level level that evicted it (1 = L1D, 2 = L2, 3 = L3)
+     */
+    void writeback(unsigned core, const Victim &victim,
+                   unsigned from_level, Cycles now);
+
+    /** DRAM access for @p hpa on the right channel. */
+    Cycles dramAccess(Addr hpa, Cycles now);
+
+    SystemParams params_;
+    MemoryMap map_;
+    std::unique_ptr<FrameAllocator> data_frames_;
+    std::unique_ptr<FrameAllocator> pt_frames_;
+
+    std::vector<std::unique_ptr<Cache>> l1d_;
+    std::vector<std::unique_ptr<Cache>> l2_;
+    std::unique_ptr<Cache> l3_;
+    std::unique_ptr<DramChannel> ddr_;
+    std::unique_ptr<DramChannel> stacked_;
+    std::unique_ptr<PomTlb> pom_;
+    std::unique_ptr<Tsb> tsb_;
+
+    std::unique_ptr<CriticalityEstimator> l2_crit_;
+    std::unique_ptr<CriticalityEstimator> l3_crit_;
+    std::vector<std::unique_ptr<PartitionController>> l2_ctl_;
+    std::unique_ptr<PartitionController> l3_ctl_;
+
+    std::vector<std::unique_ptr<OccupancySampler>> l2_occ_;
+    std::unique_ptr<OccupancySampler> l3_occ_;
+
+    PomLookupStats pom_stats_;
+};
+
+} // namespace csalt
+
+#endif // CSALT_SIM_MEMORY_SYSTEM_H

@@ -1,0 +1,96 @@
+#include "sim/metrics.h"
+
+#include "common/stats.h"
+#include "sim/system.h"
+
+namespace csalt
+{
+
+RunMetrics
+collectMetrics(const System &system)
+{
+    RunMetrics m;
+    std::vector<double> ipcs;
+
+    std::uint64_t l1_misses = 0;
+    std::uint64_t l2_misses = 0;
+    std::uint64_t walks = 0;
+    std::uint64_t walk_cycles = 0;
+
+    for (unsigned c = 0; c < system.numCores(); ++c) {
+        const CoreModel &core = system.core(c);
+        CoreMetrics cm;
+        cm.instructions = core.stats().instructions;
+        cm.cycles = core.cyclesSinceClear();
+        cm.ipc = cm.cycles
+                     ? static_cast<double>(cm.instructions) /
+                           static_cast<double>(cm.cycles)
+                     : 0.0;
+        cm.memrefs = core.stats().memrefs;
+        cm.l1_tlb_misses = core.tlbs().l1Stats().misses;
+        cm.l2_tlb_misses = core.tlbs().l2().stats().misses;
+        cm.walks = core.stats().walks;
+
+        m.total_instructions += cm.instructions;
+        m.total_memrefs += cm.memrefs;
+        l1_misses += cm.l1_tlb_misses;
+        l2_misses += cm.l2_tlb_misses;
+        walks += cm.walks;
+        walk_cycles += core.stats().walk_cycles;
+        if (cm.ipc > 0.0)
+            ipcs.push_back(cm.ipc);
+        m.cores.push_back(cm);
+
+        const auto &ctx_stats = core.contextStats();
+        if (m.vms.size() < ctx_stats.size())
+            m.vms.resize(ctx_stats.size());
+        for (std::size_t i = 0; i < ctx_stats.size(); ++i) {
+            m.vms[i].instructions += ctx_stats[i].instructions;
+            m.vms[i].l2_tlb_misses += ctx_stats[i].l2_tlb_misses;
+        }
+    }
+    for (auto &vm : m.vms)
+        vm.l2_tlb_mpki = mpki(vm.l2_tlb_misses, vm.instructions);
+
+    m.ipc_geomean = geomean(ipcs);
+    m.l1_tlb_mpki = mpki(l1_misses, m.total_instructions);
+    m.l2_tlb_mpki = mpki(l2_misses, m.total_instructions);
+    m.l2_tlb_misses = l2_misses;
+    m.walks = walks;
+    m.walks_eliminated =
+        l2_misses ? 1.0 - static_cast<double>(walks) /
+                              static_cast<double>(l2_misses)
+                  : 0.0;
+    m.avg_walk_cycles =
+        walks ? static_cast<double>(walk_cycles) /
+                    static_cast<double>(walks)
+              : 0.0;
+
+    const MemorySystem &mem = system.mem();
+
+    std::uint64_t l2_cache_misses = 0;
+    std::uint64_t l2_cache_data_misses = 0;
+    double l2_occ = 0.0;
+    for (unsigned c = 0; c < system.numCores(); ++c) {
+        const auto &stats = mem.l2(c).stats();
+        l2_cache_misses += stats.totalMisses();
+        l2_cache_data_misses += stats.missesOf(LineType::data);
+        l2_occ += mem.l2Occupancy(c).meanTranslationFraction();
+    }
+    m.l2_mpki_total = mpki(l2_cache_misses, m.total_instructions);
+    m.l2_mpki_data = mpki(l2_cache_data_misses, m.total_instructions);
+    m.l2_translation_occupancy =
+        system.numCores() ? l2_occ / system.numCores() : 0.0;
+
+    const auto &l3stats = mem.l3().stats();
+    m.l3_mpki_total = mpki(l3stats.totalMisses(), m.total_instructions);
+    m.l3_mpki_data =
+        mpki(l3stats.missesOf(LineType::data), m.total_instructions);
+    m.l3_translation_occupancy =
+        mem.l3Occupancy().meanTranslationFraction();
+
+    m.pom_hit_rate = mem.pomLookupStats().hitRate();
+    return m;
+}
+
+} // namespace csalt

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Derived, per-run metrics — the quantities the paper's tables and
+ * figures report, computed from the raw counters of a finished run.
+ */
+
+#ifndef CSALT_SIM_METRICS_H
+#define CSALT_SIM_METRICS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace csalt
+{
+
+class System;
+
+/** Per-core summary. */
+struct CoreMetrics
+{
+    std::uint64_t instructions = 0;
+    Cycles cycles = 0;
+    double ipc = 0.0;
+    std::uint64_t memrefs = 0;
+    std::uint64_t l1_tlb_misses = 0;
+    std::uint64_t l2_tlb_misses = 0;
+    std::uint64_t walks = 0;
+};
+
+/** Per-VM (context-slot) attribution, summed across cores. */
+struct VmMetrics
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t l2_tlb_misses = 0;
+    double l2_tlb_mpki = 0.0;
+};
+
+/** Whole-run summary. */
+struct RunMetrics
+{
+    std::vector<CoreMetrics> cores;
+
+    /** Indexed by context slot (VM order of the BuildSpec). */
+    std::vector<VmMetrics> vms;
+
+    /** Geometric-mean IPC across cores (paper §4.2 metric). */
+    double ipc_geomean = 0.0;
+
+    std::uint64_t total_instructions = 0;
+    std::uint64_t total_memrefs = 0;
+
+    double l1_tlb_mpki = 0.0;
+    double l2_tlb_mpki = 0.0;
+
+    /** Data-cache MPKIs: all traffic, and the data-only subset. */
+    double l2_mpki_total = 0.0;
+    double l2_mpki_data = 0.0;
+    double l3_mpki_total = 0.0;
+    double l3_mpki_data = 0.0;
+
+    std::uint64_t l2_tlb_misses = 0;
+    std::uint64_t walks = 0;
+    /** 1 - walks / L2-TLB-misses (paper Fig. 8). */
+    double walks_eliminated = 0.0;
+    /** Average cycles per walk (paper Table 1). */
+    double avg_walk_cycles = 0.0;
+
+    /** Mean fraction of capacity holding translation lines (Fig. 3). */
+    double l2_translation_occupancy = 0.0;
+    double l3_translation_occupancy = 0.0;
+
+    double pom_hit_rate = 0.0;
+};
+
+/** Gather all metrics from a finished System run. */
+RunMetrics collectMetrics(const System &system);
+
+} // namespace csalt
+
+#endif // CSALT_SIM_METRICS_H

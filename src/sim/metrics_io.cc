@@ -1,0 +1,79 @@
+#include "sim/metrics_io.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace csalt
+{
+
+std::string
+metricsCsvHeader()
+{
+    return "label,ipc_geomean,total_instructions,total_memrefs,"
+           "l1_tlb_mpki,l2_tlb_mpki,l2_mpki_total,l2_mpki_data,"
+           "l3_mpki_total,l3_mpki_data,l2_tlb_misses,walks,"
+           "walks_eliminated,avg_walk_cycles,"
+           "l2_translation_occupancy,l3_translation_occupancy,"
+           "pom_hit_rate";
+}
+
+std::string
+metricsCsvRow(const std::string &label, const RunMetrics &m)
+{
+    std::ostringstream os;
+    os << std::setprecision(6);
+    os << label << ',' << m.ipc_geomean << ',' << m.total_instructions
+       << ',' << m.total_memrefs << ',' << m.l1_tlb_mpki << ','
+       << m.l2_tlb_mpki << ',' << m.l2_mpki_total << ','
+       << m.l2_mpki_data << ',' << m.l3_mpki_total << ','
+       << m.l3_mpki_data << ',' << m.l2_tlb_misses << ',' << m.walks
+       << ',' << m.walks_eliminated << ',' << m.avg_walk_cycles << ','
+       << m.l2_translation_occupancy << ','
+       << m.l3_translation_occupancy << ',' << m.pom_hit_rate;
+    return os.str();
+}
+
+std::string
+metricsJson(const std::string &label, const RunMetrics &m)
+{
+    std::ostringstream os;
+    os << std::setprecision(6);
+    os << "{\n";
+    os << "  \"label\": \"" << label << "\",\n";
+    os << "  \"ipc_geomean\": " << m.ipc_geomean << ",\n";
+    os << "  \"total_instructions\": " << m.total_instructions
+       << ",\n";
+    os << "  \"l1_tlb_mpki\": " << m.l1_tlb_mpki << ",\n";
+    os << "  \"l2_tlb_mpki\": " << m.l2_tlb_mpki << ",\n";
+    os << "  \"l2_mpki_total\": " << m.l2_mpki_total << ",\n";
+    os << "  \"l3_mpki_total\": " << m.l3_mpki_total << ",\n";
+    os << "  \"walks\": " << m.walks << ",\n";
+    os << "  \"walks_eliminated\": " << m.walks_eliminated << ",\n";
+    os << "  \"avg_walk_cycles\": " << m.avg_walk_cycles << ",\n";
+    os << "  \"l2_translation_occupancy\": "
+       << m.l2_translation_occupancy << ",\n";
+    os << "  \"l3_translation_occupancy\": "
+       << m.l3_translation_occupancy << ",\n";
+    os << "  \"pom_hit_rate\": " << m.pom_hit_rate << ",\n";
+
+    os << "  \"cores\": [";
+    for (std::size_t i = 0; i < m.cores.size(); ++i) {
+        const auto &c = m.cores[i];
+        os << (i ? ", " : "") << "{\"ipc\": " << c.ipc
+           << ", \"instructions\": " << c.instructions
+           << ", \"l2_tlb_misses\": " << c.l2_tlb_misses << "}";
+    }
+    os << "],\n";
+
+    os << "  \"vms\": [";
+    for (std::size_t i = 0; i < m.vms.size(); ++i) {
+        const auto &vm = m.vms[i];
+        os << (i ? ", " : "")
+           << "{\"instructions\": " << vm.instructions
+           << ", \"l2_tlb_mpki\": " << vm.l2_tlb_mpki << "}";
+    }
+    os << "]\n}";
+    return os.str();
+}
+
+} // namespace csalt

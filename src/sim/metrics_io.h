@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Serialisation of RunMetrics for external tooling: a flat CSV row
+ * (one line per run, stable column order) and a JSON object. The
+ * bench harnesses print human tables; these formats feed plots.
+ */
+
+#ifndef CSALT_SIM_METRICS_IO_H
+#define CSALT_SIM_METRICS_IO_H
+
+#include <string>
+
+#include "sim/metrics.h"
+
+namespace csalt
+{
+
+/** Comma-separated header matching metricsCsvRow(). */
+std::string metricsCsvHeader();
+
+/** One CSV row; @p label tags the run (workload/scheme). */
+std::string metricsCsvRow(const std::string &label,
+                          const RunMetrics &metrics);
+
+/** Pretty-printed JSON object with per-core and per-VM detail. */
+std::string metricsJson(const std::string &label,
+                        const RunMetrics &metrics);
+
+} // namespace csalt
+
+#endif // CSALT_SIM_METRICS_IO_H

@@ -1,0 +1,72 @@
+#include "sim/system.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace csalt
+{
+
+System::System(const SystemParams &params) : params_(params)
+{
+    mem_ = std::make_unique<MemorySystem>(params_);
+    for (unsigned c = 0; c < params_.num_cores; ++c)
+        cores_.push_back(std::make_unique<CoreModel>(c, params_, *mem_));
+}
+
+System::~System() = default;
+
+VmContext &
+System::addVm(std::unique_ptr<VmContext> vm)
+{
+    vms_.push_back(std::move(vm));
+    return *vms_.back();
+}
+
+void
+System::setCoreContexts(unsigned core,
+                        std::vector<std::unique_ptr<SimContext>> contexts)
+{
+    cores_[core]->setContexts(std::move(contexts));
+}
+
+void
+System::clearAllStats()
+{
+    for (auto &core : cores_) {
+        core->clearStats();
+        core->tlbs().clearStats();
+        core->walker().clearStats();
+    }
+    mem_->clearAllStats();
+}
+
+void
+System::run(std::uint64_t instructions_per_core)
+{
+    std::uint64_t steps = 0;
+    std::uint64_t next_sample = occupancy_interval_;
+
+    while (true) {
+        // Min-clock scheduling: advance the core that is furthest
+        // behind in simulated time among those still running.
+        CoreModel *next = nullptr;
+        for (auto &core : cores_) {
+            if (core->instructions() >= instructions_per_core)
+                continue;
+            if (!next || core->clock() < next->clock())
+                next = core.get();
+        }
+        if (!next)
+            break;
+        next->step();
+
+        ++steps;
+        if (occupancy_interval_ && steps >= next_sample) {
+            next_sample += occupancy_interval_;
+            mem_->sampleOccupancy(static_cast<double>(next->clock()));
+        }
+    }
+}
+
+} // namespace csalt

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Top-level simulated machine: N cores over one MemorySystem, with a
+ * min-clock interleaving scheduler so shared resources (L3, DRAM
+ * channels, POM-TLB) observe a realistic cross-core access order.
+ */
+
+#ifndef CSALT_SIM_SYSTEM_H
+#define CSALT_SIM_SYSTEM_H
+
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "sim/core_model.h"
+#include "sim/memory_system.h"
+#include "vm/address_space.h"
+
+namespace csalt
+{
+
+/** The simulated machine. */
+class System
+{
+  public:
+    explicit System(const SystemParams &params);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Register a VM address space (owned by the system). */
+    VmContext &addVm(std::unique_ptr<VmContext> vm);
+
+    /** Give core @p core its context rotation. */
+    void setCoreContexts(
+        unsigned core,
+        std::vector<std::unique_ptr<SimContext>> contexts);
+
+    /**
+     * Run until every core retired @p instructions_per_core.
+     * Cores that reach the quota stop issuing; the rest continue.
+     */
+    void run(std::uint64_t instructions_per_core);
+
+    CoreModel &core(unsigned i) { return *cores_[i]; }
+    const CoreModel &core(unsigned i) const { return *cores_[i]; }
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+
+    MemorySystem &mem() { return *mem_; }
+    const MemorySystem &mem() const { return *mem_; }
+
+    const SystemParams &params() const { return params_; }
+
+    /**
+     * Discard all statistics gathered so far (warmup): typical use is
+     * run(warmup_quota); clearAllStats(); run(measured_quota).
+     */
+    void clearAllStats();
+
+    /** Steps between occupancy samples (0 disables sampling). */
+    void setOccupancySampleInterval(std::uint64_t steps)
+    {
+        occupancy_interval_ = steps;
+    }
+
+  private:
+    SystemParams params_;
+    std::unique_ptr<MemorySystem> mem_;
+    std::vector<std::unique_ptr<CoreModel>> cores_;
+    std::vector<std::unique_ptr<VmContext>> vms_;
+    std::uint64_t occupancy_interval_ = 8192;
+};
+
+} // namespace csalt
+
+#endif // CSALT_SIM_SYSTEM_H

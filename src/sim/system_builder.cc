@@ -1,0 +1,107 @@
+#include "sim/system_builder.h"
+
+#include "common/log.h"
+#include "workloads/registry.h"
+
+namespace csalt
+{
+
+std::unique_ptr<System>
+buildSystem(const BuildSpec &spec)
+{
+    if (spec.vm_workloads.empty())
+        fatal("buildSystem: need at least one VM workload");
+
+    SystemParams params = spec.params;
+    params.contexts_per_core =
+        static_cast<unsigned>(spec.vm_workloads.size());
+    if (params.contexts_per_core > params.max_asids)
+        fatal("more VMs than reserved ASIDs");
+
+    auto system = std::make_unique<System>(params);
+
+    std::vector<VmContext *> vms;
+    for (unsigned i = 0; i < spec.vm_workloads.size(); ++i) {
+        const WorkloadDesc &desc = workloadDesc(spec.vm_workloads[i]);
+        VmContext::Params vp;
+        vp.asid = static_cast<Asid>(i + 1);
+        vp.virtualized = params.virtualized;
+        vp.huge_fraction = desc.huge_fraction;
+        vp.seed = params.seed * 7919 + i * 104729;
+        vp.page_levels = params.page_table_levels;
+        auto vm = std::make_unique<VmContext>(
+            vp, system->mem().dataFrames(), system->mem().ptFrames());
+        vms.push_back(&system->addVm(std::move(vm)));
+    }
+
+    for (unsigned c = 0; c < params.num_cores; ++c) {
+        std::vector<std::unique_ptr<SimContext>> rotation;
+        for (unsigned i = 0; i < spec.vm_workloads.size(); ++i) {
+            const WorkloadDesc &desc =
+                workloadDesc(spec.vm_workloads[i]);
+            auto trace = desc.make(params.seed + i * 7777, c,
+                                   params.num_cores,
+                                   spec.workload_scale);
+            rotation.push_back(
+                std::make_unique<SimContext>(vms[i], std::move(trace)));
+        }
+        system->setCoreContexts(c, std::move(rotation));
+    }
+    return system;
+}
+
+void
+applyConventional(SystemParams &params)
+{
+    params.translation = TranslationKind::conventional;
+    params.l2_partition.policy = PartitionPolicy::none;
+    params.l3_partition.policy = PartitionPolicy::none;
+    params.l2.insertion = InsertionKind::mru;
+    params.l3.insertion = InsertionKind::mru;
+}
+
+void
+applyPomTlb(SystemParams &params)
+{
+    params.translation = TranslationKind::pomTlb;
+    params.l2_partition.policy = PartitionPolicy::none;
+    params.l3_partition.policy = PartitionPolicy::none;
+    params.l2.insertion = InsertionKind::mru;
+    params.l3.insertion = InsertionKind::mru;
+}
+
+void
+applyCsaltD(SystemParams &params)
+{
+    applyPomTlb(params);
+    params.l2_partition.policy = PartitionPolicy::csaltD;
+    params.l3_partition.policy = PartitionPolicy::csaltD;
+}
+
+void
+applyCsaltCD(SystemParams &params)
+{
+    applyPomTlb(params);
+    params.l2_partition.policy = PartitionPolicy::csaltCD;
+    params.l3_partition.policy = PartitionPolicy::csaltCD;
+}
+
+void
+applyTsb(SystemParams &params)
+{
+    params.translation = TranslationKind::tsb;
+    params.l2_partition.policy = PartitionPolicy::none;
+    params.l3_partition.policy = PartitionPolicy::none;
+    params.l2.insertion = InsertionKind::mru;
+    params.l3.insertion = InsertionKind::mru;
+}
+
+void
+applyDipOverPom(SystemParams &params)
+{
+    applyPomTlb(params);
+    params.l2.insertion = InsertionKind::dip;
+    params.l3.insertion = InsertionKind::dip;
+}
+
+} // namespace csalt

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * One-call construction of a ready-to-run simulated machine from a
+ * SystemParams plus a list of VM workloads — the entry point every
+ * example and benchmark uses.
+ */
+
+#ifndef CSALT_SIM_SYSTEM_BUILDER_H
+#define CSALT_SIM_SYSTEM_BUILDER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "sim/system.h"
+
+namespace csalt
+{
+
+/** Everything needed to stand up one experiment run. */
+struct BuildSpec
+{
+    SystemParams params = defaultParams();
+
+    /**
+     * One workload name per VM; each core rotates through one thread
+     * of every VM. Size overrides params.contexts_per_core.
+     */
+    std::vector<std::string> vm_workloads;
+
+    /** Footprint multiplier forwarded to the generators. */
+    double workload_scale = 1.0;
+};
+
+/** Build the system, VMs and per-core context rotations. */
+std::unique_ptr<System> buildSystem(const BuildSpec &spec);
+
+/**
+ * Configure @p params for one of the compared schemes:
+ *  - conventional: L1-L2 TLBs + page walks
+ *  - POM-TLB: large L3 TLB, unpartitioned caches
+ *  - CSALT-D / CSALT-CD: POM-TLB + dynamic partitioning in L2 & L3
+ *  - TSB / DIP: the Fig. 13 prior-work baselines
+ */
+void applyConventional(SystemParams &params);
+void applyPomTlb(SystemParams &params);
+void applyCsaltD(SystemParams &params);
+void applyCsaltCD(SystemParams &params);
+void applyTsb(SystemParams &params);
+void applyDipOverPom(SystemParams &params);
+
+} // namespace csalt
+
+#endif // CSALT_SIM_SYSTEM_BUILDER_H

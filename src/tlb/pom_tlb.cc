@@ -1,0 +1,159 @@
+#include "tlb/pom_tlb.h"
+
+#include "common/log.h"
+
+namespace csalt
+{
+
+PomTlb::PomTlb(const PomTlbParams &params, Addr base_addr)
+    : base_(base_addr), ways_(params.ways)
+{
+    const std::uint64_t nsets = params.size_bytes / kLineSize;
+    if (nsets == 0 || (nsets & (nsets - 1)) != 0)
+        fatal("POM-TLB set count must be a nonzero power of two");
+    sets_.resize(nsets);
+    for (auto &set : sets_)
+        set.entries.resize(ways_);
+}
+
+std::uint64_t
+PomTlb::setIndexOf(Asid asid, Vpn vpn, PageSize ps) const
+{
+    // Keep VPN-sequential sets adjacent so walks over contiguous
+    // pages enjoy DRAM row-buffer locality; offset by ASID and page
+    // size so streams do not collide set-for-set.
+    const std::uint64_t salt =
+        std::uint64_t{asid} * 0x2545f491'4f6cdd1dULL +
+        (ps == PageSize::size2M ? 0x9e3779b9'7f4a7c15ULL : 0);
+    return (vpn + salt) & (sets_.size() - 1);
+}
+
+Addr
+PomTlb::lineAddrOf(Asid asid, Addr gva, PageSize ps) const
+{
+    const Vpn vpn = gva >> pageShift(ps);
+    return base_ + setIndexOf(asid, vpn, ps) * kLineSize;
+}
+
+void
+PomTlb::promote(Set &set, std::size_t way)
+{
+    // Fresh fills enter with age 255 (see insert) so every resident
+    // entry ages; ages are capped at ways-1 to keep the recency
+    // ordering stable under saturation.
+    const std::uint8_t old = set.entries[way].age;
+    const auto cap = static_cast<std::uint8_t>(ways_ - 1);
+    for (auto &e : set.entries)
+        if (e.valid && e.age < old && e.age < cap)
+            ++e.age;
+    set.entries[way].age = 0;
+}
+
+PomTlb::Probe
+PomTlb::probe(Asid asid, Addr gva, PageSize ps)
+{
+    const Vpn vpn = gva >> pageShift(ps);
+    Set &set = sets_[setIndexOf(asid, vpn, ps)];
+
+    Probe res;
+    res.line_addr = lineAddrOf(asid, gva, ps);
+    for (std::size_t w = 0; w < set.entries.size(); ++w) {
+        const Entry &e = set.entries[w];
+        if (e.valid && e.asid == asid && e.vpn == vpn && e.ps == ps) {
+            res.hit = true;
+            res.mapping = {e.frame, e.ps};
+            promote(set, w);
+            ++stats_.hits;
+            return res;
+        }
+    }
+    ++stats_.misses;
+    return res;
+}
+
+void
+PomTlb::insert(Asid asid, Addr gva, const Mapping &mapping)
+{
+    const Vpn vpn = gva >> pageShift(mapping.ps);
+    Set &set = sets_[setIndexOf(asid, vpn, mapping.ps)];
+    ++stats_.inserts;
+
+    // Update in place if present.
+    for (std::size_t w = 0; w < set.entries.size(); ++w) {
+        Entry &e = set.entries[w];
+        if (e.valid && e.asid == asid && e.vpn == vpn &&
+            e.ps == mapping.ps) {
+            e.frame = mapping.frame;
+            promote(set, w);
+            return;
+        }
+    }
+
+    // Invalid way first, else evict the set-local LRU.
+    std::size_t victim = set.entries.size();
+    for (std::size_t w = 0; w < set.entries.size(); ++w) {
+        if (!set.entries[w].valid) {
+            victim = w;
+            break;
+        }
+    }
+    if (victim == set.entries.size()) {
+        std::uint8_t oldest = 0;
+        victim = 0;
+        for (std::size_t w = 0; w < set.entries.size(); ++w) {
+            if (set.entries[w].age >= oldest) {
+                oldest = set.entries[w].age;
+                victim = w;
+            }
+        }
+        ++stats_.set_evictions;
+    }
+
+    Entry &e = set.entries[victim];
+    e.asid = asid;
+    e.vpn = vpn;
+    e.frame = mapping.frame;
+    e.ps = mapping.ps;
+    e.valid = true;
+    e.age = 255; // enters from "infinitely old": ages the residents
+    promote(set, victim);
+}
+
+PageSizePredictor::PageSizePredictor(unsigned index_bits)
+    : counters_(std::size_t{1} << index_bits, 0)
+{
+}
+
+std::size_t
+PageSizePredictor::indexOf(Addr gva) const
+{
+    std::uint64_t x = gva >> kHugePageShift;
+    x ^= x >> 17;
+    x *= 0xed5ad4bbU;
+    x ^= x >> 11;
+    return x & (counters_.size() - 1);
+}
+
+PageSize
+PageSizePredictor::predict(Addr gva) const
+{
+    return counters_[indexOf(gva)] >= 2 ? PageSize::size2M
+                                        : PageSize::size4K;
+}
+
+void
+PageSizePredictor::update(Addr gva, PageSize actual)
+{
+    ++predictions_;
+    if (predict(gva) != actual)
+        ++mispredicts_;
+    auto &c = counters_[indexOf(gva)];
+    if (actual == PageSize::size2M) {
+        if (c < 3)
+            ++c;
+    } else if (c > 0) {
+        --c;
+    }
+}
+
+} // namespace csalt

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * POM-TLB: the very large memory-resident L3 TLB (Ryoo et al., ISCA
+ * 2017) that CSALT builds on.
+ *
+ * The TLB occupies a dedicated physical range in die-stacked DRAM.
+ * Each 64B line holds one 4-entry set; a lookup computes the set's
+ * line address from the VPN and issues a *cacheable* access to it, so
+ * hot translation sets live in the L2/L3 data caches — creating the
+ * data-vs-translation contention CSALT partitions against.
+ *
+ * Both page sizes share the structure: the page size is part of the
+ * set hash and the entry tag. A per-core page-size predictor guesses
+ * which size to probe first; a misprediction costs a second probe
+ * (the POM-TLB paper's prediction mechanism, simplified).
+ */
+
+#ifndef CSALT_TLB_POM_TLB_H
+#define CSALT_TLB_POM_TLB_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "vm/address_space.h"
+
+namespace csalt
+{
+
+/** Counters for the POM-TLB. */
+struct PomTlbStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t set_evictions = 0;
+};
+
+/** Functional contents + address geometry of the in-memory L3 TLB. */
+class PomTlb
+{
+  public:
+    /**
+     * @param params geometry (16MB, 4 entries per line-set)
+     * @param base_addr physical base of the TLB range
+     */
+    PomTlb(const PomTlbParams &params, Addr base_addr);
+
+    /** Result of a functional probe of one set. */
+    struct Probe
+    {
+        bool hit = false;
+        Mapping mapping;
+        Addr line_addr = kInvalidAddr; //!< the set's cacheable address
+    };
+
+    /**
+     * Probe the set for (asid, gva) at page size @p ps. Promotes the
+     * entry within its set on hit. The caller issues the memory
+     * access to probe.line_addr itself.
+     */
+    Probe probe(Asid asid, Addr gva, PageSize ps);
+
+    /** Line address of the set that (asid, gva, ps) maps to. */
+    Addr lineAddrOf(Asid asid, Addr gva, PageSize ps) const;
+
+    /** Install a translation (set-local LRU replacement). */
+    void insert(Asid asid, Addr gva, const Mapping &mapping);
+
+    const PomTlbStats &stats() const { return stats_; }
+    void clearStats() { stats_ = PomTlbStats{}; }
+
+    std::uint64_t numSets() const { return sets_.size(); }
+    Addr base() const { return base_; }
+    unsigned ways() const { return ways_; }
+
+  private:
+    struct Entry
+    {
+        Asid asid = 0;
+        Vpn vpn = 0;
+        Addr frame = kInvalidAddr;
+        PageSize ps = PageSize::size4K;
+        bool valid = false;
+        std::uint8_t age = 0; //!< set-local recency (0 = MRU)
+    };
+
+    struct Set
+    {
+        std::vector<Entry> entries;
+    };
+
+    std::uint64_t setIndexOf(Asid asid, Vpn vpn, PageSize ps) const;
+    void promote(Set &set, std::size_t way);
+
+    Addr base_;
+    unsigned ways_;
+    std::vector<Set> sets_;
+    PomTlbStats stats_;
+};
+
+/**
+ * Per-core 2-bit page-size predictor indexed by a hash of the 2MB
+ * region. Decides which POM-TLB set (4K or 2M) to probe first.
+ */
+class PageSizePredictor
+{
+  public:
+    explicit PageSizePredictor(unsigned index_bits = 14);
+
+    /** Predicted page size for @p gva. */
+    PageSize predict(Addr gva) const;
+
+    /** Train with the resolved page size. */
+    void update(Addr gva, PageSize actual);
+
+    std::uint64_t mispredicts() const { return mispredicts_; }
+    std::uint64_t predictions() const { return predictions_; }
+
+  private:
+    std::size_t indexOf(Addr gva) const;
+
+    std::vector<std::uint8_t> counters_; //!< >=2 predicts 2M
+    std::uint64_t mispredicts_ = 0;
+    std::uint64_t predictions_ = 0;
+};
+
+} // namespace csalt
+
+#endif // CSALT_TLB_POM_TLB_H

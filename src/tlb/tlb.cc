@@ -1,0 +1,97 @@
+#include "tlb/tlb.h"
+
+#include "common/log.h"
+
+namespace csalt
+{
+
+Tlb::Tlb(std::string name, const TlbParams &params)
+    : name_(std::move(name)), ways_(params.ways),
+      latency_(params.latency)
+{
+    const std::uint64_t nsets = params.entries / params.ways;
+    if (nsets == 0 || (nsets & (nsets - 1)) != 0)
+        fatal(msgOf(name_, ": TLB sets must be a nonzero power of two"));
+    sets_.resize(nsets);
+    for (auto &set : sets_) {
+        set.entries.resize(ways_);
+        set.repl = makeSetReplacement(ReplacementKind::trueLru, ways_);
+    }
+}
+
+std::optional<TlbEntry>
+Tlb::lookup(Asid asid, Vpn vpn, PageSize ps)
+{
+    Set &set = sets_[setIndexOf(vpn)];
+    for (unsigned w = 0; w < ways_; ++w) {
+        const TlbEntry &e = set.entries[w];
+        if (e.valid && e.asid == asid && e.vpn == vpn && e.ps == ps) {
+            set.repl->touch(w);
+            ++stats_.hits;
+            return e;
+        }
+    }
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+bool
+Tlb::contains(Asid asid, Vpn vpn, PageSize ps) const
+{
+    const Set &set = sets_[setIndexOf(vpn)];
+    for (const TlbEntry &e : set.entries)
+        if (e.valid && e.asid == asid && e.vpn == vpn && e.ps == ps)
+            return true;
+    return false;
+}
+
+void
+Tlb::insert(const TlbEntry &entry)
+{
+    Set &set = sets_[setIndexOf(entry.vpn)];
+
+    // Update in place when already present (e.g. refilled by another
+    // core's thread of the same VM).
+    for (unsigned w = 0; w < ways_; ++w) {
+        TlbEntry &e = set.entries[w];
+        if (e.valid && e.asid == entry.asid && e.vpn == entry.vpn &&
+            e.ps == entry.ps) {
+            e = entry;
+            e.valid = true;
+            set.repl->touch(w);
+            return;
+        }
+    }
+
+    unsigned victim = ways_;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!set.entries[w].valid) {
+            victim = w;
+            break;
+        }
+    }
+    if (victim == ways_)
+        victim = set.repl->victimIn(0, ways_ - 1);
+    set.entries[victim] = entry;
+    set.entries[victim].valid = true;
+    set.repl->touch(victim);
+}
+
+void
+Tlb::flushAsid(Asid asid)
+{
+    for (auto &set : sets_)
+        for (auto &e : set.entries)
+            if (e.valid && e.asid == asid)
+                e.valid = false;
+}
+
+void
+Tlb::flushAll()
+{
+    for (auto &set : sets_)
+        for (auto &e : set.entries)
+            e.valid = false;
+}
+
+} // namespace csalt

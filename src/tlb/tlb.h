@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Set-associative, ASID-tagged TLB.
+ *
+ * Entries survive context switches (no flush); the switched-in
+ * context simply competes for capacity, which is the pressure the
+ * paper quantifies in Fig. 1. One structure serves either a single
+ * page size (L1 TLBs) or both sizes (unified L2 TLB) — entries are
+ * tagged with their page size and indexed by the VPN of that size.
+ */
+
+#ifndef CSALT_TLB_TLB_H
+#define CSALT_TLB_TLB_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/replacement.h"
+#include "common/config.h"
+#include "common/types.h"
+#include "vm/address_space.h"
+
+namespace csalt
+{
+
+/** One TLB entry: (asid, vpn, page size) -> host frame. */
+struct TlbEntry
+{
+    Asid asid = 0;
+    Vpn vpn = 0;
+    Addr frame = kInvalidAddr;
+    PageSize ps = PageSize::size4K;
+    bool valid = false;
+};
+
+/** Hit/miss counters of one TLB. */
+struct TlbStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    std::uint64_t accesses() const { return hits + misses; }
+};
+
+/** A single TLB level. */
+class Tlb
+{
+  public:
+    Tlb(std::string name, const TlbParams &params);
+
+    /**
+     * Probe for (asid, vpn, ps); promotes on hit. Counts one access.
+     */
+    std::optional<TlbEntry> lookup(Asid asid, Vpn vpn, PageSize ps);
+
+    /** Probe without stats or promotion (used for double probes). */
+    bool contains(Asid asid, Vpn vpn, PageSize ps) const;
+
+    /**
+     * Record one miss. Dual-size probes use contains() + lookup() so
+     * a single architectural access never counts two misses; the
+     * hierarchy calls this exactly once when both probes fail.
+     */
+    void countMiss() { ++stats_.misses; }
+
+    /** Insert (LRU replacement within the set). */
+    void insert(const TlbEntry &entry);
+
+    /** Drop all entries of one address space. */
+    void flushAsid(Asid asid);
+
+    /** Drop everything. */
+    void flushAll();
+
+    const TlbStats &stats() const { return stats_; }
+    void clearStats() { stats_ = TlbStats{}; }
+
+    Cycles latency() const { return latency_; }
+    unsigned ways() const { return ways_; }
+    std::uint64_t numSets() const { return sets_.size(); }
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Set
+    {
+        std::vector<TlbEntry> entries;
+        std::unique_ptr<SetReplacement> repl;
+    };
+
+    std::uint64_t setIndexOf(Vpn vpn) const
+    {
+        return vpn & (sets_.size() - 1);
+    }
+
+    std::string name_;
+    unsigned ways_;
+    Cycles latency_;
+    std::vector<Set> sets_;
+    TlbStats stats_;
+};
+
+} // namespace csalt
+
+#endif // CSALT_TLB_TLB_H

@@ -1,0 +1,89 @@
+#include "tlb/tlb_hierarchy.h"
+
+namespace csalt
+{
+
+TlbHierarchy::TlbHierarchy(const SystemParams &params)
+    : l1_4k_("L1TLB-4K", params.l1tlb_4k),
+      l1_2m_("L1TLB-2M", params.l1tlb_2m), l2_("L2TLB", params.l2tlb)
+{
+}
+
+TlbLookupResult
+TlbHierarchy::lookup(Asid asid, Addr gva)
+{
+    TlbLookupResult res;
+    const Vpn vpn4k = gva >> kPageShift;
+    const Vpn vpn2m = gva >> kHugePageShift;
+
+    // Split L1s are probed in parallel on real hardware; model a
+    // single pipelined L1 access (hit = no added latency). The
+    // contains()+lookup() pattern ensures exactly one hit or one miss
+    // is recorded per architectural access.
+    if (l1_4k_.contains(asid, vpn4k, PageSize::size4K)) {
+        const auto e = l1_4k_.lookup(asid, vpn4k, PageSize::size4K);
+        res.l1_hit = true;
+        res.mapping = {e->frame, e->ps};
+        return res;
+    }
+    if (l1_2m_.contains(asid, vpn2m, PageSize::size2M)) {
+        const auto e = l1_2m_.lookup(asid, vpn2m, PageSize::size2M);
+        res.l1_hit = true;
+        res.mapping = {e->frame, e->ps};
+        return res;
+    }
+    l1_4k_.countMiss();
+
+    // Unified L2: one access latency covers the (parallel) dual-size
+    // probe; exactly one miss is recorded when both sizes fail.
+    res.latency += l2_.latency();
+    if (l2_.contains(asid, vpn4k, PageSize::size4K)) {
+        const auto e = l2_.lookup(asid, vpn4k, PageSize::size4K);
+        res.l2_hit = true;
+        res.mapping = {e->frame, e->ps};
+        fill(asid, gva, res.mapping); // refill L1
+        return res;
+    }
+    if (l2_.contains(asid, vpn2m, PageSize::size2M)) {
+        const auto e = l2_.lookup(asid, vpn2m, PageSize::size2M);
+        res.l2_hit = true;
+        res.mapping = {e->frame, e->ps};
+        fill(asid, gva, res.mapping);
+        return res;
+    }
+    l2_.countMiss();
+    return res;
+}
+
+void
+TlbHierarchy::fill(Asid asid, Addr gva, const Mapping &mapping)
+{
+    TlbEntry entry;
+    entry.asid = asid;
+    entry.frame = mapping.frame;
+    entry.ps = mapping.ps;
+    entry.valid = true;
+    entry.vpn = gva >> pageShift(mapping.ps);
+
+    l1For(mapping.ps).insert(entry);
+    l2_.insert(entry);
+}
+
+TlbStats
+TlbHierarchy::l1Stats() const
+{
+    TlbStats s;
+    s.hits = l1_4k_.stats().hits + l1_2m_.stats().hits;
+    s.misses = l1_4k_.stats().misses + l1_2m_.stats().misses;
+    return s;
+}
+
+void
+TlbHierarchy::clearStats()
+{
+    l1_4k_.clearStats();
+    l1_2m_.clearStats();
+    l2_.clearStats();
+}
+
+} // namespace csalt

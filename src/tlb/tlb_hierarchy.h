@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-core L1 (split 4K/2M) + unified L2 TLB datapath.
+ *
+ * Latency model: an L1 TLB hit is fully pipelined (0 added cycles);
+ * an L1 miss that hits the L2 TLB charges the L2 latency; a full miss
+ * charges the L2 latency and hands off to the translation backend
+ * (POM-TLB / TSB / page walker).
+ */
+
+#ifndef CSALT_TLB_TLB_HIERARCHY_H
+#define CSALT_TLB_TLB_HIERARCHY_H
+
+#include <optional>
+
+#include "common/config.h"
+#include "tlb/tlb.h"
+
+namespace csalt
+{
+
+/** Outcome of the on-chip TLB lookup for one reference. */
+struct TlbLookupResult
+{
+    bool l1_hit = false;
+    bool l2_hit = false;
+    Cycles latency = 0;
+    Mapping mapping; //!< valid when l1_hit || l2_hit
+};
+
+/** One core's TLB hierarchy. */
+class TlbHierarchy
+{
+  public:
+    explicit TlbHierarchy(const SystemParams &params);
+
+    /**
+     * Probe L1 then L2 for @p gva in address space @p asid.
+     * Page size is unknown a priori, so both sizes are probed.
+     */
+    TlbLookupResult lookup(Asid asid, Addr gva);
+
+    /** Install a resolved translation into L2 and the right L1. */
+    void fill(Asid asid, Addr gva, const Mapping &mapping);
+
+    Tlb &l1For(PageSize ps)
+    {
+        return ps == PageSize::size4K ? l1_4k_ : l1_2m_;
+    }
+    Tlb &l2() { return l2_; }
+    const Tlb &l2() const { return l2_; }
+
+    /** Sum of L1 stats across both page sizes. */
+    TlbStats l1Stats() const;
+
+    void clearStats();
+
+  private:
+    Tlb l1_4k_;
+    Tlb l1_2m_;
+    Tlb l2_;
+};
+
+} // namespace csalt
+
+#endif // CSALT_TLB_TLB_HIERARCHY_H

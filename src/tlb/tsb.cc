@@ -1,0 +1,126 @@
+#include "tlb/tsb.h"
+
+#include "common/log.h"
+
+namespace csalt
+{
+
+namespace
+{
+constexpr std::uint64_t kSlotBytes = 16;
+} // namespace
+
+Tsb::Tsb(const TsbParams &params, Addr base_addr, unsigned max_asids)
+    : params_(params), base_(base_addr), max_asids_(max_asids)
+{
+    const auto n = params_.entries_per_context;
+    if (n == 0 || (n & (n - 1)) != 0)
+        fatal("TSB entries_per_context must be a nonzero power of two");
+}
+
+std::uint64_t
+Tsb::bytesPerAsid(const TsbParams &params)
+{
+    return 2 * params.entries_per_context * kSlotBytes;
+}
+
+Tsb::ContextArrays &
+Tsb::arraysOf(Asid asid)
+{
+    if (asid >= max_asids_)
+        panic(msgOf("TSB: asid ", asid, " beyond reserved arrays"));
+    auto it = contexts_.find(asid);
+    if (it == contexts_.end()) {
+        ContextArrays arrays;
+        arrays.guest.resize(params_.entries_per_context);
+        arrays.host.resize(params_.entries_per_context);
+        it = contexts_.emplace(asid, std::move(arrays)).first;
+    }
+    return it->second;
+}
+
+Addr
+Tsb::guestBase(Asid asid) const
+{
+    return base_ + asid * bytesPerAsid(params_);
+}
+
+Addr
+Tsb::hostBase(Asid asid) const
+{
+    return guestBase(asid) + params_.entries_per_context * kSlotBytes;
+}
+
+Tsb::LookupPlan
+Tsb::lookup(VmContext &ctx, Addr gva)
+{
+    ContextArrays &arrays = arraysOf(ctx.asid());
+    const std::uint64_t mask = params_.entries_per_context - 1;
+    const Vpn vpn = gva >> kPageShift;
+    const std::uint64_t gidx = vpn & mask;
+
+    LookupPlan plan;
+    plan.probe_addrs[0] = guestBase(ctx.asid()) + gidx * kSlotBytes;
+    plan.num_probes = 1;
+    ++stats_.probes;
+
+    const Slot &g = arrays.guest[gidx];
+    if (!g.valid || g.tag != vpn) {
+        ++stats_.misses;
+        return plan;
+    }
+
+    if (!ctx.virtualized()) {
+        // Native: the guest dimension already holds the final frame.
+        plan.hit = true;
+        plan.mapping = {g.value, g.ps};
+        ++stats_.hits;
+        return plan;
+    }
+
+    // Virtualized: chase the guest-physical address through the host
+    // TSB (second dependent cacheable probe).
+    const Vpn gpa_vpn = g.value >> kPageShift;
+    const std::uint64_t hidx = gpa_vpn & mask;
+    plan.probe_addrs[1] = hostBase(ctx.asid()) + hidx * kSlotBytes;
+    plan.num_probes = 2;
+    ++stats_.probes;
+
+    const Slot &h = arrays.host[hidx];
+    if (!h.valid || h.tag != gpa_vpn) {
+        ++stats_.misses;
+        return plan;
+    }
+
+    plan.hit = true;
+    plan.mapping = {h.value, h.ps};
+    ++stats_.hits;
+    return plan;
+}
+
+void
+Tsb::insert(VmContext &ctx, Addr gva, const Mapping &mapping)
+{
+    ContextArrays &arrays = arraysOf(ctx.asid());
+    const std::uint64_t mask = params_.entries_per_context - 1;
+    const Vpn vpn = gva >> kPageShift;
+
+    if (!ctx.virtualized()) {
+        // Store the true page frame base + size: the returned Mapping
+        // must be usable for any offset within the (possibly 2MB)
+        // page.
+        Slot &g = arrays.guest[vpn & mask];
+        g = {vpn, true, mapping.frame, mapping.ps};
+        return;
+    }
+
+    const Addr gpa_page = ctx.guestPhysOf(gva & ~(kPageSize - 1));
+    Slot &g = arrays.guest[vpn & mask];
+    g = {vpn, true, gpa_page, mapping.ps};
+
+    const Vpn gpa_vpn = gpa_page >> kPageShift;
+    Slot &h = arrays.host[gpa_vpn & mask];
+    h = {gpa_vpn, true, mapping.frame, mapping.ps};
+}
+
+} // namespace csalt

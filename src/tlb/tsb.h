@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Translation Storage Buffer baseline (Oracle/Sun UltraSPARC; paper
+ * §5.2 / Fig. 13).
+ *
+ * A TSB is a software-managed, memory-resident, direct-mapped
+ * translation array whose entries are cacheable. In a virtualized
+ * system resolving gVA -> hPA requires *two dependent* lookups: the
+ * guest TSB (gVA -> gPA) then the host TSB (gPA -> hPA) — this extra
+ * cacheable traffic, with no TLB-aware cache management, is why the
+ * TSB underperforms POM-TLB/CSALT in the paper.
+ *
+ * Simplification vs. Solaris: one unified array per dimension indexed
+ * by the 4KB VPN (real TSBs are split per page size); 2MB pages
+ * occupy one slot per touched 4KB chunk.
+ */
+
+#ifndef CSALT_TLB_TSB_H
+#define CSALT_TLB_TSB_H
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "vm/address_space.h"
+
+namespace csalt
+{
+
+/** Counters for the TSB. */
+struct TsbStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t probes = 0; //!< memory accesses issued
+};
+
+/** The memory-resident translation arrays for all contexts. */
+class Tsb
+{
+  public:
+    /**
+     * @param params capacity per context
+     * @param base_addr physical base of the TSB arrays; the caller
+     *        reserves max_asids * bytesPerAsid(params) bytes
+     * @param max_asids number of address spaces with arrays
+     */
+    Tsb(const TsbParams &params, Addr base_addr, unsigned max_asids);
+
+    /** Bytes of TSB storage one ASID needs (both dimensions). */
+    static std::uint64_t bytesPerAsid(const TsbParams &params);
+
+    /** Functional outcome + the cacheable probe addresses to issue. */
+    struct LookupPlan
+    {
+        bool hit = false;
+        Mapping mapping;
+        unsigned num_probes = 0;
+        std::array<Addr, 2> probe_addrs = {kInvalidAddr, kInvalidAddr};
+    };
+
+    /**
+     * Plan the TSB lookup for @p gva: guest probe, then (virtualized,
+     * guest hit) host probe. The caller issues the memory accesses.
+     */
+    LookupPlan lookup(VmContext &ctx, Addr gva);
+
+    /** Fill both dimensions after a page walk resolved @p gva. */
+    void insert(VmContext &ctx, Addr gva, const Mapping &mapping);
+
+    const TsbStats &stats() const { return stats_; }
+    void clearStats() { stats_ = TsbStats{}; }
+
+  private:
+    struct Slot
+    {
+        Vpn tag = 0;
+        bool valid = false;
+        Addr value = kInvalidAddr; //!< gPA (guest dim) or frame (host)
+        PageSize ps = PageSize::size4K;
+    };
+
+    struct ContextArrays
+    {
+        std::vector<Slot> guest;
+        std::vector<Slot> host;
+    };
+
+    ContextArrays &arraysOf(Asid asid);
+    Addr guestBase(Asid asid) const;
+    Addr hostBase(Asid asid) const;
+
+    TsbParams params_;
+    Addr base_;
+    unsigned max_asids_;
+    std::unordered_map<Asid, ContextArrays> contexts_;
+    TsbStats stats_;
+};
+
+} // namespace csalt
+
+#endif // CSALT_TLB_TSB_H

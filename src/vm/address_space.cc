@@ -1,0 +1,165 @@
+#include "vm/address_space.h"
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace csalt
+{
+
+namespace
+{
+
+/** Stateless 64-bit mix for the per-region huge-page decision. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/** Guest-physical arena bases (disjoint by construction). */
+constexpr Addr kGpa4kBase = Addr{1} << 32;
+constexpr Addr kGpa2mBase = Addr{1} << 40;
+
+} // namespace
+
+VmContext::VmContext(const Params &params, FrameAllocator &data_frames,
+                     FrameAllocator &pt_frames)
+    : params_(params), data_frames_(data_frames), pt_frames_(pt_frames),
+      gpa_next_4k_(kGpa4kBase), gpa_next_2m_(kGpa2mBase)
+{
+    if (params_.virtualized) {
+        // Host table first: guest-table nodes are host-mapped as they
+        // are created (their storage is guest-physical memory).
+        host_pt_ = std::make_unique<PageTable>(
+            [this] { return pt_frames_.alloc4K(); },
+            params_.page_levels);
+        guest_pt_ = std::make_unique<PageTable>([this] {
+            const Addr gpa = gpa_next_4k_;
+            gpa_next_4k_ += kPageSize;
+            const Addr hpa = pt_frames_.alloc4K();
+            host_pt_->map(gpa, hpa, PageSize::size4K);
+            host_4k_[gpa >> kPageShift] = hpa;
+            return gpa;
+        }, params_.page_levels);
+    } else {
+        guest_pt_ = std::make_unique<PageTable>(
+            [this] { return pt_frames_.alloc4K(); },
+            params_.page_levels);
+    }
+}
+
+VmContext::~VmContext() = default;
+
+PageTable &
+VmContext::hostPt()
+{
+    if (!host_pt_)
+        panic("hostPt() in native mode");
+    return *host_pt_;
+}
+
+bool
+VmContext::regionIsHuge(Addr gva) const
+{
+    const std::uint64_t h =
+        mix64((gva >> kHugePageShift) ^ (params_.seed * 0x9e37u) ^
+              (std::uint64_t{params_.asid} << 56));
+    return static_cast<double>(h >> 11) * 0x1.0p-53 <
+           params_.huge_fraction;
+}
+
+Addr
+VmContext::allocGuestPhys(Addr hpa, PageSize ps)
+{
+    Addr gpa;
+    if (ps == PageSize::size4K) {
+        gpa = gpa_next_4k_;
+        gpa_next_4k_ += kPageSize;
+        host_4k_[gpa >> kPageShift] = hpa;
+    } else {
+        gpa = gpa_next_2m_;
+        gpa_next_2m_ += kHugePageSize;
+        host_2m_[gpa >> kHugePageShift] = hpa;
+    }
+    host_pt_->map(gpa, hpa, ps);
+    return gpa;
+}
+
+Mapping
+VmContext::demandMap(Addr gva)
+{
+    const bool huge = regionIsHuge(gva);
+    const PageSize ps = huge ? PageSize::size2M : PageSize::size4K;
+    const Addr page_va = gva & ~(pageBytes(ps) - 1);
+
+    const Addr hpa = huge ? data_frames_.alloc2M() : data_frames_.alloc4K();
+
+    if (params_.virtualized) {
+        const Addr gpa = allocGuestPhys(hpa, ps);
+        guest_pt_->map(page_va, gpa, ps);
+    } else {
+        guest_pt_->map(page_va, hpa, ps);
+    }
+
+    const Mapping m{hpa, ps};
+    if (huge) {
+        fast_2m_[gva >> kHugePageShift] = m;
+        ++mapped_2m_;
+    } else {
+        fast_4k_[gva >> kPageShift] = m;
+        ++mapped_4k_;
+    }
+    return m;
+}
+
+Mapping
+VmContext::mappingOf(Addr gva)
+{
+    if (auto it = fast_2m_.find(gva >> kHugePageShift);
+        it != fast_2m_.end()) {
+        return it->second;
+    }
+    if (auto it = fast_4k_.find(gva >> kPageShift);
+        it != fast_4k_.end()) {
+        return it->second;
+    }
+    return demandMap(gva);
+}
+
+Addr
+VmContext::translate(Addr gva)
+{
+    const Mapping m = mappingOf(gva);
+    return m.frame + (gva & (pageBytes(m.ps) - 1));
+}
+
+Addr
+VmContext::guestPhysOf(Addr gva)
+{
+    mappingOf(gva); // ensure mapped
+    const auto leaf = guest_pt_->leafOf(gva);
+    if (!leaf)
+        panic(msgOf("guestPhysOf: unmapped gva ", gva));
+    return leaf->next + (gva & (pageBytes(leaf->ps) - 1));
+}
+
+Addr
+VmContext::hostTranslate(Addr gpa) const
+{
+    if (auto it = host_2m_.find(gpa >> kHugePageShift);
+        it != host_2m_.end()) {
+        return it->second + (gpa & (kHugePageSize - 1));
+    }
+    if (auto it = host_4k_.find(gpa >> kPageShift);
+        it != host_4k_.end()) {
+        return it->second + (gpa & (kPageSize - 1));
+    }
+    panic(msgOf("hostTranslate: unmapped gpa ", gpa));
+}
+
+} // namespace csalt

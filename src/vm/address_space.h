@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Per-VM address spaces with demand paging.
+ *
+ * In virtualized mode a VmContext owns two page tables:
+ *  - the guest table (gVA -> gPA) whose *nodes live at guest-physical
+ *    addresses* and are therefore themselves host-mapped, and
+ *  - the host/EPT table (gPA -> hPA) whose nodes live directly at
+ *    host-physical addresses in the page-table range.
+ *
+ * In native mode a single table maps VA -> hPA.
+ *
+ * Pages are mapped on first touch. A 2MB-aligned virtual region is
+ * backed by one huge page with probability huge_fraction (THP-style),
+ * decided deterministically from the seed so traces are reproducible.
+ */
+
+#ifndef CSALT_VM_ADDRESS_SPACE_H
+#define CSALT_VM_ADDRESS_SPACE_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "mem/phys_alloc.h"
+#include "vm/page_table.h"
+
+namespace csalt
+{
+
+/** Final translation of a page: host frame + page size. */
+struct Mapping
+{
+    Addr frame = kInvalidAddr; //!< host-physical base of the page
+    PageSize ps = PageSize::size4K;
+};
+
+/** Demand-paged guest address space (one per VM). */
+class VmContext
+{
+  public:
+    struct Params
+    {
+        Asid asid = 0;
+        bool virtualized = true;
+        double huge_fraction = 0.1;
+        std::uint64_t seed = 1;
+        /** Radix depth of both page tables: 4, or 5 (LA57). */
+        int page_levels = kTopLevel;
+    };
+
+    /**
+     * @param data_frames allocator for application page frames
+     * @param pt_frames allocator for page-table node frames
+     */
+    VmContext(const Params &params, FrameAllocator &data_frames,
+              FrameAllocator &pt_frames);
+    ~VmContext();
+
+    VmContext(const VmContext &) = delete;
+    VmContext &operator=(const VmContext &) = delete;
+
+    /**
+     * Translate a guest-virtual byte address to host-physical,
+     * mapping the page on first touch.
+     */
+    Addr translate(Addr gva);
+
+    /** Page geometry backing @p gva (maps on demand). */
+    Mapping mappingOf(Addr gva);
+
+    /**
+     * Host-physical address of a guest-physical byte address.
+     * Used by the 2-D walker to locate guest PTEs and final frames.
+     * Panics when @p gpa was never mapped (walks follow demand paging).
+     */
+    Addr hostTranslate(Addr gpa) const;
+
+    /**
+     * Guest-physical byte address backing @p gva (maps on demand).
+     * In native mode this is the host-physical address.
+     */
+    Addr guestPhysOf(Addr gva);
+
+    /** Guest page table (native mode: the only table, VA -> hPA). */
+    PageTable &guestPt() { return *guest_pt_; }
+
+    /** Host/EPT page table; only valid in virtualized mode. */
+    PageTable &hostPt();
+
+    Asid asid() const { return params_.asid; }
+    bool virtualized() const { return params_.virtualized; }
+
+    std::uint64_t mapped4K() const { return mapped_4k_; }
+    std::uint64_t mapped2M() const { return mapped_2m_; }
+
+  private:
+    /** Decide (deterministically) if gva's 2MB region is huge. */
+    bool regionIsHuge(Addr gva) const;
+
+    /** Map the page containing @p gva; returns its Mapping. */
+    Mapping demandMap(Addr gva);
+
+    /** Allocate a guest-physical page and host-map it to @p hpa. */
+    Addr allocGuestPhys(Addr hpa, PageSize ps);
+
+    Params params_;
+    FrameAllocator &data_frames_;
+    FrameAllocator &pt_frames_;
+
+    std::unique_ptr<PageTable> guest_pt_;
+    std::unique_ptr<PageTable> host_pt_;
+
+    /** Fast functional maps (vpn -> Mapping), one per page size. */
+    std::unordered_map<Vpn, Mapping> fast_4k_;
+    std::unordered_map<Vpn, Mapping> fast_2m_;
+
+    /** Host-side functional maps for gPA pages. */
+    std::unordered_map<Vpn, Addr> host_4k_;
+    std::unordered_map<Vpn, Addr> host_2m_;
+
+    /** Guest-physical bump allocators (separate 4K / 2M arenas). */
+    Addr gpa_next_4k_;
+    Addr gpa_next_2m_;
+
+    std::uint64_t mapped_4k_ = 0;
+    std::uint64_t mapped_2m_ = 0;
+};
+
+} // namespace csalt
+
+#endif // CSALT_VM_ADDRESS_SPACE_H

@@ -1,0 +1,125 @@
+#include "vm/mmu_cache.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "vm/page_table.h"
+
+namespace csalt
+{
+
+SmallLruCache::SmallLruCache(unsigned capacity) : capacity_(capacity)
+{
+    entries_.reserve(capacity);
+}
+
+std::optional<std::uint64_t>
+SmallLruCache::lookup(std::uint64_t key)
+{
+    for (std::size_t i = entries_.size(); i-- > 0;) {
+        if (entries_[i].key == key) {
+            const Entry hit = entries_[i];
+            entries_.erase(entries_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+            entries_.push_back(hit);
+            ++hits_;
+            return hit.value;
+        }
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+void
+SmallLruCache::insert(std::uint64_t key, std::uint64_t value)
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].key == key) {
+            entries_.erase(entries_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+            break;
+        }
+    }
+    if (entries_.size() >= capacity_)
+        entries_.erase(entries_.begin()); // LRU is at the front
+    entries_.push_back({key, value});
+}
+
+void
+SmallLruCache::clear()
+{
+    entries_.clear();
+}
+
+MmuCaches::MmuCaches(const MmuCacheParams &params)
+    : pml4e_(params.pml4e_entries), pdpe_(params.pdpe_entries),
+      pde_(params.pde_entries), nested_(params.nested_entries),
+      latency_(params.latency)
+{
+}
+
+std::uint64_t
+MmuCaches::pscKey(Asid asid, Addr va, int level, bool host)
+{
+    const unsigned shift = kPageShift + kIndexBits * (level - 1);
+    const std::uint64_t prefix = va >> shift;
+    return (prefix << 18) | (std::uint64_t{asid} << 2) |
+           (host ? 2u : 0u) | static_cast<unsigned>(level & 1);
+}
+
+std::uint64_t
+MmuCaches::nestedKey(Asid asid, Addr gpa)
+{
+    return ((gpa >> kPageShift) << 16) | asid;
+}
+
+std::optional<MmuCaches::Skip>
+MmuCaches::skipFor(Asid asid, Addr va, bool host)
+{
+    if (auto v = pde_.lookup(pscKey(asid, va, 2, host)))
+        return Skip{1, *v};
+    if (auto v = pdpe_.lookup(pscKey(asid, va, 3, host)))
+        return Skip{2, *v};
+    if (auto v = pml4e_.lookup(pscKey(asid, va, 4, host)))
+        return Skip{3, *v};
+    return std::nullopt;
+}
+
+void
+MmuCaches::fill(Asid asid, Addr va, int level, bool host,
+                std::uint64_t node_addr)
+{
+    switch (level) {
+      case 5:
+        // No PML5E cache on current hardware (LA57 walks always read
+        // the root level); drop the fill.
+        break;
+      case 4:
+        pml4e_.insert(pscKey(asid, va, 4, host), node_addr);
+        break;
+      case 3:
+        pdpe_.insert(pscKey(asid, va, 3, host), node_addr);
+        break;
+      case 2:
+        pde_.insert(pscKey(asid, va, 2, host), node_addr);
+        break;
+      default:
+        panic(msgOf("MmuCaches::fill: bad level ", level));
+    }
+}
+
+std::optional<Addr>
+MmuCaches::nestedLookup(Asid asid, Addr gpa)
+{
+    if (auto v = nested_.lookup(nestedKey(asid, gpa)))
+        return *v;
+    return std::nullopt;
+}
+
+void
+MmuCaches::nestedFill(Asid asid, Addr gpa, Addr hpa_page)
+{
+    nested_.insert(nestedKey(asid, gpa), hpa_page);
+}
+
+} // namespace csalt

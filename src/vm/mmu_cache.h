@@ -1,0 +1,117 @@
+/**
+ * @file
+ * MMU paging-structure caches (Intel PSC / AMD PWC analogues) plus
+ * the nested-translation cache used during 2-D walks.
+ *
+ * Each core owns one MmuCaches instance. The PML4E/PDPE/PDE caches
+ * let the walker skip upper levels of a walk; the nested cache maps
+ * recently translated guest-physical pages straight to host-physical,
+ * collapsing an entire 4-step host walk into a hit. Entries are
+ * ASID-tagged so VM context switches do not flush them.
+ */
+
+#ifndef CSALT_VM_MMU_CACHE_H
+#define CSALT_VM_MMU_CACHE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace csalt
+{
+
+/** Tiny fully-associative LRU key/value cache. */
+class SmallLruCache
+{
+  public:
+    explicit SmallLruCache(unsigned capacity);
+
+    /** Look up @p key; promotes to MRU on hit. */
+    std::optional<std::uint64_t> lookup(std::uint64_t key);
+
+    /** Insert or update @p key (promoted to MRU; LRU evicted). */
+    void insert(std::uint64_t key, std::uint64_t value);
+
+    void clear();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    unsigned capacity() const { return capacity_; }
+    unsigned size() const
+    {
+        return static_cast<unsigned>(entries_.size());
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t key;
+        std::uint64_t value;
+    };
+
+    unsigned capacity_;
+    /** MRU at the back; linear scan is fine at these sizes (<=64). */
+    std::vector<Entry> entries_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/** The per-core set of walker-assist caches. */
+class MmuCaches
+{
+  public:
+    explicit MmuCaches(const MmuCacheParams &params);
+
+    /**
+     * Tag for a paging-structure entry: ASID + VA prefix down to
+     * @p level's region, with @p host distinguishing the host
+     * dimension of a nested walk from the guest dimension.
+     */
+    static std::uint64_t pscKey(Asid asid, Addr va, int level, bool host);
+
+    /** Tag for a nested (gPA page -> hPA page) entry. */
+    static std::uint64_t nestedKey(Asid asid, Addr gpa);
+
+    /**
+     * Deepest level whose node address is cached for @p va.
+     *
+     * Checks PDE (skip to level 1), then PDPE (level 2), then PML4E
+     * (level 3). @return the level of the *next node to read* and its
+     * address, or nullopt when the walk must start at the root.
+     */
+    struct Skip
+    {
+        int next_level;         //!< level of the first PTE to read
+        std::uint64_t node_addr; //!< base of the node holding it
+    };
+    std::optional<Skip> skipFor(Asid asid, Addr va, bool host);
+
+    /** Record the node discovered at @p level for @p va. */
+    void fill(Asid asid, Addr va, int level, bool host,
+              std::uint64_t node_addr);
+
+    /** Nested cache: gPA page -> hPA page base (page size 4K). */
+    std::optional<Addr> nestedLookup(Asid asid, Addr gpa);
+    void nestedFill(Asid asid, Addr gpa, Addr hpa_page);
+
+    Cycles latency() const { return latency_; }
+
+    SmallLruCache &pml4e() { return pml4e_; }
+    SmallLruCache &pdpe() { return pdpe_; }
+    SmallLruCache &pde() { return pde_; }
+    SmallLruCache &nested() { return nested_; }
+
+  private:
+    SmallLruCache pml4e_;
+    SmallLruCache pdpe_;
+    SmallLruCache pde_;
+    SmallLruCache nested_;
+    Cycles latency_;
+};
+
+} // namespace csalt
+
+#endif // CSALT_VM_MMU_CACHE_H

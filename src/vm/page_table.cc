@@ -1,0 +1,116 @@
+#include "vm/page_table.h"
+
+#include "common/log.h"
+
+namespace csalt
+{
+
+PageTable::PageTable(NodeAlloc alloc, int top_level)
+    : alloc_(std::move(alloc)), top_level_(top_level)
+{
+    if (top_level != kTopLevel && top_level != kTopLevel5)
+        panic(msgOf("unsupported paging depth ", top_level));
+    root_ = std::make_unique<Node>();
+    root_->base = alloc_();
+    node_count_ = 1;
+}
+
+PageTable::~PageTable() = default;
+
+PageTable::Node *
+PageTable::ensureChild(Node *node, unsigned idx)
+{
+    Slot &slot = node->slots[idx];
+    if (slot.is_leaf)
+        panic("page table: descending through a leaf PTE");
+    if (!slot.child) {
+        slot.child = std::make_unique<Node>();
+        slot.child->base = alloc_();
+        ++node_count_;
+    }
+    return slot.child.get();
+}
+
+void
+PageTable::map(Addr va, Addr pa, PageSize ps)
+{
+    const int leaf_level =
+        ps == PageSize::size4K ? kLeafLevel4K : kLeafLevel2M;
+    if (va & (pageBytes(ps) - 1))
+        panic(msgOf("map: unaligned va ", va));
+    if (pa & (pageBytes(ps) - 1))
+        panic(msgOf("map: unaligned pa ", pa));
+
+    Node *node = root_.get();
+    for (int level = top_level_; level > leaf_level; --level)
+        node = ensureChild(node, radixIndex(va, level));
+
+    Slot &slot = node->slots[radixIndex(va, leaf_level)];
+    if (!slot.empty())
+        panic(msgOf("map: page already mapped, va=", va));
+    slot.is_leaf = true;
+    slot.leaf_pa = pa;
+    slot.ps = ps;
+}
+
+void
+PageTable::walkPath(Addr va, std::vector<PteRef> &out) const
+{
+    out.clear();
+    const Node *node = root_.get();
+    for (int level = top_level_; level >= kLeafLevel4K; --level) {
+        const unsigned idx = radixIndex(va, level);
+        const auto it = node->slots.find(idx);
+        if (it == node->slots.end())
+            panic(msgOf("walkPath: unmapped va ", va));
+        const Slot &slot = it->second;
+        PteRef ref;
+        ref.level = level;
+        ref.pte_addr = node->base + idx * kPteBytes;
+        if (slot.is_leaf) {
+            ref.leaf = true;
+            ref.next = slot.leaf_pa;
+            ref.ps = slot.ps;
+            out.push_back(ref);
+            return;
+        }
+        if (!slot.child)
+            panic(msgOf("walkPath: unmapped va ", va));
+        ref.next = slot.child->base;
+        out.push_back(ref);
+        node = slot.child.get();
+    }
+    panic("walkPath: descended past leaf level");
+}
+
+std::optional<PteRef>
+PageTable::leafOf(Addr va) const
+{
+    const Node *node = root_.get();
+    for (int level = top_level_; level >= kLeafLevel4K; --level) {
+        const unsigned idx = radixIndex(va, level);
+        const auto it = node->slots.find(idx);
+        if (it == node->slots.end())
+            return std::nullopt;
+        const Slot &slot = it->second;
+        if (slot.is_leaf) {
+            PteRef ref;
+            ref.level = level;
+            ref.pte_addr = node->base + idx * kPteBytes;
+            ref.leaf = true;
+            ref.next = slot.leaf_pa;
+            ref.ps = slot.ps;
+            return ref;
+        }
+        node = slot.child.get();
+    }
+    return std::nullopt;
+}
+
+Addr
+PageTable::root() const
+{
+    return root_->base;
+}
+
+} // namespace csalt

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Four-level x86-64 radix page table materialised in a simulated
+ * address space.
+ *
+ * Unlike a functional map, every table node occupies a real 4KB page
+ * at an address provided by a node allocator, so page-walk references
+ * have concrete physical addresses that travel through (and contend
+ * for) the data caches — the effect CSALT exists to manage.
+ *
+ * A guest page table's nodes live at guest-physical addresses; the
+ * host page table's nodes live at host-physical addresses. The walker
+ * composes the two for the 2-D nested walk.
+ */
+
+#ifndef CSALT_VM_PAGE_TABLE_H
+#define CSALT_VM_PAGE_TABLE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace csalt
+{
+
+/**
+ * x86-64 paging: level 4 = PML4 down to level 1 = PT. Five-level
+ * paging (Intel LA57, the paper's "emerging architectures" note)
+ * adds a PML5 on top; PageTable takes the top level as a parameter.
+ */
+inline constexpr int kTopLevel = 4;
+inline constexpr int kTopLevel5 = 5;
+inline constexpr int kLeafLevel4K = 1;
+inline constexpr int kLeafLevel2M = 2;
+inline constexpr unsigned kPteBytes = 8;
+inline constexpr unsigned kIndexBits = 9;
+inline constexpr unsigned kSlotsPerNode = 1u << kIndexBits;
+
+/** Radix index of @p va at @p level (level 4..1). */
+constexpr unsigned
+radixIndex(Addr va, int level)
+{
+    const unsigned shift = kPageShift + kIndexBits * (level - 1);
+    return static_cast<unsigned>((va >> shift) & (kSlotsPerNode - 1));
+}
+
+/** One step of a root-to-leaf walk. */
+struct PteRef
+{
+    int level = 0;       //!< 4..1
+    Addr pte_addr = kInvalidAddr; //!< address of the PTE itself
+    bool leaf = false;
+    Addr next = kInvalidAddr; //!< child node base, or leaf frame base
+    PageSize ps = PageSize::size4K; //!< meaningful when leaf
+};
+
+/**
+ * A radix page table whose nodes are allocated via a callback, so the
+ * owner decides which address space the nodes live in.
+ */
+class PageTable
+{
+  public:
+    /** Returns the base address of a fresh, zeroed 4KB table node. */
+    using NodeAlloc = std::function<Addr()>;
+
+    /**
+     * @param alloc node allocator
+     * @param top_level 4 (default) or 5 (LA57-style) paging depth
+     */
+    explicit PageTable(NodeAlloc alloc, int top_level = kTopLevel);
+    ~PageTable();
+
+    PageTable(const PageTable &) = delete;
+    PageTable &operator=(const PageTable &) = delete;
+
+    /**
+     * Install a mapping. @p va and @p pa must be aligned to @p ps.
+     * Re-mapping an already-mapped page is a simulator bug (panic).
+     */
+    void map(Addr va, Addr pa, PageSize ps);
+
+    /**
+     * Collect the root-to-leaf PTE chain for @p va into @p out
+     * (cleared first). Walking an unmapped address panics: demand
+     * mapping must happen before any simulated walk.
+     */
+    void walkPath(Addr va, std::vector<PteRef> &out) const;
+
+    /** Leaf entry for @p va, or nullopt when unmapped. */
+    std::optional<PteRef> leafOf(Addr va) const;
+
+    /** Base address of the root (CR3 analogue). */
+    Addr root() const;
+
+    /** Paging depth (4 or 5 levels). */
+    int topLevel() const { return top_level_; }
+
+    /** Number of table nodes allocated so far. */
+    std::uint64_t nodeCount() const { return node_count_; }
+
+    /** Bytes of table storage (nodeCount * 4KB). */
+    std::uint64_t nodeBytes() const { return node_count_ * kPageSize; }
+
+  private:
+    struct Node;
+
+    struct Slot
+    {
+        std::unique_ptr<Node> child;
+        Addr leaf_pa = kInvalidAddr;
+        PageSize ps = PageSize::size4K;
+        bool is_leaf = false;
+
+        bool empty() const { return !child && !is_leaf; }
+    };
+
+    struct Node
+    {
+        Addr base = kInvalidAddr;
+        /**
+         * Sparse slot storage: big-footprint workloads touch widely
+         * scattered VA regions, so dense 512-entry arrays per node
+         * would dominate simulation memory.
+         */
+        std::unordered_map<unsigned, Slot> slots;
+    };
+
+    Node *ensureChild(Node *node, unsigned idx);
+
+    NodeAlloc alloc_;
+    int top_level_;
+    std::unique_ptr<Node> root_;
+    std::uint64_t node_count_ = 0;
+};
+
+} // namespace csalt
+
+#endif // CSALT_VM_PAGE_TABLE_H

@@ -1,0 +1,138 @@
+#include "vm/page_walker.h"
+
+#include "common/log.h"
+
+namespace csalt
+{
+
+PageWalker::PageWalker(unsigned core_id, MmuCaches &mmu,
+                       TranslationMemIf &mem)
+    : core_id_(core_id), mmu_(mmu), mem_(mem)
+{
+}
+
+PageWalker::Outcome
+PageWalker::walk(VmContext &ctx, Addr gva, Cycles now)
+{
+    Outcome out = ctx.virtualized() ? nestedWalk(ctx, gva, now)
+                                    : nativeWalk(ctx, gva, now);
+    ++stats_.walks;
+    stats_.refs += out.refs;
+    stats_.cycles += out.latency;
+    return out;
+}
+
+PageWalker::Outcome
+PageWalker::nativeWalk(VmContext &ctx, Addr gva, Cycles now)
+{
+    Outcome out;
+    ctx.guestPt().walkPath(gva, path_);
+
+    // Consult the paging-structure caches once per walk.
+    out.latency += mmu_.latency();
+    const auto skip = mmu_.skipFor(ctx.asid(), gva, /*host=*/false);
+    const int start_level =
+        skip ? skip->next_level : ctx.guestPt().topLevel();
+
+    for (const PteRef &ref : path_) {
+        if (ref.level > start_level)
+            continue; // shortcut provided by the PSC
+        out.latency +=
+            mem_.translationAccess(core_id_, ref.pte_addr,
+                                   now + out.latency);
+        ++out.refs;
+        if (!ref.leaf)
+            mmu_.fill(ctx.asid(), gva, ref.level, /*host=*/false,
+                      ref.next);
+    }
+
+    out.mapping = ctx.mappingOf(gva);
+    return out;
+}
+
+Addr
+PageWalker::nestedTranslate(VmContext &ctx, Addr gpa, Cycles now,
+                            Cycles &lat, unsigned &refs)
+{
+    lat += mmu_.latency();
+    if (auto hpa_page = mmu_.nestedLookup(ctx.asid(), gpa)) {
+        ++stats_.nested_hits;
+        return *hpa_page + (gpa & (kPageSize - 1));
+    }
+
+    ++stats_.nested_walks;
+    ctx.hostPt().walkPath(gpa, host_path_);
+    const auto skip = mmu_.skipFor(ctx.asid(), gpa, /*host=*/true);
+    const int start_level =
+        skip ? skip->next_level : ctx.hostPt().topLevel();
+
+    Addr hpa_byte = kInvalidAddr;
+    for (const PteRef &ref : host_path_) {
+        if (ref.level > start_level)
+            continue;
+        lat += mem_.translationAccess(core_id_, ref.pte_addr, now + lat);
+        ++refs;
+        if (!ref.leaf) {
+            mmu_.fill(ctx.asid(), gpa, ref.level, /*host=*/true,
+                      ref.next);
+        } else {
+            hpa_byte = ref.next + (gpa & (pageBytes(ref.ps) - 1));
+        }
+    }
+    if (hpa_byte == kInvalidAddr) {
+        // The leaf was above the PSC shortcut level; resolve it
+        // functionally (the shortcut already priced the skipped refs).
+        hpa_byte = ctx.hostTranslate(gpa);
+    }
+
+    mmu_.nestedFill(ctx.asid(), gpa, hpa_byte & ~(kPageSize - 1));
+    return hpa_byte;
+}
+
+PageWalker::Outcome
+PageWalker::nestedWalk(VmContext &ctx, Addr gva, Cycles now)
+{
+    Outcome out;
+    ctx.guestPt().walkPath(gva, path_);
+
+    out.latency += mmu_.latency();
+    const auto skip = mmu_.skipFor(ctx.asid(), gva, /*host=*/false);
+    const int start_level =
+        skip ? skip->next_level : ctx.guestPt().topLevel();
+
+    Addr leaf_gpa = kInvalidAddr;
+    PageSize leaf_ps = PageSize::size4K;
+    for (const PteRef &ref : path_) {
+        if (ref.leaf) {
+            leaf_gpa = ref.next;
+            leaf_ps = ref.ps;
+        }
+        if (ref.level > start_level)
+            continue;
+
+        // The guest PTE lives in guest-physical memory: translate its
+        // address through the host dimension, then read it.
+        const Addr hpa_pte = nestedTranslate(ctx, ref.pte_addr, now,
+                                             out.latency, out.refs);
+        out.latency +=
+            mem_.translationAccess(core_id_, hpa_pte, now + out.latency);
+        ++out.refs;
+
+        if (!ref.leaf)
+            mmu_.fill(ctx.asid(), gva, ref.level, /*host=*/false,
+                      ref.next);
+    }
+
+    if (leaf_gpa == kInvalidAddr)
+        panic("nestedWalk: guest walk produced no leaf");
+
+    // Final host walk: translate the data page's guest-physical
+    // address (paper Fig. 2b, the bottom-row walk).
+    const Addr page_gpa = leaf_gpa + (gva & (pageBytes(leaf_ps) - 1));
+    nestedTranslate(ctx, page_gpa, now, out.latency, out.refs);
+
+    out.mapping = ctx.mappingOf(gva);
+    return out;
+}
+
+} // namespace csalt

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Hardware page-table walker: 1-D for native mode, 2-D (nested) for
+ * virtualized mode (paper Fig. 2).
+ *
+ * Every PTE read is a real cacheable access issued through a
+ * TranslationMemIf (implemented by the memory system), so walk
+ * traffic competes with data for L2/L3 capacity — the congestion
+ * CSALT's partitioning manages. MMU caches (PSC + nested cache)
+ * shorten walks exactly as on real hardware: the worst case is
+ * 4 references native and 24 references virtualized.
+ */
+
+#ifndef CSALT_VM_PAGE_WALKER_H
+#define CSALT_VM_PAGE_WALKER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "vm/address_space.h"
+#include "vm/mmu_cache.h"
+
+namespace csalt
+{
+
+/** Memory-system hook for cacheable page-walk references. */
+class TranslationMemIf
+{
+  public:
+    virtual ~TranslationMemIf() = default;
+
+    /**
+     * Issue one dependent 8-byte PTE read at host-physical @p hpa.
+     * @param core issuing core (selects the private L2)
+     * @param now issue time
+     * @return load-to-use latency in cycles
+     */
+    virtual Cycles translationAccess(unsigned core, Addr hpa,
+                                     Cycles now) = 0;
+};
+
+/** Aggregate walker counters. */
+struct WalkStats
+{
+    std::uint64_t walks = 0;
+    std::uint64_t refs = 0;         //!< PTE reads issued
+    std::uint64_t cycles = 0;       //!< total walk latency
+    std::uint64_t nested_hits = 0;  //!< host walks avoided
+    std::uint64_t nested_walks = 0; //!< host walks performed
+
+    double
+    avgRefs() const
+    {
+        return walks ? static_cast<double>(refs) / walks : 0.0;
+    }
+    double
+    avgCycles() const
+    {
+        return walks ? static_cast<double>(cycles) / walks : 0.0;
+    }
+};
+
+/** Per-core page-table walker. */
+class PageWalker
+{
+  public:
+    /**
+     * @param core_id issuing core
+     * @param mmu this core's MMU caches
+     * @param mem cacheable access interface
+     */
+    PageWalker(unsigned core_id, MmuCaches &mmu, TranslationMemIf &mem);
+
+    /** Result of one complete walk. */
+    struct Outcome
+    {
+        Cycles latency = 0;
+        unsigned refs = 0;
+        Mapping mapping;
+    };
+
+    /**
+     * Walk @p gva in @p ctx (1-D or 2-D per ctx.virtualized()).
+     * The page must already be demand-mapped.
+     */
+    Outcome walk(VmContext &ctx, Addr gva, Cycles now);
+
+    const WalkStats &stats() const { return stats_; }
+    void clearStats() { stats_ = WalkStats{}; }
+
+  private:
+    Outcome nativeWalk(VmContext &ctx, Addr gva, Cycles now);
+    Outcome nestedWalk(VmContext &ctx, Addr gva, Cycles now);
+
+    /**
+     * Translate one guest-physical address via the nested cache or a
+     * host-dimension walk; accumulates into @p lat and @p refs.
+     * @return host-physical byte address of @p gpa
+     */
+    Addr nestedTranslate(VmContext &ctx, Addr gpa, Cycles now,
+                         Cycles &lat, unsigned &refs);
+
+    unsigned core_id_;
+    MmuCaches &mmu_;
+    TranslationMemIf &mem_;
+    WalkStats stats_;
+    std::vector<PteRef> path_;      //!< scratch, reused across walks
+    std::vector<PteRef> host_path_; //!< scratch for the host dimension
+};
+
+} // namespace csalt
+
+#endif // CSALT_VM_PAGE_WALKER_H

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * canneal (PARSEC): simulated-annealing element swaps. Accesses come
+ * in short spatial bursts around randomly chosen elements, most of
+ * which fall in a slowly drifting hot set roughly the size of the L2
+ * TLB's reach — so the workload runs near the TLB capacity cliff and
+ * context switches push it over (high Fig. 1 ratio).
+ */
+
+#include "workloads/generators.h"
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace csalt
+{
+
+namespace
+{
+
+class CannealTrace final : public TraceSource
+{
+  public:
+    CannealTrace(std::uint64_t seed, unsigned thread, double scale)
+        : TraceSource("canneal"), rng_(seed * 2654435761u + thread * 97)
+    {
+        total_pages_ = static_cast<std::uint64_t>(24576 * scale);
+        hot_pages_ = static_cast<std::uint64_t>(1152 * scale);
+        if (total_pages_ < 64)
+            total_pages_ = 64;
+        if (hot_pages_ < 8)
+            hot_pages_ = 8;
+
+        // Netlist elements come from a fragmented allocator: page
+        // permutation shared by the VM's threads (same seed).
+        Rng map_rng(seed * 0x51ed2705u);
+        page_map_.reserve(total_pages_);
+        for (std::uint64_t i = 0; i < total_pages_; ++i)
+            page_map_.push_back(map_rng.below(kVaSpanPages));
+    }
+
+    TraceRecord
+    next() override
+    {
+        ++refs_;
+        // The hot set drifts slowly, as accepted moves shift the
+        // active elements (per-thread drift keeps threads overlapped
+        // but not identical).
+        if (refs_ % kDriftPeriod == 0)
+            hot_base_ = (hot_base_ + hot_pages_ / 4) % total_pages_;
+
+        if (burst_left_ == 0) {
+            // Start a new swap: pick an element, mostly in the hot
+            // set, and touch its neighbourhood.
+            std::uint64_t rank;
+            if (rng_.chance(0.95)) {
+                rank = (hot_base_ + rng_.below(hot_pages_)) %
+                       total_pages_;
+            } else {
+                rank = rng_.below(total_pages_);
+            }
+            const std::uint64_t page = page_map_[rank];
+            burst_addr_ = kElementsBase + page * kPageSize +
+                          (rng_.below(kPageSize - 512) & ~7ull);
+            burst_left_ = 4 + static_cast<unsigned>(rng_.below(5));
+        }
+
+        --burst_left_;
+        const Addr addr = burst_addr_ + rng_.below(512) / 8 * 8;
+        const bool write = rng_.chance(0.3);
+        return {addr, write ? AccessType::write : AccessType::read, 3};
+    }
+
+    std::uint64_t footprintPages() const override
+    {
+        return total_pages_;
+    }
+
+  private:
+    static constexpr Addr kElementsBase = Addr{1} << 40;
+    static constexpr std::uint64_t kVaSpanPages = 1ull << 23;
+    static constexpr std::uint64_t kDriftPeriod = 400000;
+
+    Rng rng_;
+    std::uint64_t total_pages_;
+    std::uint64_t hot_pages_;
+    std::vector<std::uint64_t> page_map_; //!< rank -> VA page
+    std::uint64_t hot_base_ = 0;
+    std::uint64_t refs_ = 0;
+    unsigned burst_left_ = 0;
+    Addr burst_addr_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<TraceSource>
+makeCanneal(std::uint64_t seed, unsigned thread, unsigned /*nthreads*/,
+            double scale)
+{
+    return std::make_unique<CannealTrace>(seed, thread, scale);
+}
+
+} // namespace csalt

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * connected component (GraphChi-style): per-iteration active-vertex
+ * lists whose pages scatter widely across the VA space.
+ *
+ * The generator reproduces the paper's most translation-hostile
+ * profile (Table 1: 1158-cycle virtualized walks; Fig. 3: ~80%
+ * translation occupancy; Fig. 7: 2.2X CSALT gain) with three
+ * interleaved streams during the expansion phase:
+ *
+ *  - cold frontier scans: single touches of pages scattered over a
+ *    huge VA span — every touch is an L2 TLB miss whose POM-TLB set
+ *    line and page-table lines flood the data caches with
+ *    translation entries that have almost no reuse;
+ *  - hot vertex visits: short line-bursts over an L2-TLB-reach-sized
+ *    window — the reuse that context switching destroys (Fig. 1);
+ *  - union-find lookups: random lines of a few-MB component array
+ *    with steep cache reuse — the data whose hits an unpartitioned
+ *    cache sacrifices to the translation flood and CSALT recovers.
+ *
+ * Compaction phases alternate in (sequential sweeps + parent chases
+ * over the union arrays), driving the phase-varying TLB demand of
+ * Fig. 9.
+ */
+
+#include "workloads/generators.h"
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace csalt
+{
+
+namespace
+{
+
+class CcompTrace final : public TraceSource
+{
+  public:
+    CcompTrace(std::uint64_t seed, unsigned thread, double scale)
+        : TraceSource("ccomp"), rng_(seed * 7919u + thread * 613)
+    {
+        window_pages_ = static_cast<std::uint64_t>(32768 * scale);
+        if (window_pages_ < 32)
+            window_pages_ = 32;
+        hot_pages_ = static_cast<std::uint64_t>(49152 * scale);
+        if (hot_pages_ < 16)
+            hot_pages_ = 16;
+        union_pages_ = static_cast<std::uint64_t>(1024 * scale);
+        if (union_pages_ < 16)
+            union_pages_ = 16;
+        sweep_pages_ = static_cast<std::uint64_t>(4096 * scale);
+        if (sweep_pages_ < 16)
+            sweep_pages_ = 16;
+
+        // Pre-generate the scattered window pool and the scattered
+        // active-vertex map deterministically from the *workload*
+        // seed only, so all threads share them. Scattering the active
+        // array over a huge VA span is what makes ccomp's page-table
+        // lines unshareable: every walk's leaf reference is a fresh
+        // line (paper Table 1's 1158-cycle walks).
+        Rng pool_rng(seed * 0x51ed2701u);
+        windows_.resize(kPoolWindows);
+        for (auto &window : windows_) {
+            window.reserve(window_pages_);
+            for (std::uint64_t i = 0; i < window_pages_; ++i)
+                window.push_back(pool_rng.below(kVaSpanPages));
+        }
+        hot_map_.reserve(hot_pages_);
+        for (std::uint64_t i = 0; i < hot_pages_; ++i)
+            hot_map_.push_back(pool_rng.below(kVaSpanPages));
+        sweep_addr_ = kSweepBase;
+    }
+
+    TraceRecord
+    next() override
+    {
+        ++refs_;
+        // Expansion dominates an iteration (~75% of references);
+        // compaction is the shorter alternating phase.
+        const std::uint64_t until =
+            expansion_ ? 3 * kPhaseLen : kPhaseLen;
+        if (refs_ - phase_start_ >= until) {
+            phase_start_ = refs_;
+            expansion_ = !expansion_;
+            if (expansion_) {
+                window_idx_ = (window_idx_ + 1) % kPoolWindows;
+                hot_base_ = (hot_base_ + hot_pages_ / 8) % hot_pages_;
+            }
+        }
+
+        if (expansion_)
+            return expansionStep();
+        return compactionStep();
+    }
+
+    std::uint64_t footprintPages() const override
+    {
+        return kPoolWindows * window_pages_ + hot_pages_ +
+               union_pages_ + sweep_pages_;
+    }
+
+  private:
+    TraceRecord
+    expansionStep()
+    {
+        if (burst_left_ > 0) {
+            --burst_left_;
+            const bool write = rng_.chance(0.3);
+            return {burst_addr_ + rng_.below(64) / 8 * 8,
+                    write ? AccessType::write : AccessType::read, 2};
+        }
+
+        const double roll = rng_.uniform();
+        if (roll < 0.12) {
+            // Union-find lookup: steep-reuse data line.
+            const Addr addr =
+                kUnionBase +
+                (rng_.below(union_pages_ * kPageSize) & ~63ull);
+            burst_addr_ = addr;
+            burst_left_ = 1; // two touches of the record
+            return {addr, AccessType::read, 2};
+        }
+        if (roll < 0.94) {
+            // Active vertex visit: a 6-reference record burst over
+            // two lines of one page of the far-beyond-TLB-reach
+            // active set. Popularity is Zipf-skewed (real graphs have
+            // power-law degree), so the translation working set has a
+            // smooth stack-distance gradient: every extra protected
+            // way earns hits, and the flood-heavy unpartitioned cache
+            // keeps losing the warm core across context switches.
+            const std::uint64_t rank =
+                (hot_base_ + rng_.zipf(hot_pages_, 0.7)) % hot_pages_;
+            const std::uint64_t page = hot_map_[rank];
+            burst_addr_ = kHotBase + page * kPageSize +
+                          (rng_.below(kPageSize - 64) & ~63ull);
+            burst_left_ = 3;
+            return {burst_addr_, AccessType::read, 2};
+        }
+        // Cold frontier scan: one touch of a scattered page; its
+        // translation costs more cache space than its data earns.
+        const auto &window = windows_[window_idx_];
+        const std::uint64_t page = window[rng_.below(window.size())];
+        const Addr addr = kActiveBase + page * kPageSize +
+                          rng_.below(kPageSize) / 8 * 8;
+        const bool write = rng_.chance(0.3); // label updates
+        return {addr, write ? AccessType::write : AccessType::read, 2};
+    }
+
+    TraceRecord
+    compactionStep()
+    {
+        if (rng_.chance(0.15)) {
+            // Short random parent chase.
+            const Addr addr = kUnionBase +
+                              rng_.below(union_pages_ * kPageSize);
+            return {addr & ~7ull, AccessType::read, 3};
+        }
+        // Cyclic sweep over edge shards (~16MB): reuse distance
+        // beyond L3 capacity, so LRU earns nothing from these lines
+        // while they evict everything else — the pathology CSALT's
+        // partition contains.
+        sweep_addr_ += 8;
+        if (sweep_addr_ >= kSweepBase + sweep_pages_ * kPageSize)
+            sweep_addr_ = kSweepBase;
+        const bool write = rng_.chance(0.25);
+        return {sweep_addr_,
+                write ? AccessType::write : AccessType::read, 3};
+    }
+
+    /** Scatter span: windows draw pages from a 32M-page VA range. */
+    static constexpr std::uint64_t kVaSpanPages = 1ull << 25;
+    static constexpr Addr kActiveBase = Addr{1} << 40;
+    static constexpr Addr kHotBase = Addr{1} << 42;
+    static constexpr Addr kUnionBase = Addr{1} << 43;
+    static constexpr Addr kSweepBase = Addr{1} << 44;
+    static constexpr unsigned kPoolWindows = 8;
+    static constexpr std::uint64_t kPhaseLen = 40000;
+
+    Rng rng_;
+    std::uint64_t window_pages_;
+    std::uint64_t hot_pages_;
+    std::uint64_t union_pages_;
+    std::uint64_t sweep_pages_;
+    std::vector<std::vector<std::uint64_t>> windows_;
+    std::vector<std::uint64_t> hot_map_; //!< rank -> scattered page
+    unsigned window_idx_ = 0;
+    std::uint64_t hot_base_ = 0;
+    std::uint64_t refs_ = 0;
+    std::uint64_t phase_start_ = 0;
+    bool expansion_ = true;
+    unsigned burst_left_ = 0;
+    Addr burst_addr_ = 0;
+    Addr sweep_addr_;
+};
+
+} // namespace
+
+std::unique_ptr<TraceSource>
+makeCcomp(std::uint64_t seed, unsigned thread, unsigned /*nthreads*/,
+          double scale)
+{
+    return std::make_unique<CcompTrace>(seed, thread, scale);
+}
+
+} // namespace csalt

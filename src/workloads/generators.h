@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Factory functions for the six synthetic benchmark trace generators.
+ *
+ * Each generator stands in for the paper's Pin trace of the same-named
+ * workload (PARSEC / graph suites), reproducing its memory-system
+ * signature: footprint, page-level locality, reuse profile and phase
+ * behaviour (DESIGN.md §2 documents each substitution).
+ *
+ * All threads of one VM share the workload's virtual-address layout
+ * (they share an address space); @p thread selects the thread-private
+ * phase/seed so streams differ but overlap on the shared structures.
+ * @p scale multiplies footprints (1.0 = default experiment size).
+ */
+
+#ifndef CSALT_WORKLOADS_GENERATORS_H
+#define CSALT_WORKLOADS_GENERATORS_H
+
+#include <cstdint>
+#include <memory>
+
+#include "workloads/trace_source.h"
+
+namespace csalt
+{
+
+/** Uniform-random read-modify-write over a giant table. */
+std::unique_ptr<TraceSource> makeGups(std::uint64_t seed, unsigned thread,
+                                      unsigned nthreads, double scale);
+
+/** Annealing swaps: bursty random-element accesses + netlist stream. */
+std::unique_ptr<TraceSource> makeCanneal(std::uint64_t seed,
+                                         unsigned thread,
+                                         unsigned nthreads, double scale);
+
+/** BFS: sequential frontier scans + random neighbour probes. */
+std::unique_ptr<TraceSource> makeGraph500(std::uint64_t seed,
+                                          unsigned thread,
+                                          unsigned nthreads,
+                                          double scale);
+
+/** Power-law vertex popularity + streaming edge list. */
+std::unique_ptr<TraceSource> makePagerank(std::uint64_t seed,
+                                          unsigned thread,
+                                          unsigned nthreads,
+                                          double scale);
+
+/**
+ * Connected components: phase-alternating sparse frontier expansion
+ * and compaction sweeps over a widely scattered VA range — the
+ * paper's most translation-hostile workload (Table 1: 1158-cycle
+ * virtualized walks; Fig. 3: 80% translation occupancy).
+ */
+std::unique_ptr<TraceSource> makeCcomp(std::uint64_t seed,
+                                       unsigned thread,
+                                       unsigned nthreads, double scale);
+
+/** Streaming passes over a modest array (TLB-friendly, huge pages). */
+std::unique_ptr<TraceSource> makeStreamcluster(std::uint64_t seed,
+                                               unsigned thread,
+                                               unsigned nthreads,
+                                               double scale);
+
+} // namespace csalt
+
+#endif // CSALT_WORKLOADS_GENERATORS_H

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * graph500 BFS: alternating sequential frontier scans and random
+ * neighbour probes over a large vertex array. The frontier region
+ * rotates level by level; neighbour probes dominate TLB pressure.
+ */
+
+#include "workloads/generators.h"
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace csalt
+{
+
+namespace
+{
+
+class Graph500Trace final : public TraceSource
+{
+  public:
+    Graph500Trace(std::uint64_t seed, unsigned thread, double scale)
+        : TraceSource("graph500"), rng_(seed * 40503u + thread * 131)
+    {
+        vertex_pages_ = static_cast<std::uint64_t>(32768 * scale);
+        frontier_pages_ = static_cast<std::uint64_t>(1024 * scale);
+        if (vertex_pages_ < 64)
+            vertex_pages_ = 64;
+        if (frontier_pages_ < 8)
+            frontier_pages_ = 8;
+        scan_addr_ = frontierBase();
+
+        // Fragmented allocation of the vertex pool (see pagerank).
+        Rng map_rng(seed * 0x9e3779b9u);
+        vertex_map_.reserve(vertex_pages_);
+        for (std::uint64_t i = 0; i < vertex_pages_; ++i)
+            vertex_map_.push_back(map_rng.below(kVaSpanPages));
+    }
+
+    TraceRecord
+    next() override
+    {
+        ++refs_;
+        // A new BFS level rotates the frontier window.
+        if (refs_ % kLevelPeriod == 0) {
+            frontier_idx_ =
+                (frontier_idx_ + frontier_pages_) % vertex_pages_;
+            scan_addr_ = frontierBase();
+        }
+
+        if (probe_left_ > 0 || rng_.chance(0.25)) {
+            // Random neighbour probe: read a vertex record (3 fields
+            // on one line) anywhere in the vertex array.
+            if (probe_left_ == 0) {
+                // Degree-skewed target popularity: hubs live on a
+                // TLB-capturable set of pages when running alone.
+                // Most targets are in the current BFS level's
+                // neighbourhood (TLB-reach-sized, rotating with the
+                // frontier); the rest spray across the graph.
+                std::uint64_t rank;
+                if (rng_.chance(0.92)) {
+                    rank = (frontier_idx_ +
+                            rng_.below(kNeighborhoodPages)) %
+                           vertex_pages_;
+                } else {
+                    rank = rng_.below(vertex_pages_);
+                }
+                const std::uint64_t page = vertex_map_[rank];
+                probe_addr_ = kVertexBase + page * kPageSize +
+                              rng_.below(64) * 64;
+                probe_left_ = 3;
+            }
+            --probe_left_;
+            const bool write =
+                probe_left_ == 0 && rng_.chance(0.5); // visited mark
+            return {probe_addr_ + rng_.below(64) / 8 * 8,
+                    write ? AccessType::write : AccessType::read, 3};
+        }
+
+        // Sequential frontier scan.
+        scan_addr_ += 8;
+        if (scan_addr_ >=
+            frontierBase() + frontier_pages_ * kPageSize) {
+            scan_addr_ = frontierBase();
+        }
+        return {scan_addr_, AccessType::read, 3};
+    }
+
+    std::uint64_t footprintPages() const override
+    {
+        // Frontier arrays are a separate allocation from the
+        // (scattered) vertex pool.
+        return vertex_pages_ + frontier_pages_;
+    }
+
+  private:
+    static constexpr Addr kVertexBase = Addr{1} << 40;
+    static constexpr Addr kFrontierBase = Addr{1} << 43;
+    static constexpr std::uint64_t kVaSpanPages = 1ull << 23;
+    static constexpr std::uint64_t kNeighborhoodPages = 1408;
+    static constexpr std::uint64_t kLevelPeriod = 250000;
+
+    Addr
+    frontierBase() const
+    {
+        // The frontier arrays are separate dense allocations.
+        return kFrontierBase + frontier_idx_ * kPageSize;
+    }
+
+    Rng rng_;
+    std::uint64_t vertex_pages_;
+    std::uint64_t frontier_pages_;
+    std::vector<std::uint64_t> vertex_map_; //!< idx -> VA page
+    std::uint64_t frontier_idx_ = 0;
+    std::uint64_t refs_ = 0;
+    unsigned probe_left_ = 0;
+    Addr probe_addr_ = 0;
+    Addr scan_addr_;
+};
+
+} // namespace
+
+std::unique_ptr<TraceSource>
+makeGraph500(std::uint64_t seed, unsigned thread, unsigned /*nthreads*/,
+             double scale)
+{
+    return std::make_unique<Graph500Trace>(seed, thread, scale);
+}
+
+} // namespace csalt

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * GUPS (giant updates per second): uniform random read-modify-write
+ * over a table far larger than any TLB's reach. Every access touches
+ * a fresh random page, so L2 TLB MPKI is saturated with or without
+ * context switching (paper Fig. 1 shows GUPS with one of the *lower*
+ * ratios) and a large L3 TLB captures nearly all reuse (Fig. 8).
+ */
+
+#include "workloads/generators.h"
+
+#include "common/rng.h"
+
+namespace csalt
+{
+
+namespace
+{
+
+class GupsTrace final : public TraceSource
+{
+  public:
+    GupsTrace(std::uint64_t seed, unsigned thread, double scale)
+        : TraceSource("gups"), rng_(seed * 1315423911u + thread)
+    {
+        table_pages_ = static_cast<std::uint64_t>(262144 * scale);
+        if (table_pages_ < 16)
+            table_pages_ = 16;
+    }
+
+    TraceRecord
+    next() override
+    {
+        if (pending_write_) {
+            pending_write_ = false;
+            // The update half of the read-modify-write.
+            return {pending_addr_, AccessType::write, 1};
+        }
+        const Addr offset = rng_.below(table_pages_ * kPageSize) & ~7ull;
+        pending_addr_ = kTableBase + offset;
+        pending_write_ = true;
+        return {pending_addr_, AccessType::read, 2};
+    }
+
+    std::uint64_t footprintPages() const override
+    {
+        return table_pages_;
+    }
+
+  private:
+    static constexpr Addr kTableBase = Addr{1} << 40;
+
+    Rng rng_;
+    std::uint64_t table_pages_;
+    bool pending_write_ = false;
+    Addr pending_addr_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<TraceSource>
+makeGups(std::uint64_t seed, unsigned thread, unsigned /*nthreads*/,
+         double scale)
+{
+    return std::make_unique<GupsTrace>(seed, thread, scale);
+}
+
+} // namespace csalt

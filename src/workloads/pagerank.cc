@@ -1,0 +1,114 @@
+/**
+ * @file
+ * pagerank: streaming edge list plus power-law-popular vertex
+ * accesses. The hot vertex mass concentrates on a TLB-reach-sized
+ * set of pages — strong reuse when running alone, badly disrupted by
+ * a context-switching co-runner (one of the highest Fig. 1 ratios).
+ */
+
+#include "workloads/generators.h"
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace csalt
+{
+
+namespace
+{
+
+class PagerankTrace final : public TraceSource
+{
+  public:
+    PagerankTrace(std::uint64_t seed, unsigned thread, double scale)
+        : TraceSource("pagerank"), rng_(seed * 69069u + thread * 31)
+    {
+        vertex_pages_ = static_cast<std::uint64_t>(32768 * scale);
+        edge_pages_ = static_cast<std::uint64_t>(24576 * scale);
+        if (vertex_pages_ < 64)
+            vertex_pages_ = 64;
+        if (edge_pages_ < 64)
+            edge_pages_ = 64;
+        edge_addr_ = kEdgeBase;
+
+        // Heap fragmentation: vertex pages scatter over a wide VA
+        // span (shared by all threads of the VM), so PTE lines are
+        // not artificially dense the way a contiguous array's are.
+        Rng map_rng(seed * 0x2545f491u);
+        vertex_map_.reserve(vertex_pages_);
+        for (std::uint64_t i = 0; i < vertex_pages_; ++i)
+            vertex_map_.push_back(map_rng.below(kVaSpanPages));
+    }
+
+    TraceRecord
+    next() override
+    {
+        if (vertex_left_ > 0) {
+            // Second field of the vertex record (same line).
+            --vertex_left_;
+            const bool write = rng_.chance(0.25); // rank update
+            return {vertex_addr_ + 8 + rng_.below(48) / 8 * 8,
+                    write ? AccessType::write : AccessType::read, 3};
+        }
+        if (rng_.chance(0.55)) {
+            // Stream the edge list.
+            edge_addr_ += 8;
+            if (edge_addr_ >= kEdgeBase + edge_pages_ * kPageSize)
+                edge_addr_ = kEdgeBase;
+            return {edge_addr_, AccessType::read, 3};
+        }
+        // Vertex accesses: iterations process a drifting active set
+        // near the L2 TLB's reach (low MPKI standalone, heavy refill
+        // cost when a co-runner evicts it — paper Fig. 1), plus a
+        // heavy tail over the whole fragmented array.
+        ++vrefs_;
+        if (vrefs_ % kDriftPeriod == 0)
+            hot_base_ = (hot_base_ + kHotPages / 8) % vertex_pages_;
+        std::uint64_t rank;
+        if (rng_.chance(0.93)) {
+            rank = (hot_base_ + rng_.zipf(kHotPages, 0.4)) %
+                   vertex_pages_;
+        } else {
+            rank = rng_.zipf(vertex_pages_, 0.6);
+        }
+        const std::uint64_t page = vertex_map_[rank];
+        vertex_addr_ = kVertexBase + page * kPageSize +
+                       rng_.below(64) * 64;
+        vertex_left_ = 1;
+        return {vertex_addr_, AccessType::read, 3};
+    }
+
+    std::uint64_t footprintPages() const override
+    {
+        return vertex_pages_ + edge_pages_;
+    }
+
+  private:
+    static constexpr Addr kVertexBase = Addr{1} << 40;
+    static constexpr Addr kEdgeBase = Addr{1} << 43;
+    static constexpr std::uint64_t kVaSpanPages = 1ull << 23;
+    static constexpr std::uint64_t kHotPages = 1280;
+    static constexpr std::uint64_t kDriftPeriod = 300000;
+
+    Rng rng_;
+    std::uint64_t vertex_pages_;
+    std::uint64_t edge_pages_;
+    std::vector<std::uint64_t> vertex_map_; //!< rank page -> VA page
+    std::uint64_t hot_base_ = 0;
+    std::uint64_t vrefs_ = 0;
+    Addr edge_addr_;
+    Addr vertex_addr_ = 0;
+    unsigned vertex_left_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<TraceSource>
+makePagerank(std::uint64_t seed, unsigned thread, unsigned /*nthreads*/,
+             double scale)
+{
+    return std::make_unique<PagerankTrace>(seed, thread, scale);
+}
+
+} // namespace csalt

@@ -1,0 +1,97 @@
+#include "workloads/registry.h"
+
+#include <array>
+#include <map>
+
+#include "common/log.h"
+#include "workloads/generators.h"
+#include "workloads/trace_file.h"
+
+namespace csalt
+{
+
+namespace
+{
+
+const std::array<WorkloadDesc, 6> &
+allWorkloads()
+{
+    static const std::array<WorkloadDesc, 6> table = {{
+        {"canneal", 0.02, makeCanneal},
+        {"ccomp", 0.0, makeCcomp},
+        {"graph500", 0.02, makeGraph500},
+        {"gups", 0.05, makeGups},
+        {"pagerank", 0.02, makePagerank},
+        {"streamcluster", 0.55, makeStreamcluster},
+    }};
+    return table;
+}
+
+} // namespace
+
+const WorkloadDesc &
+workloadDesc(const std::string &name)
+{
+    for (const auto &desc : allWorkloads())
+        if (desc.name == name)
+            return desc;
+
+    // "file:<path>": replay a recorded trace. The parsed file is
+    // cached so the per-thread sources share one copy.
+    if (name.rfind("file:", 0) == 0) {
+        static std::map<std::string, WorkloadDesc> file_descs;
+        auto it = file_descs.find(name);
+        if (it == file_descs.end()) {
+            auto file = TraceFile::load(name.substr(5));
+            WorkloadDesc desc;
+            desc.name = name;
+            desc.huge_fraction = 0.1;
+            desc.make = [file](std::uint64_t /*seed*/, unsigned thread,
+                               unsigned /*nthreads*/,
+                               double /*scale*/) {
+                return std::make_unique<TraceFileSource>(file, thread);
+            };
+            it = file_descs.emplace(name, std::move(desc)).first;
+        }
+        return it->second;
+    }
+
+    fatal(msgOf("unknown workload '", name, "'"));
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &desc : allWorkloads())
+        names.push_back(desc.name);
+    return names;
+}
+
+PairSpec
+resolvePair(const std::string &label)
+{
+    // Heterogeneous pairs (paper Table 3 + figure x-axes).
+    if (label == "can_ccomp")
+        return {label, "canneal", "ccomp"};
+    if (label == "can_stream" || label == "can_strcls")
+        return {label, "canneal", "streamcluster"};
+    if (label == "graph500_gups")
+        return {label, "graph500", "gups"};
+    if (label == "page_stream" || label == "pagerank_strcls")
+        return {label, "pagerank", "streamcluster"};
+
+    // Homogeneous: two instances of the benchmark (footnote 7).
+    const auto &desc = workloadDesc(label);
+    return {label, desc.name, desc.name};
+}
+
+std::vector<std::string>
+paperPairLabels()
+{
+    return {"canneal",  "can_ccomp", "can_stream",    "ccomp",
+            "graph500", "graph500_gups", "gups",      "pagerank",
+            "page_stream", "streamcluster"};
+}
+
+} // namespace csalt

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Workload registry: name -> generator factory + per-VM attributes,
+ * plus the paper's Table 3 / figure pairings of two VMs.
+ */
+
+#ifndef CSALT_WORKLOADS_REGISTRY_H
+#define CSALT_WORKLOADS_REGISTRY_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/trace_source.h"
+
+namespace csalt
+{
+
+/** Everything the system builder needs to instantiate one VM. */
+struct WorkloadDesc
+{
+    std::string name;
+    /** Fraction of this VM's pages backed by 2MB pages (THP). */
+    double huge_fraction = 0.1;
+    /** Factory: (seed, thread, nthreads, scale) -> trace. */
+    std::function<std::unique_ptr<TraceSource>(
+        std::uint64_t, unsigned, unsigned, double)>
+        make;
+};
+
+/** Descriptor for @p name; fatal() on unknown names. */
+const WorkloadDesc &workloadDesc(const std::string &name);
+
+/** All single-benchmark names. */
+std::vector<std::string> workloadNames();
+
+/** A two-VM pairing (paper Table 3). */
+struct PairSpec
+{
+    std::string label;
+    std::string vm1;
+    std::string vm2;
+};
+
+/**
+ * Resolve a figure label ("can_ccomp", "gups", ...) into its VM pair;
+ * single-benchmark labels mean two instances of that benchmark
+ * (paper footnote 7).
+ */
+PairSpec resolvePair(const std::string &label);
+
+/** The ten workload labels of Figs. 1/7/8/10-16, in paper order. */
+std::vector<std::string> paperPairLabels();
+
+} // namespace csalt
+
+#endif // CSALT_WORKLOADS_REGISTRY_H

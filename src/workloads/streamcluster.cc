@@ -1,0 +1,91 @@
+/**
+ * @file
+ * streamcluster (PARSEC): repeated sequential passes over a modest
+ * point array plus a tiny hot centres region. Page-level locality is
+ * excellent and the footprint is THP-friendly (the builder backs this
+ * VM mostly with 2MB pages), so TLB misses are rare — matching the
+ * paper's near-equal native/virtualized walk costs (Table 1).
+ */
+
+#include "workloads/generators.h"
+
+#include "common/rng.h"
+
+namespace csalt
+{
+
+namespace
+{
+
+class StreamclusterTrace final : public TraceSource
+{
+  public:
+    StreamclusterTrace(std::uint64_t seed, unsigned thread, double scale)
+        : TraceSource("streamcluster"),
+          rng_(seed * 104729u + thread * 17)
+    {
+        point_pages_ = static_cast<std::uint64_t>(6144 * scale);
+        if (point_pages_ < 64)
+            point_pages_ = 64;
+        // Stagger threads across the array.
+        scan_addr_ = kPointsBase +
+                     (thread * 1315423911ull) %
+                         (point_pages_ * kPageSize) /
+                         8 * 8;
+    }
+
+    TraceRecord
+    next() override
+    {
+        if (rng_.chance(0.025)) {
+            // Membership/assignment lookups: a light random stream
+            // over a moderate table. This is the workload's only
+            // recurring TLB-miss source (the sequential passes are
+            // THP-covered), matching the small-but-nonzero walk
+            // activity the paper measures for streamcluster.
+            const Addr addr =
+                kAssignBase +
+                (rng_.below(kAssignPages * kPageSize) & ~7ull);
+            return {addr, AccessType::read, 4};
+        }
+        if (rng_.chance(0.05)) {
+            // Distance-to-centre updates in the hot centres block.
+            const Addr addr =
+                kCentersBase + rng_.below(kCenterPages * kPageSize);
+            const bool write = rng_.chance(0.5);
+            return {addr & ~7ull,
+                    write ? AccessType::write : AccessType::read, 4};
+        }
+        scan_addr_ += 8;
+        if (scan_addr_ >= kPointsBase + point_pages_ * kPageSize)
+            scan_addr_ = kPointsBase;
+        return {scan_addr_, AccessType::read, 4};
+    }
+
+    std::uint64_t footprintPages() const override
+    {
+        return point_pages_ + kCenterPages + kAssignPages;
+    }
+
+  private:
+    static constexpr Addr kPointsBase = Addr{1} << 40;
+    static constexpr Addr kCentersBase = Addr{1} << 41;
+    static constexpr Addr kAssignBase = Addr{3} << 41;
+    static constexpr std::uint64_t kCenterPages = 64;
+    static constexpr std::uint64_t kAssignPages = 16384;
+
+    Rng rng_;
+    std::uint64_t point_pages_;
+    Addr scan_addr_;
+};
+
+} // namespace
+
+std::unique_ptr<TraceSource>
+makeStreamcluster(std::uint64_t seed, unsigned thread,
+                  unsigned /*nthreads*/, double scale)
+{
+    return std::make_unique<StreamclusterTrace>(seed, thread, scale);
+}
+
+} // namespace csalt

@@ -1,0 +1,95 @@
+#include "workloads/trace_file.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/log.h"
+
+namespace csalt
+{
+
+std::shared_ptr<const TraceFile>
+TraceFile::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal(msgOf("cannot open trace file '", path, "'"));
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse(buffer.str(), path);
+}
+
+std::shared_ptr<const TraceFile>
+TraceFile::parse(const std::string &text, const std::string &name)
+{
+    auto file = std::make_shared<TraceFile>();
+    file->name_ = name;
+
+    std::istringstream in(text);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        std::string op;
+        std::string addr_hex;
+        std::uint32_t icount = 0;
+        if (!(fields >> op >> addr_hex >> icount) ||
+            (op != "R" && op != "W") || icount == 0) {
+            fatal(msgOf(name, ":", line_no, ": bad trace record '",
+                        line, "'"));
+        }
+        TraceRecord rec;
+        rec.vaddr = std::strtoull(addr_hex.c_str(), nullptr, 16);
+        rec.type = op == "W" ? AccessType::write : AccessType::read;
+        rec.icount = icount;
+        file->records_.push_back(rec);
+    }
+    if (file->records_.empty())
+        fatal(msgOf(name, ": empty trace"));
+    return file;
+}
+
+std::string
+TraceFile::format(const std::vector<TraceRecord> &records)
+{
+    std::ostringstream out;
+    out << "# csalt trace: R|W <hex-vaddr> <icount>\n";
+    out << std::hex;
+    for (const auto &rec : records) {
+        out << (rec.type == AccessType::write ? "W " : "R ")
+            << rec.vaddr << ' ' << std::dec << rec.icount << std::hex
+            << '\n';
+    }
+    return out.str();
+}
+
+TraceFileSource::TraceFileSource(
+    std::shared_ptr<const TraceFile> file, unsigned thread)
+    : TraceSource("file:" + file->name()), file_(std::move(file)),
+      pos_((thread * 0x9e3779b97f4a7c15ull) %
+           file_->records().size())
+{
+}
+
+TraceRecord
+TraceFileSource::next()
+{
+    const TraceRecord rec = file_->records()[pos_];
+    pos_ = (pos_ + 1) % file_->records().size();
+    return rec;
+}
+
+std::uint64_t
+TraceFileSource::footprintPages() const
+{
+    std::unordered_set<Vpn> pages;
+    for (const auto &rec : file_->records())
+        pages.insert(rec.vaddr >> kPageShift);
+    return pages.size();
+}
+
+} // namespace csalt

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Abstract memory-reference trace source.
+ *
+ * The paper plays Pin traces of real workloads through its simulator;
+ * we substitute deterministic generators with matched memory-system
+ * signatures (see DESIGN.md §2). A trace source yields an endless
+ * stream of records; the simulator imposes instruction quotas.
+ */
+
+#ifndef CSALT_WORKLOADS_TRACE_SOURCE_H
+#define CSALT_WORKLOADS_TRACE_SOURCE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+
+namespace csalt
+{
+
+/** One memory reference plus the instructions retired with it. */
+struct TraceRecord
+{
+    Addr vaddr = 0;
+    AccessType type = AccessType::read;
+    /** Instructions this record retires (>=1, includes the memop). */
+    std::uint32_t icount = 1;
+};
+
+/** Endless deterministic reference stream of one workload thread. */
+class TraceSource
+{
+  public:
+    explicit TraceSource(std::string name) : name_(std::move(name)) {}
+    virtual ~TraceSource() = default;
+
+    TraceSource(const TraceSource &) = delete;
+    TraceSource &operator=(const TraceSource &) = delete;
+
+    /** Produce the next reference. */
+    virtual TraceRecord next() = 0;
+
+    /** Approximate distinct 4KB pages the thread will touch. */
+    virtual std::uint64_t footprintPages() const = 0;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+} // namespace csalt
+
+#endif // CSALT_WORKLOADS_TRACE_SOURCE_H

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for VmContext demand paging: translation determinism, huge
+ * page policy, the guest/host two-dimensional structure, and the
+ * host mapping of guest page-table nodes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/phys_alloc.h"
+#include "vm/address_space.h"
+
+using namespace csalt;
+
+namespace
+{
+
+struct Fixture
+{
+    Fixture()
+        : data_frames(0, 1ull << 30, 11),
+          pt_frames(1ull << 30, (1ull << 30) + (256ull << 20), 13)
+    {
+    }
+
+    VmContext
+    makeVm(bool virtualized, double huge_fraction = 0.0, Asid asid = 1)
+    {
+        VmContext::Params p;
+        p.asid = asid;
+        p.virtualized = virtualized;
+        p.huge_fraction = huge_fraction;
+        p.seed = 77;
+        return VmContext(p, data_frames, pt_frames);
+    }
+
+    FrameAllocator data_frames;
+    FrameAllocator pt_frames;
+};
+
+} // namespace
+
+TEST(AddressSpace, TranslateIsStable)
+{
+    Fixture f;
+    auto vm = f.makeVm(true);
+    const Addr hpa1 = vm.translate(0x12345678);
+    const Addr hpa2 = vm.translate(0x12345678);
+    EXPECT_EQ(hpa1, hpa2);
+}
+
+TEST(AddressSpace, OffsetsPreservedWithinPage)
+{
+    Fixture f;
+    auto vm = f.makeVm(true);
+    const Addr base = vm.translate(0x40000000);
+    EXPECT_EQ(vm.translate(0x40000123), base + 0x123);
+}
+
+TEST(AddressSpace, DistinctPagesDistinctFrames)
+{
+    Fixture f;
+    auto vm = f.makeVm(true);
+    const Addr a = vm.translate(0x1000);
+    const Addr b = vm.translate(0x2000);
+    EXPECT_NE(a >> kPageShift, b >> kPageShift);
+}
+
+TEST(AddressSpace, HugeFractionZeroMapsOnly4K)
+{
+    Fixture f;
+    auto vm = f.makeVm(true, 0.0);
+    for (Addr va = 0; va < 64 * kPageSize; va += kPageSize)
+        vm.translate(va);
+    EXPECT_EQ(vm.mapped2M(), 0u);
+    EXPECT_EQ(vm.mapped4K(), 64u);
+}
+
+TEST(AddressSpace, HugeFractionOneMapsOnly2M)
+{
+    Fixture f;
+    auto vm = f.makeVm(true, 1.0);
+    vm.translate(0);
+    vm.translate(kPageSize); // same 2MB region
+    EXPECT_EQ(vm.mapped2M(), 1u);
+    EXPECT_EQ(vm.mapped4K(), 0u);
+    EXPECT_EQ(vm.mappingOf(0).ps, PageSize::size2M);
+}
+
+TEST(AddressSpace, HugeFractionIsApproximatelyHonoured)
+{
+    Fixture f;
+    auto vm = f.makeVm(true, 0.3);
+    for (std::uint64_t r = 0; r < 400; ++r)
+        vm.translate(r * kHugePageSize);
+    const double frac =
+        static_cast<double>(vm.mapped2M()) /
+        static_cast<double>(vm.mapped2M() + vm.mapped4K());
+    EXPECT_NEAR(frac, 0.3, 0.08);
+}
+
+TEST(AddressSpace, GuestWalkPathEndsInGuestPhysical)
+{
+    Fixture f;
+    auto vm = f.makeVm(true);
+    vm.translate(0x5000);
+    const auto leaf = vm.guestPt().leafOf(0x5000);
+    ASSERT_TRUE(leaf.has_value());
+    // The guest leaf points at a guest-physical page which the host
+    // dimension maps to the real frame.
+    const Addr hpa = vm.hostTranslate(leaf->next);
+    EXPECT_EQ(hpa, vm.translate(0x5000) & ~(kPageSize - 1));
+}
+
+TEST(AddressSpace, GuestPtNodesAreHostMapped)
+{
+    Fixture f;
+    auto vm = f.makeVm(true);
+    vm.translate(0x5000);
+    std::vector<PteRef> path;
+    vm.guestPt().walkPath(0x5000, path);
+    for (const auto &ref : path) {
+        // Every guest PTE address is a gPA the host can translate.
+        EXPECT_NO_FATAL_FAILURE(vm.hostTranslate(ref.pte_addr));
+    }
+}
+
+TEST(AddressSpace, GuestPhysOfMatchesGuestLeaf)
+{
+    Fixture f;
+    auto vm = f.makeVm(true);
+    const Addr gpa = vm.guestPhysOf(0x777123);
+    const auto leaf = vm.guestPt().leafOf(0x777123);
+    ASSERT_TRUE(leaf.has_value());
+    EXPECT_EQ(gpa, leaf->next + (0x777123 & (kPageSize - 1)));
+}
+
+TEST(AddressSpace, NativeModeMapsDirectly)
+{
+    Fixture f;
+    auto vm = f.makeVm(false);
+    const Addr hpa = vm.translate(0x9000);
+    const auto leaf = vm.guestPt().leafOf(0x9000);
+    ASSERT_TRUE(leaf.has_value());
+    EXPECT_EQ(leaf->next, hpa & ~(kPageSize - 1));
+    EXPECT_FALSE(vm.virtualized());
+}
+
+TEST(AddressSpace, NativeModeHasNoHostTable)
+{
+    Fixture f;
+    auto vm = f.makeVm(false);
+    EXPECT_DEATH(vm.hostPt(), "native");
+}
+
+TEST(AddressSpace, HostTranslateUnmappedPanics)
+{
+    Fixture f;
+    auto vm = f.makeVm(true);
+    EXPECT_DEATH(vm.hostTranslate(0xdeadbeef000), "unmapped");
+}
+
+TEST(AddressSpace, DifferentSeedsDifferentLayout)
+{
+    Fixture f;
+    VmContext::Params p1;
+    p1.asid = 1;
+    p1.seed = 1;
+    VmContext::Params p2;
+    p2.asid = 2;
+    p2.seed = 2;
+    VmContext a(p1, f.data_frames, f.pt_frames);
+    VmContext b(p2, f.data_frames, f.pt_frames);
+    EXPECT_NE(a.translate(0x1000), b.translate(0x1000));
+}

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests for the cache model: lookup/fill/evict, dirty writeback
+ * bookkeeping, per-type occupancy, and — the CSALT-specific part —
+ * way-partition enforcement on the replacement path with lazy drain
+ * of stranded lines (paper §3.1, cases (a) and (b)).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.h"
+#include "common/rng.h"
+
+using namespace csalt;
+
+namespace
+{
+
+CacheParams
+smallCache(unsigned ways = 4, std::uint64_t sets = 8)
+{
+    CacheParams p;
+    p.name = "test";
+    p.ways = ways;
+    p.size_bytes = sets * ways * kLineSize;
+    p.latency = 10;
+    return p;
+}
+
+Addr
+lineAddr(std::uint64_t set, std::uint64_t tag, std::uint64_t sets = 8)
+{
+    return ((tag * sets + set) << kLineShift);
+}
+
+} // namespace
+
+TEST(Cache, MissThenHit)
+{
+    Cache cache(smallCache());
+    const Addr a = lineAddr(0, 1);
+    EXPECT_FALSE(cache.access(a, AccessType::read, LineType::data).hit);
+    EXPECT_TRUE(cache.access(a, AccessType::read, LineType::data).hit);
+    EXPECT_EQ(cache.stats().totalHits(), 1u);
+    EXPECT_EQ(cache.stats().totalMisses(), 1u);
+}
+
+TEST(Cache, SubLineAddressesShareALine)
+{
+    Cache cache(smallCache());
+    cache.access(0x1000, AccessType::read, LineType::data);
+    EXPECT_TRUE(
+        cache.access(0x1038, AccessType::read, LineType::data).hit);
+}
+
+TEST(Cache, EvictionReturnsVictim)
+{
+    Cache cache(smallCache(2, 4));
+    const Addr a = lineAddr(1, 1, 4);
+    const Addr b = lineAddr(1, 2, 4);
+    const Addr c = lineAddr(1, 3, 4);
+    cache.access(a, AccessType::write, LineType::data);
+    cache.access(b, AccessType::read, LineType::data);
+    const auto r = cache.access(c, AccessType::read, LineType::data);
+    ASSERT_TRUE(r.victim.valid);
+    EXPECT_EQ(r.victim.line_addr, a); // LRU victim
+    EXPECT_TRUE(r.victim.dirty);      // was written
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, ProbeDoesNotDisturbState)
+{
+    Cache cache(smallCache());
+    const Addr a = lineAddr(2, 5);
+    EXPECT_FALSE(cache.probe(a));
+    cache.access(a, AccessType::read, LineType::data);
+    EXPECT_TRUE(cache.probe(a));
+    EXPECT_EQ(cache.stats().accesses(), 1u); // probe not counted
+}
+
+TEST(Cache, MarkDirtyIfPresent)
+{
+    Cache cache(smallCache());
+    const Addr a = lineAddr(3, 7);
+    EXPECT_FALSE(cache.markDirtyIfPresent(a));
+    cache.access(a, AccessType::read, LineType::data);
+    EXPECT_TRUE(cache.markDirtyIfPresent(a));
+
+    // Evicting it must now report dirty.
+    Victim victim;
+    for (std::uint64_t t = 8; t < 16; ++t) {
+        const auto r = cache.access(lineAddr(3, t), AccessType::read,
+                                    LineType::data);
+        if (r.victim.valid && r.victim.line_addr == a)
+            victim = r.victim;
+    }
+    EXPECT_TRUE(victim.valid);
+    EXPECT_TRUE(victim.dirty);
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    Cache cache(smallCache());
+    const Addr a = lineAddr(0, 9);
+    cache.access(a, AccessType::read, LineType::data);
+    EXPECT_TRUE(cache.invalidate(a));
+    EXPECT_FALSE(cache.probe(a));
+    EXPECT_FALSE(cache.invalidate(a));
+}
+
+TEST(Cache, OccupancyCountersMatchScan)
+{
+    Cache cache(smallCache(4, 16));
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i) {
+        const LineType t =
+            rng.chance(0.3) ? LineType::translation : LineType::data;
+        cache.access(rng.below(1 << 16) << kLineShift,
+                     AccessType::read, t);
+    }
+    const double total = 4.0 * 16.0;
+    EXPECT_DOUBLE_EQ(cache.occupancyOf(LineType::data),
+                     cache.scanCountOf(LineType::data) / total);
+    EXPECT_DOUBLE_EQ(cache.occupancyOf(LineType::translation),
+                     cache.scanCountOf(LineType::translation) / total);
+}
+
+TEST(Cache, InvalidateAllClears)
+{
+    Cache cache(smallCache());
+    cache.access(lineAddr(0, 1), AccessType::read, LineType::data);
+    cache.access(lineAddr(1, 1), AccessType::read,
+                 LineType::translation);
+    cache.invalidateAll();
+    EXPECT_DOUBLE_EQ(cache.occupancyOf(LineType::data), 0.0);
+    EXPECT_DOUBLE_EQ(cache.occupancyOf(LineType::translation), 0.0);
+    EXPECT_FALSE(cache.probe(lineAddr(0, 1)));
+}
+
+// ------------------------------------------------------- partitioning
+
+TEST(CachePartition, FillsConfinedToTypeWays)
+{
+    Cache cache(smallCache(4, 4));
+    cache.enablePartitioning(2); // data ways {0,1}, tlb ways {2,3}
+
+    // Fill set 0 with 8 alternating lines; at most 2 of each type can
+    // survive.
+    for (std::uint64_t t = 0; t < 4; ++t) {
+        cache.access(lineAddr(0, 2 * t, 4), AccessType::read,
+                     LineType::data);
+        cache.access(lineAddr(0, 2 * t + 1, 4), AccessType::read,
+                     LineType::translation);
+    }
+    EXPECT_EQ(cache.scanCountOf(LineType::data), 2u);
+    EXPECT_EQ(cache.scanCountOf(LineType::translation), 2u);
+}
+
+TEST(CachePartition, DataNeverEvictsTranslationWays)
+{
+    Cache cache(smallCache(4, 4));
+    cache.enablePartitioning(2);
+
+    const Addr tr1 = lineAddr(0, 100, 4);
+    const Addr tr2 = lineAddr(0, 101, 4);
+    cache.access(tr1, AccessType::read, LineType::translation);
+    cache.access(tr2, AccessType::read, LineType::translation);
+
+    // A storm of data fills must leave both translation lines alone.
+    for (std::uint64_t t = 0; t < 32; ++t) {
+        cache.access(lineAddr(0, t, 4), AccessType::read,
+                     LineType::data);
+    }
+    EXPECT_TRUE(cache.probe(tr1));
+    EXPECT_TRUE(cache.probe(tr2));
+}
+
+TEST(CachePartition, LookupStillFindsStrandedLines)
+{
+    // Paper §3.1 case (b): shrinking the data allocation leaves data
+    // lines stranded in translation ways; lookups must still hit.
+    Cache cache(smallCache(4, 4));
+    cache.enablePartitioning(3); // data {0,1,2}
+
+    const Addr d0 = lineAddr(0, 10, 4);
+    const Addr d1 = lineAddr(0, 11, 4);
+    const Addr d2 = lineAddr(0, 12, 4);
+    cache.access(d0, AccessType::read, LineType::data);
+    cache.access(d1, AccessType::read, LineType::data);
+    cache.access(d2, AccessType::read, LineType::data);
+
+    cache.setDataWays(1); // ways 1,2 now belong to translation
+    EXPECT_TRUE(cache.access(d1, AccessType::read, LineType::data).hit);
+    EXPECT_TRUE(cache.access(d2, AccessType::read, LineType::data).hit);
+}
+
+TEST(CachePartition, StrandedLinesDrainLazily)
+{
+    Cache cache(smallCache(4, 4));
+    cache.enablePartitioning(3);
+    const Addr d1 = lineAddr(0, 11, 4);
+    cache.access(lineAddr(0, 10, 4), AccessType::read, LineType::data);
+    cache.access(d1, AccessType::read, LineType::data);
+    cache.access(lineAddr(0, 12, 4), AccessType::read, LineType::data);
+
+    cache.setDataWays(1);
+    // Translation fills take over ways 1..3, displacing stranded data.
+    for (std::uint64_t t = 0; t < 3; ++t) {
+        cache.access(lineAddr(0, 50 + t, 4), AccessType::read,
+                     LineType::translation);
+    }
+    EXPECT_FALSE(cache.probe(d1));
+    EXPECT_EQ(cache.scanCountOf(LineType::translation), 3u);
+}
+
+TEST(CachePartition, SetDataWaysBoundsChecked)
+{
+    Cache cache(smallCache(4, 4));
+    cache.enablePartitioning(2);
+    EXPECT_DEATH(cache.setDataWays(0), "way");
+    EXPECT_DEATH(cache.setDataWays(4), "way");
+}
+
+TEST(CachePartition, DataWaysWithoutPartitioningIsFullWays)
+{
+    Cache cache(smallCache(4, 4));
+    EXPECT_FALSE(cache.partitioned());
+    EXPECT_EQ(cache.dataWays(), 4u);
+    cache.enablePartitioning(1);
+    EXPECT_TRUE(cache.partitioned());
+    EXPECT_EQ(cache.dataWays(), 1u);
+}
+
+TEST(CacheProfiling, ProfilersObserveBothTypes)
+{
+    Cache cache(smallCache(4, 8));
+    cache.enableProfiling(/*sample_shift=*/0);
+    ASSERT_TRUE(cache.profiling());
+
+    cache.access(lineAddr(0, 1), AccessType::read, LineType::data);
+    cache.access(lineAddr(0, 1), AccessType::read, LineType::data);
+    cache.access(lineAddr(0, 2), AccessType::read,
+                 LineType::translation);
+
+    EXPECT_EQ(cache.dataProfiler().total(), 2u);
+    EXPECT_EQ(cache.dataProfiler().hitsUpTo(4), 1u);
+    EXPECT_EQ(cache.tlbProfiler().total(), 1u);
+}
+
+TEST(CacheProfiling, PanicsWhenDisabled)
+{
+    Cache cache(smallCache());
+    EXPECT_DEATH(cache.dataProfiler(), "profiling");
+}

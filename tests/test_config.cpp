@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the configuration defaults (paper Table 2) and the
+ * validation rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+
+using namespace csalt;
+
+TEST(Config, PaperTable2Defaults)
+{
+    const SystemParams p = defaultParams();
+    EXPECT_EQ(p.num_cores, 8u);
+    EXPECT_EQ(p.l1d.size_bytes, 32ull << 10);
+    EXPECT_EQ(p.l1d.ways, 8u);
+    EXPECT_EQ(p.l1d.latency, 4u);
+    EXPECT_EQ(p.l2.size_bytes, 256ull << 10);
+    EXPECT_EQ(p.l2.ways, 4u);
+    EXPECT_EQ(p.l2.latency, 12u);
+    EXPECT_EQ(p.l3.size_bytes, 8ull << 20);
+    EXPECT_EQ(p.l3.ways, 16u);
+    EXPECT_EQ(p.l3.latency, 42u);
+    EXPECT_EQ(p.l1tlb_4k.entries, 64u);
+    EXPECT_EQ(p.l1tlb_2m.entries, 32u);
+    EXPECT_EQ(p.l2tlb.entries, 1536u);
+    EXPECT_EQ(p.l2tlb.ways, 12u);
+    EXPECT_EQ(p.l2tlb.latency, 17u);
+    EXPECT_EQ(p.psc.pml4e_entries, 2u);
+    EXPECT_EQ(p.psc.pdpe_entries, 4u);
+    EXPECT_EQ(p.psc.pde_entries, 32u);
+    EXPECT_EQ(p.pom.size_bytes, 16ull << 20);
+    EXPECT_EQ(p.page_table_levels, 4);
+    EXPECT_TRUE(p.virtualized);
+}
+
+TEST(Config, CacheGeometryHelpers)
+{
+    const SystemParams p = defaultParams();
+    EXPECT_EQ(p.l1d.numLines(), 512u);
+    EXPECT_EQ(p.l1d.numSets(), 64u);
+    EXPECT_EQ(p.l3.numSets(), 8192u);
+}
+
+TEST(Config, TimeScalingPreservesRatios)
+{
+    // 5:10:30 ms must stay 1:2:6 after scaling (paper Fig. 16).
+    const Cycles five = 5 * kCyclesPerPaperMs;
+    const Cycles ten = 10 * kCyclesPerPaperMs;
+    const Cycles thirty = 30 * kCyclesPerPaperMs;
+    EXPECT_EQ(ten, 2 * five);
+    EXPECT_EQ(thirty, 6 * five);
+    // Epoch scaling preserves 128K:256K:512K ~ 1:2:4 (integer
+    // division of 128K/100 truncates by at most one access).
+    EXPECT_NEAR(static_cast<double>(scaledEpoch(256 * 1024)),
+                2.0 * scaledEpoch(128 * 1024), 2.0);
+    EXPECT_NEAR(static_cast<double>(scaledEpoch(512 * 1024)),
+                4.0 * scaledEpoch(128 * 1024), 4.0);
+}
+
+TEST(Config, DefaultsValidate)
+{
+    SystemParams p = defaultParams();
+    validate(p); // must not exit
+    p.l2_partition.policy = PartitionPolicy::csaltCD;
+    p.l3_partition.policy = PartitionPolicy::csaltCD;
+    validate(p);
+    SUCCEED();
+}
+
+TEST(Config, Names)
+{
+    EXPECT_STREQ(partitionPolicyName(PartitionPolicy::csaltD),
+                 "CSALT-D");
+    EXPECT_STREQ(partitionPolicyName(PartitionPolicy::csaltCD),
+                 "CSALT-CD");
+    EXPECT_STREQ(partitionPolicyName(PartitionPolicy::none), "none");
+    EXPECT_STREQ(translationKindName(TranslationKind::pomTlb),
+                 "POM-TLB");
+    EXPECT_STREQ(translationKindName(TranslationKind::tsb), "TSB");
+}
+
+TEST(Config, ValidationCatchesBadGeometry)
+{
+    SystemParams p = defaultParams();
+    p.l1d.size_bytes = 0;
+    EXPECT_EXIT(validate(p), ::testing::ExitedWithCode(1), "zero");
+
+    p = defaultParams();
+    p.l2tlb.entries = 1000; // 1000/12 not a power-of-two set count
+    EXPECT_EXIT(validate(p), ::testing::ExitedWithCode(1), "TLB");
+
+    p = defaultParams();
+    p.num_cores = 0;
+    EXPECT_EXIT(validate(p), ::testing::ExitedWithCode(1),
+                "num_cores");
+
+    p = defaultParams();
+    p.page_table_levels = 6;
+    EXPECT_EXIT(validate(p), ::testing::ExitedWithCode(1),
+                "page_table_levels");
+
+    p = defaultParams();
+    p.huge_page_fraction = 1.5;
+    EXPECT_EXIT(validate(p), ::testing::ExitedWithCode(1),
+                "huge_page_fraction");
+
+    p = defaultParams();
+    p.pom.ways = 8; // 8 * 16B != 64B line
+    EXPECT_EXIT(validate(p), ::testing::ExitedWithCode(1), "POM");
+
+    p = defaultParams();
+    p.l2_partition.policy = PartitionPolicy::csaltD;
+    p.l2_partition.min_ways_per_type = 3; // 2*3 > 4 ways
+    EXPECT_EXIT(validate(p), ::testing::ExitedWithCode(1),
+                "min ways");
+}

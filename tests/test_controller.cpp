@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the epoch-driven partition controller (paper Fig. 6):
+ * epoch triggering, marginal-utility application, the negligible-
+ * traffic guard, static mode, and the Fig. 9 partition trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.h"
+#include "common/rng.h"
+#include "core/csalt_controller.h"
+
+using namespace csalt;
+
+namespace
+{
+
+CacheParams
+cacheParams(unsigned ways = 8, std::uint64_t sets = 16)
+{
+    CacheParams p;
+    p.name = "ctl-test";
+    p.ways = ways;
+    p.size_bytes = sets * ways * kLineSize;
+    return p;
+}
+
+PartitionParams
+dynParams(PartitionPolicy policy, std::uint64_t epoch = 64)
+{
+    PartitionParams p;
+    p.policy = policy;
+    p.epoch_accesses = epoch;
+    p.min_ways_per_type = 1;
+    return p;
+}
+
+/** Drive accesses whose types/tags make data clearly hotter. */
+void
+driveDataHeavy(Cache &cache, int rounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < rounds; ++i) {
+        // Data: heavy reuse over few lines; translation: rare stream.
+        cache.access((rng.below(32)) << kLineShift, AccessType::read,
+                     LineType::data);
+        if (i % 16 == 0) {
+            cache.access((100000 + static_cast<Addr>(i))
+                             << kLineShift,
+                         AccessType::read, LineType::translation);
+        }
+    }
+}
+
+} // namespace
+
+TEST(Controller, NonePolicyLeavesCacheUnpartitioned)
+{
+    Cache cache(cacheParams());
+    PartitionController ctl(cache, dynParams(PartitionPolicy::none),
+                            nullptr);
+    for (int i = 0; i < 1000; ++i)
+        ctl.onAccess();
+    EXPECT_FALSE(cache.partitioned());
+    EXPECT_EQ(ctl.epochsCompleted(), 0u);
+}
+
+TEST(Controller, StaticHalfSplitsEvenly)
+{
+    Cache cache(cacheParams(8));
+    PartitionController ctl(cache,
+                            dynParams(PartitionPolicy::staticHalf),
+                            nullptr);
+    EXPECT_TRUE(cache.partitioned());
+    EXPECT_EQ(cache.dataWays(), 4u);
+}
+
+TEST(Controller, StaticConfigurableWays)
+{
+    Cache cache(cacheParams(8));
+    auto params = dynParams(PartitionPolicy::staticHalf);
+    params.static_data_ways = 6;
+    PartitionController ctl(cache, params, nullptr);
+    EXPECT_EQ(cache.dataWays(), 6u);
+}
+
+TEST(Controller, EpochBoundaryTriggersRepartition)
+{
+    Cache cache(cacheParams());
+    PartitionController ctl(cache, dynParams(PartitionPolicy::csaltD),
+                            nullptr);
+    EXPECT_TRUE(cache.profiling());
+
+    for (int i = 0; i < 63; ++i)
+        ctl.onAccess();
+    EXPECT_EQ(ctl.epochsCompleted(), 0u);
+    ctl.onAccess();
+    EXPECT_EQ(ctl.epochsCompleted(), 1u);
+    for (int i = 0; i < 128; ++i)
+        ctl.onAccess();
+    EXPECT_EQ(ctl.epochsCompleted(), 3u);
+}
+
+TEST(Controller, RepartitionAppliesArgmax)
+{
+    Cache cache(cacheParams(8));
+    PartitionController ctl(cache, dynParams(PartitionPolicy::csaltD),
+                            nullptr);
+
+    // Craft profiler contents with a known argmax (Figure 5: N=5).
+    cache.dataProfiler().setCounters({3, 11, 12, 8, 9, 2, 1, 4, 10});
+    cache.tlbProfiler().setCounters({7, 10, 12, 5, 1, 0, 8, 15, 1});
+    ctl.repartition();
+    EXPECT_EQ(cache.dataWays(), 5u);
+
+    // Profilers reset for the next epoch.
+    EXPECT_EQ(cache.dataProfiler().total(), 0u);
+    EXPECT_EQ(cache.tlbProfiler().total(), 0u);
+}
+
+TEST(Controller, NegligibleTranslationTrafficGetsMinimum)
+{
+    Cache cache(cacheParams(8));
+    PartitionController ctl(cache, dynParams(PartitionPolicy::csaltD),
+                            nullptr);
+    // 1000 data accesses, 2 translation accesses (0.2% < 2% guard).
+    std::vector<std::uint64_t> d(9, 0);
+    d[0] = 1000;
+    cache.dataProfiler().setCounters(d);
+    std::vector<std::uint64_t> t(9, 0);
+    t[0] = 2;
+    cache.tlbProfiler().setCounters(t);
+    ctl.repartition();
+    EXPECT_EQ(cache.dataWays(), 7u);
+}
+
+TEST(Controller, NegligibleDataTrafficGetsMinimum)
+{
+    Cache cache(cacheParams(8));
+    PartitionController ctl(cache, dynParams(PartitionPolicy::csaltD),
+                            nullptr);
+    std::vector<std::uint64_t> d(9, 0);
+    d[0] = 2;
+    cache.dataProfiler().setCounters(d);
+    std::vector<std::uint64_t> t(9, 0);
+    t[0] = 1000;
+    cache.tlbProfiler().setCounters(t);
+    ctl.repartition();
+    EXPECT_EQ(cache.dataWays(), 1u);
+}
+
+TEST(Controller, TraceRecordsEachEpoch)
+{
+    Cache cache(cacheParams());
+    PartitionController ctl(cache, dynParams(PartitionPolicy::csaltD),
+                            nullptr);
+    driveDataHeavy(cache, 10);
+    ctl.repartition();
+    ctl.repartition();
+    EXPECT_EQ(ctl.partitionTrace().points().size(), 2u);
+    ctl.clearTrace();
+    EXPECT_TRUE(ctl.partitionTrace().empty());
+}
+
+TEST(Controller, CsaltCdUsesWeights)
+{
+    Cache cache(cacheParams(8));
+    CriticalityEstimator est(42);
+    // Make translation hits enormously valuable.
+    est.recordPomLatency(4200);
+    est.recordPomOutcome(false);
+    est.recordWalkLatency(42000);
+    est.recordDramLatency(42); // s_dat = 1
+
+    PartitionController ctl(cache, dynParams(PartitionPolicy::csaltCD),
+                            &est);
+
+    // Symmetric profiles: CSALT-D would tie-break toward data; the
+    // weights must pull the split toward translation.
+    std::vector<std::uint64_t> flat = {5, 5, 5, 5, 5, 5, 5, 5, 0};
+    cache.dataProfiler().setCounters(flat);
+    cache.tlbProfiler().setCounters(flat);
+    ctl.repartition();
+    EXPECT_EQ(cache.dataWays(), 1u);
+    EXPECT_GT(ctl.lastWeights().s_tr, ctl.lastWeights().s_dat);
+}
+
+TEST(Controller, CsaltCdRequiresEstimator)
+{
+    Cache cache(cacheParams());
+    EXPECT_EXIT(PartitionController(
+                    cache, dynParams(PartitionPolicy::csaltCD), nullptr),
+                ::testing::ExitedWithCode(1), "criticality");
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Behaviour tests of the core timing model through a small System:
+ * accounting identities that must hold across schemes regardless of
+ * workload (conservation between TLB levels, walk/POM bookkeeping,
+ * blocking-translation cycle attribution).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.h"
+#include "sim/system_builder.h"
+
+using namespace csalt;
+
+namespace
+{
+
+std::unique_ptr<System>
+smallRun(void (*apply)(SystemParams &), std::uint64_t quota = 80'000)
+{
+    BuildSpec spec;
+    apply(spec.params);
+    spec.params.num_cores = 2;
+    spec.params.cs_interval = 25'000;
+    spec.vm_workloads = {"gups", "canneal"};
+    spec.workload_scale = 0.02;
+    auto system = buildSystem(spec);
+    system->run(quota);
+    return system;
+}
+
+} // namespace
+
+TEST(CoreModel, TlbLevelConservation)
+{
+    auto system = smallRun(applyPomTlb);
+    for (unsigned c = 0; c < system->numCores(); ++c) {
+        const auto &tlbs = system->core(c).tlbs();
+        // Every L1 miss probes the L2; every L2 access came from an
+        // L1 miss.
+        EXPECT_EQ(tlbs.l1Stats().misses, tlbs.l2().stats().accesses());
+        // One L1 probe per memory reference.
+        EXPECT_EQ(tlbs.l1Stats().accesses(),
+                  system->core(c).stats().memrefs);
+    }
+}
+
+TEST(CoreModel, PomLookupPerL2TlbMiss)
+{
+    auto system = smallRun(applyPomTlb);
+    std::uint64_t l2_misses = 0;
+    for (unsigned c = 0; c < system->numCores(); ++c)
+        l2_misses += system->core(c).tlbs().l2().stats().misses;
+    EXPECT_EQ(system->mem().pomLookupStats().lookups, l2_misses);
+}
+
+TEST(CoreModel, WalksEqualPomLookupMisses)
+{
+    auto system = smallRun(applyPomTlb);
+    std::uint64_t walks = 0;
+    for (unsigned c = 0; c < system->numCores(); ++c)
+        walks += system->core(c).stats().walks;
+    const auto &pom = system->mem().pomLookupStats();
+    EXPECT_EQ(walks, pom.lookups - pom.hits);
+}
+
+TEST(CoreModel, WalkerStatsMatchCoreStats)
+{
+    auto system = smallRun(applyConventional);
+    for (unsigned c = 0; c < system->numCores(); ++c) {
+        EXPECT_EQ(system->core(c).walker().stats().walks,
+                  system->core(c).stats().walks);
+        EXPECT_EQ(system->core(c).walker().stats().cycles,
+                  system->core(c).stats().walk_cycles);
+    }
+}
+
+TEST(CoreModel, CyclesDecomposeSanely)
+{
+    auto system = smallRun(applyPomTlb);
+    for (unsigned c = 0; c < system->numCores(); ++c) {
+        const auto &core = system->core(c);
+        const auto &stats = core.stats();
+        // base + translation + data (+ switch penalties) = clock.
+        const double base = 0.5 * stats.instructions;
+        const double accounted =
+            base + static_cast<double>(stats.translation_cycles) +
+            static_cast<double>(stats.data_cycles) +
+            2000.0 * stats.context_switches;
+        // data_cycles truncates per record, so allow a few percent.
+        EXPECT_NEAR(static_cast<double>(core.cyclesSinceClear()),
+                    accounted, accounted * 0.05 + 10.0);
+    }
+}
+
+TEST(CoreModel, MemrefsMatchDataAccesses)
+{
+    auto system = smallRun(applyPomTlb);
+    // Every trace record issues exactly one L1D access.
+    for (unsigned c = 0; c < system->numCores(); ++c) {
+        EXPECT_EQ(system->mem().l1d(c).stats().accesses(),
+                  system->core(c).stats().memrefs);
+    }
+}
+
+TEST(CoreModel, TsbProbesPerMissAtMostTwo)
+{
+    auto system = smallRun(applyTsb);
+    const auto &tsb = system->mem().tsb().stats();
+    const std::uint64_t lookups = tsb.hits + tsb.misses;
+    EXPECT_GE(tsb.probes, lookups);
+    EXPECT_LE(tsb.probes, 2 * lookups);
+}
+
+TEST(CoreModel, InstructionsNeverExceedQuotaByOneRecord)
+{
+    auto system = smallRun(applyPomTlb, 50'000);
+    for (unsigned c = 0; c < system->numCores(); ++c) {
+        EXPECT_GE(system->core(c).instructions(), 50'000u);
+        // A record retires at most ~16 instructions.
+        EXPECT_LT(system->core(c).instructions(), 50'100u);
+    }
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the CSALT-CD criticality weight estimator (paper §3.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/criticality.h"
+
+using namespace csalt;
+
+TEST(Criticality, DefaultsToUnityWithoutSamples)
+{
+    CriticalityEstimator est(42);
+    const auto w = est.weights();
+    EXPECT_DOUBLE_EQ(w.s_dat, 1.0);
+    EXPECT_DOUBLE_EQ(w.s_tr, 1.0);
+}
+
+TEST(Criticality, DataWeightIsDramOverL3)
+{
+    CriticalityEstimator est(42);
+    est.recordDramLatency(210);
+    est.recordDramLatency(210);
+    const auto w = est.weights();
+    EXPECT_DOUBLE_EQ(w.s_dat, 210.0 / 42.0);
+}
+
+TEST(Criticality, TranslationWeightAddsExpectedWalkCost)
+{
+    CriticalityEstimator est(42);
+    est.recordPomLatency(126); // POM access = 3x L3
+    // 50% POM hit rate, walks cost 840 cycles.
+    est.recordPomOutcome(true);
+    est.recordPomOutcome(false);
+    est.recordWalkLatency(840);
+
+    const auto w = est.weights();
+    // (126 + 0.5 * 840) / 42 = 13.0
+    EXPECT_NEAR(w.s_tr, 13.0, 1e-9);
+}
+
+TEST(Criticality, WeightsNeverBelowOne)
+{
+    CriticalityEstimator est(100);
+    est.recordDramLatency(10); // cheaper than an L3 hit
+    est.recordPomLatency(5);
+    est.recordPomOutcome(true);
+    const auto w = est.weights();
+    EXPECT_DOUBLE_EQ(w.s_dat, 1.0);
+    EXPECT_DOUBLE_EQ(w.s_tr, 1.0);
+}
+
+TEST(Criticality, DecayForgetsHistory)
+{
+    CriticalityEstimator est(42);
+    for (int i = 0; i < 100; ++i)
+        est.recordDramLatency(420);
+    const double before = est.weights().s_dat;
+
+    // After decay, new cheaper samples dominate faster.
+    for (int i = 0; i < 8; ++i)
+        est.decay();
+    for (int i = 0; i < 100; ++i)
+        est.recordDramLatency(42);
+    const double after = est.weights().s_dat;
+    EXPECT_LT(after, before);
+    EXPECT_NEAR(after, 1.1, 0.4);
+}
+
+TEST(Criticality, DataOverlapDiscountsDataWeight)
+{
+    // With MLP = 4, a data miss's effective stall is a quarter of its
+    // latency; the translation weight is untouched (it blocks).
+    CriticalityEstimator est(42, /*data_overlap=*/4.0);
+    est.recordDramLatency(840);
+    est.recordPomLatency(840);
+    est.recordPomOutcome(true);
+    const auto w = est.weights();
+    EXPECT_DOUBLE_EQ(w.s_dat, 840.0 / 42.0 / 4.0);
+    EXPECT_DOUBLE_EQ(w.s_tr, 840.0 / 42.0);
+}
+
+TEST(Criticality, AveragesTrackMixtures)
+{
+    CriticalityEstimator est(10);
+    est.recordDramLatency(100);
+    est.recordDramLatency(300);
+    EXPECT_DOUBLE_EQ(est.weights().s_dat, 20.0); // avg 200 / 10
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the DIP set-dueling controller (prior-work baseline of
+ * paper Fig. 13).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/dip.h"
+
+using namespace csalt;
+
+TEST(Dip, LruLeadersAlwaysInsertAtMru)
+{
+    DipController dip(1024);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(dip.insertAtMru(0)); // set 0 is an LRU leader
+    EXPECT_TRUE(dip.insertAtMru(64));
+}
+
+TEST(Dip, BipLeadersRarelyPromote)
+{
+    DipController dip(1024);
+    int promoted = 0;
+    for (int i = 0; i < 3200; ++i)
+        if (dip.insertAtMru(32)) // set 32 is a BIP leader
+            ++promoted;
+    // Epsilon = 1/32: expect ~100 promotions out of 3200.
+    EXPECT_GT(promoted, 40);
+    EXPECT_LT(promoted, 220);
+}
+
+TEST(Dip, PselMovesWithLeaderMisses)
+{
+    DipController dip(1024);
+    const auto start = dip.psel();
+    dip.onMiss(0); // LRU leader miss -> increment
+    EXPECT_EQ(dip.psel(), start + 1);
+    dip.onMiss(32); // BIP leader miss -> decrement
+    dip.onMiss(32);
+    EXPECT_EQ(dip.psel(), start - 1);
+    dip.onMiss(5); // follower: no change
+    EXPECT_EQ(dip.psel(), start - 1);
+}
+
+TEST(Dip, PselSaturates)
+{
+    DipController dip(1024);
+    for (int i = 0; i < 5000; ++i)
+        dip.onMiss(32);
+    EXPECT_EQ(dip.psel(), 0u);
+    for (int i = 0; i < 5000; ++i)
+        dip.onMiss(0);
+    EXPECT_EQ(dip.psel(), 1023u);
+}
+
+TEST(Dip, FollowersTrackPsel)
+{
+    DipController dip(1024);
+    // Drive PSEL low: LRU leaders performing well -> followers use
+    // MRU insertion.
+    for (int i = 0; i < 2000; ++i)
+        dip.onMiss(32);
+    EXPECT_FALSE(dip.followersUseBip());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(dip.insertAtMru(5));
+
+    // Drive PSEL high: followers switch to BIP.
+    for (int i = 0; i < 4000; ++i)
+        dip.onMiss(0);
+    EXPECT_TRUE(dip.followersUseBip());
+    int promoted = 0;
+    for (int i = 0; i < 1600; ++i)
+        if (dip.insertAtMru(5))
+            ++promoted;
+    EXPECT_LT(promoted, 150);
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Tests for the logging/termination helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+
+using namespace csalt;
+
+TEST(Log, MsgOfConcatenatesPieces)
+{
+    EXPECT_EQ(msgOf("ways=", 4, ", ok=", true), "ways=4, ok=1");
+    EXPECT_EQ(msgOf(), "");
+    EXPECT_EQ(msgOf(3.5), "3.5");
+}
+
+TEST(Log, LevelRoundTrip)
+{
+    const LogLevel old = logLevel();
+    setLogLevel(LogLevel::debug);
+    EXPECT_EQ(logLevel(), LogLevel::debug);
+    setLogLevel(old);
+}
+
+TEST(Log, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("boom"), ::testing::ExitedWithCode(1), "boom");
+}
+
+TEST(Log, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant"), "invariant");
+}

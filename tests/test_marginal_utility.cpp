@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the marginal-utility computation (paper Eq. 1/2,
+ * Algorithms 1-3), including the Figure 5 worked example.
+ *
+ * Note on Figure 5: the paper's prose lists MU values (34, 30, 40,
+ * 50) that are not reproducible from the stack contents it draws —
+ * the arithmetic in the example is internally inconsistent. We encode
+ * Eq. (1) exactly as defined and test against algebraically correct
+ * expectations computed from the same stacks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/marginal_utility.h"
+
+using namespace csalt;
+
+namespace
+{
+
+/** The Figure 5 stacks (K = 8; 9th counter is the miss counter). */
+StackDistProfiler
+figure5Data()
+{
+    StackDistProfiler p(8);
+    p.setCounters({3, 11, 12, 8, 9, 2, 1, 4, 10});
+    return p;
+}
+
+StackDistProfiler
+figure5Tlb()
+{
+    StackDistProfiler p(8);
+    p.setCounters({7, 10, 12, 5, 1, 0, 8, 15, 1});
+    return p;
+}
+
+} // namespace
+
+TEST(MarginalUtility, Figure5Values)
+{
+    const auto d = figure5Data();
+    const auto t = figure5Tlb();
+
+    // MU(N) = sum D[0..N-1] + sum T[0..8-N-1]  (Eq. 1)
+    EXPECT_DOUBLE_EQ(marginalUtility(d, t, 4, 8), 34.0 + 34.0);
+    EXPECT_DOUBLE_EQ(marginalUtility(d, t, 5, 8), 43.0 + 29.0);
+    EXPECT_DOUBLE_EQ(marginalUtility(d, t, 6, 8), 45.0 + 17.0);
+    EXPECT_DOUBLE_EQ(marginalUtility(d, t, 7, 8), 46.0 + 7.0);
+    EXPECT_DOUBLE_EQ(marginalUtility(d, t, 1, 8),
+                     3.0 + (7 + 10 + 12 + 5 + 1 + 0 + 8));
+}
+
+TEST(MarginalUtility, BestPartitionIsArgmax)
+{
+    const auto d = figure5Data();
+    const auto t = figure5Tlb();
+    const auto best = bestPartition(d, t, 8, 1);
+    // Exhaustively: MU(1..7) = {46,49,61,68,72,62,53} -> N = 5.
+    EXPECT_EQ(best.data_ways, 5u);
+    EXPECT_DOUBLE_EQ(best.utility, 72.0);
+}
+
+TEST(MarginalUtility, RespectsMinWays)
+{
+    const auto d = figure5Data();
+    const auto t = figure5Tlb();
+    const auto best = bestPartition(d, t, 8, 3);
+    EXPECT_GE(best.data_ways, 3u);
+    EXPECT_LE(best.data_ways, 5u);
+}
+
+TEST(MarginalUtility, AllDataWhenTlbStackEmpty)
+{
+    StackDistProfiler d(8);
+    d.setCounters({10, 10, 10, 10, 10, 10, 10, 10, 0});
+    StackDistProfiler t(8);
+    const auto best = bestPartition(d, t, 8, 1);
+    EXPECT_EQ(best.data_ways, 7u);
+}
+
+TEST(MarginalUtility, AllTlbWhenDataStackEmpty)
+{
+    StackDistProfiler d(8);
+    StackDistProfiler t(8);
+    t.setCounters({10, 10, 10, 10, 10, 10, 10, 10, 0});
+    const auto best = bestPartition(d, t, 8, 1);
+    EXPECT_EQ(best.data_ways, 1u);
+}
+
+TEST(MarginalUtility, CriticalityWeightsShiftTheSplit)
+{
+    // Symmetric stacks: unweighted MU is flat, ties go to data.
+    StackDistProfiler d(8);
+    d.setCounters({5, 5, 5, 5, 5, 5, 5, 5, 0});
+    StackDistProfiler t(8);
+    t.setCounters({5, 5, 5, 5, 5, 5, 5, 5, 0});
+
+    const auto unweighted = bestPartition(d, t, 8, 1);
+    EXPECT_EQ(unweighted.data_ways, 7u); // tie-break toward data
+
+    CriticalityWeights w;
+    w.s_dat = 1.0;
+    w.s_tr = 3.0; // translation hits worth 3x (Eq. 2)
+    const auto weighted = bestPartition(d, t, 8, 1, w);
+    EXPECT_EQ(weighted.data_ways, 1u);
+}
+
+TEST(MarginalUtility, WeightedMatchesHandComputation)
+{
+    const auto d = figure5Data();
+    const auto t = figure5Tlb();
+    CriticalityWeights w{2.0, 0.5};
+    EXPECT_DOUBLE_EQ(marginalUtility(d, t, 4, 8, w),
+                     2.0 * 34.0 + 0.5 * 34.0);
+}
+
+TEST(MarginalUtility, BadArgumentsPanic)
+{
+    const auto d = figure5Data();
+    const auto t = figure5Tlb();
+    EXPECT_DEATH(marginalUtility(d, t, 9, 8), "data_ways");
+    EXPECT_DEATH(bestPartition(d, t, 8, 0), "min_ways");
+    EXPECT_DEATH(bestPartition(d, t, 8, 5), "min_ways");
+}

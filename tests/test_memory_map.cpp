@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests for the physical address-space layout and line-type
+ * classification (paper §3.1 "Classifying Addresses as Data or TLB").
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_map.h"
+
+using namespace csalt;
+
+TEST(MemoryMap, RangesAreContiguous)
+{
+    const MemoryMap map(1 << 20, 1 << 16, 1 << 14);
+    EXPECT_EQ(map.dataBase(), 0u);
+    EXPECT_EQ(map.dataLimit(), 1u << 20);
+    EXPECT_EQ(map.ptBase(), map.dataLimit());
+    EXPECT_EQ(map.pomBase(), map.ptLimit());
+    EXPECT_EQ(map.pomLimit(), map.pomBase() + (1 << 14));
+}
+
+TEST(MemoryMap, Classification)
+{
+    const MemoryMap map(1 << 20, 1 << 16, 1 << 14);
+    EXPECT_EQ(map.classify(0), LineType::data);
+    EXPECT_EQ(map.classify((1 << 20) - 1), LineType::data);
+    EXPECT_EQ(map.classify(1 << 20), LineType::translation);
+    EXPECT_EQ(map.classify(map.pomBase()), LineType::translation);
+    EXPECT_EQ(map.classify(map.pomLimit() - 1),
+              LineType::translation);
+}
+
+TEST(MemoryMap, RangePredicates)
+{
+    const MemoryMap map(1 << 20, 1 << 16, 1 << 14);
+    EXPECT_TRUE(map.inData(42));
+    EXPECT_FALSE(map.inData(map.ptBase()));
+    EXPECT_TRUE(map.inPageTable(map.ptBase()));
+    EXPECT_FALSE(map.inPageTable(map.pomBase()));
+    EXPECT_TRUE(map.inPom(map.pomBase()));
+    EXPECT_FALSE(map.inPom(map.ptBase()));
+}
+
+TEST(MemoryMap, Backing)
+{
+    const MemoryMap map(1 << 20, 1 << 16, 1 << 14);
+    EXPECT_EQ(map.backingOf(0), Backing::offChip);
+    EXPECT_EQ(map.backingOf(map.ptBase()), Backing::offChip);
+    EXPECT_EQ(map.backingOf(map.pomBase()), Backing::stacked);
+}
+
+TEST(MemoryMap, RejectsUnalignedRanges)
+{
+    EXPECT_EXIT(MemoryMap(1000, 1 << 16, 1 << 14),
+                ::testing::ExitedWithCode(1), "aligned");
+}
+
+TEST(MemoryMap, RejectsEmptyRanges)
+{
+    EXPECT_EXIT(MemoryMap(0, 1 << 16, 1 << 14),
+                ::testing::ExitedWithCode(1), "nonzero");
+}

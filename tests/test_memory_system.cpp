@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the assembled memory hierarchy: demand paths, latency
+ * ordering, writeback absorption, POM/TSB plumbing, and the
+ * data/translation classification boundary.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/memory_system.h"
+
+using namespace csalt;
+
+namespace
+{
+
+SystemParams
+smallSystem()
+{
+    SystemParams p = defaultParams();
+    p.num_cores = 2;
+    return p;
+}
+
+} // namespace
+
+TEST(MemorySystem, LatencyOrderingAlongTheDataPath)
+{
+    MemorySystem mem(smallSystem());
+    const Addr a = 0x100000;
+
+    const Cycles cold = mem.dataAccess(0, a, AccessType::read, 0);
+    const Cycles l1_hit = mem.dataAccess(0, a, AccessType::read, 0);
+    EXPECT_LT(l1_hit, cold);
+    EXPECT_EQ(l1_hit, mem.l1d(0).latency());
+
+    // A second core misses L1/L2 but hits the shared L3.
+    const Cycles l3_hit = mem.dataAccess(1, a, AccessType::read, 0);
+    EXPECT_GT(l3_hit, l1_hit);
+    EXPECT_LT(l3_hit, cold);
+    EXPECT_EQ(l3_hit, mem.l1d(1).latency() + mem.l2(1).latency() +
+                          mem.l3().latency());
+}
+
+TEST(MemorySystem, FillsAllLevels)
+{
+    MemorySystem mem(smallSystem());
+    const Addr a = 0x200000;
+    mem.dataAccess(0, a, AccessType::read, 0);
+    EXPECT_TRUE(mem.l1d(0).probe(a));
+    EXPECT_TRUE(mem.l2(0).probe(a));
+    EXPECT_TRUE(mem.l3().probe(a));
+    EXPECT_FALSE(mem.l1d(1).probe(a));
+}
+
+TEST(MemorySystem, TranslationPathSkipsL1)
+{
+    MemorySystem mem(smallSystem());
+    const Addr pom_line = mem.map().pomBase();
+    mem.translationAccess(0, pom_line, 0);
+    EXPECT_FALSE(mem.l1d(0).probe(pom_line));
+    EXPECT_TRUE(mem.l2(0).probe(pom_line));
+    EXPECT_TRUE(mem.l3().probe(pom_line));
+
+    const Cycles warm = mem.translationAccess(0, pom_line, 0);
+    EXPECT_EQ(warm, mem.l2(0).latency());
+}
+
+TEST(MemorySystem, TranslationAccessToDataRangePanics)
+{
+    MemorySystem mem(smallSystem());
+    EXPECT_DEATH(mem.translationAccess(0, 0x1000, 0), "data address");
+}
+
+TEST(MemorySystem, PomLinesGoToStackedDram)
+{
+    MemorySystem mem(smallSystem());
+    mem.translationAccess(0, mem.map().pomBase() + 4096, 0);
+    EXPECT_EQ(mem.stacked().stats().accesses, 1u);
+    EXPECT_EQ(mem.ddr().stats().accesses, 0u);
+
+    mem.dataAccess(0, 0x5000, AccessType::read, 0);
+    EXPECT_EQ(mem.ddr().stats().accesses, 1u);
+}
+
+TEST(MemorySystem, DirtyL3VictimWritesBackToDram)
+{
+    SystemParams p = smallSystem();
+    MemorySystem mem(p);
+    // Write a line, then stream enough conflicting lines through the
+    // same L3 set to evict it.
+    const std::uint64_t l3_sets = mem.l3().numSets();
+    const Addr victim = 0x40 << kLineShift;
+    mem.dataAccess(0, victim, AccessType::write, 0);
+
+    const auto before = mem.ddr().stats().accesses;
+    for (std::uint64_t i = 1; i <= 64; ++i) {
+        const Addr a = victim + i * (l3_sets << kLineShift);
+        mem.dataAccess(0, a, AccessType::read, 0);
+    }
+    EXPECT_FALSE(mem.l3().probe(victim));
+    // The eviction chain must have produced at least one extra DRAM
+    // write beyond the demand fills.
+    EXPECT_GT(mem.ddr().stats().accesses, before + 64);
+}
+
+TEST(MemorySystem, PomLookupMissThenInsertThenHit)
+{
+    MemorySystem mem(smallSystem());
+    PageSizePredictor pred;
+
+    auto res = mem.pomLookup(0, 1, 0x123456000, pred, 0);
+    EXPECT_FALSE(res.hit);
+    EXPECT_GT(res.latency, 0u);
+
+    mem.pomInsert(1, 0x123456000, {0x777000, PageSize::size4K});
+    res = mem.pomLookup(0, 1, 0x123456000, pred, 0);
+    EXPECT_TRUE(res.hit);
+    EXPECT_EQ(res.mapping.frame, 0x777000u);
+    EXPECT_EQ(mem.pomLookupStats().lookups, 2u);
+    EXPECT_EQ(mem.pomLookupStats().hits, 1u);
+}
+
+TEST(MemorySystem, PomLookupMissProbesBothSizes)
+{
+    MemorySystem mem(smallSystem());
+    PageSizePredictor pred;
+    mem.pomLookup(0, 1, 0x42000, pred, 0);
+    EXPECT_EQ(mem.pomLookupStats().second_probes, 1u);
+    // Both probed set lines are now cached in L2.
+    EXPECT_GE(mem.l2(0).stats().missesOf(LineType::translation), 2u);
+}
+
+TEST(MemorySystem, MispredictedSizeStillHits)
+{
+    MemorySystem mem(smallSystem());
+    PageSizePredictor pred;
+    // Train the predictor to 2M for this region, then look up a 4K
+    // translation there: first probe misses, second finds it.
+    pred.update(0x800000, PageSize::size2M);
+    pred.update(0x800000, PageSize::size2M);
+    mem.pomInsert(1, 0x800000, {0x999000, PageSize::size4K});
+    const auto res = mem.pomLookup(0, 1, 0x800000, pred, 0);
+    EXPECT_TRUE(res.hit);
+    EXPECT_EQ(res.mapping.ps, PageSize::size4K);
+    EXPECT_EQ(mem.pomLookupStats().second_probes, 1u);
+}
+
+TEST(MemorySystem, OccupancySampling)
+{
+    MemorySystem mem(smallSystem());
+    mem.dataAccess(0, 0x1000, AccessType::read, 0);
+    mem.translationAccess(0, mem.map().pomBase(), 0);
+    mem.sampleOccupancy(1.0);
+    EXPECT_FALSE(mem.l3Occupancy().series().empty());
+    EXPECT_GT(mem.l3Occupancy().meanTranslationFraction(), 0.0);
+}
+
+TEST(MemorySystem, ClearAllStats)
+{
+    MemorySystem mem(smallSystem());
+    PageSizePredictor pred;
+    mem.dataAccess(0, 0x1000, AccessType::read, 0);
+    mem.pomLookup(0, 1, 0x2000, pred, 0);
+    mem.sampleOccupancy(1.0);
+
+    mem.clearAllStats();
+    EXPECT_EQ(mem.l1d(0).stats().accesses(), 0u);
+    EXPECT_EQ(mem.l3().stats().accesses(), 0u);
+    EXPECT_EQ(mem.ddr().stats().accesses, 0u);
+    EXPECT_EQ(mem.pomLookupStats().lookups, 0u);
+    EXPECT_TRUE(mem.l3Occupancy().series().empty());
+    // State (not stats) is preserved: the line is still cached.
+    EXPECT_TRUE(mem.l1d(0).probe(0x1000));
+}
+
+TEST(MemorySystem, CriticalityEstimatorsAreFed)
+{
+    MemorySystem mem(smallSystem());
+    // A DRAM-bound data access must raise the data weight.
+    mem.dataAccess(0, 0x9000, AccessType::read, 0);
+    EXPECT_GT(mem.l3Criticality().weights().s_dat, 1.0);
+
+    // A POM-line DRAM access must raise the translation weight.
+    PageSizePredictor pred;
+    mem.pomLookup(0, 1, 0x42000, pred, 0);
+    EXPECT_GT(mem.l3Criticality().weights().s_tr, 1.0);
+}
+
+TEST(MemorySystem, TsbLookupPath)
+{
+    SystemParams p = smallSystem();
+    p.translation = TranslationKind::tsb;
+    MemorySystem mem(p);
+
+    VmContext::Params vp;
+    vp.asid = 1;
+    vp.virtualized = true;
+    vp.seed = 3;
+    VmContext vm(vp, mem.dataFrames(), mem.ptFrames());
+
+    auto res = mem.tsbLookup(0, vm, 0x4000, 0);
+    EXPECT_FALSE(res.hit);
+    mem.tsbInsert(vm, 0x4000, vm.mappingOf(0x4000));
+    res = mem.tsbLookup(0, vm, 0x4000, 0);
+    EXPECT_TRUE(res.hit);
+    EXPECT_EQ(res.mapping.frame, vm.mappingOf(0x4000).frame);
+}

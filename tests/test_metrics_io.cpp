@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the CSV/JSON metrics serialisation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/metrics_io.h"
+
+using namespace csalt;
+
+namespace
+{
+
+RunMetrics
+sample()
+{
+    RunMetrics m;
+    m.ipc_geomean = 0.125;
+    m.total_instructions = 8'000'000;
+    m.total_memrefs = 3'000'000;
+    m.l1_tlb_mpki = 40.5;
+    m.l2_tlb_mpki = 22.25;
+    m.l2_mpki_total = 30.0;
+    m.l2_mpki_data = 20.0;
+    m.l3_mpki_total = 10.0;
+    m.l3_mpki_data = 8.0;
+    m.l2_tlb_misses = 178'000;
+    m.walks = 9'000;
+    m.walks_eliminated = 0.949;
+    m.avg_walk_cycles = 301.0;
+    m.l2_translation_occupancy = 0.41;
+    m.l3_translation_occupancy = 0.33;
+    m.pom_hit_rate = 0.97;
+    m.cores.push_back({4'000'000, 32'000'000, 0.125, 1'500'000,
+                       80'000, 89'000, 4'500});
+    m.cores.push_back({4'000'000, 32'000'000, 0.125, 1'500'000,
+                       80'000, 89'000, 4'500});
+    m.vms.push_back({6'000'000, 100'000, 16.67});
+    m.vms.push_back({2'000'000, 78'000, 39.0});
+    return m;
+}
+
+} // namespace
+
+TEST(MetricsIo, CsvHeaderAndRowAgreeOnColumnCount)
+{
+    const std::string header = metricsCsvHeader();
+    const std::string row = metricsCsvRow("test", sample());
+    const auto count = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    EXPECT_EQ(count(header), count(row));
+}
+
+TEST(MetricsIo, CsvRowCarriesLabelAndValues)
+{
+    const std::string row = metricsCsvRow("pagerank:csalt-cd",
+                                          sample());
+    EXPECT_EQ(row.rfind("pagerank:csalt-cd,", 0), 0u);
+    EXPECT_NE(row.find("0.125"), std::string::npos);
+    EXPECT_NE(row.find("0.949"), std::string::npos);
+    EXPECT_NE(row.find("8000000"), std::string::npos);
+}
+
+TEST(MetricsIo, JsonContainsSections)
+{
+    const std::string json = metricsJson("run1", sample());
+    EXPECT_NE(json.find("\"label\": \"run1\""), std::string::npos);
+    EXPECT_NE(json.find("\"cores\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"vms\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"l2_tlb_mpki\": 22.25"), std::string::npos);
+    // Two core entries, two VM entries.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 5);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 5);
+}
+
+TEST(MetricsIo, JsonBalancedBrackets)
+{
+    const std::string json = metricsJson("x", sample());
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the MMU paging-structure caches and the nested cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/mmu_cache.h"
+#include "vm/page_table.h"
+
+using namespace csalt;
+
+TEST(SmallLruCache, HitPromotesMissReturnsEmpty)
+{
+    SmallLruCache cache(2);
+    EXPECT_FALSE(cache.lookup(1).has_value());
+    cache.insert(1, 100);
+    EXPECT_EQ(cache.lookup(1).value(), 100u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(SmallLruCache, EvictsLeastRecentlyUsed)
+{
+    SmallLruCache cache(2);
+    cache.insert(1, 10);
+    cache.insert(2, 20);
+    cache.lookup(1); // 2 is now LRU
+    cache.insert(3, 30);
+    EXPECT_TRUE(cache.lookup(1).has_value());
+    EXPECT_FALSE(cache.lookup(2).has_value());
+    EXPECT_TRUE(cache.lookup(3).has_value());
+}
+
+TEST(SmallLruCache, InsertUpdatesExistingKey)
+{
+    SmallLruCache cache(2);
+    cache.insert(1, 10);
+    cache.insert(1, 99);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.lookup(1).value(), 99u);
+}
+
+TEST(SmallLruCache, ClearEmpties)
+{
+    SmallLruCache cache(4);
+    cache.insert(1, 10);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.lookup(1).has_value());
+}
+
+namespace
+{
+
+MmuCacheParams
+smallPsc()
+{
+    MmuCacheParams p;
+    p.pml4e_entries = 2;
+    p.pdpe_entries = 4;
+    p.pde_entries = 8;
+    p.nested_entries = 4;
+    p.latency = 2;
+    return p;
+}
+
+} // namespace
+
+TEST(MmuCaches, SkipPrefersDeepestLevel)
+{
+    MmuCaches mmu(smallPsc());
+    const Addr va = 0x7f0012345000;
+
+    EXPECT_FALSE(mmu.skipFor(1, va, false).has_value());
+
+    mmu.fill(1, va, 4, false, 0xaaa000); // PML4E -> level-3 node
+    auto skip = mmu.skipFor(1, va, false);
+    ASSERT_TRUE(skip.has_value());
+    EXPECT_EQ(skip->next_level, 3);
+    EXPECT_EQ(skip->node_addr, 0xaaa000u);
+
+    mmu.fill(1, va, 2, false, 0xccc000); // PDE -> level-1 node
+    skip = mmu.skipFor(1, va, false);
+    ASSERT_TRUE(skip.has_value());
+    EXPECT_EQ(skip->next_level, 1);
+    EXPECT_EQ(skip->node_addr, 0xccc000u);
+}
+
+TEST(MmuCaches, EntriesAreAsidTagged)
+{
+    MmuCaches mmu(smallPsc());
+    const Addr va = 0x40000000;
+    mmu.fill(1, va, 2, false, 0x111000);
+    EXPECT_TRUE(mmu.skipFor(1, va, false).has_value());
+    EXPECT_FALSE(mmu.skipFor(2, va, false).has_value());
+}
+
+TEST(MmuCaches, HostAndGuestDimensionsAreSeparate)
+{
+    MmuCaches mmu(smallPsc());
+    const Addr va = 0x40000000;
+    mmu.fill(1, va, 2, /*host=*/true, 0x222000);
+    EXPECT_TRUE(mmu.skipFor(1, va, true).has_value());
+    EXPECT_FALSE(mmu.skipFor(1, va, false).has_value());
+}
+
+TEST(MmuCaches, RegionsShareEntries)
+{
+    MmuCaches mmu(smallPsc());
+    // Two addresses in the same 2MB region share the PDE entry.
+    mmu.fill(1, 0x40000000, 2, false, 0x333000);
+    EXPECT_TRUE(mmu.skipFor(1, 0x40000000 + 0x1ff000, false));
+    // A different 2MB region does not.
+    EXPECT_FALSE(mmu.skipFor(1, 0x40200000, false));
+}
+
+TEST(MmuCaches, NestedCacheRoundTrip)
+{
+    MmuCaches mmu(smallPsc());
+    EXPECT_FALSE(mmu.nestedLookup(1, 0x12345678).has_value());
+    mmu.nestedFill(1, 0x12345678, 0xbeef000);
+    const auto hit = mmu.nestedLookup(1, 0x12345678);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 0xbeef000u);
+    // Same guest-physical page, different offset: still hits.
+    EXPECT_TRUE(mmu.nestedLookup(1, 0x12345000).has_value());
+    // Different ASID: miss.
+    EXPECT_FALSE(mmu.nestedLookup(2, 0x12345678).has_value());
+}
+
+TEST(MmuCaches, FillBadLevelPanics)
+{
+    MmuCaches mmu(smallPsc());
+    EXPECT_DEATH(mmu.fill(1, 0, 1, false, 0), "bad level");
+}

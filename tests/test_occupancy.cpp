@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the occupancy sampler (paper Fig. 3 instrumentation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.h"
+#include "cache/occupancy.h"
+
+using namespace csalt;
+
+namespace
+{
+
+CacheParams
+tiny()
+{
+    CacheParams p;
+    p.name = "occ";
+    p.ways = 2;
+    p.size_bytes = 4 * 2 * kLineSize; // 4 sets x 2 ways
+    return p;
+}
+
+} // namespace
+
+TEST(Occupancy, TracksTranslationFraction)
+{
+    Cache cache(tiny());
+    OccupancySampler sampler(cache);
+
+    sampler.sample(0.0);
+    EXPECT_DOUBLE_EQ(sampler.meanTranslationFraction(), 0.0);
+
+    // Fill half the cache with translation lines.
+    for (std::uint64_t set = 0; set < 4; ++set) {
+        cache.access((set) << kLineShift, AccessType::read,
+                     LineType::translation);
+    }
+    sampler.sample(1.0);
+    // 4 of 8 lines -> the two samples average 0.25.
+    EXPECT_DOUBLE_EQ(sampler.series().points().back().value, 0.5);
+    EXPECT_DOUBLE_EQ(sampler.meanTranslationFraction(), 0.25);
+}
+
+TEST(Occupancy, FollowsTypeTurnover)
+{
+    Cache cache(tiny());
+    OccupancySampler sampler(cache);
+
+    const Addr a = 0; // set 0
+    cache.access(a, AccessType::read, LineType::translation);
+    sampler.sample(0.0);
+    const double before = sampler.series().points().back().value;
+
+    // The same line re-fetched as data after invalidation flips type.
+    cache.invalidate(a);
+    cache.access(a, AccessType::read, LineType::data);
+    sampler.sample(1.0);
+    const double after = sampler.series().points().back().value;
+    EXPECT_GT(before, after);
+    EXPECT_DOUBLE_EQ(after, 0.0);
+}
+
+TEST(Occupancy, ResetDropsHistory)
+{
+    Cache cache(tiny());
+    OccupancySampler sampler(cache);
+    cache.access(0, AccessType::read, LineType::translation);
+    sampler.sample(0.0);
+    EXPECT_FALSE(sampler.series().empty());
+
+    sampler.reset();
+    EXPECT_TRUE(sampler.series().empty());
+    EXPECT_DOUBLE_EQ(sampler.meanTranslationFraction(), 0.0);
+}
+
+TEST(Occupancy, EvictionReducesCount)
+{
+    Cache cache(tiny());
+    // Two translation lines in set 0 (the whole set).
+    cache.access(0, AccessType::read, LineType::translation);
+    cache.access(4 << kLineShift, AccessType::read,
+                 LineType::translation);
+    EXPECT_EQ(cache.scanCountOf(LineType::translation), 2u);
+
+    // A data fill in the same set evicts one of them.
+    cache.access(8 << kLineShift, AccessType::read, LineType::data);
+    EXPECT_EQ(cache.scanCountOf(LineType::translation), 1u);
+    EXPECT_DOUBLE_EQ(cache.occupancyOf(LineType::translation),
+                     1.0 / 8.0);
+}

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the radix page table: map/walk round trips, 4KB vs 2MB
+ * leaves, PTE address arithmetic, and node accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vm/page_table.h"
+
+using namespace csalt;
+
+namespace
+{
+
+/** Node allocator handing out consecutive fake frame addresses. */
+PageTable::NodeAlloc
+bumpAlloc(Addr base = 0x100000)
+{
+    auto next = std::make_shared<Addr>(base);
+    return [next] {
+        const Addr a = *next;
+        *next += kPageSize;
+        return a;
+    };
+}
+
+} // namespace
+
+TEST(PageTable, RootAllocatedAtConstruction)
+{
+    PageTable pt(bumpAlloc(0x5000));
+    EXPECT_EQ(pt.root(), 0x5000u);
+    EXPECT_EQ(pt.nodeCount(), 1u);
+}
+
+TEST(PageTable, Map4KWalksFourLevels)
+{
+    PageTable pt(bumpAlloc());
+    const Addr va = 0x7f1234566000;
+    pt.map(va, 0xabc000, PageSize::size4K);
+
+    std::vector<PteRef> path;
+    pt.walkPath(va, path);
+    ASSERT_EQ(path.size(), 4u);
+    EXPECT_EQ(path[0].level, 4);
+    EXPECT_EQ(path[3].level, 1);
+    EXPECT_FALSE(path[0].leaf);
+    EXPECT_TRUE(path[3].leaf);
+    EXPECT_EQ(path[3].next, 0xabc000u);
+    EXPECT_EQ(path[3].ps, PageSize::size4K);
+}
+
+TEST(PageTable, Map2MWalksThreeLevels)
+{
+    PageTable pt(bumpAlloc());
+    const Addr va = Addr{5} << 21;
+    pt.map(va, Addr{7} << 21, PageSize::size2M);
+
+    std::vector<PteRef> path;
+    pt.walkPath(va, path);
+    ASSERT_EQ(path.size(), 3u);
+    EXPECT_EQ(path[2].level, 2);
+    EXPECT_TRUE(path[2].leaf);
+    EXPECT_EQ(path[2].ps, PageSize::size2M);
+}
+
+TEST(PageTable, PteAddressesFollowRadixIndices)
+{
+    PageTable pt(bumpAlloc(0x1000000));
+    const Addr va = (Addr{3} << 39) | (Addr{5} << 30) |
+                    (Addr{7} << 21) | (Addr{9} << 12);
+    pt.map(va, 0xdead000, PageSize::size4K);
+
+    std::vector<PteRef> path;
+    pt.walkPath(va, path);
+    EXPECT_EQ(path[0].pte_addr, pt.root() + 3 * kPteBytes);
+    EXPECT_EQ(path[1].pte_addr, path[0].next + 5 * kPteBytes);
+    EXPECT_EQ(path[2].pte_addr, path[1].next + 7 * kPteBytes);
+    EXPECT_EQ(path[3].pte_addr, path[2].next + 9 * kPteBytes);
+}
+
+TEST(PageTable, LeafOfFindsMapping)
+{
+    PageTable pt(bumpAlloc());
+    pt.map(0x4000, 0x9000, PageSize::size4K);
+    const auto leaf = pt.leafOf(0x4000);
+    ASSERT_TRUE(leaf.has_value());
+    EXPECT_EQ(leaf->next, 0x9000u);
+    EXPECT_FALSE(pt.leafOf(0x5000).has_value());
+}
+
+TEST(PageTable, SharedUpperLevelsReuseNodes)
+{
+    PageTable pt(bumpAlloc());
+    pt.map(0x1000, 0xa000, PageSize::size4K);
+    const auto count_after_first = pt.nodeCount();
+    pt.map(0x2000, 0xb000, PageSize::size4K); // same leaf node
+    EXPECT_EQ(pt.nodeCount(), count_after_first);
+
+    pt.map(Addr{1} << 39, 0xc000, PageSize::size4K); // new subtree
+    EXPECT_EQ(pt.nodeCount(), count_after_first + 3);
+}
+
+TEST(PageTable, NodeBytes)
+{
+    PageTable pt(bumpAlloc());
+    pt.map(0x1000, 0xa000, PageSize::size4K);
+    EXPECT_EQ(pt.nodeBytes(), pt.nodeCount() * kPageSize);
+}
+
+TEST(PageTable, RadixIndexHelper)
+{
+    const Addr va = (Addr{1} << 39) | (Addr{2} << 30) |
+                    (Addr{3} << 21) | (Addr{4} << 12);
+    EXPECT_EQ(radixIndex(va, 4), 1u);
+    EXPECT_EQ(radixIndex(va, 3), 2u);
+    EXPECT_EQ(radixIndex(va, 2), 3u);
+    EXPECT_EQ(radixIndex(va, 1), 4u);
+}
+
+TEST(PageTable, FiveLevelWalksFiveLevels)
+{
+    PageTable pt(bumpAlloc(), kTopLevel5);
+    EXPECT_EQ(pt.topLevel(), 5);
+    // An address above the 48-bit boundary is reachable with LA57.
+    const Addr va = (Addr{37} << 48) | 0x123456789000;
+    pt.map(va, 0xabc000, PageSize::size4K);
+
+    std::vector<PteRef> path;
+    pt.walkPath(va, path);
+    ASSERT_EQ(path.size(), 5u);
+    EXPECT_EQ(path[0].level, 5);
+    EXPECT_EQ(path[4].level, 1);
+    EXPECT_TRUE(path[4].leaf);
+}
+
+TEST(PageTable, FiveLevelSeparatesHighRegions)
+{
+    PageTable pt(bumpAlloc(), kTopLevel5);
+    pt.map(Addr{1} << 48, 0xa000, PageSize::size4K);
+    pt.map(Addr{2} << 48, 0xb000, PageSize::size4K);
+    EXPECT_EQ(pt.leafOf(Addr{1} << 48)->next, 0xa000u);
+    EXPECT_EQ(pt.leafOf(Addr{2} << 48)->next, 0xb000u);
+}
+
+TEST(PageTable, UnsupportedDepthPanics)
+{
+    EXPECT_DEATH(PageTable(bumpAlloc(), 3), "paging depth");
+}
+
+TEST(PageTable, DoubleMapPanics)
+{
+    PageTable pt(bumpAlloc());
+    pt.map(0x1000, 0xa000, PageSize::size4K);
+    EXPECT_DEATH(pt.map(0x1000, 0xb000, PageSize::size4K),
+                 "already mapped");
+}
+
+TEST(PageTable, UnalignedMapPanics)
+{
+    PageTable pt(bumpAlloc());
+    EXPECT_DEATH(pt.map(0x1008, 0xa000, PageSize::size4K),
+                 "unaligned");
+    EXPECT_DEATH(pt.map(Addr{1} << 21, 0x1000, PageSize::size2M),
+                 "unaligned");
+}
+
+TEST(PageTable, WalkOfUnmappedPanics)
+{
+    PageTable pt(bumpAlloc());
+    std::vector<PteRef> path;
+    EXPECT_DEATH(pt.walkPath(0x1000, path), "unmapped");
+}

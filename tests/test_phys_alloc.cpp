@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the pseudo-random physical frame allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/phys_alloc.h"
+
+using namespace csalt;
+
+TEST(FrameAllocator, Frames4KAreUniqueAlignedAndInRange)
+{
+    FrameAllocator alloc(0, 64ull << 20, 1);
+    std::set<Addr> seen;
+    for (int i = 0; i < 4000; ++i) {
+        const Addr f = alloc.alloc4K();
+        EXPECT_EQ(f % kPageSize, 0u);
+        EXPECT_LT(f, 64ull << 20);
+        EXPECT_TRUE(seen.insert(f).second) << "duplicate frame";
+    }
+    EXPECT_EQ(alloc.allocatedBytes(), 4000u * kPageSize);
+}
+
+TEST(FrameAllocator, Frames2MAreUniqueAligned)
+{
+    FrameAllocator alloc(0, 64ull << 20, 1);
+    std::set<Addr> seen;
+    for (int i = 0; i < 8; ++i) {
+        const Addr f = alloc.alloc2M();
+        EXPECT_EQ(f % kHugePageSize, 0u);
+        EXPECT_LT(f, 64ull << 20);
+        EXPECT_TRUE(seen.insert(f).second);
+    }
+}
+
+TEST(FrameAllocator, ArenasDoNotOverlap)
+{
+    FrameAllocator alloc(0, 64ull << 20, 7);
+    std::set<Addr> huge_pages;
+    for (int i = 0; i < 4; ++i)
+        huge_pages.insert(alloc.alloc2M());
+    for (int i = 0; i < 2000; ++i) {
+        const Addr f = alloc.alloc4K();
+        for (Addr h : huge_pages) {
+            EXPECT_FALSE(f >= h && f < h + kHugePageSize)
+                << "4K frame inside a 2M frame";
+        }
+    }
+}
+
+TEST(FrameAllocator, DeterministicPerSeed)
+{
+    FrameAllocator a(0, 16ull << 20, 5);
+    FrameAllocator b(0, 16ull << 20, 5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.alloc4K(), b.alloc4K());
+}
+
+TEST(FrameAllocator, SpreadsAcrossTheRange)
+{
+    FrameAllocator alloc(0, 256ull << 20, 3);
+    // First few allocations should not be contiguous (OS-like spread).
+    const Addr f0 = alloc.alloc4K();
+    const Addr f1 = alloc.alloc4K();
+    const Addr f2 = alloc.alloc4K();
+    EXPECT_FALSE(f1 == f0 + kPageSize && f2 == f1 + kPageSize);
+}
+
+TEST(FrameAllocator, HonoursBase)
+{
+    FrameAllocator alloc(1ull << 30, (1ull << 30) + (16ull << 20), 1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_GE(alloc.alloc4K(), 1ull << 30);
+}
+
+TEST(FrameAllocator, ExhaustionIsFatal)
+{
+    // Tiny arena: 2MB total, 1MB (256 frames) for 4K pages.
+    EXPECT_EXIT(
+        {
+            FrameAllocator alloc(0, 2ull << 20, 1);
+            for (int i = 0; i < 100000; ++i)
+                alloc.alloc4K();
+        },
+        ::testing::ExitedWithCode(1), "out of 4KB frames");
+}
+
+TEST(FrameAllocator, HugeExhaustionIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            FrameAllocator alloc(0, 8ull << 20, 1);
+            for (int i = 0; i < 1000; ++i)
+                alloc.alloc2M();
+        },
+        ::testing::ExitedWithCode(1), "out of 2MB frames");
+}
+
+TEST(FrameAllocator, RejectsBadRange)
+{
+    EXPECT_EXIT(FrameAllocator(0, 1000, 1),
+                ::testing::ExitedWithCode(1), "bad range");
+}

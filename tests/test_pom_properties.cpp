@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Property sweeps over the POM-TLB: randomized insert/probe streams
+ * across ASIDs and page sizes, checked against an exact reference map
+ * bounded by set capacity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "common/rng.h"
+#include "tlb/pom_tlb.h"
+
+using namespace csalt;
+
+namespace
+{
+
+struct SweepCase
+{
+    std::uint64_t size_bytes;
+    unsigned asids;
+    double huge_share;
+};
+
+class PomSweep : public ::testing::TestWithParam<SweepCase>
+{
+};
+
+} // namespace
+
+TEST_P(PomSweep, InsertedEntriesProbeBackUntilEvicted)
+{
+    const auto param = GetParam();
+    PomTlbParams pp;
+    pp.size_bytes = param.size_bytes;
+    PomTlb pom(pp, 0x40000000);
+    Rng rng(31);
+
+    using Key = std::tuple<Asid, Vpn, PageSize>;
+    std::map<Key, Addr> inserted;
+
+    for (int i = 0; i < 20000; ++i) {
+        const Asid asid =
+            static_cast<Asid>(1 + rng.below(param.asids));
+        const PageSize ps = rng.chance(param.huge_share)
+                                ? PageSize::size2M
+                                : PageSize::size4K;
+        const Vpn vpn = rng.below(1 << 16);
+        const Addr gva = vpn << pageShift(ps);
+        const Addr frame = (vpn + 7) << pageShift(ps);
+
+        pom.insert(asid, gva, {frame, ps});
+        inserted[{asid, vpn, ps}] = frame;
+
+        // An immediate probe must hit with the right frame.
+        const auto probe = pom.probe(asid, gva, ps);
+        ASSERT_TRUE(probe.hit) << "iteration " << i;
+        ASSERT_EQ(probe.mapping.frame, frame);
+        ASSERT_EQ(probe.mapping.ps, ps);
+
+        // Line addresses stay inside the POM range.
+        ASSERT_GE(probe.line_addr, 0x40000000u);
+        ASSERT_LT(probe.line_addr, 0x40000000u + param.size_bytes);
+    }
+
+    // Every key either probes back with its exact frame or was
+    // legitimately evicted (never a wrong frame).
+    std::uint64_t survivors = 0;
+    for (const auto &[key, frame] : inserted) {
+        const auto [asid, vpn, ps] = key;
+        const auto probe = pom.probe(asid, vpn << pageShift(ps), ps);
+        if (probe.hit) {
+            ASSERT_EQ(probe.mapping.frame, frame);
+            ++survivors;
+        }
+    }
+    // Survivors cannot exceed capacity.
+    EXPECT_LE(survivors, param.size_bytes / 16);
+    EXPECT_GT(survivors, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PomSweep,
+    ::testing::Values(SweepCase{16 * 1024, 1, 0.0},
+                      SweepCase{64 * 1024, 4, 0.3},
+                      SweepCase{256 * 1024, 2, 0.5},
+                      SweepCase{16 * 1024, 8, 0.2}));
+
+TEST(PomProperties, StatsBalance)
+{
+    PomTlbParams pp;
+    pp.size_bytes = 64 * 1024;
+    PomTlb pom(pp, 0x40000000);
+    Rng rng(7);
+    for (int i = 0; i < 5000; ++i) {
+        const Vpn vpn = rng.below(4096);
+        const Addr gva = vpn << kPageShift;
+        if (!pom.probe(1, gva, PageSize::size4K).hit)
+            pom.insert(1, gva, {vpn << kPageShift, PageSize::size4K});
+    }
+    const auto &stats = pom.stats();
+    EXPECT_EQ(stats.hits + stats.misses, 5000u);
+    EXPECT_EQ(stats.inserts, stats.misses);
+}

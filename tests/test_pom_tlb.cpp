@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the POM-TLB (memory-resident L3 TLB) and the page-size
+ * predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlb/pom_tlb.h"
+
+using namespace csalt;
+
+namespace
+{
+
+PomTlbParams
+smallPom()
+{
+    PomTlbParams p;
+    p.size_bytes = 64 * 1024; // 1024 sets
+    p.ways = 4;
+    p.entry_bytes = 16;
+    return p;
+}
+
+constexpr Addr kBase = 0x40000000;
+
+} // namespace
+
+TEST(PomTlb, MissThenInsertThenHit)
+{
+    PomTlb pom(smallPom(), kBase);
+    const Addr gva = 0x123456000;
+
+    auto probe = pom.probe(1, gva, PageSize::size4K);
+    EXPECT_FALSE(probe.hit);
+    EXPECT_EQ(pom.stats().misses, 1u);
+
+    pom.insert(1, gva, {0x777000, PageSize::size4K});
+    probe = pom.probe(1, gva, PageSize::size4K);
+    EXPECT_TRUE(probe.hit);
+    EXPECT_EQ(probe.mapping.frame, 0x777000u);
+    EXPECT_EQ(pom.stats().hits, 1u);
+}
+
+TEST(PomTlb, LineAddressesAreInRangeAndAligned)
+{
+    PomTlb pom(smallPom(), kBase);
+    for (Addr gva = 0; gva < 200 * kPageSize; gva += kPageSize) {
+        const Addr line = pom.lineAddrOf(1, gva, PageSize::size4K);
+        EXPECT_GE(line, kBase);
+        EXPECT_LT(line, kBase + 64 * 1024);
+        EXPECT_EQ(line % kLineSize, 0u);
+    }
+}
+
+TEST(PomTlb, ProbeLineMatchesInsertLine)
+{
+    PomTlb pom(smallPom(), kBase);
+    const Addr gva = 0x5555000;
+    const auto probe = pom.probe(1, gva, PageSize::size4K);
+    EXPECT_EQ(probe.line_addr, pom.lineAddrOf(1, gva, PageSize::size4K));
+}
+
+TEST(PomTlb, AdjacentPagesAdjacentSets)
+{
+    // Row-buffer-friendly layout: consecutive VPNs land on
+    // consecutive line-sets (POM-TLB paper's design point).
+    PomTlb pom(smallPom(), kBase);
+    const Addr l0 = pom.lineAddrOf(1, 0x1000 * 10, PageSize::size4K);
+    const Addr l1 = pom.lineAddrOf(1, 0x1000 * 11, PageSize::size4K);
+    EXPECT_EQ(l1 - l0, kLineSize);
+}
+
+TEST(PomTlb, AsidsMapToDifferentSets)
+{
+    PomTlb pom(smallPom(), kBase);
+    EXPECT_NE(pom.lineAddrOf(1, 0x1000, PageSize::size4K),
+              pom.lineAddrOf(2, 0x1000, PageSize::size4K));
+}
+
+TEST(PomTlb, SetLocalLruEviction)
+{
+    PomTlb pom(smallPom(), kBase);
+    // Craft 5 (asid, vpn) pairs hitting the same set: same asid, vpn
+    // stride = number of sets.
+    const std::uint64_t sets = pom.numSets();
+    for (std::uint64_t i = 0; i < 4; ++i)
+        pom.insert(1, (i * sets) << kPageShift,
+                   {i << kPageShift, PageSize::size4K});
+    // Touch entry 0 so entry 1 is LRU.
+    EXPECT_TRUE(pom.probe(1, 0, PageSize::size4K).hit);
+    pom.insert(1, (4 * sets) << kPageShift,
+               {0x99 << kPageShift, PageSize::size4K});
+    EXPECT_EQ(pom.stats().set_evictions, 1u);
+    EXPECT_TRUE(pom.probe(1, 0, PageSize::size4K).hit);
+    EXPECT_FALSE(
+        pom.probe(1, (1 * sets) << kPageShift, PageSize::size4K).hit);
+}
+
+TEST(PomTlb, InsertUpdatesInPlace)
+{
+    PomTlb pom(smallPom(), kBase);
+    pom.insert(1, 0x4000, {0x111000, PageSize::size4K});
+    pom.insert(1, 0x4000, {0x222000, PageSize::size4K});
+    EXPECT_EQ(pom.probe(1, 0x4000, PageSize::size4K).mapping.frame,
+              0x222000u);
+    EXPECT_EQ(pom.stats().set_evictions, 0u);
+}
+
+TEST(PomTlb, TwoMegEntriesCoexist)
+{
+    PomTlb pom(smallPom(), kBase);
+    pom.insert(1, 0x0, {0x111000, PageSize::size4K});
+    pom.insert(1, 0x0, {Addr{4} << kHugePageShift, PageSize::size2M});
+    EXPECT_TRUE(pom.probe(1, 0x0, PageSize::size4K).hit);
+    EXPECT_TRUE(pom.probe(1, 0x100000, PageSize::size2M).hit);
+}
+
+// ---------------------------------------------------------- predictor
+
+TEST(PageSizePredictor, DefaultsTo4K)
+{
+    PageSizePredictor pred;
+    EXPECT_EQ(pred.predict(0x123456789000), PageSize::size4K);
+}
+
+TEST(PageSizePredictor, LearnsHugeRegions)
+{
+    PageSizePredictor pred;
+    const Addr gva = Addr{77} << kHugePageShift;
+    pred.update(gva, PageSize::size2M);
+    pred.update(gva, PageSize::size2M);
+    EXPECT_EQ(pred.predict(gva), PageSize::size2M);
+    // Same 2MB region, different offset.
+    EXPECT_EQ(pred.predict(gva + 0x12345), PageSize::size2M);
+}
+
+TEST(PageSizePredictor, UnlearnsOn4KEvidence)
+{
+    PageSizePredictor pred;
+    const Addr gva = Addr{77} << kHugePageShift;
+    for (int i = 0; i < 3; ++i)
+        pred.update(gva, PageSize::size2M);
+    for (int i = 0; i < 3; ++i)
+        pred.update(gva, PageSize::size4K);
+    EXPECT_EQ(pred.predict(gva), PageSize::size4K);
+}
+
+TEST(PageSizePredictor, TracksMispredicts)
+{
+    PageSizePredictor pred;
+    pred.update(0x1000, PageSize::size2M); // predicted 4K: mispredict
+    EXPECT_EQ(pred.mispredicts(), 1u);
+    EXPECT_EQ(pred.predictions(), 1u);
+}

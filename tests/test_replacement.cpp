@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit + parameterized property tests for the per-set replacement
+ * policies (true LRU, NRU, BT-PLRU), including the way-range victim
+ * selection CSALT's partitioning relies on and the stack-position
+ * estimates feeding the Mattson profilers (paper §3.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/replacement.h"
+#include "common/rng.h"
+
+using namespace csalt;
+
+// ----------------------------------------------------------- TrueLru
+
+TEST(TrueLru, InitialRanksAreAPermutation)
+{
+    TrueLruSet lru(8);
+    std::set<unsigned> seen;
+    for (unsigned w = 0; w < 8; ++w)
+        seen.insert(lru.stackPosOf(w));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(TrueLru, TouchMovesToMru)
+{
+    TrueLruSet lru(4);
+    lru.touch(2);
+    EXPECT_EQ(lru.stackPosOf(2), 0u);
+    lru.touch(0);
+    EXPECT_EQ(lru.stackPosOf(0), 0u);
+    EXPECT_EQ(lru.stackPosOf(2), 1u);
+}
+
+TEST(TrueLru, VictimIsLeastRecent)
+{
+    TrueLruSet lru(4);
+    // Touch in order 0,1,2,3 -> 0 is LRU.
+    for (unsigned w = 0; w < 4; ++w)
+        lru.touch(w);
+    EXPECT_EQ(lru.victimIn(0, 3), 0u);
+    lru.touch(0);
+    EXPECT_EQ(lru.victimIn(0, 3), 1u);
+}
+
+TEST(TrueLru, VictimRespectsRange)
+{
+    TrueLruSet lru(8);
+    for (unsigned w = 0; w < 8; ++w)
+        lru.touch(w); // LRU order: 0 oldest
+    // Restricted to ways [4,7], way 4 is oldest inside the range.
+    EXPECT_EQ(lru.victimIn(4, 7), 4u);
+    EXPECT_EQ(lru.victimIn(2, 2), 2u);
+}
+
+TEST(TrueLru, StackPositionsStayAPermutationUnderRandomTouches)
+{
+    TrueLruSet lru(16);
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        lru.touch(static_cast<unsigned>(rng.below(16)));
+        std::set<unsigned> seen;
+        for (unsigned w = 0; w < 16; ++w)
+            seen.insert(lru.stackPosOf(w));
+        ASSERT_EQ(seen.size(), 16u);
+    }
+}
+
+// --------------------------------------------------------------- NRU
+
+TEST(Nru, VictimPrefersUnreferenced)
+{
+    NruSet nru(4);
+    nru.touch(0);
+    nru.touch(1);
+    const unsigned v = nru.victimIn(0, 3);
+    EXPECT_TRUE(v == 2 || v == 3);
+}
+
+TEST(Nru, AllReferencedResetsOthers)
+{
+    NruSet nru(4);
+    for (unsigned w = 0; w < 4; ++w)
+        nru.touch(w);
+    // After saturation only way 3 (last touched) keeps its bit; the
+    // victim must be one of the cleared ways.
+    const unsigned v = nru.victimIn(0, 3);
+    EXPECT_NE(v, 3u);
+}
+
+TEST(Nru, VictimRespectsRange)
+{
+    NruSet nru(8);
+    for (unsigned w = 4; w < 8; ++w)
+        nru.touch(w);
+    const unsigned v = nru.victimIn(4, 7);
+    EXPECT_GE(v, 4u);
+    EXPECT_LE(v, 7u);
+}
+
+TEST(Nru, StackPosEstimateSeparatesReferenced)
+{
+    NruSet nru(8);
+    nru.touch(3);
+    EXPECT_LT(nru.stackPosOf(3), nru.stackPosOf(5));
+}
+
+// ----------------------------------------------------------- BT-PLRU
+
+TEST(BtPlru, TouchedWayIsNotVictim)
+{
+    BtPlruSet plru(8);
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+        const auto way = static_cast<unsigned>(rng.below(8));
+        plru.touch(way);
+        EXPECT_NE(plru.victimIn(0, 7), way);
+    }
+}
+
+TEST(BtPlru, StackPosZeroAfterTouch)
+{
+    BtPlruSet plru(8);
+    plru.touch(5);
+    EXPECT_EQ(plru.stackPosOf(5), 0u);
+}
+
+TEST(BtPlru, VictimHasMaxEstimatedPosition)
+{
+    BtPlruSet plru(8);
+    for (unsigned w = 0; w < 8; ++w)
+        plru.touch(w);
+    const unsigned victim = plru.victimIn(0, 7);
+    EXPECT_EQ(plru.stackPosOf(victim), 7u);
+}
+
+TEST(BtPlru, VictimRespectsRange)
+{
+    BtPlruSet plru(8);
+    Rng rng(11);
+    for (int i = 0; i < 500; ++i) {
+        plru.touch(static_cast<unsigned>(rng.below(8)));
+        const unsigned lo = static_cast<unsigned>(rng.below(8));
+        const unsigned hi =
+            lo + static_cast<unsigned>(rng.below(8 - lo));
+        const unsigned v = plru.victimIn(lo, hi);
+        ASSERT_GE(v, lo);
+        ASSERT_LE(v, hi);
+    }
+}
+
+TEST(BtPlru, RequiresPowerOfTwoWays)
+{
+    EXPECT_DEATH(BtPlruSet(6), "power-of-two");
+}
+
+// ------------------------------------------- parameterized properties
+
+struct PolicyCase
+{
+    ReplacementKind kind;
+    unsigned ways;
+};
+
+class AllPolicies : public ::testing::TestWithParam<PolicyCase>
+{
+};
+
+TEST_P(AllPolicies, VictimAlwaysInRange)
+{
+    const auto param = GetParam();
+    auto repl = makeSetReplacement(param.kind, param.ways);
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        repl->touch(static_cast<unsigned>(rng.below(param.ways)));
+        const unsigned lo =
+            static_cast<unsigned>(rng.below(param.ways));
+        const unsigned hi =
+            lo + static_cast<unsigned>(rng.below(param.ways - lo));
+        const unsigned v = repl->victimIn(lo, hi);
+        ASSERT_GE(v, lo);
+        ASSERT_LE(v, hi);
+    }
+}
+
+TEST_P(AllPolicies, StackPosWithinBounds)
+{
+    const auto param = GetParam();
+    auto repl = makeSetReplacement(param.kind, param.ways);
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        repl->touch(static_cast<unsigned>(rng.below(param.ways)));
+        for (unsigned w = 0; w < param.ways; ++w)
+            ASSERT_LT(repl->stackPosOf(w), param.ways);
+    }
+}
+
+TEST_P(AllPolicies, ReportsWays)
+{
+    const auto param = GetParam();
+    auto repl = makeSetReplacement(param.kind, param.ways);
+    EXPECT_EQ(repl->ways(), param.ways);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, AllPolicies,
+    ::testing::Values(PolicyCase{ReplacementKind::trueLru, 4},
+                      PolicyCase{ReplacementKind::trueLru, 8},
+                      PolicyCase{ReplacementKind::trueLru, 16},
+                      PolicyCase{ReplacementKind::nru, 4},
+                      PolicyCase{ReplacementKind::nru, 8},
+                      PolicyCase{ReplacementKind::nru, 16},
+                      PolicyCase{ReplacementKind::btPlru, 4},
+                      PolicyCase{ReplacementKind::btPlru, 8},
+                      PolicyCase{ReplacementKind::btPlru, 16}));

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+using namespace csalt;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull,
+                                1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        if (rng.chance(0.25))
+            ++hits;
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(13);
+    std::vector<int> buckets(10, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++buckets[rng.below(10)];
+    for (int count : buckets)
+        EXPECT_NEAR(count, 5000, 500);
+}
+
+TEST(Rng, ZipfStaysInRange)
+{
+    Rng rng(17);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(rng.zipf(1000, 0.8), 1000u);
+}
+
+TEST(Rng, ZipfDegenerateRange)
+{
+    Rng rng(19);
+    EXPECT_EQ(rng.zipf(1, 0.8), 0u);
+    EXPECT_EQ(rng.zipf(0, 0.8), 0u);
+}
+
+TEST(Rng, ZipfIsSkewedTowardLowRanks)
+{
+    Rng rng(23);
+    std::uint64_t low = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (rng.zipf(10000, 0.9) < 1000)
+            ++low;
+    // With s=0.9, far more than the uniform 10% should land in the
+    // first decile.
+    EXPECT_GT(low, n / 4);
+}
+
+TEST(Rng, ZipfHigherSkewConcentratesMore)
+{
+    Rng a(29);
+    Rng b(29);
+    std::uint64_t low_mild = 0;
+    std::uint64_t low_heavy = 0;
+    for (int i = 0; i < 20000; ++i) {
+        if (a.zipf(10000, 0.3) < 500)
+            ++low_mild;
+        if (b.zipf(10000, 0.95) < 500)
+            ++low_heavy;
+    }
+    EXPECT_GT(low_heavy, low_mild);
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+using namespace csalt;
+
+TEST(Stats, Mpki)
+{
+    EXPECT_DOUBLE_EQ(mpki(0, 1000), 0.0);
+    EXPECT_DOUBLE_EQ(mpki(5, 1000), 5.0);
+    EXPECT_DOUBLE_EQ(mpki(5, 2000), 2.5);
+    EXPECT_DOUBLE_EQ(mpki(5, 0), 0.0);
+}
+
+TEST(Stats, HitRate)
+{
+    EXPECT_DOUBLE_EQ(hitRate(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(hitRate(3, 1), 0.75);
+    EXPECT_DOUBLE_EQ(hitRate(0, 5), 0.0);
+    EXPECT_DOUBLE_EQ(hitRate(5, 0), 1.0);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 8.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, AccumulatorBasics)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+
+    acc.add(2.0);
+    acc.add(4.0);
+    acc.add(9.0);
+    EXPECT_EQ(acc.count(), 3u);
+    EXPECT_DOUBLE_EQ(acc.sum(), 15.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Stats, AccumulatorMerge)
+{
+    Accumulator a;
+    Accumulator b;
+    a.add(1.0);
+    a.add(3.0);
+    b.add(10.0);
+
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.max(), 10.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+
+    Accumulator empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 3u);
+
+    Accumulator fresh;
+    fresh.merge(a);
+    EXPECT_EQ(fresh.count(), 3u);
+    EXPECT_DOUBLE_EQ(fresh.sum(), 14.0);
+}
+
+TEST(Stats, TimeSeriesPushAndMean)
+{
+    TimeSeries ts;
+    EXPECT_TRUE(ts.empty());
+    EXPECT_DOUBLE_EQ(ts.meanValue(), 0.0);
+
+    ts.push(0.0, 1.0);
+    ts.push(1.0, 3.0);
+    EXPECT_EQ(ts.points().size(), 2u);
+    EXPECT_DOUBLE_EQ(ts.meanValue(), 2.0);
+}
+
+TEST(Stats, TimeSeriesDownsample)
+{
+    TimeSeries ts;
+    for (int i = 0; i < 100; ++i)
+        ts.push(i, i % 2 ? 1.0 : 0.0);
+
+    const TimeSeries small = ts.downsampled(10);
+    EXPECT_LE(small.points().size(), 10u);
+    EXPECT_NEAR(small.meanValue(), 0.5, 0.01);
+
+    // Downsampling to more points than exist is the identity.
+    const TimeSeries same = ts.downsampled(1000);
+    EXPECT_EQ(same.points().size(), 100u);
+
+    EXPECT_TRUE(ts.downsampled(0).empty());
+}

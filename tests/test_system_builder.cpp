@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the scheme-configuration helpers and BuildSpec plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "sim/system_builder.h"
+
+using namespace csalt;
+
+TEST(SchemeHelpers, Conventional)
+{
+    SystemParams p = defaultParams();
+    applyConventional(p);
+    EXPECT_EQ(p.translation, TranslationKind::conventional);
+    EXPECT_EQ(p.l2_partition.policy, PartitionPolicy::none);
+    EXPECT_EQ(p.l3_partition.policy, PartitionPolicy::none);
+}
+
+TEST(SchemeHelpers, CsaltVariantsPartitionBothLevels)
+{
+    SystemParams p = defaultParams();
+    applyCsaltD(p);
+    EXPECT_EQ(p.translation, TranslationKind::pomTlb);
+    EXPECT_EQ(p.l2_partition.policy, PartitionPolicy::csaltD);
+    EXPECT_EQ(p.l3_partition.policy, PartitionPolicy::csaltD);
+
+    applyCsaltCD(p);
+    EXPECT_EQ(p.l2_partition.policy, PartitionPolicy::csaltCD);
+    EXPECT_EQ(p.l3_partition.policy, PartitionPolicy::csaltCD);
+}
+
+TEST(SchemeHelpers, DipKeepsPomWithDuelingInsertion)
+{
+    SystemParams p = defaultParams();
+    applyDipOverPom(p);
+    EXPECT_EQ(p.translation, TranslationKind::pomTlb);
+    EXPECT_EQ(p.l2.insertion, InsertionKind::dip);
+    EXPECT_EQ(p.l3.insertion, InsertionKind::dip);
+    EXPECT_EQ(p.l3_partition.policy, PartitionPolicy::none);
+
+    // Re-applying a partitioning scheme resets the insertion policy.
+    applyCsaltCD(p);
+    EXPECT_EQ(p.l2.insertion, InsertionKind::mru);
+}
+
+TEST(SchemeHelpers, Tsb)
+{
+    SystemParams p = defaultParams();
+    applyTsb(p);
+    EXPECT_EQ(p.translation, TranslationKind::tsb);
+}
+
+TEST(Builder, ContextsPerCoreFollowsWorkloadList)
+{
+    BuildSpec spec;
+    applyPomTlb(spec.params);
+    spec.params.num_cores = 2;
+    spec.vm_workloads = {"gups", "canneal", "gups"};
+    spec.workload_scale = 0.02;
+    auto system = buildSystem(spec);
+    EXPECT_EQ(system->core(0).numContexts(), 3u);
+    EXPECT_EQ(system->params().contexts_per_core, 3u);
+}
+
+TEST(Builder, VmsGetDistinctAsids)
+{
+    BuildSpec spec;
+    applyPomTlb(spec.params);
+    spec.params.num_cores = 1;
+    spec.vm_workloads = {"gups", "gups"};
+    spec.workload_scale = 0.02;
+    auto system = buildSystem(spec);
+    auto &core = system->core(0);
+    // Rotation slot 0 and 1 belong to different address spaces.
+    EXPECT_NE(core.currentContext().asid(), 0);
+    EXPECT_EQ(core.numContexts(), 2u);
+}
+
+TEST(Builder, TooManyVmsIsFatal)
+{
+    BuildSpec spec;
+    applyPomTlb(spec.params);
+    spec.params.max_asids = 2;
+    spec.vm_workloads = {"gups", "gups", "gups"};
+    EXPECT_EXIT(buildSystem(spec), ::testing::ExitedWithCode(1),
+                "ASID");
+}
+
+TEST(Builder, FileWorkloadsPlugIn)
+{
+    const std::string path =
+        ::testing::TempDir() + "builder_trace.txt";
+    {
+        std::ofstream out(path);
+        out << "R 1000 2\nW 2000 3\nR 3000 2\n";
+    }
+
+    BuildSpec spec;
+    applyPomTlb(spec.params);
+    spec.params.num_cores = 1;
+    spec.vm_workloads = {"file:" + path};
+    auto system = buildSystem(spec);
+    system->run(1000);
+    EXPECT_GE(system->core(0).instructions(), 1000u);
+    std::remove(path.c_str());
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests for the text-table printer used by every bench harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.h"
+
+using namespace csalt;
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.row().add("a").add(std::uint64_t{1});
+    t.row().add("longer-name").add(2.5, 1);
+
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+
+    // Four lines: header, rule, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+    // Every line starts at the same column for field 2: "value"
+    // appears after the widest first column ("longer-name").
+    const auto header_pos = out.find("value");
+    ASSERT_NE(header_pos, std::string::npos);
+    const auto row2 = out.find("2.5");
+    ASSERT_NE(row2, std::string::npos);
+}
+
+TEST(TextTable, NumericFormatting)
+{
+    TextTable t({"x"});
+    t.row().add(3.14159, 2);
+    t.row().add(std::uint64_t{42});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("3.14"), std::string::npos);
+    EXPECT_EQ(os.str().find("3.142"), std::string::npos);
+    EXPECT_NE(os.str().find("42"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsPadWithEmptyCells)
+{
+    TextTable t({"a", "b", "c"});
+    t.row().add("only-one");
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(TextTable, ChainedRowBuilding)
+{
+    TextTable t({"a", "b"});
+    t.row().add("x").add("y");
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_LT(out.find('x'), out.find('y'));
+}

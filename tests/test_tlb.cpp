@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the set-associative ASID-tagged TLBs and the per-core
+ * L1/L2 hierarchy, including the no-flush-on-context-switch property
+ * the paper's Fig. 1 analysis rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "tlb/tlb_hierarchy.h"
+
+using namespace csalt;
+
+namespace
+{
+
+TlbEntry
+entry(Asid asid, Vpn vpn, Addr frame,
+      PageSize ps = PageSize::size4K)
+{
+    TlbEntry e;
+    e.asid = asid;
+    e.vpn = vpn;
+    e.frame = frame;
+    e.ps = ps;
+    e.valid = true;
+    return e;
+}
+
+} // namespace
+
+TEST(Tlb, InsertLookupRoundTrip)
+{
+    Tlb tlb("t", {64, 4, 9});
+    tlb.insert(entry(1, 0x42, 0x9000));
+    const auto hit = tlb.lookup(1, 0x42, PageSize::size4K);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->frame, 0x9000u);
+    EXPECT_EQ(tlb.stats().hits, 1u);
+}
+
+TEST(Tlb, AsidIsolation)
+{
+    Tlb tlb("t", {64, 4, 9});
+    tlb.insert(entry(1, 0x42, 0x9000));
+    EXPECT_FALSE(tlb.lookup(2, 0x42, PageSize::size4K).has_value());
+}
+
+TEST(Tlb, PageSizeIsPartOfTheTag)
+{
+    Tlb tlb("t", {64, 4, 9});
+    tlb.insert(entry(1, 0x42, 0x9000, PageSize::size2M));
+    EXPECT_FALSE(tlb.lookup(1, 0x42, PageSize::size4K).has_value());
+    EXPECT_TRUE(tlb.lookup(1, 0x42, PageSize::size2M).has_value());
+}
+
+TEST(Tlb, LruEvictionWithinSet)
+{
+    Tlb tlb("t", {4, 4, 9}); // one set
+    for (Vpn v = 0; v < 4; ++v)
+        tlb.insert(entry(1, v, v << kPageShift));
+    tlb.lookup(1, 0, PageSize::size4K); // protect vpn 0
+    tlb.insert(entry(1, 99, 0x99000));  // evicts vpn 1 (LRU)
+    EXPECT_TRUE(tlb.contains(1, 0, PageSize::size4K));
+    EXPECT_FALSE(tlb.contains(1, 1, PageSize::size4K));
+}
+
+TEST(Tlb, InsertUpdatesInPlace)
+{
+    Tlb tlb("t", {4, 4, 9});
+    tlb.insert(entry(1, 7, 0x1000));
+    tlb.insert(entry(1, 7, 0x2000));
+    EXPECT_EQ(tlb.lookup(1, 7, PageSize::size4K)->frame, 0x2000u);
+}
+
+TEST(Tlb, FlushAsidDropsOnlyThatSpace)
+{
+    Tlb tlb("t", {64, 4, 9});
+    tlb.insert(entry(1, 1, 0x1000));
+    tlb.insert(entry(2, 1, 0x2000));
+    tlb.flushAsid(1);
+    EXPECT_FALSE(tlb.contains(1, 1, PageSize::size4K));
+    EXPECT_TRUE(tlb.contains(2, 1, PageSize::size4K));
+    tlb.flushAll();
+    EXPECT_FALSE(tlb.contains(2, 1, PageSize::size4K));
+}
+
+TEST(Tlb, CountMissAccounting)
+{
+    Tlb tlb("t", {64, 4, 9});
+    tlb.countMiss();
+    EXPECT_EQ(tlb.stats().misses, 1u);
+    tlb.clearStats();
+    EXPECT_EQ(tlb.stats().accesses(), 0u);
+}
+
+TEST(Tlb, BadGeometryIsFatal)
+{
+    EXPECT_EXIT(Tlb("bad", {60, 4, 9}),
+                ::testing::ExitedWithCode(1), "power of two");
+}
+
+// ---------------------------------------------------------- hierarchy
+
+namespace
+{
+
+SystemParams
+hierarchyParams()
+{
+    return defaultParams();
+}
+
+} // namespace
+
+TEST(TlbHierarchy, MissThenFillThenL1Hit)
+{
+    TlbHierarchy tlbs(hierarchyParams());
+    const Addr gva = 0x1234567000;
+
+    auto res = tlbs.lookup(1, gva);
+    EXPECT_FALSE(res.l1_hit);
+    EXPECT_FALSE(res.l2_hit);
+    EXPECT_EQ(res.latency, 17u); // L2 TLB probe
+    EXPECT_EQ(tlbs.l2().stats().misses, 1u);
+
+    tlbs.fill(1, gva, {0xabc000, PageSize::size4K});
+    res = tlbs.lookup(1, gva);
+    EXPECT_TRUE(res.l1_hit);
+    EXPECT_EQ(res.latency, 0u); // pipelined L1 hit
+    EXPECT_EQ(res.mapping.frame, 0xabc000u);
+}
+
+TEST(TlbHierarchy, L2HitRefillsL1)
+{
+    SystemParams p = hierarchyParams();
+    p.l1tlb_4k = {4, 4, 1}; // tiny L1 so we can evict it
+    TlbHierarchy tlbs(p);
+
+    // Fill 5 translations: the first falls out of the 4-entry L1.
+    for (Vpn v = 0; v < 5; ++v) {
+        tlbs.fill(1, v << kPageShift,
+                  {(0x100 + v) << kPageShift, PageSize::size4K});
+    }
+    const auto res = tlbs.lookup(1, 0);
+    EXPECT_TRUE(res.l2_hit);
+    EXPECT_FALSE(res.l1_hit);
+    EXPECT_EQ(res.latency, 17u);
+    // Now resident in L1 again.
+    EXPECT_TRUE(tlbs.lookup(1, 0).l1_hit);
+}
+
+TEST(TlbHierarchy, HugePagesUseThe2MPath)
+{
+    TlbHierarchy tlbs(hierarchyParams());
+    const Addr gva = Addr{3} << kHugePageShift;
+    tlbs.fill(1, gva + 0x1234, {Addr{9} << kHugePageShift,
+                                PageSize::size2M});
+
+    // Any address inside the 2MB page hits.
+    const auto res = tlbs.lookup(1, gva + 0x100000);
+    EXPECT_TRUE(res.l1_hit);
+    EXPECT_EQ(res.mapping.ps, PageSize::size2M);
+}
+
+TEST(TlbHierarchy, ExactlyOneMissPerMissingAccess)
+{
+    TlbHierarchy tlbs(hierarchyParams());
+    tlbs.lookup(1, 0x1000);
+    tlbs.lookup(1, 0x2000);
+    EXPECT_EQ(tlbs.l1Stats().misses, 2u);
+    EXPECT_EQ(tlbs.l2().stats().misses, 2u);
+    EXPECT_EQ(tlbs.l2().stats().hits, 0u);
+}
+
+TEST(TlbHierarchy, EntriesSurviveContextSwitches)
+{
+    TlbHierarchy tlbs(hierarchyParams());
+    tlbs.fill(1, 0x5000, {0xaaa000, PageSize::size4K});
+    tlbs.fill(2, 0x5000, {0xbbb000, PageSize::size4K});
+
+    // Both ASIDs coexist; switching contexts flushes nothing.
+    EXPECT_EQ(tlbs.lookup(1, 0x5000).mapping.frame, 0xaaa000u);
+    EXPECT_EQ(tlbs.lookup(2, 0x5000).mapping.frame, 0xbbb000u);
+}
+
+TEST(TlbHierarchy, ClearStats)
+{
+    TlbHierarchy tlbs(hierarchyParams());
+    tlbs.lookup(1, 0x1000);
+    tlbs.clearStats();
+    EXPECT_EQ(tlbs.l1Stats().accesses(), 0u);
+    EXPECT_EQ(tlbs.l2().stats().accesses(), 0u);
+}

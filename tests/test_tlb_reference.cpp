@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Differential test: the set-associative TLB against a reference
+ * model (per-set recency list keyed by asid/vpn/page-size), under
+ * randomized multi-ASID dual-page-size traffic with flushes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <vector>
+
+#include "common/rng.h"
+#include "tlb/tlb.h"
+
+using namespace csalt;
+
+namespace
+{
+
+struct Key
+{
+    Asid asid;
+    Vpn vpn;
+    PageSize ps;
+
+    bool
+    operator==(const Key &o) const
+    {
+        return asid == o.asid && vpn == o.vpn && ps == o.ps;
+    }
+};
+
+/** Reference TLB: per-set std::list, MRU at front. */
+class ReferenceTlb
+{
+  public:
+    ReferenceTlb(std::uint64_t sets, unsigned ways)
+        : ways_(ways), sets_(sets)
+    {
+    }
+
+    bool
+    lookup(const Key &key)
+    {
+        auto &set = sets_[key.vpn & (sets_.size() - 1)];
+        for (auto it = set.begin(); it != set.end(); ++it) {
+            if (*it == key) {
+                set.splice(set.begin(), set, it);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    insert(const Key &key)
+    {
+        auto &set = sets_[key.vpn & (sets_.size() - 1)];
+        for (auto it = set.begin(); it != set.end(); ++it) {
+            if (*it == key) {
+                set.splice(set.begin(), set, it);
+                return;
+            }
+        }
+        if (set.size() >= ways_)
+            set.pop_back();
+        set.push_front(key);
+    }
+
+    bool
+    contains(const Key &key) const
+    {
+        const auto &set = sets_[key.vpn & (sets_.size() - 1)];
+        for (const auto &k : set)
+            if (k == key)
+                return true;
+        return false;
+    }
+
+    void
+    flushAsid(Asid asid)
+    {
+        for (auto &set : sets_)
+            set.remove_if(
+                [asid](const Key &k) { return k.asid == asid; });
+    }
+
+  private:
+    unsigned ways_;
+    std::vector<std::list<Key>> sets_;
+};
+
+} // namespace
+
+TEST(TlbDifferential, MatchesReferenceModel)
+{
+    constexpr unsigned kWays = 4;
+    constexpr std::uint64_t kSets = 16;
+
+    Tlb dut("diff", {kWays * kSets, kWays, 9});
+    ReferenceTlb ref(kSets, kWays);
+    Rng rng(77);
+
+    for (int i = 0; i < 80000; ++i) {
+        const Key key{static_cast<Asid>(1 + rng.below(3)),
+                      rng.below(kSets * 6),
+                      rng.chance(0.2) ? PageSize::size2M
+                                      : PageSize::size4K};
+
+        const bool dut_hit =
+            dut.lookup(key.asid, key.vpn, key.ps).has_value();
+        const bool ref_hit = ref.lookup(key);
+        ASSERT_EQ(dut_hit, ref_hit) << "diverged at access " << i;
+
+        if (!dut_hit) {
+            TlbEntry entry;
+            entry.asid = key.asid;
+            entry.vpn = key.vpn;
+            entry.frame = key.vpn << kPageShift;
+            entry.ps = key.ps;
+            entry.valid = true;
+            dut.insert(entry);
+            ref.insert(key);
+        }
+
+        if (i % 9001 == 9000) {
+            const auto asid = static_cast<Asid>(1 + rng.below(3));
+            dut.flushAsid(asid);
+            ref.flushAsid(asid);
+        }
+    }
+}
+
+TEST(TlbDifferential, InsertHeavyTrafficMatches)
+{
+    // Inserts of already-present entries must promote, not duplicate.
+    constexpr unsigned kWays = 4;
+    constexpr std::uint64_t kSets = 8;
+
+    Tlb dut("diff2", {kWays * kSets, kWays, 9});
+    ReferenceTlb ref(kSets, kWays);
+    Rng rng(99);
+
+    for (int i = 0; i < 40000; ++i) {
+        const Key key{1, rng.below(kSets * 5), PageSize::size4K};
+        TlbEntry entry;
+        entry.asid = key.asid;
+        entry.vpn = key.vpn;
+        entry.frame = key.vpn << kPageShift;
+        entry.ps = key.ps;
+        entry.valid = true;
+        dut.insert(entry);
+        ref.insert(key);
+
+        const Key probe{1, rng.below(kSets * 5), PageSize::size4K};
+        ASSERT_EQ(dut.contains(probe.asid, probe.vpn, probe.ps),
+                  ref.contains(probe))
+            << "diverged at access " << i;
+    }
+}

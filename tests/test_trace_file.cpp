@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the file-backed trace source and its registry hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "workloads/registry.h"
+#include "workloads/trace_file.h"
+
+using namespace csalt;
+
+namespace
+{
+
+const char *kSample = "# comment\n"
+                      "R 1000 3\n"
+                      "W 2fff 1\n"
+                      "R deadbeef000 5\n";
+
+} // namespace
+
+TEST(TraceFile, ParsesRecords)
+{
+    const auto file = TraceFile::parse(kSample);
+    ASSERT_EQ(file->records().size(), 3u);
+    EXPECT_EQ(file->records()[0].vaddr, 0x1000u);
+    EXPECT_EQ(file->records()[0].type, AccessType::read);
+    EXPECT_EQ(file->records()[0].icount, 3u);
+    EXPECT_EQ(file->records()[1].type, AccessType::write);
+    EXPECT_EQ(file->records()[2].vaddr, 0xdeadbeef000u);
+}
+
+TEST(TraceFile, FormatRoundTrips)
+{
+    const auto file = TraceFile::parse(kSample);
+    const std::string text = TraceFile::format(file->records());
+    const auto again = TraceFile::parse(text);
+    ASSERT_EQ(again->records().size(), file->records().size());
+    for (std::size_t i = 0; i < file->records().size(); ++i) {
+        EXPECT_EQ(again->records()[i].vaddr,
+                  file->records()[i].vaddr);
+        EXPECT_EQ(again->records()[i].type, file->records()[i].type);
+        EXPECT_EQ(again->records()[i].icount,
+                  file->records()[i].icount);
+    }
+}
+
+TEST(TraceFile, BadRecordIsFatal)
+{
+    EXPECT_EXIT(TraceFile::parse("X 1000 3\n"),
+                ::testing::ExitedWithCode(1), "bad trace record");
+    EXPECT_EXIT(TraceFile::parse("R 1000 0\n"),
+                ::testing::ExitedWithCode(1), "bad trace record");
+    EXPECT_EXIT(TraceFile::parse("# only comments\n"),
+                ::testing::ExitedWithCode(1), "empty trace");
+}
+
+TEST(TraceFile, MissingFileIsFatal)
+{
+    EXPECT_EXIT(TraceFile::load("/nonexistent/trace.txt"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceFileSource, LoopsEndlessly)
+{
+    const auto file = TraceFile::parse(kSample);
+    TraceFileSource src(file, /*thread=*/0);
+    for (std::size_t i = 0; i < 9; ++i) {
+        const TraceRecord rec = src.next();
+        EXPECT_EQ(rec.vaddr, file->records()[i % 3].vaddr);
+    }
+}
+
+TEST(TraceFileSource, ThreadsStartStaggered)
+{
+    const auto file = TraceFile::parse(kSample);
+    TraceFileSource a(file, 0);
+    TraceFileSource b(file, 1);
+    EXPECT_NE(a.next().vaddr, b.next().vaddr);
+}
+
+TEST(TraceFileSource, FootprintCountsDistinctPages)
+{
+    const auto file = TraceFile::parse(kSample);
+    TraceFileSource src(file, 0);
+    EXPECT_EQ(src.footprintPages(), 3u); // 0x1, 0x2, 0xdeadbeef
+}
+
+TEST(TraceFileRegistry, FileSchemeResolves)
+{
+    // Write a real temp file and load it through the registry.
+    const std::string path = ::testing::TempDir() + "csalt_trace.txt";
+    {
+        std::ofstream out(path);
+        out << kSample;
+    }
+    const auto &desc = workloadDesc("file:" + path);
+    auto src = desc.make(1, 0, 8, 1.0);
+    EXPECT_EQ(src->next().vaddr, 0x1000u);
+    std::remove(path.c_str());
+}

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the TSB (software translation storage buffer) baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/phys_alloc.h"
+#include "tlb/tsb.h"
+
+using namespace csalt;
+
+namespace
+{
+
+struct Fixture
+{
+    Fixture()
+        : data_frames(0, 1ull << 30, 11),
+          pt_frames(1ull << 30, (1ull << 30) + (256ull << 20), 13)
+    {
+    }
+
+    VmContext
+    makeVm(bool virtualized, Asid asid = 1)
+    {
+        VmContext::Params p;
+        p.asid = asid;
+        p.virtualized = virtualized;
+        p.huge_fraction = 0.0;
+        p.seed = 5;
+        return VmContext(p, data_frames, pt_frames);
+    }
+
+    TsbParams
+    params()
+    {
+        TsbParams t;
+        t.entries_per_context = 1024;
+        return t;
+    }
+
+    FrameAllocator data_frames;
+    FrameAllocator pt_frames;
+};
+
+constexpr Addr kTsbBase = 0x200000000;
+
+} // namespace
+
+TEST(Tsb, BytesPerAsid)
+{
+    TsbParams t;
+    t.entries_per_context = 1024;
+    EXPECT_EQ(Tsb::bytesPerAsid(t), 2u * 1024u * 16u);
+}
+
+TEST(Tsb, VirtualizedMissIsSingleProbe)
+{
+    Fixture f;
+    auto vm = f.makeVm(true);
+    Tsb tsb(f.params(), kTsbBase, 4);
+
+    const auto plan = tsb.lookup(vm, 0x12345678);
+    EXPECT_FALSE(plan.hit);
+    EXPECT_EQ(plan.num_probes, 1u);
+    EXPECT_GE(plan.probe_addrs[0], kTsbBase);
+}
+
+TEST(Tsb, VirtualizedHitIsTwoDependentProbes)
+{
+    Fixture f;
+    auto vm = f.makeVm(true);
+    Tsb tsb(f.params(), kTsbBase, 4);
+
+    const Addr gva = 0x5000;
+    const Mapping m = vm.mappingOf(gva);
+    tsb.insert(vm, gva, m);
+
+    const auto plan = tsb.lookup(vm, gva);
+    EXPECT_TRUE(plan.hit);
+    EXPECT_EQ(plan.num_probes, 2u);
+    EXPECT_EQ(plan.mapping.frame, m.frame);
+    EXPECT_NE(plan.probe_addrs[0], plan.probe_addrs[1]);
+}
+
+TEST(Tsb, NativeHitIsOneProbe)
+{
+    Fixture f;
+    auto vm = f.makeVm(false);
+    Tsb tsb(f.params(), kTsbBase, 4);
+
+    const Addr gva = 0x7000;
+    const Mapping m = vm.mappingOf(gva);
+    tsb.insert(vm, gva, m);
+
+    const auto plan = tsb.lookup(vm, gva);
+    EXPECT_TRUE(plan.hit);
+    EXPECT_EQ(plan.num_probes, 1u);
+    EXPECT_EQ(plan.mapping.frame, m.frame);
+}
+
+TEST(Tsb, DirectMappedConflictEvicts)
+{
+    Fixture f;
+    auto vm = f.makeVm(true);
+    Tsb tsb(f.params(), kTsbBase, 4);
+
+    const Addr a = 0x1000;
+    // Same index: vpn differs by exactly the table size.
+    const Addr b = a + (1024ull << kPageShift);
+    tsb.insert(vm, a, vm.mappingOf(a));
+    EXPECT_TRUE(tsb.lookup(vm, a).hit);
+    tsb.insert(vm, b, vm.mappingOf(b));
+    EXPECT_TRUE(tsb.lookup(vm, b).hit);
+    EXPECT_FALSE(tsb.lookup(vm, a).hit); // evicted by conflict
+}
+
+TEST(Tsb, ContextsHaveSeparateArrays)
+{
+    Fixture f;
+    auto vm1 = f.makeVm(true, 1);
+    auto vm2 = f.makeVm(true, 2);
+    Tsb tsb(f.params(), kTsbBase, 4);
+
+    tsb.insert(vm1, 0x3000, vm1.mappingOf(0x3000));
+    EXPECT_TRUE(tsb.lookup(vm1, 0x3000).hit);
+    EXPECT_FALSE(tsb.lookup(vm2, 0x3000).hit);
+
+    // Probe addresses are disjoint per ASID.
+    const auto p1 = tsb.lookup(vm1, 0x3000);
+    const auto p2 = tsb.lookup(vm2, 0x3000);
+    EXPECT_NE(p1.probe_addrs[0], p2.probe_addrs[0]);
+}
+
+TEST(Tsb, StatsCount)
+{
+    Fixture f;
+    auto vm = f.makeVm(true);
+    Tsb tsb(f.params(), kTsbBase, 4);
+    tsb.lookup(vm, 0x1000);
+    tsb.insert(vm, 0x1000, vm.mappingOf(0x1000));
+    tsb.lookup(vm, 0x1000);
+    EXPECT_EQ(tsb.stats().misses, 1u);
+    EXPECT_EQ(tsb.stats().hits, 1u);
+    EXPECT_EQ(tsb.stats().probes, 3u);
+}
+
+TEST(Tsb, AsidBeyondReservationPanics)
+{
+    Fixture f;
+    auto vm = f.makeVm(true, 9);
+    Tsb tsb(f.params(), kTsbBase, 4);
+    EXPECT_DEATH(tsb.lookup(vm, 0x1000), "beyond");
+}
+
+TEST(Tsb, BadCapacityIsFatal)
+{
+    TsbParams t;
+    t.entries_per_context = 1000;
+    EXPECT_EXIT(Tsb(t, kTsbBase, 4), ::testing::ExitedWithCode(1),
+                "power of two");
+}

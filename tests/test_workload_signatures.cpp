@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Statistical signature tests for the workload generators: each
+ * generator exists to reproduce a specific memory-system behaviour
+ * from the paper (DESIGN.md §2), so these tests pin the *shape* of
+ * the streams — page-level reach, line locality, skew, phases —
+ * rather than exact values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "workloads/generators.h"
+
+using namespace csalt;
+
+namespace
+{
+
+struct Profile
+{
+    std::uint64_t refs = 0;
+    std::uint64_t pages = 0;       //!< distinct 4KB pages
+    std::uint64_t lines = 0;       //!< distinct 64B lines
+    double seq_fraction = 0.0;     //!< refs at +8B from predecessor
+    double top_page_share = 0.0;   //!< share of refs on hottest 1%
+};
+
+Profile
+profileOf(TraceSource &src, int refs)
+{
+    Profile p;
+    p.refs = refs;
+    std::unordered_set<Addr> lines;
+    std::unordered_map<Vpn, std::uint64_t> page_counts;
+    Addr prev = ~Addr{0};
+    std::uint64_t seq = 0;
+    for (int i = 0; i < refs; ++i) {
+        const TraceRecord rec = src.next();
+        lines.insert(rec.vaddr >> kLineShift);
+        ++page_counts[rec.vaddr >> kPageShift];
+        if (rec.vaddr == prev + 8)
+            ++seq;
+        prev = rec.vaddr;
+    }
+    p.pages = page_counts.size();
+    p.lines = lines.size();
+    p.seq_fraction = static_cast<double>(seq) / refs;
+
+    std::vector<std::uint64_t> counts;
+    counts.reserve(page_counts.size());
+    for (const auto &[vpn, n] : page_counts)
+        counts.push_back(n);
+    std::sort(counts.rbegin(), counts.rend());
+    const std::size_t top = std::max<std::size_t>(
+        1, counts.size() / 100);
+    std::uint64_t head = 0;
+    for (std::size_t i = 0; i < top; ++i)
+        head += counts[i];
+    p.top_page_share = static_cast<double>(head) / refs;
+    return p;
+}
+
+constexpr int kRefs = 200'000;
+
+} // namespace
+
+TEST(WorkloadSignatures, GupsIsUniformAndPageHostile)
+{
+    auto src = makeGups(1, 0, 8, 0.1);
+    const Profile p = profileOf(*src, kRefs);
+    // Two refs per random location: pages touched ~ refs/2 until the
+    // table saturates; essentially no sequentiality, no skew.
+    EXPECT_GT(p.pages, static_cast<std::uint64_t>(kRefs) / 8);
+    EXPECT_LT(p.seq_fraction, 0.05);
+    EXPECT_LT(p.top_page_share, 0.05);
+}
+
+TEST(WorkloadSignatures, StreamclusterIsSequential)
+{
+    auto src = makeStreamcluster(1, 0, 8, 1.0);
+    const Profile p = profileOf(*src, kRefs);
+    // Dominated by the sequential pass.
+    EXPECT_GT(p.seq_fraction, 0.8);
+    // Page reach is modest: a few thousand, not tens of thousands.
+    EXPECT_LT(p.pages, 25'000u);
+}
+
+TEST(WorkloadSignatures, PagerankIsSkewed)
+{
+    auto src = makePagerank(1, 0, 8, 1.0);
+    const Profile p = profileOf(*src, kRefs);
+    // The drifting active window concentrates vertex traffic: the
+    // hottest 1% of pages carry far more than their uniform share.
+    EXPECT_GT(p.top_page_share, 0.08);
+    // The edge stream keeps a solid sequential component.
+    EXPECT_GT(p.seq_fraction, 0.2);
+    // The active window is TLB-reach-sized: half the vertex traffic
+    // fits in ~2K pages (CS-evictable reuse, paper Fig. 1).
+    EXPECT_LT(p.pages, src->footprintPages());
+}
+
+TEST(WorkloadSignatures, CannealHasLineLocalityWithoutSequentiality)
+{
+    auto src = makeCanneal(1, 0, 8, 1.0);
+    const Profile p = profileOf(*src, kRefs);
+    // Bursts revisit a small neighbourhood: many refs per line...
+    EXPECT_LT(p.lines, static_cast<std::uint64_t>(kRefs) / 2);
+    // ...but not as a sequential stream.
+    EXPECT_LT(p.seq_fraction, 0.2);
+    // Footprint stays within the configured hot/total page budget.
+    EXPECT_LE(p.pages, src->footprintPages());
+}
+
+TEST(WorkloadSignatures, CcompAlternatesPhases)
+{
+    auto src = makeCcomp(1, 0, 8, 1.0);
+    // Phase length is 40K refs (expansion runs 3 phases, compaction
+    // 1): windows of 20K refs must show both translation-hostile
+    // (many pages, low seq) and sweep (high seq) behaviour.
+    double max_seq = 0.0;
+    double min_seq = 1.0;
+    for (int window = 0; window < 12; ++window) {
+        const Profile p = profileOf(*src, 20'000);
+        max_seq = std::max(max_seq, p.seq_fraction);
+        min_seq = std::min(min_seq, p.seq_fraction);
+    }
+    EXPECT_GT(max_seq, 0.4); // compaction sweeps
+    EXPECT_LT(min_seq, 0.1); // expansion scatter
+}
+
+TEST(WorkloadSignatures, CcompExpansionOutreachesTheTlb)
+{
+    auto src = makeCcomp(1, 0, 8, 1.0);
+    const Profile p = profileOf(*src, 60'000); // inside expansion
+    // Far more distinct pages than the 1536-entry L2 TLB holds.
+    EXPECT_GT(p.pages, 5'000u);
+}
+
+TEST(WorkloadSignatures, Graph500MixesScanAndProbe)
+{
+    auto src = makeGraph500(1, 0, 8, 1.0);
+    const Profile p = profileOf(*src, kRefs);
+    EXPECT_GT(p.seq_fraction, 0.2);  // frontier scans
+    EXPECT_GT(p.pages, 2'000u);      // probe reach
+    EXPECT_GT(p.top_page_share, 0.05); // hub skew
+}

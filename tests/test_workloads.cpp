@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the synthetic workload generators and the registry:
+ * determinism, footprint discipline, record sanity, and the paper's
+ * pairings (Table 3 / figure x-axes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "workloads/generators.h"
+#include "workloads/registry.h"
+
+using namespace csalt;
+
+namespace
+{
+
+using Factory = std::unique_ptr<TraceSource> (*)(std::uint64_t,
+                                                 unsigned, unsigned,
+                                                 double);
+
+struct WorkloadCase
+{
+    const char *name;
+    Factory make;
+};
+
+class EveryWorkload : public ::testing::TestWithParam<WorkloadCase>
+{
+};
+
+} // namespace
+
+TEST_P(EveryWorkload, DeterministicPerSeedAndThread)
+{
+    const auto param = GetParam();
+    auto a = param.make(42, 3, 8, 0.05);
+    auto b = param.make(42, 3, 8, 0.05);
+    for (int i = 0; i < 5000; ++i) {
+        const TraceRecord ra = a->next();
+        const TraceRecord rb = b->next();
+        ASSERT_EQ(ra.vaddr, rb.vaddr);
+        ASSERT_EQ(ra.type, rb.type);
+        ASSERT_EQ(ra.icount, rb.icount);
+    }
+}
+
+TEST_P(EveryWorkload, ThreadsDiffer)
+{
+    const auto param = GetParam();
+    auto a = param.make(42, 0, 8, 0.05);
+    auto b = param.make(42, 1, 8, 0.05);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (a->next().vaddr == b->next().vaddr)
+            ++same;
+    EXPECT_LT(same, 900);
+}
+
+TEST_P(EveryWorkload, RecordsAreSane)
+{
+    const auto param = GetParam();
+    auto t = param.make(7, 0, 8, 0.05);
+    for (int i = 0; i < 20000; ++i) {
+        const TraceRecord r = t->next();
+        ASSERT_GE(r.icount, 1u);
+        ASSERT_LE(r.icount, 16u);
+        ASSERT_EQ(r.vaddr % 8, 0u) << "unaligned reference";
+        ASSERT_LT(r.vaddr, Addr{1} << 47) << "non-canonical address";
+    }
+}
+
+TEST_P(EveryWorkload, FootprintIsBounded)
+{
+    const auto param = GetParam();
+    auto t = param.make(7, 0, 8, 0.02);
+    const std::uint64_t budget = t->footprintPages();
+    ASSERT_GT(budget, 0u);
+
+    std::unordered_set<Vpn> pages;
+    for (int i = 0; i < 200000; ++i)
+        pages.insert(t->next().vaddr >> kPageShift);
+    EXPECT_LE(pages.size(), budget);
+}
+
+TEST_P(EveryWorkload, ScaleShrinksFootprint)
+{
+    const auto param = GetParam();
+    auto big = param.make(7, 0, 8, 1.0);
+    auto small = param.make(7, 0, 8, 0.01);
+    EXPECT_GT(big->footprintPages(), small->footprintPages());
+}
+
+TEST_P(EveryWorkload, ProducesReadsAndWrites)
+{
+    const auto param = GetParam();
+    auto t = param.make(9, 0, 8, 0.05);
+    int reads = 0;
+    int writes = 0;
+    for (int i = 0; i < 20000; ++i) {
+        if (t->next().type == AccessType::write)
+            ++writes;
+        else
+            ++reads;
+    }
+    EXPECT_GT(reads, 0);
+    EXPECT_GT(writes, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Generators, EveryWorkload,
+    ::testing::Values(WorkloadCase{"gups", makeGups},
+                      WorkloadCase{"canneal", makeCanneal},
+                      WorkloadCase{"graph500", makeGraph500},
+                      WorkloadCase{"pagerank", makePagerank},
+                      WorkloadCase{"ccomp", makeCcomp},
+                      WorkloadCase{"streamcluster", makeStreamcluster}),
+    [](const auto &info) { return std::string(info.param.name); });
+
+// ------------------------------------------------------------ registry
+
+TEST(Registry, KnowsAllSixWorkloads)
+{
+    const auto names = workloadNames();
+    EXPECT_EQ(names.size(), 6u);
+    for (const auto &n : names) {
+        const auto &desc = workloadDesc(n);
+        EXPECT_EQ(desc.name, n);
+        EXPECT_GE(desc.huge_fraction, 0.0);
+        EXPECT_LE(desc.huge_fraction, 1.0);
+        auto t = desc.make(1, 0, 8, 0.05);
+        EXPECT_EQ(t->name(), n);
+    }
+}
+
+TEST(Registry, PaperPairsResolve)
+{
+    const auto labels = paperPairLabels();
+    EXPECT_EQ(labels.size(), 10u);
+    for (const auto &label : labels) {
+        const PairSpec pair = resolvePair(label);
+        EXPECT_EQ(pair.label, label);
+        EXPECT_NO_FATAL_FAILURE(workloadDesc(pair.vm1));
+        EXPECT_NO_FATAL_FAILURE(workloadDesc(pair.vm2));
+    }
+}
+
+TEST(Registry, HomogeneousLabelsPairWithThemselves)
+{
+    const PairSpec pair = resolvePair("gups");
+    EXPECT_EQ(pair.vm1, "gups");
+    EXPECT_EQ(pair.vm2, "gups");
+}
+
+TEST(Registry, HeterogeneousLabels)
+{
+    EXPECT_EQ(resolvePair("can_ccomp").vm2, "ccomp");
+    EXPECT_EQ(resolvePair("graph500_gups").vm1, "graph500");
+    EXPECT_EQ(resolvePair("page_stream").vm2, "streamcluster");
+    // Alternate spellings used across the paper's figures.
+    EXPECT_EQ(resolvePair("can_strcls").vm2, "streamcluster");
+    EXPECT_EQ(resolvePair("pagerank_strcls").vm1, "pagerank");
+}
+
+TEST(Registry, UnknownWorkloadIsFatal)
+{
+    EXPECT_EXIT(workloadDesc("nosuch"), ::testing::ExitedWithCode(1),
+                "unknown workload");
+}
+
+TEST(Registry, StreamclusterIsThpFriendly)
+{
+    EXPECT_GT(workloadDesc("streamcluster").huge_fraction, 0.5);
+    EXPECT_LT(workloadDesc("ccomp").huge_fraction, 0.05);
+}

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * csalt-sim: command-line front end to the simulator, so experiments
+ * can be scripted without writing C++.
+ *
+ *   csalt-sim --vm pagerank --vm ccomp --scheme csalt-cd \
+ *             --quota 2000000 --warmup 500000 --format csv
+ *
+ * Options:
+ *   --vm NAME            add a VM (repeatable; also "file:<path>")
+ *   --pair LABEL         add both VMs of a paper pair label
+ *   --scheme S           conventional | pom | csalt-d | csalt-cd |
+ *                        tsb | dip            (default: csalt-cd)
+ *   --quota N            measured instructions per core (default 1M)
+ *   --warmup N           warmup instructions per core (default 500K)
+ *   --cores N            core count (default 8)
+ *   --cs-interval-ms N   context-switch interval in paper-ms
+ *   --native             disable virtualization (1-D walks)
+ *   --five-level         LA57-style 5-level page tables
+ *   --scale F            workload footprint multiplier
+ *   --seed N             RNG seed
+ *   --format F           table | csv | json    (default: table)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "sim/metrics_io.h"
+#include "sim/system_builder.h"
+#include "workloads/registry.h"
+
+using namespace csalt;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--vm NAME]... [--pair LABEL] "
+                 "[--scheme S] [--quota N] [--warmup N] [--cores N] "
+                 "[--cs-interval-ms N] [--native] [--five-level] "
+                 "[--scale F] [--seed N] [--format table|csv|json]\n",
+                 argv0);
+    std::exit(2);
+}
+
+void
+applyScheme(SystemParams &params, const std::string &scheme)
+{
+    if (scheme == "conventional")
+        applyConventional(params);
+    else if (scheme == "pom")
+        applyPomTlb(params);
+    else if (scheme == "csalt-d")
+        applyCsaltD(params);
+    else if (scheme == "csalt-cd")
+        applyCsaltCD(params);
+    else if (scheme == "tsb")
+        applyTsb(params);
+    else if (scheme == "dip")
+        applyDipOverPom(params);
+    else
+        fatal("unknown scheme '" + scheme + "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BuildSpec spec;
+    std::string scheme = "csalt-cd";
+    std::string format = "table";
+    std::uint64_t quota = 1'000'000;
+    std::uint64_t warmup = 500'000;
+
+    auto next_arg = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--vm") {
+            spec.vm_workloads.emplace_back(next_arg(i));
+        } else if (arg == "--pair") {
+            const PairSpec pair = resolvePair(next_arg(i));
+            spec.vm_workloads.push_back(pair.vm1);
+            spec.vm_workloads.push_back(pair.vm2);
+        } else if (arg == "--scheme") {
+            scheme = next_arg(i);
+        } else if (arg == "--quota") {
+            quota = std::strtoull(next_arg(i), nullptr, 10);
+        } else if (arg == "--warmup") {
+            warmup = std::strtoull(next_arg(i), nullptr, 10);
+        } else if (arg == "--cores") {
+            spec.params.num_cores = static_cast<unsigned>(
+                std::strtoul(next_arg(i), nullptr, 10));
+        } else if (arg == "--cs-interval-ms") {
+            spec.params.cs_interval =
+                std::strtoull(next_arg(i), nullptr, 10) *
+                kCyclesPerPaperMs;
+        } else if (arg == "--native") {
+            spec.params.virtualized = false;
+        } else if (arg == "--five-level") {
+            spec.params.page_table_levels = 5;
+        } else if (arg == "--scale") {
+            spec.workload_scale = std::strtod(next_arg(i), nullptr);
+        } else if (arg == "--seed") {
+            spec.params.seed =
+                std::strtoull(next_arg(i), nullptr, 10);
+        } else if (arg == "--format") {
+            format = next_arg(i);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            usage(argv[0]);
+        }
+    }
+    if (spec.vm_workloads.empty())
+        spec.vm_workloads = {"pagerank", "ccomp"};
+
+    applyScheme(spec.params, scheme);
+
+    auto system = buildSystem(spec);
+    if (warmup) {
+        system->run(warmup);
+        system->clearAllStats();
+    }
+    system->run(quota);
+    const RunMetrics m = collectMetrics(*system);
+
+    std::string label = scheme;
+    for (const auto &vm : spec.vm_workloads)
+        label += ":" + vm;
+
+    if (format == "csv") {
+        std::printf("%s\n%s\n", metricsCsvHeader().c_str(),
+                    metricsCsvRow(label, m).c_str());
+    } else if (format == "json") {
+        std::printf("%s\n", metricsJson(label, m).c_str());
+    } else if (format == "table") {
+        TextTable table({"metric", "value"});
+        table.row().add("scheme").add(scheme);
+        table.row().add("IPC (geomean)").add(m.ipc_geomean, 4);
+        table.row().add("instructions").add(m.total_instructions);
+        table.row().add("L1 TLB MPKI").add(m.l1_tlb_mpki, 2);
+        table.row().add("L2 TLB MPKI").add(m.l2_tlb_mpki, 2);
+        table.row().add("L2 D$ MPKI").add(m.l2_mpki_total, 2);
+        table.row().add("L3 D$ MPKI").add(m.l3_mpki_total, 2);
+        table.row().add("page walks").add(m.walks);
+        table.row().add("walks eliminated").add(m.walks_eliminated, 3);
+        table.row().add("avg walk cycles").add(m.avg_walk_cycles, 0);
+        table.row()
+            .add("L2 translation occupancy")
+            .add(m.l2_translation_occupancy, 2);
+        table.row()
+            .add("L3 translation occupancy")
+            .add(m.l3_translation_occupancy, 2);
+        table.row().add("POM-TLB hit rate").add(m.pom_hit_rate, 3);
+        table.print();
+    } else {
+        fatal("unknown format '" + format + "'");
+    }
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Developer harness: static-partition sweep for one workload pair —
+ * establishes the headroom the dynamic controller should find.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/metrics.h"
+#include "sim/system_builder.h"
+#include "workloads/registry.h"
+
+using namespace csalt;
+
+namespace
+{
+
+double
+run(const std::string &label, unsigned l2_data, unsigned l3_data,
+    std::uint64_t warmup, std::uint64_t quota)
+{
+    BuildSpec spec;
+    applyPomTlb(spec.params);
+    if (l3_data) {
+        spec.params.l2_partition.policy = PartitionPolicy::staticHalf;
+        spec.params.l2_partition.static_data_ways = l2_data;
+        spec.params.l3_partition.policy = PartitionPolicy::staticHalf;
+        spec.params.l3_partition.static_data_ways = l3_data;
+    }
+    const PairSpec pair = resolvePair(label);
+    spec.vm_workloads = {pair.vm1, pair.vm2};
+    auto system = buildSystem(spec);
+    system->run(warmup);
+    system->clearAllStats();
+    system->run(quota);
+    return collectMetrics(*system).ipc_geomean;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string label = argc > 1 ? argv[1] : "ccomp";
+    const std::uint64_t quota = 1'000'000;
+    const std::uint64_t warmup = 800'000;
+
+    const double base = run(label, 0, 0, warmup, quota);
+    std::printf("%s unpartitioned IPC %.4f\n", label.c_str(), base);
+    for (unsigned l2d = 1; l2d <= 3; ++l2d) {
+        for (unsigned l3d : {2u, 4u, 6u, 8u, 10u, 12u, 14u}) {
+            const double ipc = run(label, l2d, l3d, warmup, quota);
+            std::printf("  L2d=%u L3d=%-2u  ipc %.4f  vs_pom %.3f\n",
+                        l2d, l3d, ipc, ipc / base);
+            std::fflush(stdout);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Developer tuning harness (not an experiment binary): prints, per
+ * paper workload pair, the calibration quantities the generators are
+ * tuned against — L2 TLB MPKI with/without context switching, walk
+ * costs, translation occupancy, per-scheme cache behaviour and IPCs.
+ * See bench/ for the per-figure reproduction binaries.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "sim/metrics.h"
+#include "sim/system_builder.h"
+#include "workloads/registry.h"
+
+using namespace csalt;
+
+namespace
+{
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    if (const char *s = std::getenv(name))
+        return std::strtoull(s, nullptr, 10);
+    return fallback;
+}
+
+struct RunOutput
+{
+    RunMetrics metrics;
+    double l2_tr_hit = 0.0;
+    double l3_tr_hit = 0.0;
+    double l2_data_hit = 0.0;
+    double l3_data_hit = 0.0;
+    double l2_traffic_ratio = 0.0; //!< translation : data accesses
+    double trans_cyc_per_miss = 0.0;
+    double l2_data_ways = 0.0;
+    double l3_data_ways = 0.0;
+    double trans_per_instr = 0.0;
+    double data_per_instr = 0.0;
+    double ddr_avg = 0.0;
+    double stk_avg = 0.0;
+    double ddr_apki = 0.0; //!< DDR accesses per kilo-instruction
+    double stk_apki = 0.0;
+};
+
+RunOutput
+runOne(const std::string &label, void (*apply)(SystemParams &),
+       bool context_switch, std::uint64_t warmup, std::uint64_t quota)
+{
+    BuildSpec spec;
+    apply(spec.params);
+    const PairSpec pair = resolvePair(label);
+    spec.vm_workloads = {pair.vm1};
+    if (context_switch)
+        spec.vm_workloads.push_back(pair.vm2);
+    auto system = buildSystem(spec);
+    if (warmup) {
+        system->run(warmup);
+        system->clearAllStats(); // resets instruction counters too
+    }
+    system->run(quota);
+
+    RunOutput out;
+    out.metrics = collectMetrics(*system);
+
+    auto &mem = system->mem();
+    std::uint64_t tr_h = 0, tr_m = 0, d_h = 0, d_m = 0;
+    std::uint64_t trans_cycles = 0, tlb_misses = 0;
+    for (unsigned c = 0; c < system->numCores(); ++c) {
+        const auto &s = mem.l2(c).stats();
+        tr_h += s.hitsOf(LineType::translation);
+        tr_m += s.missesOf(LineType::translation);
+        d_h += s.hitsOf(LineType::data);
+        d_m += s.missesOf(LineType::data);
+        trans_cycles += system->core(c).stats().translation_cycles;
+        tlb_misses += system->core(c).tlbs().l2().stats().misses;
+        out.l2_data_ways +=
+            mem.l2Controller(c).partitionTrace().meanValue();
+    }
+    out.l2_tr_hit = hitRate(tr_h, tr_m);
+    out.l2_data_hit = hitRate(d_h, d_m);
+    out.l2_traffic_ratio =
+        (d_h + d_m) ? static_cast<double>(tr_h + tr_m) / (d_h + d_m)
+                    : 0.0;
+    out.trans_cyc_per_miss =
+        tlb_misses ? static_cast<double>(trans_cycles) / tlb_misses
+                   : 0.0;
+    out.l2_data_ways /= system->numCores();
+
+    std::uint64_t tcy = 0, dcy = 0;
+    for (unsigned c = 0; c < system->numCores(); ++c) {
+        tcy += system->core(c).stats().translation_cycles;
+        dcy += system->core(c).stats().data_cycles;
+    }
+    const double instr =
+        static_cast<double>(out.metrics.total_instructions);
+    out.trans_per_instr = tcy / instr;
+    out.data_per_instr = dcy / instr;
+    out.ddr_avg = mem.ddr().stats().avgLatency();
+    out.stk_avg = mem.stacked().stats().avgLatency();
+    out.ddr_apki = 1000.0 * mem.ddr().stats().accesses / instr;
+    out.stk_apki = 1000.0 * mem.stacked().stats().accesses / instr;
+
+    const auto &s3 = mem.l3().stats();
+    out.l3_tr_hit = hitRate(s3.hitsOf(LineType::translation),
+                            s3.missesOf(LineType::translation));
+    out.l3_data_hit = hitRate(s3.hitsOf(LineType::data),
+                              s3.missesOf(LineType::data));
+    out.l3_data_ways = mem.l3Controller().partitionTrace().meanValue();
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t quota = envU64("CSALT_QUOTA", 2'000'000);
+    const std::uint64_t warmup = envU64("CSALT_WARMUP", quota / 2);
+    std::vector<std::string> labels = paperPairLabels();
+    if (argc > 1) {
+        labels.clear();
+        for (int i = 1; i < argc; ++i)
+            labels.emplace_back(argv[i]);
+    }
+
+    for (const auto &label : labels) {
+        const auto conv_nocs =
+            runOne(label, applyConventional, false, warmup, quota);
+        const auto conv =
+            runOne(label, applyConventional, true, warmup, quota);
+        const auto pom = runOne(label, applyPomTlb, true, warmup, quota);
+        const auto csd = runOne(label, applyCsaltD, true, warmup, quota);
+        const auto cscd =
+            runOne(label, applyCsaltCD, true, warmup, quota);
+
+        std::printf("=== %s  (MPKI noCS %.2f | CS %.2f | ratio %.2f | "
+                    "conv walk %.0f cyc | POM elim %.3f)\n",
+                    label.c_str(), conv_nocs.metrics.l2_tlb_mpki,
+                    conv.metrics.l2_tlb_mpki,
+                    conv_nocs.metrics.l2_tlb_mpki > 0
+                        ? conv.metrics.l2_tlb_mpki /
+                              conv_nocs.metrics.l2_tlb_mpki
+                        : 0.0,
+                    conv.metrics.avg_walk_cycles,
+                    pom.metrics.walks_eliminated);
+
+        TextTable t({"scheme", "ipc", "vs_pom", "tlbMPKI", "tcyc/miss",
+                     "L2tr_hit", "L3tr_hit", "L2d_hit", "L3d_hit",
+                     "trf_L2", "occL2", "occL3", "dwaysL2", "dwaysL3",
+                     "t/ins", "d/ins", "ddrAvg", "stkAvg", "ddrAPKI",
+                     "stkAPKI"});
+        const auto add = [&](const char *name, const RunOutput &r) {
+            t.row()
+                .add(name)
+                .add(r.metrics.ipc_geomean, 4)
+                .add(pom.metrics.ipc_geomean > 0
+                         ? r.metrics.ipc_geomean /
+                               pom.metrics.ipc_geomean
+                         : 0.0,
+                     3)
+                .add(r.metrics.l2_tlb_mpki, 1)
+                .add(r.trans_cyc_per_miss, 0)
+                .add(r.l2_tr_hit, 2)
+                .add(r.l3_tr_hit, 2)
+                .add(r.l2_data_hit, 2)
+                .add(r.l3_data_hit, 2)
+                .add(r.l2_traffic_ratio, 2)
+                .add(r.metrics.l2_translation_occupancy, 2)
+                .add(r.metrics.l3_translation_occupancy, 2)
+                .add(r.l2_data_ways, 1)
+                .add(r.l3_data_ways, 1)
+                .add(r.trans_per_instr, 1)
+                .add(r.data_per_instr, 1)
+                .add(r.ddr_avg, 0)
+                .add(r.stk_avg, 0)
+                .add(r.ddr_apki, 0)
+                .add(r.stk_apki, 0);
+        };
+        add("conv", conv);
+        add("pom", pom);
+        add("csD", csd);
+        add("csCD", cscd);
+        t.print();
+        std::fflush(stdout);
+    }
+    return 0;
+}
