@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_drrip"
+  "../bench/ablation_drrip.pdb"
+  "CMakeFiles/ablation_drrip.dir/ablation_drrip.cpp.o"
+  "CMakeFiles/ablation_drrip.dir/ablation_drrip.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_drrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_five_level"
+  "../bench/ablation_five_level.pdb"
+  "CMakeFiles/ablation_five_level.dir/ablation_five_level.cpp.o"
+  "CMakeFiles/ablation_five_level.dir/ablation_five_level.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_five_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_static"
+  "../bench/ablation_static.pdb"
+  "CMakeFiles/ablation_static.dir/ablation_static.cpp.o"
+  "CMakeFiles/ablation_static.dir/ablation_static.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

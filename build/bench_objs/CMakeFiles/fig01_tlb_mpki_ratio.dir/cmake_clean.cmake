@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_tlb_mpki_ratio"
+  "../bench/fig01_tlb_mpki_ratio.pdb"
+  "CMakeFiles/fig01_tlb_mpki_ratio.dir/fig01_tlb_mpki_ratio.cpp.o"
+  "CMakeFiles/fig01_tlb_mpki_ratio.dir/fig01_tlb_mpki_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_tlb_mpki_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

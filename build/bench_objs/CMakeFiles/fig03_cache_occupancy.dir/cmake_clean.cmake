@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_cache_occupancy"
+  "../bench/fig03_cache_occupancy.pdb"
+  "CMakeFiles/fig03_cache_occupancy.dir/fig03_cache_occupancy.cpp.o"
+  "CMakeFiles/fig03_cache_occupancy.dir/fig03_cache_occupancy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_cache_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

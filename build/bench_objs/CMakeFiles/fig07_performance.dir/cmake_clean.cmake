@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_performance"
+  "../bench/fig07_performance.pdb"
+  "CMakeFiles/fig07_performance.dir/fig07_performance.cpp.o"
+  "CMakeFiles/fig07_performance.dir/fig07_performance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

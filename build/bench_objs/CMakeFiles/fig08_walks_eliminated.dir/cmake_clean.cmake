@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_walks_eliminated"
+  "../bench/fig08_walks_eliminated.pdb"
+  "CMakeFiles/fig08_walks_eliminated.dir/fig08_walks_eliminated.cpp.o"
+  "CMakeFiles/fig08_walks_eliminated.dir/fig08_walks_eliminated.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_walks_eliminated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

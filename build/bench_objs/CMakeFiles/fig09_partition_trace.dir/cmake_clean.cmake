@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_partition_trace"
+  "../bench/fig09_partition_trace.pdb"
+  "CMakeFiles/fig09_partition_trace.dir/fig09_partition_trace.cpp.o"
+  "CMakeFiles/fig09_partition_trace.dir/fig09_partition_trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_partition_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

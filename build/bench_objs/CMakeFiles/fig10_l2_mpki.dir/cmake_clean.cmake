@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_l2_mpki"
+  "../bench/fig10_l2_mpki.pdb"
+  "CMakeFiles/fig10_l2_mpki.dir/fig10_l2_mpki.cpp.o"
+  "CMakeFiles/fig10_l2_mpki.dir/fig10_l2_mpki.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_l2_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

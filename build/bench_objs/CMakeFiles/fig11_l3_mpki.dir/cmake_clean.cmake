@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_l3_mpki"
+  "../bench/fig11_l3_mpki.pdb"
+  "CMakeFiles/fig11_l3_mpki.dir/fig11_l3_mpki.cpp.o"
+  "CMakeFiles/fig11_l3_mpki.dir/fig11_l3_mpki.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_l3_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

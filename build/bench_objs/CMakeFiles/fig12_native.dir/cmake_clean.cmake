@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_native"
+  "../bench/fig12_native.pdb"
+  "CMakeFiles/fig12_native.dir/fig12_native.cpp.o"
+  "CMakeFiles/fig12_native.dir/fig12_native.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

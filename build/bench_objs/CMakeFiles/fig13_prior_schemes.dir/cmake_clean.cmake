@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_prior_schemes"
+  "../bench/fig13_prior_schemes.pdb"
+  "CMakeFiles/fig13_prior_schemes.dir/fig13_prior_schemes.cpp.o"
+  "CMakeFiles/fig13_prior_schemes.dir/fig13_prior_schemes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_prior_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

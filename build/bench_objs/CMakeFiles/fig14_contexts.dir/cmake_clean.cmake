@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_contexts"
+  "../bench/fig14_contexts.pdb"
+  "CMakeFiles/fig14_contexts.dir/fig14_contexts.cpp.o"
+  "CMakeFiles/fig14_contexts.dir/fig14_contexts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_contexts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

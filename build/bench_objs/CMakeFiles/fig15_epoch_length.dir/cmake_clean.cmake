@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_epoch_length"
+  "../bench/fig15_epoch_length.pdb"
+  "CMakeFiles/fig15_epoch_length.dir/fig15_epoch_length.cpp.o"
+  "CMakeFiles/fig15_epoch_length.dir/fig15_epoch_length.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_epoch_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

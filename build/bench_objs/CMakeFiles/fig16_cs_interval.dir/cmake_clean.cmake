@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_cs_interval"
+  "../bench/fig16_cs_interval.pdb"
+  "CMakeFiles/fig16_cs_interval.dir/fig16_cs_interval.cpp.o"
+  "CMakeFiles/fig16_cs_interval.dir/fig16_cs_interval.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_cs_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab01_page_walk_cost"
+  "../bench/tab01_page_walk_cost.pdb"
+  "CMakeFiles/tab01_page_walk_cost.dir/tab01_page_walk_cost.cpp.o"
+  "CMakeFiles/tab01_page_walk_cost.dir/tab01_page_walk_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_page_walk_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab01_page_walk_cost.
+# This may be replaced when dependencies are built.

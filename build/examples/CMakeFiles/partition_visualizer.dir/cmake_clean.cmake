@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_visualizer.dir/partition_visualizer.cpp.o"
+  "CMakeFiles/partition_visualizer.dir/partition_visualizer.cpp.o.d"
+  "partition_visualizer"
+  "partition_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

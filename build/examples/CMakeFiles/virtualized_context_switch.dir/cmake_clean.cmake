@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtualized_context_switch.dir/virtualized_context_switch.cpp.o"
+  "CMakeFiles/virtualized_context_switch.dir/virtualized_context_switch.cpp.o.d"
+  "virtualized_context_switch"
+  "virtualized_context_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtualized_context_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

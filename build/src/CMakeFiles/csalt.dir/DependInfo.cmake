@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/csalt.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/csalt.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/dip.cc" "src/CMakeFiles/csalt.dir/cache/dip.cc.o" "gcc" "src/CMakeFiles/csalt.dir/cache/dip.cc.o.d"
+  "/root/repo/src/cache/occupancy.cc" "src/CMakeFiles/csalt.dir/cache/occupancy.cc.o" "gcc" "src/CMakeFiles/csalt.dir/cache/occupancy.cc.o.d"
+  "/root/repo/src/cache/replacement.cc" "src/CMakeFiles/csalt.dir/cache/replacement.cc.o" "gcc" "src/CMakeFiles/csalt.dir/cache/replacement.cc.o.d"
+  "/root/repo/src/cache/rrip.cc" "src/CMakeFiles/csalt.dir/cache/rrip.cc.o" "gcc" "src/CMakeFiles/csalt.dir/cache/rrip.cc.o.d"
+  "/root/repo/src/cache/stack_dist.cc" "src/CMakeFiles/csalt.dir/cache/stack_dist.cc.o" "gcc" "src/CMakeFiles/csalt.dir/cache/stack_dist.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/csalt.dir/common/config.cc.o" "gcc" "src/CMakeFiles/csalt.dir/common/config.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/csalt.dir/common/log.cc.o" "gcc" "src/CMakeFiles/csalt.dir/common/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/csalt.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/csalt.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/criticality.cc" "src/CMakeFiles/csalt.dir/core/criticality.cc.o" "gcc" "src/CMakeFiles/csalt.dir/core/criticality.cc.o.d"
+  "/root/repo/src/core/csalt_controller.cc" "src/CMakeFiles/csalt.dir/core/csalt_controller.cc.o" "gcc" "src/CMakeFiles/csalt.dir/core/csalt_controller.cc.o.d"
+  "/root/repo/src/core/marginal_utility.cc" "src/CMakeFiles/csalt.dir/core/marginal_utility.cc.o" "gcc" "src/CMakeFiles/csalt.dir/core/marginal_utility.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/csalt.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/csalt.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/memory_map.cc" "src/CMakeFiles/csalt.dir/mem/memory_map.cc.o" "gcc" "src/CMakeFiles/csalt.dir/mem/memory_map.cc.o.d"
+  "/root/repo/src/mem/phys_alloc.cc" "src/CMakeFiles/csalt.dir/mem/phys_alloc.cc.o" "gcc" "src/CMakeFiles/csalt.dir/mem/phys_alloc.cc.o.d"
+  "/root/repo/src/sim/context.cc" "src/CMakeFiles/csalt.dir/sim/context.cc.o" "gcc" "src/CMakeFiles/csalt.dir/sim/context.cc.o.d"
+  "/root/repo/src/sim/core_model.cc" "src/CMakeFiles/csalt.dir/sim/core_model.cc.o" "gcc" "src/CMakeFiles/csalt.dir/sim/core_model.cc.o.d"
+  "/root/repo/src/sim/memory_system.cc" "src/CMakeFiles/csalt.dir/sim/memory_system.cc.o" "gcc" "src/CMakeFiles/csalt.dir/sim/memory_system.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/csalt.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/csalt.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/metrics_io.cc" "src/CMakeFiles/csalt.dir/sim/metrics_io.cc.o" "gcc" "src/CMakeFiles/csalt.dir/sim/metrics_io.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/csalt.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/csalt.dir/sim/system.cc.o.d"
+  "/root/repo/src/sim/system_builder.cc" "src/CMakeFiles/csalt.dir/sim/system_builder.cc.o" "gcc" "src/CMakeFiles/csalt.dir/sim/system_builder.cc.o.d"
+  "/root/repo/src/tlb/pom_tlb.cc" "src/CMakeFiles/csalt.dir/tlb/pom_tlb.cc.o" "gcc" "src/CMakeFiles/csalt.dir/tlb/pom_tlb.cc.o.d"
+  "/root/repo/src/tlb/tlb.cc" "src/CMakeFiles/csalt.dir/tlb/tlb.cc.o" "gcc" "src/CMakeFiles/csalt.dir/tlb/tlb.cc.o.d"
+  "/root/repo/src/tlb/tlb_hierarchy.cc" "src/CMakeFiles/csalt.dir/tlb/tlb_hierarchy.cc.o" "gcc" "src/CMakeFiles/csalt.dir/tlb/tlb_hierarchy.cc.o.d"
+  "/root/repo/src/tlb/tsb.cc" "src/CMakeFiles/csalt.dir/tlb/tsb.cc.o" "gcc" "src/CMakeFiles/csalt.dir/tlb/tsb.cc.o.d"
+  "/root/repo/src/vm/address_space.cc" "src/CMakeFiles/csalt.dir/vm/address_space.cc.o" "gcc" "src/CMakeFiles/csalt.dir/vm/address_space.cc.o.d"
+  "/root/repo/src/vm/mmu_cache.cc" "src/CMakeFiles/csalt.dir/vm/mmu_cache.cc.o" "gcc" "src/CMakeFiles/csalt.dir/vm/mmu_cache.cc.o.d"
+  "/root/repo/src/vm/page_table.cc" "src/CMakeFiles/csalt.dir/vm/page_table.cc.o" "gcc" "src/CMakeFiles/csalt.dir/vm/page_table.cc.o.d"
+  "/root/repo/src/vm/page_walker.cc" "src/CMakeFiles/csalt.dir/vm/page_walker.cc.o" "gcc" "src/CMakeFiles/csalt.dir/vm/page_walker.cc.o.d"
+  "/root/repo/src/workloads/canneal.cc" "src/CMakeFiles/csalt.dir/workloads/canneal.cc.o" "gcc" "src/CMakeFiles/csalt.dir/workloads/canneal.cc.o.d"
+  "/root/repo/src/workloads/ccomp.cc" "src/CMakeFiles/csalt.dir/workloads/ccomp.cc.o" "gcc" "src/CMakeFiles/csalt.dir/workloads/ccomp.cc.o.d"
+  "/root/repo/src/workloads/graph500.cc" "src/CMakeFiles/csalt.dir/workloads/graph500.cc.o" "gcc" "src/CMakeFiles/csalt.dir/workloads/graph500.cc.o.d"
+  "/root/repo/src/workloads/gups.cc" "src/CMakeFiles/csalt.dir/workloads/gups.cc.o" "gcc" "src/CMakeFiles/csalt.dir/workloads/gups.cc.o.d"
+  "/root/repo/src/workloads/pagerank.cc" "src/CMakeFiles/csalt.dir/workloads/pagerank.cc.o" "gcc" "src/CMakeFiles/csalt.dir/workloads/pagerank.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/csalt.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/csalt.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/streamcluster.cc" "src/CMakeFiles/csalt.dir/workloads/streamcluster.cc.o" "gcc" "src/CMakeFiles/csalt.dir/workloads/streamcluster.cc.o.d"
+  "/root/repo/src/workloads/trace_file.cc" "src/CMakeFiles/csalt.dir/workloads/trace_file.cc.o" "gcc" "src/CMakeFiles/csalt.dir/workloads/trace_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

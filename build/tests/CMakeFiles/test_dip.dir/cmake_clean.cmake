@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dip.dir/test_dip.cpp.o"
+  "CMakeFiles/test_dip.dir/test_dip.cpp.o.d"
+  "test_dip"
+  "test_dip.pdb"
+  "test_dip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

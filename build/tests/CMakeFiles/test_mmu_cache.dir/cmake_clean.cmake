@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mmu_cache.dir/test_mmu_cache.cpp.o"
+  "CMakeFiles/test_mmu_cache.dir/test_mmu_cache.cpp.o.d"
+  "test_mmu_cache"
+  "test_mmu_cache.pdb"
+  "test_mmu_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mmu_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

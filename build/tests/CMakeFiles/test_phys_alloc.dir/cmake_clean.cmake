@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phys_alloc.dir/test_phys_alloc.cpp.o"
+  "CMakeFiles/test_phys_alloc.dir/test_phys_alloc.cpp.o.d"
+  "test_phys_alloc"
+  "test_phys_alloc.pdb"
+  "test_phys_alloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phys_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

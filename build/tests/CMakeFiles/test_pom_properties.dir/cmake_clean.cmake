@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pom_properties.dir/test_pom_properties.cpp.o"
+  "CMakeFiles/test_pom_properties.dir/test_pom_properties.cpp.o.d"
+  "test_pom_properties"
+  "test_pom_properties.pdb"
+  "test_pom_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pom_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pom_tlb.dir/test_pom_tlb.cpp.o"
+  "CMakeFiles/test_pom_tlb.dir/test_pom_tlb.cpp.o.d"
+  "test_pom_tlb"
+  "test_pom_tlb.pdb"
+  "test_pom_tlb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pom_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

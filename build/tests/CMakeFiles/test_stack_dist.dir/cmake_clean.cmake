@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stack_dist.dir/test_stack_dist.cpp.o"
+  "CMakeFiles/test_stack_dist.dir/test_stack_dist.cpp.o.d"
+  "test_stack_dist"
+  "test_stack_dist.pdb"
+  "test_stack_dist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stack_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_builder.dir/test_system_builder.cpp.o"
+  "CMakeFiles/test_system_builder.dir/test_system_builder.cpp.o.d"
+  "test_system_builder"
+  "test_system_builder.pdb"
+  "test_system_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

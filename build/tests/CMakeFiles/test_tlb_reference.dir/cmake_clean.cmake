@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tlb_reference.dir/test_tlb_reference.cpp.o"
+  "CMakeFiles/test_tlb_reference.dir/test_tlb_reference.cpp.o.d"
+  "test_tlb_reference"
+  "test_tlb_reference.pdb"
+  "test_tlb_reference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tlb_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

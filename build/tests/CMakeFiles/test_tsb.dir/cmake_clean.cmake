@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tsb.dir/test_tsb.cpp.o"
+  "CMakeFiles/test_tsb.dir/test_tsb.cpp.o.d"
+  "test_tsb"
+  "test_tsb.pdb"
+  "test_tsb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

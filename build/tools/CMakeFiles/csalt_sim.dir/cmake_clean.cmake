@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csalt_sim.dir/csalt_sim.cpp.o"
+  "CMakeFiles/csalt_sim.dir/csalt_sim.cpp.o.d"
+  "csalt-sim"
+  "csalt-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csalt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
