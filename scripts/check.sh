@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: pristine configure with warnings-as-errors,
+# the whole test suite, and an end-to-end telemetry smoke test
+# (csalt-sim --trace-out piped through trace_inspect).
+#
+#   scripts/check.sh             # build into ./build-check
+#   BUILD_DIR=/tmp/b scripts/check.sh
+#   KEEP_BUILD=1 scripts/check.sh   # skip the rm -rf (incremental)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-check}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+if [[ "${KEEP_BUILD:-0}" != 1 ]]; then
+    rm -rf "$BUILD_DIR"
+fi
+
+echo "== configure ($BUILD_DIR, -Wall -Wextra -Werror) =="
+cmake -B "$BUILD_DIR" -S . -DCSALT_WERROR=ON
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== tests =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== telemetry smoke test =="
+trace="$(mktemp /tmp/csalt-check-XXXXXX.jsonl)"
+chrome="${trace%.jsonl}.chrome.json"
+trap 'rm -f "$trace" "$chrome"' EXIT
+"$BUILD_DIR/tools/csalt-sim" --vm gups --quota 100000 \
+    --warmup 20000 --trace-out "$trace" --format csv > /dev/null
+test -s "$trace" || { echo "empty trace"; exit 1; }
+"$BUILD_DIR/tools/trace_inspect" --chrome "$chrome" "$trace" \
+    > /dev/null
+test -s "$chrome" || { echo "empty chrome conversion"; exit 1; }
+
+echo "== OK =="

@@ -1,6 +1,7 @@
 #include "cache/cache.h"
 
 #include "common/log.h"
+#include "obs/stat_registry.h"
 
 namespace csalt
 {
@@ -239,6 +240,23 @@ Cache::scanCountOf(LineType t) const
             if (line.valid && line.type == t)
                 ++count;
     return count;
+}
+
+void
+Cache::registerStats(obs::StatRegistry &reg,
+                     const std::string &prefix) const
+{
+    constexpr int kData = static_cast<int>(LineType::data);
+    constexpr int kXlat = static_cast<int>(LineType::translation);
+    reg.addCounter(prefix + ".hit_data", &stats_.hits[kData]);
+    reg.addCounter(prefix + ".hit_xlat", &stats_.hits[kXlat]);
+    reg.addCounter(prefix + ".miss_data", &stats_.misses[kData]);
+    reg.addCounter(prefix + ".miss_xlat", &stats_.misses[kXlat]);
+    reg.addCounter(prefix + ".evictions", &stats_.evictions);
+    reg.addCounter(prefix + ".writebacks", &stats_.writebacks);
+    reg.addGauge(prefix + ".xlat_occupancy", [this] {
+        return occupancyOf(LineType::translation);
+    });
 }
 
 } // namespace csalt

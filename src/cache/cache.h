@@ -35,6 +35,11 @@
 namespace csalt
 {
 
+namespace obs
+{
+class StatRegistry;
+} // namespace obs
+
 /** Raw event counters of one cache. */
 struct CacheStats
 {
@@ -145,6 +150,13 @@ class Cache
 
     const CacheStats &stats() const { return stats_; }
     void clearStats() { stats_ = CacheStats{}; }
+
+    /**
+     * Register this cache's counters and gauges under
+     * "<prefix>.<stat>" (telemetry; see docs/observability.md).
+     */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const;
 
     /** Fraction of lines (valid or not) currently holding @p t. */
     double occupancyOf(LineType t) const;

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <set>
+#include <utility>
 
 namespace csalt
 {
@@ -34,6 +36,22 @@ void
 warn(const std::string &msg)
 {
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+bool
+warnOnce(const std::string &msg, std::source_location loc)
+{
+    // Keyed by call site, not message text: a per-access warning with
+    // a varying payload ("bad addr 0x1234…") still prints only once.
+    static std::set<std::pair<std::string, unsigned>> seen;
+    const auto [it, inserted] =
+        seen.emplace(loc.file_name(), loc.line());
+    if (!inserted)
+        return false;
+    std::fprintf(stderr, "warn: %s (further warnings from %s:%u "
+                 "suppressed)\n",
+                 msg.c_str(), loc.file_name(), loc.line());
+    return true;
 }
 
 void

@@ -10,6 +10,7 @@
 #ifndef CSALT_COMMON_LOG_H
 #define CSALT_COMMON_LOG_H
 
+#include <source_location>
 #include <sstream>
 #include <string>
 
@@ -37,6 +38,16 @@ void inform(LogLevel level, const std::string &msg);
 void warn(const std::string &msg);
 
 /**
+ * Print a warning at most once per call site (keyed by file:line of
+ * the caller). Use on per-access paths — e.g. per-sample telemetry
+ * anomalies — where a repeated warn() would flood stderr.
+ * @return true when the warning was actually printed
+ */
+bool warnOnce(const std::string &msg,
+              std::source_location loc =
+                  std::source_location::current());
+
+/**
  * Terminate due to a user/configuration error (exit(1)).
  * @param msg description of the misconfiguration.
  */
@@ -57,7 +68,9 @@ std::string
 msgOf(Args &&...args)
 {
     std::ostringstream os;
-    (os << ... << args);
+    // void-cast: with an empty pack the fold is just `os`, which
+    // -Werror=unused-value rejects as a no-effect statement.
+    static_cast<void>((os << ... << args));
     return os.str();
 }
 

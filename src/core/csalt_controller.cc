@@ -1,14 +1,19 @@
 #include "core/csalt_controller.h"
 
+#include <utility>
+
 #include "common/log.h"
+#include "obs/stat_registry.h"
+#include "obs/trace_event.h"
 
 namespace csalt
 {
 
 PartitionController::PartitionController(
     Cache &cache, const PartitionParams &params,
-    const CriticalityEstimator *criticality)
-    : cache_(cache), params_(params), criticality_(criticality)
+    const CriticalityEstimator *criticality, std::string label)
+    : cache_(cache), params_(params), criticality_(criticality),
+      label_(label.empty() ? cache.name() : std::move(label))
 {
     switch (params_.policy) {
       case PartitionPolicy::none:
@@ -57,6 +62,8 @@ PartitionController::repartition(Cycles now)
         return;
     }
 
+    const unsigned before_ways = cache_.dataWays();
+
     last_weights_ = CriticalityWeights{};
     if (params_.policy == PartitionPolicy::csaltCD)
         last_weights_ = criticality_->weights();
@@ -85,13 +92,33 @@ PartitionController::repartition(Cycles now)
     cache_.setDataWays(data_ways);
 
     ++epochs_;
-    trace_.push(now ? static_cast<double>(now)
-                    : static_cast<double>(epochs_),
-                static_cast<double>(data_ways));
+    const double t = now ? static_cast<double>(now)
+                         : static_cast<double>(epochs_);
+    trace_.push(t, static_cast<double>(data_ways));
+
+    CSALT_TRACE_INSTANT(
+        obs::kCatEpoch, "repartition", 0, t,
+        obs::EventArgs()
+            .add("label", label_)
+            .add("epoch", epochs_)
+            .add("before_data_ways", before_ways)
+            .add("data_ways", data_ways)
+            .add("total_ways", cache_.ways())
+            .add("w_data", last_weights_.s_dat)
+            .add("w_tlb", last_weights_.s_tr));
 
     // Fresh profile for the next epoch (phase tracking).
     cache_.dataProfiler().reset();
     cache_.tlbProfiler().reset();
+}
+
+void
+PartitionController::registerStats(obs::StatRegistry &reg) const
+{
+    reg.addCounter(label_ + ".epochs", &epochs_);
+    reg.addGauge(label_ + ".data_ways", [this] {
+        return static_cast<double>(cache_.dataWays());
+    });
 }
 
 } // namespace csalt

@@ -14,6 +14,7 @@
 #define CSALT_CORE_CSALT_CONTROLLER_H
 
 #include <cstdint>
+#include <string>
 
 #include "cache/cache.h"
 #include "common/config.h"
@@ -23,6 +24,11 @@
 
 namespace csalt
 {
+
+namespace obs
+{
+class StatRegistry;
+} // namespace obs
 
 /** Epoch-driven dynamic way-partition controller for one cache. */
 class PartitionController
@@ -34,9 +40,12 @@ class PartitionController
      * @param params policy / epoch length / minimum ways
      * @param criticality weight source for CSALT-CD; may be nullptr
      *        for CSALT-D and static policies
+     * @param label telemetry identity of this controller ("ctrl.l3",
+     *        "ctrl.core0.l2"); defaults to the cache's name
      */
     PartitionController(Cache &cache, const PartitionParams &params,
-                        const CriticalityEstimator *criticality);
+                        const CriticalityEstimator *criticality,
+                        std::string label = "");
 
     /**
      * Tick on each access to the governed cache; triggers the
@@ -60,10 +69,20 @@ class PartitionController
     /** Weights used at the most recent epoch (CSALT-CD diagnostics). */
     CriticalityWeights lastWeights() const { return last_weights_; }
 
+    /** Telemetry identity ("ctrl.l3" etc.). */
+    const std::string &label() const { return label_; }
+
+    /**
+     * Register "<label>.epochs" and "<label>.data_ways" (telemetry;
+     * see docs/observability.md).
+     */
+    void registerStats(obs::StatRegistry &reg) const;
+
   private:
     Cache &cache_;
     PartitionParams params_;
     const CriticalityEstimator *criticality_;
+    std::string label_;
     std::uint64_t accesses_in_epoch_ = 0;
     std::uint64_t epochs_ = 0;
     TimeSeries trace_;

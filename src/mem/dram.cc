@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/stat_registry.h"
+
 namespace csalt
 {
 
@@ -59,6 +61,21 @@ DramChannel::access(Addr addr, Cycles now)
     stats_.queue_wait_cycles += static_cast<Cycles>(queue);
     stats_.service_cycles += service + params_.overhead;
     return static_cast<Cycles>(queue) + service + params_.overhead;
+}
+
+void
+DramChannel::registerStats(obs::StatRegistry &reg,
+                           const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".accesses", &stats_.accesses);
+    reg.addCounter(prefix + ".row_hits", &stats_.row_hits);
+    reg.addCounter(prefix + ".row_conflicts", &stats_.row_conflicts);
+    reg.addCounter(prefix + ".row_cold", &stats_.row_cold);
+    reg.addCounter(prefix + ".queue_wait_cycles",
+                   &stats_.queue_wait_cycles);
+    reg.addCounter(prefix + ".service_cycles", &stats_.service_cycles);
+    reg.addGauge(prefix + ".row_hit_rate",
+                 [this] { return stats_.rowHitRate(); });
 }
 
 } // namespace csalt

@@ -22,6 +22,11 @@
 namespace csalt
 {
 
+namespace obs
+{
+class StatRegistry;
+} // namespace obs
+
 /** Counters for one DRAM channel. */
 struct DramStats
 {
@@ -65,6 +70,10 @@ class DramChannel
     const DramStats &stats() const { return stats_; }
     void clearStats() { stats_ = DramStats{}; }
     const std::string &name() const { return params_.name; }
+
+    /** Register counters + row-hit-rate gauge under "<prefix>.*". */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     /**

@@ -1,0 +1,360 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace csalt::obs
+{
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind != Kind::object)
+        return nullptr;
+    for (const auto &[k, v] : obj) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+double
+JsonValue::numberOr(std::string_view key, double dflt) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isNumber() ? v->num_v : dflt;
+}
+
+std::string
+JsonValue::stringOr(std::string_view key, const std::string &dflt) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isString() ? v->str_v : dflt;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a string_view cursor. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    std::optional<JsonValue>
+    parse(std::string *error)
+    {
+        JsonValue v;
+        if (!value(v) || (skipWs(), pos_ != text_.size())) {
+            if (error)
+                *error = error_.empty() ? "trailing garbage" : error_;
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    bool
+    fail(const char *what)
+    {
+        if (error_.empty()) {
+            error_ = std::string(what) + " at offset " +
+                     std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case '{':
+            return object(out);
+          case '[':
+            return array(out);
+          case '"':
+            out.kind = JsonValue::Kind::string;
+            return string(out.str_v);
+          case 't':
+            out.kind = JsonValue::Kind::boolean;
+            out.bool_v = true;
+            return literal("true") || fail("bad literal");
+          case 'f':
+            out.kind = JsonValue::Kind::boolean;
+            out.bool_v = false;
+            return literal("false") || fail("bad literal");
+          case 'n':
+            out.kind = JsonValue::Kind::null;
+            return literal("null") || fail("bad literal");
+          default:
+            return number(out);
+        }
+    }
+
+    bool
+    number(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        if (pos_ >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            return fail("bad number");
+        }
+        // JSON forbids leading zeros like "01".
+        if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+            std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+            return fail("leading zero");
+        }
+        auto digits = [&] {
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        };
+        digits();
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(
+                    static_cast<unsigned char>(text_[pos_]))) {
+                return fail("bad fraction");
+            }
+            digits();
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            if (pos_ >= text_.size() ||
+                !std::isdigit(
+                    static_cast<unsigned char>(text_[pos_]))) {
+                return fail("bad exponent");
+            }
+            digits();
+        }
+        out.kind = JsonValue::Kind::number;
+        out.num_v = std::strtod(
+            std::string(text_.substr(start, pos_ - start)).c_str(),
+            nullptr);
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                if (++pos_ >= text_.size())
+                    return fail("bad escape");
+                switch (text_[pos_]) {
+                  case '"': out.push_back('"'); break;
+                  case '\\': out.push_back('\\'); break;
+                  case '/': out.push_back('/'); break;
+                  case 'b': out.push_back('\b'); break;
+                  case 'f': out.push_back('\f'); break;
+                  case 'n': out.push_back('\n'); break;
+                  case 'r': out.push_back('\r'); break;
+                  case 't': out.push_back('\t'); break;
+                  case 'u': {
+                    if (pos_ + 4 >= text_.size())
+                        return fail("bad \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_ + 1 + i];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    pos_ += 4;
+                    // Telemetry strings are ASCII; wider code points
+                    // degrade to '?' rather than UTF-8 machinery.
+                    out.push_back(code < 0x80
+                                      ? static_cast<char>(code)
+                                      : '?');
+                    break;
+                  }
+                  default:
+                    return fail("bad escape");
+                }
+                ++pos_;
+                continue;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            out.push_back(c);
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    array(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue elem;
+            if (!value(elem))
+                return false;
+            out.arr.push_back(std::move(elem));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    object(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!string(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            JsonValue member;
+            if (!value(member))
+                return false;
+            out.obj.emplace_back(std::move(key), std::move(member));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+parseJson(std::string_view text, std::string *error)
+{
+    return Parser(text).parse(error);
+}
+
+std::string
+escapeJson(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeJsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << 0;
+        return;
+    }
+    constexpr double kExactInt = 9007199254740992.0; // 2^53
+    if (v == std::floor(v) && std::fabs(v) < kExactInt) {
+        os << static_cast<long long>(v);
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+} // namespace csalt::obs

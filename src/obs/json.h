@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Minimal JSON support for the telemetry layer: a recursive-descent
+ * parser producing a DOM-style JsonValue (used by trace_inspect and
+ * the round-trip tests) and the writer helpers the emitters share
+ * (string escaping, shortest-faithful number formatting).
+ *
+ * Deliberately tiny: no external dependency, no streaming API, no
+ * UTF-16 surrogate handling beyond pass-through — telemetry output is
+ * ASCII identifiers and numbers.
+ */
+
+#ifndef CSALT_OBS_JSON_H
+#define CSALT_OBS_JSON_H
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace csalt::obs
+{
+
+/** One parsed JSON value (tagged union over the seven JSON kinds). */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        null,
+        boolean,
+        number,
+        string,
+        array,
+        object,
+    };
+
+    Kind kind = Kind::null;
+    bool bool_v = false;
+    double num_v = 0.0;
+    std::string str_v;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    bool isNull() const { return kind == Kind::null; }
+    bool isNumber() const { return kind == Kind::number; }
+    bool isString() const { return kind == Kind::string; }
+    bool isArray() const { return kind == Kind::array; }
+    bool isObject() const { return kind == Kind::object; }
+
+    /** Member lookup on an object; nullptr when absent or not one. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** Number value of member @p key, or @p dflt when absent. */
+    double numberOr(std::string_view key, double dflt) const;
+
+    /** String value of member @p key, or @p dflt when absent. */
+    std::string stringOr(std::string_view key,
+                         const std::string &dflt) const;
+};
+
+/**
+ * Parse one complete JSON document (trailing whitespace allowed,
+ * trailing garbage rejected).
+ * @param error when non-null, receives a description on failure
+ * @return the value, or nullopt on malformed input
+ */
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   std::string *error = nullptr);
+
+/** Escape @p s for inclusion inside a double-quoted JSON string. */
+std::string escapeJson(std::string_view s);
+
+/**
+ * Write @p v as a JSON number: integral values within 2^53 print
+ * without a decimal point (counters stay grep-able), the rest with
+ * enough digits to round-trip; non-finite values degrade to 0.
+ */
+void writeJsonNumber(std::ostream &os, double v);
+
+} // namespace csalt::obs
+
+#endif // CSALT_OBS_JSON_H

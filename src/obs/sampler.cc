@@ -1,0 +1,62 @@
+#include "obs/sampler.h"
+
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace csalt::obs
+{
+
+void
+Sampler::setRingCapacity(std::size_t n)
+{
+    capacity_ = n ? n : 1;
+    while (ring_.size() > capacity_)
+        ring_.pop_front();
+}
+
+void
+Sampler::sample(double t, std::uint64_t step)
+{
+    Snapshot snap;
+    snap.t = t;
+    snap.step = step;
+    snap.values.reserve(registry_.size());
+    for (const auto &entry : registry_.entries())
+        snap.values.push_back(entry.get());
+
+    if (sink_)
+        writeJsonl(snap);
+
+    ring_.push_back(std::move(snap));
+    while (ring_.size() > capacity_)
+        ring_.pop_front();
+    ++taken_;
+}
+
+void
+Sampler::clear()
+{
+    ring_.clear();
+    taken_ = 0;
+}
+
+void
+Sampler::writeJsonl(const Snapshot &snap)
+{
+    std::ostream &os = *sink_;
+    os << "{\"type\":\"sample\",\"t\":";
+    writeJsonNumber(os, snap.t);
+    os << ",\"step\":";
+    writeJsonNumber(os, static_cast<double>(snap.step));
+    os << ",\"values\":{";
+    const auto &entries = registry_.entries();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        os << (i ? ",\"" : "\"") << escapeJson(entries[i].name)
+           << "\":";
+        writeJsonNumber(os, snap.values[i]);
+    }
+    os << "}}\n";
+}
+
+} // namespace csalt::obs

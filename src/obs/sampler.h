@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Epoch-aligned time-series sampler over a StatRegistry.
+ *
+ * Every sample() snapshots all registered stats into an in-memory
+ * ring (bounded, oldest dropped) and, when a sink stream is attached,
+ * appends one JSONL record:
+ *
+ *   {"type":"sample","t":<cycles>,"step":<accesses>,
+ *    "values":{"core0.instructions":123, ...}}
+ *
+ * Counters are cumulative since the last stats clear; consumers
+ * (trace_inspect, plots) difference consecutive samples to get
+ * per-interval rates such as interval MPKI.
+ */
+
+#ifndef CSALT_OBS_SAMPLER_H
+#define CSALT_OBS_SAMPLER_H
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/stat_registry.h"
+
+namespace csalt::obs
+{
+
+/** Snapshots a StatRegistry into a ring and an optional JSONL sink. */
+class Sampler
+{
+  public:
+    /** One snapshot; values align with registry entries() order. */
+    struct Snapshot
+    {
+        double t = 0.0;          //!< sample timestamp (cycles)
+        std::uint64_t step = 0;  //!< scheduler steps at sample time
+        std::vector<double> values;
+    };
+
+    explicit Sampler(const StatRegistry &registry)
+        : registry_(registry)
+    {
+    }
+
+    /** Bound the in-memory ring (default 4096 snapshots). */
+    void setRingCapacity(std::size_t n);
+
+    /** Attach/detach the JSONL sink (not owned; null detaches). */
+    void setSink(std::ostream *out) { sink_ = out; }
+    bool hasSink() const { return sink_ != nullptr; }
+
+    /** Snapshot every registered stat now. */
+    void sample(double t, std::uint64_t step);
+
+    const std::deque<Snapshot> &ring() const { return ring_; }
+
+    /** Samples taken since construction or the last clear(). */
+    std::uint64_t samplesTaken() const { return taken_; }
+
+    /** Drop ring contents and the sample count (end of warmup). */
+    void clear();
+
+  private:
+    void writeJsonl(const Snapshot &snap);
+
+    const StatRegistry &registry_;
+    std::ostream *sink_ = nullptr;
+    std::deque<Snapshot> ring_;
+    std::size_t capacity_ = 4096;
+    std::uint64_t taken_ = 0;
+};
+
+} // namespace csalt::obs
+
+#endif // CSALT_OBS_SAMPLER_H

@@ -1,0 +1,50 @@
+#include "obs/stat_registry.h"
+
+#include "common/log.h"
+
+namespace csalt::obs
+{
+
+void
+StatRegistry::add(std::string name, Kind kind, Getter get)
+{
+    if (index_.count(name))
+        fatal("StatRegistry: duplicate stat '" + name + "'");
+    index_.emplace(name, entries_.size());
+    entries_.push_back(Entry{std::move(name), kind, std::move(get)});
+}
+
+void
+StatRegistry::addCounter(const std::string &name,
+                         const std::uint64_t *value)
+{
+    if (!value)
+        fatal("StatRegistry: null counter '" + name + "'");
+    add(name, Kind::counter,
+        [value] { return static_cast<double>(*value); });
+}
+
+void
+StatRegistry::addGauge(const std::string &name, Getter get)
+{
+    if (!get)
+        fatal("StatRegistry: null gauge '" + name + "'");
+    add(name, Kind::gauge, std::move(get));
+}
+
+bool
+StatRegistry::has(const std::string &name) const
+{
+    return index_.count(name) != 0;
+}
+
+double
+StatRegistry::valueOf(const std::string &name) const
+{
+    const auto it = index_.find(name);
+    if (it == index_.end())
+        fatal("StatRegistry: unknown stat '" + name + "'");
+    return entries_[it->second].get();
+}
+
+} // namespace csalt::obs

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Registry of named simulator statistics.
+ *
+ * Components register their counters and gauges once (at system
+ * construction); the epoch Sampler then snapshots every registered
+ * value by name without knowing anything about the components. Names
+ * are dot-separated paths ("core0.l2.miss_data", "ctrl.l3.data_ways";
+ * see docs/observability.md for the full convention).
+ *
+ * Two stat kinds:
+ *  - counter: monotone uint64 read through a stable pointer (every
+ *    component keeps its counters in a long-lived stats struct);
+ *  - gauge: instantaneous value computed by a callback (occupancy
+ *    fractions, hit rates, current way splits).
+ */
+
+#ifndef CSALT_OBS_STAT_REGISTRY_H
+#define CSALT_OBS_STAT_REGISTRY_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace csalt::obs
+{
+
+/** Named view over every statistic the system exposes. */
+class StatRegistry
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        counter,
+        gauge,
+    };
+
+    using Getter = std::function<double()>;
+
+    struct Entry
+    {
+        std::string name;
+        Kind kind;
+        Getter get;
+    };
+
+    /**
+     * Register a monotone counter read through @p value. The pointee
+     * must outlive the registry (true for all component stats
+     * structs, which live as long as the System).
+     * Duplicate names are a wiring bug: fatal().
+     */
+    void addCounter(const std::string &name,
+                    const std::uint64_t *value);
+
+    /** Register a computed gauge. Duplicate names fatal(). */
+    void addGauge(const std::string &name, Getter get);
+
+    /** Registration order, which is also the sampler column order. */
+    const std::vector<Entry> &entries() const { return entries_; }
+
+    std::size_t size() const { return entries_.size(); }
+    bool has(const std::string &name) const;
+
+    /** Current value of @p name; fatal() when unknown (test helper). */
+    double valueOf(const std::string &name) const;
+
+  private:
+    void add(std::string name, Kind kind, Getter get);
+
+    std::vector<Entry> entries_;
+    std::unordered_map<std::string, std::size_t> index_;
+};
+
+} // namespace csalt::obs
+
+#endif // CSALT_OBS_STAT_REGISTRY_H

@@ -1,0 +1,184 @@
+#include "obs/trace_event.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/log.h"
+#include "obs/json.h"
+
+namespace csalt::obs
+{
+
+namespace
+{
+EventTracer *g_active = nullptr;
+} // namespace
+
+EventTracer *
+activeTracer()
+{
+    return g_active;
+}
+
+void
+setActiveTracer(EventTracer *tracer)
+{
+    g_active = tracer;
+}
+
+const char *
+eventCatName(EventCat cat)
+{
+    switch (cat) {
+      case kCatContextSwitch:
+        return "cs";
+      case kCatEpoch:
+        return "epoch";
+      case kCatWalk:
+        return "walk";
+      default:
+        return "?";
+    }
+}
+
+unsigned
+parseEventCats(const std::string &list)
+{
+    if (list == "all")
+        return kCatAll;
+    if (list == "none")
+        return 0;
+    unsigned mask = 0;
+    std::istringstream is(list);
+    std::string token;
+    while (std::getline(is, token, ',')) {
+        if (token == "cs")
+            mask |= kCatContextSwitch;
+        else if (token == "epoch")
+            mask |= kCatEpoch;
+        else if (token == "walk")
+            mask |= kCatWalk;
+        else if (!token.empty())
+            fatal("unknown trace-event category '" + token +
+                  "' (want cs, epoch, walk, all or none)");
+    }
+    return mask;
+}
+
+EventArgs &
+EventArgs::add(std::string key, double v)
+{
+    items_.push_back(Item{std::move(key), Kind::number, v, {}, {}});
+    return *this;
+}
+
+EventArgs &
+EventArgs::add(std::string key, std::uint64_t v)
+{
+    return add(std::move(key), static_cast<double>(v));
+}
+
+EventArgs &
+EventArgs::add(std::string key, unsigned v)
+{
+    return add(std::move(key), static_cast<double>(v));
+}
+
+EventArgs &
+EventArgs::add(std::string key, int v)
+{
+    return add(std::move(key), static_cast<double>(v));
+}
+
+EventArgs &
+EventArgs::add(std::string key, std::string v)
+{
+    items_.push_back(
+        Item{std::move(key), Kind::string, 0.0, std::move(v), {}});
+    return *this;
+}
+
+EventArgs &
+EventArgs::addSeries(std::string key, std::vector<double> v)
+{
+    items_.push_back(
+        Item{std::move(key), Kind::series, 0.0, {}, std::move(v)});
+    return *this;
+}
+
+void
+EventArgs::writeJson(std::ostream &os) const
+{
+    os << '{';
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+        const Item &item = items_[i];
+        os << (i ? ",\"" : "\"") << escapeJson(item.key) << "\":";
+        switch (item.kind) {
+          case Kind::number:
+            writeJsonNumber(os, item.num);
+            break;
+          case Kind::string:
+            os << '"' << escapeJson(item.str) << '"';
+            break;
+          case Kind::series:
+            os << '[';
+            for (std::size_t j = 0; j < item.series.size(); ++j) {
+                if (j)
+                    os << ',';
+                writeJsonNumber(os, item.series[j]);
+            }
+            os << ']';
+            break;
+        }
+    }
+    os << '}';
+}
+
+void
+EventTracer::writeCommon(std::ostream &os, EventCat cat,
+                         const char *name, unsigned tid, double ts,
+                         char ph)
+{
+    os << "{\"type\":\"event\",\"name\":\"" << escapeJson(name)
+       << "\",\"cat\":\"" << eventCatName(cat) << "\",\"ph\":\"" << ph
+       << "\",\"ts\":";
+    writeJsonNumber(os, ts);
+    os << ",\"pid\":0,\"tid\":" << tid;
+}
+
+void
+EventTracer::instant(EventCat cat, const char *name, unsigned tid,
+                     double ts, const EventArgs &args)
+{
+    if (!enabledFor(cat))
+        return;
+    std::ostream &os = *sink_;
+    writeCommon(os, cat, name, tid, ts, 'i');
+    os << ",\"s\":\"t\"";
+    if (!args.empty()) {
+        os << ",\"args\":";
+        args.writeJson(os);
+    }
+    os << "}\n";
+    ++emitted_;
+}
+
+void
+EventTracer::complete(EventCat cat, const char *name, unsigned tid,
+                      double ts, double dur, const EventArgs &args)
+{
+    if (!enabledFor(cat))
+        return;
+    std::ostream &os = *sink_;
+    writeCommon(os, cat, name, tid, ts, 'X');
+    os << ",\"dur\":";
+    writeJsonNumber(os, dur);
+    if (!args.empty()) {
+        os << ",\"args\":";
+        args.writeJson(os);
+    }
+    os << "}\n";
+    ++emitted_;
+}
+
+} // namespace csalt::obs

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Structured event tracing in Chrome trace_event form.
+ *
+ * Events carry the standard Chrome fields (name, cat, ph, ts, pid,
+ * tid, args) and are written as JSONL records tagged
+ * {"type":"event",...}; `trace_inspect --chrome out.json` converts a
+ * trace into the JSON-array form chrome://tracing and Perfetto load
+ * directly.
+ *
+ * Hot-path cost when tracing is off: the CSALT_TRACE_* macros expand
+ * to a load of the active-tracer pointer plus one branch; the
+ * EventArgs expression is never evaluated. Compiling with
+ * -DCSALT_TRACING=0 removes even that branch.
+ *
+ * Event categories (selected with --trace-events):
+ *  - cs:    VM context switches on a core (instant)
+ *  - epoch: partition-controller repartitions with before/after way
+ *           counts (instant)
+ *  - walk:  page-walk spans with per-reference latencies (complete)
+ */
+
+#ifndef CSALT_OBS_TRACE_EVENT_H
+#define CSALT_OBS_TRACE_EVENT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace csalt::obs
+{
+
+/** Bitmask of traceable event categories. */
+enum EventCat : unsigned
+{
+    kCatContextSwitch = 1u << 0, //!< "cs"
+    kCatEpoch = 1u << 1,         //!< "epoch"
+    kCatWalk = 1u << 2,          //!< "walk"
+    kCatAll = (1u << 3) - 1,
+};
+
+/** Chrome "cat" string for one category bit. */
+const char *eventCatName(EventCat cat);
+
+/**
+ * Parse a --trace-events list ("cs,epoch", "all", "none") into a
+ * category mask; fatal() on an unknown token.
+ */
+unsigned parseEventCats(const std::string &list);
+
+/**
+ * Argument payload of one event: ordered key/value pairs where a
+ * value is a number, a string, or a numeric series (per-level walk
+ * latencies). Built only when the event actually fires.
+ */
+class EventArgs
+{
+  public:
+    EventArgs &add(std::string key, double v);
+    EventArgs &add(std::string key, std::uint64_t v);
+    EventArgs &add(std::string key, unsigned v);
+    EventArgs &add(std::string key, int v);
+    EventArgs &add(std::string key, std::string v);
+    EventArgs &addSeries(std::string key, std::vector<double> v);
+
+    /** Render as a JSON object ("{...}"). */
+    void writeJson(std::ostream &os) const;
+
+    bool empty() const { return items_.empty(); }
+
+  private:
+    enum class Kind : std::uint8_t
+    {
+        number,
+        string,
+        series,
+    };
+
+    struct Item
+    {
+        std::string key;
+        Kind kind;
+        double num;
+        std::string str;
+        std::vector<double> series;
+    };
+
+    std::vector<Item> items_;
+};
+
+/** Writes trace events to a JSONL sink, filtered by category. */
+class EventTracer
+{
+  public:
+    /** Attach/detach the JSONL sink (not owned; null disables). */
+    void setSink(std::ostream *out) { sink_ = out; }
+
+    /** Restrict emission to the categories in @p mask. */
+    void setCategories(unsigned mask) { mask_ = mask; }
+    unsigned categories() const { return mask_; }
+
+    bool
+    enabledFor(EventCat cat) const
+    {
+        return sink_ != nullptr && (mask_ & cat) != 0;
+    }
+
+    /** Instant event (Chrome ph "i", thread scope). */
+    void instant(EventCat cat, const char *name, unsigned tid,
+                 double ts, const EventArgs &args = EventArgs{});
+
+    /** Complete event (Chrome ph "X") spanning [ts, ts+dur]. */
+    void complete(EventCat cat, const char *name, unsigned tid,
+                  double ts, double dur,
+                  const EventArgs &args = EventArgs{});
+
+    std::uint64_t emitted() const { return emitted_; }
+
+  private:
+    void writeCommon(std::ostream &os, EventCat cat, const char *name,
+                     unsigned tid, double ts, char ph);
+
+    std::ostream *sink_ = nullptr;
+    unsigned mask_ = kCatAll;
+    std::uint64_t emitted_ = 0;
+};
+
+/**
+ * The process-wide active tracer, consulted by the CSALT_TRACE_*
+ * macros. Null (the default) means tracing is off everywhere; the
+ * owning System installs its tracer while a trace sink is open.
+ */
+EventTracer *activeTracer();
+void setActiveTracer(EventTracer *tracer);
+
+} // namespace csalt::obs
+
+#ifndef CSALT_TRACING
+#define CSALT_TRACING 1
+#endif
+
+#if CSALT_TRACING
+
+/** True when an active tracer wants category @p cat. */
+#define CSALT_TRACE_ACTIVE(cat)                                        \
+    (::csalt::obs::activeTracer() != nullptr &&                        \
+     ::csalt::obs::activeTracer()->enabledFor(cat))
+
+/** Emit an instant event; @p __VA_ARGS__ is the EventArgs expression,
+ * evaluated only when the category is live. */
+#define CSALT_TRACE_INSTANT(cat, name, tid, ts, ...)                   \
+    do {                                                               \
+        ::csalt::obs::EventTracer *trc_ = ::csalt::obs::activeTracer();\
+        if (trc_ && trc_->enabledFor(cat))                             \
+            trc_->instant((cat), (name), (tid), (ts), __VA_ARGS__);    \
+    } while (0)
+
+/** Emit a complete (span) event; args evaluated only when live. */
+#define CSALT_TRACE_COMPLETE(cat, name, tid, ts, dur, ...)             \
+    do {                                                               \
+        ::csalt::obs::EventTracer *trc_ = ::csalt::obs::activeTracer();\
+        if (trc_ && trc_->enabledFor(cat))                             \
+            trc_->complete((cat), (name), (tid), (ts), (dur),          \
+                           __VA_ARGS__);                               \
+    } while (0)
+
+#else // !CSALT_TRACING
+
+#define CSALT_TRACE_ACTIVE(cat) false
+#define CSALT_TRACE_INSTANT(cat, name, tid, ts, ...) ((void)0)
+#define CSALT_TRACE_COMPLETE(cat, name, tid, ts, dur, ...) ((void)0)
+
+#endif // CSALT_TRACING
+
+#endif // CSALT_OBS_TRACE_EVENT_H

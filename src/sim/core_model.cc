@@ -1,6 +1,8 @@
 #include "sim/core_model.h"
 
 #include "common/log.h"
+#include "obs/stat_registry.h"
+#include "obs/trace_event.h"
 
 namespace csalt
 {
@@ -32,10 +34,21 @@ CoreModel::maybeContextSwitch()
         return;
     if (clock() < next_switch_)
         return;
+    const std::size_t from = current_;
     current_ = (current_ + 1) % contexts_.size();
     cycles_ += static_cast<double>(params_.core.cs_penalty);
     next_switch_ += params_.cs_interval;
     ++stats_.context_switches;
+
+    CSALT_TRACE_INSTANT(
+        obs::kCatContextSwitch, "context_switch", id_,
+        static_cast<double>(clock()),
+        obs::EventArgs()
+            .add("core", id_)
+            .add("from_slot", static_cast<std::uint64_t>(from))
+            .add("to_slot", static_cast<std::uint64_t>(current_))
+            .add("asid",
+                 static_cast<unsigned>(contexts_[current_]->asid())));
 }
 
 Cycles
@@ -134,6 +147,43 @@ CoreModel::step()
         static_cast<double>(dlat) / params_.core.mlp;
     cycles_ += charged;
     stats_.data_cycles += static_cast<Cycles>(charged);
+}
+
+void
+CoreModel::registerStats(obs::StatRegistry &reg,
+                         const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".instructions", &stats_.instructions);
+    reg.addCounter(prefix + ".memrefs", &stats_.memrefs);
+    reg.addCounter(prefix + ".context_switches",
+                   &stats_.context_switches);
+    reg.addCounter(prefix + ".translation_cycles",
+                   &stats_.translation_cycles);
+    reg.addCounter(prefix + ".data_cycles", &stats_.data_cycles);
+    reg.addCounter(prefix + ".walks", &stats_.walks);
+    reg.addCounter(prefix + ".walk_cycles", &stats_.walk_cycles);
+    reg.addGauge(prefix + ".ipc", [this] {
+        const double cycles =
+            static_cast<double>(cyclesSinceClear());
+        return cycles > 0.0
+                   ? static_cast<double>(stats_.instructions) / cycles
+                   : 0.0;
+    });
+
+    tlbs_.registerStats(reg, prefix);
+    walker_->registerStats(reg, prefix);
+
+    // Per-context (= per-VM slot) attribution. ctx_stats_ is sized by
+    // setContexts() and never reallocates afterwards, so the counter
+    // addresses are stable.
+    for (std::size_t i = 0; i < ctx_stats_.size(); ++i) {
+        const std::string vm = prefix + ".vm" + std::to_string(i);
+        reg.addCounter(vm + ".instructions",
+                       &ctx_stats_[i].instructions);
+        reg.addCounter(vm + ".memrefs", &ctx_stats_[i].memrefs);
+        reg.addCounter(vm + ".l2_tlb_misses",
+                       &ctx_stats_[i].l2_tlb_misses);
+    }
 }
 
 } // namespace csalt

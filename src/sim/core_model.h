@@ -32,6 +32,11 @@
 namespace csalt
 {
 
+namespace obs
+{
+class StatRegistry;
+} // namespace obs
+
 /** Per-core execution counters. */
 struct CoreStats
 {
@@ -113,6 +118,15 @@ class CoreModel
         return static_cast<unsigned>(contexts_.size());
     }
     SimContext &currentContext() { return *contexts_[current_]; }
+
+    /**
+     * Register this core's counters (plus its TLBs, walker and
+     * per-context attribution) under "<prefix>.*". Call after
+     * setContexts() — the per-context entries point into the sized
+     * ctx_stats_ array.
+     */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     /** Resolve the translation of @p gva; returns blocking latency. */

@@ -1,6 +1,7 @@
 #include "sim/memory_system.h"
 
 #include "common/log.h"
+#include "obs/stat_registry.h"
 
 namespace csalt
 {
@@ -45,11 +46,12 @@ MemorySystem::MemorySystem(const SystemParams &params)
 
     for (unsigned c = 0; c < params_.num_cores; ++c) {
         l2_ctl_.push_back(std::make_unique<PartitionController>(
-            *l2_[c], params_.l2_partition, l2_crit_.get()));
+            *l2_[c], params_.l2_partition, l2_crit_.get(),
+            "ctrl.core" + std::to_string(c) + ".l2"));
         l2_occ_.push_back(std::make_unique<OccupancySampler>(*l2_[c]));
     }
     l3_ctl_ = std::make_unique<PartitionController>(
-        *l3_, params_.l3_partition, l3_crit_.get());
+        *l3_, params_.l3_partition, l3_crit_.get(), "ctrl.l3");
     l3_occ_ = std::make_unique<OccupancySampler>(*l3_);
 }
 
@@ -241,6 +243,32 @@ MemorySystem::sampleOccupancy(double time)
     for (auto &occ : l2_occ_)
         occ->sample(time);
     l3_occ_->sample(time);
+}
+
+void
+MemorySystem::registerStats(obs::StatRegistry &reg) const
+{
+    for (unsigned c = 0; c < numCores(); ++c) {
+        const std::string core = "core" + std::to_string(c);
+        l1d_[c]->registerStats(reg, core + ".l1d");
+        l2_[c]->registerStats(reg, core + ".l2");
+        l2_ctl_[c]->registerStats(reg);
+    }
+    l3_->registerStats(reg, "l3");
+    l3_ctl_->registerStats(reg);
+
+    ddr_->registerStats(reg, "dram.ddr");
+    stacked_->registerStats(reg, "dram.stacked");
+
+    pom_->registerStats(reg, "pom");
+    reg.addCounter("pom.lookup.lookups", &pom_stats_.lookups);
+    reg.addCounter("pom.lookup.hits", &pom_stats_.hits);
+    reg.addCounter("pom.lookup.second_probes",
+                   &pom_stats_.second_probes);
+    reg.addGauge("pom.lookup.hit_rate",
+                 [this] { return pom_stats_.hitRate(); });
+
+    tsb_->registerStats(reg, "tsb");
 }
 
 } // namespace csalt

@@ -36,6 +36,11 @@
 namespace csalt
 {
 
+namespace obs
+{
+class StatRegistry;
+} // namespace obs
+
 /** Lookup-level POM-TLB counters (a lookup may probe two sets). */
 struct PomLookupStats
 {
@@ -111,6 +116,13 @@ class MemorySystem : public TranslationMemIf
 
     /** Sample translation occupancy of every cache (paper Fig. 3). */
     void sampleOccupancy(double time);
+
+    /**
+     * Register every memory-side stat: per-core caches, shared L3,
+     * both DRAM channels, POM-TLB, TSB and the partition controllers
+     * (telemetry; see docs/observability.md for the name scheme).
+     */
+    void registerStats(obs::StatRegistry &reg) const;
 
     /**
      * Zero every reporting counter (caches, DRAMs, POM/TSB, samplers,

@@ -1,6 +1,7 @@
 #include "sim/system.h"
 
 #include <algorithm>
+#include <fstream>
 
 #include "common/log.h"
 
@@ -14,7 +15,10 @@ System::System(const SystemParams &params) : params_(params)
         cores_.push_back(std::make_unique<CoreModel>(c, params_, *mem_));
 }
 
-System::~System() = default;
+System::~System()
+{
+    closeTrace();
+}
 
 VmContext &
 System::addVm(std::unique_ptr<VmContext> vm)
@@ -27,6 +31,10 @@ void
 System::setCoreContexts(unsigned core,
                         std::vector<std::unique_ptr<SimContext>> contexts)
 {
+    if (stats_registered_) {
+        fatal("setCoreContexts after finalizeStats: per-context "
+              "counters would dangle");
+    }
     cores_[core]->setContexts(std::move(contexts));
 }
 
@@ -39,13 +47,66 @@ System::clearAllStats()
         core->walker().clearStats();
     }
     mem_->clearAllStats();
+    sampler_.clear();
+}
+
+void
+System::finalizeStats()
+{
+    if (stats_registered_)
+        return;
+    stats_registered_ = true;
+    mem_->registerStats(registry_);
+    for (unsigned c = 0; c < numCores(); ++c) {
+        cores_[c]->registerStats(registry_,
+                                 "core" + std::to_string(c));
+    }
+}
+
+bool
+System::openTrace(const std::string &path, unsigned categories)
+{
+    auto file = std::make_unique<std::ofstream>(path);
+    if (!*file)
+        return false;
+    closeTrace();
+    trace_file_ = std::move(file);
+    sampler_.setSink(trace_file_.get());
+    tracer_.setSink(trace_file_.get());
+    tracer_.setCategories(categories);
+    obs::setActiveTracer(&tracer_);
+    return true;
+}
+
+void
+System::setTraceSink(std::ostream *out, unsigned categories)
+{
+    closeTrace();
+    if (!out)
+        return;
+    sampler_.setSink(out);
+    tracer_.setSink(out);
+    tracer_.setCategories(categories);
+    obs::setActiveTracer(&tracer_);
+}
+
+void
+System::closeTrace()
+{
+    sampler_.setSink(nullptr);
+    tracer_.setSink(nullptr);
+    if (obs::activeTracer() == &tracer_)
+        obs::setActiveTracer(nullptr);
+    trace_file_.reset(); // flushes + closes the file, if any
 }
 
 void
 System::run(std::uint64_t instructions_per_core)
 {
-    std::uint64_t steps = 0;
-    std::uint64_t next_sample = occupancy_interval_;
+    finalizeStats();
+
+    std::uint64_t next_occ = steps_ + occupancy_interval_;
+    std::uint64_t next_stat = steps_ + stat_sample_interval_;
 
     while (true) {
         // Min-clock scheduling: advance the core that is furthest
@@ -61,10 +122,15 @@ System::run(std::uint64_t instructions_per_core)
             break;
         next->step();
 
-        ++steps;
-        if (occupancy_interval_ && steps >= next_sample) {
-            next_sample += occupancy_interval_;
+        ++steps_;
+        if (occupancy_interval_ && steps_ >= next_occ) {
+            next_occ += occupancy_interval_;
             mem_->sampleOccupancy(static_cast<double>(next->clock()));
+        }
+        if (stat_sample_interval_ && steps_ >= next_stat) {
+            next_stat += stat_sample_interval_;
+            sampler_.sample(static_cast<double>(next->clock()),
+                            steps_);
         }
     }
 }

@@ -3,15 +3,26 @@
  * Top-level simulated machine: N cores over one MemorySystem, with a
  * min-clock interleaving scheduler so shared resources (L3, DRAM
  * channels, POM-TLB) observe a realistic cross-core access order.
+ *
+ * The system also owns the telemetry layer (src/obs): a StatRegistry
+ * every component publishes its counters into, an epoch-aligned
+ * Sampler that snapshots them into a ring + JSONL stream during
+ * run(), and the structured EventTracer behind the CSALT_TRACE_*
+ * macros. openTrace()/setTraceSink() activate both against one sink.
  */
 
 #ifndef CSALT_SIM_SYSTEM_H
 #define CSALT_SIM_SYSTEM_H
 
+#include <iosfwd>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/config.h"
+#include "obs/sampler.h"
+#include "obs/stat_registry.h"
+#include "obs/trace_event.h"
 #include "sim/core_model.h"
 #include "sim/memory_system.h"
 #include "vm/address_space.h"
@@ -58,6 +69,7 @@ class System
     /**
      * Discard all statistics gathered so far (warmup): typical use is
      * run(warmup_quota); clearAllStats(); run(measured_quota).
+     * Also drops buffered telemetry samples.
      */
     void clearAllStats();
 
@@ -67,12 +79,59 @@ class System
         occupancy_interval_ = steps;
     }
 
+    // ------------------------------------------------------ telemetry
+
+    /**
+     * Populate the stat registry from every component. Idempotent;
+     * run() calls it automatically. Call explicitly only to inspect
+     * the registry before the first run(); requires the core context
+     * rotations to be set already.
+     */
+    void finalizeStats();
+
+    obs::StatRegistry &statRegistry() { return registry_; }
+    obs::Sampler &sampler() { return sampler_; }
+    obs::EventTracer &tracer() { return tracer_; }
+
+    /** Steps between stat-registry samples (0 disables; default 0). */
+    void setStatSampleInterval(std::uint64_t steps)
+    {
+        stat_sample_interval_ = steps;
+    }
+
+    /**
+     * Open @p path and stream telemetry (samples + events filtered
+     * by @p categories) to it as JSONL. Installs this system's
+     * tracer as the process-wide active tracer.
+     * @return false when the file cannot be opened
+     */
+    bool openTrace(const std::string &path,
+                   unsigned categories = obs::kCatAll);
+
+    /**
+     * Stream telemetry to a caller-owned stream instead of a file
+     * (tests). Null detaches, equivalent to closeTrace().
+     */
+    void setTraceSink(std::ostream *out,
+                      unsigned categories = obs::kCatAll);
+
+    /** Flush and detach the trace sink; deactivates the tracer. */
+    void closeTrace();
+
   private:
     SystemParams params_;
+    obs::StatRegistry registry_;
     std::unique_ptr<MemorySystem> mem_;
     std::vector<std::unique_ptr<CoreModel>> cores_;
     std::vector<std::unique_ptr<VmContext>> vms_;
     std::uint64_t occupancy_interval_ = 8192;
+
+    obs::Sampler sampler_{registry_};
+    obs::EventTracer tracer_;
+    std::unique_ptr<std::ofstream> trace_file_; //!< owned file sink
+    std::uint64_t stat_sample_interval_ = 0;
+    std::uint64_t steps_ = 0; //!< lifetime scheduler steps
+    bool stats_registered_ = false;
 };
 
 } // namespace csalt

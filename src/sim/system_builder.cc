@@ -47,6 +47,7 @@ buildSystem(const BuildSpec &spec)
         }
         system->setCoreContexts(c, std::move(rotation));
     }
+    system->setStatSampleInterval(spec.stat_sample_interval);
     return system;
 }
 

@@ -31,6 +31,13 @@ struct BuildSpec
 
     /** Footprint multiplier forwarded to the generators. */
     double workload_scale = 1.0;
+
+    /**
+     * Steps between telemetry stat-registry samples (0 = off). The
+     * front end additionally attaches a JSONL sink via
+     * System::openTrace() to stream them.
+     */
+    std::uint64_t stat_sample_interval = 0;
 };
 
 /** Build the system, VMs and per-core context rotations. */

@@ -1,6 +1,7 @@
 #include "tlb/pom_tlb.h"
 
 #include "common/log.h"
+#include "obs/stat_registry.h"
 
 namespace csalt
 {
@@ -154,6 +155,16 @@ PageSizePredictor::update(Addr gva, PageSize actual)
     } else if (c > 0) {
         --c;
     }
+}
+
+void
+PomTlb::registerStats(obs::StatRegistry &reg,
+                      const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".hits", &stats_.hits);
+    reg.addCounter(prefix + ".misses", &stats_.misses);
+    reg.addCounter(prefix + ".inserts", &stats_.inserts);
+    reg.addCounter(prefix + ".set_evictions", &stats_.set_evictions);
 }
 
 } // namespace csalt

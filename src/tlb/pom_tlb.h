@@ -28,6 +28,11 @@
 namespace csalt
 {
 
+namespace obs
+{
+class StatRegistry;
+} // namespace obs
+
 /** Counters for the POM-TLB. */
 struct PomTlbStats
 {
@@ -70,6 +75,10 @@ class PomTlb
 
     const PomTlbStats &stats() const { return stats_; }
     void clearStats() { stats_ = PomTlbStats{}; }
+
+    /** Register functional counters under "<prefix>.*". */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const;
 
     std::uint64_t numSets() const { return sets_.size(); }
     Addr base() const { return base_; }

@@ -1,5 +1,7 @@
 #include "tlb/tlb_hierarchy.h"
 
+#include "obs/stat_registry.h"
+
 namespace csalt
 {
 
@@ -84,6 +86,19 @@ TlbHierarchy::clearStats()
     l1_4k_.clearStats();
     l1_2m_.clearStats();
     l2_.clearStats();
+}
+
+void
+TlbHierarchy::registerStats(obs::StatRegistry &reg,
+                            const std::string &prefix) const
+{
+    const auto level = [&reg](const std::string &p, const Tlb &tlb) {
+        reg.addCounter(p + ".hits", &tlb.stats().hits);
+        reg.addCounter(p + ".misses", &tlb.stats().misses);
+    };
+    level(prefix + ".l1tlb_4k", l1_4k_);
+    level(prefix + ".l1tlb_2m", l1_2m_);
+    level(prefix + ".l2tlb", l2_);
 }
 
 } // namespace csalt

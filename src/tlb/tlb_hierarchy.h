@@ -19,6 +19,11 @@
 namespace csalt
 {
 
+namespace obs
+{
+class StatRegistry;
+} // namespace obs
+
 /** Outcome of the on-chip TLB lookup for one reference. */
 struct TlbLookupResult
 {
@@ -54,6 +59,13 @@ class TlbHierarchy
     TlbStats l1Stats() const;
 
     void clearStats();
+
+    /**
+     * Register hit/miss counters of every level under
+     * "<prefix>.l1tlb_4k.*", ".l1tlb_2m.*" and ".l2tlb.*".
+     */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     Tlb l1_4k_;

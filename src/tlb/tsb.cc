@@ -1,6 +1,7 @@
 #include "tlb/tsb.h"
 
 #include "common/log.h"
+#include "obs/stat_registry.h"
 
 namespace csalt
 {
@@ -121,6 +122,15 @@ Tsb::insert(VmContext &ctx, Addr gva, const Mapping &mapping)
     const Vpn gpa_vpn = gpa_page >> kPageShift;
     Slot &h = arrays.host[gpa_vpn & mask];
     h = {gpa_vpn, true, mapping.frame, mapping.ps};
+}
+
+void
+Tsb::registerStats(obs::StatRegistry &reg,
+                   const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".hits", &stats_.hits);
+    reg.addCounter(prefix + ".misses", &stats_.misses);
+    reg.addCounter(prefix + ".probes", &stats_.probes);
 }
 
 } // namespace csalt

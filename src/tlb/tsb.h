@@ -30,6 +30,11 @@
 namespace csalt
 {
 
+namespace obs
+{
+class StatRegistry;
+} // namespace obs
+
 /** Counters for the TSB. */
 struct TsbStats
 {
@@ -73,6 +78,10 @@ class Tsb
 
     const TsbStats &stats() const { return stats_; }
     void clearStats() { stats_ = TsbStats{}; }
+
+    /** Register probe/hit counters under "<prefix>.*". */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     struct Slot

@@ -1,6 +1,8 @@
 #include "vm/page_walker.h"
 
 #include "common/log.h"
+#include "obs/stat_registry.h"
+#include "obs/trace_event.h"
 
 namespace csalt
 {
@@ -14,11 +16,28 @@ PageWalker::PageWalker(unsigned core_id, MmuCaches &mmu,
 PageWalker::Outcome
 PageWalker::walk(VmContext &ctx, Addr gva, Cycles now)
 {
+    tracing_refs_ = CSALT_TRACE_ACTIVE(obs::kCatWalk);
+    if (tracing_refs_)
+        ref_cycles_.clear();
+
     Outcome out = ctx.virtualized() ? nestedWalk(ctx, gva, now)
                                     : nativeWalk(ctx, gva, now);
     ++stats_.walks;
     stats_.refs += out.refs;
     stats_.cycles += out.latency;
+
+    if (tracing_refs_) {
+        CSALT_TRACE_COMPLETE(
+            obs::kCatWalk,
+            ctx.virtualized() ? "walk_2d" : "walk_1d", core_id_,
+            static_cast<double>(now),
+            static_cast<double>(out.latency),
+            obs::EventArgs()
+                .add("asid", static_cast<unsigned>(ctx.asid()))
+                .add("refs", out.refs)
+                .addSeries("ref_cycles", ref_cycles_));
+        tracing_refs_ = false;
+    }
     return out;
 }
 
@@ -37,9 +56,10 @@ PageWalker::nativeWalk(VmContext &ctx, Addr gva, Cycles now)
     for (const PteRef &ref : path_) {
         if (ref.level > start_level)
             continue; // shortcut provided by the PSC
-        out.latency +=
-            mem_.translationAccess(core_id_, ref.pte_addr,
-                                   now + out.latency);
+        const Cycles ref_lat = mem_.translationAccess(
+            core_id_, ref.pte_addr, now + out.latency);
+        out.latency += ref_lat;
+        noteRef(ref_lat);
         ++out.refs;
         if (!ref.leaf)
             mmu_.fill(ctx.asid(), gva, ref.level, /*host=*/false,
@@ -70,7 +90,10 @@ PageWalker::nestedTranslate(VmContext &ctx, Addr gpa, Cycles now,
     for (const PteRef &ref : host_path_) {
         if (ref.level > start_level)
             continue;
-        lat += mem_.translationAccess(core_id_, ref.pte_addr, now + lat);
+        const Cycles ref_lat =
+            mem_.translationAccess(core_id_, ref.pte_addr, now + lat);
+        lat += ref_lat;
+        noteRef(ref_lat);
         ++refs;
         if (!ref.leaf) {
             mmu_.fill(ctx.asid(), gpa, ref.level, /*host=*/true,
@@ -87,6 +110,18 @@ PageWalker::nestedTranslate(VmContext &ctx, Addr gpa, Cycles now,
 
     mmu_.nestedFill(ctx.asid(), gpa, hpa_byte & ~(kPageSize - 1));
     return hpa_byte;
+}
+
+void
+PageWalker::registerStats(obs::StatRegistry &reg,
+                          const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".walk.walks", &stats_.walks);
+    reg.addCounter(prefix + ".walk.refs", &stats_.refs);
+    reg.addCounter(prefix + ".walk.cycles", &stats_.cycles);
+    reg.addCounter(prefix + ".walk.nested_hits", &stats_.nested_hits);
+    reg.addCounter(prefix + ".walk.nested_walks",
+                   &stats_.nested_walks);
 }
 
 PageWalker::Outcome
@@ -114,8 +149,10 @@ PageWalker::nestedWalk(VmContext &ctx, Addr gva, Cycles now)
         // address through the host dimension, then read it.
         const Addr hpa_pte = nestedTranslate(ctx, ref.pte_addr, now,
                                              out.latency, out.refs);
-        out.latency +=
-            mem_.translationAccess(core_id_, hpa_pte, now + out.latency);
+        const Cycles ref_lat = mem_.translationAccess(
+            core_id_, hpa_pte, now + out.latency);
+        out.latency += ref_lat;
+        noteRef(ref_lat);
         ++out.refs;
 
         if (!ref.leaf)

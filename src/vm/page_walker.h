@@ -15,6 +15,7 @@
 #define CSALT_VM_PAGE_WALKER_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -23,6 +24,11 @@
 
 namespace csalt
 {
+
+namespace obs
+{
+class StatRegistry;
+} // namespace obs
 
 /** Memory-system hook for cacheable page-walk references. */
 class TranslationMemIf
@@ -89,9 +95,21 @@ class PageWalker
     const WalkStats &stats() const { return stats_; }
     void clearStats() { stats_ = WalkStats{}; }
 
+    /** Register walker counters under "<prefix>.walk.*". */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const;
+
   private:
     Outcome nativeWalk(VmContext &ctx, Addr gva, Cycles now);
     Outcome nestedWalk(VmContext &ctx, Addr gva, Cycles now);
+
+    /** Record one PTE-read latency when a walk span is being traced. */
+    void
+    noteRef(Cycles latency)
+    {
+        if (tracing_refs_)
+            ref_cycles_.push_back(static_cast<double>(latency));
+    }
 
     /**
      * Translate one guest-physical address via the nested cache or a
@@ -107,6 +125,8 @@ class PageWalker
     WalkStats stats_;
     std::vector<PteRef> path_;      //!< scratch, reused across walks
     std::vector<PteRef> host_path_; //!< scratch for the host dimension
+    bool tracing_refs_ = false;     //!< current walk feeds a span event
+    std::vector<double> ref_cycles_; //!< per-PTE-read latencies (trace)
 };
 
 } // namespace csalt

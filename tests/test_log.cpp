@@ -24,6 +24,26 @@ TEST(Log, LevelRoundTrip)
     setLogLevel(old);
 }
 
+TEST(Log, WarnOncePrintsOnlyOnFirstCallFromASite)
+{
+    bool first = false, second = false;
+    for (int i = 0; i < 3; ++i) {
+        // One call site, varying message: still prints exactly once.
+        const bool printed = warnOnce(msgOf("telemetry anomaly #", i));
+        (i == 0 ? first : second) |= printed;
+    }
+    EXPECT_TRUE(first);
+    EXPECT_FALSE(second);
+}
+
+TEST(Log, WarnOnceDistinguishesCallSites)
+{
+    const auto site_a = [] { return warnOnce("site A"); };
+    EXPECT_TRUE(site_a());
+    EXPECT_TRUE(warnOnce("site B")); // different line = new site
+    EXPECT_FALSE(site_a());          // repeat of the first site
+}
+
 TEST(Log, FatalExitsWithOne)
 {
     EXPECT_EXIT(fatal("boom"), ::testing::ExitedWithCode(1), "boom");

@@ -7,6 +7,7 @@
 
 #include <sstream>
 
+#include "obs/json.h"
 #include "sim/metrics_io.h"
 
 using namespace csalt;
@@ -82,4 +83,23 @@ TEST(MetricsIo, JsonBalancedBrackets)
     const std::string json = metricsJson("x", sample());
     EXPECT_EQ(std::count(json.begin(), json.end(), '['),
               std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(MetricsIo, JsonParsesAsValidJson)
+{
+    std::string error;
+    const auto doc = obs::parseJson(metricsJson("run1", sample()),
+                                    &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    ASSERT_TRUE(doc->isObject());
+    EXPECT_EQ(doc->stringOr("label", ""), "run1");
+    EXPECT_DOUBLE_EQ(doc->numberOr("l2_tlb_mpki", 0.0), 22.25);
+    const obs::JsonValue *cores = doc->find("cores");
+    ASSERT_NE(cores, nullptr);
+    ASSERT_TRUE(cores->isArray());
+    EXPECT_EQ(cores->arr.size(), 2u);
+    const obs::JsonValue *vms = doc->find("vms");
+    ASSERT_NE(vms, nullptr);
+    ASSERT_TRUE(vms->isArray());
+    EXPECT_EQ(vms->arr.size(), 2u);
 }

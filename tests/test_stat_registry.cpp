@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests for the telemetry stat registry, the epoch-aligned sampler,
+ * and the JSON helpers they emit/parse with.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/sampler.h"
+#include "obs/stat_registry.h"
+#include "sim/system_builder.h"
+
+using namespace csalt;
+
+// ----------------------------------------------------------- registry
+
+TEST(StatRegistry, CountersAndGaugesKeepRegistrationOrder)
+{
+    obs::StatRegistry reg;
+    std::uint64_t hits = 3, misses = 7;
+    reg.addCounter("l2.hits", &hits);
+    reg.addGauge("l2.hit_rate", [&] {
+        return static_cast<double>(hits) /
+               static_cast<double>(hits + misses);
+    });
+    reg.addCounter("l2.misses", &misses);
+
+    ASSERT_EQ(reg.entries().size(), 3u);
+    EXPECT_EQ(reg.entries()[0].name, "l2.hits");
+    EXPECT_EQ(reg.entries()[1].name, "l2.hit_rate");
+    EXPECT_EQ(reg.entries()[2].name, "l2.misses");
+
+    EXPECT_TRUE(reg.has("l2.hits"));
+    EXPECT_FALSE(reg.has("l3.hits"));
+    EXPECT_DOUBLE_EQ(reg.valueOf("l2.hits"), 3.0);
+    EXPECT_DOUBLE_EQ(reg.valueOf("l2.hit_rate"), 0.3);
+
+    hits = 17; // counters read through the pointer: live updates
+    EXPECT_DOUBLE_EQ(reg.valueOf("l2.hits"), 17.0);
+}
+
+TEST(StatRegistry, DuplicateNameIsFatal)
+{
+    obs::StatRegistry reg;
+    std::uint64_t v = 0;
+    reg.addCounter("x", &v);
+    EXPECT_EXIT(reg.addCounter("x", &v),
+                ::testing::ExitedWithCode(1), "duplicate");
+}
+
+TEST(StatRegistry, NullCounterIsFatal)
+{
+    obs::StatRegistry reg;
+    EXPECT_EXIT(reg.addCounter("x", nullptr),
+                ::testing::ExitedWithCode(1), "null");
+}
+
+TEST(StatRegistry, UnknownValueOfIsFatal)
+{
+    obs::StatRegistry reg;
+    EXPECT_EXIT(reg.valueOf("nope"), ::testing::ExitedWithCode(1),
+                "nope");
+}
+
+// ------------------------------------------------------------ sampler
+
+TEST(Sampler, SnapshotsAllEntriesIntoTheRing)
+{
+    obs::StatRegistry reg;
+    std::uint64_t ctr = 0;
+    reg.addCounter("ctr", &ctr);
+    reg.addGauge("twice", [&] { return 2.0 * ctr; });
+
+    obs::Sampler sampler(reg);
+    ctr = 5;
+    sampler.sample(100.0, 1);
+    ctr = 9;
+    sampler.sample(200.0, 2);
+
+    ASSERT_EQ(sampler.ring().size(), 2u);
+    EXPECT_DOUBLE_EQ(sampler.ring()[0].t, 100.0);
+    EXPECT_EQ(sampler.ring()[0].step, 1u);
+    EXPECT_DOUBLE_EQ(sampler.ring()[0].values[0], 5.0);
+    EXPECT_DOUBLE_EQ(sampler.ring()[0].values[1], 10.0);
+    EXPECT_DOUBLE_EQ(sampler.ring()[1].values[0], 9.0);
+    EXPECT_EQ(sampler.samplesTaken(), 2u);
+}
+
+TEST(Sampler, RingEvictsOldestAtCapacity)
+{
+    obs::StatRegistry reg;
+    std::uint64_t ctr = 0;
+    reg.addCounter("ctr", &ctr);
+
+    obs::Sampler sampler(reg);
+    sampler.setRingCapacity(2);
+    for (std::uint64_t i = 1; i <= 5; ++i) {
+        ctr = i;
+        sampler.sample(static_cast<double>(10 * i), i);
+    }
+    ASSERT_EQ(sampler.ring().size(), 2u);
+    EXPECT_EQ(sampler.ring()[0].step, 4u);
+    EXPECT_EQ(sampler.ring()[1].step, 5u);
+    EXPECT_EQ(sampler.samplesTaken(), 5u); // lifetime, not ring size
+}
+
+TEST(Sampler, EmitsParseableJsonlWithAllValues)
+{
+    obs::StatRegistry reg;
+    std::uint64_t ctr = 41;
+    reg.addCounter("a.ctr", &ctr);
+    reg.addGauge("a.rate", [] { return 0.25; });
+
+    std::ostringstream out;
+    obs::Sampler sampler(reg);
+    sampler.setSink(&out);
+    sampler.sample(123.0, 7);
+
+    std::string error;
+    const auto doc = obs::parseJson(out.str(), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_EQ(doc->stringOr("type", ""), "sample");
+    EXPECT_DOUBLE_EQ(doc->numberOr("t", 0.0), 123.0);
+    EXPECT_DOUBLE_EQ(doc->numberOr("step", 0.0), 7.0);
+    const obs::JsonValue *values = doc->find("values");
+    ASSERT_NE(values, nullptr);
+    ASSERT_TRUE(values->isObject());
+    EXPECT_DOUBLE_EQ(values->numberOr("a.ctr", 0.0), 41.0);
+    EXPECT_DOUBLE_EQ(values->numberOr("a.rate", 0.0), 0.25);
+}
+
+// --------------------------------------------------------------- json
+
+TEST(Json, ParsesScalarsArraysAndObjects)
+{
+    const auto doc = obs::parseJson(
+        R"({"a":1,"b":-2.5e2,"c":"x\ny","d":[true,false,null],"e":{}})");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_DOUBLE_EQ(doc->numberOr("a", 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(doc->numberOr("b", 0.0), -250.0);
+    EXPECT_EQ(doc->stringOr("c", ""), "x\ny");
+    const obs::JsonValue *d = doc->find("d");
+    ASSERT_NE(d, nullptr);
+    ASSERT_EQ(d->arr.size(), 3u);
+    EXPECT_EQ(d->arr[0].kind, obs::JsonValue::Kind::boolean);
+    EXPECT_TRUE(d->arr[2].isNull());
+    ASSERT_NE(doc->find("e"), nullptr);
+    EXPECT_TRUE(doc->find("e")->isObject());
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\":}", "01", "1 2", "{\"a\" 1}",
+          "\"unterminated", "nulll"}) {
+        std::string error;
+        EXPECT_FALSE(obs::parseJson(bad, &error).has_value())
+            << "accepted: " << bad;
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(Json, NumberWriterKeepsCountersIntegral)
+{
+    const auto render = [](double v) {
+        std::ostringstream os;
+        obs::writeJsonNumber(os, v);
+        return os.str();
+    };
+    EXPECT_EQ(render(42.0), "42");
+    EXPECT_EQ(render(-3.0), "-3");
+    EXPECT_EQ(render(0.5), "0.5");
+    // Huge values keep enough digits to round-trip.
+    EXPECT_DOUBLE_EQ(std::stod(render(1e300)), 1e300);
+}
+
+TEST(Json, EscapeHandlesControlAndQuotes)
+{
+    EXPECT_EQ(obs::escapeJson("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(obs::escapeJson(std::string("\x01", 1)), "\\u0001");
+}
+
+// -------------------------------------------------- system registration
+
+TEST(SystemStats, RegistryCoversEveryLayerAfterFinalize)
+{
+    BuildSpec spec;
+    applyCsaltCD(spec.params);
+    spec.params.num_cores = 2;
+    spec.vm_workloads = {"gups", "ccomp"};
+    spec.workload_scale = 0.01;
+    auto system = buildSystem(spec);
+    system->finalizeStats();
+
+    const obs::StatRegistry &reg = system->statRegistry();
+    for (const char *name :
+         {"core0.instructions", "core0.ipc", "core1.l1d.miss_data",
+          "core0.l2.hit_xlat", "core0.l1tlb_4k.misses",
+          "core0.l2tlb.misses", "core0.walk.walks",
+          "core0.vm0.instructions", "core1.vm1.l2_tlb_misses",
+          "l3.evictions", "ctrl.core0.l2.data_ways", "ctrl.l3.epochs",
+          "ctrl.l3.data_ways", "dram.ddr.accesses",
+          "dram.stacked.row_hit_rate", "pom.hits",
+          "pom.lookup.hit_rate"}) {
+        EXPECT_TRUE(reg.has(name)) << "missing stat: " << name;
+    }
+}
+
+TEST(SystemStats, CountersTrackComponentStatsAfterARun)
+{
+    BuildSpec spec;
+    applyCsaltCD(spec.params);
+    spec.params.num_cores = 1;
+    spec.vm_workloads = {"gups"};
+    spec.workload_scale = 0.01;
+    auto system = buildSystem(spec);
+    system->run(30'000);
+
+    const obs::StatRegistry &reg = system->statRegistry();
+    EXPECT_DOUBLE_EQ(
+        reg.valueOf("core0.instructions"),
+        static_cast<double>(system->core(0).stats().instructions));
+    EXPECT_DOUBLE_EQ(
+        reg.valueOf("core0.l2tlb.misses"),
+        static_cast<double>(
+            system->core(0).tlbs().l2().stats().misses));
+    EXPECT_DOUBLE_EQ(
+        reg.valueOf("ctrl.l3.data_ways"),
+        static_cast<double>(system->mem().l3().dataWays()));
+}
+
+TEST(SystemStats, LateContextInstallIsFatal)
+{
+    BuildSpec spec;
+    applyPomTlb(spec.params);
+    spec.params.num_cores = 1;
+    spec.vm_workloads = {"gups"};
+    spec.workload_scale = 0.01;
+    auto system = buildSystem(spec);
+    system->finalizeStats();
+    EXPECT_EXIT(system->setCoreContexts(0, {}),
+                ::testing::ExitedWithCode(1), "dangle");
+}
+
+TEST(SystemStats, SamplerRunsOnTheConfiguredInterval)
+{
+    BuildSpec spec;
+    applyPomTlb(spec.params);
+    spec.params.num_cores = 1;
+    spec.vm_workloads = {"gups"};
+    spec.workload_scale = 0.01;
+    spec.stat_sample_interval = 1000;
+    auto system = buildSystem(spec);
+    system->run(20'000);
+
+    const auto &ring = system->sampler().ring();
+    ASSERT_GT(ring.size(), 2u);
+    // Steps are monotone and spaced by exactly the interval.
+    for (std::size_t i = 1; i < ring.size(); ++i)
+        EXPECT_EQ(ring[i].step - ring[i - 1].step, 1000u);
+    // Samples carry one value per registry entry.
+    EXPECT_EQ(ring.back().values.size(),
+              system->statRegistry().entries().size());
+    // clearAllStats drops buffered samples (warmup discipline).
+    system->clearAllStats();
+    EXPECT_TRUE(system->sampler().ring().empty());
+}

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for the structured event tracer: Chrome trace_event emission,
+ * category gating, the CSALT_TRACE_* macros, and the end-to-end
+ * contract that a traced run can be reconstructed exactly — the
+ * repartition events reproduce the controllers' partition trace and
+ * the context-switch events match the core counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/trace_event.h"
+#include "sim/system_builder.h"
+
+using namespace csalt;
+
+namespace
+{
+
+/** Parse every line of a JSONL blob into documents. */
+std::vector<obs::JsonValue>
+parseLines(const std::string &text)
+{
+    std::vector<obs::JsonValue> docs;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::string error;
+        auto doc = obs::parseJson(line, &error);
+        EXPECT_TRUE(doc.has_value())
+            << error << " in line: " << line;
+        if (doc)
+            docs.push_back(std::move(*doc));
+    }
+    return docs;
+}
+
+} // namespace
+
+// ------------------------------------------------------------- tracer
+
+TEST(EventTracer, InstantCarriesChromeFields)
+{
+    std::ostringstream out;
+    obs::EventTracer tracer;
+    tracer.setSink(&out);
+    tracer.instant(obs::kCatContextSwitch, "context_switch", 3, 42.0,
+                   obs::EventArgs().add("core", 3u).add("asid", 7u));
+
+    const auto docs = parseLines(out.str());
+    ASSERT_EQ(docs.size(), 1u);
+    const obs::JsonValue &ev = docs[0];
+    EXPECT_EQ(ev.stringOr("type", ""), "event");
+    EXPECT_EQ(ev.stringOr("name", ""), "context_switch");
+    EXPECT_EQ(ev.stringOr("cat", ""), "cs");
+    EXPECT_EQ(ev.stringOr("ph", ""), "i");
+    EXPECT_EQ(ev.stringOr("s", ""), "t");
+    EXPECT_DOUBLE_EQ(ev.numberOr("ts", 0.0), 42.0);
+    EXPECT_DOUBLE_EQ(ev.numberOr("tid", -1.0), 3.0);
+    const obs::JsonValue *args = ev.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_DOUBLE_EQ(args->numberOr("asid", 0.0), 7.0);
+    EXPECT_EQ(tracer.emitted(), 1u);
+}
+
+TEST(EventTracer, CompleteCarriesDurationAndSeries)
+{
+    std::ostringstream out;
+    obs::EventTracer tracer;
+    tracer.setSink(&out);
+    tracer.complete(obs::kCatWalk, "walk_2d", 1, 100.0, 30.0,
+                    obs::EventArgs().addSeries("ref_cycles",
+                                               {12.0, 18.0}));
+
+    const auto docs = parseLines(out.str());
+    ASSERT_EQ(docs.size(), 1u);
+    EXPECT_EQ(docs[0].stringOr("ph", ""), "X");
+    EXPECT_DOUBLE_EQ(docs[0].numberOr("dur", 0.0), 30.0);
+    const obs::JsonValue *args = docs[0].find("args");
+    ASSERT_NE(args, nullptr);
+    const obs::JsonValue *series = args->find("ref_cycles");
+    ASSERT_NE(series, nullptr);
+    ASSERT_TRUE(series->isArray());
+    ASSERT_EQ(series->arr.size(), 2u);
+    EXPECT_DOUBLE_EQ(series->arr[1].num_v, 18.0);
+}
+
+TEST(EventTracer, CategoryMaskFiltersEmission)
+{
+    std::ostringstream out;
+    obs::EventTracer tracer;
+    tracer.setSink(&out);
+    tracer.setCategories(obs::kCatEpoch);
+    EXPECT_TRUE(tracer.enabledFor(obs::kCatEpoch));
+    EXPECT_FALSE(tracer.enabledFor(obs::kCatWalk));
+
+    tracer.instant(obs::kCatWalk, "dropped", 0, 1.0);
+    tracer.instant(obs::kCatEpoch, "kept", 0, 2.0);
+    const auto docs = parseLines(out.str());
+    ASSERT_EQ(docs.size(), 1u);
+    EXPECT_EQ(docs[0].stringOr("name", ""), "kept");
+}
+
+TEST(EventTracer, NoSinkMeansDisabled)
+{
+    obs::EventTracer tracer;
+    EXPECT_FALSE(tracer.enabledFor(obs::kCatEpoch));
+}
+
+TEST(EventTracer, ParseEventCats)
+{
+    EXPECT_EQ(obs::parseEventCats("all"), obs::kCatAll);
+    EXPECT_EQ(obs::parseEventCats("none"), 0u);
+    EXPECT_EQ(obs::parseEventCats("cs"), obs::kCatContextSwitch);
+    EXPECT_EQ(obs::parseEventCats("cs,walk"),
+              obs::kCatContextSwitch | obs::kCatWalk);
+    EXPECT_EQ(obs::parseEventCats("epoch,cs,walk"), obs::kCatAll);
+    EXPECT_EXIT(obs::parseEventCats("cs,bogus"),
+                ::testing::ExitedWithCode(1), "bogus");
+}
+
+TEST(EventTracer, MacrosAreInertWithoutActiveTracer)
+{
+    ASSERT_EQ(obs::activeTracer(), nullptr);
+    EXPECT_FALSE(CSALT_TRACE_ACTIVE(obs::kCatWalk));
+    int evaluated = 0;
+    // The args expression must not be evaluated while tracing is off.
+    CSALT_TRACE_INSTANT(obs::kCatWalk, "x", 0, 1.0,
+                        obs::EventArgs().add("n", ++evaluated));
+    EXPECT_EQ(evaluated, 0);
+}
+
+TEST(EventTracer, MacrosEmitThroughActiveTracer)
+{
+    std::ostringstream out;
+    obs::EventTracer tracer;
+    tracer.setSink(&out);
+    obs::setActiveTracer(&tracer);
+    EXPECT_TRUE(CSALT_TRACE_ACTIVE(obs::kCatEpoch));
+    CSALT_TRACE_INSTANT(obs::kCatEpoch, "e", 0, 5.0,
+                        obs::EventArgs().add("k", 1u));
+    CSALT_TRACE_COMPLETE(obs::kCatWalk, "w", 1, 5.0, 2.0,
+                         obs::EventArgs());
+    obs::setActiveTracer(nullptr);
+    EXPECT_EQ(parseLines(out.str()).size(), 2u);
+}
+
+// -------------------------------------------------------- integration
+
+namespace
+{
+
+BuildSpec
+tinySpec()
+{
+    BuildSpec spec;
+    applyCsaltCD(spec.params);
+    spec.params.num_cores = 2;
+    spec.params.cs_interval = 20'000;
+    spec.params.seed = 5;
+    spec.vm_workloads = {"gups", "ccomp"};
+    spec.workload_scale = 0.01;
+    return spec;
+}
+
+} // namespace
+
+TEST(TraceIntegration, EpochEventsReproducePartitionTraceExactly)
+{
+    auto system = buildSystem(tinySpec());
+    system->run(30'000); // warmup
+    system->clearAllStats();
+
+    std::ostringstream out;
+    system->setTraceSink(&out, obs::kCatAll);
+    system->run(60'000);
+    system->closeTrace();
+
+    // Reconstruct the ctrl.l3 data-way timeline from the events.
+    std::vector<std::pair<double, double>> reconstructed;
+    std::uint64_t cs_events = 0, walk_events = 0;
+    for (const obs::JsonValue &ev : parseLines(out.str())) {
+        if (ev.stringOr("type", "") != "event")
+            continue;
+        const std::string cat = ev.stringOr("cat", "");
+        if (cat == "cs") {
+            ++cs_events;
+        } else if (cat == "walk") {
+            ++walk_events;
+            const obs::JsonValue *args = ev.find("args");
+            ASSERT_NE(args, nullptr);
+            const obs::JsonValue *series = args->find("ref_cycles");
+            ASSERT_NE(series, nullptr);
+            // Per-reference latencies must agree with the ref count.
+            EXPECT_DOUBLE_EQ(args->numberOr("refs", -1.0),
+                             static_cast<double>(series->arr.size()));
+        } else if (cat == "epoch") {
+            const obs::JsonValue *args = ev.find("args");
+            ASSERT_NE(args, nullptr);
+            if (args->stringOr("label", "") != "ctrl.l3")
+                continue;
+            reconstructed.emplace_back(
+                ev.numberOr("ts", -1.0),
+                args->numberOr("data_ways", -1.0));
+        }
+    }
+
+    const auto &points =
+        system->mem().l3Controller().partitionTrace().points();
+    ASSERT_FALSE(points.empty());
+    ASSERT_EQ(reconstructed.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_DOUBLE_EQ(reconstructed[i].first, points[i].time);
+        EXPECT_DOUBLE_EQ(reconstructed[i].second, points[i].value);
+    }
+
+    // Every context switch and page walk produced exactly one event.
+    std::uint64_t cs_stats = 0, walk_stats = 0;
+    for (unsigned c = 0; c < system->numCores(); ++c) {
+        cs_stats += system->core(c).stats().context_switches;
+        walk_stats += system->core(c).walker().stats().walks;
+    }
+    EXPECT_GT(cs_events, 0u);
+    EXPECT_EQ(cs_events, cs_stats);
+    EXPECT_EQ(walk_events, walk_stats);
+}
+
+TEST(TraceIntegration, CategorySelectionDropsOtherEvents)
+{
+    auto system = buildSystem(tinySpec());
+    std::ostringstream out;
+    system->setTraceSink(&out, obs::kCatEpoch);
+    system->run(40'000);
+    system->closeTrace();
+
+    std::uint64_t epoch = 0, other = 0;
+    for (const obs::JsonValue &ev : parseLines(out.str())) {
+        if (ev.stringOr("type", "") != "event")
+            continue;
+        (ev.stringOr("cat", "") == "epoch" ? epoch : other)++;
+    }
+    EXPECT_GT(epoch, 0u);
+    EXPECT_EQ(other, 0u);
+}
+
+TEST(TraceIntegration, TracedRunMatchesUntracedRun)
+{
+    // Telemetry must be an observer: identical simulation outcomes
+    // with and without a trace sink attached.
+    auto traced = buildSystem(tinySpec());
+    auto plain = buildSystem(tinySpec());
+    std::ostringstream out;
+    traced->setTraceSink(&out, obs::kCatAll);
+    traced->run(50'000);
+    traced->closeTrace();
+    plain->run(50'000);
+    for (unsigned c = 0; c < plain->numCores(); ++c) {
+        EXPECT_EQ(traced->core(c).clock(), plain->core(c).clock());
+        EXPECT_EQ(traced->core(c).stats().instructions,
+                  plain->core(c).stats().instructions);
+        EXPECT_EQ(traced->core(c).walker().stats().walks,
+                  plain->core(c).walker().stats().walks);
+    }
+}

@@ -20,6 +20,17 @@
  *   --scale F            workload footprint multiplier
  *   --seed N             RNG seed
  *   --format F           table | csv | json    (default: table)
+ *   --trace-out FILE     stream telemetry (JSONL samples + Chrome
+ *                        trace events) to FILE; see
+ *                        docs/observability.md
+ *   --sample-interval N  scheduler steps between stat samples
+ *                        (default 8192 when tracing, else off)
+ *   --trace-events LIST  comma list of event categories to record:
+ *                        cs,epoch,walk | all | none  (default: all)
+ *
+ * The trace sink is attached after warmup so the telemetry covers
+ * exactly the measured region (and the epoch events line up with the
+ * controller partition trace, which is also cleared post-warmup).
  */
 
 #include <cstdio>
@@ -30,6 +41,7 @@
 
 #include "common/log.h"
 #include "common/table.h"
+#include "obs/trace_event.h"
 #include "sim/metrics_io.h"
 #include "sim/system_builder.h"
 #include "workloads/registry.h"
@@ -46,7 +58,9 @@ usage(const char *argv0)
                  "usage: %s [--vm NAME]... [--pair LABEL] "
                  "[--scheme S] [--quota N] [--warmup N] [--cores N] "
                  "[--cs-interval-ms N] [--native] [--five-level] "
-                 "[--scale F] [--seed N] [--format table|csv|json]\n",
+                 "[--scale F] [--seed N] [--format table|csv|json] "
+                 "[--trace-out FILE] [--sample-interval N] "
+                 "[--trace-events cs,epoch,walk|all|none]\n",
                  argv0);
     std::exit(2);
 }
@@ -80,6 +94,10 @@ main(int argc, char **argv)
     std::string format = "table";
     std::uint64_t quota = 1'000'000;
     std::uint64_t warmup = 500'000;
+    std::string trace_out;
+    std::uint64_t sample_interval = 0;
+    bool sample_interval_set = false;
+    unsigned trace_cats = obs::kCatAll;
 
     auto next_arg = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -119,6 +137,14 @@ main(int argc, char **argv)
                 std::strtoull(next_arg(i), nullptr, 10);
         } else if (arg == "--format") {
             format = next_arg(i);
+        } else if (arg == "--trace-out") {
+            trace_out = next_arg(i);
+        } else if (arg == "--sample-interval") {
+            sample_interval =
+                std::strtoull(next_arg(i), nullptr, 10);
+            sample_interval_set = true;
+        } else if (arg == "--trace-events") {
+            trace_cats = obs::parseEventCats(next_arg(i));
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
         } else {
@@ -131,13 +157,22 @@ main(int argc, char **argv)
         spec.vm_workloads = {"pagerank", "ccomp"};
 
     applyScheme(spec.params, scheme);
+    if (!trace_out.empty() && !sample_interval_set)
+        sample_interval = 8192;
+    spec.stat_sample_interval = sample_interval;
 
     auto system = buildSystem(spec);
     if (warmup) {
         system->run(warmup);
         system->clearAllStats();
     }
+    // Attach telemetry only now: the stream then covers exactly the
+    // measured region, so trace_inspect's reconstructed partition
+    // timeline matches the controllers' (also cleared) decision trace.
+    if (!trace_out.empty() && !system->openTrace(trace_out, trace_cats))
+        fatal("cannot open trace file '" + trace_out + "'");
     system->run(quota);
+    system->closeTrace();
     const RunMetrics m = collectMetrics(*system);
 
     std::string label = scheme;

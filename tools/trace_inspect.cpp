@@ -1,0 +1,457 @@
+/**
+ * @file
+ * trace_inspect: offline reader for csalt-sim telemetry traces
+ * (--trace-out JSONL files; schema in docs/observability.md).
+ *
+ *   trace_inspect run.jsonl                # tables on stdout
+ *   trace_inspect --top 10 run.jsonl       # widen the worst-epoch list
+ *   trace_inspect --label ctrl.l3 run.jsonl
+ *   trace_inspect --chrome out.json run.jsonl
+ *
+ * Prints, per partition-controller label:
+ *  - a per-epoch table (way split, criticality weights, and the L2
+ *    TLB MPKI measured inside each epoch window from stat samples)
+ *  - the top-K worst epochs by that MPKI
+ *  - a partition-timeline summary (the Fig. 9 view: how many ways the
+ *    data partition held over time)
+ * --chrome rewraps the events into the {"traceEvents":[...]} array
+ * form chrome://tracing and Perfetto load directly.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "obs/json.h"
+
+using namespace csalt;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--top K] [--label L] [--chrome OUT] "
+                 "FILE.jsonl\n",
+                 argv0);
+    std::exit(2);
+}
+
+/** One stat sample, reduced to the aggregates the reports need. */
+struct SampleRow
+{
+    double t = 0.0;
+    std::uint64_t step = 0;
+    double instructions = 0.0; //!< sum of core*.instructions
+    double l2tlb_misses = 0.0; //!< sum of core*.l2tlb.misses
+    double walks = 0.0;        //!< sum of core*.walk.walks
+};
+
+/** One "repartition" epoch event. */
+struct EpochRow
+{
+    std::string label;
+    double t = 0.0;
+    std::uint64_t epoch = 0;
+    unsigned before_ways = 0;
+    unsigned data_ways = 0;
+    unsigned total_ways = 0;
+    double w_data = 0.0;
+    double w_tlb = 0.0;
+    double mpki = 0.0; //!< L2 TLB MPKI inside this epoch window
+    double instr = 0.0;
+};
+
+bool
+startsWith(const std::string &s, const char *prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool
+endsWith(const std::string &s, const char *suffix)
+{
+    const std::size_t n = std::strlen(suffix);
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/** Re-serialize a parsed value (used by --chrome). */
+void
+writeValue(std::ostream &os, const obs::JsonValue &v)
+{
+    using Kind = obs::JsonValue::Kind;
+    switch (v.kind) {
+      case Kind::null:
+        os << "null";
+        return;
+      case Kind::boolean:
+        os << (v.bool_v ? "true" : "false");
+        return;
+      case Kind::number:
+        obs::writeJsonNumber(os, v.num_v);
+        return;
+      case Kind::string:
+        os << '"' << obs::escapeJson(v.str_v) << '"';
+        return;
+      case Kind::array:
+        os << '[';
+        for (std::size_t i = 0; i < v.arr.size(); ++i) {
+            if (i)
+                os << ',';
+            writeValue(os, v.arr[i]);
+        }
+        os << ']';
+        return;
+      case Kind::object:
+        os << '{';
+        for (std::size_t i = 0; i < v.obj.size(); ++i) {
+            if (i)
+                os << ',';
+            os << '"' << obs::escapeJson(v.obj[i].first) << "\":";
+            writeValue(os, v.obj[i].second);
+        }
+        os << '}';
+        return;
+    }
+}
+
+/**
+ * Cumulative (instructions, misses) at time @p at, linearly
+ * interpolated between the bracketing samples — epoch windows are
+ * usually shorter than the sample interval, so stepping to the last
+ * sample would collapse most windows to zero. Counters are monotone,
+ * which keeps the interpolation meaningful. Before the first sample
+ * the baseline is zero (the trace opens right after stats clear).
+ */
+std::pair<double, double>
+cumulativeAt(const std::vector<SampleRow> &samples, double at)
+{
+    if (samples.empty() || at <= 0.0)
+        return {0.0, 0.0};
+    const SampleRow *lo = nullptr;
+    for (const SampleRow &s : samples) {
+        if (s.t >= at) {
+            const double t0 = lo ? lo->t : 0.0;
+            const double i0 = lo ? lo->instructions : 0.0;
+            const double m0 = lo ? lo->l2tlb_misses : 0.0;
+            const double f =
+                s.t > t0 ? (at - t0) / (s.t - t0) : 1.0;
+            return {i0 + f * (s.instructions - i0),
+                    m0 + f * (s.l2tlb_misses - m0)};
+        }
+        lo = &s;
+    }
+    return {lo->instructions, lo->l2tlb_misses};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int top_k = 5;
+    std::string only_label;
+    std::string chrome_out;
+    std::string path;
+
+    auto next_arg = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--top")
+            top_k = std::atoi(next_arg(i));
+        else if (arg == "--label")
+            only_label = next_arg(i);
+        else if (arg == "--chrome")
+            chrome_out = next_arg(i);
+        else if (arg == "--help" || arg == "-h")
+            usage(argv[0]);
+        else if (!arg.empty() && arg[0] == '-')
+            usage(argv[0]);
+        else if (path.empty())
+            path = arg;
+        else
+            usage(argv[0]);
+    }
+    if (path.empty())
+        usage(argv[0]);
+
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '" + path + "'");
+
+    std::vector<SampleRow> samples;
+    std::vector<EpochRow> epochs;
+    std::map<std::string, std::uint64_t> event_counts; //!< by cat
+    std::vector<obs::JsonValue> chrome_events;
+    std::uint64_t walk_spans = 0;
+    double walk_cycles = 0.0, walk_refs = 0.0;
+    std::uint64_t bad_lines = 0, line_no = 0;
+    double t_min = 0.0, t_max = 0.0;
+    bool have_t = false;
+
+    std::string line;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        std::string err;
+        const auto doc = obs::parseJson(line, &err);
+        if (!doc || !doc->isObject()) {
+            if (++bad_lines <= 3)
+                warn(msgOf(path, ":", line_no, ": skipping bad line (",
+                           err, ")"));
+            continue;
+        }
+        const std::string type = doc->stringOr("type", "");
+        if (type == "sample") {
+            SampleRow row;
+            row.t = doc->numberOr("t", 0.0);
+            row.step =
+                static_cast<std::uint64_t>(doc->numberOr("step", 0.0));
+            if (const obs::JsonValue *vals = doc->find("values")) {
+                for (const auto &[key, v] : vals->obj) {
+                    if (!v.isNumber() || !startsWith(key, "core"))
+                        continue;
+                    if (endsWith(key, ".instructions") &&
+                        key.find(".vm") == std::string::npos)
+                        row.instructions += v.num_v;
+                    else if (endsWith(key, ".l2tlb.misses"))
+                        row.l2tlb_misses += v.num_v;
+                    else if (endsWith(key, ".walk.walks"))
+                        row.walks += v.num_v;
+                }
+            }
+            samples.push_back(row);
+        } else if (type == "event") {
+            const double ts = doc->numberOr("ts", 0.0);
+            if (!have_t || ts < t_min)
+                t_min = ts;
+            if (!have_t || ts > t_max)
+                t_max = ts;
+            have_t = true;
+            ++event_counts[doc->stringOr("cat", "?")];
+            if (!chrome_out.empty())
+                chrome_events.push_back(*doc);
+            const std::string name = doc->stringOr("name", "");
+            const obs::JsonValue *args = doc->find("args");
+            if (name == "repartition" && args) {
+                EpochRow row;
+                row.label = args->stringOr("label", "?");
+                row.t = ts;
+                row.epoch = static_cast<std::uint64_t>(
+                    args->numberOr("epoch", 0.0));
+                row.before_ways = static_cast<unsigned>(
+                    args->numberOr("before_data_ways", 0.0));
+                row.data_ways = static_cast<unsigned>(
+                    args->numberOr("data_ways", 0.0));
+                row.total_ways = static_cast<unsigned>(
+                    args->numberOr("total_ways", 0.0));
+                row.w_data = args->numberOr("w_data", 0.0);
+                row.w_tlb = args->numberOr("w_tlb", 0.0);
+                epochs.push_back(row);
+            } else if (startsWith(name, "walk_")) {
+                ++walk_spans;
+                walk_cycles += doc->numberOr("dur", 0.0);
+                if (args)
+                    walk_refs += args->numberOr("refs", 0.0);
+            }
+        } else {
+            if (++bad_lines <= 3)
+                warn(msgOf(path, ":", line_no,
+                           ": unknown record type '", type, "'"));
+        }
+    }
+    if (bad_lines > 3)
+        warn(msgOf(bad_lines, " bad/unknown lines total"));
+
+    // ---------------------------------------------------------- chrome
+    if (!chrome_out.empty()) {
+        std::ofstream out(chrome_out);
+        if (!out)
+            fatal("cannot open '" + chrome_out + "'");
+        out << "{\"traceEvents\":[";
+        for (std::size_t i = 0; i < chrome_events.size(); ++i) {
+            if (i)
+                out << ",\n";
+            // Re-emit every field except our JSONL "type" tag.
+            const obs::JsonValue &ev = chrome_events[i];
+            out << '{';
+            bool first = true;
+            for (const auto &[key, v] : ev.obj) {
+                if (key == "type")
+                    continue;
+                if (!first)
+                    out << ',';
+                first = false;
+                out << '"' << obs::escapeJson(key) << "\":";
+                writeValue(out, v);
+            }
+            out << '}';
+        }
+        out << "]}\n";
+        std::printf("wrote %zu events to %s\n", chrome_events.size(),
+                    chrome_out.c_str());
+    }
+
+    // --------------------------------------------------------- summary
+    {
+        TextTable table({"trace", "value"});
+        table.row().add("file").add(path);
+        table.row().add("samples").add(
+            static_cast<std::uint64_t>(samples.size()));
+        for (const auto &[cat, n] : event_counts)
+            table.row().add("events[" + cat + "]").add(n);
+        if (have_t) {
+            table.row().add("first event ts").add(t_min, 0);
+            table.row().add("last event ts").add(t_max, 0);
+        }
+        if (walk_spans) {
+            table.row().add("walk spans").add(walk_spans);
+            table.row()
+                .add("avg walk cycles")
+                .add(walk_cycles / static_cast<double>(walk_spans), 1);
+            table.row()
+                .add("avg walk refs")
+                .add(walk_refs / static_cast<double>(walk_spans), 2);
+        }
+        table.print();
+        std::printf("\n");
+    }
+
+    // ------------------------------------------- per-epoch MPKI windows
+    std::sort(samples.begin(), samples.end(),
+              [](const SampleRow &a, const SampleRow &b) {
+                  return a.t < b.t;
+              });
+    std::map<std::string, double> last_epoch_t; //!< per label
+    std::sort(epochs.begin(), epochs.end(),
+              [](const EpochRow &a, const EpochRow &b) {
+                  return a.t < b.t;
+              });
+    for (EpochRow &e : epochs) {
+        const double t0 =
+            last_epoch_t.count(e.label) ? last_epoch_t[e.label] : 0.0;
+        last_epoch_t[e.label] = e.t;
+        const auto [i0, m0] = cumulativeAt(samples, t0);
+        const auto [i1, m1] = cumulativeAt(samples, e.t);
+        e.instr = std::max(0.0, i1 - i0);
+        e.mpki = e.instr > 0.0
+                     ? std::max(0.0, m1 - m0) / (e.instr / 1000.0)
+                     : 0.0;
+    }
+
+    std::vector<std::string> labels;
+    for (const EpochRow &e : epochs)
+        if (std::find(labels.begin(), labels.end(), e.label) ==
+            labels.end())
+            labels.push_back(e.label);
+    if (!only_label.empty()) {
+        if (std::find(labels.begin(), labels.end(), only_label) ==
+            labels.end())
+            warn("no epoch events for label '" + only_label + "'");
+        labels = {only_label};
+    }
+
+    // ------------------------------------------------ per-epoch tables
+    for (const std::string &label : labels) {
+        std::printf("== per-epoch table: %s ==\n", label.c_str());
+        TextTable table({"epoch", "t", "ways", "w_data", "w_tlb",
+                         "instr", "L2TLB MPKI"});
+        for (const EpochRow &e : epochs) {
+            if (e.label != label)
+                continue;
+            table.row()
+                .add(e.epoch)
+                .add(e.t, 0)
+                .add(msgOf(e.before_ways, "->", e.data_ways, "/",
+                           e.total_ways))
+                .add(e.w_data, 3)
+                .add(e.w_tlb, 3)
+                .add(e.instr, 0)
+                .add(samples.empty() ? std::string("-")
+                                     : msgOf(e.mpki));
+        }
+        table.print();
+        std::printf("\n");
+    }
+
+    // --------------------------------------------- top-K worst epochs
+    if (!epochs.empty() && !samples.empty()) {
+        std::vector<EpochRow> worst;
+        for (const EpochRow &e : epochs)
+            if (only_label.empty() || e.label == only_label)
+                worst.push_back(e);
+        std::sort(worst.begin(), worst.end(),
+                  [](const EpochRow &a, const EpochRow &b) {
+                      return a.mpki > b.mpki;
+                  });
+        if (worst.size() > static_cast<std::size_t>(top_k))
+            worst.resize(static_cast<std::size_t>(top_k));
+        std::printf("== top-%d worst epochs by L2 TLB MPKI ==\n",
+                    top_k);
+        TextTable table(
+            {"label", "epoch", "t", "ways", "L2TLB MPKI"});
+        for (const EpochRow &e : worst)
+            table.row()
+                .add(e.label)
+                .add(e.epoch)
+                .add(e.t, 0)
+                .add(msgOf(e.data_ways, "/", e.total_ways))
+                .add(e.mpki, 2);
+        table.print();
+        std::printf("\n");
+    }
+
+    // ------------------------------------- partition-timeline summary
+    if (!epochs.empty()) {
+        std::printf("== partition timeline (data ways) ==\n");
+        TextTable table({"label", "epochs", "min", "avg", "max",
+                         "changes", "final"});
+        for (const std::string &label : labels) {
+            unsigned mn = ~0u, mx = 0, final_ways = 0, changes = 0;
+            double sum = 0.0;
+            std::uint64_t n = 0;
+            for (const EpochRow &e : epochs) {
+                if (e.label != label)
+                    continue;
+                mn = std::min(mn, e.data_ways);
+                mx = std::max(mx, e.data_ways);
+                if (e.data_ways != e.before_ways)
+                    ++changes;
+                sum += e.data_ways;
+                final_ways = e.data_ways;
+                ++n;
+            }
+            if (!n)
+                continue;
+            table.row()
+                .add(label)
+                .add(static_cast<std::uint64_t>(n))
+                .add(static_cast<std::uint64_t>(mn))
+                .add(sum / static_cast<double>(n), 2)
+                .add(static_cast<std::uint64_t>(mx))
+                .add(static_cast<std::uint64_t>(changes))
+                .add(static_cast<std::uint64_t>(final_ways));
+        }
+        table.print();
+    } else {
+        std::printf("(no repartition events in trace — run with "
+                    "--scheme csalt-d/csalt-cd and --trace-events "
+                    "epoch)\n");
+    }
+    return 0;
+}
