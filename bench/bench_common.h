@@ -9,18 +9,26 @@
  *   CSALT_QUOTA       measured instructions per core (default 1M)
  *   CSALT_WARMUP      warmup instructions per core (default 600K)
  *   CSALT_BENCH_FAST  =1 shrinks both 4x for smoke runs
+ *   CSALT_BENCH_JSON  path for the machine-readable results file
+ *                     (default ./BENCH_results.json; see ResultsJson)
  */
 
 #ifndef CSALT_BENCH_BENCH_COMMON_H
 #define CSALT_BENCH_BENCH_COMMON_H
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/log.h"
 #include "common/table.h"
+#include "obs/json.h"
 #include "sim/metrics.h"
 #include "sim/system_builder.h"
 #include "workloads/registry.h"
@@ -116,6 +124,99 @@ inline const Scheme kCsaltD{"CSALT-D", applyCsaltD};
 inline const Scheme kCsaltCD{"CSALT-CD", applyCsaltCD};
 inline const Scheme kTsb{"TSB", applyTsb};
 inline const Scheme kDip{"DIP", applyDipOverPom};
+
+/**
+ * Machine-readable bench results, written next to the human table.
+ *
+ * Collects one row per workload pair (value per scheme), a geomean
+ * summary, and the host wall-clock of the whole run, then writes:
+ *
+ *   {"figure":"fig07","metric":"ipc_norm_pom","quota":...,
+ *    "warmup":...,"rows":[{"label":"...","values":{"CSALT-D":1.1}}],
+ *    "geomean":{"CSALT-D":1.1},"wall_clock_s":12.3}
+ *
+ * to $CSALT_BENCH_JSON (default ./BENCH_results.json), so sweeps can
+ * be diffed and regression-checked without scraping tables
+ * (scripts/bench_smoke.sh validates this schema).
+ */
+class ResultsJson
+{
+  public:
+    using Values = std::vector<std::pair<std::string, double>>;
+
+    ResultsJson(std::string figure, std::string metric,
+                const BenchEnv &env)
+        : figure_(std::move(figure)), metric_(std::move(metric)),
+          env_(env), start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    /** Record one table row: per-scheme values for @p label. */
+    void
+    addRow(const std::string &label, const Values &values)
+    {
+        rows_.emplace_back(label, values);
+    }
+
+    /** Record the per-scheme geomean summary row. */
+    void setGeomean(const Values &values) { geomean_ = values; }
+
+    /** Serialize to $CSALT_BENCH_JSON / ./BENCH_results.json. */
+    void
+    write() const
+    {
+        const char *env_path = std::getenv("CSALT_BENCH_JSON");
+        const std::string path =
+            env_path && *env_path ? env_path : "BENCH_results.json";
+        std::ofstream out(path);
+        if (!out) {
+            warn("cannot write bench results to '" + path + "'");
+            return;
+        }
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+
+        std::ostringstream os;
+        os.precision(10);
+        os << "{\"figure\":\"" << obs::escapeJson(figure_)
+           << "\",\"metric\":\"" << obs::escapeJson(metric_)
+           << "\",\"quota\":" << env_.quota
+           << ",\"warmup\":" << env_.warmup << ",\"rows\":[";
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            os << (i ? "," : "") << "{\"label\":\""
+               << obs::escapeJson(rows_[i].first) << "\",\"values\":";
+            writeValues(os, rows_[i].second);
+            os << "}";
+        }
+        os << "],\"geomean\":";
+        writeValues(os, geomean_);
+        os << ",\"wall_clock_s\":" << wall << "}";
+        out << os.str() << "\n";
+        std::printf("\nwrote %s\n", path.c_str());
+    }
+
+  private:
+    static void
+    writeValues(std::ostream &os, const Values &values)
+    {
+        os << "{";
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            os << (i ? "," : "") << "\""
+               << obs::escapeJson(values[i].first)
+               << "\":" << values[i].second;
+        }
+        os << "}";
+    }
+
+    std::string figure_;
+    std::string metric_;
+    BenchEnv env_;
+    std::chrono::steady_clock::time_point start_;
+    std::vector<std::pair<std::string, Values>> rows_;
+    Values geomean_;
+};
 
 /** Print the standard bench banner. */
 inline void

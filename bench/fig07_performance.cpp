@@ -30,6 +30,7 @@ main()
     TextTable table({"pair", "Conventional", "POM-TLB", "CSALT-D",
                      "CSALT-CD"});
     std::vector<std::vector<double>> norm(schemes.size());
+    ResultsJson results("fig07", "ipc_norm_pom", env);
 
     for (const auto &label : paperPairLabels()) {
         std::vector<double> ipc;
@@ -38,17 +39,26 @@ main()
         const double base = ipc[1]; // POM-TLB
         auto &row = table.row();
         row.add(label);
+        ResultsJson::Values values;
         for (std::size_t s = 0; s < schemes.size(); ++s) {
             const double v = base > 0 ? ipc[s] / base : 0.0;
             row.add(v, 3);
             norm[s].push_back(v);
+            values.emplace_back(schemes[s].name, v);
         }
+        results.addRow(label, values);
         std::fflush(stdout);
     }
     auto &row = table.row();
     row.add("geomean");
-    for (const auto &series : norm)
-        row.add(geomean(series), 3);
+    ResultsJson::Values summary;
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+        const double g = geomean(norm[s]);
+        row.add(g, 3);
+        summary.emplace_back(schemes[s].name, g);
+    }
+    results.setGeomean(summary);
     table.print();
+    results.write();
     return 0;
 }

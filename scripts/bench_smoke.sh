@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Bench-harness smoke test: run a reduced-size Figure 7 sweep and
+# validate the machine-readable BENCH_results.json it emits.
+#
+#   scripts/bench_smoke.sh              # uses ./build (configures if absent)
+#   BUILD_DIR=/tmp/b scripts/bench_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+    cmake -B "$BUILD_DIR" -S .
+fi
+cmake --build "$BUILD_DIR" -j "$JOBS" --target fig07_performance
+
+json="$(mktemp /tmp/csalt-bench-XXXXXX.json)"
+trap 'rm -f "$json"' EXIT
+
+echo "== reduced fig07 run =="
+CSALT_QUOTA=60000 CSALT_WARMUP=20000 CSALT_BENCH_JSON="$json" \
+    "$BUILD_DIR/bench/fig07_performance"
+
+echo "== validate $json =="
+python3 - "$json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+for key in ("figure", "metric", "quota", "warmup", "rows", "geomean",
+            "wall_clock_s"):
+    assert key in doc, f"missing key: {key}"
+
+assert doc["figure"] == "fig07", doc["figure"]
+assert isinstance(doc["quota"], int) and doc["quota"] > 0
+assert isinstance(doc["warmup"], int) and doc["warmup"] >= 0
+assert isinstance(doc["wall_clock_s"], (int, float))
+assert doc["wall_clock_s"] > 0, "wall clock must be positive"
+
+rows = doc["rows"]
+assert isinstance(rows, list) and rows, "rows must be non-empty"
+for row in rows:
+    assert isinstance(row["label"], str) and row["label"]
+    values = row["values"]
+    assert isinstance(values, dict) and values, "empty row values"
+    for scheme, v in values.items():
+        assert isinstance(v, (int, float)), f"{scheme}: {v!r}"
+
+geomean = doc["geomean"]
+assert isinstance(geomean, dict) and geomean, "empty geomean"
+assert set(geomean) == set(rows[0]["values"]), "scheme set mismatch"
+for scheme, v in geomean.items():
+    assert isinstance(v, (int, float)) and v > 0, f"{scheme}: {v!r}"
+
+print(f"ok: {len(rows)} rows, schemes: {sorted(geomean)}, "
+      f"wall_clock_s={doc['wall_clock_s']:.2f}")
+EOF
+
+echo "== OK =="

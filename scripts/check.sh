@@ -26,6 +26,16 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 echo "== tests =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+echo "== obs suite under ASan+UBSan =="
+ASAN_DIR="${BUILD_DIR}-asan"
+if [[ "${KEEP_BUILD:-0}" != 1 ]]; then
+    rm -rf "$ASAN_DIR"
+fi
+cmake -B "$ASAN_DIR" -S . -DCSALT_SANITIZE=ON
+cmake --build "$ASAN_DIR" -j "$JOBS" --target \
+    test_histogram test_cpi_stack test_stat_registry test_trace_events
+ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS" -L obs
+
 echo "== telemetry smoke test =="
 trace="$(mktemp /tmp/csalt-check-XXXXXX.jsonl)"
 chrome="${trace%.jsonl}.chrome.json"

@@ -60,7 +60,10 @@ DramChannel::access(Addr addr, Cycles now)
     ++stats_.accesses;
     stats_.queue_wait_cycles += static_cast<Cycles>(queue);
     stats_.service_cycles += service + params_.overhead;
-    return static_cast<Cycles>(queue) + service + params_.overhead;
+    const Cycles total =
+        static_cast<Cycles>(queue) + service + params_.overhead;
+    lat_hist_.record(total);
+    return total;
 }
 
 void
@@ -76,6 +79,7 @@ DramChannel::registerStats(obs::StatRegistry &reg,
     reg.addCounter(prefix + ".service_cycles", &stats_.service_cycles);
     reg.addGauge(prefix + ".row_hit_rate",
                  [this] { return stats_.rowHitRate(); });
+    reg.addHistogram(prefix + ".lat", &lat_hist_);
 }
 
 } // namespace csalt

@@ -18,6 +18,7 @@
 
 #include "common/config.h"
 #include "common/types.h"
+#include "obs/histogram.h"
 
 namespace csalt
 {
@@ -68,10 +69,23 @@ class DramChannel
     Cycles access(Addr addr, Cycles now);
 
     const DramStats &stats() const { return stats_; }
-    void clearStats() { stats_ = DramStats{}; }
+
+    void
+    clearStats()
+    {
+        stats_ = DramStats{};
+        lat_hist_.clear();
+    }
+
     const std::string &name() const { return params_.name; }
 
-    /** Register counters + row-hit-rate gauge under "<prefix>.*". */
+    /** Distribution of total access latencies (count == accesses). */
+    const obs::Histogram &latHist() const { return lat_hist_; }
+
+    /**
+     * Register counters + row-hit-rate gauge under "<prefix>.*" and
+     * the access-latency histogram as "<prefix>.lat".
+     */
     void registerStats(obs::StatRegistry &reg,
                        const std::string &prefix) const;
 
@@ -101,6 +115,7 @@ class DramChannel
     double channel_backlog_ = 0.0;
     Cycles drain_time_ = 0; //!< latest time backlogs were drained to
     DramStats stats_;
+    obs::Histogram lat_hist_; //!< total access-latency distribution
 };
 
 } // namespace csalt

@@ -1,0 +1,124 @@
+#include "obs/cpi_stack.h"
+
+#include <algorithm>
+
+namespace csalt::obs
+{
+
+const char *
+cpiComponentName(CpiComponent c)
+{
+    switch (c) {
+      case CpiComponent::compute:
+        return "compute";
+      case CpiComponent::csSwitch:
+        return "cs_switch";
+      case CpiComponent::dataL1d:
+        return "data_l1d";
+      case CpiComponent::dataL2:
+        return "data_l2";
+      case CpiComponent::dataL3:
+        return "data_l3";
+      case CpiComponent::dataDram:
+        return "data_dram";
+      case CpiComponent::tlbProbe:
+        return "tlb_probe";
+      case CpiComponent::pomAccess:
+        return "pom_access";
+      case CpiComponent::tsbAccess:
+        return "tsb_access";
+      case CpiComponent::walkMmu:
+        return "walk_mmu";
+      case CpiComponent::walkGuestL1:
+        return "walk_guest_l1";
+      case CpiComponent::walkGuestL2:
+        return "walk_guest_l2";
+      case CpiComponent::walkGuestL3:
+        return "walk_guest_l3";
+      case CpiComponent::walkGuestL4:
+        return "walk_guest_l4";
+      case CpiComponent::walkGuestL5:
+        return "walk_guest_l5";
+      case CpiComponent::walkHostL1:
+        return "walk_host_l1";
+      case CpiComponent::walkHostL2:
+        return "walk_host_l2";
+      case CpiComponent::walkHostL3:
+        return "walk_host_l3";
+      case CpiComponent::walkHostL4:
+        return "walk_host_l4";
+      case CpiComponent::walkHostL5:
+        return "walk_host_l5";
+      case CpiComponent::repartition:
+        return "repartition";
+      case CpiComponent::count:
+        break;
+    }
+    return "?";
+}
+
+CpiComponent
+walkComponent(bool host, int level)
+{
+    const int lv = std::clamp(level, 1, 5);
+    const auto base = static_cast<std::size_t>(
+        host ? CpiComponent::walkHostL1 : CpiComponent::walkGuestL1);
+    return static_cast<CpiComponent>(base +
+                                     static_cast<std::size_t>(lv - 1));
+}
+
+double
+LatencyBreakdown::total() const
+{
+    double t = 0.0;
+    for (const double v : v_)
+        t += v;
+    return t;
+}
+
+double
+LatencyBreakdown::walkTotal() const
+{
+    double t = of(CpiComponent::walkMmu);
+    for (std::size_t i =
+             static_cast<std::size_t>(CpiComponent::walkGuestL1);
+         i <= static_cast<std::size_t>(CpiComponent::walkHostL5); ++i)
+        t += v_[i];
+    return t;
+}
+
+LatencyBreakdown &
+LatencyBreakdown::operator+=(const LatencyBreakdown &other)
+{
+    for (std::size_t i = 0; i < kNumCpiComponents; ++i)
+        v_[i] += other.v_[i];
+    return *this;
+}
+
+void
+LatencyBreakdown::addScaled(const LatencyBreakdown &src,
+                            double target_total)
+{
+    const double src_total = src.total();
+    if (src_total <= 0.0 || target_total <= 0.0)
+        return;
+
+    std::size_t last = kNumCpiComponents;
+    for (std::size_t i = 0; i < kNumCpiComponents; ++i)
+        if (src.v_[i] > 0.0)
+            last = i;
+
+    double added = 0.0;
+    for (std::size_t i = 0; i < kNumCpiComponents; ++i) {
+        if (src.v_[i] <= 0.0 || i == last)
+            continue;
+        const double share = src.v_[i] / src_total * target_total;
+        v_[i] += share;
+        added += share;
+    }
+    // The last nonzero component absorbs the rounding remainder, so
+    // the amounts added sum to target_total exactly.
+    v_[last] += target_total - added;
+}
+
+} // namespace csalt::obs

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Cycle-accounting taxonomy: every core cycle is attributed to exactly
+ * one CpiComponent, and every completed memory reference carries a
+ * LatencyBreakdown that the components along the request path stamp
+ * their contribution into.
+ *
+ * Attribution rules (who stamps what — see docs/observability.md for
+ * the double-counting invariants):
+ *  - core_model:      compute, cs_switch, tlb_probe, pom_access,
+ *                     tsb_access (from the backend latencies it is
+ *                     charged), and the MLP-scaled data components
+ *  - memory_system:   the raw per-level split of a data access
+ *                     (data_l1d/data_l2/data_l3/data_dram)
+ *  - page_walker:     walk_mmu plus one component per PTE read, split
+ *                     by radix level and by walk dimension
+ *                     (walk_guest_lN / walk_host_lN)
+ *  - repartition:     reserved; the controllers repartition off the
+ *                     critical path today, so this stays 0 until a
+ *                     future PR models flush/migration cost
+ *
+ * The per-core CpiStack (an aggregated LatencyBreakdown) sums to the
+ * core's elapsed cycles; the per-context stacks sum to the per-core
+ * stack. Both invariants are enforced by tests/test_cpi_stack.cpp.
+ */
+
+#ifndef CSALT_OBS_CPI_STACK_H
+#define CSALT_OBS_CPI_STACK_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace csalt::obs
+{
+
+/** Where a cycle went. One tag per cycle — tags never overlap. */
+enum class CpiComponent : std::uint8_t
+{
+    compute,     //!< base-CPI non-memory work
+    csSwitch,    //!< direct context-switch penalty
+    dataL1d,     //!< data path: L1D access latency
+    dataL2,      //!< data path: added L2 latency
+    dataL3,      //!< data path: added L3 latency
+    dataDram,    //!< data path: added DRAM latency
+    tlbProbe,    //!< L1/L2 TLB lookup latency on the translate path
+    pomAccess,   //!< POM-TLB set probes (cacheable accesses)
+    tsbAccess,   //!< TSB probes (TSB scheme only)
+    walkMmu,     //!< MMU paging-structure-cache consult latency
+    walkGuestL1, //!< guest-dimension PTE read, radix level 1 (leaf)
+    walkGuestL2,
+    walkGuestL3,
+    walkGuestL4,
+    walkGuestL5,
+    walkHostL1, //!< host/nested-dimension PTE read, level 1 (leaf)
+    walkHostL2,
+    walkHostL3,
+    walkHostL4,
+    walkHostL5,
+    repartition, //!< reserved: repartition overhead (0 today)
+    count
+};
+
+inline constexpr std::size_t kNumCpiComponents =
+    static_cast<std::size_t>(CpiComponent::count);
+
+/** Stable snake_case name ("walk_guest_l4", "cs_switch", ...). */
+const char *cpiComponentName(CpiComponent c);
+
+/**
+ * Component for one PTE read: @p host selects the walk dimension,
+ * @p level the radix level (clamped to [1, 5]).
+ */
+CpiComponent walkComponent(bool host, int level);
+
+/**
+ * Per-request (or aggregated) cycle attribution. Components along the
+ * request path add their share; totals stay consistent because every
+ * charged cycle is stamped exactly once.
+ */
+class LatencyBreakdown
+{
+  public:
+    void
+    add(CpiComponent c, double cycles)
+    {
+        v_[static_cast<std::size_t>(c)] += cycles;
+    }
+
+    double
+    of(CpiComponent c) const
+    {
+        return v_[static_cast<std::size_t>(c)];
+    }
+
+    /** Sum over all components. */
+    double total() const;
+
+    /** Sum of the walk components (mmu + both dimensions). */
+    double walkTotal() const;
+
+    void clear() { v_.fill(0.0); }
+
+    LatencyBreakdown &operator+=(const LatencyBreakdown &other);
+
+    /**
+     * Add @p src rescaled so the amounts added sum to exactly
+     * @p target_total (the last nonzero component absorbs the
+     * floating-point remainder). Used to fold the raw data-path split
+     * into the MLP-scaled cycles the core actually charged.
+     * No-op when either total is <= 0.
+     */
+    void addScaled(const LatencyBreakdown &src, double target_total);
+
+    const std::array<double, kNumCpiComponents> &
+    values() const
+    {
+        return v_;
+    }
+
+  private:
+    std::array<double, kNumCpiComponents> v_{};
+};
+
+/** An aggregated breakdown (per core, per context, per run). */
+using CpiStack = LatencyBreakdown;
+
+} // namespace csalt::obs
+
+#endif // CSALT_OBS_CPI_STACK_H

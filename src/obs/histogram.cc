@@ -1,0 +1,121 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace csalt::obs
+{
+
+std::size_t
+Histogram::bucketIndex(std::uint64_t value)
+{
+    if (value < kSubBuckets)
+        return static_cast<std::size_t>(value);
+    // value in [2^m, 2^(m+1)); its top kSubBucketBits+1 bits select
+    // the octave block and the linear sub-bucket inside it.
+    const unsigned m = std::bit_width(value) - 1;
+    const unsigned shift = m - kSubBucketBits;
+    const std::uint64_t sub = (value >> shift) - kSubBuckets;
+    const std::size_t block = m - kSubBucketBits + 1;
+    return block * kSubBuckets + static_cast<std::size_t>(sub);
+}
+
+std::uint64_t
+Histogram::bucketLowerBound(std::size_t i)
+{
+    if (i < kSubBuckets)
+        return i;
+    const std::size_t block = i / kSubBuckets;
+    const std::uint64_t sub = i % kSubBuckets;
+    return (kSubBuckets + sub) << (block - 1);
+}
+
+std::uint64_t
+Histogram::bucketWidth(std::size_t i)
+{
+    if (i < kSubBuckets)
+        return 1;
+    return std::uint64_t{1} << (i / kSubBuckets - 1);
+}
+
+void
+Histogram::record(std::uint64_t value, std::uint64_t weight)
+{
+    if (!weight)
+        return;
+    buckets_[bucketIndex(value)] += weight;
+    sum_ += static_cast<double>(value) * static_cast<double>(weight);
+    if (!count_ || value < min_)
+        min_ = value;
+    if (!count_ || value > max_)
+        max_ = value;
+    count_ += weight;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    for (std::size_t i = 0; i < kNumBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+    sum_ += other.sum_;
+    if (!count_ || other.min_ < min_)
+        min_ = other.min_;
+    if (!count_ || other.max_ > max_)
+        max_ = other.max_;
+    count_ += other.count_;
+}
+
+void
+Histogram::clear()
+{
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0;
+    max_ = 0;
+}
+
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    if (!count_)
+        return 0;
+    p = std::clamp(p, 0.0, 100.0);
+    const double want = p / 100.0 * static_cast<double>(count_);
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::ceil(want)));
+
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+        seen += buckets_[i];
+        if (seen >= rank) {
+            // Highest value equivalent to this bucket, clamped to the
+            // recorded max so p100 never exceeds it.
+            const std::uint64_t hi =
+                bucketLowerBound(i) + bucketWidth(i) - 1;
+            return std::min(hi, max_);
+        }
+    }
+    return max_;
+}
+
+Histogram::Summary
+Histogram::percentileSummary() const
+{
+    Summary s;
+    s.count = count_;
+    s.sum = sum_;
+    s.mean = mean();
+    s.min = min();
+    s.max = max();
+    s.p50 = percentile(50.0);
+    s.p90 = percentile(90.0);
+    s.p99 = percentile(99.0);
+    s.p999 = percentile(99.9);
+    return s;
+}
+
+} // namespace csalt::obs

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Fixed-footprint latency histogram with percentile queries.
+ *
+ * HdrHistogram-style bucketing: values below 2^kSubBucketBits land in
+ * unit-width buckets; above that, every power-of-two range ("octave")
+ * is split into kSubBuckets linear sub-buckets, so relative error is
+ * bounded by 1/kSubBuckets at every magnitude. The bucket array is a
+ * compile-time-sized std::array (~4KB), making histograms cheap enough
+ * to embed one per component (per-core walk latency, POM lookup
+ * latency, DRAM access latency, ...) and safe to register in the
+ * StatRegistry by stable pointer, exactly like counters.
+ *
+ * Histograms are mergeable (bucket-wise addition, used to aggregate
+ * per-core distributions) and support p50/p90/p99/p99.9 queries via a
+ * single cumulative walk, so percentiles are monotone by construction.
+ */
+
+#ifndef CSALT_OBS_HISTOGRAM_H
+#define CSALT_OBS_HISTOGRAM_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace csalt::obs
+{
+
+/** Log2-bucketed latency histogram (values are cycle counts). */
+class Histogram
+{
+  public:
+    /** Sub-bucket resolution: 2^3 = 8 linear buckets per octave. */
+    static constexpr unsigned kSubBucketBits = 3;
+    static constexpr unsigned kSubBuckets = 1u << kSubBucketBits;
+
+    /** Unit buckets for [0, kSubBuckets) plus 8 per octave above. */
+    static constexpr std::size_t kNumBuckets =
+        (64 - kSubBucketBits) * kSubBuckets + kSubBuckets;
+
+    /** Scalar + percentile digest of the distribution. */
+    struct Summary
+    {
+        std::uint64_t count = 0;
+        double sum = 0.0;
+        double mean = 0.0;
+        std::uint64_t min = 0;
+        std::uint64_t max = 0;
+        std::uint64_t p50 = 0;
+        std::uint64_t p90 = 0;
+        std::uint64_t p99 = 0;
+        std::uint64_t p999 = 0;
+    };
+
+    /** Record @p weight occurrences of @p value. */
+    void record(std::uint64_t value, std::uint64_t weight = 1);
+
+    /** Bucket-wise merge of @p other into this histogram. */
+    void merge(const Histogram &other);
+
+    /** Reset to empty. */
+    void clear();
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return count_ ? max_ : 0; }
+    bool empty() const { return count_ == 0; }
+
+    /**
+     * Value at percentile @p p (0..100): the highest value equivalent
+     * to the bucket where the cumulative count first reaches
+     * ceil(p/100 * count), clamped to the recorded max. 0 when empty.
+     */
+    std::uint64_t percentile(double p) const;
+
+    /** The full digest (count/sum/mean/min/max/p50/p90/p99/p99.9). */
+    Summary percentileSummary() const;
+
+    // ------------------------------------------ bucket introspection
+
+    /** Bucket index a value lands in. */
+    static std::size_t bucketIndex(std::uint64_t value);
+
+    /** Smallest value mapping to bucket @p i. */
+    static std::uint64_t bucketLowerBound(std::size_t i);
+
+    /** Width in values of bucket @p i (1 below the first octave). */
+    static std::uint64_t bucketWidth(std::size_t i);
+
+    /** Raw count of bucket @p i. */
+    std::uint64_t bucketCount(std::size_t i) const
+    {
+        return buckets_[i];
+    }
+
+  private:
+    std::array<std::uint64_t, kNumBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace csalt::obs
+
+#endif // CSALT_OBS_HISTOGRAM_H

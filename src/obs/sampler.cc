@@ -24,6 +24,9 @@ Sampler::sample(double t, std::uint64_t step)
     snap.values.reserve(registry_.size());
     for (const auto &entry : registry_.entries())
         snap.values.push_back(entry.get());
+    snap.hists.reserve(registry_.histograms().size());
+    for (const auto &he : registry_.histograms())
+        snap.hists.push_back(he.hist->percentileSummary());
 
     if (sink_)
         writeJsonl(snap);
@@ -56,7 +59,37 @@ Sampler::writeJsonl(const Snapshot &snap)
            << "\":";
         writeJsonNumber(os, snap.values[i]);
     }
-    os << "}}\n";
+    os << "}";
+
+    const auto &hists = registry_.histograms();
+    if (!hists.empty()) {
+        os << ",\"hists\":{";
+        for (std::size_t i = 0; i < hists.size(); ++i) {
+            const Histogram::Summary &s = snap.hists[i];
+            os << (i ? ",\"" : "\"") << escapeJson(hists[i].name)
+               << "\":{\"count\":";
+            writeJsonNumber(os, static_cast<double>(s.count));
+            os << ",\"sum\":";
+            writeJsonNumber(os, s.sum);
+            os << ",\"mean\":";
+            writeJsonNumber(os, s.mean);
+            os << ",\"min\":";
+            writeJsonNumber(os, static_cast<double>(s.min));
+            os << ",\"max\":";
+            writeJsonNumber(os, static_cast<double>(s.max));
+            os << ",\"p50\":";
+            writeJsonNumber(os, static_cast<double>(s.p50));
+            os << ",\"p90\":";
+            writeJsonNumber(os, static_cast<double>(s.p90));
+            os << ",\"p99\":";
+            writeJsonNumber(os, static_cast<double>(s.p99));
+            os << ",\"p999\":";
+            writeJsonNumber(os, static_cast<double>(s.p999));
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "}\n";
 }
 
 } // namespace csalt::obs

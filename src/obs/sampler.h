@@ -7,11 +7,15 @@
  * appends one JSONL record:
  *
  *   {"type":"sample","t":<cycles>,"step":<accesses>,
- *    "values":{"core0.instructions":123, ...}}
+ *    "values":{"core0.instructions":123, ...},
+ *    "hists":{"core0.walk.lat":{"count":9,"p50":210,...}, ...}}
  *
  * Counters are cumulative since the last stats clear; consumers
  * (trace_inspect, plots) difference consecutive samples to get
- * per-interval rates such as interval MPKI.
+ * per-interval rates such as interval MPKI. Histogram digests are
+ * likewise cumulative (count/sum/min/max and p50/p90/p99/p99.9 of
+ * everything recorded so far); the "hists" member is omitted when no
+ * histograms are registered.
  */
 
 #ifndef CSALT_OBS_SAMPLER_H
@@ -22,6 +26,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "obs/histogram.h"
 #include "obs/stat_registry.h"
 
 namespace csalt::obs
@@ -37,6 +42,8 @@ class Sampler
         double t = 0.0;          //!< sample timestamp (cycles)
         std::uint64_t step = 0;  //!< scheduler steps at sample time
         std::vector<double> values;
+        /** Digest per registered histogram (histograms() order). */
+        std::vector<Histogram::Summary> hists;
     };
 
     explicit Sampler(const StatRegistry &registry)

@@ -6,10 +6,34 @@ namespace csalt::obs
 {
 
 void
+StatRegistry::checkName(const std::string &name) const
+{
+    if (index_.count(name) || hist_index_.count(name))
+        fatal("StatRegistry: duplicate stat '" + name + "'");
+}
+
+bool
+StatRegistry::rejectLate(const std::string &name) const
+{
+    if (!frozen_)
+        return false;
+#ifndef NDEBUG
+    panic("StatRegistry: stat '" + name +
+          "' registered after freeze(); it would be missing from "
+          "every attached sampler/consumer");
+#else
+    warnOnce("StatRegistry: stat '" + name +
+             "' registered after freeze(); dropped");
+    return true;
+#endif
+}
+
+void
 StatRegistry::add(std::string name, Kind kind, Getter get)
 {
-    if (index_.count(name))
-        fatal("StatRegistry: duplicate stat '" + name + "'");
+    if (rejectLate(name))
+        return;
+    checkName(name);
     index_.emplace(name, entries_.size());
     entries_.push_back(Entry{std::move(name), kind, std::move(get)});
 }
@@ -32,10 +56,23 @@ StatRegistry::addGauge(const std::string &name, Getter get)
     add(name, Kind::gauge, std::move(get));
 }
 
+void
+StatRegistry::addHistogram(const std::string &name,
+                           const Histogram *hist)
+{
+    if (!hist)
+        fatal("StatRegistry: null histogram '" + name + "'");
+    if (rejectLate(name))
+        return;
+    checkName(name);
+    hist_index_.emplace(name, hists_.size());
+    hists_.push_back(HistEntry{name, hist});
+}
+
 bool
 StatRegistry::has(const std::string &name) const
 {
-    return index_.count(name) != 0;
+    return index_.count(name) != 0 || hist_index_.count(name) != 0;
 }
 
 double
@@ -45,6 +82,15 @@ StatRegistry::valueOf(const std::string &name) const
     if (it == index_.end())
         fatal("StatRegistry: unknown stat '" + name + "'");
     return entries_[it->second].get();
+}
+
+const Histogram &
+StatRegistry::histogramOf(const std::string &name) const
+{
+    const auto it = hist_index_.find(name);
+    if (it == hist_index_.end())
+        fatal("StatRegistry: unknown histogram '" + name + "'");
+    return *hists_[it->second].hist;
 }
 
 } // namespace csalt::obs

@@ -2,17 +2,26 @@
  * @file
  * Registry of named simulator statistics.
  *
- * Components register their counters and gauges once (at system
- * construction); the epoch Sampler then snapshots every registered
- * value by name without knowing anything about the components. Names
- * are dot-separated paths ("core0.l2.miss_data", "ctrl.l3.data_ways";
- * see docs/observability.md for the full convention).
+ * Components register their counters, gauges and histograms once (at
+ * system construction); the epoch Sampler then snapshots every
+ * registered value by name without knowing anything about the
+ * components. Names are dot-separated paths ("core0.l2.miss_data",
+ * "ctrl.l3.data_ways", "core0.walk.lat"; see docs/observability.md
+ * for the full convention).
  *
- * Two stat kinds:
+ * Three stat kinds:
  *  - counter: monotone uint64 read through a stable pointer (every
  *    component keeps its counters in a long-lived stats struct);
  *  - gauge: instantaneous value computed by a callback (occupancy
- *    fractions, hit rates, current way splits).
+ *    fractions, hit rates, current way splits);
+ *  - histogram: a latency distribution read through a stable pointer
+ *    (obs::Histogram), sampled as a percentile digest.
+ *
+ * After System::finalizeStats() the registry is frozen: registering a
+ * stat later is a wiring bug (the Sampler column set and any attached
+ * consumers have already seen the layout). freeze() makes late
+ * registration panic in debug builds and warnOnce-and-drop in release
+ * builds instead of being silently inconsistent.
  */
 
 #ifndef CSALT_OBS_STAT_REGISTRY_H
@@ -23,6 +32,8 @@
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "obs/histogram.h"
 
 namespace csalt::obs
 {
@@ -46,6 +57,13 @@ class StatRegistry
         Getter get;
     };
 
+    /** A registered histogram, read through a stable pointer. */
+    struct HistEntry
+    {
+        std::string name;
+        const Histogram *hist;
+    };
+
     /**
      * Register a monotone counter read through @p value. The pointee
      * must outlive the registry (true for all component stats
@@ -58,8 +76,20 @@ class StatRegistry
     /** Register a computed gauge. Duplicate names fatal(). */
     void addGauge(const std::string &name, Getter get);
 
+    /**
+     * Register a latency histogram read through @p hist (must outlive
+     * the registry). Shares the scalar namespace: duplicates fatal().
+     */
+    void addHistogram(const std::string &name, const Histogram *hist);
+
     /** Registration order, which is also the sampler column order. */
     const std::vector<Entry> &entries() const { return entries_; }
+
+    /** Registered histograms, in registration order. */
+    const std::vector<HistEntry> &histograms() const
+    {
+        return hists_;
+    }
 
     std::size_t size() const { return entries_.size(); }
     bool has(const std::string &name) const;
@@ -67,11 +97,33 @@ class StatRegistry
     /** Current value of @p name; fatal() when unknown (test helper). */
     double valueOf(const std::string &name) const;
 
+    /** Histogram named @p name; fatal() when unknown. */
+    const Histogram &histogramOf(const std::string &name) const;
+
+    /**
+     * Seal the registry (System::finalizeStats()). Later add*() calls
+     * panic in debug builds and warnOnce-and-drop in release builds.
+     */
+    void freeze() { frozen_ = true; }
+    bool frozen() const { return frozen_; }
+
   private:
     void add(std::string name, Kind kind, Getter get);
 
+    /** Duplicate-name check across scalars and histograms; fatal(). */
+    void checkName(const std::string &name) const;
+
+    /**
+     * Handle an add*() after freeze(). @return true when the caller
+     * must drop the registration (release builds; debug panics).
+     */
+    bool rejectLate(const std::string &name) const;
+
     std::vector<Entry> entries_;
     std::unordered_map<std::string, std::size_t> index_;
+    std::vector<HistEntry> hists_;
+    std::unordered_map<std::string, std::size_t> hist_index_;
+    bool frozen_ = false;
 };
 
 } // namespace csalt::obs

@@ -24,6 +24,7 @@ CoreModel::setContexts(std::vector<std::unique_ptr<SimContext>> contexts)
         fatal("core needs at least one context");
     contexts_ = std::move(contexts);
     ctx_stats_.assign(contexts_.size(), ContextStats{});
+    ctx_cpi_.assign(contexts_.size(), obs::CpiStack{});
     current_ = 0;
 }
 
@@ -37,6 +38,12 @@ CoreModel::maybeContextSwitch()
     const std::size_t from = current_;
     current_ = (current_ + 1) % contexts_.size();
     cycles_ += static_cast<double>(params_.core.cs_penalty);
+    // The incoming context pays the direct switch cost: it is the one
+    // that cannot retire until the switch completes.
+    cpi_.add(obs::CpiComponent::csSwitch,
+             static_cast<double>(params_.core.cs_penalty));
+    ctx_cpi_[current_].add(obs::CpiComponent::csSwitch,
+                           static_cast<double>(params_.core.cs_penalty));
     next_switch_ += params_.cs_interval;
     ++stats_.context_switches;
 
@@ -52,7 +59,8 @@ CoreModel::maybeContextSwitch()
 }
 
 Cycles
-CoreModel::translate(SimContext &ctx, Addr gva, Mapping &out)
+CoreModel::translate(SimContext &ctx, Addr gva, Mapping &out,
+                     obs::LatencyBreakdown &bd)
 {
     VmContext &vm = ctx.vm();
 
@@ -61,6 +69,8 @@ CoreModel::translate(SimContext &ctx, Addr gva, Mapping &out)
 
     const Cycles now = clock();
     TlbLookupResult tlb = tlbs_.lookup(vm.asid(), gva);
+    bd.add(obs::CpiComponent::tlbProbe,
+           static_cast<double>(tlb.latency));
     if (tlb.l1_hit || tlb.l2_hit) {
         out = tlb.mapping;
         return tlb.latency;
@@ -73,12 +83,14 @@ CoreModel::translate(SimContext &ctx, Addr gva, Mapping &out)
         const auto pom = mem_.pomLookup(id_, vm.asid(), gva,
                                         size_predictor_, now + lat);
         lat += pom.latency;
+        bd.add(obs::CpiComponent::pomAccess,
+               static_cast<double>(pom.latency));
         if (pom.hit) {
             out = pom.mapping;
             tlbs_.fill(vm.asid(), gva, out);
             return lat;
         }
-        const auto walk = walker_->walk(vm, gva, now + lat);
+        const auto walk = walker_->walk(vm, gva, now + lat, &bd);
         lat += walk.latency;
         ++stats_.walks;
         stats_.walk_cycles += walk.latency;
@@ -92,12 +104,14 @@ CoreModel::translate(SimContext &ctx, Addr gva, Mapping &out)
       case TranslationKind::tsb: {
         const auto tsb = mem_.tsbLookup(id_, vm, gva, now + lat);
         lat += tsb.latency;
+        bd.add(obs::CpiComponent::tsbAccess,
+               static_cast<double>(tsb.latency));
         if (tsb.hit) {
             out = tsb.mapping;
             tlbs_.fill(vm.asid(), gva, out);
             return lat;
         }
-        const auto walk = walker_->walk(vm, gva, now + lat);
+        const auto walk = walker_->walk(vm, gva, now + lat, &bd);
         lat += walk.latency;
         ++stats_.walks;
         stats_.walk_cycles += walk.latency;
@@ -109,7 +123,7 @@ CoreModel::translate(SimContext &ctx, Addr gva, Mapping &out)
       }
       case TranslationKind::conventional:
       default: {
-        const auto walk = walker_->walk(vm, gva, now + lat);
+        const auto walk = walker_->walk(vm, gva, now + lat, &bd);
         lat += walk.latency;
         ++stats_.walks;
         stats_.walk_cycles += walk.latency;
@@ -129,24 +143,40 @@ CoreModel::step()
     SimContext &ctx = *contexts_[current_];
     const TraceRecord rec = ctx.trace().next();
 
-    cycles_ += params_.core.base_cpi * rec.icount;
+    // One ledger per reference: every cycle charged below is stamped
+    // into exactly one component, then folded into the core and slot
+    // CPI stacks, so the stacks always sum to the charged cycles.
+    obs::LatencyBreakdown bd;
+
+    const double compute = params_.core.base_cpi * rec.icount;
+    cycles_ += compute;
+    bd.add(obs::CpiComponent::compute, compute);
     stats_.instructions += rec.icount;
     ++stats_.memrefs;
     ctx_stats_[current_].instructions += rec.icount;
     ++ctx_stats_[current_].memrefs;
 
     Mapping mapping;
-    const Cycles tlat = translate(ctx, rec.vaddr, mapping);
+    const Cycles tlat = translate(ctx, rec.vaddr, mapping, bd);
     cycles_ += static_cast<double>(tlat);
     stats_.translation_cycles += tlat;
 
     const Addr hpa =
         mapping.frame + (rec.vaddr & (pageBytes(mapping.ps) - 1));
-    const Cycles dlat = mem_.dataAccess(id_, hpa, rec.type, clock());
+    // The data path stamps its raw level split into a side ledger;
+    // only 1/mlp of it is charged, so rescale the split to the
+    // charged amount before folding it in.
+    obs::LatencyBreakdown data_bd;
+    const Cycles dlat =
+        mem_.dataAccess(id_, hpa, rec.type, clock(), &data_bd);
     const double charged =
         static_cast<double>(dlat) / params_.core.mlp;
     cycles_ += charged;
+    bd.addScaled(data_bd, charged);
     stats_.data_cycles += static_cast<Cycles>(charged);
+
+    cpi_ += bd;
+    ctx_cpi_[current_] += bd;
 }
 
 void
@@ -169,6 +199,16 @@ CoreModel::registerStats(obs::StatRegistry &reg,
                    ? static_cast<double>(stats_.instructions) / cycles
                    : 0.0;
     });
+
+    // One gauge per CPI-stack component ("core0.cpi.compute", ...).
+    // No ".cpi.total" gauge: consumers sum the components, which by
+    // construction equal cyclesSinceClear().
+    for (std::size_t i = 0; i < obs::kNumCpiComponents; ++i) {
+        const auto comp = static_cast<obs::CpiComponent>(i);
+        reg.addGauge(prefix + ".cpi." +
+                         obs::cpiComponentName(comp),
+                     [this, comp] { return cpi_.of(comp); });
+    }
 
     tlbs_.registerStats(reg, prefix);
     walker_->registerStats(reg, prefix);

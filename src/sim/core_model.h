@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "obs/cpi_stack.h"
 #include "sim/context.h"
 #include "sim/memory_system.h"
 #include "tlb/tlb_hierarchy.h"
@@ -84,6 +85,18 @@ class CoreModel
         return static_cast<Cycles>(cycles_ - cycle_baseline_);
     }
 
+    /**
+     * Same span, unrounded — the CPI stack's ground truth: every
+     * cycle charged since clearStats() lands in exactly one
+     * cpiStack() component, so cpiStack().total() equals this to
+     * within accumulation-order rounding.
+     */
+    double
+    cyclesSinceClearExact() const
+    {
+        return cycles_ - cycle_baseline_;
+    }
+
     /** Retired instructions. */
     std::uint64_t instructions() const { return stats_.instructions; }
 
@@ -97,6 +110,9 @@ class CoreModel
         stats_ = CoreStats{};
         for (auto &cs : ctx_stats_)
             cs = ContextStats{};
+        cpi_.clear();
+        for (auto &stack : ctx_cpi_)
+            stack.clear();
         cycle_baseline_ = cycles_;
     }
 
@@ -106,6 +122,15 @@ class CoreModel
     const std::vector<ContextStats> &contextStats() const
     {
         return ctx_stats_;
+    }
+
+    /** Where every cycle since clearStats() went (CPI stack). */
+    const obs::CpiStack &cpiStack() const { return cpi_; }
+
+    /** Per-context CPI stacks; they sum to cpiStack() componentwise. */
+    const std::vector<obs::CpiStack> &contextCpiStacks() const
+    {
+        return ctx_cpi_;
     }
     TlbHierarchy &tlbs() { return tlbs_; }
     const TlbHierarchy &tlbs() const { return tlbs_; }
@@ -129,8 +154,13 @@ class CoreModel
                        const std::string &prefix) const;
 
   private:
-    /** Resolve the translation of @p gva; returns blocking latency. */
-    Cycles translate(SimContext &ctx, Addr gva, Mapping &out);
+    /**
+     * Resolve the translation of @p gva; returns blocking latency.
+     * Stamps every returned cycle into @p bd (tlb_probe, pom_access,
+     * tsb_access, and the walker's walk_* components).
+     */
+    Cycles translate(SimContext &ctx, Addr gva, Mapping &out,
+                     obs::LatencyBreakdown &bd);
 
     /** Rotate to the next context when the interval expires. */
     void maybeContextSwitch();
@@ -150,6 +180,8 @@ class CoreModel
     Cycles next_switch_;
     CoreStats stats_;
     std::vector<ContextStats> ctx_stats_;
+    obs::CpiStack cpi_;                 //!< whole-core cycle ledger
+    std::vector<obs::CpiStack> ctx_cpi_; //!< per-slot cycle ledgers
 };
 
 } // namespace csalt

@@ -53,6 +53,9 @@ MemorySystem::MemorySystem(const SystemParams &params)
     l3_ctl_ = std::make_unique<PartitionController>(
         *l3_, params_.l3_partition, l3_crit_.get(), "ctrl.l3");
     l3_occ_ = std::make_unique<OccupancySampler>(*l3_);
+
+    data_hist_.resize(params_.num_cores);
+    trans_hist_.resize(params_.num_cores);
 }
 
 MemorySystem::~MemorySystem() = default;
@@ -81,27 +84,40 @@ MemorySystem::writeback(unsigned core, const Victim &victim,
 
 Cycles
 MemorySystem::dataAccess(unsigned core, Addr hpa, AccessType type,
-                         Cycles now)
+                         Cycles now, obs::LatencyBreakdown *bd)
 {
     const LineType lt = map_.classify(hpa);
 
     Cycles lat = l1d_[core]->latency();
+    if (bd)
+        bd->add(obs::CpiComponent::dataL1d,
+                static_cast<double>(lat));
     const auto r1 = l1d_[core]->access(hpa, type, lt);
-    if (r1.hit)
+    if (r1.hit) {
+        data_hist_[core].record(lat);
         return lat;
+    }
     if (r1.victim.valid && r1.victim.dirty)
         writeback(core, r1.victim, 1, now + lat);
 
     lat += l2_[core]->latency();
+    if (bd)
+        bd->add(obs::CpiComponent::dataL2,
+                static_cast<double>(l2_[core]->latency()));
     l2_ctl_[core]->onAccess(now);
     const auto r2 = l2_[core]->access(hpa, AccessType::read, lt);
     if (r2.victim.valid && r2.victim.dirty)
         writeback(core, r2.victim, 2, now + lat);
-    if (r2.hit)
+    if (r2.hit) {
+        data_hist_[core].record(lat);
         return lat;
+    }
     const Cycles beyond_l2_base = lat;
 
     lat += l3_->latency();
+    if (bd)
+        bd->add(obs::CpiComponent::dataL3,
+                static_cast<double>(l3_->latency()));
     l3_ctl_->onAccess(now);
     const auto r3 = l3_->access(hpa, AccessType::read, lt);
     if (r3.victim.valid && r3.victim.dirty)
@@ -109,9 +125,13 @@ MemorySystem::dataAccess(unsigned core, Addr hpa, AccessType type,
     if (!r3.hit) {
         const Cycles dlat = dramAccess(hpa, now + lat);
         lat += dlat;
+        if (bd)
+            bd->add(obs::CpiComponent::dataDram,
+                    static_cast<double>(dlat));
         l3_crit_->recordDramLatency(dlat);
     }
     l2_crit_->recordDramLatency(lat - beyond_l2_base);
+    data_hist_[core].record(lat);
     return lat;
 }
 
@@ -142,6 +162,7 @@ MemorySystem::translationAccess(unsigned core, Addr hpa, Cycles now)
         l3_crit_->recordPomLatency(dlat);
     }
     l2_crit_->recordPomLatency(lat - beyond_l2_base);
+    trans_hist_[core].record(lat);
     return lat;
 }
 
@@ -177,6 +198,7 @@ MemorySystem::pomLookup(unsigned core, Asid asid, Addr gva,
         ++pom_stats_.hits;
         predictor.update(gva, res.mapping.ps);
     }
+    pom_lat_hist_.record(res.latency);
     l2_crit_->recordPomOutcome(res.hit);
     l3_crit_->recordPomOutcome(res.hit);
     return res;
@@ -214,6 +236,7 @@ MemorySystem::tsbInsert(VmContext &ctx, Addr gva, const Mapping &mapping)
 void
 MemorySystem::recordWalk(Cycles latency)
 {
+    walk_hist_.record(latency);
     l2_crit_->recordWalkLatency(latency);
     l3_crit_->recordWalkLatency(latency);
 }
@@ -226,7 +249,11 @@ MemorySystem::clearAllStats()
         l2_[c]->clearStats();
         l2_occ_[c]->reset();
         l2_ctl_[c]->clearTrace();
+        data_hist_[c].clear();
+        trans_hist_[c].clear();
     }
+    pom_lat_hist_.clear();
+    walk_hist_.clear();
     l3_->clearStats();
     l3_occ_->reset();
     l3_ctl_->clearTrace();
@@ -253,6 +280,8 @@ MemorySystem::registerStats(obs::StatRegistry &reg) const
         l1d_[c]->registerStats(reg, core + ".l1d");
         l2_[c]->registerStats(reg, core + ".l2");
         l2_ctl_[c]->registerStats(reg);
+        reg.addHistogram(core + ".mem.data_lat", &data_hist_[c]);
+        reg.addHistogram(core + ".mem.trans_lat", &trans_hist_[c]);
     }
     l3_->registerStats(reg, "l3");
     l3_ctl_->registerStats(reg);
@@ -267,6 +296,8 @@ MemorySystem::registerStats(obs::StatRegistry &reg) const
                    &pom_stats_.second_probes);
     reg.addGauge("pom.lookup.hit_rate",
                  [this] { return pom_stats_.hitRate(); });
+    reg.addHistogram("pom.lookup.lat", &pom_lat_hist_);
+    reg.addHistogram("walk.lat", &walk_hist_);
 
     tsb_->registerStats(reg, "tsb");
 }

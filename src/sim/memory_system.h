@@ -29,6 +29,8 @@
 #include "mem/dram.h"
 #include "mem/memory_map.h"
 #include "mem/phys_alloc.h"
+#include "obs/cpi_stack.h"
+#include "obs/histogram.h"
 #include "tlb/pom_tlb.h"
 #include "tlb/tsb.h"
 #include "vm/page_walker.h"
@@ -64,9 +66,16 @@ class MemorySystem : public TranslationMemIf
 
     // ------------------------------------------------- demand paths
 
-    /** Core data reference (full hierarchy). @return latency. */
+    /**
+     * Core data reference (full hierarchy). @return latency.
+     * @param bd when non-null, receives the raw (un-overlapped) cycle
+     *        split of the returned latency: data_l1d for the L1D
+     *        probe, then data_l2 / data_l3 / data_dram for each level
+     *        the reference had to descend to. Stamped amounts sum to
+     *        the return value exactly.
+     */
     Cycles dataAccess(unsigned core, Addr hpa, AccessType type,
-                      Cycles now);
+                      Cycles now, obs::LatencyBreakdown *bd = nullptr);
 
     /** Cacheable translation reference (POM/TSB/PTE). @return latency. */
     Cycles translationAccess(unsigned core, Addr hpa,
@@ -167,6 +176,12 @@ class MemorySystem : public TranslationMemIf
 
     const PomLookupStats &pomLookupStats() const { return pom_stats_; }
 
+    /** System-wide walk-latency distribution (fed by recordWalk()). */
+    const obs::Histogram &walkLatHist() const { return walk_hist_; }
+
+    /** POM-TLB lookup latency distribution (both probes included). */
+    const obs::Histogram &pomLatHist() const { return pom_lat_hist_; }
+
     unsigned numCores() const
     {
         return static_cast<unsigned>(l1d_.size());
@@ -205,6 +220,12 @@ class MemorySystem : public TranslationMemIf
     std::unique_ptr<OccupancySampler> l3_occ_;
 
     PomLookupStats pom_stats_;
+
+    //!< Per-core demand-latency distributions ("coreN.mem.*_lat").
+    std::vector<obs::Histogram> data_hist_;
+    std::vector<obs::Histogram> trans_hist_;
+    obs::Histogram pom_lat_hist_; //!< "pom.lookup.lat"
+    obs::Histogram walk_hist_;    //!< "walk.lat" (recordWalk feed)
 };
 
 } // namespace csalt

@@ -41,6 +41,10 @@ collectMetrics(const System &system)
             ipcs.push_back(cm.ipc);
         m.cores.push_back(cm);
 
+        m.core_cpi.push_back(core.cpiStack());
+        m.cpi_total += core.cpiStack();
+        m.total_cycles += core.cyclesSinceClearExact();
+
         const auto &ctx_stats = core.contextStats();
         if (m.vms.size() < ctx_stats.size())
             m.vms.resize(ctx_stats.size());
@@ -48,6 +52,11 @@ collectMetrics(const System &system)
             m.vms[i].instructions += ctx_stats[i].instructions;
             m.vms[i].l2_tlb_misses += ctx_stats[i].l2_tlb_misses;
         }
+        const auto &ctx_cpi = core.contextCpiStacks();
+        if (m.vm_cpi.size() < ctx_cpi.size())
+            m.vm_cpi.resize(ctx_cpi.size());
+        for (std::size_t i = 0; i < ctx_cpi.size(); ++i)
+            m.vm_cpi[i] += ctx_cpi[i];
     }
     for (auto &vm : m.vms)
         vm.l2_tlb_mpki = mpki(vm.l2_tlb_misses, vm.instructions);
@@ -90,6 +99,15 @@ collectMetrics(const System &system)
         mem.l3Occupancy().meanTranslationFraction();
 
     m.pom_hit_rate = mem.pomLookupStats().hitRate();
+
+    // Digest every registered latency histogram that saw traffic
+    // (registry is populated by run(); empty before finalizeStats()).
+    for (const auto &he : system.statRegistry().histograms()) {
+        if (he.hist->empty())
+            continue;
+        m.histograms.push_back(
+            HistogramMetrics{he.name, he.hist->percentileSummary()});
+    }
     return m;
 }
 

@@ -8,9 +8,12 @@
 #define CSALT_SIM_METRICS_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
+#include "obs/cpi_stack.h"
+#include "obs/histogram.h"
 
 namespace csalt
 {
@@ -37,6 +40,13 @@ struct VmMetrics
     double l2_tlb_mpki = 0.0;
 };
 
+/** A named latency-histogram digest (registry name + summary). */
+struct HistogramMetrics
+{
+    std::string name;
+    obs::Histogram::Summary digest;
+};
+
 /** Whole-run summary. */
 struct RunMetrics
 {
@@ -44,6 +54,18 @@ struct RunMetrics
 
     /** Indexed by context slot (VM order of the BuildSpec). */
     std::vector<VmMetrics> vms;
+
+    /** CPI stacks: per core, per VM slot (summed across cores), and
+     *  the machine total. Components sum to the charged cycles. */
+    std::vector<obs::CpiStack> core_cpi;
+    std::vector<obs::CpiStack> vm_cpi;
+    obs::CpiStack cpi_total;
+
+    /** Sum of per-core cycles since the last stats clear (exact). */
+    double total_cycles = 0.0;
+
+    /** Digest of every registered, non-empty latency histogram. */
+    std::vector<HistogramMetrics> histograms;
 
     /** Geometric-mean IPC across cores (paper §4.2 metric). */
     double ipc_geomean = 0.0;

@@ -1,10 +1,78 @@
 #include "sim/metrics_io.h"
 
 #include <iomanip>
+#include <ostream>
 #include <sstream>
+
+#include "obs/json.h"
 
 namespace csalt
 {
+
+namespace
+{
+
+/** One CPI stack as {"compute": 1.2, ...} (all components, in order). */
+void
+writeStackObject(std::ostream &os, const obs::CpiStack &stack)
+{
+    os << "{";
+    for (std::size_t i = 0; i < obs::kNumCpiComponents; ++i) {
+        const auto comp = static_cast<obs::CpiComponent>(i);
+        os << (i ? ", " : "") << "\""
+           << obs::cpiComponentName(comp) << "\": ";
+        obs::writeJsonNumber(os, stack.of(comp));
+    }
+    os << "}";
+}
+
+/** "cpi_stack": {"total": {...}, "cores": [...], "vms": [...]} */
+void
+writeCpiStackJson(std::ostream &os, const std::string &indent,
+                  const RunMetrics &m)
+{
+    os << indent << "\"cpi_stack\": {\n";
+    os << indent << "  \"total\": ";
+    writeStackObject(os, m.cpi_total);
+    os << ",\n" << indent << "  \"cores\": [";
+    for (std::size_t i = 0; i < m.core_cpi.size(); ++i) {
+        os << (i ? ", " : "");
+        writeStackObject(os, m.core_cpi[i]);
+    }
+    os << "],\n" << indent << "  \"vms\": [";
+    for (std::size_t i = 0; i < m.vm_cpi.size(); ++i) {
+        os << (i ? ", " : "");
+        writeStackObject(os, m.vm_cpi[i]);
+    }
+    os << "]\n" << indent << "}";
+}
+
+/** "histograms": {"walk.lat": {"count": ..., "p50": ...}, ...} */
+void
+writeHistogramsJson(std::ostream &os, const std::string &indent,
+                    const RunMetrics &m)
+{
+    os << indent << "\"histograms\": {";
+    for (std::size_t i = 0; i < m.histograms.size(); ++i) {
+        const auto &h = m.histograms[i];
+        const auto &d = h.digest;
+        os << (i ? ",\n" : "\n") << indent << "  \""
+           << obs::escapeJson(h.name) << "\": {\"count\": " << d.count
+           << ", \"sum\": ";
+        obs::writeJsonNumber(os, d.sum);
+        os << ", \"mean\": ";
+        obs::writeJsonNumber(os, d.mean);
+        os << ", \"min\": " << d.min << ", \"max\": " << d.max
+           << ", \"p50\": " << d.p50 << ", \"p90\": " << d.p90
+           << ", \"p99\": " << d.p99 << ", \"p999\": " << d.p999
+           << "}";
+    }
+    if (!m.histograms.empty())
+        os << "\n" << indent;
+    os << "}";
+}
+
+} // namespace
 
 std::string
 metricsCsvHeader()
@@ -55,6 +123,9 @@ metricsJson(const std::string &label, const RunMetrics &m)
     os << "  \"l3_translation_occupancy\": "
        << m.l3_translation_occupancy << ",\n";
     os << "  \"pom_hit_rate\": " << m.pom_hit_rate << ",\n";
+    os << "  \"total_cycles\": ";
+    obs::writeJsonNumber(os, m.total_cycles);
+    os << ",\n";
 
     os << "  \"cores\": [";
     for (std::size_t i = 0; i < m.cores.size(); ++i) {
@@ -72,7 +143,12 @@ metricsJson(const std::string &label, const RunMetrics &m)
            << "{\"instructions\": " << vm.instructions
            << ", \"l2_tlb_mpki\": " << vm.l2_tlb_mpki << "}";
     }
-    os << "]\n}";
+    os << "],\n";
+
+    writeCpiStackJson(os, "  ", m);
+    os << ",\n";
+    writeHistogramsJson(os, "  ", m);
+    os << "\n}";
     return os.str();
 }
 

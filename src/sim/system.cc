@@ -61,6 +61,9 @@ System::finalizeStats()
         cores_[c]->registerStats(registry_,
                                  "core" + std::to_string(c));
     }
+    // Seal the layout: anything registered from here on would be
+    // invisible to already-attached samplers/consumers.
+    registry_.freeze();
 }
 
 bool

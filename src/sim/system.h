@@ -90,6 +90,7 @@ class System
     void finalizeStats();
 
     obs::StatRegistry &statRegistry() { return registry_; }
+    const obs::StatRegistry &statRegistry() const { return registry_; }
     obs::Sampler &sampler() { return sampler_; }
     obs::EventTracer &tracer() { return tracer_; }
 

@@ -7,6 +7,19 @@
 namespace csalt
 {
 
+namespace
+{
+
+/** Stamp @p cycles onto @p comp when a breakdown is attached. */
+inline void
+stamp(obs::LatencyBreakdown *bd, obs::CpiComponent comp, Cycles cycles)
+{
+    if (bd)
+        bd->add(comp, static_cast<double>(cycles));
+}
+
+} // namespace
+
 PageWalker::PageWalker(unsigned core_id, MmuCaches &mmu,
                        TranslationMemIf &mem)
     : core_id_(core_id), mmu_(mmu), mem_(mem)
@@ -14,17 +27,19 @@ PageWalker::PageWalker(unsigned core_id, MmuCaches &mmu,
 }
 
 PageWalker::Outcome
-PageWalker::walk(VmContext &ctx, Addr gva, Cycles now)
+PageWalker::walk(VmContext &ctx, Addr gva, Cycles now,
+                 obs::LatencyBreakdown *bd)
 {
     tracing_refs_ = CSALT_TRACE_ACTIVE(obs::kCatWalk);
     if (tracing_refs_)
         ref_cycles_.clear();
 
-    Outcome out = ctx.virtualized() ? nestedWalk(ctx, gva, now)
-                                    : nativeWalk(ctx, gva, now);
+    Outcome out = ctx.virtualized() ? nestedWalk(ctx, gva, now, bd)
+                                    : nativeWalk(ctx, gva, now, bd);
     ++stats_.walks;
     stats_.refs += out.refs;
     stats_.cycles += out.latency;
+    walk_hist_.record(out.latency);
 
     if (tracing_refs_) {
         CSALT_TRACE_COMPLETE(
@@ -42,13 +57,15 @@ PageWalker::walk(VmContext &ctx, Addr gva, Cycles now)
 }
 
 PageWalker::Outcome
-PageWalker::nativeWalk(VmContext &ctx, Addr gva, Cycles now)
+PageWalker::nativeWalk(VmContext &ctx, Addr gva, Cycles now,
+                       obs::LatencyBreakdown *bd)
 {
     Outcome out;
     ctx.guestPt().walkPath(gva, path_);
 
     // Consult the paging-structure caches once per walk.
     out.latency += mmu_.latency();
+    stamp(bd, obs::CpiComponent::walkMmu, mmu_.latency());
     const auto skip = mmu_.skipFor(ctx.asid(), gva, /*host=*/false);
     const int start_level =
         skip ? skip->next_level : ctx.guestPt().topLevel();
@@ -59,6 +76,8 @@ PageWalker::nativeWalk(VmContext &ctx, Addr gva, Cycles now)
         const Cycles ref_lat = mem_.translationAccess(
             core_id_, ref.pte_addr, now + out.latency);
         out.latency += ref_lat;
+        stamp(bd, obs::walkComponent(/*host=*/false, ref.level),
+              ref_lat);
         noteRef(ref_lat);
         ++out.refs;
         if (!ref.leaf)
@@ -72,9 +91,11 @@ PageWalker::nativeWalk(VmContext &ctx, Addr gva, Cycles now)
 
 Addr
 PageWalker::nestedTranslate(VmContext &ctx, Addr gpa, Cycles now,
-                            Cycles &lat, unsigned &refs)
+                            Cycles &lat, unsigned &refs,
+                            obs::LatencyBreakdown *bd)
 {
     lat += mmu_.latency();
+    stamp(bd, obs::CpiComponent::walkMmu, mmu_.latency());
     if (auto hpa_page = mmu_.nestedLookup(ctx.asid(), gpa)) {
         ++stats_.nested_hits;
         return *hpa_page + (gpa & (kPageSize - 1));
@@ -93,6 +114,8 @@ PageWalker::nestedTranslate(VmContext &ctx, Addr gpa, Cycles now,
         const Cycles ref_lat =
             mem_.translationAccess(core_id_, ref.pte_addr, now + lat);
         lat += ref_lat;
+        stamp(bd, obs::walkComponent(/*host=*/true, ref.level),
+              ref_lat);
         noteRef(ref_lat);
         ++refs;
         if (!ref.leaf) {
@@ -122,15 +145,19 @@ PageWalker::registerStats(obs::StatRegistry &reg,
     reg.addCounter(prefix + ".walk.nested_hits", &stats_.nested_hits);
     reg.addCounter(prefix + ".walk.nested_walks",
                    &stats_.nested_walks);
+    reg.addHistogram(prefix + ".walk.lat", &walk_hist_);
+    reg.addHistogram(prefix + ".walk.ref_lat", &ref_hist_);
 }
 
 PageWalker::Outcome
-PageWalker::nestedWalk(VmContext &ctx, Addr gva, Cycles now)
+PageWalker::nestedWalk(VmContext &ctx, Addr gva, Cycles now,
+                       obs::LatencyBreakdown *bd)
 {
     Outcome out;
     ctx.guestPt().walkPath(gva, path_);
 
     out.latency += mmu_.latency();
+    stamp(bd, obs::CpiComponent::walkMmu, mmu_.latency());
     const auto skip = mmu_.skipFor(ctx.asid(), gva, /*host=*/false);
     const int start_level =
         skip ? skip->next_level : ctx.guestPt().topLevel();
@@ -148,10 +175,13 @@ PageWalker::nestedWalk(VmContext &ctx, Addr gva, Cycles now)
         // The guest PTE lives in guest-physical memory: translate its
         // address through the host dimension, then read it.
         const Addr hpa_pte = nestedTranslate(ctx, ref.pte_addr, now,
-                                             out.latency, out.refs);
+                                             out.latency, out.refs,
+                                             bd);
         const Cycles ref_lat = mem_.translationAccess(
             core_id_, hpa_pte, now + out.latency);
         out.latency += ref_lat;
+        stamp(bd, obs::walkComponent(/*host=*/false, ref.level),
+              ref_lat);
         noteRef(ref_lat);
         ++out.refs;
 
@@ -166,7 +196,7 @@ PageWalker::nestedWalk(VmContext &ctx, Addr gva, Cycles now)
     // Final host walk: translate the data page's guest-physical
     // address (paper Fig. 2b, the bottom-row walk).
     const Addr page_gpa = leaf_gpa + (gva & (pageBytes(leaf_ps) - 1));
-    nestedTranslate(ctx, page_gpa, now, out.latency, out.refs);
+    nestedTranslate(ctx, page_gpa, now, out.latency, out.refs, bd);
 
     out.mapping = ctx.mappingOf(gva);
     return out;

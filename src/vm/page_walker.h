@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/cpi_stack.h"
+#include "obs/histogram.h"
 #include "vm/address_space.h"
 #include "vm/mmu_cache.h"
 
@@ -89,40 +91,68 @@ class PageWalker
     /**
      * Walk @p gva in @p ctx (1-D or 2-D per ctx.virtualized()).
      * The page must already be demand-mapped.
+     * @param bd when non-null, receives the walk's cycle attribution:
+     *        walk_mmu for PSC consults, walk_guest_lN / walk_host_lN
+     *        per PTE read (level N, guest vs host dimension). The
+     *        stamped cycles sum to the returned latency exactly.
      */
-    Outcome walk(VmContext &ctx, Addr gva, Cycles now);
+    Outcome walk(VmContext &ctx, Addr gva, Cycles now,
+                 obs::LatencyBreakdown *bd = nullptr);
 
     const WalkStats &stats() const { return stats_; }
-    void clearStats() { stats_ = WalkStats{}; }
 
-    /** Register walker counters under "<prefix>.walk.*". */
+    void
+    clearStats()
+    {
+        stats_ = WalkStats{};
+        walk_hist_.clear();
+        ref_hist_.clear();
+    }
+
+    /** Distribution of whole-walk latencies (count == stats().walks). */
+    const obs::Histogram &walkHist() const { return walk_hist_; }
+
+    /** Distribution of per-PTE-read latencies (count == refs). */
+    const obs::Histogram &refHist() const { return ref_hist_; }
+
+    /**
+     * Register walker counters under "<prefix>.walk.*" plus the
+     * latency histograms "<prefix>.walk.lat" / ".walk.ref_lat".
+     */
     void registerStats(obs::StatRegistry &reg,
                        const std::string &prefix) const;
 
   private:
-    Outcome nativeWalk(VmContext &ctx, Addr gva, Cycles now);
-    Outcome nestedWalk(VmContext &ctx, Addr gva, Cycles now);
+    Outcome nativeWalk(VmContext &ctx, Addr gva, Cycles now,
+                       obs::LatencyBreakdown *bd);
+    Outcome nestedWalk(VmContext &ctx, Addr gva, Cycles now,
+                       obs::LatencyBreakdown *bd);
 
-    /** Record one PTE-read latency when a walk span is being traced. */
+    /** Record one PTE-read latency (histogram + optional span). */
     void
     noteRef(Cycles latency)
     {
+        ref_hist_.record(latency);
         if (tracing_refs_)
             ref_cycles_.push_back(static_cast<double>(latency));
     }
 
     /**
      * Translate one guest-physical address via the nested cache or a
-     * host-dimension walk; accumulates into @p lat and @p refs.
+     * host-dimension walk; accumulates into @p lat and @p refs and
+     * stamps host-dimension cycles into @p bd when non-null.
      * @return host-physical byte address of @p gpa
      */
     Addr nestedTranslate(VmContext &ctx, Addr gpa, Cycles now,
-                         Cycles &lat, unsigned &refs);
+                         Cycles &lat, unsigned &refs,
+                         obs::LatencyBreakdown *bd);
 
     unsigned core_id_;
     MmuCaches &mmu_;
     TranslationMemIf &mem_;
     WalkStats stats_;
+    obs::Histogram walk_hist_; //!< whole-walk latency distribution
+    obs::Histogram ref_hist_;  //!< per-PTE-read latency distribution
     std::vector<PteRef> path_;      //!< scratch, reused across walks
     std::vector<PteRef> host_path_; //!< scratch for the host dimension
     bool tracing_refs_ = false;     //!< current walk feeds a span event

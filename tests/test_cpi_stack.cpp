@@ -1,0 +1,325 @@
+/**
+ * @file
+ * CPI-stack accounting: LatencyBreakdown unit behaviour (addScaled
+ * exactness, component naming, walk-component mapping) and the
+ * end-to-end invariants on a deterministic two-context workload —
+ * per-core stacks sum to the core's elapsed cycles, per-context
+ * stacks sum to the per-core stack, and the walk histograms agree
+ * with the page walker's reference counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/cpi_stack.h"
+#include "sim/metrics.h"
+#include "sim/system_builder.h"
+
+using namespace csalt;
+using obs::CpiComponent;
+using obs::LatencyBreakdown;
+
+namespace
+{
+
+BuildSpec
+twoContextSpec(void (*apply)(SystemParams &))
+{
+    BuildSpec spec;
+    apply(spec.params);
+    spec.params.num_cores = 2;
+    spec.params.cs_interval = 20'000;
+    spec.params.seed = 7;
+    spec.vm_workloads = {"gups", "pagerank"};
+    spec.workload_scale = 0.01;
+    return spec;
+}
+
+constexpr std::uint64_t kWarmup = 20'000;
+constexpr std::uint64_t kQuota = 60'000;
+
+} // namespace
+
+// ------------------------------------------------------------- units
+
+TEST(CpiStack, ComponentNamesAreUniqueAndStable)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < obs::kNumCpiComponents; ++i) {
+        const char *name =
+            obs::cpiComponentName(static_cast<CpiComponent>(i));
+        ASSERT_NE(name, nullptr);
+        EXPECT_TRUE(names.insert(name).second)
+            << "duplicate name " << name;
+    }
+    EXPECT_STREQ(obs::cpiComponentName(CpiComponent::compute),
+                 "compute");
+    EXPECT_STREQ(obs::cpiComponentName(CpiComponent::csSwitch),
+                 "cs_switch");
+    EXPECT_STREQ(obs::cpiComponentName(CpiComponent::walkGuestL4),
+                 "walk_guest_l4");
+    EXPECT_STREQ(obs::cpiComponentName(CpiComponent::walkHostL1),
+                 "walk_host_l1");
+}
+
+TEST(CpiStack, WalkComponentMapsLevelAndDimension)
+{
+    EXPECT_EQ(obs::walkComponent(false, 1), CpiComponent::walkGuestL1);
+    EXPECT_EQ(obs::walkComponent(false, 4), CpiComponent::walkGuestL4);
+    EXPECT_EQ(obs::walkComponent(false, 5), CpiComponent::walkGuestL5);
+    EXPECT_EQ(obs::walkComponent(true, 1), CpiComponent::walkHostL1);
+    EXPECT_EQ(obs::walkComponent(true, 5), CpiComponent::walkHostL5);
+    // Out-of-range levels clamp instead of indexing out of bounds.
+    EXPECT_EQ(obs::walkComponent(false, 0), CpiComponent::walkGuestL1);
+    EXPECT_EQ(obs::walkComponent(true, 9), CpiComponent::walkHostL5);
+}
+
+TEST(CpiStack, AddAccumulatesAndTotals)
+{
+    LatencyBreakdown bd;
+    EXPECT_DOUBLE_EQ(bd.total(), 0.0);
+    bd.add(CpiComponent::compute, 10.0);
+    bd.add(CpiComponent::dataDram, 200.0);
+    bd.add(CpiComponent::walkMmu, 2.0);
+    bd.add(CpiComponent::walkGuestL2, 30.0);
+    bd.add(CpiComponent::walkHostL1, 40.0);
+    EXPECT_DOUBLE_EQ(bd.of(CpiComponent::compute), 10.0);
+    EXPECT_DOUBLE_EQ(bd.total(), 282.0);
+    EXPECT_DOUBLE_EQ(bd.walkTotal(), 72.0);
+
+    LatencyBreakdown other;
+    other.add(CpiComponent::compute, 1.0);
+    other.add(CpiComponent::tlbProbe, 5.0);
+    bd += other;
+    EXPECT_DOUBLE_EQ(bd.of(CpiComponent::compute), 11.0);
+    EXPECT_DOUBLE_EQ(bd.of(CpiComponent::tlbProbe), 5.0);
+    EXPECT_DOUBLE_EQ(bd.total(), 288.0);
+
+    bd.clear();
+    EXPECT_DOUBLE_EQ(bd.total(), 0.0);
+}
+
+TEST(CpiStack, AddScaledSumsExactlyToTarget)
+{
+    // The remainder trick must make the added amounts sum to the
+    // target bit-exactly, even for awkward ratios.
+    for (double target : {1.0, 3.7, 101.25, 55.0 / 7.0}) {
+        LatencyBreakdown src;
+        src.add(CpiComponent::dataL1d, 4.0);
+        src.add(CpiComponent::dataL2, 12.0);
+        src.add(CpiComponent::dataL3, 33.0);
+        src.add(CpiComponent::dataDram, 271.0);
+
+        LatencyBreakdown dst;
+        dst.addScaled(src, target);
+        EXPECT_DOUBLE_EQ(dst.total(), target) << "target " << target;
+        // Shares keep the source's proportions (up to the remainder
+        // absorbed by the last nonzero component).
+        EXPECT_NEAR(dst.of(CpiComponent::dataL1d),
+                    target * 4.0 / 320.0, 1e-12);
+        EXPECT_NEAR(dst.of(CpiComponent::dataDram),
+                    target * 271.0 / 320.0, 1e-9);
+    }
+}
+
+TEST(CpiStack, AddScaledIgnoresDegenerateInputs)
+{
+    LatencyBreakdown empty_src, dst;
+    dst.add(CpiComponent::compute, 5.0);
+    dst.addScaled(empty_src, 100.0); // empty source: no-op
+    EXPECT_DOUBLE_EQ(dst.total(), 5.0);
+
+    LatencyBreakdown src;
+    src.add(CpiComponent::dataL1d, 4.0);
+    dst.addScaled(src, 0.0); // zero target: no-op
+    EXPECT_DOUBLE_EQ(dst.total(), 5.0);
+}
+
+TEST(CpiStack, AddScaledAccumulatesOnTopOfExisting)
+{
+    LatencyBreakdown src;
+    src.add(CpiComponent::dataL1d, 1.0);
+    src.add(CpiComponent::dataDram, 3.0);
+
+    LatencyBreakdown dst;
+    dst.add(CpiComponent::dataL1d, 10.0);
+    dst.addScaled(src, 8.0);
+    EXPECT_DOUBLE_EQ(dst.total(), 18.0);
+    EXPECT_DOUBLE_EQ(dst.of(CpiComponent::dataL1d), 12.0);
+    EXPECT_DOUBLE_EQ(dst.of(CpiComponent::dataDram), 6.0);
+}
+
+// ------------------------------------------------- system invariants
+
+namespace
+{
+
+/** Run warmup + measured slice and return the system. */
+std::unique_ptr<System>
+runTwoContext(void (*apply)(SystemParams &))
+{
+    auto system = buildSystem(twoContextSpec(apply));
+    system->run(kWarmup);
+    system->clearAllStats();
+    system->run(kQuota);
+    return system;
+}
+
+} // namespace
+
+TEST(CpiStackIntegration, ComponentsSumToCoreCycles)
+{
+    // The headline invariant: every cycle the core charged since the
+    // stats clear is in exactly one component. Integer translation
+    // latencies sum exactly; the MLP-scaled data path is folded in
+    // with the remainder trick, so only accumulation-order rounding
+    // (~ulp of the total) separates stack from clock.
+    for (auto apply : {applyConventional, applyPomTlb, applyCsaltD,
+                       applyTsb}) {
+        auto system = runTwoContext(apply);
+        for (unsigned c = 0; c < system->numCores(); ++c) {
+            const CoreModel &core = system->core(c);
+            EXPECT_NEAR(core.cpiStack().total(),
+                        core.cyclesSinceClearExact(), 0.5);
+            EXPECT_GT(core.cpiStack().of(CpiComponent::compute), 0.0);
+        }
+    }
+}
+
+TEST(CpiStackIntegration, ContextStacksSumToCoreStack)
+{
+    auto system = runTwoContext(applyCsaltD);
+    for (unsigned c = 0; c < system->numCores(); ++c) {
+        const CoreModel &core = system->core(c);
+        ASSERT_EQ(core.contextCpiStacks().size(), 2u);
+        LatencyBreakdown sum;
+        for (const auto &ctx : core.contextCpiStacks())
+            sum += ctx;
+        for (std::size_t i = 0; i < obs::kNumCpiComponents; ++i) {
+            const auto comp = static_cast<CpiComponent>(i);
+            EXPECT_NEAR(sum.of(comp), core.cpiStack().of(comp),
+                        1e-6 * (1.0 + core.cpiStack().of(comp)))
+                << obs::cpiComponentName(comp);
+        }
+        // Both rotation slots actually ran (context switches fired).
+        EXPECT_GT(core.contextCpiStacks()[0].total(), 0.0);
+        EXPECT_GT(core.contextCpiStacks()[1].total(), 0.0);
+        EXPECT_GT(core.cpiStack().of(CpiComponent::csSwitch), 0.0);
+    }
+}
+
+TEST(CpiStackIntegration, WalkHistogramsMatchWalkerCounters)
+{
+    auto system = runTwoContext(applyConventional);
+    std::uint64_t total_walks = 0;
+    for (unsigned c = 0; c < system->numCores(); ++c) {
+        const PageWalker &w = system->core(c).walker();
+        EXPECT_EQ(w.walkHist().count(), w.stats().walks);
+        EXPECT_EQ(w.refHist().count(), w.stats().refs);
+        EXPECT_EQ(static_cast<std::uint64_t>(w.walkHist().sum()),
+                  w.stats().cycles);
+        EXPECT_GT(w.stats().walks, 0u);
+        total_walks += w.stats().walks;
+    }
+    // The system-wide walk.lat histogram is fed once per recordWalk.
+    EXPECT_EQ(system->mem().walkLatHist().count(), total_walks);
+}
+
+TEST(CpiStackIntegration, WalkCyclesMatchStackWalkTotal)
+{
+    // On the translation-blocking path, the walker's stamped walk
+    // components must equal the walk cycles the core counted.
+    auto system = runTwoContext(applyConventional);
+    for (unsigned c = 0; c < system->numCores(); ++c) {
+        const CoreModel &core = system->core(c);
+        EXPECT_NEAR(core.cpiStack().walkTotal(),
+                    static_cast<double>(core.stats().walk_cycles),
+                    0.5);
+    }
+}
+
+TEST(CpiStackIntegration, RegistryExposesCpiGaugesAndHistograms)
+{
+    auto system = buildSystem(twoContextSpec(applyCsaltD));
+    system->finalizeStats();
+    const auto &reg = system->statRegistry();
+    for (const char *name :
+         {"core0.cpi.compute", "core0.cpi.cs_switch",
+          "core0.cpi.data_dram", "core0.cpi.walk_guest_l1",
+          "core1.cpi.pom_access", "core0.walk.lat",
+          "core0.walk.ref_lat", "core0.mem.data_lat", "walk.lat",
+          "pom.lookup.lat", "dram.ddr.lat", "dram.stacked.lat"}) {
+        EXPECT_TRUE(reg.has(name)) << name;
+    }
+
+    system->run(kQuota);
+    double gauge_total = 0.0;
+    for (std::size_t i = 0; i < obs::kNumCpiComponents; ++i) {
+        const auto comp = static_cast<CpiComponent>(i);
+        gauge_total += reg.valueOf(
+            std::string("core0.cpi.") + obs::cpiComponentName(comp));
+    }
+    EXPECT_NEAR(gauge_total, system->core(0).cpiStack().total(), 1e-9);
+    EXPECT_GT(reg.histogramOf("walk.lat").count(), 0u);
+}
+
+TEST(CpiStackIntegration, SamplerEmitsHistogramDigests)
+{
+    auto system = buildSystem(twoContextSpec(applyPomTlb));
+    std::ostringstream sink;
+    system->setStatSampleInterval(4096);
+    system->setTraceSink(&sink);
+    system->run(30'000);
+    system->closeTrace();
+
+    const std::string out = sink.str();
+    EXPECT_NE(out.find("\"hists\":{"), std::string::npos);
+    EXPECT_NE(out.find("\"walk.lat\":{\"count\":"), std::string::npos);
+    EXPECT_NE(out.find("\"p999\":"), std::string::npos);
+    EXPECT_NE(out.find("core0.cpi.compute"), std::string::npos);
+}
+
+TEST(CpiStackIntegration, MetricsAggregateStacksAndHistograms)
+{
+    auto system = runTwoContext(applyCsaltD);
+    const RunMetrics m = collectMetrics(*system);
+
+    ASSERT_EQ(m.core_cpi.size(), 2u);
+    ASSERT_EQ(m.vm_cpi.size(), 2u);
+    EXPECT_NEAR(m.cpi_total.total(), m.total_cycles, 1.0);
+
+    LatencyBreakdown vm_sum;
+    for (const auto &vm : m.vm_cpi)
+        vm_sum += vm;
+    EXPECT_NEAR(vm_sum.total(), m.cpi_total.total(), 1e-6);
+
+    bool has_walk_lat = false;
+    for (const auto &h : m.histograms) {
+        EXPECT_GT(h.digest.count, 0u) << h.name;
+        has_walk_lat = has_walk_lat || h.name == "walk.lat";
+    }
+    EXPECT_TRUE(has_walk_lat);
+}
+
+TEST(CpiStackIntegration, CsaltDShrinksWalkShareVsConventional)
+{
+    // The paper's core claim, visible straight from the CPI stack:
+    // CSALT-D spends fewer cycles walking than conventional
+    // translation on the same workload mix.
+    auto conventional = runTwoContext(applyConventional);
+    auto csalt = runTwoContext(applyCsaltD);
+    double conv_walk = 0.0, conv_total = 0.0;
+    double csalt_walk = 0.0, csalt_total = 0.0;
+    for (unsigned c = 0; c < 2; ++c) {
+        conv_walk += conventional->core(c).cpiStack().walkTotal();
+        conv_total += conventional->core(c).cpiStack().total();
+        csalt_walk += csalt->core(c).cpiStack().walkTotal();
+        csalt_total += csalt->core(c).cpiStack().total();
+    }
+    EXPECT_GT(conv_walk, 0.0);
+    EXPECT_LT(csalt_walk / csalt_total, conv_walk / conv_total);
+}

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * obs::Histogram: bucket layout, percentile digests, and property
+ * tests (merge associativity, percentile monotonicity, count
+ * conservation) over randomized integer latencies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/histogram.h"
+
+using csalt::Rng;
+using csalt::obs::Histogram;
+
+namespace
+{
+
+/** Percentile of the raw sample via nearest-rank (ground truth). */
+std::uint64_t
+exactPercentile(std::vector<std::uint64_t> sorted, double p)
+{
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(p / 100.0 *
+                         static_cast<double>(sorted.size()))));
+    return sorted[rank - 1];
+}
+
+} // namespace
+
+TEST(Histogram, EmptyIsAllZero)
+{
+    Histogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.percentile(50.0), 0u);
+    const auto s = h.percentileSummary();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.p999, 0u);
+}
+
+TEST(Histogram, UnitBucketsAreExactBelowFirstOctave)
+{
+    // Values below 2^kSubBucketBits land in width-1 buckets, so the
+    // histogram is lossless there.
+    Histogram h;
+    for (std::uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+        EXPECT_EQ(Histogram::bucketIndex(v),
+                  static_cast<std::size_t>(v));
+        EXPECT_EQ(Histogram::bucketLowerBound(v), v);
+        EXPECT_EQ(Histogram::bucketWidth(v), 1u);
+        h.record(v);
+    }
+    EXPECT_EQ(h.count(), Histogram::kSubBuckets);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), Histogram::kSubBuckets - 1);
+}
+
+TEST(Histogram, BucketBoundsRoundTrip)
+{
+    // Every bucket's lower bound maps back to that bucket, as does
+    // its last value (lower bound + width - 1).
+    for (std::size_t i = 0; i < 400; ++i) {
+        const std::uint64_t lo = Histogram::bucketLowerBound(i);
+        const std::uint64_t w = Histogram::bucketWidth(i);
+        EXPECT_EQ(Histogram::bucketIndex(lo), i) << "bucket " << i;
+        EXPECT_EQ(Histogram::bucketIndex(lo + w - 1), i)
+            << "bucket " << i;
+        if (i > 0) {
+            EXPECT_GT(lo, Histogram::bucketLowerBound(i - 1));
+        }
+    }
+}
+
+TEST(Histogram, BucketIndexIsMonotone)
+{
+    Rng rng(7);
+    std::uint64_t prev_value = 0;
+    std::size_t prev_bucket = Histogram::bucketIndex(0);
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = prev_value + 1 + rng.below(1u << 20);
+        const std::size_t b = Histogram::bucketIndex(v);
+        EXPECT_GE(b, prev_bucket) << "value " << v;
+        prev_value = v;
+        prev_bucket = b;
+    }
+}
+
+TEST(Histogram, RelativeErrorBoundedBySubBucketWidth)
+{
+    // The bucket containing v is at most one sub-bucket wide:
+    // width <= max(1, v / kSubBuckets) once v is past the first
+    // octave, i.e. relative quantization error <= 1/kSubBuckets.
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = rng.below(1ull << 40) + 1;
+        const std::size_t b = Histogram::bucketIndex(v);
+        const std::uint64_t w = Histogram::bucketWidth(b);
+        EXPECT_LE(w, std::max<std::uint64_t>(
+                         1, v / Histogram::kSubBuckets))
+            << "value " << v;
+    }
+}
+
+TEST(Histogram, PercentileSummaryOnKnownData)
+{
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.record(v);
+
+    const auto s = h.percentileSummary();
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_DOUBLE_EQ(s.sum, 5050.0);
+    EXPECT_DOUBLE_EQ(s.mean, 50.5);
+    EXPECT_EQ(s.min, 1u);
+    EXPECT_EQ(s.max, 100u);
+    // Buckets above the first octave quantize: allow one sub-bucket
+    // of slack against the exact nearest-rank percentile.
+    EXPECT_GE(s.p50, 50u);
+    EXPECT_LE(s.p50, 50u + 50u / Histogram::kSubBuckets);
+    EXPECT_GE(s.p90, 90u);
+    EXPECT_LE(s.p90, 90u + 90u / Histogram::kSubBuckets);
+    EXPECT_GE(s.p99, 99u);
+    EXPECT_LE(s.p99, 100u);
+    EXPECT_EQ(s.p999, 100u);
+}
+
+TEST(Histogram, WeightedRecordMatchesRepeatedRecord)
+{
+    Histogram weighted, repeated;
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t v = rng.below(100000);
+        const std::uint64_t w = 1 + rng.below(7);
+        weighted.record(v, w);
+        for (std::uint64_t k = 0; k < w; ++k)
+            repeated.record(v);
+    }
+    EXPECT_EQ(weighted.count(), repeated.count());
+    EXPECT_DOUBLE_EQ(weighted.sum(), repeated.sum());
+    EXPECT_EQ(weighted.max(), repeated.max());
+    for (double p : {10.0, 50.0, 90.0, 99.0, 99.9})
+        EXPECT_EQ(weighted.percentile(p), repeated.percentile(p));
+}
+
+TEST(HistogramProperty, PercentileIsMonotoneInP)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 20; ++trial) {
+        Histogram h;
+        const int n = 1 + static_cast<int>(rng.below(2000));
+        for (int i = 0; i < n; ++i)
+            h.record(rng.below(1ull << (1 + rng.below(32))));
+        std::uint64_t prev = 0;
+        for (double p = 1.0; p <= 100.0; p += 0.5) {
+            const std::uint64_t v = h.percentile(p);
+            EXPECT_GE(v, prev) << "trial " << trial << " p " << p;
+            prev = v;
+        }
+        EXPECT_EQ(h.percentile(100.0), h.max());
+    }
+}
+
+TEST(HistogramProperty, PercentileBracketsExactValue)
+{
+    // The digest percentile must be >= the exact nearest-rank sample
+    // percentile and within one bucket width above it.
+    Rng rng(1234);
+    for (int trial = 0; trial < 10; ++trial) {
+        Histogram h;
+        std::vector<std::uint64_t> raw;
+        const int n = 100 + static_cast<int>(rng.below(3000));
+        for (int i = 0; i < n; ++i) {
+            const std::uint64_t v = rng.below(1ull << 20);
+            h.record(v);
+            raw.push_back(v);
+        }
+        std::sort(raw.begin(), raw.end());
+        for (double p : {50.0, 90.0, 99.0}) {
+            const std::uint64_t exact = exactPercentile(raw, p);
+            const std::uint64_t est = h.percentile(p);
+            EXPECT_GE(est, exact) << "trial " << trial << " p " << p;
+            const std::size_t b = Histogram::bucketIndex(exact);
+            EXPECT_LE(est, Histogram::bucketLowerBound(b) +
+                               Histogram::bucketWidth(b) - 1)
+                << "trial " << trial << " p " << p;
+        }
+    }
+}
+
+TEST(HistogramProperty, MergeIsAssociativeAndConservesCounts)
+{
+    // Merge = bucket-wise addition, so (a+b)+c == a+(b+c) exactly —
+    // integer values keep even the double sum exact.
+    Rng rng(99);
+    for (int trial = 0; trial < 10; ++trial) {
+        Histogram a, b, c, all;
+        for (Histogram *h : {&a, &b, &c}) {
+            const int n = static_cast<int>(rng.below(1000));
+            for (int i = 0; i < n; ++i) {
+                const std::uint64_t v = rng.below(1ull << 24);
+                h->record(v);
+                all.record(v);
+            }
+        }
+
+        Histogram left_first = a; // (a + b) + c
+        left_first.merge(b);
+        left_first.merge(c);
+
+        Histogram right_first = b; // a + (b + c)
+        right_first.merge(c);
+        Histogram right = a;
+        right.merge(right_first);
+
+        EXPECT_EQ(left_first.count(), right.count());
+        EXPECT_EQ(left_first.count(), all.count());
+        EXPECT_DOUBLE_EQ(left_first.sum(), right.sum());
+        EXPECT_DOUBLE_EQ(left_first.sum(), all.sum());
+        EXPECT_EQ(left_first.min(), all.min());
+        EXPECT_EQ(left_first.max(), all.max());
+        for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+            ASSERT_EQ(left_first.bucketCount(i), right.bucketCount(i));
+            ASSERT_EQ(left_first.bucketCount(i), all.bucketCount(i));
+        }
+        for (double p : {50.0, 90.0, 99.0, 99.9}) {
+            EXPECT_EQ(left_first.percentile(p), right.percentile(p));
+            EXPECT_EQ(left_first.percentile(p), all.percentile(p));
+        }
+    }
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity)
+{
+    Histogram h, empty;
+    h.record(42);
+    h.record(1000);
+    const auto before = h.percentileSummary();
+    h.merge(empty);
+    const auto after = h.percentileSummary();
+    EXPECT_EQ(before.count, after.count);
+    EXPECT_EQ(before.min, after.min);
+    EXPECT_EQ(before.max, after.max);
+    EXPECT_EQ(before.p50, after.p50);
+
+    empty.merge(h);
+    EXPECT_EQ(empty.count(), h.count());
+    EXPECT_EQ(empty.min(), h.min());
+    EXPECT_EQ(empty.max(), h.max());
+}
+
+TEST(Histogram, ClearResetsEverything)
+{
+    Histogram h;
+    h.record(7, 3);
+    h.record(1 << 20);
+    h.clear();
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.sum(), 0.0);
+    EXPECT_EQ(h.percentile(99.0), 0u);
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i)
+        ASSERT_EQ(h.bucketCount(i), 0u);
+}
+
+TEST(Histogram, HandlesHugeValues)
+{
+    Histogram h;
+    const std::uint64_t huge = ~std::uint64_t{0};
+    h.record(huge);
+    h.record(0);
+    EXPECT_EQ(h.max(), huge);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.percentile(100.0), huge);
+    EXPECT_LT(Histogram::bucketIndex(huge), Histogram::kNumBuckets);
+}

@@ -41,6 +41,23 @@ sample()
                        80'000, 89'000, 4'500});
     m.vms.push_back({6'000'000, 100'000, 16.67});
     m.vms.push_back({2'000'000, 78'000, 39.0});
+
+    using obs::CpiComponent;
+    obs::CpiStack core_stack;
+    core_stack.add(CpiComponent::compute, 16'000'000.0);
+    core_stack.add(CpiComponent::dataDram, 12'000'000.0);
+    core_stack.add(CpiComponent::walkGuestL1, 4'000'000.0);
+    m.core_cpi = {core_stack, core_stack};
+    m.vm_cpi = {core_stack, core_stack};
+    m.cpi_total = core_stack;
+    m.cpi_total += core_stack;
+    m.total_cycles = m.cpi_total.total();
+
+    obs::Histogram walk_hist;
+    for (std::uint64_t v = 100; v <= 1000; v += 100)
+        walk_hist.record(v);
+    m.histograms.push_back({"walk.lat",
+                            walk_hist.percentileSummary()});
     return m;
 }
 
@@ -72,10 +89,9 @@ TEST(MetricsIo, JsonContainsSections)
     EXPECT_NE(json.find("\"label\": \"run1\""), std::string::npos);
     EXPECT_NE(json.find("\"cores\": ["), std::string::npos);
     EXPECT_NE(json.find("\"vms\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"cpi_stack\": {"), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\": {"), std::string::npos);
     EXPECT_NE(json.find("\"l2_tlb_mpki\": 22.25"), std::string::npos);
-    // Two core entries, two VM entries.
-    EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 5);
-    EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 5);
 }
 
 TEST(MetricsIo, JsonBalancedBrackets)
@@ -102,4 +118,64 @@ TEST(MetricsIo, JsonParsesAsValidJson)
     ASSERT_NE(vms, nullptr);
     ASSERT_TRUE(vms->isArray());
     EXPECT_EQ(vms->arr.size(), 2u);
+}
+
+TEST(MetricsIo, JsonCarriesCpiStacks)
+{
+    const RunMetrics m = sample();
+    std::string error;
+    const auto doc = obs::parseJson(metricsJson("run1", m), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+
+    EXPECT_DOUBLE_EQ(doc->numberOr("total_cycles", 0.0),
+                     m.total_cycles);
+    const obs::JsonValue *stack = doc->find("cpi_stack");
+    ASSERT_NE(stack, nullptr);
+    ASSERT_TRUE(stack->isObject());
+
+    const obs::JsonValue *total = stack->find("total");
+    ASSERT_NE(total, nullptr);
+    double sum = 0.0;
+    for (const auto &[name, v] : total->obj) {
+        (void)name;
+        sum += v.num_v;
+    }
+    EXPECT_DOUBLE_EQ(sum, m.cpi_total.total());
+    EXPECT_DOUBLE_EQ(total->numberOr("compute", 0.0), 32'000'000.0);
+    EXPECT_DOUBLE_EQ(total->numberOr("walk_guest_l1", -1.0),
+                     8'000'000.0);
+
+    const obs::JsonValue *cores = stack->find("cores");
+    ASSERT_NE(cores, nullptr);
+    ASSERT_TRUE(cores->isArray());
+    ASSERT_EQ(cores->arr.size(), 2u);
+    EXPECT_DOUBLE_EQ(cores->arr[0].numberOr("data_dram", 0.0),
+                     12'000'000.0);
+    const obs::JsonValue *vms = stack->find("vms");
+    ASSERT_NE(vms, nullptr);
+    EXPECT_EQ(vms->arr.size(), 2u);
+}
+
+TEST(MetricsIo, JsonCarriesHistogramDigests)
+{
+    std::string error;
+    const auto doc = obs::parseJson(metricsJson("run1", sample()),
+                                    &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+
+    const obs::JsonValue *hists = doc->find("histograms");
+    ASSERT_NE(hists, nullptr);
+    ASSERT_TRUE(hists->isObject());
+    const obs::JsonValue *walk = hists->find("walk.lat");
+    ASSERT_NE(walk, nullptr);
+    EXPECT_DOUBLE_EQ(walk->numberOr("count", 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(walk->numberOr("sum", 0.0), 5500.0);
+    EXPECT_DOUBLE_EQ(walk->numberOr("min", 0.0), 100.0);
+    EXPECT_DOUBLE_EQ(walk->numberOr("max", 0.0), 1000.0);
+    // Digest percentiles are bucket upper-bound estimates: at least
+    // the exact value, within one sub-bucket above it.
+    EXPECT_GE(walk->numberOr("p50", 0.0), 500.0);
+    EXPECT_LE(walk->numberOr("p50", 0.0),
+              500.0 * (1.0 + 1.0 / obs::Histogram::kSubBuckets));
+    EXPECT_DOUBLE_EQ(walk->numberOr("p999", 0.0), 1000.0);
 }

@@ -68,6 +68,61 @@ TEST(StatRegistry, UnknownValueOfIsFatal)
                 "nope");
 }
 
+TEST(StatRegistry, HistogramsRegisterAndResolve)
+{
+    obs::StatRegistry reg;
+    obs::Histogram h;
+    h.record(10);
+    h.record(1000);
+    reg.addHistogram("walk.lat", &h);
+
+    ASSERT_EQ(reg.histograms().size(), 1u);
+    EXPECT_EQ(reg.histograms()[0].name, "walk.lat");
+    EXPECT_TRUE(reg.has("walk.lat"));
+    EXPECT_EQ(reg.histogramOf("walk.lat").count(), 2u);
+    h.record(7); // read through the pointer: live updates
+    EXPECT_EQ(reg.histogramOf("walk.lat").count(), 3u);
+    // Scalars and histograms share one namespace.
+    std::uint64_t v = 0;
+    EXPECT_EXIT(reg.addCounter("walk.lat", &v),
+                ::testing::ExitedWithCode(1), "duplicate");
+    obs::Histogram other;
+    EXPECT_EXIT(reg.addHistogram("walk.lat", &other),
+                ::testing::ExitedWithCode(1), "duplicate");
+}
+
+TEST(StatRegistry, FreezeRejectsLateRegistration)
+{
+    obs::StatRegistry reg;
+    std::uint64_t early = 0;
+    reg.addCounter("early", &early);
+    EXPECT_FALSE(reg.frozen());
+    reg.freeze();
+    EXPECT_TRUE(reg.frozen());
+
+    std::uint64_t late = 0;
+    obs::Histogram late_hist;
+#ifdef NDEBUG
+    // Release builds: warnOnce and drop — the registry layout the
+    // sampler captured stays intact.
+    reg.addCounter("late.ctr", &late);
+    reg.addGauge("late.gauge", [] { return 1.0; });
+    reg.addHistogram("late.hist", &late_hist);
+    EXPECT_FALSE(reg.has("late.ctr"));
+    EXPECT_FALSE(reg.has("late.gauge"));
+    EXPECT_FALSE(reg.has("late.hist"));
+    EXPECT_EQ(reg.entries().size(), 1u);
+    EXPECT_TRUE(reg.histograms().empty());
+#else
+    // Debug builds: a hard wiring error (panic aborts).
+    EXPECT_DEATH(reg.addCounter("late.ctr", &late), "after freeze");
+    EXPECT_DEATH(reg.addGauge("late.gauge", [] { return 1.0; }),
+                 "after freeze");
+    EXPECT_DEATH(reg.addHistogram("late.hist", &late_hist),
+                 "after freeze");
+#endif
+}
+
 // ------------------------------------------------------------ sampler
 
 TEST(Sampler, SnapshotsAllEntriesIntoTheRing)
@@ -246,6 +301,19 @@ TEST(SystemStats, LateContextInstallIsFatal)
     system->finalizeStats();
     EXPECT_EXIT(system->setCoreContexts(0, {}),
                 ::testing::ExitedWithCode(1), "dangle");
+}
+
+TEST(SystemStats, FinalizeFreezesTheRegistry)
+{
+    BuildSpec spec;
+    applyPomTlb(spec.params);
+    spec.params.num_cores = 1;
+    spec.vm_workloads = {"gups"};
+    spec.workload_scale = 0.01;
+    auto system = buildSystem(spec);
+    EXPECT_FALSE(system->statRegistry().frozen());
+    system->finalizeStats();
+    EXPECT_TRUE(system->statRegistry().frozen());
 }
 
 TEST(SystemStats, SamplerRunsOnTheConfiguredInterval)

@@ -20,6 +20,11 @@
  *   --scale F            workload footprint multiplier
  *   --seed N             RNG seed
  *   --format F           table | csv | json    (default: table)
+ *   --cpi-stack          print CPI stacks: where every simulated
+ *                        cycle went (normalized component table,
+ *                        plus per-core and per-VM breakdowns)
+ *   --histograms         print percentile digests of every latency
+ *                        histogram that saw traffic
  *   --trace-out FILE     stream telemetry (JSONL samples + Chrome
  *                        trace events) to FILE; see
  *                        docs/observability.md
@@ -59,10 +64,128 @@ usage(const char *argv0)
                  "[--scheme S] [--quota N] [--warmup N] [--cores N] "
                  "[--cs-interval-ms N] [--native] [--five-level] "
                  "[--scale F] [--seed N] [--format table|csv|json] "
+                 "[--cpi-stack] [--histograms] "
                  "[--trace-out FILE] [--sample-interval N] "
                  "[--trace-events cs,epoch,walk|all|none]\n",
                  argv0);
     std::exit(2);
+}
+
+/** Fold the 20+ fine-grained components into printable groups. */
+struct CpiGroups
+{
+    double compute = 0.0;
+    double cs = 0.0;
+    double data = 0.0;
+    double tlb = 0.0;
+    double pom = 0.0;
+    double tsb = 0.0;
+    double walk = 0.0;
+    double repart = 0.0;
+
+    explicit CpiGroups(const obs::CpiStack &s)
+        : compute(s.of(obs::CpiComponent::compute)),
+          cs(s.of(obs::CpiComponent::csSwitch)),
+          data(s.of(obs::CpiComponent::dataL1d) +
+               s.of(obs::CpiComponent::dataL2) +
+               s.of(obs::CpiComponent::dataL3) +
+               s.of(obs::CpiComponent::dataDram)),
+          tlb(s.of(obs::CpiComponent::tlbProbe)),
+          pom(s.of(obs::CpiComponent::pomAccess)),
+          tsb(s.of(obs::CpiComponent::tsbAccess)),
+          walk(s.walkTotal()),
+          repart(s.of(obs::CpiComponent::repartition))
+    {
+    }
+};
+
+void
+addGroupRow(TextTable &table, const std::string &label,
+            const obs::CpiStack &stack)
+{
+    const CpiGroups g(stack);
+    const double total = stack.total();
+    auto pct = [&](double v) {
+        return total > 0.0 ? 100.0 * v / total : 0.0;
+    };
+    table.row()
+        .add(label)
+        .add(total, 0)
+        .add(pct(g.compute), 1)
+        .add(pct(g.cs), 1)
+        .add(pct(g.data), 1)
+        .add(pct(g.tlb), 1)
+        .add(pct(g.pom), 1)
+        .add(pct(g.tsb), 1)
+        .add(pct(g.walk), 1)
+        .add(pct(g.repart), 1);
+}
+
+void
+printCpiStack(const RunMetrics &m)
+{
+    std::printf("\nCPI stack (cycles by component)\n");
+    TextTable detail({"component", "cycles", "share"});
+    const double total = m.cpi_total.total();
+    for (std::size_t i = 0; i < obs::kNumCpiComponents; ++i) {
+        const auto comp = static_cast<obs::CpiComponent>(i);
+        const double v = m.cpi_total.of(comp);
+        if (v == 0.0)
+            continue;
+        detail.row()
+            .add(obs::cpiComponentName(comp))
+            .add(v, 0)
+            .add(total > 0.0 ? 100.0 * v / total : 0.0, 2);
+    }
+    detail.row().add("total (stack)").add(total, 0).add(100.0, 2);
+    detail.row()
+        .add("simulated cycles")
+        .add(m.total_cycles, 0)
+        .add(total > 0.0 ? 100.0 * m.total_cycles / total : 0.0, 2);
+    detail.row()
+        .add("residual")
+        .add(m.total_cycles - total, 3)
+        .add("");
+    detail.print();
+
+    const std::vector<std::string> group_headers = {
+        "",        "cycles", "compute%", "cs%",  "data%",
+        "tlb%",    "pom%",   "tsb%",     "walk%", "repart%"};
+
+    std::printf("\nPer-core CPI stacks (%% of core cycles)\n");
+    TextTable cores(group_headers);
+    for (std::size_t i = 0; i < m.core_cpi.size(); ++i)
+        addGroupRow(cores, "core" + std::to_string(i), m.core_cpi[i]);
+    cores.print();
+
+    if (m.vm_cpi.size() > 1) {
+        std::printf("\nPer-VM CPI stacks (%% of VM cycles, "
+                    "summed across cores)\n");
+        TextTable vms(group_headers);
+        for (std::size_t i = 0; i < m.vm_cpi.size(); ++i)
+            addGroupRow(vms, "vm" + std::to_string(i), m.vm_cpi[i]);
+        vms.print();
+    }
+}
+
+void
+printHistograms(const RunMetrics &m)
+{
+    std::printf("\nLatency histograms (cycles)\n");
+    TextTable table({"histogram", "count", "mean", "p50", "p90",
+                     "p99", "p99.9", "max"});
+    for (const auto &h : m.histograms) {
+        table.row()
+            .add(h.name)
+            .add(h.digest.count)
+            .add(h.digest.mean, 1)
+            .add(h.digest.p50)
+            .add(h.digest.p90)
+            .add(h.digest.p99)
+            .add(h.digest.p999)
+            .add(h.digest.max);
+    }
+    table.print();
 }
 
 void
@@ -98,6 +221,8 @@ main(int argc, char **argv)
     std::uint64_t sample_interval = 0;
     bool sample_interval_set = false;
     unsigned trace_cats = obs::kCatAll;
+    bool show_cpi_stack = false;
+    bool show_histograms = false;
 
     auto next_arg = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -137,6 +262,10 @@ main(int argc, char **argv)
                 std::strtoull(next_arg(i), nullptr, 10);
         } else if (arg == "--format") {
             format = next_arg(i);
+        } else if (arg == "--cpi-stack") {
+            show_cpi_stack = true;
+        } else if (arg == "--histograms") {
+            show_histograms = true;
         } else if (arg == "--trace-out") {
             trace_out = next_arg(i);
         } else if (arg == "--sample-interval") {
@@ -207,5 +336,10 @@ main(int argc, char **argv)
     } else {
         fatal("unknown format '" + format + "'");
     }
+
+    if (show_cpi_stack)
+        printCpiStack(m);
+    if (show_histograms)
+        printHistograms(m);
     return 0;
 }

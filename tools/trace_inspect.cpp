@@ -6,6 +6,7 @@
  *   trace_inspect run.jsonl                # tables on stdout
  *   trace_inspect --top 10 run.jsonl       # widen the worst-epoch list
  *   trace_inspect --label ctrl.l3 run.jsonl
+ *   trace_inspect --cpi run.jsonl          # CPI stacks over time
  *   trace_inspect --chrome out.json run.jsonl
  *
  * Prints, per partition-controller label:
@@ -14,6 +15,10 @@
  *  - the top-K worst epochs by that MPKI
  *  - a partition-timeline summary (the Fig. 9 view: how many ways the
  *    data partition held over time)
+ * --cpi adds, from the same stat samples, a per-sample-window CPI
+ * stack table (the "core*.cpi.*" gauges differenced per window and
+ * folded into component groups) and the evolution of the system-wide
+ * walk-latency percentiles (the "walk.lat" histogram digest).
  * --chrome rewraps the events into the {"traceEvents":[...]} array
  * form chrome://tracing and Perfetto load directly.
  */
@@ -40,10 +45,38 @@ namespace
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--top K] [--label L] [--chrome OUT] "
-                 "FILE.jsonl\n",
+                 "usage: %s [--top K] [--label L] [--cpi] "
+                 "[--chrome OUT] FILE.jsonl\n",
                  argv0);
     std::exit(2);
+}
+
+/** Printable CPI-stack groups (order matches kCpiGroupNames). */
+constexpr std::size_t kNumCpiGroups = 8;
+const char *const kCpiGroupNames[kNumCpiGroups] = {
+    "compute", "cs", "data", "tlb", "pom", "tsb", "walk", "repart"};
+
+/** Group index of a "core*.cpi.<component>" gauge, or -1. */
+int
+cpiGroupOf(const std::string &component)
+{
+    if (component == "compute")
+        return 0;
+    if (component == "cs_switch")
+        return 1;
+    if (component.rfind("data_", 0) == 0)
+        return 2;
+    if (component == "tlb_probe")
+        return 3;
+    if (component == "pom_access")
+        return 4;
+    if (component == "tsb_access")
+        return 5;
+    if (component == "walk_mmu" || component.rfind("walk_", 0) == 0)
+        return 6;
+    if (component == "repartition")
+        return 7;
+    return -1;
 }
 
 /** One stat sample, reduced to the aggregates the reports need. */
@@ -54,6 +87,10 @@ struct SampleRow
     double instructions = 0.0; //!< sum of core*.instructions
     double l2tlb_misses = 0.0; //!< sum of core*.l2tlb.misses
     double walks = 0.0;        //!< sum of core*.walk.walks
+    double cpi[kNumCpiGroups] = {}; //!< summed core*.cpi.* gauges
+    bool has_walk_hist = false;     //!< "walk.lat" digest present
+    double wl_count = 0.0, wl_p50 = 0.0, wl_p90 = 0.0,
+           wl_p99 = 0.0, wl_p999 = 0.0, wl_max = 0.0;
 };
 
 /** One "repartition" epoch event. */
@@ -162,6 +199,7 @@ main(int argc, char **argv)
     std::string only_label;
     std::string chrome_out;
     std::string path;
+    bool cpi_mode = false;
 
     auto next_arg = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -177,6 +215,8 @@ main(int argc, char **argv)
             only_label = next_arg(i);
         else if (arg == "--chrome")
             chrome_out = next_arg(i);
+        else if (arg == "--cpi")
+            cpi_mode = true;
         else if (arg == "--help" || arg == "-h")
             usage(argv[0]);
         else if (!arg.empty() && arg[0] == '-')
@@ -233,6 +273,25 @@ main(int argc, char **argv)
                         row.l2tlb_misses += v.num_v;
                     else if (endsWith(key, ".walk.walks"))
                         row.walks += v.num_v;
+                    const std::size_t cpi_at = key.find(".cpi.");
+                    if (cpi_at != std::string::npos) {
+                        const int g =
+                            cpiGroupOf(key.substr(cpi_at + 5));
+                        if (g >= 0)
+                            row.cpi[g] += v.num_v;
+                    }
+                }
+            }
+            if (const obs::JsonValue *hists = doc->find("hists")) {
+                if (const obs::JsonValue *wl =
+                        hists->find("walk.lat")) {
+                    row.has_walk_hist = true;
+                    row.wl_count = wl->numberOr("count", 0.0);
+                    row.wl_p50 = wl->numberOr("p50", 0.0);
+                    row.wl_p90 = wl->numberOr("p90", 0.0);
+                    row.wl_p99 = wl->numberOr("p99", 0.0);
+                    row.wl_p999 = wl->numberOr("p999", 0.0);
+                    row.wl_max = wl->numberOr("max", 0.0);
                 }
             }
             samples.push_back(row);
@@ -332,11 +391,78 @@ main(int argc, char **argv)
         std::printf("\n");
     }
 
-    // ------------------------------------------- per-epoch MPKI windows
     std::sort(samples.begin(), samples.end(),
               [](const SampleRow &a, const SampleRow &b) {
                   return a.t < b.t;
               });
+
+    // --------------------------------------------- CPI stacks (--cpi)
+    if (cpi_mode) {
+        // The cpi gauges are cumulative: difference consecutive
+        // samples to get each window's stack (the sampler fires on
+        // epoch boundaries, so windows are epoch-resolution).
+        bool any_cpi = false;
+        for (const SampleRow &s : samples)
+            for (double v : s.cpi)
+                any_cpi = any_cpi || v != 0.0;
+        if (!any_cpi) {
+            std::printf("(no core*.cpi.* gauges in trace — re-run "
+                        "csalt-sim with --trace-out against this "
+                        "build)\n\n");
+        } else {
+            std::printf("== CPI stack per sample window "
+                        "(%% of window cycles) ==\n");
+            std::vector<std::string> headers = {"t", "cycles"};
+            for (const char *g : kCpiGroupNames)
+                headers.push_back(std::string(g) + "%");
+            TextTable table(headers);
+            SampleRow prev; // zero baseline: trace opens post-clear
+            for (const SampleRow &s : samples) {
+                double window[kNumCpiGroups];
+                double total = 0.0;
+                for (std::size_t g = 0; g < kNumCpiGroups; ++g) {
+                    window[g] = s.cpi[g] - prev.cpi[g];
+                    total += window[g];
+                }
+                auto &row = table.row().add(s.t, 0).add(total, 0);
+                for (std::size_t g = 0; g < kNumCpiGroups; ++g)
+                    row.add(total > 0.0 ? 100.0 * window[g] / total
+                                        : 0.0,
+                            1);
+                prev = s;
+            }
+            table.print();
+            std::printf("\n");
+        }
+
+        bool any_hist = false;
+        for (const SampleRow &s : samples)
+            any_hist = any_hist || s.has_walk_hist;
+        if (!any_hist) {
+            std::printf("(no walk.lat histogram digests in trace)\n\n");
+        } else {
+            std::printf("== walk-latency percentiles over time "
+                        "(cumulative digests, cycles) ==\n");
+            TextTable table({"t", "walks", "p50", "p90", "p99",
+                             "p99.9", "max"});
+            for (const SampleRow &s : samples) {
+                if (!s.has_walk_hist)
+                    continue;
+                table.row()
+                    .add(s.t, 0)
+                    .add(s.wl_count, 0)
+                    .add(s.wl_p50, 0)
+                    .add(s.wl_p90, 0)
+                    .add(s.wl_p99, 0)
+                    .add(s.wl_p999, 0)
+                    .add(s.wl_max, 0);
+            }
+            table.print();
+            std::printf("\n");
+        }
+    }
+
+    // ------------------------------------------- per-epoch MPKI windows
     std::map<std::string, double> last_epoch_t; //!< per label
     std::sort(epochs.begin(), epochs.end(),
               [](const EpochRow &a, const EpochRow &b) {
