@@ -26,9 +26,9 @@ useDrrip(SystemParams &p)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const BenchEnv env = benchEnv();
+    const BenchEnv env = benchEnv(argc, argv);
     banner("Ablation: DRRIP replacement vs CSALT-CD (vs POM-TLB)",
            "DRRIP behaves like DIP: content-oblivious gains that do "
            "not track the TLB-aware partitioning's",
@@ -37,13 +37,25 @@ main()
     const std::vector<std::string> pairs = {"ccomp", "gups",
                                             "pagerank", "canneal"};
 
+    CellSet cells(env);
+    struct Handles
+    {
+        std::size_t base, drrip, cscd;
+    };
+    std::vector<Handles> handles;
+    for (const auto &label : pairs)
+        handles.push_back(
+            {cells.add(label, kPomTlb),
+             cells.add(label, kPomTlb, 2, true, useDrrip, "drrip"),
+             cells.add(label, kCsaltCD)});
+    cells.run();
+
     TextTable table({"pair", "DRRIP", "CSALT-CD"});
-    for (const auto &label : pairs) {
-        const double base = runCell(label, kPomTlb, env).ipc_geomean;
-        const double drrip =
-            runCell(label, kPomTlb, env, 2, true, useDrrip)
-                .ipc_geomean;
-        const double cscd = runCell(label, kCsaltCD, env).ipc_geomean;
+    for (std::size_t l = 0; l < pairs.size(); ++l) {
+        const auto &label = pairs[l];
+        const double base = cells[handles[l].base].ipc_geomean;
+        const double drrip = cells[handles[l].drrip].ipc_geomean;
+        const double cscd = cells[handles[l].cscd].ipc_geomean;
         table.row()
             .add(label)
             .add(base > 0 ? drrip / base : 0.0, 3)

@@ -26,9 +26,9 @@ fiveLevel(SystemParams &p)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const BenchEnv env = benchEnv();
+    const BenchEnv env = benchEnv(argc, argv);
     banner("Ablation: 4-level vs 5-level (LA57) page tables",
            "5-level walks are costlier, widening the CSALT-CD gain "
            "over the conventional system",
@@ -37,15 +37,29 @@ main()
     const std::vector<std::string> pairs = {"ccomp", "gups",
                                             "canneal"};
 
+    CellSet cells(env);
+    struct Handles
+    {
+        std::size_t conv4, conv5, cscd4, cscd5;
+    };
+    std::vector<Handles> handles;
+    for (const auto &label : pairs)
+        handles.push_back(
+            {cells.add(label, kConventional),
+             cells.add(label, kConventional, 2, true, fiveLevel,
+                       "5L"),
+             cells.add(label, kCsaltCD),
+             cells.add(label, kCsaltCD, 2, true, fiveLevel, "5L")});
+    cells.run();
+
     TextTable table({"pair", "walk cyc (4L)", "walk cyc (5L)",
                      "CSALT/conv (4L)", "CSALT/conv (5L)"});
-    for (const auto &label : pairs) {
-        const auto conv4 = runCell(label, kConventional, env);
-        const auto conv5 = runCell(label, kConventional, env, 2, true,
-                                   fiveLevel);
-        const auto cscd4 = runCell(label, kCsaltCD, env);
-        const auto cscd5 =
-            runCell(label, kCsaltCD, env, 2, true, fiveLevel);
+    for (std::size_t l = 0; l < pairs.size(); ++l) {
+        const auto &label = pairs[l];
+        const auto &conv4 = cells[handles[l].conv4];
+        const auto &conv5 = cells[handles[l].conv5];
+        const auto &cscd4 = cells[handles[l].cscd4];
+        const auto &cscd5 = cells[handles[l].cscd5];
         table.row()
             .add(label)
             .add(conv4.avg_walk_cycles, 0)

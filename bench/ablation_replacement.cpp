@@ -32,9 +32,9 @@ useBtPlru(SystemParams &p)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const BenchEnv env = benchEnv();
+    const BenchEnv env = benchEnv(argc, argv);
     banner("Ablation: CSALT-CD under pseudo-LRU replacement",
            "NRU / BT-PLRU within a few percent of true LRU (paper "
            "§3.4: minor degradation only)",
@@ -43,15 +43,26 @@ main()
     const std::vector<std::string> pairs = {"ccomp", "pagerank",
                                             "graph500"};
 
+    CellSet cells(env);
+    struct Handles
+    {
+        std::size_t base, nru, plru;
+    };
+    std::vector<Handles> handles;
+    for (const auto &label : pairs)
+        handles.push_back(
+            {cells.add(label, kCsaltCD),
+             cells.add(label, kCsaltCD, 2, true, useNru, "nru"),
+             cells.add(label, kCsaltCD, 2, true, useBtPlru,
+                       "btplru")});
+    cells.run();
+
     TextTable table({"pair", "true-LRU", "NRU", "BT-PLRU"});
-    for (const auto &label : pairs) {
-        const double base = runCell(label, kCsaltCD, env).ipc_geomean;
-        const double nru =
-            runCell(label, kCsaltCD, env, 2, true, useNru)
-                .ipc_geomean;
-        const double plru =
-            runCell(label, kCsaltCD, env, 2, true, useBtPlru)
-                .ipc_geomean;
+    for (std::size_t l = 0; l < pairs.size(); ++l) {
+        const auto &label = pairs[l];
+        const double base = cells[handles[l].base].ipc_geomean;
+        const double nru = cells[handles[l].nru].ipc_geomean;
+        const double plru = cells[handles[l].plru].ipc_geomean;
         table.row()
             .add(label)
             .add(1.0, 3)

@@ -27,9 +27,9 @@ staticSplit(SystemParams &p)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const BenchEnv env = benchEnv();
+    const BenchEnv env = benchEnv(argc, argv);
     banner("Ablation: static partitions vs CSALT-CD (IPC vs POM-TLB)",
            "no single static split wins everywhere; the dynamic "
            "scheme matches or beats the best static per workload",
@@ -38,20 +38,31 @@ main()
     const std::vector<std::string> pairs = {"ccomp", "gups",
                                             "pagerank"};
 
+    CellSet cells(env);
+    struct Handles
+    {
+        std::size_t base, s4, s8, s12, cscd;
+    };
+    std::vector<Handles> handles;
+    for (const auto &label : pairs)
+        handles.push_back(
+            {cells.add(label, kPomTlb),
+             cells.add(label, kPomTlb, 2, true, staticSplit<4>, "d4"),
+             cells.add(label, kPomTlb, 2, true, staticSplit<8>, "d8"),
+             cells.add(label, kPomTlb, 2, true, staticSplit<12>,
+                       "d12"),
+             cells.add(label, kCsaltCD)});
+    cells.run();
+
     TextTable table({"pair", "static d4", "static d8", "static d12",
                      "CSALT-CD"});
-    for (const auto &label : pairs) {
-        const double base = runCell(label, kPomTlb, env).ipc_geomean;
-        const double s4 = runCell(label, kPomTlb, env, 2, true,
-                                  staticSplit<4>)
-                              .ipc_geomean;
-        const double s8 = runCell(label, kPomTlb, env, 2, true,
-                                  staticSplit<8>)
-                              .ipc_geomean;
-        const double s12 = runCell(label, kPomTlb, env, 2, true,
-                                   staticSplit<12>)
-                               .ipc_geomean;
-        const double cscd = runCell(label, kCsaltCD, env).ipc_geomean;
+    for (std::size_t l = 0; l < pairs.size(); ++l) {
+        const auto &label = pairs[l];
+        const double base = cells[handles[l].base].ipc_geomean;
+        const double s4 = cells[handles[l].s4].ipc_geomean;
+        const double s8 = cells[handles[l].s8].ipc_geomean;
+        const double s12 = cells[handles[l].s12].ipc_geomean;
+        const double cscd = cells[handles[l].cscd].ipc_geomean;
         table.row()
             .add(label)
             .add(base > 0 ? s4 / base : 0.0, 3)

@@ -11,6 +11,13 @@
  *   CSALT_BENCH_FAST  =1 shrinks both 4x for smoke runs
  *   CSALT_BENCH_JSON  path for the machine-readable results file
  *                     (default ./BENCH_results.json; see ResultsJson)
+ *   CSALT_JOBS        worker threads for the cell grid (default 1);
+ *                     every bench binary also takes --jobs N.
+ *
+ * Parallel execution never changes the numbers: cells are
+ * shared-nothing (each builds its own System) and fully determined
+ * by their parameters, so --jobs N output is identical to --jobs 1
+ * (progress goes to stderr, tables to stdout). See docs/harness.md.
  */
 
 #ifndef CSALT_BENCH_BENCH_COMMON_H
@@ -28,6 +35,7 @@
 
 #include "common/log.h"
 #include "common/table.h"
+#include "harness/job_runner.h"
 #include "obs/json.h"
 #include "sim/metrics.h"
 #include "sim/system_builder.h"
@@ -36,12 +44,17 @@
 namespace csalt::bench
 {
 
-/** Run-length knobs from the environment. */
+/** Run-length and parallelism knobs from environment/argv. */
 struct BenchEnv
 {
     std::uint64_t quota = 1'000'000;
     std::uint64_t warmup = 600'000;
     double scale = 1.0;
+    unsigned jobs = 1; //!< cell-grid worker threads
+    //! process start, so wall_clock_s covers the whole bench even
+    //! though ResultsJson is typically constructed after run()
+    std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
 };
 
 inline std::uint64_t
@@ -62,6 +75,16 @@ benchEnv()
         env.quota /= 4;
         env.warmup /= 4;
     }
+    env.jobs = harness::jobsFromEnv(1);
+    return env;
+}
+
+/** benchEnv() plus `--jobs N` / `--jobs=N` consumed from argv. */
+inline BenchEnv
+benchEnv(int &argc, char **argv)
+{
+    BenchEnv env = benchEnv();
+    env.jobs = harness::parseJobsFlag(argc, argv);
     return env;
 }
 
@@ -118,6 +141,82 @@ runCell(const std::string &label, const Scheme &scheme,
     return measure(*system, env);
 }
 
+/**
+ * A bench binary's whole (label × scheme × variant) grid, executed
+ * through the harness job runner.
+ *
+ * Usage: add() every cell up front (it returns a handle), run()
+ * once, then read metrics back via operator[]. With env.jobs == 1
+ * the cells execute inline in add() order — exactly the historical
+ * sequential loops; with more workers they run concurrently and the
+ * printed tables stay byte-identical because each cell is an
+ * isolated System determined only by its parameters.
+ */
+class CellSet
+{
+  public:
+    explicit CellSet(const BenchEnv &env)
+        : env_(env), runner_(env.jobs)
+    {
+    }
+
+    /**
+     * Queue one cell; @p variant disambiguates cells that differ
+     * only through @p tweak (epoch length, CS interval, ...).
+     * @return handle for operator[] after run()
+     */
+    std::size_t
+    add(const std::string &label, const Scheme &scheme,
+        unsigned contexts = 2, bool virtualized = true,
+        void (*tweak)(SystemParams &) = nullptr,
+        const std::string &variant = {})
+    {
+        std::string key = label;
+        key += '/';
+        key += scheme.name;
+        if (contexts != 2)
+            key += "/c" + std::to_string(contexts);
+        if (!virtualized)
+            key += "/native";
+        if (!variant.empty())
+            key += '/' + variant;
+        const BenchEnv env = env_;
+        return runner_.add(std::move(key), [=] {
+            return runCell(label, scheme, env, contexts, virtualized,
+                           tweak);
+        });
+    }
+
+    /** Execute every queued cell; fatal() if any cell fails. */
+    void
+    run()
+    {
+        if (env_.jobs > 1)
+            std::fprintf(stderr,
+                         "running %zu cells on %u worker threads\n",
+                         runner_.size(), env_.jobs);
+        outcomes_ = runner_.run(env_.jobs > 1
+                                    ? harness::stderrProgress()
+                                    : harness::ProgressFn{});
+        for (const auto &o : outcomes_)
+            if (!o.ok)
+                fatal(msgOf("bench cell '", o.key,
+                            "' failed: ", o.error));
+    }
+
+    /** Metrics of the cell returned by add(). */
+    const RunMetrics &
+    operator[](std::size_t handle) const
+    {
+        return *outcomes_[handle].value;
+    }
+
+  private:
+    BenchEnv env_;
+    harness::JobRunner<RunMetrics> runner_;
+    std::vector<harness::JobOutcome<RunMetrics>> outcomes_;
+};
+
 inline const Scheme kConventional{"Conventional", applyConventional};
 inline const Scheme kPomTlb{"POM-TLB", applyPomTlb};
 inline const Scheme kCsaltD{"CSALT-D", applyCsaltD};
@@ -147,7 +246,7 @@ class ResultsJson
     ResultsJson(std::string figure, std::string metric,
                 const BenchEnv &env)
         : figure_(std::move(figure)), metric_(std::move(metric)),
-          env_(env), start_(std::chrono::steady_clock::now())
+          env_(env), start_(env.start)
     {
     }
 
@@ -194,7 +293,10 @@ class ResultsJson
         writeValues(os, geomean_);
         os << ",\"wall_clock_s\":" << wall << "}";
         out << os.str() << "\n";
-        std::printf("\nwrote %s\n", path.c_str());
+        // Goes to stderr: stdout is the deterministic results table,
+        // byte-identical at any --jobs value, and the JSON path (often
+        // a mktemp name) would break that contract.
+        std::fprintf(stderr, "\nwrote %s\n", path.c_str());
     }
 
   private:

@@ -16,20 +16,30 @@ using namespace csalt;
 using namespace csalt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const BenchEnv env = benchEnv();
+    const BenchEnv env = benchEnv(argc, argv);
     banner("Figure 1: L2 TLB MPKI ratio (CS / no-CS)",
            "every ratio > 1 for TLB-reach-limited workloads; "
            "saturated giant-footprint workloads (gups) stay ~1; "
            "geomean well above 1 (paper: >6)",
            env);
 
+    // Standalone (non-context-switched) runs plus the pair runs form
+    // one grid.
+    CellSet cells(env);
+    std::map<std::string, std::size_t> standalone_handles;
+    for (const auto &name : workloadNames())
+        standalone_handles[name] = cells.add(name, kConventional, 1);
+    std::vector<std::size_t> pair_handles;
+    for (const auto &label : paperPairLabels())
+        pair_handles.push_back(cells.add(label, kConventional, 2));
+    cells.run();
+
     // Standalone (non-context-switched) MPKI per workload.
     std::map<std::string, double> standalone;
-    for (const auto &name : workloadNames()) {
-        const auto m = runCell(name, kConventional, env, 1);
-        standalone[name] = m.vms[0].l2_tlb_mpki;
+    for (const auto &[name, handle] : standalone_handles) {
+        standalone[name] = cells[handle].vms[0].l2_tlb_mpki;
         std::fprintf(stderr, "  [standalone %s] MPKI %.3f\n",
                      name.c_str(), standalone[name]);
     }
@@ -37,9 +47,11 @@ main()
     TextTable table({"pair", "vm1", "vm1_noCS", "vm1_CS", "vm2",
                      "vm2_noCS", "vm2_CS", "ratio"});
     std::vector<double> ratios;
-    for (const auto &label : paperPairLabels()) {
+    const auto labels = paperPairLabels();
+    for (std::size_t l = 0; l < labels.size(); ++l) {
+        const auto &label = labels[l];
         const PairSpec pair = resolvePair(label);
-        const auto m = runCell(label, kConventional, env, 2);
+        const auto &m = cells[pair_handles[l]];
 
         const double r1 = standalone[pair.vm1] > 0
                               ? m.vms[0].l2_tlb_mpki /

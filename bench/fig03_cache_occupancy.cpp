@@ -13,9 +13,9 @@ using namespace csalt;
 using namespace csalt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const BenchEnv env = benchEnv();
+    const BenchEnv env = benchEnv(argc, argv);
     banner("Figure 3: translation-entry occupancy of L2/L3 caches",
            "substantial fractions (paper: avg ~0.6, ccomp ~0.8); "
            "highest for the sparse-access workloads",
@@ -24,11 +24,18 @@ main()
     const std::vector<std::string> workloads = {
         "canneal", "ccomp", "graph500", "gups", "pagerank"};
 
+    CellSet cells(env);
+    std::vector<std::size_t> handles;
+    for (const auto &name : workloads)
+        handles.push_back(cells.add(name, kPomTlb, 2));
+    cells.run();
+
     TextTable table({"workload", "L2 D$", "L3 D$"});
     std::vector<double> l2s;
     std::vector<double> l3s;
-    for (const auto &name : workloads) {
-        const auto m = runCell(name, kPomTlb, env, 2);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const auto &name = workloads[w];
+        const auto &m = cells[handles[w]];
         table.row()
             .add(name)
             .add(m.l2_translation_occupancy, 2)

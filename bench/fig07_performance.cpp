@@ -16,9 +16,9 @@ using namespace csalt;
 using namespace csalt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const BenchEnv env = benchEnv();
+    const BenchEnv env = benchEnv(argc, argv);
     banner("Figure 7: performance normalized to POM-TLB",
            "conv < POM < CSALT-D <= CSALT-CD; largest CSALT gain on "
            "ccomp; little partitioning gain on gups",
@@ -27,18 +27,28 @@ main()
     const std::vector<Scheme> schemes = {kConventional, kPomTlb,
                                          kCsaltD, kCsaltCD};
 
+    CellSet cells(env);
+    std::vector<std::vector<std::size_t>> handles;
+    for (const auto &label : paperPairLabels()) {
+        auto &row = handles.emplace_back();
+        for (const auto &scheme : schemes)
+            row.push_back(cells.add(label, scheme));
+    }
+    cells.run();
+
     TextTable table({"pair", "Conventional", "POM-TLB", "CSALT-D",
                      "CSALT-CD"});
     std::vector<std::vector<double>> norm(schemes.size());
     ResultsJson results("fig07", "ipc_norm_pom", env);
 
-    for (const auto &label : paperPairLabels()) {
+    const auto labels = paperPairLabels();
+    for (std::size_t l = 0; l < labels.size(); ++l) {
         std::vector<double> ipc;
-        for (const auto &scheme : schemes)
-            ipc.push_back(runCell(label, scheme, env).ipc_geomean);
+        for (const std::size_t handle : handles[l])
+            ipc.push_back(cells[handle].ipc_geomean);
         const double base = ipc[1]; // POM-TLB
         auto &row = table.row();
-        row.add(label);
+        row.add(labels[l]);
         ResultsJson::Values values;
         for (std::size_t s = 0; s < schemes.size(); ++s) {
             const double v = base > 0 ? ipc[s] / base : 0.0;
@@ -46,7 +56,7 @@ main()
             norm[s].push_back(v);
             values.emplace_back(schemes[s].name, v);
         }
-        results.addRow(label, values);
+        results.addRow(labels[l], values);
         std::fflush(stdout);
     }
     auto &row = table.row();

@@ -12,17 +12,25 @@ using namespace csalt;
 using namespace csalt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const BenchEnv env = benchEnv();
+    const BenchEnv env = benchEnv(argc, argv);
     banner("Figure 8: fraction of page walks eliminated by POM-TLB",
            "large fractions everywhere (paper: avg 0.97)",
            env);
 
+    CellSet cells(env);
+    std::vector<std::size_t> handles;
+    for (const auto &label : paperPairLabels())
+        handles.push_back(cells.add(label, kPomTlb));
+    cells.run();
+
     TextTable table({"pair", "L2TLB misses", "walks", "eliminated"});
     std::vector<double> fractions;
-    for (const auto &label : paperPairLabels()) {
-        const auto m = runCell(label, kPomTlb, env);
+    const auto labels = paperPairLabels();
+    for (std::size_t l = 0; l < labels.size(); ++l) {
+        const auto &label = labels[l];
+        const auto &m = cells[handles[l]];
         table.row()
             .add(label)
             .add(m.l2_tlb_misses)

@@ -17,9 +17,11 @@ using namespace csalt;
 using namespace csalt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchEnv env = benchEnv();
+    // Accepts --jobs for CLI uniformity, but this figure is a single
+    // time-resolved run: there is no cell grid to parallelize.
+    BenchEnv env = benchEnv(argc, argv);
     // The trace needs several phase alternations: lengthen the run.
     env.quota *= 3;
     banner("Figure 9: TLB way-fraction in L2/L3 over time (ccomp, "

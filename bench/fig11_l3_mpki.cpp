@@ -13,22 +13,35 @@ using namespace csalt;
 using namespace csalt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const BenchEnv env = benchEnv();
+    const BenchEnv env = benchEnv(argc, argv);
     banner("Figure 11: relative L3 data-cache MPKI (vs POM-TLB)",
            "CSALT-D/CD <= 1.0 on translation-heavy pairs "
            "(paper: ccomp ~0.74)",
            env);
 
+    CellSet cells(env);
+    struct Handles
+    {
+        std::size_t pom, d, cd;
+    };
+    std::vector<Handles> handles;
+    for (const auto &label : paperPairLabels())
+        handles.push_back({cells.add(label, kPomTlb),
+                           cells.add(label, kCsaltD),
+                           cells.add(label, kCsaltCD)});
+    cells.run();
+
     TextTable table({"pair", "POM-TLB", "CSALT-D", "CSALT-CD"});
     std::vector<double> d_rel;
     std::vector<double> cd_rel;
-    for (const auto &label : paperPairLabels()) {
-        const double base =
-            runCell(label, kPomTlb, env).l3_mpki_total;
-        const double d = runCell(label, kCsaltD, env).l3_mpki_total;
-        const double cd = runCell(label, kCsaltCD, env).l3_mpki_total;
+    const auto labels = paperPairLabels();
+    for (std::size_t l = 0; l < labels.size(); ++l) {
+        const auto &label = labels[l];
+        const double base = cells[handles[l].pom].l3_mpki_total;
+        const double d = cells[handles[l].d].l3_mpki_total;
+        const double cd = cells[handles[l].cd].l3_mpki_total;
         table.row()
             .add(label)
             .add(1.0, 3)

@@ -13,20 +13,32 @@ using namespace csalt;
 using namespace csalt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const BenchEnv env = benchEnv();
+    const BenchEnv env = benchEnv(argc, argv);
     banner("Figure 12: CSALT-CD improvement over POM-TLB, native mode",
            "small average gain (paper: +5% geomean, ccomp +30%)",
            env);
 
+    CellSet cells(env);
+    struct Handles
+    {
+        std::size_t pom, cscd;
+    };
+    std::vector<Handles> handles;
+    for (const auto &label : paperPairLabels())
+        handles.push_back(
+            {cells.add(label, kPomTlb, 2, /*virtualized=*/false),
+             cells.add(label, kCsaltCD, 2, /*virtualized=*/false)});
+    cells.run();
+
     TextTable table({"pair", "CSALT-CD / POM-TLB"});
     std::vector<double> gains;
-    for (const auto &label : paperPairLabels()) {
-        const auto pom =
-            runCell(label, kPomTlb, env, 2, /*virtualized=*/false);
-        const auto cscd =
-            runCell(label, kCsaltCD, env, 2, /*virtualized=*/false);
+    const auto labels = paperPairLabels();
+    for (std::size_t l = 0; l < labels.size(); ++l) {
+        const auto &label = labels[l];
+        const auto &pom = cells[handles[l].pom];
+        const auto &cscd = cells[handles[l].cscd];
         const double gain = pom.ipc_geomean > 0
                                 ? cscd.ipc_geomean / pom.ipc_geomean
                                 : 0.0;

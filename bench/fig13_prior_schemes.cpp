@@ -16,24 +16,36 @@ using namespace csalt;
 using namespace csalt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const BenchEnv env = benchEnv();
+    const BenchEnv env = benchEnv(argc, argv);
     banner("Figure 13: TSB vs DIP vs CSALT-CD (normalized to POM-TLB)",
            "CSALT-CD > DIP ~= POM-TLB > TSB",
            env);
 
     const std::vector<Scheme> schemes = {kTsb, kDip, kCsaltCD};
 
+    CellSet cells(env);
+    std::vector<std::size_t> base_handles;
+    std::vector<std::vector<std::size_t>> scheme_handles;
+    for (const auto &label : paperPairLabels()) {
+        base_handles.push_back(cells.add(label, kPomTlb));
+        auto &row = scheme_handles.emplace_back();
+        for (const auto &scheme : schemes)
+            row.push_back(cells.add(label, scheme));
+    }
+    cells.run();
+
     TextTable table({"pair", "TSB", "DIP", "CSALT-CD"});
     std::vector<std::vector<double>> norm(schemes.size());
-    for (const auto &label : paperPairLabels()) {
-        const double base = runCell(label, kPomTlb, env).ipc_geomean;
+    const auto labels = paperPairLabels();
+    for (std::size_t l = 0; l < labels.size(); ++l) {
+        const double base = cells[base_handles[l]].ipc_geomean;
         auto &row = table.row();
-        row.add(label);
+        row.add(labels[l]);
         for (std::size_t s = 0; s < schemes.size(); ++s) {
             const double ipc =
-                runCell(label, schemes[s], env).ipc_geomean;
+                cells[scheme_handles[l][s]].ipc_geomean;
             const double v = base > 0 ? ipc / base : 0.0;
             row.add(v, 3);
             norm[s].push_back(v);

@@ -15,9 +15,9 @@ using namespace csalt;
 using namespace csalt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const BenchEnv env = benchEnv();
+    const BenchEnv env = benchEnv(argc, argv);
     banner("Figure 14: CSALT-CD gain vs context count",
            "gain grows with the number of contexts (paper: 4-context "
            "avg +33% over POM-TLB)",
@@ -25,15 +25,29 @@ main()
 
     const std::vector<unsigned> counts = {1, 2, 4};
 
+    CellSet cells(env);
+    struct Handles
+    {
+        std::size_t pom, cscd;
+    };
+    std::vector<std::vector<Handles>> handles;
+    for (const auto &label : paperPairLabels()) {
+        auto &row = handles.emplace_back();
+        for (const unsigned contexts : counts)
+            row.push_back({cells.add(label, kPomTlb, contexts),
+                           cells.add(label, kCsaltCD, contexts)});
+    }
+    cells.run();
+
     TextTable table({"pair", "1 context", "2 contexts", "4 contexts"});
     std::vector<std::vector<double>> gains(counts.size());
-    for (const auto &label : paperPairLabels()) {
+    const auto labels = paperPairLabels();
+    for (std::size_t l = 0; l < labels.size(); ++l) {
         auto &row = table.row();
-        row.add(label);
+        row.add(labels[l]);
         for (std::size_t i = 0; i < counts.size(); ++i) {
-            const auto pom = runCell(label, kPomTlb, env, counts[i]);
-            const auto cscd =
-                runCell(label, kCsaltCD, env, counts[i]);
+            const auto &pom = cells[handles[l][i].pom];
+            const auto &cscd = cells[handles[l][i].cscd];
             const double gain =
                 pom.ipc_geomean > 0
                     ? cscd.ipc_geomean / pom.ipc_geomean

@@ -34,26 +34,37 @@ epoch512(SystemParams &p)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const BenchEnv env = benchEnv();
+    const BenchEnv env = benchEnv(argc, argv);
     banner("Figure 15: CSALT-CD performance vs epoch length "
            "(normalized to the 256K default)",
            "close to 1.0 everywhere; the default epoch is at or "
            "near the best",
            env);
 
+    CellSet cells(env);
+    struct Handles
+    {
+        std::size_t base, e128, e512;
+    };
+    std::vector<Handles> handles;
+    for (const auto &label : paperPairLabels())
+        handles.push_back(
+            {cells.add(label, kCsaltCD),
+             cells.add(label, kCsaltCD, 2, true, epoch128, "128K"),
+             cells.add(label, kCsaltCD, 2, true, epoch512, "512K")});
+    cells.run();
+
     TextTable table({"pair", "128K", "256K", "512K"});
     std::vector<double> g128;
     std::vector<double> g512;
-    for (const auto &label : paperPairLabels()) {
-        const double base = runCell(label, kCsaltCD, env).ipc_geomean;
-        const double e128 =
-            runCell(label, kCsaltCD, env, 2, true, epoch128)
-                .ipc_geomean;
-        const double e512 =
-            runCell(label, kCsaltCD, env, 2, true, epoch512)
-                .ipc_geomean;
+    const auto labels = paperPairLabels();
+    for (std::size_t l = 0; l < labels.size(); ++l) {
+        const auto &label = labels[l];
+        const double base = cells[handles[l].base].ipc_geomean;
+        const double e128 = cells[handles[l].e128].ipc_geomean;
+        const double e512 = cells[handles[l].e512].ipc_geomean;
         table.row()
             .add(label)
             .add(base > 0 ? e128 / base : 0.0, 3)

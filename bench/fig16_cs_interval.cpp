@@ -32,9 +32,9 @@ interval30ms(SystemParams &p)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const BenchEnv env = benchEnv();
+    const BenchEnv env = benchEnv(argc, argv);
     banner("Figure 16: CSALT-CD gain vs context-switch interval",
            "steady improvement at 5/10/30 ms; slightly lower at 30 ms",
            env);
@@ -47,16 +47,31 @@ main()
     const std::vector<Point> points = {
         {"5ms", interval5ms}, {"10ms", nullptr}, {"30ms", interval30ms}};
 
+    CellSet cells(env);
+    struct Handles
+    {
+        std::size_t pom, cscd;
+    };
+    std::vector<std::vector<Handles>> handles;
+    for (const auto &label : paperPairLabels()) {
+        auto &row = handles.emplace_back();
+        for (const auto &point : points)
+            row.push_back({cells.add(label, kPomTlb, 2, true,
+                                     point.tweak, point.name),
+                           cells.add(label, kCsaltCD, 2, true,
+                                     point.tweak, point.name)});
+    }
+    cells.run();
+
     TextTable table({"pair", "5ms", "10ms", "30ms"});
     std::vector<std::vector<double>> gains(points.size());
-    for (const auto &label : paperPairLabels()) {
+    const auto labels = paperPairLabels();
+    for (std::size_t l = 0; l < labels.size(); ++l) {
         auto &row = table.row();
-        row.add(label);
+        row.add(labels[l]);
         for (std::size_t i = 0; i < points.size(); ++i) {
-            const auto pom =
-                runCell(label, kPomTlb, env, 2, true, points[i].tweak);
-            const auto cscd = runCell(label, kCsaltCD, env, 2, true,
-                                      points[i].tweak);
+            const auto &pom = cells[handles[l][i].pom];
+            const auto &cscd = cells[handles[l][i].cscd];
             const double gain =
                 pom.ipc_geomean > 0
                     ? cscd.ipc_geomean / pom.ipc_geomean

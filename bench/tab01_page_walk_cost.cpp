@@ -17,9 +17,9 @@ using namespace csalt;
 using namespace csalt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const BenchEnv env = benchEnv();
+    const BenchEnv env = benchEnv(argc, argv);
     banner("Table 1: average page walk cycles per L2 TLB miss",
            "virtualized >= native; ccomp blows up (paper 44 -> 1158);"
            " streamcluster nearly unchanged (74 -> 76)",
@@ -36,11 +36,23 @@ main()
         {"streamcluster", "74 -> 76"},
     };
 
-    for (const auto &name : workloadNames()) {
-        const auto native =
-            runCell(name, kConventional, env, 2, /*virtualized=*/false);
-        const auto virt =
-            runCell(name, kConventional, env, 2, /*virtualized=*/true);
+    CellSet cells(env);
+    struct Handles
+    {
+        std::size_t native, virt;
+    };
+    std::vector<Handles> handles;
+    for (const auto &name : workloadNames())
+        handles.push_back(
+            {cells.add(name, kConventional, 2, /*virtualized=*/false),
+             cells.add(name, kConventional, 2, /*virtualized=*/true)});
+    cells.run();
+
+    const auto names = workloadNames();
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const auto &name = names[w];
+        const auto &native = cells[handles[w].native];
+        const auto &virt = cells[handles[w].virt];
         table.row()
             .add(name)
             .add(native.avg_walk_cycles, 0)

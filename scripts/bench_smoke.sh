@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# Bench-harness smoke test: run a reduced-size Figure 7 sweep and
-# validate the machine-readable BENCH_results.json it emits.
+# Bench-harness smoke test: run a reduced-size Figure 7 sweep both
+# sequentially and through the parallel job runner (--jobs 4), check
+# the two runs are deterministic (identical stdout tables and
+# identical BENCH_results.json apart from wall_clock_s), and validate
+# the machine-readable JSON schema.
 #
 #   scripts/bench_smoke.sh              # uses ./build (configures if absent)
 #   BUILD_DIR=/tmp/b scripts/bench_smoke.sh
@@ -16,15 +19,41 @@ if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
 fi
 cmake --build "$BUILD_DIR" -j "$JOBS" --target fig07_performance
 
-json="$(mktemp /tmp/csalt-bench-XXXXXX.json)"
-trap 'rm -f "$json"' EXIT
+json_seq="$(mktemp /tmp/csalt-bench-seq-XXXXXX.json)"
+json_par="$(mktemp /tmp/csalt-bench-par-XXXXXX.json)"
+out_seq="$(mktemp /tmp/csalt-bench-seq-XXXXXX.out)"
+out_par="$(mktemp /tmp/csalt-bench-par-XXXXXX.out)"
+trap 'rm -f "$json_seq" "$json_par" "$out_seq" "$out_par"' EXIT
 
-echo "== reduced fig07 run =="
-CSALT_QUOTA=60000 CSALT_WARMUP=20000 CSALT_BENCH_JSON="$json" \
-    "$BUILD_DIR/bench/fig07_performance"
+echo "== reduced fig07, --jobs 1 =="
+CSALT_QUOTA=60000 CSALT_WARMUP=20000 CSALT_BENCH_JSON="$json_seq" \
+    "$BUILD_DIR/bench/fig07_performance" --jobs 1 | tee "$out_seq"
 
-echo "== validate $json =="
-python3 - "$json" <<'EOF'
+echo "== reduced fig07, --jobs 4 =="
+CSALT_QUOTA=60000 CSALT_WARMUP=20000 CSALT_BENCH_JSON="$json_par" \
+    "$BUILD_DIR/bench/fig07_performance" --jobs 4 | tee "$out_par"
+
+echo "== determinism: stdout tables must be byte-identical =="
+diff "$out_seq" "$out_par" \
+    || { echo "FAIL: --jobs 1 and --jobs 4 stdout differ"; exit 1; }
+
+echo "== determinism: JSON identical apart from wall_clock_s =="
+python3 - "$json_seq" "$json_par" <<'EOF'
+import json
+import sys
+
+docs = []
+for path in sys.argv[1:3]:
+    with open(path) as f:
+        doc = json.load(f)
+    doc.pop("wall_clock_s")
+    docs.append(doc)
+assert docs[0] == docs[1], "metrics diverge between --jobs 1 and 4"
+print("ok: per-config metrics byte-identical across job counts")
+EOF
+
+echo "== validate $json_par =="
+python3 - "$json_par" <<'EOF'
 import json
 import sys
 

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Full pre-merge gate: pristine configure with warnings-as-errors,
-# the whole test suite, and an end-to-end telemetry smoke test
-# (csalt-sim --trace-out piped through trace_inspect).
+# the whole test suite, the obs suite under ASan+UBSan, the harness
+# (thread-pool job runner) suite under ThreadSanitizer, and an
+# end-to-end telemetry smoke test (csalt-sim --trace-out piped
+# through trace_inspect).
 #
 #   scripts/check.sh             # build into ./build-check
 #   BUILD_DIR=/tmp/b scripts/check.sh
@@ -35,6 +37,15 @@ cmake -B "$ASAN_DIR" -S . -DCSALT_SANITIZE=ON
 cmake --build "$ASAN_DIR" -j "$JOBS" --target \
     test_histogram test_cpi_stack test_stat_registry test_trace_events
 ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS" -L obs
+
+echo "== harness suite under TSan =="
+TSAN_DIR="${BUILD_DIR}-tsan"
+if [[ "${KEEP_BUILD:-0}" != 1 ]]; then
+    rm -rf "$TSAN_DIR"
+fi
+cmake -B "$TSAN_DIR" -S . -DCSALT_SANITIZE=thread
+cmake --build "$TSAN_DIR" -j "$JOBS" --target test_job_runner
+ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" -L harness
 
 echo "== telemetry smoke test =="
 trace="$(mktemp /tmp/csalt-check-XXXXXX.jsonl)"

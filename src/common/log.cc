@@ -1,7 +1,9 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <set>
 #include <utility>
 
@@ -10,32 +12,52 @@ namespace csalt
 
 namespace
 {
-LogLevel g_level = LogLevel::quiet;
+
+// The log level is read on hot paths from every job-runner worker;
+// relaxed atomics keep that race-free without a lock.
+std::atomic<LogLevel> g_level{LogLevel::quiet};
+
+/**
+ * Emit one message as a single write so concurrent jobs never
+ * interleave within (or between the lines of) a message. fprintf of
+ * one buffer is atomic per call on POSIX streams; the lock also
+ * orders whole messages across threads.
+ */
+std::mutex g_stderr_mutex;
+
+void
+emit(const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(g_stderr_mutex);
+    std::fwrite(text.data(), 1, text.size(), stderr);
+    std::fflush(stderr);
+}
+
 } // namespace
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 void
 inform(LogLevel level, const std::string &msg)
 {
-    if (static_cast<int>(level) <= static_cast<int>(g_level))
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (static_cast<int>(level) <= static_cast<int>(logLevel()))
+        emit("info: " + msg + "\n");
 }
 
 void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emit("warn: " + msg + "\n");
 }
 
 bool
@@ -43,28 +65,30 @@ warnOnce(const std::string &msg, std::source_location loc)
 {
     // Keyed by call site, not message text: a per-access warning with
     // a varying payload ("bad addr 0x1234…") still prints only once.
+    // Guarded: warnOnce is reachable from every job-runner worker.
+    static std::mutex mutex;
     static std::set<std::pair<std::string, unsigned>> seen;
-    const auto [it, inserted] =
-        seen.emplace(loc.file_name(), loc.line());
-    if (!inserted)
-        return false;
-    std::fprintf(stderr, "warn: %s (further warnings from %s:%u "
-                 "suppressed)\n",
-                 msg.c_str(), loc.file_name(), loc.line());
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!seen.emplace(loc.file_name(), loc.line()).second)
+            return false;
+    }
+    emit(msgOf("warn: ", msg, " (further warnings from ",
+               loc.file_name(), ":", loc.line(), " suppressed)\n"));
     return true;
 }
 
 void
 fatal(const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    emit("fatal: " + msg + "\n");
     std::exit(1);
 }
 
 void
 panic(const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    emit("panic: " + msg + "\n");
     std::abort();
 }
 

@@ -5,6 +5,11 @@
  * Follows the gem5 convention: fatal() is for user errors (bad
  * configuration), panic() is for internal invariant violations.
  * Both print a message and terminate; neither returns.
+ *
+ * All entry points are thread-safe: the level is atomic, warnOnce's
+ * call-site set is mutex-guarded, and every message is emitted as one
+ * write so output from parallel runner jobs never interleaves within
+ * a message.
  */
 
 #ifndef CSALT_COMMON_LOG_H

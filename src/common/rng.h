@@ -79,12 +79,19 @@ class Rng
      * floor(n^(u^(1/(1-s)))) clamped to range; adequate for shaping
      * skewed page popularity in workload generators (we need the
      * qualitative skew, not an exact Zipf law).
+     *
+     * Exponents s <= 0 clamp to 0 (uniform over [0, n)): a negative
+     * skew is meaningless for rank popularity, and before the clamp
+     * the s < 0 case fell through the epsilon branch into an
+     * anti-skewed distribution.
      */
     std::uint64_t
     zipf(std::uint64_t n, double s)
     {
         if (n <= 1)
             return 0;
+        if (s < 0.0)
+            s = 0.0;
         const double u = uniform();
         // Inverse-CDF approximation of a truncated Pareto, which has
         // the same heavy-tail shape as Zipf over item ranks.

@@ -1,0 +1,105 @@
+#include "harness/job_runner.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace csalt::harness
+{
+
+namespace
+{
+
+/** SplitMix64 finalizer (same mixing constants as Rng seeding). */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+fnv1a(std::string_view s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+unsigned
+parseJobsValue(const char *s, const char *origin)
+{
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(s, &end, 10);
+    if (end == s || *end != '\0' || v == 0 || v > 4096)
+        fatal(msgOf(origin, ": bad job count '", s,
+                    "' (want an integer in [1, 4096])"));
+    return static_cast<unsigned>(v);
+}
+
+} // namespace
+
+std::uint64_t
+deriveSeed(std::uint64_t base_seed, std::string_view job_key)
+{
+    // Two rounds of SplitMix64 over (key hash, base) decorrelate
+    // nearby keys and base seeds; the result depends only on the
+    // stable key, never on submission order.
+    return mix64(mix64(fnv1a(job_key)) ^ base_seed);
+}
+
+unsigned
+jobsFromEnv(unsigned fallback)
+{
+    const char *s = std::getenv("CSALT_JOBS");
+    if (!s || !*s)
+        return fallback;
+    return parseJobsValue(s, "$CSALT_JOBS");
+}
+
+unsigned
+parseJobsFlag(int &argc, char **argv)
+{
+    unsigned jobs = jobsFromEnv(1);
+    int w = 1;
+    for (int r = 1; r < argc; ++r) {
+        if (std::strcmp(argv[r], "--jobs") == 0) {
+            if (r + 1 >= argc)
+                fatal("--jobs needs a value");
+            jobs = parseJobsValue(argv[++r], "--jobs");
+        } else if (std::strncmp(argv[r], "--jobs=", 7) == 0) {
+            jobs = parseJobsValue(argv[r] + 7, "--jobs");
+        } else {
+            argv[w++] = argv[r];
+        }
+    }
+    argc = w;
+    argv[argc] = nullptr;
+    return jobs;
+}
+
+ProgressFn
+stderrProgress()
+{
+    return [](const JobStatus &s) {
+        // Single formatted write so parallel jobs never interleave
+        // within a line.
+        if (s.ok) {
+            std::fprintf(stderr, "  [%zu/%zu] %s  (%.1fs)\n", s.done,
+                         s.total, s.key.c_str(), s.wall_s);
+        } else {
+            std::fprintf(stderr, "  [%zu/%zu] %s  FAILED: %s\n",
+                         s.done, s.total, s.key.c_str(),
+                         s.error.c_str());
+        }
+    };
+}
+
+} // namespace csalt::harness

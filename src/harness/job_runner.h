@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Parallel experiment job runner.
+ *
+ * Every CSALT figure/sweep is a grid of independent simulations; the
+ * runner executes that grid on a fixed-size thread pool. The contract
+ * that makes this safe and reproducible:
+ *
+ *  - jobs are shared-nothing: each job builds its own System (via
+ *    BuildSpec) inside the job function and tears it down before
+ *    returning. StatRegistry, Rng and the workload generators are all
+ *    per-System state, so nothing is shared between jobs (see
+ *    docs/harness.md for the full invariant list);
+ *  - any per-job randomness is seeded by deriveSeed() over a *stable
+ *    job key*, never by submission or completion order, so the same
+ *    grid gives the same numbers at any --jobs value;
+ *  - results are collected in submission order, and the optional
+ *    ordered callback streams them in that order as soon as the
+ *    completed prefix allows — with jobs=1 this reduces exactly to
+ *    the historical sequential loop.
+ *
+ * Failures are isolated: a job that throws is reported in its
+ * JobOutcome (ok=false, error message) and every other job still
+ * runs to completion.
+ */
+
+#ifndef CSALT_HARNESS_JOB_RUNNER_H
+#define CSALT_HARNESS_JOB_RUNNER_H
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "harness/thread_pool.h"
+
+namespace csalt::harness
+{
+
+/**
+ * Deterministic per-job seed: SplitMix64 finalization over an FNV-1a
+ * hash of the stable @p job_key mixed with @p base_seed. Independent
+ * of submission order, thread count and platform.
+ */
+std::uint64_t deriveSeed(std::uint64_t base_seed,
+                         std::string_view job_key);
+
+/** Worker count from $CSALT_JOBS; @p fallback when unset/invalid. */
+unsigned jobsFromEnv(unsigned fallback = 1);
+
+/**
+ * Consume a `--jobs N` / `--jobs=N` flag from argv (compacting the
+ * array and decrementing @p argc). Returns the requested worker
+ * count; without the flag, falls back to $CSALT_JOBS, then 1.
+ * fatal() on a malformed or zero value.
+ */
+unsigned parseJobsFlag(int &argc, char **argv);
+
+/** Progress snapshot passed to the progress callback. */
+struct JobStatus
+{
+    std::size_t index; //!< submission index of the finished job
+    std::size_t done;  //!< jobs finished so far (including this one)
+    std::size_t total;
+    const std::string &key;
+    double wall_s;
+    bool ok;
+    const std::string &error; //!< empty when ok
+};
+
+using ProgressFn = std::function<void(const JobStatus &)>;
+
+/** Default progress reporter: one stderr line per finished job. */
+ProgressFn stderrProgress();
+
+/** Result slot for one job, in submission order. */
+template <typename T>
+struct JobOutcome
+{
+    std::string key;
+    bool ok = false;
+    std::string error; //!< what() of the escaped exception
+    double wall_s = 0.0;
+    std::optional<T> value; //!< engaged iff ok
+};
+
+/**
+ * Shared-nothing job grid executor. Typical use:
+ *
+ *   JobRunner<RunMetrics> runner(jobs);
+ *   for (cell : grid)
+ *       runner.add(cell.key(), [cell] { return simulate(cell); });
+ *   auto outcomes = runner.run(stderrProgress());
+ *
+ * With jobs==1 everything executes inline on the calling thread in
+ * submission order (the exact historical sequential behaviour);
+ * otherwise a ThreadPool dispatches jobs FIFO and the results are
+ * still returned in submission order.
+ */
+template <typename T>
+class JobRunner
+{
+  public:
+    /** @p jobs worker threads; 1 = sequential inline execution. */
+    explicit JobRunner(unsigned jobs = 1) : jobs_(jobs ? jobs : 1) {}
+
+    /** Queue a job. @p key must be stable and unique per job. */
+    std::size_t
+    add(std::string key, std::function<T()> fn)
+    {
+        entries_.push_back({std::move(key), std::move(fn)});
+        return entries_.size() - 1;
+    }
+
+    std::size_t size() const { return entries_.size(); }
+    unsigned workerCount() const { return jobs_; }
+
+    /**
+     * Stream outcomes in submission order: invoked for job i only
+     * once jobs 0..i-1 have all been emitted. Under jobs=1 this fires
+     * immediately after each job, interleaving exactly like the old
+     * sequential harness loops.
+     */
+    void
+    setOrderedCallback(
+        std::function<void(std::size_t, const JobOutcome<T> &)> cb)
+    {
+        ordered_ = std::move(cb);
+    }
+
+    /**
+     * Execute every queued job; outcomes indexed by submission order.
+     * The queue is consumed: run() may be called only once.
+     */
+    std::vector<JobOutcome<T>>
+    run(ProgressFn progress = {})
+    {
+        const std::size_t n = entries_.size();
+        std::vector<JobOutcome<T>> outcomes(n);
+
+        if (jobs_ == 1 || n <= 1) {
+            for (std::size_t i = 0; i < n; ++i) {
+                outcomes[i] = execute(i);
+                if (progress)
+                    progress(statusOf(outcomes[i], i, i + 1, n));
+                if (ordered_)
+                    ordered_(i, outcomes[i]);
+            }
+            entries_.clear();
+            return outcomes;
+        }
+
+        std::mutex mutex;
+        std::size_t done = 0;
+        std::size_t next_emit = 0;
+        std::vector<char> ready(n, 0);
+        {
+            ThreadPool pool(
+                static_cast<unsigned>(std::min<std::size_t>(jobs_, n)));
+            for (std::size_t i = 0; i < n; ++i) {
+                pool.post([&, i] {
+                    JobOutcome<T> outcome = execute(i);
+                    std::lock_guard<std::mutex> lock(mutex);
+                    outcomes[i] = std::move(outcome);
+                    ready[i] = 1;
+                    ++done;
+                    if (progress)
+                        progress(statusOf(outcomes[i], i, done, n));
+                    while (ordered_ && next_emit < n &&
+                           ready[next_emit]) {
+                        ordered_(next_emit, outcomes[next_emit]);
+                        ++next_emit;
+                    }
+                });
+            }
+            pool.drain();
+        }
+        entries_.clear();
+        return outcomes;
+    }
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        std::function<T()> fn;
+    };
+
+    JobOutcome<T>
+    execute(std::size_t i)
+    {
+        JobOutcome<T> outcome;
+        outcome.key = entries_[i].key;
+        const auto start = std::chrono::steady_clock::now();
+        try {
+            outcome.value.emplace(entries_[i].fn());
+            outcome.ok = true;
+        } catch (const std::exception &e) {
+            outcome.error = e.what();
+        } catch (...) {
+            outcome.error = "unknown exception";
+        }
+        outcome.wall_s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+        return outcome;
+    }
+
+    static JobStatus
+    statusOf(const JobOutcome<T> &o, std::size_t index,
+             std::size_t done, std::size_t total)
+    {
+        return {index, done, total, o.key, o.wall_s, o.ok, o.error};
+    }
+
+    unsigned jobs_;
+    std::vector<Entry> entries_;
+    std::function<void(std::size_t, const JobOutcome<T> &)> ordered_;
+};
+
+} // namespace csalt::harness
+
+#endif // CSALT_HARNESS_JOB_RUNNER_H

@@ -1,0 +1,52 @@
+#include "harness/results.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "sim/metrics_io.h"
+
+namespace csalt::harness
+{
+
+std::string
+jobsJson(const std::vector<JobOutcome<RunMetrics>> &outcomes,
+         bool include_wall)
+{
+    std::ostringstream os;
+    os << "{\"jobs\": [";
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const auto &o = outcomes[i];
+        os << (i ? ",\n" : "\n") << "{\"key\": \""
+           << obs::escapeJson(o.key) << "\", \"ok\": "
+           << (o.ok ? "true" : "false");
+        if (include_wall) {
+            os << ", \"wall_s\": ";
+            obs::writeJsonNumber(os, o.wall_s);
+        }
+        if (o.ok)
+            os << ", \"metrics\": " << metricsJson(o.key, *o.value);
+        else
+            os << ", \"error\": \"" << obs::escapeJson(o.error)
+               << "\"";
+        os << "}";
+    }
+    if (!outcomes.empty())
+        os << "\n";
+    os << "]}";
+    return os.str();
+}
+
+bool
+writeJobsJson(const std::string &path,
+              const std::vector<JobOutcome<RunMetrics>> &outcomes,
+              bool include_wall)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << jobsJson(outcomes, include_wall) << "\n";
+    return static_cast<bool>(out);
+}
+
+} // namespace csalt::harness

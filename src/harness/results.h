@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Aggregated machine-readable output for a grid of simulation jobs:
+ * one JSON document merging every job's RunMetrics (via metricsJson)
+ * with its key, status and wall-clock, in submission order. Failed
+ * jobs keep their slot with ok=false and the error message, so a
+ * partially failed sweep is still diffable.
+ */
+
+#ifndef CSALT_HARNESS_RESULTS_H
+#define CSALT_HARNESS_RESULTS_H
+
+#include <string>
+#include <vector>
+
+#include "harness/job_runner.h"
+#include "sim/metrics.h"
+
+namespace csalt::harness
+{
+
+/**
+ * Serialize @p outcomes as
+ *   {"jobs": [{"key": ..., "ok": true, "wall_s": ...,
+ *              "metrics": {...}}, ...]}
+ * with per-job metrics from metricsJson(). @p include_wall drops the
+ * wall_s field when false, making the document bit-stable across
+ * --jobs values (used by the determinism tests).
+ */
+std::string
+jobsJson(const std::vector<JobOutcome<RunMetrics>> &outcomes,
+         bool include_wall = true);
+
+/** Write jobsJson() to @p path. @return false when unwritable. */
+bool
+writeJobsJson(const std::string &path,
+              const std::vector<JobOutcome<RunMetrics>> &outcomes,
+              bool include_wall = true);
+
+} // namespace csalt::harness
+
+#endif // CSALT_HARNESS_RESULTS_H

@@ -1,0 +1,70 @@
+#include "harness/thread_pool.h"
+
+#include <utility>
+
+namespace csalt::harness
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    drain();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+        ++in_flight_;
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    drained_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ and no work left
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--in_flight_ == 0)
+                drained_.notify_all();
+        }
+    }
+}
+
+} // namespace csalt::harness

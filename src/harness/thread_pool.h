@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fixed-size worker pool for the experiment job runner.
+ *
+ * Deliberately minimal: tasks are posted as type-erased closures and
+ * executed FIFO by a fixed set of workers. There is no resizing, no
+ * priorities and no futures — JobRunner layers result collection and
+ * ordering on top. Tasks must not throw (JobRunner wraps every job in
+ * a catch-all before posting).
+ */
+
+#ifndef CSALT_HARNESS_THREAD_POOL_H
+#define CSALT_HARNESS_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace csalt::harness
+{
+
+/** Fixed set of workers draining a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /** Start @p threads workers (at least 1). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Waits for all posted tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task; runs on some worker in FIFO dispatch order. */
+    void post(std::function<void()> task);
+
+    /** Block until every posted task has finished executing. */
+    void drain();
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable wake_;    //!< workers: queue or stop
+    std::condition_variable drained_; //!< drain(): in_flight == 0
+    std::deque<std::function<void()>> queue_;
+    std::size_t in_flight_ = 0; //!< queued + currently executing
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace csalt::harness
+
+#endif // CSALT_HARNESS_THREAD_POOL_H

@@ -1,5 +1,6 @@
 #include "obs/trace_event.h"
 
+#include <atomic>
 #include <ostream>
 #include <sstream>
 
@@ -11,19 +12,23 @@ namespace csalt::obs
 
 namespace
 {
-EventTracer *g_active = nullptr;
+// Atomic: the CSALT_TRACE_* macros load this on simulation hot paths
+// from every job-runner worker. Tracing itself stays single-System
+// (see docs/harness.md); the atomic only makes the off-state check
+// race-free.
+std::atomic<EventTracer *> g_active{nullptr};
 } // namespace
 
 EventTracer *
 activeTracer()
 {
-    return g_active;
+    return g_active.load(std::memory_order_acquire);
 }
 
 void
 setActiveTracer(EventTracer *tracer)
 {
-    g_active = tracer;
+    g_active.store(tracer, std::memory_order_release);
 }
 
 const char *

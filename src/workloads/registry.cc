@@ -2,6 +2,7 @@
 
 #include <array>
 #include <map>
+#include <mutex>
 
 #include "common/log.h"
 #include "workloads/generators.h"
@@ -37,9 +38,13 @@ workloadDesc(const std::string &name)
             return desc;
 
     // "file:<path>": replay a recorded trace. The parsed file is
-    // cached so the per-thread sources share one copy.
+    // cached so the per-thread sources share one copy. Guarded:
+    // parallel runner jobs resolve workloads concurrently, and node
+    // references into the map stay valid across later insertions.
     if (name.rfind("file:", 0) == 0) {
+        static std::mutex file_mutex;
         static std::map<std::string, WorkloadDesc> file_descs;
+        std::lock_guard<std::mutex> lock(file_mutex);
         auto it = file_descs.find(name);
         if (it == file_descs.end()) {
             auto file = TraceFile::load(name.substr(5));

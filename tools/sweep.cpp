@@ -2,12 +2,24 @@
  * @file
  * Developer harness: static-partition sweep for one workload pair —
  * establishes the headroom the dynamic controller should find.
+ *
+ *   sweep [label] [--jobs N] [--json results.json]
+ *
+ * The (L2 ways × L3 ways) grid runs through the parallel job runner
+ * ($CSALT_JOBS or --jobs; default sequential); rows stream in grid
+ * order regardless of completion order, so output is identical at
+ * any job count. --json writes the merged per-cell RunMetrics.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include "common/log.h"
+#include "harness/job_runner.h"
+#include "harness/results.h"
 #include "sim/metrics.h"
 #include "sim/system_builder.h"
 #include "workloads/registry.h"
@@ -17,15 +29,28 @@ using namespace csalt;
 namespace
 {
 
-double
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    if (const char *s = std::getenv(name))
+        return std::strtoull(s, nullptr, 10);
+    return fallback;
+}
+
+RunMetrics
 run(const std::string &label, unsigned l2_data, unsigned l3_data,
     std::uint64_t warmup, std::uint64_t quota)
 {
     BuildSpec spec;
     applyPomTlb(spec.params);
-    if (l3_data) {
+    // The two levels partition independently: an L2-only split
+    // (l3_data == 0) must not silently run unpartitioned, and an
+    // L3-only split must not drag the L2 along.
+    if (l2_data) {
         spec.params.l2_partition.policy = PartitionPolicy::staticHalf;
         spec.params.l2_partition.static_data_ways = l2_data;
+    }
+    if (l3_data) {
         spec.params.l3_partition.policy = PartitionPolicy::staticHalf;
         spec.params.l3_partition.static_data_ways = l3_data;
     }
@@ -35,7 +60,7 @@ run(const std::string &label, unsigned l2_data, unsigned l3_data,
     system->run(warmup);
     system->clearAllStats();
     system->run(quota);
-    return collectMetrics(*system).ipc_geomean;
+    return collectMetrics(*system);
 }
 
 } // namespace
@@ -43,19 +68,73 @@ run(const std::string &label, unsigned l2_data, unsigned l3_data,
 int
 main(int argc, char **argv)
 {
-    const std::string label = argc > 1 ? argv[1] : "ccomp";
-    const std::uint64_t quota = 1'000'000;
-    const std::uint64_t warmup = 800'000;
-
-    const double base = run(label, 0, 0, warmup, quota);
-    std::printf("%s unpartitioned IPC %.4f\n", label.c_str(), base);
-    for (unsigned l2d = 1; l2d <= 3; ++l2d) {
-        for (unsigned l3d : {2u, 4u, 6u, 8u, 10u, 12u, 14u}) {
-            const double ipc = run(label, l2d, l3d, warmup, quota);
-            std::printf("  L2d=%u L3d=%-2u  ipc %.4f  vs_pom %.3f\n",
-                        l2d, l3d, ipc, ipc / base);
-            std::fflush(stdout);
+    const unsigned jobs = harness::parseJobsFlag(argc, argv);
+    std::string label = "ccomp";
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            if (i + 1 >= argc)
+                fatal("--json needs a path");
+            json_path = argv[++i];
+        } else {
+            label = argv[i];
         }
+    }
+    const std::uint64_t quota = envU64("CSALT_QUOTA", 1'000'000);
+    const std::uint64_t warmup = envU64("CSALT_WARMUP", quota * 4 / 5);
+
+    struct Cell
+    {
+        unsigned l2d;
+        unsigned l3d;
+    };
+    std::vector<Cell> grid = {{0, 0}}; // [0] is the unpartitioned base
+    for (unsigned l2d = 1; l2d <= 3; ++l2d)
+        for (unsigned l3d : {0u, 2u, 4u, 6u, 8u, 10u, 12u, 14u})
+            grid.push_back({l2d, l3d});
+
+    harness::JobRunner<RunMetrics> runner(jobs);
+    for (const Cell &cell : grid) {
+        const std::string key =
+            cell.l2d == 0 && cell.l3d == 0
+                ? label + "/unpartitioned"
+                : label + "/L2d=" + std::to_string(cell.l2d) +
+                      ",L3d=" + std::to_string(cell.l3d);
+        runner.add(key, [=] {
+            return run(label, cell.l2d, cell.l3d, warmup, quota);
+        });
+    }
+
+    // Rows stream in grid order; the base IPC is ready before any
+    // grid row because the ordered callback fires index 0 first.
+    double base = 0.0;
+    runner.setOrderedCallback(
+        [&](std::size_t i, const harness::JobOutcome<RunMetrics> &o) {
+            if (!o.ok)
+                fatal(msgOf("sweep cell '", o.key,
+                            "' failed: ", o.error));
+            const double ipc = o.value->ipc_geomean;
+            if (i == 0) {
+                base = ipc;
+                std::printf("%s unpartitioned IPC %.4f\n",
+                            label.c_str(), base);
+            } else {
+                std::printf(
+                    "  L2d=%u L3d=%-2u  ipc %.4f  vs_pom %.3f\n",
+                    grid[i].l2d, grid[i].l3d, ipc,
+                    base > 0 ? ipc / base : 0.0);
+            }
+            std::fflush(stdout);
+        });
+    const auto outcomes = runner.run(
+        jobs > 1 ? harness::stderrProgress() : harness::ProgressFn{});
+
+    if (!json_path.empty()) {
+        if (!harness::writeJobsJson(json_path, outcomes))
+            fatal("cannot write sweep results to '" + json_path + "'");
+        // stderr, like all non-result chatter: keeps stdout identical
+        // across runs that write to different --json paths.
+        std::fprintf(stderr, "wrote %s\n", json_path.c_str());
     }
     return 0;
 }

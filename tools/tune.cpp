@@ -5,14 +5,22 @@
  * tuned against — L2 TLB MPKI with/without context switching, walk
  * costs, translation occupancy, per-scheme cache behaviour and IPCs.
  * See bench/ for the per-figure reproduction binaries.
+ *
+ *   tune [--jobs N] [label ...]
+ *
+ * The (label × scheme) grid runs through the parallel job runner
+ * ($CSALT_JOBS or --jobs; default sequential); tables print in label
+ * order either way, so output is identical at any job count.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "common/log.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "harness/job_runner.h"
 #include "sim/metrics.h"
 #include "sim/system_builder.h"
 #include "workloads/registry.h"
@@ -121,6 +129,7 @@ runOne(const std::string &label, void (*apply)(SystemParams &),
 int
 main(int argc, char **argv)
 {
+    const unsigned jobs = harness::parseJobsFlag(argc, argv);
     const std::uint64_t quota = envU64("CSALT_QUOTA", 2'000'000);
     const std::uint64_t warmup = envU64("CSALT_WARMUP", quota / 2);
     std::vector<std::string> labels = paperPairLabels();
@@ -130,15 +139,46 @@ main(int argc, char **argv)
             labels.emplace_back(argv[i]);
     }
 
+    struct Variant
+    {
+        const char *name;
+        void (*apply)(SystemParams &);
+        bool context_switch;
+    };
+    const std::vector<Variant> variants = {
+        {"conv-noCS", applyConventional, false},
+        {"conv", applyConventional, true},
+        {"pom", applyPomTlb, true},
+        {"csD", applyCsaltD, true},
+        {"csCD", applyCsaltCD, true},
+    };
+
+    harness::JobRunner<RunOutput> runner(jobs);
     for (const auto &label : labels) {
-        const auto conv_nocs =
-            runOne(label, applyConventional, false, warmup, quota);
-        const auto conv =
-            runOne(label, applyConventional, true, warmup, quota);
-        const auto pom = runOne(label, applyPomTlb, true, warmup, quota);
-        const auto csd = runOne(label, applyCsaltD, true, warmup, quota);
-        const auto cscd =
-            runOne(label, applyCsaltCD, true, warmup, quota);
+        for (const auto &v : variants) {
+            runner.add(label + "/" + v.name, [=] {
+                return runOne(label, v.apply, v.context_switch,
+                              warmup, quota);
+            });
+        }
+    }
+    const auto outcomes = runner.run(
+        jobs > 1 ? harness::stderrProgress() : harness::ProgressFn{});
+
+    for (std::size_t l = 0; l < labels.size(); ++l) {
+        const auto &label = labels[l];
+        const auto slot = [&](std::size_t v) -> const RunOutput & {
+            const auto &o = outcomes[l * variants.size() + v];
+            if (!o.ok)
+                fatal(msgOf("tune run '", o.key,
+                            "' failed: ", o.error));
+            return *o.value;
+        };
+        const auto &conv_nocs = slot(0);
+        const auto &conv = slot(1);
+        const auto &pom = slot(2);
+        const auto &csd = slot(3);
+        const auto &cscd = slot(4);
 
         std::printf("=== %s  (MPKI noCS %.2f | CS %.2f | ratio %.2f | "
                     "conv walk %.0f cyc | POM elim %.3f)\n",
