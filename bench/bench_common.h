@@ -14,6 +14,14 @@
  *   CSALT_JOBS        worker threads for the cell grid (default 1);
  *                     every bench binary also takes --jobs N.
  *
+ * Every bench binary also takes the shared runner flags (--retries,
+ * --job-timeout, --stall-timeout, --resume, --fresh). A crash-safe
+ * journal is kept beside the results file
+ * ($CSALT_BENCH_JSON.journal.jsonl); kill the bench and rerun with
+ * --resume to replay finished cells instead of re-simulating them.
+ * Use a distinct CSALT_BENCH_JSON per bench binary when resuming —
+ * the journal is keyed to the results path.
+ *
  * Parallel execution never changes the numbers: cells are
  * shared-nothing (each builds its own System) and fully determined
  * by their parameters, so --jobs N output is identical to --jobs 1
@@ -26,16 +34,18 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/atomic_io.h"
+#include "common/error.h"
 #include "common/log.h"
 #include "common/table.h"
 #include "harness/job_runner.h"
+#include "harness/results.h"
 #include "obs/json.h"
 #include "sim/metrics.h"
 #include "sim/system_builder.h"
@@ -50,12 +60,21 @@ struct BenchEnv
     std::uint64_t quota = 1'000'000;
     std::uint64_t warmup = 600'000;
     double scale = 1.0;
-    unsigned jobs = 1; //!< cell-grid worker threads
+    //! cell-grid execution knobs (workers, retries, timeouts, resume)
+    harness::RunnerOptions runner;
     //! process start, so wall_clock_s covers the whole bench even
     //! though ResultsJson is typically constructed after run()
     std::chrono::steady_clock::time_point start =
         std::chrono::steady_clock::now();
 };
+
+/** $CSALT_BENCH_JSON, or the in-tree default. */
+inline std::string
+benchJsonPath()
+{
+    const char *env_path = std::getenv("CSALT_BENCH_JSON");
+    return env_path && *env_path ? env_path : "BENCH_results.json";
+}
 
 inline std::uint64_t
 envU64(const char *name, std::uint64_t fallback)
@@ -75,16 +94,16 @@ benchEnv()
         env.quota /= 4;
         env.warmup /= 4;
     }
-    env.jobs = harness::jobsFromEnv(1);
+    env.runner.jobs = harness::jobsFromEnv(1);
     return env;
 }
 
-/** benchEnv() plus `--jobs N` / `--jobs=N` consumed from argv. */
+/** benchEnv() plus every runner flag consumed from argv. */
 inline BenchEnv
 benchEnv(int &argc, char **argv)
 {
     BenchEnv env = benchEnv();
-    env.jobs = harness::parseJobsFlag(argc, argv);
+    env.runner = harness::parseRunnerFlags(argc, argv);
     return env;
 }
 
@@ -146,8 +165,8 @@ runCell(const std::string &label, const Scheme &scheme,
  * through the harness job runner.
  *
  * Usage: add() every cell up front (it returns a handle), run()
- * once, then read metrics back via operator[]. With env.jobs == 1
- * the cells execute inline in add() order — exactly the historical
+ * once, then read metrics back via operator[]. With one worker the
+ * cells execute inline in add() order — exactly the historical
  * sequential loops; with more workers they run concurrently and the
  * printed tables stay byte-identical because each cell is an
  * isolated System determined only by its parameters.
@@ -156,8 +175,26 @@ class CellSet
 {
   public:
     explicit CellSet(const BenchEnv &env)
-        : env_(env), runner_(env.jobs)
+        : env_(env), runner_(env.runner)
     {
+        // The journal lives beside the results file; a bench that
+        // dies mid-grid resumes with --resume instead of redoing
+        // every finished cell. An unopenable journal only aborts
+        // when the user explicitly asked to resume from it.
+        auto journal = harness::Journal::open(
+            benchJsonPath() + ".journal.jsonl",
+            msgOf("bench:quota=", env.quota, ":warmup=", env.warmup),
+            !env.runner.resume);
+        if (!journal) {
+            if (env.runner.resume)
+                fatal(journal.error());
+            warn("bench journal disabled: " +
+                 oneLine(journal.error()));
+        } else {
+            journal_ = std::move(journal).take();
+            runner_.attachJournal(journal_.get(),
+                                  harness::metricsJournalCodec());
+        }
     }
 
     /**
@@ -187,21 +224,29 @@ class CellSet
         });
     }
 
-    /** Execute every queued cell; fatal() if any cell fails. */
+    /**
+     * Execute every queued cell. A bench table is meaningless with
+     * holes (the normalisation columns need every scheme), so if any
+     * cell fails the failure table is printed and the process exits
+     * with the failed-cell count — the journal keeps the finished
+     * cells for a --resume rerun.
+     */
     void
     run()
     {
-        if (env_.jobs > 1)
+        const unsigned jobs = env_.runner.jobs;
+        if (jobs > 1)
             std::fprintf(stderr,
                          "running %zu cells on %u worker threads\n",
-                         runner_.size(), env_.jobs);
-        outcomes_ = runner_.run(env_.jobs > 1
-                                    ? harness::stderrProgress()
-                                    : harness::ProgressFn{});
-        for (const auto &o : outcomes_)
-            if (!o.ok)
-                fatal(msgOf("bench cell '", o.key,
-                            "' failed: ", o.error));
+                         runner_.size(), jobs);
+        outcomes_ = runner_.run(jobs > 1 ? harness::stderrProgress()
+                                         : harness::ProgressFn{});
+        const std::size_t failed = harness::countFailures(outcomes_);
+        if (failed) {
+            harness::printFailureTable(outcomes_);
+            std::exit(static_cast<int>(
+                std::min<std::size_t>(failed, 125)));
+        }
     }
 
     /** Metrics of the cell returned by add(). */
@@ -213,6 +258,7 @@ class CellSet
 
   private:
     BenchEnv env_;
+    std::unique_ptr<harness::Journal> journal_;
     harness::JobRunner<RunMetrics> runner_;
     std::vector<harness::JobOutcome<RunMetrics>> outcomes_;
 };
@@ -264,14 +310,7 @@ class ResultsJson
     void
     write() const
     {
-        const char *env_path = std::getenv("CSALT_BENCH_JSON");
-        const std::string path =
-            env_path && *env_path ? env_path : "BENCH_results.json";
-        std::ofstream out(path);
-        if (!out) {
-            warn("cannot write bench results to '" + path + "'");
-            return;
-        }
+        const std::string path = benchJsonPath();
         const double wall =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - start_)
@@ -282,7 +321,11 @@ class ResultsJson
         os << "{\"figure\":\"" << obs::escapeJson(figure_)
            << "\",\"metric\":\"" << obs::escapeJson(metric_)
            << "\",\"quota\":" << env_.quota
-           << ",\"warmup\":" << env_.warmup << ",\"rows\":[";
+           << ",\"warmup\":" << env_.warmup
+           // Always 0 here — CellSet::run exits before any table (or
+           // this file) is produced when cells fail. The field keeps
+           // the schema aligned with the sweep/tune results files.
+           << ",\"failed_jobs\":0,\"rows\":[";
         for (std::size_t i = 0; i < rows_.size(); ++i) {
             os << (i ? "," : "") << "{\"label\":\""
                << obs::escapeJson(rows_[i].first) << "\",\"values\":";
@@ -292,7 +335,15 @@ class ResultsJson
         os << "],\"geomean\":";
         writeValues(os, geomean_);
         os << ",\"wall_clock_s\":" << wall << "}";
-        out << os.str() << "\n";
+        // tmp + rename: a bench killed mid-write never leaves a torn
+        // results file for downstream diff scripts to choke on.
+        const Status status =
+            writeFileAtomic(path, os.str() + "\n");
+        if (!status.ok()) {
+            warn("cannot write bench results: " +
+                 oneLine(status.error()));
+            return;
+        }
         // Goes to stderr: stdout is the deterministic results table,
         // byte-identical at any --jobs value, and the JSON path (often
         // a mktemp name) would break that contract.

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Full pre-merge gate: pristine configure with warnings-as-errors,
-# the whole test suite, the obs suite under ASan+UBSan, the harness
-# (thread-pool job runner) suite under ThreadSanitizer, and an
+# the whole test suite (twice: plain, then under CSALT_PARANOID=1 so
+# every simulation self-checks its invariants), the obs suite under
+# ASan+UBSan, the harness (thread-pool job runner) suite under
+# ThreadSanitizer, a fault-injection smoke (a corrupted simulator
+# must fail loudly), a SIGKILL+resume smoke (an interrupted sweep
+# resumed with --resume must match the uninterrupted run), and an
 # end-to-end telemetry smoke test (csalt-sim --trace-out piped
 # through trace_inspect).
 #
@@ -28,6 +32,10 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 echo "== tests =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+echo "== tests again, paranoid (every run self-checks invariants) =="
+CSALT_PARANOID=1 ctest --test-dir "$BUILD_DIR" \
+    --output-on-failure -j "$JOBS"
+
 echo "== obs suite under ASan+UBSan =="
 ASAN_DIR="${BUILD_DIR}-asan"
 if [[ "${KEEP_BUILD:-0}" != 1 ]]; then
@@ -46,6 +54,51 @@ fi
 cmake -B "$TSAN_DIR" -S . -DCSALT_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS" --target test_job_runner
 ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" -L harness
+
+echo "== fault-injection smoke: a corrupted run must fail loudly =="
+inject_log="$(mktemp /tmp/csalt-inject-XXXXXX.log)"
+if "$BUILD_DIR/tools/csalt-sim" --pair ccomp --scheme csalt-cd \
+    --quota 60000 --warmup 0 --inject partition-state \
+    > /dev/null 2> "$inject_log"; then
+    echo "FAIL: injected run exited 0"; cat "$inject_log"; exit 1
+fi
+grep -q 'error\[invariant\]' "$inject_log" \
+    || { echo "FAIL: no invariant diagnostic"; cat "$inject_log"; \
+         exit 1; }
+grep -q 'partition.way-sum' "$inject_log" \
+    || { echo "FAIL: wrong checker fired"; cat "$inject_log"; \
+         exit 1; }
+rm -f "$inject_log"
+
+echo "== SIGKILL + resume smoke: sweep must resume byte-identical =="
+sweep_dir="$(mktemp -d /tmp/csalt-resume-XXXXXX)"
+export CSALT_QUOTA=60000 CSALT_WARMUP=20000
+"$BUILD_DIR/tools/sweep" ccomp --jobs 2 \
+    --json "$sweep_dir/ref.json" > "$sweep_dir/ref.out"
+"$BUILD_DIR/tools/sweep" ccomp --jobs 2 \
+    --json "$sweep_dir/res.json" > "$sweep_dir/killed.out" &
+sweep_pid=$!
+sleep 2
+kill -KILL "$sweep_pid" 2>/dev/null || true
+wait "$sweep_pid" 2>/dev/null || true
+"$BUILD_DIR/tools/sweep" ccomp --jobs 2 --resume \
+    --json "$sweep_dir/res.json" > "$sweep_dir/res.out"
+unset CSALT_QUOTA CSALT_WARMUP
+diff "$sweep_dir/ref.out" "$sweep_dir/res.out" \
+    || { echo "FAIL: resumed sweep stdout differs"; exit 1; }
+python3 - "$sweep_dir/ref.json" "$sweep_dir/res.json" <<'EOF'
+import json, sys
+
+def strip_wall(doc):
+    for job in doc["jobs"]:
+        job.pop("wall_s", None)
+    return doc
+
+a, b = (strip_wall(json.load(open(p))) for p in sys.argv[1:3])
+assert a == b, "resumed results differ from the uninterrupted run"
+print("ok: resumed sweep identical (minus wall clock)")
+EOF
+rm -rf "$sweep_dir"
 
 echo "== telemetry smoke test =="
 trace="$(mktemp /tmp/csalt-check-XXXXXX.jsonl)"

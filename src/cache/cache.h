@@ -164,6 +164,62 @@ class Cache
     /** Recount occupancy by scanning every line (test cross-check). */
     std::uint64_t scanCountOf(LineType t) const;
 
+    // ------------------------------------------- invariant inspection
+
+    /** Exact per-type valid-line counter (checked against
+     *  scanCountOf() by the paranoid-mode occupancy invariant). */
+    std::uint64_t
+    exactCountOf(LineType t) const
+    {
+        return type_count_[static_cast<int>(t)];
+    }
+
+    /** The way partition, when partitioning is enabled. */
+    const std::optional<WayPartition> &
+    partition() const
+    {
+        return partition_;
+    }
+
+    /** Replacement state of one set (stack-integrity checks). */
+    const SetReplacement &
+    replacementOf(std::uint64_t set) const
+    {
+        return *sets_[set].repl;
+    }
+
+    /** Data/translation profiler, or nullptr when not profiling. */
+    const StackDistProfiler *
+    dataProfilerIfEnabled() const
+    {
+        return data_shadow_ ? &data_shadow_->profiler() : nullptr;
+    }
+    const StackDistProfiler *
+    tlbProfilerIfEnabled() const
+    {
+        return tlb_shadow_ ? &tlb_shadow_->profiler() : nullptr;
+    }
+
+    // ------------------------------------------------ fault injection
+
+    /** Desync the exact occupancy counter from the line array. */
+    void corruptTypeCountForTest() { type_count_[0] += 7; }
+
+    /** Corrupt one set's replacement metadata (seeded set pick). */
+    void
+    corruptReplacementForTest(std::uint64_t set)
+    {
+        sets_[set % sets_.size()].repl->corruptForTest();
+    }
+
+    /** Break the partition way-sum (data_ways beyond associativity). */
+    void
+    corruptPartitionForTest()
+    {
+        if (partition_)
+            partition_->data_ways = ways_ + 3;
+    }
+
     // -------------------------------------------------------- geometry
 
     unsigned ways() const { return ways_; }

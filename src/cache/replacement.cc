@@ -46,6 +46,15 @@ TrueLruSet::stackPosOf(unsigned way) const
     return rank_[way];
 }
 
+void
+TrueLruSet::corruptForTest()
+{
+    // Duplicate one rank: rank_ stops being a permutation, which the
+    // stack-integrity checker rejects for true LRU.
+    if (rank_.size() >= 2)
+        rank_[0] = rank_[1];
+}
+
 // ------------------------------------------------------------------- NRU
 
 NruSet::NruSet(unsigned ways) : ref_(ways, false) {}

@@ -51,6 +51,14 @@ class SetReplacement
 
     /** Associativity this state covers. */
     virtual unsigned ways() const = 0;
+
+    /**
+     * Fault-injection hook: corrupt this set's metadata so the
+     * paranoid-mode stack-integrity invariant fires (tests prove the
+     * checker works). Default: no-op for policies without a
+     * corruptible encoding.
+     */
+    virtual void corruptForTest() {}
 };
 
 /** Exact recency-ordered LRU. */
@@ -66,6 +74,9 @@ class TrueLruSet : public SetReplacement
     {
         return static_cast<unsigned>(rank_.size());
     }
+
+    /** Duplicate a rank: the permutation invariant must fire. */
+    void corruptForTest() override;
 
   private:
     /** rank_[way] = current stack position (0 = MRU). */

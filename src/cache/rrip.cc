@@ -41,6 +41,14 @@ RripSet::stackPosOf(unsigned way) const
     return rrpv_[way] * (k - 1) / kMax;
 }
 
+void
+RripSet::corruptForTest()
+{
+    // An RRPV beyond the 2-bit encoding: stackPosOf() now exceeds
+    // ways()-1, which the stack-integrity checker rejects.
+    rrpv_[0] = 7;
+}
+
 DrripController::DrripController(std::uint64_t sets, std::uint64_t seed)
     : sets_(sets), rng_(seed)
 {

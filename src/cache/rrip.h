@@ -45,6 +45,9 @@ class RripSet : public SetReplacement
         return static_cast<unsigned>(rrpv_.size());
     }
 
+    /** Out-of-range RRPV: the stack-position invariant must fire. */
+    void corruptForTest() override;
+
   private:
     static constexpr std::uint8_t kMax = 3;
 

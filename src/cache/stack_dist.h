@@ -61,6 +61,14 @@ class StackDistProfiler
     /** Directly set counters (unit tests of the paper's Fig. 5). */
     void setCounters(const std::vector<std::uint64_t> &values);
 
+    /**
+     * Fault-injection hook: bump one counter *without* total_, like a
+     * dropped profiler update would — the conservation invariant
+     * (sum of counters == total) must fire. setCounters() cannot
+     * simulate this because it recomputes the total.
+     */
+    void corruptForTest() { counters_[0] += 7; }
+
   private:
     std::vector<std::uint64_t> counters_;
     std::uint64_t total_ = 0;

@@ -1,0 +1,133 @@
+#include "check/fault_injector.h"
+
+#include "cache/cache.h"
+#include "common/log.h"
+#include "sim/core_model.h"
+#include "sim/system.h"
+#include "tlb/pom_tlb.h"
+#include "tlb/tlb.h"
+
+namespace csalt::check
+{
+
+namespace
+{
+
+struct FaultNameEntry
+{
+    Fault fault;
+    const char *name;
+};
+
+constexpr FaultNameEntry kFaultNames[] = {
+    {Fault::cacheMetadata, "cache-metadata"},
+    {Fault::replacementState, "replacement-state"},
+    {Fault::partitionState, "partition-state"},
+    {Fault::profilerCounters, "profiler-counters"},
+    {Fault::tlbEntry, "tlb-entry"},
+    {Fault::pomEntry, "pom-entry"},
+    {Fault::cpiStack, "cpi-stack"},
+};
+
+std::string
+validNames()
+{
+    std::string names;
+    for (const auto &e : kFaultNames) {
+        if (!names.empty())
+            names += ", ";
+        names += e.name;
+    }
+    return names;
+}
+
+[[noreturn]] void
+raiseEmptyTarget(const char *what)
+{
+    raise(makeError(ErrorKind::internal,
+                    msgOf(what, " holds no valid entries to corrupt"),
+                    "fault injection",
+                    "inject after the simulation has run long enough "
+                    "to populate the structure"));
+}
+
+} // namespace
+
+const char *
+faultName(Fault fault)
+{
+    for (const auto &e : kFaultNames)
+        if (e.fault == fault)
+            return e.name;
+    panic("faultName: unknown fault");
+}
+
+Expected<Fault>
+faultFromName(const std::string &name)
+{
+    for (const auto &e : kFaultNames)
+        if (name == e.name)
+            return e.fault;
+    return makeError(ErrorKind::config,
+                     msgOf("unknown fault '", name, "'"), "--inject",
+                     "valid faults: " + validNames());
+}
+
+std::vector<Fault>
+allFaults()
+{
+    std::vector<Fault> faults;
+    for (const auto &e : kFaultNames)
+        faults.push_back(e.fault);
+    return faults;
+}
+
+void
+injectFault(System &system, Fault fault, std::uint64_t seed)
+{
+    Cache &l3 = system.mem().l3();
+    switch (fault) {
+    case Fault::cacheMetadata:
+        l3.corruptTypeCountForTest();
+        return;
+    case Fault::replacementState:
+        l3.corruptReplacementForTest(seed);
+        return;
+    case Fault::partitionState:
+        if (!l3.partitioned()) {
+            raise(makeError(
+                ErrorKind::config,
+                "L3 is not partitioned under this scheme",
+                msgOf("--inject ", faultName(fault)),
+                "use a CSALT scheme (csalt-d / csalt-cd) so the "
+                "partition exists"));
+        }
+        l3.corruptPartitionForTest();
+        return;
+    case Fault::profilerCounters:
+        if (!l3.profiling()) {
+            raise(makeError(
+                ErrorKind::config,
+                "L3 stack-distance profiling is not enabled",
+                msgOf("--inject ", faultName(fault)),
+                "use a CSALT scheme (csalt-d / csalt-cd) so the "
+                "profilers exist"));
+        }
+        l3.dataProfiler().corruptForTest();
+        return;
+    case Fault::tlbEntry:
+        if (!system.core(0).tlbs().l2().corruptEntryForTest(seed))
+            raiseEmptyTarget("core-0 L2 TLB");
+        return;
+    case Fault::pomEntry:
+        if (!system.mem().pom().corruptEntryForTest(seed))
+            raiseEmptyTarget("POM-TLB");
+        return;
+    case Fault::cpiStack:
+        system.core(0).corruptCpiForTest();
+        return;
+    }
+    panic("injectFault: unknown fault");
+}
+
+} // namespace csalt::check

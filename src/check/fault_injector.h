@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Seeded fault injection against a live System.
+ *
+ * Each Fault flips exactly one kind of internal state through the
+ * model's `...ForTest` hooks, chosen so that exactly one invariant of
+ * check/invariants.h must fire afterwards. The tests in
+ * tests/test_invariants.cpp prove that pairing for every checker, and
+ * `csalt-sim --inject FAULT` exposes it end-to-end so check.sh can
+ * smoke-test that a corrupted simulator actually fails loudly.
+ *
+ * Injection happens mid-run (the tools run half the quota, inject,
+ * then run the rest): the corruptible structures are only populated
+ * once the simulation has warmed them up.
+ */
+
+#ifndef CSALT_CHECK_FAULT_INJECTOR_H
+#define CSALT_CHECK_FAULT_INJECTOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace csalt
+{
+
+class System;
+
+namespace check
+{
+
+/** Which piece of model state to corrupt. */
+enum class Fault : std::uint8_t
+{
+    cacheMetadata,    //!< L3 exact occupancy counter (cache.occupancy)
+    replacementState, //!< L3 set-0 recency state (replacement.stack)
+    partitionState,   //!< L3 partition way-sum (partition.way-sum)
+    profilerCounters, //!< L3 data profiler (profiler.conservation)
+    tlbEntry,         //!< core-0 L2-TLB frame bit (tlb.coherence)
+    pomEntry,         //!< POM-TLB frame bit (pom.coherence)
+    cpiStack,         //!< core-0 cycle ledger (cpi.accounting)
+};
+
+/** Stable name ("cache-metadata", "tlb-entry", ...). */
+const char *faultName(Fault fault);
+
+/** Parse a fault name; config error lists the valid names. */
+Expected<Fault> faultFromName(const std::string &name);
+
+/** Every injectable fault (test matrices iterate this). */
+std::vector<Fault> allFaults();
+
+/**
+ * Corrupt @p system according to @p fault. The seed picks which
+ * set/entry where the hook is seeded. Raises kind=config when the
+ * fault's target does not exist under the current scheme (e.g.
+ * partition/profiler faults on an unpartitioned baseline) and
+ * kind=internal when the target structure is still empty (inject
+ * later in the run).
+ */
+void injectFault(System &system, Fault fault, std::uint64_t seed = 1);
+
+} // namespace check
+} // namespace csalt
+
+#endif // CSALT_CHECK_FAULT_INJECTOR_H

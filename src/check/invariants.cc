@@ -1,0 +1,285 @@
+#include "check/invariants.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include "cache/cache.h"
+#include "common/error.h"
+#include "common/log.h"
+#include "sim/core_model.h"
+#include "sim/system.h"
+#include "tlb/pom_tlb.h"
+#include "tlb/tlb.h"
+#include "vm/address_space.h"
+
+namespace csalt::check
+{
+
+namespace
+{
+
+const char *
+pageSizeName(PageSize ps)
+{
+    return ps == PageSize::size2M ? "2M" : "4K";
+}
+
+/** Relative tolerance for double-accumulated cycle ledgers. */
+double
+cycleTolerance(double a, double b)
+{
+    return std::max(0.01, 1e-8 * std::max(std::abs(a), std::abs(b)));
+}
+
+std::map<Asid, const VmContext *>
+vmsByAsid(const std::vector<const VmContext *> &vms)
+{
+    std::map<Asid, const VmContext *> by_asid;
+    for (const VmContext *vm : vms)
+        by_asid.emplace(vm->asid(), vm);
+    return by_asid;
+}
+
+/** One entry's coherence against the functional page maps. */
+void
+checkMappedEntry(const std::map<Asid, const VmContext *> &by_asid,
+                 Asid asid, Vpn vpn, Addr frame, PageSize ps,
+                 const char *invariant, const std::string &where,
+                 std::vector<Violation> &out)
+{
+    const auto it = by_asid.find(asid);
+    if (it == by_asid.end()) {
+        out.push_back({invariant, where,
+                       msgOf("entry for unknown asid ", asid)});
+        return;
+    }
+    const auto mapping = it->second->peek(vpn, ps);
+    if (!mapping) {
+        out.push_back(
+            {invariant, where,
+             msgOf("asid ", asid, " vpn 0x", std::hex, vpn, std::dec,
+                   " (", pageSizeName(ps),
+                   "): no functional mapping exists")});
+    } else if (mapping->frame != frame || mapping->ps != ps) {
+        out.push_back(
+            {invariant, where,
+             msgOf("asid ", asid, " vpn 0x", std::hex, vpn,
+                   ": frame 0x", frame, " != functional 0x",
+                   mapping->frame, std::dec)});
+    }
+}
+
+} // namespace
+
+bool
+paranoidFromEnv()
+{
+    const char *v = std::getenv("CSALT_PARANOID");
+    return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+void
+checkCache(const Cache &cache, const std::string &where,
+           const CheckOptions &opts, std::vector<Violation> &out)
+{
+    const unsigned ways = cache.ways();
+
+    if (const auto &part = cache.partition()) {
+        if (part->total_ways != ways || part->data_ways < 1 ||
+            part->data_ways >= ways) {
+            out.push_back(
+                {"partition.way-sum", where,
+                 msgOf("data_ways=", part->data_ways,
+                       " tlb_ways=", part->total_ways - part->data_ways,
+                       " vs associativity ", ways)});
+        }
+    }
+
+    const std::uint64_t scan =
+        opts.full ? cache.numSets()
+                  : std::min<std::uint64_t>(opts.sample_sets,
+                                            cache.numSets());
+    for (std::uint64_t s = 0; s < scan; ++s) {
+        const SetReplacement &repl = cache.replacementOf(s);
+        bool set_bad = false;
+        for (unsigned w = 0; w < ways; ++w) {
+            const unsigned pos = repl.stackPosOf(w);
+            if (pos >= ways) {
+                out.push_back(
+                    {"replacement.stack", where,
+                     msgOf("set ", s, " way ", w, ": stack position ",
+                           pos, " >= associativity ", ways)});
+                set_bad = true;
+                break;
+            }
+        }
+        if (set_bad)
+            continue;
+        // True LRU is exact: the positions must be a permutation of
+        // 0..K-1 (estimating policies legitimately alias positions).
+        if (dynamic_cast<const TrueLruSet *>(&repl) != nullptr) {
+            std::vector<bool> seen(ways, false);
+            for (unsigned w = 0; w < ways; ++w) {
+                const unsigned pos = repl.stackPosOf(w);
+                if (seen[pos]) {
+                    out.push_back(
+                        {"replacement.stack", where,
+                         msgOf("set ", s,
+                               ": true-LRU ranks are not a "
+                               "permutation (position ",
+                               pos, " duplicated)")});
+                    break;
+                }
+                seen[pos] = true;
+            }
+        }
+    }
+
+    if (const auto *p = cache.dataProfilerIfEnabled())
+        checkProfiler(*p, where + ".data_profiler", out);
+    if (const auto *p = cache.tlbProfilerIfEnabled())
+        checkProfiler(*p, where + ".tlb_profiler", out);
+
+    if (opts.full) {
+        for (const LineType t : {LineType::data, LineType::translation}) {
+            const std::uint64_t exact = cache.exactCountOf(t);
+            const std::uint64_t scanned = cache.scanCountOf(t);
+            if (exact != scanned) {
+                out.push_back(
+                    {"cache.occupancy", where,
+                     msgOf(t == LineType::data ? "data" : "translation",
+                           " lines: exact counter ", exact,
+                           " != line scan ", scanned)});
+            }
+        }
+    }
+}
+
+void
+checkProfiler(const StackDistProfiler &profiler,
+              const std::string &where, std::vector<Violation> &out)
+{
+    std::uint64_t sum = 0;
+    for (unsigned pos = 0; pos <= profiler.ways(); ++pos)
+        sum += profiler.counter(pos);
+    if (sum != profiler.total()) {
+        out.push_back({"profiler.conservation", where,
+                       msgOf("counters sum to ", sum,
+                             " but total() is ", profiler.total())});
+    }
+}
+
+void
+checkTlbCoherence(const Tlb &tlb,
+                  const std::vector<const VmContext *> &vms,
+                  const std::string &where, std::vector<Violation> &out)
+{
+    const auto by_asid = vmsByAsid(vms);
+    tlb.forEachEntry([&](const TlbEntry &e) {
+        checkMappedEntry(by_asid, e.asid, e.vpn, e.frame, e.ps,
+                         "tlb.coherence", where, out);
+    });
+}
+
+void
+checkPomCoherence(const PomTlb &pom,
+                  const std::vector<const VmContext *> &vms,
+                  const std::string &where, const CheckOptions &opts,
+                  std::vector<Violation> &out)
+{
+    const auto by_asid = vmsByAsid(vms);
+    pom.forEachEntry(
+        [&](Asid asid, Vpn vpn, Addr frame, PageSize ps) {
+            checkMappedEntry(by_asid, asid, vpn, frame, ps,
+                             "pom.coherence", where, out);
+        },
+        opts.full ? 0 : opts.sample_sets);
+}
+
+void
+checkCpiAccounting(const CoreModel &core, const std::string &where,
+                   std::vector<Violation> &out)
+{
+    const double elapsed = core.cyclesSinceClearExact();
+    const double stacked = core.cpiStack().total();
+    if (std::abs(stacked - elapsed) >
+        cycleTolerance(stacked, elapsed)) {
+        out.push_back({"cpi.accounting", where,
+                       msgOf("CPI stack sums to ", stacked,
+                             " cycles but ", elapsed, " elapsed")});
+    }
+
+    obs::CpiStack ctx_sum;
+    for (const obs::CpiStack &stack : core.contextCpiStacks())
+        ctx_sum += stack;
+    for (std::size_t i = 0; i < obs::kNumCpiComponents; ++i) {
+        const double core_v = core.cpiStack().values()[i];
+        const double ctx_v = ctx_sum.values()[i];
+        if (std::abs(core_v - ctx_v) > cycleTolerance(core_v, ctx_v)) {
+            out.push_back(
+                {"cpi.accounting", where,
+                 msgOf("context stacks sum to ", ctx_v, " for ",
+                       obs::cpiComponentName(
+                           static_cast<obs::CpiComponent>(i)),
+                       " but the core stack holds ", core_v)});
+            break;
+        }
+    }
+}
+
+std::vector<Violation>
+checkSystem(const System &system, const CheckOptions &opts)
+{
+    std::vector<Violation> out;
+    const MemorySystem &mem = system.mem();
+
+    for (unsigned c = 0; c < system.numCores(); ++c) {
+        checkCache(mem.l1d(c), msgOf("core", c, ".l1d"), opts, out);
+        checkCache(mem.l2(c), msgOf("core", c, ".l2"), opts, out);
+    }
+    checkCache(mem.l3(), "l3", opts, out);
+
+    std::vector<const VmContext *> vms;
+    vms.reserve(system.numVms());
+    for (unsigned v = 0; v < system.numVms(); ++v)
+        vms.push_back(&system.vm(v));
+
+    for (unsigned c = 0; c < system.numCores(); ++c) {
+        const TlbHierarchy &tlbs = system.core(c).tlbs();
+        checkTlbCoherence(tlbs.l1For(PageSize::size4K), vms,
+                          msgOf("core", c, ".l1tlb_4k"), out);
+        checkTlbCoherence(tlbs.l1For(PageSize::size2M), vms,
+                          msgOf("core", c, ".l1tlb_2m"), out);
+        checkTlbCoherence(tlbs.l2(), vms, msgOf("core", c, ".l2tlb"),
+                          out);
+        checkCpiAccounting(system.core(c), msgOf("core", c), out);
+    }
+
+    checkPomCoherence(mem.pom(), vms, "pom", opts, out);
+    return out;
+}
+
+void
+raiseIfViolated(const std::vector<Violation> &violations,
+                const std::string &when)
+{
+    if (violations.empty())
+        return;
+    for (const Violation &v : violations)
+        warn(msgOf("invariant ", v.invariant, " violated in ", v.where,
+                   ": ", v.detail));
+    const Violation &first = violations.front();
+    std::string msg = msgOf(first.invariant, " violated in ",
+                            first.where, ": ", first.detail);
+    if (violations.size() > 1)
+        msg += msgOf(" (+", violations.size() - 1, " more)");
+    raise(makeError(
+        ErrorKind::invariant, std::move(msg), when,
+        "simulator self-check failed: the model state is corrupt "
+        "(bug or injected fault); discard this run's results"));
+}
+
+} // namespace csalt::check

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Paranoid-mode structural invariants of the simulated machine.
+ *
+ * The CSALT results hang off a handful of structural properties of
+ * the cache-partitioning machinery; a silent violation would skew
+ * every downstream figure with no signal. Paranoid mode
+ * (CSALT_PARANOID=1 or --paranoid) validates them during run() at
+ * every occupancy-epoch boundary (cheap, sampled) and once more
+ * exhaustively when the run completes:
+ *
+ *   partition.way-sum      data + translation ways == associativity
+ *   replacement.stack      every stack position < ways; true-LRU
+ *                          ranks form a permutation
+ *   profiler.conservation  Mattson counters sum to the access total
+ *   cache.occupancy        exact per-type line counters match a full
+ *                          line scan (full check only)
+ *   tlb.coherence          every L2-TLB entry agrees with its VM's
+ *                          functional page map
+ *   pom.coherence          every POM-TLB entry agrees likewise
+ *                          (sampled sets per epoch; the structure is
+ *                          millions of entries)
+ *   cpi.accounting         each core's CPI stack sums to its elapsed
+ *                          cycles, and the per-context stacks sum to
+ *                          the core stack
+ *
+ * Note the paper-level POM ⊇ L2-TLB *inclusion* property is NOT an
+ * invariant of this model: POM set evictions do not back-invalidate
+ * the on-chip TLBs (matching the POM-TLB hardware, which tolerates
+ * stale upper levels). Coherence against the functional page maps is
+ * the enforceable form — see docs/robustness.md.
+ *
+ * Every checker has a fault-injection test (tests/test_invariants)
+ * proving it actually fires; see check/fault_injector.h.
+ */
+
+#ifndef CSALT_CHECK_INVARIANTS_H
+#define CSALT_CHECK_INVARIANTS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csalt
+{
+
+class Cache;
+class CoreModel;
+class PomTlb;
+class StackDistProfiler;
+class System;
+class Tlb;
+class VmContext;
+
+namespace check
+{
+
+/** One detected invariant violation. */
+struct Violation
+{
+    std::string invariant; //!< catalog name ("partition.way-sum")
+    std::string where;     //!< component ("l3", "core0.l2tlb")
+    std::string detail;
+};
+
+/** Scan depth of one checkSystem() pass. */
+struct CheckOptions
+{
+    /** Per-epoch scan budget: sets examined per cache/TLB. */
+    std::uint64_t sample_sets = 64;
+    /** Exhaustive pass: every set, plus the occupancy line scan. */
+    bool full = false;
+};
+
+/** CSALT_PARANOID set to anything but "" / "0"? */
+bool paranoidFromEnv();
+
+/** Run every checker against @p system; empty result = healthy. */
+std::vector<Violation> checkSystem(const System &system,
+                                   const CheckOptions &opts);
+
+/**
+ * Throw the violations as a CsaltError (kind=invariant) naming each
+ * violated invariant. No-op when @p violations is empty.
+ */
+void raiseIfViolated(const std::vector<Violation> &violations,
+                     const std::string &when);
+
+// Individual checkers (targeted fault-injection tests drive these
+// directly; checkSystem composes them).
+
+void checkCache(const Cache &cache, const std::string &where,
+                const CheckOptions &opts,
+                std::vector<Violation> &out);
+
+void checkProfiler(const StackDistProfiler &profiler,
+                   const std::string &where,
+                   std::vector<Violation> &out);
+
+void checkTlbCoherence(const Tlb &tlb,
+                       const std::vector<const VmContext *> &vms,
+                       const std::string &where,
+                       std::vector<Violation> &out);
+
+void checkPomCoherence(const PomTlb &pom,
+                       const std::vector<const VmContext *> &vms,
+                       const std::string &where,
+                       const CheckOptions &opts,
+                       std::vector<Violation> &out);
+
+void checkCpiAccounting(const CoreModel &core,
+                        const std::string &where,
+                        std::vector<Violation> &out);
+
+} // namespace check
+} // namespace csalt
+
+#endif // CSALT_CHECK_INVARIANTS_H

@@ -1,0 +1,57 @@
+#include "common/atomic_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include <unistd.h>
+
+namespace csalt
+{
+
+namespace
+{
+
+Error
+ioError(std::string message, const std::string &path)
+{
+    return makeError(ErrorKind::io,
+                     message + ": " + std::strerror(errno), path,
+                     "check free space and directory permissions");
+}
+
+} // namespace
+
+Status
+writeFileAtomic(const std::string &path, const std::string &content,
+                bool crash_before_rename)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return ioError("cannot open tmp file for writing", tmp);
+        out.write(content.data(),
+                  static_cast<std::streamsize>(content.size()));
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            return ioError("short write to tmp file", tmp);
+        }
+    }
+    if (crash_before_rename) {
+        // Simulated kill between write and rename: the destination
+        // must still hold its previous (complete) contents.
+        return {};
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        Error err = ioError("rename failed", path);
+        std::remove(tmp.c_str());
+        return err;
+    }
+    return {};
+}
+
+} // namespace csalt

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Crash-safe file output: write to a sibling tmp file, then rename.
+ *
+ * rename(2) within one directory is atomic on POSIX, so readers (and
+ * a resumed run) either see the complete previous file or the
+ * complete new one — never a torn half-write from a killed process.
+ */
+
+#ifndef CSALT_COMMON_ATOMIC_IO_H
+#define CSALT_COMMON_ATOMIC_IO_H
+
+#include <string>
+
+#include "common/error.h"
+
+namespace csalt
+{
+
+/**
+ * Atomically replace @p path with @p content via `<path>.tmp.<pid>` +
+ * rename. On failure the tmp file is removed and the original file
+ * (if any) is left untouched.
+ *
+ * Test hook: @p crash_before_rename aborts after the tmp write but
+ * before the rename, simulating a kill at the worst moment.
+ */
+Status writeFileAtomic(const std::string &path,
+                       const std::string &content,
+                       bool crash_before_rename = false);
+
+} // namespace csalt
+
+#endif // CSALT_COMMON_ATOMIC_IO_H

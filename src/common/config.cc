@@ -1,5 +1,6 @@
 #include "common/config.h"
 
+#include "common/error.h"
 #include "common/log.h"
 
 namespace csalt
@@ -87,24 +88,41 @@ isPow2(std::uint64_t v)
     return v != 0 && (v & (v - 1)) == 0;
 }
 
+[[noreturn]] void
+raiseConfig(std::string context, std::string message,
+            std::string hint = {})
+{
+    raise(makeError(ErrorKind::config, std::move(message),
+                    std::move(context), std::move(hint)));
+}
+
 void
 validateCache(const CacheParams &c)
 {
     if (c.size_bytes == 0 || c.ways == 0)
-        fatal(msgOf(c.name, ": zero size or ways"));
-    if (c.size_bytes % (kLineSize * c.ways) != 0)
-        fatal(msgOf(c.name, ": size not divisible by ways*line"));
-    if (!isPow2(c.numSets()))
-        fatal(msgOf(c.name, ": set count must be a power of two"));
+        raiseConfig(c.name, "zero size or ways");
+    if (c.size_bytes % (kLineSize * c.ways) != 0) {
+        raiseConfig(c.name, "size not divisible by ways*line",
+                    "pick a way count that divides size/64");
+    }
+    if (!isPow2(c.numSets())) {
+        raiseConfig(c.name, "set count must be a power of two",
+                    msgOf("size/(ways*64) is ", c.numSets(),
+                          "; adjust size or ways"));
+    }
 }
 
 void
 validateTlb(const char *name, const TlbParams &t)
 {
     if (t.entries == 0 || t.ways == 0 || t.entries % t.ways != 0)
-        fatal(msgOf(name, ": bad TLB geometry"));
+        raiseConfig(name, "bad TLB geometry",
+                    "entries and ways must be nonzero with "
+                    "ways dividing entries");
     if (!isPow2(t.entries / t.ways))
-        fatal(msgOf(name, ": TLB set count must be a power of two"));
+        raiseConfig(name, "TLB set count must be a power of two",
+                    msgOf("entries/ways is ", t.entries / t.ways,
+                          "; adjust entries or ways"));
 }
 
 } // namespace
@@ -113,11 +131,11 @@ void
 validate(const SystemParams &params)
 {
     if (params.num_cores == 0)
-        fatal("num_cores must be > 0");
+        raiseConfig("num_cores", "must be > 0");
     if (params.contexts_per_core == 0)
-        fatal("contexts_per_core must be > 0");
+        raiseConfig("contexts_per_core", "must be > 0");
     if (params.cs_interval == 0)
-        fatal("cs_interval must be > 0");
+        raiseConfig("cs_interval", "must be > 0");
 
     validateCache(params.l1d);
     validateCache(params.l2);
@@ -127,23 +145,27 @@ validate(const SystemParams &params)
     validateTlb("L2TLB", params.l2tlb);
 
     if (!isPow2(params.pom.size_bytes) || params.pom.ways == 0)
-        fatal("POM-TLB: bad geometry");
+        raiseConfig("POM-TLB", "bad geometry",
+                    "size must be a power of two with nonzero ways");
     if (params.pom.entry_bytes * params.pom.ways != kLineSize)
-        fatal("POM-TLB: one set must fill exactly one cache line");
+        raiseConfig("POM-TLB",
+                    "one set must fill exactly one cache line",
+                    msgOf("entry_bytes*ways must be ", kLineSize));
 
     if (params.huge_page_fraction < 0.0 || params.huge_page_fraction > 1.0)
-        fatal("huge_page_fraction out of [0,1]");
+        raiseConfig("huge_page_fraction", "out of [0,1]");
     if (params.page_table_levels != 4 && params.page_table_levels != 5)
-        fatal("page_table_levels must be 4 or 5");
+        raiseConfig("page_table_levels", "must be 4 or 5");
 
     const auto check_part = [](const char *name, const PartitionParams &pp,
                                unsigned ways) {
         if (pp.policy == PartitionPolicy::none)
             return;
         if (pp.epoch_accesses == 0)
-            fatal(msgOf(name, ": epoch_accesses must be > 0"));
+            raiseConfig(name, "epoch_accesses must be > 0");
         if (2 * pp.min_ways_per_type > ways)
-            fatal(msgOf(name, ": min ways exceed associativity"));
+            raiseConfig(name, "min ways exceed associativity",
+                        msgOf("need 2*min_ways_per_type <= ", ways));
     };
     check_part("L2 partition", params.l2_partition, params.l2.ways);
     check_part("L3 partition", params.l3_partition, params.l3.ways);

@@ -222,7 +222,8 @@ SystemParams defaultParams();
 
 /**
  * Check structural invariants (power-of-two geometry, nonzero sizes).
- * Calls fatal() with a description on violation.
+ * Raises a CsaltError (kind=config) describing the first violation,
+ * so a parallel sweep isolates a bad grid cell instead of exiting.
  */
 void validate(const SystemParams &params);
 

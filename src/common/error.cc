@@ -1,0 +1,87 @@
+#include "common/error.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace csalt
+{
+
+const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+    case ErrorKind::config:
+        return "config";
+    case ErrorKind::usage:
+        return "usage";
+    case ErrorKind::io:
+        return "io";
+    case ErrorKind::parse:
+        return "parse";
+    case ErrorKind::build:
+        return "build";
+    case ErrorKind::timeout:
+        return "timeout";
+    case ErrorKind::cancelled:
+        return "cancelled";
+    case ErrorKind::invariant:
+        return "invariant";
+    case ErrorKind::internal:
+        return "internal";
+    }
+    return "unknown";
+}
+
+Error
+makeError(ErrorKind kind, std::string message, std::string context,
+          std::string hint, std::source_location where)
+{
+    Error err;
+    err.kind = kind;
+    err.message = std::move(message);
+    err.context = std::move(context);
+    err.hint = std::move(hint);
+    err.where = where;
+    return err;
+}
+
+std::string
+oneLine(const Error &err)
+{
+    std::ostringstream os;
+    os << "error[" << errorKindName(err.kind) << "]";
+    if (!err.context.empty())
+        os << " " << err.context << ":";
+    os << " " << err.message;
+    if (!err.hint.empty())
+        os << " (hint: " << err.hint << ")";
+    return os.str();
+}
+
+std::string
+describe(const Error &err)
+{
+    std::ostringstream os;
+    os << "error[" << errorKindName(err.kind) << "]: ";
+    if (!err.context.empty())
+        os << err.context << ": ";
+    os << err.message << "\n";
+    os << "  where: " << err.where.file_name() << ":"
+       << err.where.line() << "\n";
+    if (!err.hint.empty())
+        os << "  hint:  " << err.hint << "\n";
+    return os.str();
+}
+
+void
+fatal(const Error &err)
+{
+    const std::string text = describe(err);
+    // Single write so parallel-runner output never interleaves.
+    std::fwrite(text.data(), 1, text.size(), stderr);
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+} // namespace csalt

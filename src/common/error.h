@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Typed error reporting for recoverable failures.
+ *
+ * The simulator distinguishes three failure classes:
+ *
+ *  - csalt::Error / CsaltError: *recoverable, user-reportable*
+ *    failures (bad configuration, malformed trace files, I/O
+ *    problems, watchdog timeouts, invariant violations). These carry
+ *    a kind, a source location and a remediation hint, and are thrown
+ *    as CsaltError so the parallel job runner can isolate one failed
+ *    grid cell while the tools print a structured diagnostic instead
+ *    of dying mid-grid;
+ *  - fatal() (common/log.h): command-line usage errors in code with
+ *    no caller that could recover (prints and exits 1);
+ *  - panic() (common/log.h): internal simulator bugs (aborts).
+ *
+ * Expected<T> is the non-throwing flavour for leaf parsing helpers:
+ * either a value or an Error, checked at the call site.
+ */
+
+#ifndef CSALT_COMMON_ERROR_H
+#define CSALT_COMMON_ERROR_H
+
+#include <optional>
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace csalt
+{
+
+/** What failed — selects the remediation class of a diagnostic. */
+enum class ErrorKind : std::uint8_t
+{
+    config,    //!< invalid SystemParams / experiment configuration
+    usage,     //!< bad command-line argument
+    io,        //!< filesystem failure (open/read/write/rename)
+    parse,     //!< malformed input data (trace file, journal, JSON)
+    build,     //!< system construction failure
+    timeout,   //!< watchdog-cancelled job (hard or no-progress)
+    cancelled, //!< cooperatively cancelled for another reason
+    invariant, //!< runtime self-check violation (paranoid mode)
+    internal,  //!< unexpected internal failure
+};
+
+/** Stable lowercase name ("config", "timeout", ...). */
+const char *errorKindName(ErrorKind kind);
+
+/** One structured diagnostic. Build with makeError(). */
+struct Error
+{
+    ErrorKind kind = ErrorKind::internal;
+    std::string message; //!< what went wrong
+    std::string context; //!< offending object (path, flag, key); may be empty
+    std::string hint;    //!< how to fix it; may be empty
+    std::source_location where = std::source_location::current();
+};
+
+/**
+ * Build an Error capturing the *call site* as the source location.
+ * (A plain aggregate default would capture this header instead.)
+ */
+Error makeError(ErrorKind kind, std::string message,
+                std::string context = {}, std::string hint = {},
+                std::source_location where =
+                    std::source_location::current());
+
+/** One-line rendering: "error[parse] ctx: message (hint: ...)". */
+std::string oneLine(const Error &err);
+
+/**
+ * Multi-line structured rendering for tool-level reporting:
+ *
+ *   error[config]: l2: size not divisible by ways*line
+ *     where: src/common/config.cc:96
+ *     hint:  pick a power-of-two way count that divides the size
+ */
+std::string describe(const Error &err);
+
+/** Exception wrapper; what() is the oneLine() rendering. */
+class CsaltError : public std::runtime_error
+{
+  public:
+    explicit CsaltError(Error err)
+        : std::runtime_error(oneLine(err)), err_(std::move(err))
+    {
+    }
+
+    const Error &error() const { return err_; }
+
+  private:
+    Error err_;
+};
+
+/** Throw @p err as a CsaltError. */
+[[noreturn]] inline void
+raise(Error err)
+{
+    throw CsaltError(std::move(err));
+}
+
+/**
+ * Print the structured diagnostic to stderr and exit(1). For tools'
+ * outermost error boundary only; library code should raise() so the
+ * job runner can isolate the failure.
+ */
+[[noreturn]] void fatal(const Error &err);
+
+/**
+ * A value or a typed Error. Non-throwing result type for leaf
+ * helpers (flag parsing, journal loading); call sites either handle
+ * the error or escalate with valueOrRaise().
+ */
+template <typename T>
+class [[nodiscard]] Expected
+{
+  public:
+    Expected(T value) : v_(std::move(value)) {}
+    Expected(Error err) : v_(std::move(err)) {}
+
+    bool ok() const { return std::holds_alternative<T>(v_); }
+    explicit operator bool() const { return ok(); }
+
+    const T &value() const & { return std::get<T>(v_); }
+    T &value() & { return std::get<T>(v_); }
+    T &&take() { return std::move(std::get<T>(v_)); }
+
+    const Error &error() const { return std::get<Error>(v_); }
+
+    /** The value, or throw the carried error as a CsaltError. */
+    T
+    valueOrRaise() &&
+    {
+        if (!ok())
+            raise(std::move(std::get<Error>(v_)));
+        return std::move(std::get<T>(v_));
+    }
+
+  private:
+    std::variant<T, Error> v_;
+};
+
+/** Success-or-Error for operations without a payload. */
+class [[nodiscard]] Status
+{
+  public:
+    Status() = default;
+    Status(Error err) : err_(std::move(err)) {}
+
+    bool ok() const { return !err_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    const Error &error() const { return *err_; }
+
+    /** No-op on success; throws the carried error otherwise. */
+    void
+    okOrRaise() &&
+    {
+        if (err_)
+            raise(std::move(*err_));
+    }
+
+  private:
+    std::optional<Error> err_;
+};
+
+} // namespace csalt
+
+#endif // CSALT_COMMON_ERROR_H

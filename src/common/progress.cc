@@ -1,0 +1,41 @@
+#include "common/progress.h"
+
+#include "common/error.h"
+
+namespace csalt
+{
+
+namespace
+{
+
+thread_local ProgressToken *tls_token = nullptr;
+
+} // namespace
+
+void
+setProgressToken(ProgressToken *token)
+{
+    tls_token = token;
+}
+
+ProgressToken *
+progressToken()
+{
+    return tls_token;
+}
+
+void
+raiseCancelled()
+{
+    std::string reason = "job cancelled";
+    if (ProgressToken *t = progressToken()) {
+        std::string r = t->cancelReason();
+        if (!r.empty())
+            reason = std::move(r);
+    }
+    raise(makeError(ErrorKind::timeout, std::move(reason), "watchdog",
+                    "raise --job-timeout / --stall-timeout, or retry "
+                    "with --retries"));
+}
+
+} // namespace csalt

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Cooperative progress heartbeat + cancellation for watchdogged jobs.
+ *
+ * Threads cannot be killed safely, so the watchdog works
+ * cooperatively: the job runner installs a ProgressToken for the
+ * worker thread, the simulation loop calls progressTick() once per
+ * retired instruction batch and polls progressCancelled() cheaply;
+ * the monitor thread watches the tick counter from outside and flips
+ * the cancel flag when the job exceeds its hard timeout or stops
+ * making progress. The loop then raises a typed timeout error, which
+ * the runner catches like any other per-job failure.
+ */
+
+#ifndef CSALT_COMMON_PROGRESS_H
+#define CSALT_COMMON_PROGRESS_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace csalt
+{
+
+/** Shared state between one worker thread and the watchdog. */
+class ProgressToken
+{
+  public:
+    /** Record forward progress (relaxed; hot path). */
+    void
+    tick(std::uint64_t n = 1)
+    {
+        ticks_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    ticks() const
+    {
+        return ticks_.load(std::memory_order_relaxed);
+    }
+
+    /** Ask the worker to stop at its next poll point. */
+    void
+    requestCancel(std::string reason)
+    {
+        // Publish the reason before the flag so the worker always
+        // sees a complete reason once it observes cancelled().
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            reason_ = std::move(reason);
+        }
+        cancelled_.store(true, std::memory_order_release);
+    }
+
+    bool
+    cancelled() const
+    {
+        return cancelled_.load(std::memory_order_acquire);
+    }
+
+    std::string
+    cancelReason() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return reason_;
+    }
+
+  private:
+    std::atomic<std::uint64_t> ticks_{0};
+    std::atomic<bool> cancelled_{false};
+    mutable std::mutex mu_;
+    std::string reason_;
+};
+
+/**
+ * Install @p token as the calling thread's progress token (nullptr to
+ * clear). The runner installs before the job body and clears after.
+ */
+void setProgressToken(ProgressToken *token);
+
+/** The calling thread's token, or nullptr outside a watchdogged job. */
+ProgressToken *progressToken();
+
+/** Record progress on the calling thread's token, if any. */
+inline void
+progressTick(std::uint64_t n = 1)
+{
+    if (ProgressToken *t = progressToken())
+        t->tick(n);
+}
+
+/** Has the watchdog asked the calling thread to stop? */
+inline bool
+progressCancelled()
+{
+    ProgressToken *t = progressToken();
+    return t && t->cancelled();
+}
+
+/**
+ * Throw the calling thread's cancellation as a typed timeout error.
+ * Call only when progressCancelled() is true.
+ */
+[[noreturn]] void raiseCancelled();
+
+} // namespace csalt
+
+#endif // CSALT_COMMON_PROGRESS_H

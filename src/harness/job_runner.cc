@@ -44,6 +44,28 @@ parseJobsValue(const char *s, const char *origin)
     return static_cast<unsigned>(v);
 }
 
+unsigned
+parseCountValue(const char *s, const char *origin)
+{
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(s, &end, 10);
+    if (end == s || *end != '\0' || v > 1000)
+        fatal(msgOf(origin, ": bad count '", s,
+                    "' (want an integer in [0, 1000])"));
+    return static_cast<unsigned>(v);
+}
+
+double
+parseSecondsValue(const char *s, const char *origin)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end == s || *end != '\0' || !(v >= 0) || v > 1e9)
+        fatal(msgOf(origin, ": bad duration '", s,
+                    "' (want seconds >= 0)"));
+    return v;
+}
+
 } // namespace
 
 std::uint64_t
@@ -85,13 +107,57 @@ parseJobsFlag(int &argc, char **argv)
     return jobs;
 }
 
+RunnerOptions
+parseRunnerFlags(int &argc, char **argv)
+{
+    RunnerOptions opts;
+    opts.jobs = parseJobsFlag(argc, argv);
+
+    const auto valueOf = [&](int &r, const char *flag) -> const char * {
+        if (r + 1 >= argc)
+            fatal(msgOf(flag, " needs a value"));
+        return argv[++r];
+    };
+
+    int w = 1;
+    for (int r = 1; r < argc; ++r) {
+        if (std::strcmp(argv[r], "--retries") == 0) {
+            opts.retries =
+                parseCountValue(valueOf(r, "--retries"), "--retries");
+        } else if (std::strcmp(argv[r], "--retry-backoff") == 0) {
+            opts.retry_backoff_s = parseSecondsValue(
+                valueOf(r, "--retry-backoff"), "--retry-backoff");
+        } else if (std::strcmp(argv[r], "--job-timeout") == 0) {
+            opts.job_timeout_s = parseSecondsValue(
+                valueOf(r, "--job-timeout"), "--job-timeout");
+        } else if (std::strcmp(argv[r], "--stall-timeout") == 0) {
+            opts.stall_timeout_s = parseSecondsValue(
+                valueOf(r, "--stall-timeout"), "--stall-timeout");
+        } else if (std::strcmp(argv[r], "--resume") == 0) {
+            opts.resume = true;
+        } else if (std::strcmp(argv[r], "--fresh") == 0) {
+            opts.fresh = true;
+        } else {
+            argv[w++] = argv[r];
+        }
+    }
+    argc = w;
+    argv[argc] = nullptr;
+    if (opts.resume && opts.fresh)
+        fatal("--resume and --fresh are mutually exclusive");
+    return opts;
+}
+
 ProgressFn
 stderrProgress()
 {
     return [](const JobStatus &s) {
         // Single formatted write so parallel jobs never interleave
         // within a line.
-        if (s.ok) {
+        if (s.from_journal) {
+            std::fprintf(stderr, "  [%zu/%zu] %s  (journal)\n",
+                         s.done, s.total, s.key.c_str());
+        } else if (s.ok) {
             std::fprintf(stderr, "  [%zu/%zu] %s  (%.1fs)\n", s.done,
                          s.total, s.key.c_str(), s.wall_s);
         } else {
@@ -100,6 +166,84 @@ stderrProgress()
                          s.error.c_str());
         }
     };
+}
+
+Watchdog::Watchdog(double job_timeout_s, double stall_timeout_s)
+    : job_timeout_s_(job_timeout_s), stall_timeout_s_(stall_timeout_s)
+{
+    if (enabled())
+        thread_ = std::thread([this] { loop(); });
+}
+
+Watchdog::~Watchdog()
+{
+    if (thread_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+}
+
+bool
+Watchdog::enabled() const
+{
+    return job_timeout_s_ > 0 || stall_timeout_s_ > 0;
+}
+
+void
+Watchdog::attach(std::size_t index, ProgressToken *token)
+{
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_[index] = Entry{token, now, token->ticks(), now};
+}
+
+void
+Watchdog::detach(std::size_t index)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.erase(index);
+}
+
+void
+Watchdog::loop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+        cv_.wait_for(lock, std::chrono::milliseconds(20));
+        if (stop_)
+            break;
+        const auto now = std::chrono::steady_clock::now();
+        for (auto &[index, e] : entries_) {
+            if (e.token->cancelled())
+                continue;
+            const double age =
+                std::chrono::duration<double>(now - e.start).count();
+            if (job_timeout_s_ > 0 && age > job_timeout_s_) {
+                e.token->requestCancel(
+                    "job exceeded --job-timeout " +
+                    std::to_string(job_timeout_s_) + "s");
+                continue;
+            }
+            const std::uint64_t ticks = e.token->ticks();
+            if (ticks != e.last_ticks) {
+                e.last_ticks = ticks;
+                e.last_change = now;
+                continue;
+            }
+            const double stalled =
+                std::chrono::duration<double>(now - e.last_change)
+                    .count();
+            if (stall_timeout_s_ > 0 && stalled > stall_timeout_s_)
+                e.token->requestCancel(
+                    "no forward progress for " +
+                    std::to_string(stall_timeout_s_) +
+                    "s (--stall-timeout)");
+        }
+    }
 }
 
 } // namespace csalt::harness

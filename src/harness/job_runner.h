@@ -20,8 +20,22 @@
  *    the historical sequential loop.
  *
  * Failures are isolated: a job that throws is reported in its
- * JobOutcome (ok=false, error message) and every other job still
- * runs to completion.
+ * JobOutcome (ok=false, typed error kind + message) and every other
+ * job still runs to completion. Robustness layers on top
+ * (docs/robustness.md):
+ *
+ *  - checkpoint/resume: attachJournal() records every finished job in
+ *    a crc-guarded journal; with RunnerOptions::resume, jobs whose
+ *    key already has an ok record replay from the journal instead of
+ *    re-simulating — flowing through the same ordered callback, so
+ *    stdout stays byte-identical to an uninterrupted run;
+ *  - watchdog: --job-timeout / --stall-timeout cancel a runaway job
+ *    cooperatively (the simulation loop heartbeats via progressTick()
+ *    and polls for cancellation), marking the cell failed with
+ *    kind=timeout instead of wedging the pool;
+ *  - retry: --retries re-runs a failed cell with exponential backoff.
+ *    Timeouts are not retried — the simulator is deterministic, so a
+ *    cell that timed out once will time out again.
  */
 
 #ifndef CSALT_HARNESS_JOB_RUNNER_H
@@ -29,16 +43,24 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <exception>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/error.h"
+#include "common/log.h"
+#include "common/progress.h"
+#include "harness/journal.h"
 #include "harness/thread_pool.h"
 
 namespace csalt::harness
@@ -63,6 +85,25 @@ unsigned jobsFromEnv(unsigned fallback = 1);
  */
 unsigned parseJobsFlag(int &argc, char **argv);
 
+/** Execution knobs shared by every grid tool/bench. */
+struct RunnerOptions
+{
+    unsigned jobs = 1;             //!< worker threads
+    unsigned retries = 0;          //!< extra attempts per failed job
+    double retry_backoff_s = 0.25; //!< first backoff; doubles per retry
+    double job_timeout_s = 0.0;    //!< hard per-job wall clock; 0 = off
+    double stall_timeout_s = 0.0;  //!< max time without progress; 0 = off
+    bool resume = false;           //!< replay ok cells from the journal
+    bool fresh = false;            //!< discard any existing journal
+};
+
+/**
+ * Consume every runner flag from argv: --jobs N, --retries N,
+ * --retry-backoff S, --job-timeout S, --stall-timeout S, --resume,
+ * --fresh. fatal() on malformed values or --resume with --fresh.
+ */
+RunnerOptions parseRunnerFlags(int &argc, char **argv);
+
 /** Progress snapshot passed to the progress callback. */
 struct JobStatus
 {
@@ -73,6 +114,7 @@ struct JobStatus
     double wall_s;
     bool ok;
     const std::string &error; //!< empty when ok
+    bool from_journal;        //!< replayed from a resume journal
 };
 
 using ProgressFn = std::function<void(const JobStatus &)>;
@@ -86,15 +128,105 @@ struct JobOutcome
 {
     std::string key;
     bool ok = false;
-    std::string error; //!< what() of the escaped exception
+    std::string error;      //!< what() of the escaped exception
+    std::string error_kind; //!< errorKindName(), or "exception"
     double wall_s = 0.0;
+    unsigned attempts = 0;    //!< executions (0 when replayed)
+    bool from_journal = false;
     std::optional<T> value; //!< engaged iff ok
+};
+
+/** Number of failed outcomes (the tools' exit-code source). */
+template <typename T>
+std::size_t
+countFailures(const std::vector<JobOutcome<T>> &outcomes)
+{
+    std::size_t failed = 0;
+    for (const auto &o : outcomes)
+        failed += !o.ok;
+    return failed;
+}
+
+/**
+ * Print one row per failed job (key, error kind, message) to @p out.
+ * No output when everything succeeded.
+ */
+template <typename T>
+void
+printFailureTable(const std::vector<JobOutcome<T>> &outcomes,
+                  std::FILE *out = stderr)
+{
+    const std::size_t failed = countFailures(outcomes);
+    if (!failed)
+        return;
+    std::fprintf(out, "\n%zu of %zu jobs failed:\n", failed,
+                 outcomes.size());
+    std::fprintf(out, "  %-36s %-10s %s\n", "key", "kind", "error");
+    for (const auto &o : outcomes) {
+        if (o.ok)
+            continue;
+        std::fprintf(out, "  %-36s %-10s %s\n", o.key.c_str(),
+                     o.error_kind.empty() ? "exception"
+                                          : o.error_kind.c_str(),
+                     o.error.c_str());
+    }
+}
+
+/**
+ * Value (de)serialisation for the resume journal. encode() must emit
+ * a *single-line* JSON value that decode() restores exactly — the
+ * resumed numbers must be bit-identical to the originals (use
+ * obs::writeJsonNumber, which round-trips doubles faithfully).
+ */
+template <typename T>
+struct JournalCodec
+{
+    std::function<std::string(const T &)> encode;
+    std::function<Expected<T>(std::string_view)> decode;
+};
+
+/**
+ * Cooperative per-job watchdog. Workers attach their ProgressToken
+ * while executing; a monitor thread cancels any job that exceeds the
+ * hard timeout or stops ticking for the stall window. Cancellation
+ * is cooperative: the job observes it at its next progress poll and
+ * raises a typed timeout error.
+ */
+class Watchdog
+{
+  public:
+    Watchdog(double job_timeout_s, double stall_timeout_s);
+    ~Watchdog();
+
+    bool enabled() const;
+
+    void attach(std::size_t index, ProgressToken *token);
+    void detach(std::size_t index);
+
+  private:
+    struct Entry
+    {
+        ProgressToken *token;
+        std::chrono::steady_clock::time_point start;
+        std::uint64_t last_ticks;
+        std::chrono::steady_clock::time_point last_change;
+    };
+
+    void loop();
+
+    double job_timeout_s_;
+    double stall_timeout_s_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::map<std::size_t, Entry> entries_;
+    std::thread thread_;
 };
 
 /**
  * Shared-nothing job grid executor. Typical use:
  *
- *   JobRunner<RunMetrics> runner(jobs);
+ *   JobRunner<RunMetrics> runner(options);
  *   for (cell : grid)
  *       runner.add(cell.key(), [cell] { return simulate(cell); });
  *   auto outcomes = runner.run(stderrProgress());
@@ -109,7 +241,13 @@ class JobRunner
 {
   public:
     /** @p jobs worker threads; 1 = sequential inline execution. */
-    explicit JobRunner(unsigned jobs = 1) : jobs_(jobs ? jobs : 1) {}
+    explicit JobRunner(unsigned jobs = 1) { opts_.jobs = jobs ? jobs : 1; }
+
+    explicit JobRunner(const RunnerOptions &opts) : opts_(opts)
+    {
+        if (!opts_.jobs)
+            opts_.jobs = 1;
+    }
 
     /** Queue a job. @p key must be stable and unique per job. */
     std::size_t
@@ -120,7 +258,20 @@ class JobRunner
     }
 
     std::size_t size() const { return entries_.size(); }
-    unsigned workerCount() const { return jobs_; }
+    unsigned workerCount() const { return opts_.jobs; }
+    const RunnerOptions &options() const { return opts_; }
+
+    /**
+     * Record every finished job in @p journal (not owned) and, with
+     * RunnerOptions::resume, replay ok-journaled keys instead of
+     * executing them. Failed journal records always re-run.
+     */
+    void
+    attachJournal(Journal *journal, JournalCodec<T> codec)
+    {
+        journal_ = journal;
+        codec_ = std::move(codec);
+    }
 
     /**
      * Stream outcomes in submission order: invoked for job i only
@@ -144,29 +295,59 @@ class JobRunner
     {
         const std::size_t n = entries_.size();
         std::vector<JobOutcome<T>> outcomes(n);
+        std::vector<char> prefilled(n, 0);
+        std::size_t n_prefilled = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (replayFromJournal(i, outcomes[i])) {
+                prefilled[i] = 1;
+                ++n_prefilled;
+            }
+        }
 
-        if (jobs_ == 1 || n <= 1) {
+        Watchdog watchdog(opts_.job_timeout_s, opts_.stall_timeout_s);
+        watchdog_ = &watchdog;
+
+        if (opts_.jobs == 1 || n - n_prefilled <= 1) {
             for (std::size_t i = 0; i < n; ++i) {
-                outcomes[i] = execute(i);
+                if (!prefilled[i]) {
+                    outcomes[i] = execute(i);
+                    record(outcomes[i]);
+                }
                 if (progress)
                     progress(statusOf(outcomes[i], i, i + 1, n));
                 if (ordered_)
                     ordered_(i, outcomes[i]);
             }
-            entries_.clear();
+            finish();
             return outcomes;
         }
 
         std::mutex mutex;
-        std::size_t done = 0;
+        std::size_t done = n_prefilled;
         std::size_t next_emit = 0;
-        std::vector<char> ready(n, 0);
+        std::vector<char> ready = prefilled;
+        // Journal replays emit before the pool starts: their ordered
+        // prefix (and any later replayed cell, once the prefix
+        // completes) interleaves exactly as an uninterrupted run.
+        if (progress) {
+            std::size_t seen = 0;
+            for (std::size_t i = 0; i < n; ++i)
+                if (prefilled[i])
+                    progress(statusOf(outcomes[i], i, ++seen, n));
+        }
+        while (ordered_ && next_emit < n && ready[next_emit]) {
+            ordered_(next_emit, outcomes[next_emit]);
+            ++next_emit;
+        }
         {
-            ThreadPool pool(
-                static_cast<unsigned>(std::min<std::size_t>(jobs_, n)));
+            ThreadPool pool(static_cast<unsigned>(
+                std::min<std::size_t>(opts_.jobs, n - n_prefilled)));
             for (std::size_t i = 0; i < n; ++i) {
+                if (prefilled[i])
+                    continue;
                 pool.post([&, i] {
                     JobOutcome<T> outcome = execute(i);
+                    record(outcome);
                     std::lock_guard<std::mutex> lock(mutex);
                     outcomes[i] = std::move(outcome);
                     ready[i] = 1;
@@ -182,7 +363,7 @@ class JobRunner
             }
             pool.drain();
         }
-        entries_.clear();
+        finish();
         return outcomes;
     }
 
@@ -193,19 +374,111 @@ class JobRunner
         std::function<T()> fn;
     };
 
+    /** Load outcome @p i from the resume journal; false = execute. */
+    bool
+    replayFromJournal(std::size_t i, JobOutcome<T> &outcome)
+    {
+        if (!journal_ || !opts_.resume || !codec_.decode)
+            return false;
+        const JournalRecord *rec = journal_->lookup(entries_[i].key);
+        if (!rec || !rec->ok || rec->value_json.empty())
+            return false;
+        Expected<T> decoded = codec_.decode(rec->value_json);
+        if (!decoded) {
+            warn("journal record for '" + entries_[i].key +
+                 "' does not decode (" + decoded.error().message +
+                 "); re-running the cell");
+            return false;
+        }
+        outcome.key = entries_[i].key;
+        outcome.ok = true;
+        outcome.wall_s = rec->wall_s;
+        outcome.from_journal = true;
+        outcome.value.emplace(std::move(decoded).take());
+        return true;
+    }
+
+    /** Journal one freshly executed outcome. */
+    void
+    record(const JobOutcome<T> &outcome)
+    {
+        if (!journal_ || !journal_ok_)
+            return;
+        JournalRecord rec;
+        rec.key = outcome.key;
+        rec.ok = outcome.ok;
+        rec.error = outcome.error;
+        rec.error_kind = outcome.error_kind;
+        rec.wall_s = outcome.wall_s;
+        if (outcome.ok && codec_.encode)
+            rec.value_json = codec_.encode(*outcome.value);
+        Status status = journal_->append(rec);
+        if (!status.ok()) {
+            warn("disabling job journal: " +
+                 oneLine(status.error()));
+            journal_ok_ = false;
+        }
+    }
+
+    void
+    finish()
+    {
+        entries_.clear();
+        watchdog_ = nullptr;
+        if (journal_ && journal_ok_) {
+            Status status = journal_->finalize();
+            if (!status.ok())
+                warn("journal finalize failed: " +
+                     oneLine(status.error()));
+        }
+    }
+
     JobOutcome<T>
     execute(std::size_t i)
     {
         JobOutcome<T> outcome;
         outcome.key = entries_[i].key;
         const auto start = std::chrono::steady_clock::now();
-        try {
-            outcome.value.emplace(entries_[i].fn());
-            outcome.ok = true;
-        } catch (const std::exception &e) {
-            outcome.error = e.what();
-        } catch (...) {
-            outcome.error = "unknown exception";
+        double backoff = opts_.retry_backoff_s;
+        for (unsigned attempt = 0;; ++attempt) {
+            outcome.attempts = attempt + 1;
+            ProgressToken token;
+            if (watchdog_ && watchdog_->enabled())
+                watchdog_->attach(i, &token);
+            setProgressToken(&token);
+            bool failed = false;
+            bool retryable = true;
+            try {
+                outcome.value.emplace(entries_[i].fn());
+                outcome.ok = true;
+                outcome.error.clear();
+                outcome.error_kind.clear();
+            } catch (const CsaltError &e) {
+                failed = true;
+                outcome.error = e.what();
+                outcome.error_kind = errorKindName(e.error().kind);
+                // Timeouts are deterministic here; retrying would
+                // just burn another --job-timeout window.
+                retryable = e.error().kind != ErrorKind::timeout &&
+                            e.error().kind != ErrorKind::cancelled;
+            } catch (const std::exception &e) {
+                failed = true;
+                outcome.error = e.what();
+                outcome.error_kind = "exception";
+            } catch (...) {
+                failed = true;
+                outcome.error = "unknown exception";
+                outcome.error_kind = "exception";
+            }
+            setProgressToken(nullptr);
+            if (watchdog_ && watchdog_->enabled())
+                watchdog_->detach(i);
+            if (!failed || !retryable || attempt >= opts_.retries)
+                break;
+            if (backoff > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(backoff));
+            backoff *= 2;
         }
         outcome.wall_s = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start)
@@ -217,12 +490,17 @@ class JobRunner
     statusOf(const JobOutcome<T> &o, std::size_t index,
              std::size_t done, std::size_t total)
     {
-        return {index, done, total, o.key, o.wall_s, o.ok, o.error};
+        return {index,    done, total,   o.key,
+                o.wall_s, o.ok, o.error, o.from_journal};
     }
 
-    unsigned jobs_;
+    RunnerOptions opts_;
     std::vector<Entry> entries_;
     std::function<void(std::size_t, const JobOutcome<T> &)> ordered_;
+    Journal *journal_ = nullptr;
+    JournalCodec<T> codec_;
+    bool journal_ok_ = true;
+    Watchdog *watchdog_ = nullptr;
 };
 
 } // namespace csalt::harness

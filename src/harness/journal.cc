@@ -1,0 +1,284 @@
+#include "harness/journal.h"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/atomic_io.h"
+#include "common/log.h"
+#include "obs/json.h"
+
+namespace csalt::harness
+{
+
+namespace
+{
+
+// Line layout: {"crc":"XXXXXXXX","body":<body>}
+//              |-- 8 --|8 hex|--- 9 ----|     |1|
+constexpr std::string_view kCrcPrefix = "{\"crc\":\"";
+constexpr std::string_view kBodyPrefix = "\",\"body\":";
+constexpr std::size_t kBodyStart =
+    kCrcPrefix.size() + 8 + kBodyPrefix.size();
+
+constexpr std::string_view kHeaderMagic = "csalt-job-journal";
+constexpr int kJournalVersion = 1;
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+Error
+parseError(std::string message, std::string context = {})
+{
+    return makeError(ErrorKind::parse, std::move(message),
+                     std::move(context),
+                     "delete the journal or rerun with --fresh");
+}
+
+} // namespace
+
+std::uint32_t
+crc32(std::string_view data)
+{
+    static const auto table = makeCrcTable();
+    std::uint32_t c = 0xffffffffu;
+    for (const char ch : data)
+        c = table[(c ^ static_cast<unsigned char>(ch)) & 0xffu] ^
+            (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+std::string
+journalEncodeLine(std::string_view body)
+{
+    char crc_hex[9];
+    std::snprintf(crc_hex, sizeof crc_hex, "%08x", crc32(body));
+    std::string line;
+    line.reserve(kBodyStart + body.size() + 1);
+    line += kCrcPrefix;
+    line += crc_hex;
+    line += kBodyPrefix;
+    line += body;
+    line += '}';
+    return line;
+}
+
+Expected<std::string>
+journalDecodeLine(std::string_view line)
+{
+    if (line.size() < kBodyStart + 1 ||
+        line.substr(0, kCrcPrefix.size()) != kCrcPrefix ||
+        line.substr(kCrcPrefix.size() + 8, kBodyPrefix.size()) !=
+            kBodyPrefix ||
+        line.back() != '}')
+        return parseError("malformed journal line");
+
+    const std::string_view crc_hex =
+        line.substr(kCrcPrefix.size(), 8);
+    std::uint32_t want = 0;
+    for (const char c : crc_hex) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else
+            return parseError("malformed journal crc");
+        want = want << 4 | static_cast<std::uint32_t>(digit);
+    }
+
+    const std::string_view body =
+        line.substr(kBodyStart, line.size() - kBodyStart - 1);
+    if (crc32(body) != want)
+        return parseError("journal line crc mismatch (torn or "
+                          "corrupted record)");
+    return std::string(body);
+}
+
+Expected<std::unique_ptr<Journal>>
+Journal::open(std::string path, std::string signature, bool fresh)
+{
+    std::unique_ptr<Journal> journal(new Journal);
+    journal->path_ = std::move(path);
+    journal->signature_ = std::move(signature);
+
+    if (fresh) {
+        std::remove(journal->path_.c_str());
+        return journal;
+    }
+
+    std::ifstream in(journal->path_);
+    if (!in)
+        return journal; // nothing to resume from
+
+    std::string line;
+    std::size_t line_no = 0;
+    bool saw_header = false;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        auto body = journalDecodeLine(line);
+        if (!body) {
+            // A bad line is either the torn tail of a killed run
+            // (expected, drop silently beyond a warning) or real
+            // corruption; either way nothing after it is trusted.
+            warn("journal '" + journal->path_ + "' line " +
+                 std::to_string(line_no) + ": " +
+                 body.error().message + "; dropping the tail");
+            break;
+        }
+        auto doc = obs::parseJson(body.value());
+        if (!doc || !doc->isObject()) {
+            warn("journal '" + journal->path_ + "' line " +
+                 std::to_string(line_no) +
+                 ": unparseable body; dropping the tail");
+            break;
+        }
+        if (line_no == 1) {
+            if (doc->stringOr("journal", "") != kHeaderMagic)
+                return parseError("missing journal header",
+                                  journal->path_);
+            const std::string sig = doc->stringOr("signature", "");
+            if (sig != journal->signature_)
+                return makeError(
+                    ErrorKind::config,
+                    "journal was written for a different grid "
+                    "(signature '" +
+                        sig + "', expected '" + journal->signature_ +
+                        "')",
+                    journal->path_,
+                    "rerun with --fresh to discard it, or restore "
+                    "the original grid parameters");
+            saw_header = true;
+            continue;
+        }
+        JournalRecord rec;
+        rec.key = doc->stringOr("key", "");
+        if (rec.key.empty()) {
+            warn("journal '" + journal->path_ + "' line " +
+                 std::to_string(line_no) +
+                 ": record without key; dropping the tail");
+            break;
+        }
+        const obs::JsonValue *ok = doc->find("ok");
+        rec.ok = ok && ok->kind == obs::JsonValue::Kind::boolean &&
+                 ok->bool_v;
+        rec.error = doc->stringOr("error", "");
+        rec.error_kind = doc->stringOr("kind", "");
+        rec.wall_s = doc->numberOr("wall_s", 0.0);
+        if (doc->find("value")) {
+            // Re-slice the exact value bytes out of the body so the
+            // typed decoder sees precisely what the encoder wrote.
+            // The value is always the last member; the `,"value":`
+            // marker cannot occur inside an escaped string (quotes
+            // are always written as \"), so the first hit is it.
+            const std::string marker = ",\"value\":";
+            const auto pos = body.value().find(marker);
+            if (pos != std::string::npos)
+                rec.value_json = body.value().substr(
+                    pos + marker.size(),
+                    body.value().size() - (pos + marker.size()) - 1);
+        }
+        journal->records_[rec.key] = std::move(rec);
+    }
+    in.close();
+    journal->header_on_disk_ = saw_header;
+    if (!saw_header) {
+        // Unusable file (empty, or corrupt from line 1): discard so
+        // appends start from a clean header.
+        std::remove(journal->path_.c_str());
+    }
+    journal->loaded_count_ = journal->records_.size();
+    return journal;
+}
+
+const JournalRecord *
+Journal::lookup(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = records_.find(key);
+    return it == records_.end() ? nullptr : &it->second;
+}
+
+std::string
+Journal::headerLine() const
+{
+    std::ostringstream os;
+    os << "{\"journal\":\"" << kHeaderMagic
+       << "\",\"version\":" << kJournalVersion << ",\"signature\":\""
+       << obs::escapeJson(signature_) << "\"}";
+    return journalEncodeLine(os.str());
+}
+
+std::string
+Journal::encodeRecord(const JournalRecord &record) const
+{
+    std::ostringstream os;
+    os << "{\"key\":\"" << obs::escapeJson(record.key)
+       << "\",\"ok\":" << (record.ok ? "true" : "false");
+    os << ",\"wall_s\":";
+    obs::writeJsonNumber(os, record.wall_s);
+    if (!record.error.empty())
+        os << ",\"error\":\"" << obs::escapeJson(record.error)
+           << "\"";
+    if (!record.error_kind.empty())
+        os << ",\"kind\":\"" << obs::escapeJson(record.error_kind)
+           << "\"";
+    if (record.ok && !record.value_json.empty())
+        os << ",\"value\":" << record.value_json;
+    os << "}";
+    return journalEncodeLine(os.str());
+}
+
+Status
+Journal::append(const JournalRecord &record)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (record.value_json.find('\n') != std::string::npos)
+        return makeError(ErrorKind::internal,
+                         "journal value encoding must be single-line",
+                         record.key);
+    std::ofstream out(path_, std::ios::app);
+    if (!out)
+        return makeError(ErrorKind::io,
+                         "cannot append to job journal", path_,
+                         "check directory permissions, or drop "
+                         "--journal/--json");
+    if (!header_on_disk_)
+        out << headerLine() << "\n";
+    out << encodeRecord(record) << "\n";
+    out.flush();
+    if (!out)
+        return makeError(ErrorKind::io, "short journal append",
+                         path_, "check free disk space");
+    header_on_disk_ = true;
+    records_[record.key] = record;
+    return {};
+}
+
+Status
+Journal::finalize()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string content = headerLine() + "\n";
+    for (const auto &[key, rec] : records_)
+        content += encodeRecord(rec) + "\n";
+    Status status = writeFileAtomic(path_, content);
+    if (status.ok())
+        header_on_disk_ = true;
+    return status;
+}
+
+} // namespace csalt::harness

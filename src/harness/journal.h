@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Crash-safe job journal: the checkpoint/resume backbone of the
+ * experiment pipeline.
+ *
+ * One journal per results file (`<out>.journal.jsonl`), one JSONL
+ * record per finished grid cell, appended and flushed as each job
+ * completes. Every line is CRC-guarded:
+ *
+ *   {"crc":"9a6b1c44","body":{...}}
+ *
+ * where the 8-hex-digit crc32 covers the exact bytes of `body`. The
+ * fixed-width prefix lets the loader slice the body back out without
+ * re-serialising, so verification is byte-exact. The first record is
+ * a header carrying a caller-supplied grid *signature*; resuming
+ * against a journal written for a different grid/config is a typed
+ * error (pass --fresh to discard it).
+ *
+ * Crash model: a SIGKILL can only tear the final line (appends are
+ * sequential and flushed per record). The loader accepts such a torn
+ * tail — and any line whose CRC does not match — by dropping the bad
+ * line and everything after it. finalize() then compacts the journal
+ * through an atomic tmp+rename rewrite, so a journal that survived a
+ * crash becomes clean again after the resumed run.
+ *
+ * Resume identity is the stable job key (the same key that seeds
+ * per-job RNG), never submission order. Only ok records are skipped
+ * on resume; failed cells run again. See docs/robustness.md.
+ */
+
+#ifndef CSALT_HARNESS_JOURNAL_H
+#define CSALT_HARNESS_JOURNAL_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+
+namespace csalt::harness
+{
+
+/** CRC-32 (IEEE, reflected) over @p data. */
+std::uint32_t crc32(std::string_view data);
+
+/** Wrap @p body (a complete JSON value) as one guarded journal line
+ *  (no trailing newline). */
+std::string journalEncodeLine(std::string_view body);
+
+/**
+ * Validate one guarded line and slice out the body bytes.
+ * Fails (kind=parse) on format or CRC mismatch.
+ */
+Expected<std::string> journalDecodeLine(std::string_view line);
+
+/** One journaled job outcome. */
+struct JournalRecord
+{
+    std::string key;
+    bool ok = false;
+    std::string error;      //!< failure message; empty when ok
+    std::string error_kind; //!< errorKindName() of the failure
+    double wall_s = 0.0;    //!< wall clock of the original execution
+    std::string value_json; //!< encoded job value; empty unless ok
+};
+
+/**
+ * Append-only journal of completed jobs, keyed by stable job key.
+ * Thread-safe: append() serialises internally.
+ */
+class Journal
+{
+  public:
+    /**
+     * Open @p path. With @p fresh, any existing journal is discarded;
+     * otherwise existing records load for resume (torn tails are
+     * dropped, a header signature mismatch is a typed config error).
+     */
+    static Expected<std::unique_ptr<Journal>>
+    open(std::string path, std::string signature, bool fresh);
+
+    /** Most recent loaded/appended record for @p key, or nullptr. */
+    const JournalRecord *lookup(const std::string &key) const;
+
+    /** Records recovered from disk at open() (before any append). */
+    std::size_t loadedCount() const { return loaded_count_; }
+
+    /** Append one record and flush it to disk. */
+    Status append(const JournalRecord &record);
+
+    /**
+     * Compact to a clean journal (header + every live record) via
+     * atomic tmp+rename, clearing any torn tail for good.
+     */
+    Status finalize();
+
+    const std::string &path() const { return path_; }
+
+  private:
+    Journal() = default;
+
+    std::string encodeRecord(const JournalRecord &record) const;
+    std::string headerLine() const;
+
+    std::string path_;
+    std::string signature_;
+    std::size_t loaded_count_ = 0;
+    bool header_on_disk_ = false;
+    // Ordered map: finalize() output is stable across resume orders.
+    std::map<std::string, JournalRecord> records_;
+    mutable std::mutex mu_;
+};
+
+} // namespace csalt::harness
+
+#endif // CSALT_HARNESS_JOURNAL_H

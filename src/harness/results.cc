@@ -1,8 +1,9 @@
 #include "harness/results.h"
 
-#include <fstream>
 #include <sstream>
 
+#include "common/atomic_io.h"
+#include "common/log.h"
 #include "obs/json.h"
 #include "sim/metrics_io.h"
 
@@ -14,7 +15,8 @@ jobsJson(const std::vector<JobOutcome<RunMetrics>> &outcomes,
          bool include_wall)
 {
     std::ostringstream os;
-    os << "{\"jobs\": [";
+    os << "{\"failed_jobs\": " << countFailures(outcomes)
+       << ", \"jobs\": [";
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         const auto &o = outcomes[i];
         os << (i ? ",\n" : "\n") << "{\"key\": \""
@@ -42,11 +44,26 @@ writeJobsJson(const std::string &path,
               const std::vector<JobOutcome<RunMetrics>> &outcomes,
               bool include_wall)
 {
-    std::ofstream out(path);
-    if (!out)
+    Status status =
+        writeFileAtomic(path, jobsJson(outcomes, include_wall) + "\n");
+    if (!status.ok()) {
+        warn(oneLine(status.error()));
         return false;
-    out << jobsJson(outcomes, include_wall) << "\n";
-    return static_cast<bool>(out);
+    }
+    return true;
+}
+
+JournalCodec<RunMetrics>
+metricsJournalCodec()
+{
+    JournalCodec<RunMetrics> codec;
+    codec.encode = [](const RunMetrics &m) {
+        return metricsJournalJson(m);
+    };
+    codec.decode = [](std::string_view json) {
+        return metricsFromJournal(json);
+    };
+    return codec;
 }
 
 } // namespace csalt::harness

@@ -21,8 +21,8 @@ namespace csalt::harness
 
 /**
  * Serialize @p outcomes as
- *   {"jobs": [{"key": ..., "ok": true, "wall_s": ...,
- *              "metrics": {...}}, ...]}
+ *   {"failed_jobs": 0, "jobs": [{"key": ..., "ok": true,
+ *              "wall_s": ..., "metrics": {...}}, ...]}
  * with per-job metrics from metricsJson(). @p include_wall drops the
  * wall_s field when false, making the document bit-stable across
  * --jobs values (used by the determinism tests).
@@ -31,11 +31,17 @@ std::string
 jobsJson(const std::vector<JobOutcome<RunMetrics>> &outcomes,
          bool include_wall = true);
 
-/** Write jobsJson() to @p path. @return false when unwritable. */
+/**
+ * Write jobsJson() to @p path atomically (tmp + rename), so a killed
+ * run never leaves a torn results file. @return false if unwritable.
+ */
 bool
 writeJobsJson(const std::string &path,
               const std::vector<JobOutcome<RunMetrics>> &outcomes,
               bool include_wall = true);
+
+/** Resume-journal codec for RunMetrics grids (sweep, benches). */
+JournalCodec<RunMetrics> metricsJournalCodec();
 
 } // namespace csalt::harness
 

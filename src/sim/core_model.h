@@ -132,6 +132,17 @@ class CoreModel
     {
         return ctx_cpi_;
     }
+
+    /**
+     * Fault-injection hook: charge phantom cycles into the core
+     * ledger only, breaking both CPI-accounting invariants (stack
+     * total vs elapsed cycles, context sum vs core stack).
+     */
+    void
+    corruptCpiForTest(double cycles = 1000.0)
+    {
+        cpi_.add(obs::CpiComponent::compute, cycles);
+    }
     TlbHierarchy &tlbs() { return tlbs_; }
     const TlbHierarchy &tlbs() const { return tlbs_; }
     PageWalker &walker() { return *walker_; }

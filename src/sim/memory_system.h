@@ -143,6 +143,7 @@ class MemorySystem : public TranslationMemIf
     // ----------------------------------------------------- components
 
     Cache &l1d(unsigned core) { return *l1d_[core]; }
+    const Cache &l1d(unsigned core) const { return *l1d_[core]; }
     Cache &l2(unsigned core) { return *l2_[core]; }
     const Cache &l2(unsigned core) const { return *l2_[core]; }
     Cache &l3() { return *l3_; }
@@ -150,6 +151,7 @@ class MemorySystem : public TranslationMemIf
     DramChannel &ddr() { return *ddr_; }
     DramChannel &stacked() { return *stacked_; }
     PomTlb &pom() { return *pom_; }
+    const PomTlb &pom() const { return *pom_; }
     Tsb &tsb() { return *tsb_; }
     const MemoryMap &map() const { return map_; }
     FrameAllocator &dataFrames() { return *data_frames_; }

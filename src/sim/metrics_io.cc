@@ -101,6 +101,209 @@ metricsCsvRow(const std::string &label, const RunMetrics &m)
     return os.str();
 }
 
+namespace
+{
+
+void
+writeStackArray(std::ostream &os, const obs::CpiStack &stack)
+{
+    os << "[";
+    for (std::size_t i = 0; i < obs::kNumCpiComponents; ++i) {
+        os << (i ? "," : "");
+        obs::writeJsonNumber(os, stack.values()[i]);
+    }
+    os << "]";
+}
+
+obs::CpiStack
+readStackArray(const obs::JsonValue &v)
+{
+    obs::CpiStack stack;
+    for (std::size_t i = 0;
+         i < v.arr.size() && i < obs::kNumCpiComponents; ++i)
+        stack.add(static_cast<obs::CpiComponent>(i),
+                  v.arr[i].num_v);
+    return stack;
+}
+
+std::uint64_t
+u64Of(const obs::JsonValue &obj, std::string_view key)
+{
+    return static_cast<std::uint64_t>(obj.numberOr(key, 0.0));
+}
+
+} // namespace
+
+std::string
+metricsJournalJson(const RunMetrics &m)
+{
+    std::ostringstream os;
+    const auto num = [&os](const char *key, double v, bool first =
+                                                          false) {
+        os << (first ? "\"" : ",\"") << key << "\":";
+        obs::writeJsonNumber(os, v);
+    };
+    os << "{";
+    num("ipc_geomean", m.ipc_geomean, true);
+    num("total_instructions",
+        static_cast<double>(m.total_instructions));
+    num("total_memrefs", static_cast<double>(m.total_memrefs));
+    num("total_cycles", m.total_cycles);
+    num("l1_tlb_mpki", m.l1_tlb_mpki);
+    num("l2_tlb_mpki", m.l2_tlb_mpki);
+    num("l2_mpki_total", m.l2_mpki_total);
+    num("l2_mpki_data", m.l2_mpki_data);
+    num("l3_mpki_total", m.l3_mpki_total);
+    num("l3_mpki_data", m.l3_mpki_data);
+    num("l2_tlb_misses", static_cast<double>(m.l2_tlb_misses));
+    num("walks", static_cast<double>(m.walks));
+    num("walks_eliminated", m.walks_eliminated);
+    num("avg_walk_cycles", m.avg_walk_cycles);
+    num("l2_translation_occupancy", m.l2_translation_occupancy);
+    num("l3_translation_occupancy", m.l3_translation_occupancy);
+    num("pom_hit_rate", m.pom_hit_rate);
+
+    os << ",\"cores\":[";
+    for (std::size_t i = 0; i < m.cores.size(); ++i) {
+        const auto &c = m.cores[i];
+        os << (i ? "," : "") << "{";
+        os << "\"instructions\":" << c.instructions;
+        os << ",\"cycles\":" << c.cycles;
+        os << ",\"ipc\":";
+        obs::writeJsonNumber(os, c.ipc);
+        os << ",\"memrefs\":" << c.memrefs;
+        os << ",\"l1_tlb_misses\":" << c.l1_tlb_misses;
+        os << ",\"l2_tlb_misses\":" << c.l2_tlb_misses;
+        os << ",\"walks\":" << c.walks << "}";
+    }
+    os << "],\"vms\":[";
+    for (std::size_t i = 0; i < m.vms.size(); ++i) {
+        const auto &vm = m.vms[i];
+        os << (i ? "," : "") << "{";
+        os << "\"instructions\":" << vm.instructions;
+        os << ",\"l2_tlb_misses\":" << vm.l2_tlb_misses;
+        os << ",\"l2_tlb_mpki\":";
+        obs::writeJsonNumber(os, vm.l2_tlb_mpki);
+        os << "}";
+    }
+    os << "],\"core_cpi\":[";
+    for (std::size_t i = 0; i < m.core_cpi.size(); ++i) {
+        os << (i ? "," : "");
+        writeStackArray(os, m.core_cpi[i]);
+    }
+    os << "],\"vm_cpi\":[";
+    for (std::size_t i = 0; i < m.vm_cpi.size(); ++i) {
+        os << (i ? "," : "");
+        writeStackArray(os, m.vm_cpi[i]);
+    }
+    os << "],\"cpi_total\":";
+    writeStackArray(os, m.cpi_total);
+
+    os << ",\"histograms\":[";
+    for (std::size_t i = 0; i < m.histograms.size(); ++i) {
+        const auto &h = m.histograms[i];
+        const auto &d = h.digest;
+        os << (i ? "," : "") << "{\"name\":\""
+           << obs::escapeJson(h.name) << "\"";
+        os << ",\"count\":" << d.count;
+        os << ",\"sum\":";
+        obs::writeJsonNumber(os, d.sum);
+        os << ",\"mean\":";
+        obs::writeJsonNumber(os, d.mean);
+        os << ",\"min\":" << d.min << ",\"max\":" << d.max
+           << ",\"p50\":" << d.p50 << ",\"p90\":" << d.p90
+           << ",\"p99\":" << d.p99 << ",\"p999\":" << d.p999 << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+Expected<RunMetrics>
+metricsFromJournal(std::string_view json)
+{
+    std::string parse_error;
+    const auto doc = obs::parseJson(json, &parse_error);
+    if (!doc || !doc->isObject())
+        return makeError(ErrorKind::parse,
+                         "bad journal metrics: " + parse_error,
+                         "metricsFromJournal",
+                         "rerun with --fresh to rebuild the journal");
+    RunMetrics m;
+    m.ipc_geomean = doc->numberOr("ipc_geomean", 0.0);
+    m.total_instructions = u64Of(*doc, "total_instructions");
+    m.total_memrefs = u64Of(*doc, "total_memrefs");
+    m.total_cycles = doc->numberOr("total_cycles", 0.0);
+    m.l1_tlb_mpki = doc->numberOr("l1_tlb_mpki", 0.0);
+    m.l2_tlb_mpki = doc->numberOr("l2_tlb_mpki", 0.0);
+    m.l2_mpki_total = doc->numberOr("l2_mpki_total", 0.0);
+    m.l2_mpki_data = doc->numberOr("l2_mpki_data", 0.0);
+    m.l3_mpki_total = doc->numberOr("l3_mpki_total", 0.0);
+    m.l3_mpki_data = doc->numberOr("l3_mpki_data", 0.0);
+    m.l2_tlb_misses = u64Of(*doc, "l2_tlb_misses");
+    m.walks = u64Of(*doc, "walks");
+    m.walks_eliminated = doc->numberOr("walks_eliminated", 0.0);
+    m.avg_walk_cycles = doc->numberOr("avg_walk_cycles", 0.0);
+    m.l2_translation_occupancy =
+        doc->numberOr("l2_translation_occupancy", 0.0);
+    m.l3_translation_occupancy =
+        doc->numberOr("l3_translation_occupancy", 0.0);
+    m.pom_hit_rate = doc->numberOr("pom_hit_rate", 0.0);
+
+    const obs::JsonValue *cores = doc->find("cores");
+    const obs::JsonValue *vms = doc->find("vms");
+    const obs::JsonValue *core_cpi = doc->find("core_cpi");
+    const obs::JsonValue *vm_cpi = doc->find("vm_cpi");
+    const obs::JsonValue *cpi_total = doc->find("cpi_total");
+    const obs::JsonValue *hists = doc->find("histograms");
+    if (!cores || !cores->isArray() || !vms || !vms->isArray() ||
+        !core_cpi || !core_cpi->isArray() || !vm_cpi ||
+        !vm_cpi->isArray() || !cpi_total || !cpi_total->isArray() ||
+        !hists || !hists->isArray())
+        return makeError(ErrorKind::parse,
+                         "journal metrics object is incomplete",
+                         "metricsFromJournal",
+                         "rerun with --fresh to rebuild the journal");
+
+    for (const auto &v : cores->arr) {
+        CoreMetrics c;
+        c.instructions = u64Of(v, "instructions");
+        c.cycles = static_cast<Cycles>(v.numberOr("cycles", 0.0));
+        c.ipc = v.numberOr("ipc", 0.0);
+        c.memrefs = u64Of(v, "memrefs");
+        c.l1_tlb_misses = u64Of(v, "l1_tlb_misses");
+        c.l2_tlb_misses = u64Of(v, "l2_tlb_misses");
+        c.walks = u64Of(v, "walks");
+        m.cores.push_back(c);
+    }
+    for (const auto &v : vms->arr) {
+        VmMetrics vm;
+        vm.instructions = u64Of(v, "instructions");
+        vm.l2_tlb_misses = u64Of(v, "l2_tlb_misses");
+        vm.l2_tlb_mpki = v.numberOr("l2_tlb_mpki", 0.0);
+        m.vms.push_back(vm);
+    }
+    for (const auto &v : core_cpi->arr)
+        m.core_cpi.push_back(readStackArray(v));
+    for (const auto &v : vm_cpi->arr)
+        m.vm_cpi.push_back(readStackArray(v));
+    m.cpi_total = readStackArray(*cpi_total);
+    for (const auto &v : hists->arr) {
+        HistogramMetrics h;
+        h.name = v.stringOr("name", "");
+        h.digest.count = u64Of(v, "count");
+        h.digest.sum = v.numberOr("sum", 0.0);
+        h.digest.mean = v.numberOr("mean", 0.0);
+        h.digest.min = u64Of(v, "min");
+        h.digest.max = u64Of(v, "max");
+        h.digest.p50 = u64Of(v, "p50");
+        h.digest.p90 = u64Of(v, "p90");
+        h.digest.p99 = u64Of(v, "p99");
+        h.digest.p999 = u64Of(v, "p999");
+        m.histograms.push_back(std::move(h));
+    }
+    return m;
+}
+
 std::string
 metricsJson(const std::string &label, const RunMetrics &m)
 {

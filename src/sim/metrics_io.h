@@ -9,7 +9,9 @@
 #define CSALT_SIM_METRICS_IO_H
 
 #include <string>
+#include <string_view>
 
+#include "common/error.h"
 #include "sim/metrics.h"
 
 namespace csalt
@@ -25,6 +27,18 @@ std::string metricsCsvRow(const std::string &label,
 /** Pretty-printed JSON object with per-core and per-VM detail. */
 std::string metricsJson(const std::string &label,
                         const RunMetrics &metrics);
+
+/**
+ * Full-fidelity single-line encoding for the resume journal. Unlike
+ * metricsJson (pretty, 6 significant digits, reporting subset), this
+ * covers *every* RunMetrics field with shortest-faithful numbers, so
+ * metricsFromJournal() reconstructs a bit-identical RunMetrics — a
+ * resumed grid re-serialises byte-identically through metricsJson.
+ */
+std::string metricsJournalJson(const RunMetrics &metrics);
+
+/** Inverse of metricsJournalJson (kind=parse error on bad input). */
+Expected<RunMetrics> metricsFromJournal(std::string_view json);
 
 } // namespace csalt
 

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <fstream>
 
+#include "check/invariants.h"
 #include "common/log.h"
+#include "common/progress.h"
 
 namespace csalt
 {
 
-System::System(const SystemParams &params) : params_(params)
+System::System(const SystemParams &params)
+    : params_(params), paranoid_(check::paranoidFromEnv())
 {
     mem_ = std::make_unique<MemorySystem>(params_);
     for (unsigned c = 0; c < params_.num_cores; ++c)
@@ -126,15 +129,34 @@ System::run(std::uint64_t instructions_per_core)
         next->step();
 
         ++steps_;
+        // Watchdog heartbeat: cheap enough to live on the hot loop,
+        // frequent enough that a stall is noticed within one epoch.
+        if ((steps_ & 0xfff) == 0) {
+            progressTick(4096);
+            if (progressCancelled())
+                raiseCancelled();
+        }
         if (occupancy_interval_ && steps_ >= next_occ) {
             next_occ += occupancy_interval_;
             mem_->sampleOccupancy(static_cast<double>(next->clock()));
+            if (paranoid_) {
+                check::raiseIfViolated(
+                    check::checkSystem(*this, check::CheckOptions{}),
+                    msgOf("epoch boundary (step ", steps_, ")"));
+            }
         }
         if (stat_sample_interval_ && steps_ >= next_stat) {
             next_stat += stat_sample_interval_;
             sampler_.sample(static_cast<double>(next->clock()),
                             steps_);
         }
+    }
+
+    if (paranoid_) {
+        check::CheckOptions full;
+        full.full = true;
+        check::raiseIfViolated(check::checkSystem(*this, full),
+                               "end of run");
     }
 }
 

@@ -64,7 +64,25 @@ class System
     MemorySystem &mem() { return *mem_; }
     const MemorySystem &mem() const { return *mem_; }
 
+    const VmContext &vm(unsigned i) const { return *vms_[i]; }
+    unsigned numVms() const
+    {
+        return static_cast<unsigned>(vms_.size());
+    }
+
     const SystemParams &params() const { return params_; }
+
+    // ------------------------------------------------- paranoid mode
+
+    /**
+     * Enable/disable the invariant self-checks (src/check): sampled
+     * checks at every occupancy-epoch boundary plus a full pass when
+     * run() returns; any violation raises kind=invariant. Defaults to
+     * the CSALT_PARANOID environment variable, read at construction,
+     * so `CSALT_PARANOID=1 ctest` audits the whole suite unchanged.
+     */
+    void setParanoid(bool on) { paranoid_ = on; }
+    bool paranoid() const { return paranoid_; }
 
     /**
      * Discard all statistics gathered so far (warmup): typical use is
@@ -126,6 +144,7 @@ class System
     std::vector<std::unique_ptr<CoreModel>> cores_;
     std::vector<std::unique_ptr<VmContext>> vms_;
     std::uint64_t occupancy_interval_ = 8192;
+    bool paranoid_ = false;
 
     obs::Sampler sampler_{registry_};
     obs::EventTracer tracer_;

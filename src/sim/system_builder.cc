@@ -1,5 +1,6 @@
 #include "sim/system_builder.h"
 
+#include "common/error.h"
 #include "common/log.h"
 #include "workloads/registry.h"
 
@@ -9,14 +10,24 @@ namespace csalt
 std::unique_ptr<System>
 buildSystem(const BuildSpec &spec)
 {
-    if (spec.vm_workloads.empty())
-        fatal("buildSystem: need at least one VM workload");
+    if (spec.vm_workloads.empty()) {
+        raise(makeError(ErrorKind::build,
+                        "need at least one VM workload",
+                        "buildSystem",
+                        "pass --vms or a workload list"));
+    }
 
     SystemParams params = spec.params;
     params.contexts_per_core =
         static_cast<unsigned>(spec.vm_workloads.size());
-    if (params.contexts_per_core > params.max_asids)
-        fatal("more VMs than reserved ASIDs");
+    if (params.contexts_per_core > params.max_asids) {
+        raise(makeError(
+            ErrorKind::build,
+            msgOf(params.contexts_per_core,
+                  " VMs exceed the reserved ASID space of ",
+                  params.max_asids),
+            "buildSystem", "reduce the VM count or raise max_asids"));
+    }
 
     auto system = std::make_unique<System>(params);
 

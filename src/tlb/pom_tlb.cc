@@ -157,6 +157,22 @@ PageSizePredictor::update(Addr gva, PageSize actual)
     }
 }
 
+bool
+PomTlb::corruptEntryForTest(std::uint64_t seed)
+{
+    const std::uint64_t start = seed % sets_.size();
+    for (std::uint64_t i = 0; i < sets_.size(); ++i) {
+        auto &set = sets_[(start + i) % sets_.size()];
+        for (auto &e : set.entries) {
+            if (!e.valid)
+                continue;
+            e.frame ^= Addr{1} << (12 + seed % 8);
+            return true;
+        }
+    }
+    return false;
+}
+
 void
 PomTlb::registerStats(obs::StatRegistry &reg,
                       const std::string &prefix) const

@@ -84,6 +84,30 @@ class PomTlb
     Addr base() const { return base_; }
     unsigned ways() const { return ways_; }
 
+    /**
+     * Visit valid entries as (asid, vpn, frame, ps). @p max_sets
+     * limits the scan to the first sets (epoch-boundary sampling —
+     * the full structure is millions of entries); 0 scans all.
+     */
+    template <typename Fn>
+    void
+    forEachEntry(Fn fn, std::uint64_t max_sets = 0) const
+    {
+        const std::uint64_t n =
+            max_sets && max_sets < sets_.size() ? max_sets
+                                                : sets_.size();
+        for (std::uint64_t s = 0; s < n; ++s)
+            for (const auto &entry : sets_[s].entries)
+                if (entry.valid)
+                    fn(entry.asid, entry.vpn, entry.frame, entry.ps);
+    }
+
+    /**
+     * Fault-injection hook: flip a frame bit of one valid entry so
+     * the POM-coherence invariant fires. @return false when empty.
+     */
+    bool corruptEntryForTest(std::uint64_t seed);
+
   private:
     struct Entry
     {

@@ -94,4 +94,23 @@ Tlb::flushAll()
             e.valid = false;
 }
 
+bool
+Tlb::corruptEntryForTest(std::uint64_t seed)
+{
+    const std::uint64_t start = seed % sets_.size();
+    for (std::uint64_t i = 0; i < sets_.size(); ++i) {
+        auto &set = sets_[(start + i) % sets_.size()];
+        for (auto &e : set.entries) {
+            if (!e.valid)
+                continue;
+            // Flip one frame bit above the page offset: the entry
+            // still looks structurally fine but disagrees with the
+            // address space's functional map.
+            e.frame ^= Addr{1} << (12 + seed % 8);
+            return true;
+        }
+    }
+    return false;
+}
+
 } // namespace csalt

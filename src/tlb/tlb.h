@@ -83,6 +83,24 @@ class Tlb
     std::uint64_t numSets() const { return sets_.size(); }
     const std::string &name() const { return name_; }
 
+    /** Visit every valid entry (paranoid-mode coherence checks). */
+    template <typename Fn>
+    void
+    forEachEntry(Fn fn) const
+    {
+        for (const auto &set : sets_)
+            for (const auto &entry : set.entries)
+                if (entry.valid)
+                    fn(entry);
+    }
+
+    /**
+     * Fault-injection hook: flip a frame bit of one valid entry (the
+     * seed picks which), desyncing it from its address space so the
+     * TLB-coherence invariant fires. @return false when empty.
+     */
+    bool corruptEntryForTest(std::uint64_t seed);
+
   private:
     struct Set
     {

@@ -52,6 +52,10 @@ class TlbHierarchy
     {
         return ps == PageSize::size4K ? l1_4k_ : l1_2m_;
     }
+    const Tlb &l1For(PageSize ps) const
+    {
+        return ps == PageSize::size4K ? l1_4k_ : l1_2m_;
+    }
     Tlb &l2() { return l2_; }
     const Tlb &l2() const { return l2_; }
 

@@ -131,6 +131,16 @@ VmContext::mappingOf(Addr gva)
     return demandMap(gva);
 }
 
+std::optional<Mapping>
+VmContext::peek(Vpn vpn, PageSize ps) const
+{
+    const auto &fast =
+        ps == PageSize::size2M ? fast_2m_ : fast_4k_;
+    if (auto it = fast.find(vpn); it != fast.end())
+        return it->second;
+    return std::nullopt;
+}
+
 Addr
 VmContext::translate(Addr gva)
 {

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "common/types.h"
@@ -69,6 +70,14 @@ class VmContext
 
     /** Page geometry backing @p gva (maps on demand). */
     Mapping mappingOf(Addr gva);
+
+    /**
+     * Read-only lookup of an existing mapping by VPN — never maps on
+     * demand, so invariant checkers can consult the functional state
+     * without perturbing it. @return nullopt when @p vpn was never
+     * touched at @p ps.
+     */
+    std::optional<Mapping> peek(Vpn vpn, PageSize ps) const;
 
     /**
      * Host-physical address of a guest-physical byte address.

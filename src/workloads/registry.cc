@@ -4,6 +4,7 @@
 #include <map>
 #include <mutex>
 
+#include "common/error.h"
 #include "common/log.h"
 #include "workloads/generators.h"
 #include "workloads/trace_file.h"
@@ -61,7 +62,15 @@ workloadDesc(const std::string &name)
         return it->second;
     }
 
-    fatal(msgOf("unknown workload '", name, "'"));
+    std::string names;
+    for (const auto &desc : allWorkloads()) {
+        if (!names.empty())
+            names += ", ";
+        names += desc.name;
+    }
+    raise(makeError(ErrorKind::config,
+                    msgOf("unknown workload '", name, "'"), "workload",
+                    "valid: " + names + ", or file:<path>"));
 }
 
 std::vector<std::string>

@@ -1,22 +1,90 @@
 #include "workloads/trace_file.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 #include <unordered_set>
 
+#include "common/error.h"
 #include "common/log.h"
 
 namespace csalt
 {
 
+namespace
+{
+
+/**
+ * Raise a parse diagnostic that pinpoints the record: traces come
+ * from external converters, so "which byte is wrong" matters more
+ * than for hand-written configs.
+ */
+[[noreturn]] void
+raiseRecord(const std::string &name, std::size_t line_no,
+            std::size_t record_index, std::size_t byte_offset,
+            std::string_view line, const std::string &why)
+{
+    std::string shown(line.substr(0, 60));
+    if (line.size() > 60)
+        shown += "...";
+    raise(makeError(
+        ErrorKind::parse,
+        msgOf("line ", line_no, " (record ", record_index,
+              ", byte offset ", byte_offset, "): ", why, " in '",
+              shown, "'"),
+        name,
+        "expected 'R|W <hex-vaddr> <icount>' per line; the trace is "
+        "truncated or corrupt — re-record or re-convert it"));
+}
+
+/** Clip a possibly garbage field so diagnostics stay one line. */
+std::string
+clip(std::string_view field)
+{
+    if (field.size() <= 40)
+        return std::string(field);
+    return std::string(field.substr(0, 40)) + "...";
+}
+
+/** Split off the next whitespace-separated field of @p line. */
+std::string_view
+nextField(std::string_view &line)
+{
+    const auto start = line.find_first_not_of(" \t\r");
+    if (start == std::string_view::npos) {
+        line = {};
+        return {};
+    }
+    const auto end = line.find_first_of(" \t\r", start);
+    const std::string_view field = line.substr(
+        start, end == std::string_view::npos ? line.size() - start
+                                             : end - start);
+    line.remove_prefix(end == std::string_view::npos ? line.size()
+                                                     : end);
+    return field;
+}
+
+} // namespace
+
 std::shared_ptr<const TraceFile>
 TraceFile::load(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        fatal(msgOf("cannot open trace file '", path, "'"));
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        raise(makeError(ErrorKind::io,
+                        msgOf("cannot open trace file: ",
+                              std::strerror(errno)),
+                        path, "check the file:<path> workload spec"));
+    }
     std::ostringstream buffer;
     buffer << in.rdbuf();
+    if (in.bad()) {
+        raise(makeError(ErrorKind::io, "read failed mid-file", path,
+                        "the file may be truncated or on failing "
+                        "storage"));
+    }
     return parse(buffer.str(), path);
 }
 
@@ -26,30 +94,102 @@ TraceFile::parse(const std::string &text, const std::string &name)
     auto file = std::make_shared<TraceFile>();
     file->name_ = name;
 
-    std::istringstream in(text);
-    std::string line;
+    const std::string_view all(text);
+    std::size_t offset = 0;
     std::size_t line_no = 0;
-    while (std::getline(in, line)) {
+    while (offset < all.size()) {
         ++line_no;
-        if (line.empty() || line[0] == '#')
+        const std::size_t line_start = offset;
+        std::size_t eol = all.find('\n', offset);
+        const bool unterminated = eol == std::string_view::npos;
+        if (unterminated)
+            eol = all.size();
+        std::string_view line = all.substr(line_start, eol - line_start);
+        offset = eol + 1;
+
+        std::string_view rest = line;
+        const std::string_view op = nextField(rest);
+        if (op.empty() || op[0] == '#')
             continue;
-        std::istringstream fields(line);
-        std::string op;
-        std::string addr_hex;
-        std::uint32_t icount = 0;
-        if (!(fields >> op >> addr_hex >> icount) ||
-            (op != "R" && op != "W") || icount == 0) {
-            fatal(msgOf(name, ":", line_no, ": bad trace record '",
-                        line, "'"));
+
+        const std::size_t record_index = file->records_.size();
+        if (op != "R" && op != "W") {
+            raiseRecord(name, line_no, record_index, line_start, line,
+                        msgOf("bad op '", op, "'"));
+        }
+
+        const std::string_view addr_hex = nextField(rest);
+        if (addr_hex.empty()) {
+            raiseRecord(name, line_no, record_index, line_start, line,
+                        unterminated
+                            ? "record truncated (no address, missing "
+                              "final newline)"
+                            : "missing address field");
         }
         TraceRecord rec;
-        rec.vaddr = std::strtoull(addr_hex.c_str(), nullptr, 16);
+        rec.vaddr = 0;
+        std::string_view digits = addr_hex;
+        if (digits.size() > 2 &&
+            (digits.substr(0, 2) == "0x" || digits.substr(0, 2) == "0X"))
+            digits.remove_prefix(2);
+        if (digits.empty() || digits.size() > 16) {
+            raiseRecord(name, line_no, record_index, line_start, line,
+                        msgOf("bad hex address '", clip(addr_hex),
+                              "'"));
+        }
+        for (const char c : digits) {
+            const int v = c >= '0' && c <= '9'   ? c - '0'
+                          : c >= 'a' && c <= 'f' ? c - 'a' + 10
+                          : c >= 'A' && c <= 'F' ? c - 'A' + 10
+                                                 : -1;
+            if (v < 0) {
+                raiseRecord(name, line_no, record_index, line_start,
+                            line,
+                            msgOf("bad hex address '", clip(addr_hex),
+                                  "'"));
+            }
+            rec.vaddr = (rec.vaddr << 4) | static_cast<Addr>(v);
+        }
+
+        const std::string_view icount_str = nextField(rest);
+        if (icount_str.empty()) {
+            raiseRecord(name, line_no, record_index, line_start, line,
+                        unterminated
+                            ? "record truncated (no icount, missing "
+                              "final newline)"
+                            : "missing icount field");
+        }
+        std::uint64_t icount = 0;
+        for (const char c : icount_str) {
+            if (c < '0' || c > '9' || icount > 0xffffffffull) {
+                raiseRecord(name, line_no, record_index, line_start,
+                            line,
+                            msgOf("bad icount '", clip(icount_str),
+                                  "'"));
+            }
+            icount = icount * 10 + static_cast<std::uint64_t>(c - '0');
+        }
+        if (icount == 0 || icount > 0xffffffffull) {
+            raiseRecord(name, line_no, record_index, line_start, line,
+                        msgOf("icount out of range '", icount_str,
+                              "'"));
+        }
+
+        if (!nextField(rest).empty()) {
+            raiseRecord(name, line_no, record_index, line_start, line,
+                        "trailing fields after icount");
+        }
+
         rec.type = op == "W" ? AccessType::write : AccessType::read;
-        rec.icount = icount;
+        rec.icount = static_cast<std::uint32_t>(icount);
         file->records_.push_back(rec);
     }
-    if (file->records_.empty())
-        fatal(msgOf(name, ": empty trace"));
+    if (file->records_.empty()) {
+        raise(makeError(ErrorKind::parse, "empty trace (no records)",
+                        name,
+                        "the file holds only comments or nothing — "
+                        "likely a truncated recording"));
+    }
     return file;
 }
 

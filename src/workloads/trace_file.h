@@ -31,11 +31,17 @@ namespace csalt
 class TraceFile
 {
   public:
-    /** Parse @p path; fatal() on I/O or syntax errors. */
+    /**
+     * Parse @p path. Raises a CsaltError — kind=io when the file
+     * cannot be read, kind=parse for malformed content; parse errors
+     * name the line, the record index and the byte offset of the
+     * offending record, so a truncated or corrupted trace is rejected
+     * with a pinpointed diagnostic instead of silently mis-replaying.
+     */
     static std::shared_ptr<const TraceFile> load(
         const std::string &path);
 
-    /** Parse records from an in-memory string (tests). */
+    /** Parse records from an in-memory string (tests); raises too. */
     static std::shared_ptr<const TraceFile> parse(
         const std::string &text, const std::string &name = "inline");
 

@@ -6,9 +6,33 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "common/config.h"
+#include "common/error.h"
 
 using namespace csalt;
+
+namespace
+{
+
+/** validate() must raise kind=config mentioning @p needle. */
+void
+expectConfigError(const SystemParams &p, const std::string &needle)
+{
+    try {
+        validate(p);
+        ADD_FAILURE() << "expected a config error mentioning '"
+                      << needle << "'";
+    } catch (const CsaltError &e) {
+        EXPECT_EQ(e.error().kind, ErrorKind::config) << e.what();
+        EXPECT_NE(std::string(e.what()).find(needle),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+} // namespace
 
 TEST(Config, PaperTable2Defaults)
 {
@@ -86,34 +110,48 @@ TEST(Config, ValidationCatchesBadGeometry)
 {
     SystemParams p = defaultParams();
     p.l1d.size_bytes = 0;
-    EXPECT_EXIT(validate(p), ::testing::ExitedWithCode(1), "zero");
+    expectConfigError(p, "zero");
 
     p = defaultParams();
     p.l2tlb.entries = 1000; // 1000/12 not a power-of-two set count
-    EXPECT_EXIT(validate(p), ::testing::ExitedWithCode(1), "TLB");
+    expectConfigError(p, "TLB");
 
     p = defaultParams();
     p.num_cores = 0;
-    EXPECT_EXIT(validate(p), ::testing::ExitedWithCode(1),
-                "num_cores");
+    expectConfigError(p, "num_cores");
 
     p = defaultParams();
     p.page_table_levels = 6;
-    EXPECT_EXIT(validate(p), ::testing::ExitedWithCode(1),
-                "page_table_levels");
+    expectConfigError(p, "page_table_levels");
 
     p = defaultParams();
     p.huge_page_fraction = 1.5;
-    EXPECT_EXIT(validate(p), ::testing::ExitedWithCode(1),
-                "huge_page_fraction");
+    expectConfigError(p, "huge_page_fraction");
 
     p = defaultParams();
     p.pom.ways = 8; // 8 * 16B != 64B line
-    EXPECT_EXIT(validate(p), ::testing::ExitedWithCode(1), "POM");
+    expectConfigError(p, "POM");
 
     p = defaultParams();
     p.l2_partition.policy = PartitionPolicy::csaltD;
     p.l2_partition.min_ways_per_type = 3; // 2*3 > 4 ways
-    EXPECT_EXIT(validate(p), ::testing::ExitedWithCode(1),
-                "min ways");
+    expectConfigError(p, "min ways");
+}
+
+TEST(Config, ValidationErrorsCarryHints)
+{
+    SystemParams p = defaultParams();
+    p.l2.size_bytes = (256ull << 10) + 64; // not divisible by ways
+    try {
+        validate(p);
+        FAIL() << "expected a config error";
+    } catch (const CsaltError &e) {
+        EXPECT_EQ(e.error().kind, ErrorKind::config);
+        EXPECT_EQ(e.error().context, "L2");
+        EXPECT_FALSE(e.error().hint.empty());
+        // The source location points into the validator, not here.
+        EXPECT_NE(std::string(e.error().where.file_name())
+                      .find("config.cc"),
+                  std::string::npos);
+    }
 }

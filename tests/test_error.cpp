@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the typed error layer (common/error.h): kind names,
+ * renderings, the CsaltError exception bridge, Expected/Status, and
+ * the cooperative cancellation plumbing (common/progress.h) the
+ * watchdog relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "common/error.h"
+#include "common/progress.h"
+
+using namespace csalt;
+
+TEST(Error, KindNamesAreStable)
+{
+    EXPECT_STREQ(errorKindName(ErrorKind::config), "config");
+    EXPECT_STREQ(errorKindName(ErrorKind::usage), "usage");
+    EXPECT_STREQ(errorKindName(ErrorKind::io), "io");
+    EXPECT_STREQ(errorKindName(ErrorKind::parse), "parse");
+    EXPECT_STREQ(errorKindName(ErrorKind::build), "build");
+    EXPECT_STREQ(errorKindName(ErrorKind::timeout), "timeout");
+    EXPECT_STREQ(errorKindName(ErrorKind::cancelled), "cancelled");
+    EXPECT_STREQ(errorKindName(ErrorKind::invariant), "invariant");
+    EXPECT_STREQ(errorKindName(ErrorKind::internal), "internal");
+}
+
+TEST(Error, MakeErrorCapturesTheCallSite)
+{
+    const Error err = makeError(ErrorKind::io, "msg");
+    EXPECT_NE(std::string(err.where.file_name()).find("test_error"),
+              std::string::npos);
+}
+
+TEST(Error, OneLineRendersEveryField)
+{
+    const Error err = makeError(ErrorKind::parse, "bad record",
+                                "trace.txt", "re-record it");
+    const std::string line = oneLine(err);
+    EXPECT_NE(line.find("error[parse]"), std::string::npos) << line;
+    EXPECT_NE(line.find("trace.txt"), std::string::npos);
+    EXPECT_NE(line.find("bad record"), std::string::npos);
+    EXPECT_NE(line.find("re-record it"), std::string::npos);
+    EXPECT_EQ(line.find('\n'), std::string::npos)
+        << "oneLine must stay one line";
+}
+
+TEST(Error, DescribeIsMultiLineWithWhereAndHint)
+{
+    const Error err = makeError(ErrorKind::config, "bad ways", "L2",
+                                "use a power of two");
+    const std::string text = describe(err);
+    EXPECT_NE(text.find("where:"), std::string::npos) << text;
+    EXPECT_NE(text.find("hint:"), std::string::npos);
+    EXPECT_NE(text.find("test_error"), std::string::npos) << text;
+}
+
+TEST(Error, RaiseThrowsCsaltErrorWithOneLineWhat)
+{
+    try {
+        raise(makeError(ErrorKind::build, "no vms", "spec"));
+        FAIL() << "raise must throw";
+    } catch (const CsaltError &e) {
+        EXPECT_EQ(e.error().kind, ErrorKind::build);
+        EXPECT_EQ(std::string(e.what()), oneLine(e.error()));
+    }
+}
+
+TEST(Expected, ValueAndErrorPaths)
+{
+    Expected<int> good(7);
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good.value(), 7);
+    EXPECT_EQ(std::move(good).valueOrRaise(), 7);
+
+    Expected<int> bad(makeError(ErrorKind::parse, "nope"));
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().kind, ErrorKind::parse);
+    EXPECT_THROW(std::move(bad).valueOrRaise(), CsaltError);
+}
+
+TEST(Status, OkAndErrorPaths)
+{
+    Status ok;
+    EXPECT_TRUE(ok.ok());
+    std::move(ok).okOrRaise(); // must not throw
+
+    Status bad(makeError(ErrorKind::io, "disk gone"));
+    EXPECT_FALSE(bad.ok());
+    EXPECT_THROW(std::move(bad).okOrRaise(), CsaltError);
+}
+
+TEST(Progress, TokenTicksAndCancels)
+{
+    ProgressToken token;
+    EXPECT_EQ(token.ticks(), 0u);
+    token.tick(4096);
+    token.tick();
+    EXPECT_EQ(token.ticks(), 4097u);
+    EXPECT_FALSE(token.cancelled());
+    token.requestCancel("hard timeout after 1s");
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.cancelReason(), "hard timeout after 1s");
+}
+
+TEST(Progress, ThreadLocalTokenInstallAndClear)
+{
+    EXPECT_EQ(progressToken(), nullptr);
+    progressTick(); // no token installed: must be a harmless no-op
+    EXPECT_FALSE(progressCancelled());
+
+    ProgressToken token;
+    setProgressToken(&token);
+    progressTick(10);
+    EXPECT_EQ(token.ticks(), 10u);
+
+    // The token is thread-local: another thread sees none.
+    std::thread([] { EXPECT_EQ(progressToken(), nullptr); }).join();
+
+    token.requestCancel("stalled");
+    EXPECT_TRUE(progressCancelled());
+    try {
+        raiseCancelled();
+        FAIL() << "raiseCancelled must throw";
+    } catch (const CsaltError &e) {
+        EXPECT_EQ(e.error().kind, ErrorKind::timeout);
+        EXPECT_NE(std::string(e.what()).find("stalled"),
+                  std::string::npos)
+            << e.what();
+    }
+    setProgressToken(nullptr);
+    EXPECT_FALSE(progressCancelled());
+}

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Fault-injection tests for the paranoid invariant layer (src/check):
+ * a clean run must report zero violations, and every injectable fault
+ * must make exactly its paired checker fire — proving the checkers
+ * detect real corruption rather than vacuously passing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "check/fault_injector.h"
+#include "check/invariants.h"
+#include "common/error.h"
+#include "sim/system_builder.h"
+
+using namespace csalt;
+using namespace csalt::check;
+
+namespace
+{
+
+BuildSpec
+tinySpec(void (*apply)(SystemParams &))
+{
+    BuildSpec spec;
+    apply(spec.params);
+    spec.params.num_cores = 2;
+    spec.params.cs_interval = 20'000;
+    spec.params.seed = 5;
+    spec.vm_workloads = {"canneal", "ccomp"};
+    spec.workload_scale = 0.01;
+    return spec;
+}
+
+constexpr std::uint64_t kQuota = 60'000;
+
+/** Build, run long enough to populate TLBs/POM, and return. */
+std::unique_ptr<System>
+warmSystem(void (*apply)(SystemParams &) = applyCsaltCD)
+{
+    auto system = buildSystem(tinySpec(apply));
+    system->run(kQuota);
+    return system;
+}
+
+std::vector<std::string>
+invariantNames(const std::vector<Violation> &violations)
+{
+    std::vector<std::string> names;
+    for (const auto &v : violations)
+        names.push_back(v.invariant);
+    return names;
+}
+
+bool
+contains(const std::vector<Violation> &violations,
+         const std::string &invariant)
+{
+    for (const auto &v : violations)
+        if (v.invariant == invariant)
+            return true;
+    return false;
+}
+
+} // namespace
+
+TEST(FaultInjector, NamesRoundTrip)
+{
+    const auto faults = allFaults();
+    EXPECT_EQ(faults.size(), 7u);
+    for (const Fault fault : faults) {
+        auto parsed = faultFromName(faultName(fault));
+        ASSERT_TRUE(parsed.ok()) << faultName(fault);
+        EXPECT_EQ(parsed.value(), fault);
+    }
+}
+
+TEST(FaultInjector, UnknownNameListsValidFaults)
+{
+    auto parsed = faultFromName("nosuch-fault");
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error().kind, ErrorKind::config);
+    EXPECT_NE(parsed.error().hint.find("cache-metadata"),
+              std::string::npos);
+    EXPECT_NE(parsed.error().hint.find("cpi-stack"),
+              std::string::npos);
+}
+
+TEST(Invariants, ParanoidFromEnvParsesTheUsualSpellings)
+{
+    ::unsetenv("CSALT_PARANOID");
+    EXPECT_FALSE(paranoidFromEnv());
+    ::setenv("CSALT_PARANOID", "0", 1);
+    EXPECT_FALSE(paranoidFromEnv());
+    ::setenv("CSALT_PARANOID", "", 1);
+    EXPECT_FALSE(paranoidFromEnv());
+    ::setenv("CSALT_PARANOID", "1", 1);
+    EXPECT_TRUE(paranoidFromEnv());
+    ::unsetenv("CSALT_PARANOID");
+}
+
+TEST(Invariants, CleanCsaltRunHasZeroViolations)
+{
+    auto system = warmSystem(applyCsaltCD);
+    CheckOptions full;
+    full.full = true;
+    const auto violations = checkSystem(*system, full);
+    EXPECT_TRUE(violations.empty())
+        << violations.size() << " violations, first: "
+        << violations[0].invariant << " in " << violations[0].where
+        << ": " << violations[0].detail;
+}
+
+TEST(Invariants, CleanBaselineRunHasZeroViolations)
+{
+    // The unpartitioned baseline exercises the no-partition and
+    // no-profiler paths of the checkers.
+    auto system = warmSystem(applyPomTlb);
+    CheckOptions full;
+    full.full = true;
+    EXPECT_TRUE(checkSystem(*system, full).empty());
+}
+
+TEST(Invariants, EveryFaultFiresItsPairedChecker)
+{
+    const struct
+    {
+        Fault fault;
+        const char *invariant;
+    } pairs[] = {
+        {Fault::cacheMetadata, "cache.occupancy"},
+        {Fault::replacementState, "replacement.stack"},
+        {Fault::partitionState, "partition.way-sum"},
+        {Fault::profilerCounters, "profiler.conservation"},
+        {Fault::tlbEntry, "tlb.coherence"},
+        {Fault::pomEntry, "pom.coherence"},
+        {Fault::cpiStack, "cpi.accounting"},
+    };
+    ASSERT_EQ(std::size(pairs), allFaults().size())
+        << "new fault without a pairing here";
+    for (const auto &pair : pairs) {
+        auto system = warmSystem(applyCsaltCD);
+        injectFault(*system, pair.fault);
+        CheckOptions full;
+        full.full = true;
+        const auto violations = checkSystem(*system, full);
+        EXPECT_TRUE(contains(violations, pair.invariant))
+            << faultName(pair.fault) << " did not trip "
+            << pair.invariant << " (tripped: "
+            << ::testing::PrintToString(invariantNames(violations))
+            << ")";
+    }
+}
+
+TEST(Invariants, ParanoidRunRaisesAfterInjection)
+{
+    // End-to-end: a paranoid System must refuse to finish a run once
+    // its state is corrupt, which is what csalt-sim --inject smokes.
+    auto system = buildSystem(tinySpec(applyCsaltCD));
+    system->setParanoid(true);
+    EXPECT_TRUE(system->paranoid());
+    system->run(kQuota / 2);
+    injectFault(*system, Fault::cpiStack);
+    try {
+        system->run(kQuota / 2);
+        FAIL() << "paranoid run must raise on corrupted state";
+    } catch (const CsaltError &e) {
+        EXPECT_EQ(e.error().kind, ErrorKind::invariant);
+        EXPECT_NE(std::string(e.what()).find("cpi.accounting"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Invariants, ParanoidCleanRunCompletes)
+{
+    auto system = buildSystem(tinySpec(applyCsaltCD));
+    system->setParanoid(true);
+    system->run(kQuota); // must not throw
+    SUCCEED();
+}
+
+TEST(Invariants, SchemeDependentFaultsAreTypedConfigErrors)
+{
+    // The partition/profiler structures do not exist on the POM
+    // baseline; injecting there must say so, not crash.
+    auto system = warmSystem(applyPomTlb);
+    for (const Fault fault :
+         {Fault::partitionState, Fault::profilerCounters}) {
+        try {
+            injectFault(*system, fault);
+            FAIL() << faultName(fault);
+        } catch (const CsaltError &e) {
+            EXPECT_EQ(e.error().kind, ErrorKind::config);
+            EXPECT_NE(e.error().hint.find("csalt"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+}
+
+TEST(Invariants, RaiseIfViolatedThrowsTypedInvariantError)
+{
+    raiseIfViolated({}, "epoch boundary"); // empty: no-op
+
+    std::vector<Violation> violations;
+    violations.push_back(
+        {"partition.way-sum", "l3", "data 19 of 16 ways"});
+    violations.push_back({"cpi.accounting", "core0", "off by 12"});
+    try {
+        raiseIfViolated(violations, "end of run");
+        FAIL() << "must throw";
+    } catch (const CsaltError &e) {
+        EXPECT_EQ(e.error().kind, ErrorKind::invariant);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("partition.way-sum"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("end of run"), std::string::npos);
+        EXPECT_NE(what.find("1 more"), std::string::npos);
+    }
+}

@@ -17,7 +17,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/error.h"
 #include "common/log.h"
+#include "common/progress.h"
 #include "harness/job_runner.h"
 #include "harness/results.h"
 #include "sim/metrics_io.h"
@@ -219,6 +221,107 @@ TEST(JobRunner, ReducedSweepBitExactAcrossJobCounts)
     // The aggregate document (modulo wall clock) is bit-stable too.
     EXPECT_EQ(jobsJson(seq, /*include_wall=*/false),
               jobsJson(par, /*include_wall=*/false));
+}
+
+TEST(JobRunner, RunnerFlagsParseAndConflict)
+{
+    char prog[] = "tool";
+    char a1[] = "--jobs";
+    char a2[] = "3";
+    char a3[] = "--retries";
+    char a4[] = "2";
+    char a5[] = "--job-timeout";
+    char a6[] = "1.5";
+    char a7[] = "--resume";
+    char a8[] = "ccomp";
+    char *argv[] = {prog, a1, a2, a3, a4, a5, a6, a7, a8, nullptr};
+    int argc = 9;
+    const RunnerOptions opts = parseRunnerFlags(argc, argv);
+    EXPECT_EQ(opts.jobs, 3u);
+    EXPECT_EQ(opts.retries, 2u);
+    EXPECT_DOUBLE_EQ(opts.job_timeout_s, 1.5);
+    EXPECT_TRUE(opts.resume);
+    EXPECT_FALSE(opts.fresh);
+    ASSERT_EQ(argc, 2);
+    EXPECT_STREQ(argv[1], "ccomp");
+}
+
+TEST(JobRunner, WatchdogCancelsStalledJob)
+{
+    // The stalled job never ticks; the watchdog must cancel it while
+    // the healthy job (and the grid) completes.
+    RunnerOptions opts;
+    opts.jobs = 2;
+    opts.stall_timeout_s = 0.05;
+    JobRunner<int> runner(opts);
+    runner.add("stalls", []() -> int {
+        while (!progressCancelled()) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        }
+        raiseCancelled();
+    });
+    runner.add("healthy", [] {
+        progressTick(100);
+        return 7;
+    });
+    const auto outcomes = runner.run();
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_EQ(outcomes[0].error_kind, "timeout");
+    EXPECT_NE(outcomes[0].error.find("progress"), std::string::npos)
+        << outcomes[0].error;
+    ASSERT_TRUE(outcomes[1].ok);
+    EXPECT_EQ(*outcomes[1].value, 7);
+}
+
+TEST(JobRunner, HardTimeoutCancelsDespiteProgress)
+{
+    RunnerOptions opts;
+    opts.jobs = 1;
+    opts.job_timeout_s = 0.05;
+    opts.retries = 3; // must be ignored: timeouts do not retry
+    JobRunner<int> runner(opts);
+    runner.add("runaway", []() -> int {
+        // Ticks steadily, so only the hard timeout can stop it.
+        while (!progressCancelled()) {
+            progressTick(1);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        }
+        raiseCancelled();
+    });
+    const auto outcomes = runner.run();
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_EQ(outcomes[0].error_kind, "timeout");
+    EXPECT_EQ(outcomes[0].attempts, 1u)
+        << "a deterministic timeout must not burn retries";
+}
+
+TEST(JobRunner, RetriesRecoverAFlakyJob)
+{
+    RunnerOptions opts;
+    opts.retries = 2;
+    opts.retry_backoff_s = 0.0;
+    JobRunner<int> runner(opts);
+    std::atomic<int> calls{0};
+    runner.add("flaky", [&calls] {
+        if (++calls < 3)
+            raise(makeError(ErrorKind::io, "transient"));
+        return 42;
+    });
+    runner.add("fails-forever", [] () -> int {
+        raise(makeError(ErrorKind::build, "permanent"));
+    });
+    const auto outcomes = runner.run();
+    ASSERT_TRUE(outcomes[0].ok);
+    EXPECT_EQ(*outcomes[0].value, 42);
+    EXPECT_EQ(outcomes[0].attempts, 3u);
+    EXPECT_FALSE(outcomes[1].ok);
+    EXPECT_EQ(outcomes[1].attempts, 3u); // 1 + 2 retries
+    EXPECT_EQ(outcomes[1].error_kind, "build");
+    EXPECT_EQ(countFailures(outcomes), 1u);
 }
 
 // Give TSan real contention on the shared logging state: the fixes

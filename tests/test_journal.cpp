@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Tests for the crash-safe job journal (src/harness/journal):
+ * CRC-guarded line format, torn-tail recovery, signature checking,
+ * atomic finalize, and the atomic-write primitive underneath it.
+ * Labelled `robustness` with the resume round-trip suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/atomic_io.h"
+#include "common/error.h"
+#include "harness/journal.h"
+
+using namespace csalt;
+using namespace csalt::harness;
+
+namespace
+{
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    return text;
+}
+
+std::unique_ptr<Journal>
+openOrDie(const std::string &path, const std::string &sig, bool fresh)
+{
+    auto journal = Journal::open(path, sig, fresh);
+    EXPECT_TRUE(journal.ok())
+        << (journal.ok() ? "" : oneLine(journal.error()));
+    return std::move(journal).take();
+}
+
+JournalRecord
+okRecord(const std::string &key, const std::string &value_json)
+{
+    JournalRecord rec;
+    rec.key = key;
+    rec.ok = true;
+    rec.wall_s = 1.5;
+    rec.value_json = value_json;
+    return rec;
+}
+
+} // namespace
+
+TEST(Crc32, MatchesKnownVectors)
+{
+    // IEEE reflected CRC-32 check value ("123456789" -> cbf43926).
+    EXPECT_EQ(crc32("123456789"), 0xcbf43926u);
+    EXPECT_EQ(crc32(""), 0x00000000u);
+    EXPECT_NE(crc32("a"), crc32("b"));
+}
+
+TEST(JournalLine, EncodeDecodeRoundTrips)
+{
+    const std::string body = "{\"key\":\"a/b\",\"ok\":true}";
+    const std::string line = journalEncodeLine(body);
+    auto decoded = journalDecodeLine(line);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), body);
+}
+
+TEST(JournalLine, RejectsCorruption)
+{
+    const std::string line =
+        journalEncodeLine("{\"key\":\"a\",\"ok\":true}");
+
+    // Flip one body byte: CRC must catch it.
+    std::string flipped = line;
+    flipped[flipped.size() - 3] ^= 0x20;
+    EXPECT_FALSE(journalDecodeLine(flipped).ok());
+
+    // Truncate (the torn-tail shape a SIGKILL leaves).
+    EXPECT_FALSE(
+        journalDecodeLine(line.substr(0, line.size() / 2)).ok());
+    EXPECT_FALSE(journalDecodeLine("").ok());
+    EXPECT_FALSE(journalDecodeLine("not a journal line").ok());
+
+    const Error err =
+        journalDecodeLine("garbage").ok()
+            ? Error{}
+            : journalDecodeLine("garbage").error();
+    EXPECT_EQ(err.kind, ErrorKind::parse);
+}
+
+TEST(Journal, AppendThenResumeRecoversRecords)
+{
+    const std::string path = tmpPath("journal_roundtrip.jsonl");
+    {
+        auto journal = openOrDie(path, "grid-v1", /*fresh=*/true);
+        ASSERT_TRUE(journal->append(okRecord("cell/a", "{\"x\":1}"))
+                        .ok());
+        JournalRecord failed;
+        failed.key = "cell/b";
+        failed.ok = false;
+        failed.error = "boom";
+        failed.error_kind = "build";
+        ASSERT_TRUE(journal->append(failed).ok());
+    }
+    auto journal = openOrDie(path, "grid-v1", /*fresh=*/false);
+    EXPECT_EQ(journal->loadedCount(), 2u);
+
+    const JournalRecord *a = journal->lookup("cell/a");
+    ASSERT_NE(a, nullptr);
+    EXPECT_TRUE(a->ok);
+    EXPECT_EQ(a->value_json, "{\"x\":1}");
+    EXPECT_DOUBLE_EQ(a->wall_s, 1.5);
+
+    const JournalRecord *b = journal->lookup("cell/b");
+    ASSERT_NE(b, nullptr);
+    EXPECT_FALSE(b->ok);
+    EXPECT_EQ(b->error, "boom");
+    EXPECT_EQ(b->error_kind, "build");
+    EXPECT_EQ(journal->lookup("cell/nope"), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, TornTailIsDroppedOnResume)
+{
+    const std::string path = tmpPath("journal_torn.jsonl");
+    {
+        auto journal = openOrDie(path, "sig", /*fresh=*/true);
+        ASSERT_TRUE(
+            journal->append(okRecord("good", "{\"x\":1}")).ok());
+    }
+    {
+        // Simulate a SIGKILL mid-append: half a record at the end.
+        std::ofstream out(path, std::ios::app);
+        out << "{\"crc\":\"00000000\",\"body\":{\"key\":\"torn";
+    }
+    auto journal = openOrDie(path, "sig", /*fresh=*/false);
+    EXPECT_EQ(journal->loadedCount(), 1u);
+    EXPECT_NE(journal->lookup("good"), nullptr);
+    EXPECT_EQ(journal->lookup("torn"), nullptr);
+
+    // finalize() compacts the journal back to clean lines.
+    ASSERT_TRUE(journal->finalize().ok());
+    const std::string text = slurp(path);
+    EXPECT_EQ(text.find("torn"), std::string::npos);
+    for (std::size_t pos = 0; pos < text.size();) {
+        const auto eol = text.find('\n', pos);
+        ASSERT_NE(eol, std::string::npos) << "unterminated line";
+        EXPECT_TRUE(
+            journalDecodeLine(text.substr(pos, eol - pos)).ok());
+        pos = eol + 1;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Journal, CorruptMiddleLineDropsEverythingAfter)
+{
+    const std::string path = tmpPath("journal_midcorrupt.jsonl");
+    {
+        auto journal = openOrDie(path, "sig", /*fresh=*/true);
+        ASSERT_TRUE(journal->append(okRecord("a", "{}")).ok());
+        ASSERT_TRUE(journal->append(okRecord("b", "{}")).ok());
+    }
+    // Corrupt record "a" (line 2): "b" comes after it and must not
+    // be trusted either — appends are sequential, so bytes after the
+    // first bad line have unknown provenance.
+    std::string text = slurp(path);
+    const auto line2 = text.find('\n') + 1;
+    text[line2 + 10] ^= 0x01;
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << text;
+    }
+    auto journal = openOrDie(path, "sig", /*fresh=*/false);
+    EXPECT_EQ(journal->loadedCount(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, SignatureMismatchIsTypedConfigError)
+{
+    const std::string path = tmpPath("journal_sig.jsonl");
+    {
+        auto journal =
+            openOrDie(path, "sweep:quota=1000", /*fresh=*/true);
+        ASSERT_TRUE(journal->append(okRecord("a", "{}")).ok());
+    }
+    auto mismatched = Journal::open(path, "sweep:quota=2000",
+                                    /*fresh=*/false);
+    ASSERT_FALSE(mismatched.ok());
+    EXPECT_EQ(mismatched.error().kind, ErrorKind::config);
+    EXPECT_NE(mismatched.error().message.find("different grid"),
+              std::string::npos);
+    EXPECT_NE(mismatched.error().hint.find("--fresh"),
+              std::string::npos);
+
+    // --fresh discards it regardless of the old signature.
+    auto fresh = openOrDie(path, "sweep:quota=2000", /*fresh=*/true);
+    EXPECT_EQ(fresh->loadedCount(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, FreshDiscardsExistingRecords)
+{
+    const std::string path = tmpPath("journal_fresh.jsonl");
+    {
+        auto journal = openOrDie(path, "sig", /*fresh=*/true);
+        ASSERT_TRUE(journal->append(okRecord("a", "{}")).ok());
+    }
+    auto journal = openOrDie(path, "sig", /*fresh=*/true);
+    EXPECT_EQ(journal->loadedCount(), 0u);
+    EXPECT_EQ(journal->lookup("a"), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, MissingFileResumesEmpty)
+{
+    auto journal = openOrDie(tmpPath("journal_nonexistent.jsonl"),
+                             "sig", /*fresh=*/false);
+    EXPECT_EQ(journal->loadedCount(), 0u);
+}
+
+TEST(Journal, MultiLineValueIsRejected)
+{
+    const std::string path = tmpPath("journal_multiline.jsonl");
+    auto journal = openOrDie(path, "sig", /*fresh=*/true);
+    Status status = journal->append(okRecord("a", "{\n}"));
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.error().kind, ErrorKind::internal);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, LatestAppendWinsOnDuplicateKey)
+{
+    const std::string path = tmpPath("journal_dup.jsonl");
+    {
+        auto journal = openOrDie(path, "sig", /*fresh=*/true);
+        ASSERT_TRUE(journal->append(okRecord("a", "{\"v\":1}")).ok());
+        ASSERT_TRUE(journal->append(okRecord("a", "{\"v\":2}")).ok());
+    }
+    auto journal = openOrDie(path, "sig", /*fresh=*/false);
+    EXPECT_EQ(journal->loadedCount(), 1u);
+    ASSERT_NE(journal->lookup("a"), nullptr);
+    EXPECT_EQ(journal->lookup("a")->value_json, "{\"v\":2}");
+    std::remove(path.c_str());
+}
+
+TEST(AtomicIo, WriteFileAtomicReplacesContent)
+{
+    const std::string path = tmpPath("atomic_out.json");
+    ASSERT_TRUE(writeFileAtomic(path, "first\n").ok());
+    EXPECT_EQ(slurp(path), "first\n");
+    ASSERT_TRUE(writeFileAtomic(path, "second\n").ok());
+    EXPECT_EQ(slurp(path), "second\n");
+    std::remove(path.c_str());
+}
+
+TEST(AtomicIo, WriteFileAtomicFailsTyped)
+{
+    Status status =
+        writeFileAtomic("/nonexistent-dir/x/y.json", "data");
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.error().kind, ErrorKind::io);
+}
+
+TEST(AtomicIo, CrashBeforeRenameLeavesOldContentIntact)
+{
+    // A kill between the tmp write and the rename must never expose
+    // a torn or half-new results file.
+    const std::string path = tmpPath("atomic_crash.json");
+    ASSERT_TRUE(writeFileAtomic(path, "complete-old\n").ok());
+    ASSERT_TRUE(writeFileAtomic(path, "never-visible\n",
+                                /*crash_before_rename=*/true)
+                    .ok());
+    EXPECT_EQ(slurp(path), "complete-old\n");
+    // The interrupted run's tmp file is what a resumed run finds;
+    // rerunning the write completes the replacement.
+    ASSERT_TRUE(writeFileAtomic(path, "complete-new\n").ok());
+    EXPECT_EQ(slurp(path), "complete-new\n");
+    std::remove(path.c_str());
+    std::remove(
+        (path + ".tmp." + std::to_string(::getpid())).c_str());
+}

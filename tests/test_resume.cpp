@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Checkpoint/resume round-trip tests: a grid interrupted mid-run
+ * (journal cut short + torn tail, the exact on-disk state a SIGKILL
+ * leaves) and resumed with --resume must produce results and output
+ * byte-identical to an uninterrupted run, at any worker count, with
+ * the finished cells replayed from the journal instead of
+ * re-simulated. scripts/check.sh repeats this end-to-end with a real
+ * SIGKILL against the sweep binary.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/job_runner.h"
+#include "harness/results.h"
+#include "sim/metrics_io.h"
+#include "sim/system_builder.h"
+#include "workloads/registry.h"
+
+using namespace csalt;
+using namespace csalt::harness;
+
+namespace
+{
+
+struct Cell
+{
+    const char *workload;
+    const char *scheme;
+    void (*apply)(SystemParams &);
+};
+
+const std::vector<Cell> kGrid = {
+    {"gups", "pom", applyPomTlb},
+    {"gups", "csCD", applyCsaltCD},
+    {"ccomp", "pom", applyPomTlb},
+    {"ccomp", "csCD", applyCsaltCD},
+};
+
+/** One reduced simulation cell, as the tools run them. */
+RunMetrics
+simulate(const Cell &cell)
+{
+    BuildSpec spec;
+    cell.apply(spec.params);
+    const PairSpec pair = resolvePair(cell.workload);
+    spec.vm_workloads = {pair.vm1, pair.vm2};
+    auto system = buildSystem(spec);
+    system->run(1000);
+    system->clearAllStats();
+    system->run(5000);
+    return collectMetrics(*system);
+}
+
+std::string
+keyOf(const Cell &cell)
+{
+    return std::string(cell.workload) + "/" + cell.scheme;
+}
+
+/**
+ * Run the grid's first @p n_cells cells through @p runner, counting
+ * real executions and recording the ordered stdout-like rows (no
+ * wall clock in the rows, as in the real tools).
+ */
+struct GridRun
+{
+    std::vector<JobOutcome<RunMetrics>> outcomes;
+    std::string rows;
+    int executed = 0;
+};
+
+GridRun
+runGrid(const RunnerOptions &opts, Journal *journal,
+        std::size_t n_cells = kGrid.size())
+{
+    GridRun result;
+    std::atomic<int> executed{0};
+    JobRunner<RunMetrics> runner(opts);
+    if (journal)
+        runner.attachJournal(journal, metricsJournalCodec());
+    for (std::size_t i = 0; i < n_cells; ++i) {
+        const Cell cell = kGrid[i];
+        runner.add(keyOf(cell), [cell, &executed] {
+            ++executed;
+            return simulate(cell);
+        });
+    }
+    runner.setOrderedCallback(
+        [&](std::size_t, const JobOutcome<RunMetrics> &o) {
+            result.rows += o.key + " ipc " +
+                           std::to_string(o.value->ipc_geomean) +
+                           "\n";
+        });
+    result.outcomes = runner.run();
+    result.executed = executed.load();
+    return result;
+}
+
+std::string
+tmpJournal(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+/** The torn tail a SIGKILL mid-append leaves at the journal's end. */
+void
+tearJournalTail(const std::string &path)
+{
+    std::ofstream out(path, std::ios::app);
+    out << "{\"crc\":\"12345678\",\"body\":{\"key\":\"half-writ";
+}
+
+std::unique_ptr<Journal>
+openJournal(const std::string &path, bool fresh)
+{
+    auto journal = Journal::open(path, "resume-test:v1", fresh);
+    EXPECT_TRUE(journal.ok());
+    return std::move(journal).take();
+}
+
+} // namespace
+
+TEST(Resume, KillAndResumeRoundTripIsByteIdentical)
+{
+    // Reference: the uninterrupted run.
+    RunnerOptions plain;
+    const GridRun reference = runGrid(plain, nullptr);
+    ASSERT_EQ(reference.executed, 4);
+    const std::string reference_json =
+        jobsJson(reference.outcomes, /*include_wall=*/false);
+
+    for (const unsigned jobs : {1u, 4u}) {
+        const std::string path = tmpJournal(
+            "resume_rt_" + std::to_string(jobs) + ".jsonl");
+
+        // "Killed" run: only 2 of 4 cells finished, then a torn
+        // tail from the append that was in flight at the kill.
+        {
+            RunnerOptions first;
+            first.jobs = jobs;
+            auto journal = openJournal(path, /*fresh=*/true);
+            const GridRun partial =
+                runGrid(first, journal.get(), 2);
+            ASSERT_EQ(partial.executed, 2);
+        }
+        tearJournalTail(path);
+
+        // Resumed run: full grid, finished cells replay from the
+        // journal, the rest simulate.
+        RunnerOptions second;
+        second.jobs = jobs;
+        second.resume = true;
+        auto journal = openJournal(path, /*fresh=*/false);
+        EXPECT_EQ(journal->loadedCount(), 2u);
+        const GridRun resumed = runGrid(second, journal.get());
+
+        EXPECT_EQ(resumed.executed, 2)
+            << "journaled cells must not re-simulate";
+        ASSERT_EQ(resumed.outcomes.size(), reference.outcomes.size());
+        for (std::size_t i = 0; i < resumed.outcomes.size(); ++i) {
+            ASSERT_TRUE(resumed.outcomes[i].ok)
+                << resumed.outcomes[i].error;
+            EXPECT_EQ(resumed.outcomes[i].from_journal, i < 2);
+            // Bit-identical metrics through the journal round-trip.
+            EXPECT_EQ(metricsJson(resumed.outcomes[i].key,
+                                  *resumed.outcomes[i].value),
+                      metricsJson(reference.outcomes[i].key,
+                                  *reference.outcomes[i].value))
+                << resumed.outcomes[i].key;
+        }
+        // The stdout rows and the results document (minus wall
+        // clock) are byte-identical to the uninterrupted run.
+        EXPECT_EQ(resumed.rows, reference.rows);
+        EXPECT_EQ(jobsJson(resumed.outcomes, /*include_wall=*/false),
+                  reference_json);
+        std::remove(path.c_str());
+    }
+}
+
+TEST(Resume, WithoutResumeFlagEverythingReruns)
+{
+    const std::string path = tmpJournal("resume_noflag.jsonl");
+    {
+        auto journal = openJournal(path, /*fresh=*/true);
+        RunnerOptions opts;
+        runGrid(opts, journal.get(), 2);
+    }
+    // Journal attached but resume not requested: all cells execute.
+    auto journal = openJournal(path, /*fresh=*/false);
+    RunnerOptions opts;
+    const GridRun rerun = runGrid(opts, journal.get());
+    EXPECT_EQ(rerun.executed, 4);
+    for (const auto &o : rerun.outcomes)
+        EXPECT_FALSE(o.from_journal);
+    std::remove(path.c_str());
+}
+
+TEST(Resume, FailedJournalRecordsRerun)
+{
+    const std::string path = tmpJournal("resume_failed.jsonl");
+    {
+        auto journal = openJournal(path, /*fresh=*/true);
+        JournalRecord rec;
+        rec.key = keyOf(kGrid[0]);
+        rec.ok = false;
+        rec.error = "timed out";
+        rec.error_kind = "timeout";
+        ASSERT_TRUE(journal->append(rec).ok());
+    }
+    auto journal = openJournal(path, /*fresh=*/false);
+    RunnerOptions opts;
+    opts.resume = true;
+    const GridRun rerun = runGrid(opts, journal.get(), 1);
+    // A failed record is not a checkpoint: the cell runs again.
+    EXPECT_EQ(rerun.executed, 1);
+    ASSERT_TRUE(rerun.outcomes[0].ok);
+    EXPECT_FALSE(rerun.outcomes[0].from_journal);
+    std::remove(path.c_str());
+}
+
+TEST(Resume, FullyJournaledGridRunsNothing)
+{
+    const std::string path = tmpJournal("resume_full.jsonl");
+    std::string first_rows;
+    {
+        auto journal = openJournal(path, /*fresh=*/true);
+        RunnerOptions opts;
+        opts.jobs = 4;
+        first_rows = runGrid(opts, journal.get()).rows;
+    }
+    auto journal = openJournal(path, /*fresh=*/false);
+    RunnerOptions opts;
+    opts.resume = true;
+    opts.jobs = 4;
+    const GridRun replay = runGrid(opts, journal.get());
+    EXPECT_EQ(replay.executed, 0);
+    EXPECT_EQ(replay.rows, first_rows);
+    std::remove(path.c_str());
+}

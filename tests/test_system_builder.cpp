@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <string>
 
+#include "common/error.h"
 #include "sim/system_builder.h"
 
 using namespace csalt;
@@ -80,14 +82,22 @@ TEST(Builder, VmsGetDistinctAsids)
     EXPECT_EQ(core.numContexts(), 2u);
 }
 
-TEST(Builder, TooManyVmsIsFatal)
+TEST(Builder, TooManyVmsIsTypedBuildError)
 {
     BuildSpec spec;
     applyPomTlb(spec.params);
     spec.params.max_asids = 2;
     spec.vm_workloads = {"gups", "gups", "gups"};
-    EXPECT_EXIT(buildSystem(spec), ::testing::ExitedWithCode(1),
-                "ASID");
+    try {
+        buildSystem(spec);
+        FAIL() << "expected a build error";
+    } catch (const CsaltError &e) {
+        EXPECT_EQ(e.error().kind, ErrorKind::build);
+        EXPECT_NE(std::string(e.what()).find("ASID"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_FALSE(e.error().hint.empty());
+    }
 }
 
 TEST(Builder, FileWorkloadsPlugIn)

@@ -11,6 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "common/error.h"
 #include "sim/metrics.h"
 #include "sim/system_builder.h"
 
@@ -226,9 +229,16 @@ TEST(SystemIntegration, SeedChangesOutcome)
               collectMetrics(*b).l2_tlb_misses);
 }
 
-TEST(SystemIntegration, EmptyWorkloadListIsFatal)
+TEST(SystemIntegration, EmptyWorkloadListIsTypedBuildError)
 {
     BuildSpec spec;
-    EXPECT_EXIT(buildSystem(spec), ::testing::ExitedWithCode(1),
-                "at least one VM");
+    try {
+        buildSystem(spec);
+        FAIL() << "expected a build error";
+    } catch (const CsaltError &e) {
+        EXPECT_EQ(e.error().kind, ErrorKind::build);
+        EXPECT_NE(std::string(e.what()).find("at least one VM"),
+                  std::string::npos)
+            << e.what();
+    }
 }

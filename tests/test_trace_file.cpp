@@ -7,7 +7,9 @@
 
 #include <cstdio>
 #include <fstream>
+#include <string>
 
+#include "common/error.h"
 #include "workloads/registry.h"
 #include "workloads/trace_file.h"
 
@@ -20,6 +22,29 @@ const char *kSample = "# comment\n"
                       "R 1000 3\n"
                       "W 2fff 1\n"
                       "R deadbeef000 5\n";
+
+/** Parse @p text expecting a typed parse error; returns it. */
+Error
+parseError(const std::string &text)
+{
+    try {
+        TraceFile::parse(text, "test.trace");
+    } catch (const CsaltError &e) {
+        return e.error();
+    }
+    ADD_FAILURE() << "expected a parse error for: " << text;
+    return {};
+}
+
+::testing::AssertionResult
+mentions(const Error &err, const std::string &needle)
+{
+    if (oneLine(err).find(needle) != std::string::npos)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "'" << oneLine(err) << "' does not mention '" << needle
+           << "'";
+}
 
 } // namespace
 
@@ -49,20 +74,78 @@ TEST(TraceFile, FormatRoundTrips)
     }
 }
 
-TEST(TraceFile, BadRecordIsFatal)
+TEST(TraceFile, MalformedRecordMatrix)
 {
-    EXPECT_EXIT(TraceFile::parse("X 1000 3\n"),
-                ::testing::ExitedWithCode(1), "bad trace record");
-    EXPECT_EXIT(TraceFile::parse("R 1000 0\n"),
-                ::testing::ExitedWithCode(1), "bad trace record");
-    EXPECT_EXIT(TraceFile::parse("# only comments\n"),
-                ::testing::ExitedWithCode(1), "empty trace");
+    // One case per way a converter can mangle a record. Every error
+    // must be kind=parse and name what is wrong.
+    const struct
+    {
+        const char *text;
+        const char *needle;
+    } cases[] = {
+        {"X 1000 3\n", "bad op 'X'"},
+        {"read 1000 3\n", "bad op 'read'"},
+        {"R\n", "missing address"},
+        {"R zzzz 3\n", "bad hex address 'zzzz'"},
+        {"R 0x 3\n", "bad hex address '0x'"},
+        {"R 11112222333344445 3\n", "bad hex address"}, // 17 digits
+        {"R 1000\n", "missing icount"},
+        {"R 1000 3x\n", "bad icount '3x'"},
+        {"R 1000 0\n", "icount out of range '0'"},
+        {"R 1000 5000000000\n", "icount out of range"}, // > uint32
+        {"R 1000 3 junk\n", "trailing fields after icount"},
+        {"# only comments\n", "empty trace"},
+        {"", "empty trace"},
+    };
+    for (const auto &c : cases) {
+        const Error err = parseError(c.text);
+        EXPECT_EQ(err.kind, ErrorKind::parse) << c.text;
+        EXPECT_TRUE(mentions(err, c.needle)) << c.text;
+    }
 }
 
-TEST(TraceFile, MissingFileIsFatal)
+TEST(TraceFile, TruncatedFinalRecordIsRejected)
 {
-    EXPECT_EXIT(TraceFile::load("/nonexistent/trace.txt"),
-                ::testing::ExitedWithCode(1), "cannot open");
+    // A crash mid-write leaves a record without its final newline;
+    // the diagnostic must say so rather than a generic field error.
+    const Error err = parseError("R 1000 3\nW 2000");
+    EXPECT_EQ(err.kind, ErrorKind::parse);
+    EXPECT_TRUE(mentions(err, "truncated"));
+    EXPECT_TRUE(mentions(err, "missing final newline"));
+}
+
+TEST(TraceFile, ParseErrorPinpointsTheRecord)
+{
+    // Line 4 of the text, second real record, byte offset of the
+    // line start ("# c\n" = 4 bytes, "R 1000 3\n" = 9, "\n" = 1).
+    const Error err = parseError("# c\nR 1000 3\n\nW bad!hex 1\n");
+    EXPECT_TRUE(mentions(err, "line 4"));
+    EXPECT_TRUE(mentions(err, "record 1"));
+    EXPECT_TRUE(mentions(err, "byte offset 14"));
+    EXPECT_EQ(err.context, "test.trace");
+    EXPECT_FALSE(err.hint.empty());
+}
+
+TEST(TraceFile, OverlongLineIsTruncatedInTheDiagnostic)
+{
+    const std::string line = "R " + std::string(500, 'z') + " 3\n";
+    const Error err = parseError(line);
+    EXPECT_TRUE(mentions(err, "..."));
+    // Both the echoed field and the echoed line are clipped, so the
+    // one-line rendering stays far below the input size.
+    EXPECT_LT(oneLine(err).size(), 400u);
+}
+
+TEST(TraceFile, MissingFileIsTypedIoError)
+{
+    try {
+        TraceFile::load("/nonexistent/trace.txt");
+        FAIL() << "expected an io error";
+    } catch (const CsaltError &e) {
+        EXPECT_EQ(e.error().kind, ErrorKind::io);
+        EXPECT_TRUE(mentions(e.error(), "cannot open"));
+        EXPECT_EQ(e.error().context, "/nonexistent/trace.txt");
+    }
 }
 
 TEST(TraceFileSource, LoopsEndlessly)

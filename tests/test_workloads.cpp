@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 #include <unordered_set>
 
+#include "common/error.h"
 #include "workloads/generators.h"
 #include "workloads/registry.h"
 
@@ -165,10 +167,21 @@ TEST(Registry, HeterogeneousLabels)
     EXPECT_EQ(resolvePair("pagerank_strcls").vm1, "pagerank");
 }
 
-TEST(Registry, UnknownWorkloadIsFatal)
+TEST(Registry, UnknownWorkloadIsTypedConfigError)
 {
-    EXPECT_EXIT(workloadDesc("nosuch"), ::testing::ExitedWithCode(1),
-                "unknown workload");
+    try {
+        workloadDesc("nosuch");
+        FAIL() << "expected a config error";
+    } catch (const CsaltError &e) {
+        EXPECT_EQ(e.error().kind, ErrorKind::config);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("unknown workload"), std::string::npos)
+            << what;
+        // The hint enumerates the valid names.
+        EXPECT_NE(e.error().hint.find("gups"), std::string::npos);
+        EXPECT_NE(e.error().hint.find("file:<path>"),
+                  std::string::npos);
+    }
 }
 
 TEST(Registry, StreamclusterIsThpFriendly)

@@ -32,6 +32,15 @@
  *                        (default 8192 when tracing, else off)
  *   --trace-events LIST  comma list of event categories to record:
  *                        cs,epoch,walk | all | none  (default: all)
+ *   --paranoid           run the invariant self-checks at every
+ *                        occupancy epoch and at end of run (also
+ *                        enabled by CSALT_PARANOID=1); any violation
+ *                        is a structured kind=invariant error
+ *   --inject FAULT       corrupt one internal structure mid-run
+ *                        (fault-injection self-test; implies
+ *                        --paranoid, so the run must FAIL with a
+ *                        checker diagnostic — see docs/robustness.md)
+ *   --inject-seed N      which set/entry the fault lands in
  *
  * The trace sink is attached after warmup so the telemetry covers
  * exactly the measured region (and the epoch events line up with the
@@ -44,6 +53,8 @@
 #include <string>
 #include <vector>
 
+#include "check/fault_injector.h"
+#include "common/error.h"
 #include "common/log.h"
 #include "common/table.h"
 #include "obs/trace_event.h"
@@ -66,7 +77,8 @@ usage(const char *argv0)
                  "[--scale F] [--seed N] [--format table|csv|json] "
                  "[--cpi-stack] [--histograms] "
                  "[--trace-out FILE] [--sample-interval N] "
-                 "[--trace-events cs,epoch,walk|all|none]\n",
+                 "[--trace-events cs,epoch,walk|all|none] "
+                 "[--paranoid] [--inject FAULT] [--inject-seed N]\n",
                  argv0);
     std::exit(2);
 }
@@ -223,6 +235,9 @@ main(int argc, char **argv)
     unsigned trace_cats = obs::kCatAll;
     bool show_cpi_stack = false;
     bool show_histograms = false;
+    bool paranoid = false;
+    std::string inject_name;
+    std::uint64_t inject_seed = 1;
 
     auto next_arg = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -274,6 +289,12 @@ main(int argc, char **argv)
             sample_interval_set = true;
         } else if (arg == "--trace-events") {
             trace_cats = obs::parseEventCats(next_arg(i));
+        } else if (arg == "--paranoid") {
+            paranoid = true;
+        } else if (arg == "--inject") {
+            inject_name = next_arg(i);
+        } else if (arg == "--inject-seed") {
+            inject_seed = std::strtoull(next_arg(i), nullptr, 10);
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
         } else {
@@ -285,24 +306,48 @@ main(int argc, char **argv)
     if (spec.vm_workloads.empty())
         spec.vm_workloads = {"pagerank", "ccomp"};
 
-    applyScheme(spec.params, scheme);
-    if (!trace_out.empty() && !sample_interval_set)
-        sample_interval = 8192;
-    spec.stat_sample_interval = sample_interval;
+    RunMetrics m;
+    try {
+        applyScheme(spec.params, scheme);
+        if (!trace_out.empty() && !sample_interval_set)
+            sample_interval = 8192;
+        spec.stat_sample_interval = sample_interval;
 
-    auto system = buildSystem(spec);
-    if (warmup) {
-        system->run(warmup);
-        system->clearAllStats();
+        auto system = buildSystem(spec);
+        if (paranoid || !inject_name.empty())
+            system->setParanoid(true);
+        if (warmup) {
+            system->run(warmup);
+            system->clearAllStats();
+        }
+        // Attach telemetry only now: the stream then covers exactly
+        // the measured region, so trace_inspect's reconstructed
+        // partition timeline matches the controllers' (also cleared)
+        // decision trace.
+        if (!trace_out.empty() &&
+            !system->openTrace(trace_out, trace_cats)) {
+            fatal("cannot open trace file '" + trace_out + "'");
+        }
+        if (!inject_name.empty()) {
+            // Mid-run injection: the target structures only hold
+            // corruptible state once the simulation has warmed up.
+            const check::Fault fault =
+                check::faultFromName(inject_name).valueOrRaise();
+            system->run(quota / 2);
+            check::injectFault(*system, fault, inject_seed);
+            std::fprintf(stderr,
+                         "injected fault '%s' at mid-run; the "
+                         "invariant checks must now fail\n",
+                         check::faultName(fault));
+            system->run(quota - quota / 2);
+        } else {
+            system->run(quota);
+        }
+        system->closeTrace();
+        m = collectMetrics(*system);
+    } catch (const CsaltError &e) {
+        fatal(e.error()); // structured diagnostic + exit(1)
     }
-    // Attach telemetry only now: the stream then covers exactly the
-    // measured region, so trace_inspect's reconstructed partition
-    // timeline matches the controllers' (also cleared) decision trace.
-    if (!trace_out.empty() && !system->openTrace(trace_out, trace_cats))
-        fatal("cannot open trace file '" + trace_out + "'");
-    system->run(quota);
-    system->closeTrace();
-    const RunMetrics m = collectMetrics(*system);
 
     std::string label = scheme;
     for (const auto &vm : spec.vm_workloads)

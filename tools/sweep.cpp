@@ -4,19 +4,28 @@
  * establishes the headroom the dynamic controller should find.
  *
  *   sweep [label] [--jobs N] [--json results.json]
+ *         [--resume | --fresh] [--retries N] [--job-timeout S]
+ *         [--stall-timeout S]
  *
  * The (L2 ways × L3 ways) grid runs through the parallel job runner
  * ($CSALT_JOBS or --jobs; default sequential); rows stream in grid
  * order regardless of completion order, so output is identical at
- * any job count. --json writes the merged per-cell RunMetrics.
+ * any job count. --json writes the merged per-cell RunMetrics and
+ * maintains a crash-safe journal beside it
+ * (results.json.journal.jsonl): kill the sweep at any point and
+ * --resume replays the finished cells instead of re-simulating, with
+ * byte-identical stdout. Failed cells are reported in a table and
+ * counted in the exit code instead of aborting the grid.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "common/log.h"
 #include "harness/job_runner.h"
 #include "harness/results.h"
@@ -63,23 +72,10 @@ run(const std::string &label, unsigned l2_data, unsigned l3_data,
     return collectMetrics(*system);
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+sweepMain(const harness::RunnerOptions &opts, const std::string &label,
+          const std::string &json_path)
 {
-    const unsigned jobs = harness::parseJobsFlag(argc, argv);
-    std::string label = "ccomp";
-    std::string json_path;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--json") == 0) {
-            if (i + 1 >= argc)
-                fatal("--json needs a path");
-            json_path = argv[++i];
-        } else {
-            label = argv[i];
-        }
-    }
     const std::uint64_t quota = envU64("CSALT_QUOTA", 1'000'000);
     const std::uint64_t warmup = envU64("CSALT_WARMUP", quota * 4 / 5);
 
@@ -93,7 +89,24 @@ main(int argc, char **argv)
         for (unsigned l3d : {0u, 2u, 4u, 6u, 8u, 10u, 12u, 14u})
             grid.push_back({l2d, l3d});
 
-    harness::JobRunner<RunMetrics> runner(jobs);
+    harness::JobRunner<RunMetrics> runner(opts);
+    std::unique_ptr<harness::Journal> journal;
+    if (!json_path.empty()) {
+        journal = harness::Journal::open(
+                      json_path + ".journal.jsonl",
+                      msgOf("sweep:", label, ":quota=", quota,
+                            ":warmup=", warmup),
+                      !opts.resume)
+                      .valueOrRaise();
+        runner.attachJournal(journal.get(),
+                             harness::metricsJournalCodec());
+    } else if (opts.resume) {
+        fatal(makeError(ErrorKind::usage,
+                        "--resume needs --json: the journal lives "
+                        "beside the results file",
+                        "--resume"));
+    }
+
     for (const Cell &cell : grid) {
         const std::string key =
             cell.l2d == 0 && cell.l3d == 0
@@ -110,15 +123,22 @@ main(int argc, char **argv)
     double base = 0.0;
     runner.setOrderedCallback(
         [&](std::size_t i, const harness::JobOutcome<RunMetrics> &o) {
-            if (!o.ok)
-                fatal(msgOf("sweep cell '", o.key,
-                            "' failed: ", o.error));
-            const double ipc = o.value->ipc_geomean;
-            if (i == 0) {
-                base = ipc;
+            if (!o.ok) {
+                // The failure table carries the details; the row just
+                // keeps the grid shape readable.
+                if (i == 0)
+                    std::printf("%s unpartitioned FAILED [%s]\n",
+                                label.c_str(), o.error_kind.c_str());
+                else
+                    std::printf("  L2d=%u L3d=%-2u  FAILED [%s]\n",
+                                grid[i].l2d, grid[i].l3d,
+                                o.error_kind.c_str());
+            } else if (i == 0) {
+                base = o.value->ipc_geomean;
                 std::printf("%s unpartitioned IPC %.4f\n",
                             label.c_str(), base);
             } else {
+                const double ipc = o.value->ipc_geomean;
                 std::printf(
                     "  L2d=%u L3d=%-2u  ipc %.4f  vs_pom %.3f\n",
                     grid[i].l2d, grid[i].l3d, ipc,
@@ -127,7 +147,8 @@ main(int argc, char **argv)
             std::fflush(stdout);
         });
     const auto outcomes = runner.run(
-        jobs > 1 ? harness::stderrProgress() : harness::ProgressFn{});
+        opts.jobs > 1 ? harness::stderrProgress()
+                      : harness::ProgressFn{});
 
     if (!json_path.empty()) {
         if (!harness::writeJobsJson(json_path, outcomes))
@@ -136,5 +157,32 @@ main(int argc, char **argv)
         // across runs that write to different --json paths.
         std::fprintf(stderr, "wrote %s\n", json_path.c_str());
     }
-    return 0;
+    harness::printFailureTable(outcomes);
+    const std::size_t failed = harness::countFailures(outcomes);
+    return static_cast<int>(std::min<std::size_t>(failed, 125));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const harness::RunnerOptions opts =
+        harness::parseRunnerFlags(argc, argv);
+    std::string label = "ccomp";
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            if (i + 1 >= argc)
+                fatal("--json needs a path");
+            json_path = argv[++i];
+        } else {
+            label = argv[i];
+        }
+    }
+    try {
+        return sweepMain(opts, label, json_path);
+    } catch (const CsaltError &e) {
+        fatal(e.error()); // structured diagnostic + exit(1)
+    }
 }

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "common/log.h"
 #include "common/table.h"
 #include "obs/json.h"
@@ -230,8 +231,11 @@ main(int argc, char **argv)
         usage(argv[0]);
 
     std::ifstream in(path);
-    if (!in)
-        fatal("cannot open '" + path + "'");
+    if (!in) {
+        fatal(makeError(ErrorKind::io, "cannot open trace", path,
+                        "pass the --trace-out file written by "
+                        "csalt-sim"));
+    }
 
     std::vector<SampleRow> samples;
     std::vector<EpochRow> epochs;

@@ -6,21 +6,33 @@
  * costs, translation occupancy, per-scheme cache behaviour and IPCs.
  * See bench/ for the per-figure reproduction binaries.
  *
- *   tune [--jobs N] [label ...]
+ *   tune [--jobs N] [--journal out.jsonl] [--resume | --fresh]
+ *        [--retries N] [--job-timeout S] [label ...]
  *
  * The (label × scheme) grid runs through the parallel job runner
  * ($CSALT_JOBS or --jobs; default sequential); tables print in label
  * order either way, so output is identical at any job count.
+ * --journal keeps a crash-safe record of finished runs so --resume
+ * replays them after a kill; a label with any failed run prints a
+ * SKIPPED banner and the failures are tabulated at the end, counted
+ * in the exit code.
  */
 
+#include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <sstream>
 #include <string>
 
+#include "common/error.h"
 #include "common/log.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "harness/job_runner.h"
+#include "obs/json.h"
+#include "sim/metrics_io.h"
 #include "sim/metrics.h"
 #include "sim/system_builder.h"
 #include "workloads/registry.h"
@@ -124,20 +136,87 @@ runOne(const std::string &label, void (*apply)(SystemParams &),
     return out;
 }
 
+/** The calibration extras, in a fixed serialisation order. */
+std::array<double *, 14>
+extraFields(RunOutput &r)
+{
+    return {&r.l2_tr_hit,       &r.l3_tr_hit,
+            &r.l2_data_hit,     &r.l3_data_hit,
+            &r.l2_traffic_ratio, &r.trans_cyc_per_miss,
+            &r.l2_data_ways,    &r.l3_data_ways,
+            &r.trans_per_instr, &r.data_per_instr,
+            &r.ddr_avg,         &r.stk_avg,
+            &r.ddr_apki,        &r.stk_apki};
+}
+
+/**
+ * Resume codec: the embedded metrics object reuses the full-fidelity
+ * RunMetrics journal form; the calibration extras ride behind it as a
+ * fixed-order number array. "extra" is the last member, so the
+ * metrics text slices back out via the rfind marker.
+ */
+harness::JournalCodec<RunOutput>
+runOutputCodec()
+{
+    harness::JournalCodec<RunOutput> codec;
+    codec.encode = [](const RunOutput &r) {
+        std::ostringstream os;
+        os << "{\"metrics\":" << metricsJournalJson(r.metrics)
+           << ",\"extra\":[";
+        auto fields = extraFields(const_cast<RunOutput &>(r));
+        for (std::size_t i = 0; i < fields.size(); ++i) {
+            if (i)
+                os << ',';
+            obs::writeJsonNumber(os, *fields[i]);
+        }
+        os << "]}";
+        return os.str();
+    };
+    codec.decode = [](std::string_view text) -> Expected<RunOutput> {
+        constexpr std::string_view kPrefix = "{\"metrics\":";
+        constexpr std::string_view kMarker = ",\"extra\":[";
+        const auto marker = text.rfind(kMarker);
+        if (text.substr(0, kPrefix.size()) != kPrefix ||
+            marker == std::string_view::npos) {
+            return makeError(ErrorKind::parse,
+                             "malformed tune journal value", "journal",
+                             "re-run with --fresh");
+        }
+        RunOutput out;
+        Expected<RunMetrics> metrics = metricsFromJournal(
+            text.substr(kPrefix.size(), marker - kPrefix.size()));
+        if (!metrics)
+            return metrics.error();
+        out.metrics = std::move(metrics).take();
+        const auto parsed =
+            obs::parseJson(text.substr(marker + kMarker.size() - 1,
+                                       text.size() - 1 -
+                                           (marker + kMarker.size() - 1)));
+        if (!parsed || !parsed->isArray() ||
+            parsed->arr.size() != extraFields(out).size()) {
+            return makeError(ErrorKind::parse,
+                             "malformed tune journal extras",
+                             "journal", "re-run with --fresh");
+        }
+        auto fields = extraFields(out);
+        for (std::size_t i = 0; i < fields.size(); ++i)
+            *fields[i] = parsed->arr[i].num_v;
+        return out;
+    };
+    return codec;
+}
+
 } // namespace
 
-int
-main(int argc, char **argv)
+namespace
 {
-    const unsigned jobs = harness::parseJobsFlag(argc, argv);
-    const std::uint64_t quota = envU64("CSALT_QUOTA", 2'000'000);
-    const std::uint64_t warmup = envU64("CSALT_WARMUP", quota / 2);
-    std::vector<std::string> labels = paperPairLabels();
-    if (argc > 1) {
-        labels.clear();
-        for (int i = 1; i < argc; ++i)
-            labels.emplace_back(argv[i]);
-    }
+
+int
+tuneMain(const harness::RunnerOptions &opts,
+         const std::string &journal_path,
+         const std::vector<std::string> &labels, std::uint64_t warmup,
+         std::uint64_t quota)
+{
 
     struct Variant
     {
@@ -153,7 +232,20 @@ main(int argc, char **argv)
         {"csCD", applyCsaltCD, true},
     };
 
-    harness::JobRunner<RunOutput> runner(jobs);
+    harness::JobRunner<RunOutput> runner(opts);
+    std::unique_ptr<harness::Journal> journal;
+    if (!journal_path.empty()) {
+        journal = harness::Journal::open(
+                      journal_path,
+                      msgOf("tune:quota=", quota, ":warmup=", warmup),
+                      !opts.resume)
+                      .valueOrRaise();
+        runner.attachJournal(journal.get(), runOutputCodec());
+    } else if (opts.resume) {
+        fatal(makeError(ErrorKind::usage,
+                        "--resume needs --journal", "--resume"));
+    }
+
     for (const auto &label : labels) {
         for (const auto &v : variants) {
             runner.add(label + "/" + v.name, [=] {
@@ -163,16 +255,22 @@ main(int argc, char **argv)
         }
     }
     const auto outcomes = runner.run(
-        jobs > 1 ? harness::stderrProgress() : harness::ProgressFn{});
+        opts.jobs > 1 ? harness::stderrProgress()
+                      : harness::ProgressFn{});
 
     for (std::size_t l = 0; l < labels.size(); ++l) {
         const auto &label = labels[l];
+        std::size_t label_failed = 0;
+        for (std::size_t v = 0; v < variants.size(); ++v)
+            label_failed += !outcomes[l * variants.size() + v].ok;
+        if (label_failed) {
+            std::printf("=== %s  SKIPPED (%zu of %zu runs failed)\n",
+                        label.c_str(), label_failed, variants.size());
+            std::fflush(stdout);
+            continue;
+        }
         const auto slot = [&](std::size_t v) -> const RunOutput & {
-            const auto &o = outcomes[l * variants.size() + v];
-            if (!o.ok)
-                fatal(msgOf("tune run '", o.key,
-                            "' failed: ", o.error));
-            return *o.value;
+            return *outcomes[l * variants.size() + v].value;
         };
         const auto &conv_nocs = slot(0);
         const auto &conv = slot(1);
@@ -230,5 +328,36 @@ main(int argc, char **argv)
         t.print();
         std::fflush(stdout);
     }
-    return 0;
+    harness::printFailureTable(outcomes);
+    const std::size_t failed = harness::countFailures(outcomes);
+    return static_cast<int>(std::min<std::size_t>(failed, 125));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const harness::RunnerOptions opts =
+        harness::parseRunnerFlags(argc, argv);
+    const std::uint64_t quota = envU64("CSALT_QUOTA", 2'000'000);
+    const std::uint64_t warmup = envU64("CSALT_WARMUP", quota / 2);
+    std::string journal_path;
+    std::vector<std::string> labels;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--journal") == 0) {
+            if (i + 1 >= argc)
+                fatal("--journal needs a path");
+            journal_path = argv[++i];
+        } else {
+            labels.emplace_back(argv[i]);
+        }
+    }
+    if (labels.empty())
+        labels = paperPairLabels();
+    try {
+        return tuneMain(opts, journal_path, labels, warmup, quota);
+    } catch (const CsaltError &e) {
+        fatal(e.error());
+    }
 }
