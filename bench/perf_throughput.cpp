@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Simulator throughput baseline (not a paper figure): how fast the
+ * simulator itself runs the fig07 reference configs.
+ *
+ * For each reference scheme (POM-TLB baseline, CSALT-D, CSALT-CD,
+ * DIP) this builds the fig07 system for one workload pair, warms it
+ * up, clears stats, and times the measured slice with a pinned seed.
+ * It reports
+ *
+ *   MAPS  simulated memory accesses per second, in millions
+ *   MIPS  simulated instructions per second, in millions
+ *
+ * and writes them through the standard $CSALT_BENCH_JSON path so the
+ * perf trajectory of the simulator is tracked release over release
+ * (see docs/performance.md for the schema and how to read it).
+ *
+ * Cells always run sequentially regardless of CSALT_JOBS: concurrent
+ * cells would contend for cores and corrupt each other's wall-clock
+ * measurements. Simulated results stay deterministic; the timings are
+ * host-dependent by nature.
+ */
+
+#include "bench_common.h"
+
+#include <cstring>
+
+using namespace csalt;
+using namespace csalt::bench;
+
+namespace
+{
+
+struct Timed
+{
+    RunMetrics metrics;
+    double seconds = 0.0;
+};
+
+/** Build + warm up + time exactly the measured run() slice. */
+Timed
+timeCell(const std::string &label, const Scheme &scheme,
+         const BenchEnv &env)
+{
+    auto system = buildPairSystem(label, scheme, env);
+    if (env.warmup) {
+        system->run(env.warmup);
+        system->clearAllStats();
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    system->run(env.quota);
+    const auto t1 = std::chrono::steady_clock::now();
+    Timed out;
+    out.metrics = collectMetrics(*system);
+    out.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchEnv env = benchEnv(argc, argv);
+    std::string pair = "ccomp"; // fig07 headline pair
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--pair") == 0 && i + 1 < argc)
+            pair = argv[++i];
+    }
+
+    std::printf("== Simulator throughput (fig07 reference configs) "
+                "==\n");
+    std::printf("pair %s, %llu warmup + %llu measured "
+                "instructions/core\n\n",
+                pair.c_str(),
+                static_cast<unsigned long long>(env.warmup),
+                static_cast<unsigned long long>(env.quota));
+
+    const std::vector<Scheme> schemes = {kPomTlb, kCsaltD, kCsaltCD,
+                                         kDip};
+
+    TextTable table(
+        {"scheme", "MAPS", "MIPS", "accesses", "seconds"});
+    ResultsJson results("perf_throughput", "maps", env);
+    std::vector<double> maps_all;
+    for (const Scheme &scheme : schemes) {
+        const Timed cell = timeCell(pair, scheme, env);
+        const double maps =
+            cell.seconds > 0
+                ? static_cast<double>(cell.metrics.total_memrefs) /
+                      cell.seconds / 1e6
+                : 0.0;
+        const double mips =
+            cell.seconds > 0
+                ? static_cast<double>(
+                      cell.metrics.total_instructions) /
+                      cell.seconds / 1e6
+                : 0.0;
+        auto &row = table.row();
+        row.add(scheme.name);
+        row.add(maps, 2);
+        row.add(mips, 2);
+        row.add(static_cast<double>(cell.metrics.total_memrefs), 0);
+        row.add(cell.seconds, 3);
+        results.addRow(scheme.name,
+                       {{"MAPS", maps},
+                        {"MIPS", mips},
+                        {"accesses",
+                         static_cast<double>(
+                             cell.metrics.total_memrefs)},
+                        {"seconds", cell.seconds}});
+        maps_all.push_back(maps);
+        std::fflush(stdout);
+    }
+    results.setGeomean({{"MAPS", geomean(maps_all)}});
+    table.print();
+    results.write();
+    return 0;
+}

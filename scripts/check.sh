@@ -100,6 +100,46 @@ print("ok: resumed sweep identical (minus wall clock)")
 EOF
 rm -rf "$sweep_dir"
 
+echo "== perf smoke: Release throughput bench + results schema =="
+PERF_DIR="${BUILD_DIR}-perf"
+if [[ "${KEEP_BUILD:-0}" != 1 ]]; then
+    rm -rf "$PERF_DIR"
+fi
+cmake -B "$PERF_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$PERF_DIR" -j "$JOBS" --target perf_throughput
+perf_json="$(mktemp /tmp/csalt-perf-XXXXXX.json)"
+CSALT_QUOTA=100000 CSALT_WARMUP=20000 CSALT_BENCH_JSON="$perf_json" \
+    "$PERF_DIR/bench/perf_throughput" --jobs 1
+python3 - "$perf_json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+for key in ("figure", "metric", "quota", "warmup", "rows", "geomean",
+            "wall_clock_s"):
+    assert key in doc, f"missing key: {key}"
+assert doc["figure"] == "perf_throughput", doc["figure"]
+assert doc["metric"] == "maps", doc["metric"]
+
+rows = doc["rows"]
+assert isinstance(rows, list) and rows, "rows must be non-empty"
+schemes = {row["label"] for row in rows}
+assert {"POM-TLB", "CSALT-D", "CSALT-CD", "DIP"} <= schemes, schemes
+for row in rows:
+    values = row["values"]
+    for key in ("MAPS", "MIPS", "accesses", "seconds"):
+        assert key in values, f"{row['label']}: missing {key}"
+    assert values["MAPS"] > 0, f"{row['label']}: MAPS not positive"
+    assert values["MIPS"] > 0, f"{row['label']}: MIPS not positive"
+assert doc["geomean"]["MAPS"] > 0
+
+print(f"ok: {len(rows)} schemes, geomean "
+      f"{doc['geomean']['MAPS']:.1f} MAPS")
+EOF
+rm -f "$perf_json"
+
 echo "== telemetry smoke test =="
 trace="$(mktemp /tmp/csalt-check-XXXXXX.jsonl)"
 chrome="${trace%.jsonl}.chrome.json"

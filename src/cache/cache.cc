@@ -13,11 +13,10 @@ Cache::Cache(const CacheParams &params)
     const std::uint64_t nsets = params.numSets();
     if (nsets == 0 || (nsets & (nsets - 1)) != 0)
         fatal(msgOf(name_, ": set count must be a nonzero power of two"));
-    sets_.resize(nsets);
-    for (auto &set : sets_) {
-        set.lines.resize(ways_);
-        set.repl = makeSetReplacement(params.repl, ways_);
-    }
+    num_sets_ = nsets;
+    tags_.assign(nsets * ways_, kInvalidAddr);
+    meta_.assign(nsets * ways_, 0);
+    repl_ = ReplBlock(params.repl, nsets, ways_);
     if (params.insertion == InsertionKind::dip)
         enableDip();
     if (params.repl == ReplacementKind::rrip)
@@ -29,7 +28,7 @@ Cache::access(Addr addr, AccessType type, LineType ltype)
 {
     const Addr line_addr = addr >> kLineShift;
     const std::uint64_t si = setIndexOf(line_addr);
-    Set &set = sets_[si];
+    const std::uint64_t base = si * ways_;
 
     // Shadow profilers observe every access of their type, regardless
     // of the current partition (they model "what if this type had the
@@ -42,13 +41,15 @@ Cache::access(Addr addr, AccessType type, LineType ltype)
     }
 
     // Lookup scans all ways (partition affects replacement only).
+    // Empty ways hold kInvalidAddr, which no real line address
+    // equals, so the tag compare alone decides the hit.
+    const Addr *tags = &tags_[base];
     for (unsigned w = 0; w < ways_; ++w) {
-        Line &line = set.lines[w];
-        if (line.valid && line.tag == line_addr) {
+        if (tags[w] == line_addr) {
             ++stats_.hits[static_cast<int>(ltype)];
-            set.repl->touch(w);
+            repl_.touch(si, w);
             if (type == AccessType::write)
-                line.dirty = true;
+                meta_[base + w] |= kDirtyBit;
             return {true, {}};
         }
     }
@@ -60,41 +61,40 @@ Cache::access(Addr addr, AccessType type, LineType ltype)
         drrip_->onMiss(si);
 
     // Fill path: pick a victim way.
-    const unsigned w = chooseVictimWay(set, ltype);
-    Line &line = set.lines[w];
+    const unsigned w = chooseVictimWay(si, ltype);
+    const std::uint64_t li = base + w;
 
     CacheAccessResult result;
     result.hit = false;
-    if (line.valid) {
-        result.victim = {true, line.tag << kLineShift, line.dirty,
-                         line.type};
+    if (meta_[li] & kValidBit) {
+        result.victim = {true, tags_[li] << kLineShift,
+                         (meta_[li] & kDirtyBit) != 0, typeOf(meta_[li])};
         ++stats_.evictions;
-        if (line.dirty)
+        if (meta_[li] & kDirtyBit)
             ++stats_.writebacks;
-        --type_count_[static_cast<int>(line.type)];
+        --type_count_[static_cast<int>(typeOf(meta_[li]))];
     }
 
-    line.tag = line_addr;
-    line.valid = true;
-    line.dirty = (type == AccessType::write);
-    line.type = ltype;
+    tags_[li] = line_addr;
+    meta_[li] = static_cast<std::uint8_t>(
+        kValidBit | (type == AccessType::write ? kDirtyBit : 0) |
+        (ltype == LineType::translation ? kTypeBit : 0));
     ++type_count_[static_cast<int>(ltype)];
 
     if (drrip_) {
         // RRIP fills set an insertion RRPV rather than promoting.
-        static_cast<RripSet &>(*set.repl).insertAt(
-            w, drrip_->insertLong(si));
+        repl_.insertAt(si, w, drrip_->insertLong(si));
     } else {
         const bool promote = dip_ ? dip_->insertAtMru(si) : true;
         if (promote)
-            set.repl->touch(w);
+            repl_.touch(si, w);
     }
 
     return result;
 }
 
 unsigned
-Cache::chooseVictimWay(Set &set, LineType ltype) const
+Cache::chooseVictimWay(std::uint64_t set, LineType ltype)
 {
     unsigned lo = 0;
     unsigned hi = ways_ - 1;
@@ -108,19 +108,20 @@ Cache::chooseVictimWay(Set &set, LineType ltype) const
         }
     }
 
+    const Addr *tags = &tags_[set * ways_];
     for (unsigned w = lo; w <= hi; ++w)
-        if (!set.lines[w].valid)
+        if (tags[w] == kInvalidAddr)
             return w;
-    return set.repl->victimIn(lo, hi);
+    return repl_.victimIn(set, lo, hi);
 }
 
 bool
 Cache::probe(Addr addr) const
 {
     const Addr line_addr = addr >> kLineShift;
-    const Set &set = sets_[setIndexOf(line_addr)];
-    for (const auto &line : set.lines)
-        if (line.valid && line.tag == line_addr)
+    const Addr *tags = &tags_[setIndexOf(line_addr) * ways_];
+    for (unsigned w = 0; w < ways_; ++w)
+        if (tags[w] == line_addr)
             return true;
     return false;
 }
@@ -129,12 +130,12 @@ bool
 Cache::markDirtyIfPresent(Addr addr)
 {
     const Addr line_addr = addr >> kLineShift;
-    Set &set = sets_[setIndexOf(line_addr)];
+    const std::uint64_t si = setIndexOf(line_addr);
+    const std::uint64_t base = si * ways_;
     for (unsigned w = 0; w < ways_; ++w) {
-        Line &line = set.lines[w];
-        if (line.valid && line.tag == line_addr) {
-            line.dirty = true;
-            set.repl->touch(w);
+        if (tags_[base + w] == line_addr) {
+            meta_[base + w] |= kDirtyBit;
+            repl_.touch(si, w);
             return true;
         }
     }
@@ -145,11 +146,12 @@ bool
 Cache::invalidate(Addr addr)
 {
     const Addr line_addr = addr >> kLineShift;
-    Set &set = sets_[setIndexOf(line_addr)];
-    for (auto &line : set.lines) {
-        if (line.valid && line.tag == line_addr) {
-            --type_count_[static_cast<int>(line.type)];
-            line = Line{};
+    const std::uint64_t base = setIndexOf(line_addr) * ways_;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (tags_[base + w] == line_addr) {
+            --type_count_[static_cast<int>(typeOf(meta_[base + w]))];
+            tags_[base + w] = kInvalidAddr;
+            meta_[base + w] = 0;
             return true;
         }
     }
@@ -159,11 +161,9 @@ Cache::invalidate(Addr addr)
 void
 Cache::invalidateAll()
 {
-    for (auto &set : sets_) {
-        for (auto &line : set.lines)
-            line = Line{};
-        set.repl = makeSetReplacement(repl_kind_, ways_);
-    }
+    std::fill(tags_.begin(), tags_.end(), kInvalidAddr);
+    std::fill(meta_.begin(), meta_.end(), std::uint8_t{0});
+    repl_.reset();
     type_count_[0] = 0;
     type_count_[1] = 0;
 }
@@ -235,10 +235,9 @@ std::uint64_t
 Cache::scanCountOf(LineType t) const
 {
     std::uint64_t count = 0;
-    for (const auto &set : sets_)
-        for (const auto &line : set.lines)
-            if (line.valid && line.type == t)
-                ++count;
+    for (const std::uint8_t m : meta_)
+        if ((m & kValidBit) && typeOf(m) == t)
+            ++count;
     return count;
 }
 

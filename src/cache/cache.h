@@ -14,6 +14,13 @@
  *    the marginal-utility controllers (paper Eq. 1/2);
  *  - optional DIP insertion (prior-work baseline, Fig. 13);
  *  - exact per-type occupancy counters (paper Fig. 3).
+ *
+ * Hot-path layout (see docs/performance.md): line state lives in two
+ * structure-of-arrays blocks owned by the cache — `tags_` (full line
+ * address, kInvalidAddr when empty) and `meta_` (valid/dirty/type
+ * bits) indexed by set*ways + way — and replacement state lives in a
+ * flattened, enum-dispatched ReplBlock. A lookup therefore touches
+ * contiguous memory and executes no virtual calls.
  */
 
 #ifndef CSALT_CACHE_CACHE_H
@@ -27,6 +34,7 @@
 #include "cache/dip.h"
 #include "cache/rrip.h"
 #include "cache/partition.h"
+#include "cache/repl_flat.h"
 #include "cache/replacement.h"
 #include "cache/stack_dist.h"
 #include "common/config.h"
@@ -181,11 +189,14 @@ class Cache
         return partition_;
     }
 
-    /** Replacement state of one set (stack-integrity checks). */
-    const SetReplacement &
-    replacementOf(std::uint64_t set) const
+    /** Replacement flavour of every set (invariant checkers). */
+    ReplacementKind replKind() const { return repl_.kind(); }
+
+    /** Estimated LRU stack position of one way (checkers/tests). */
+    unsigned
+    replStackPosOf(std::uint64_t set, unsigned way) const
     {
-        return *sets_[set].repl;
+        return repl_.stackPosOf(set, way);
     }
 
     /** Data/translation profiler, or nullptr when not profiling. */
@@ -209,7 +220,7 @@ class Cache
     void
     corruptReplacementForTest(std::uint64_t set)
     {
-        sets_[set % sets_.size()].repl->corruptForTest();
+        repl_.corrupt(set % num_sets_);
     }
 
     /** Break the partition way-sum (data_ways beyond associativity). */
@@ -223,38 +234,40 @@ class Cache
     // -------------------------------------------------------- geometry
 
     unsigned ways() const { return ways_; }
-    std::uint64_t numSets() const { return sets_.size(); }
+    std::uint64_t numSets() const { return num_sets_; }
     Cycles latency() const { return latency_; }
     const std::string &name() const { return name_; }
 
   private:
-    struct Line
-    {
-        Addr tag = kInvalidAddr; //!< full line address; invalid if empty
-        bool valid = false;
-        bool dirty = false;
-        LineType type = LineType::data;
-    };
+    /** meta_ bit layout (one byte per line). */
+    static constexpr std::uint8_t kValidBit = 1u << 0;
+    static constexpr std::uint8_t kDirtyBit = 1u << 1;
+    static constexpr std::uint8_t kTypeBit = 1u << 2; //!< translation
 
-    struct Set
+    static LineType
+    typeOf(std::uint8_t meta)
     {
-        std::vector<Line> lines;
-        std::unique_ptr<SetReplacement> repl;
-    };
+        return (meta & kTypeBit) ? LineType::translation
+                                 : LineType::data;
+    }
 
     std::uint64_t setIndexOf(Addr line_addr) const
     {
-        return line_addr & (numSets() - 1);
+        return line_addr & (num_sets_ - 1);
     }
 
     /** Pick the fill way honouring partition + invalid-first rules. */
-    unsigned chooseVictimWay(Set &set, LineType ltype) const;
+    unsigned chooseVictimWay(std::uint64_t set, LineType ltype);
 
     std::string name_;
     unsigned ways_;
     Cycles latency_;
     ReplacementKind repl_kind_;
-    std::vector<Set> sets_;
+    std::uint64_t num_sets_ = 0;
+    /** SoA line state, indexed by set*ways + way. */
+    std::vector<Addr> tags_; //!< kInvalidAddr marks an empty way
+    std::vector<std::uint8_t> meta_;
+    ReplBlock repl_;
     std::optional<WayPartition> partition_;
     std::unique_ptr<ShadowTagArray> data_shadow_;
     std::unique_ptr<ShadowTagArray> tlb_shadow_;

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Flattened, devirtualized per-set replacement state.
+ *
+ * ReplBlock stores the replacement metadata of *every* set of one
+ * structure (cache, TLB, shadow-tag array) as a single contiguous
+ * byte array — one byte per way — and dispatches on a ReplacementKind
+ * enum with fully inlined per-policy code. This replaces the previous
+ * per-set `std::unique_ptr<SetReplacement>` objects, which cost one
+ * heap allocation per set and a virtual call plus two dependent
+ * pointer loads on every access.
+ *
+ * The per-policy algorithms are byte-for-byte transcriptions of the
+ * polymorphic reference implementations in cache/replacement.h
+ * (TrueLruSet, NruSet, BtPlruSet, RripSet), which remain in the tree
+ * as the paranoid checkers' reference semantics and are pinned
+ * against this engine by tests/test_repl_flat.cpp.
+ *
+ * Per-way byte encoding:
+ *   trueLru  state[w] = exact stack position (0 = MRU .. K-1 = LRU)
+ *   nru      state[w] = reference bit
+ *   btPlru   state[1..K-1] = heap-indexed tree bits (root at 1);
+ *            state[0] unused — identical to the reference layout
+ *   rrip     state[w] = 2-bit RRPV (aged lazily in victimIn)
+ */
+
+#ifndef CSALT_CACHE_REPL_FLAT_H
+#define CSALT_CACHE_REPL_FLAT_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "common/log.h"
+
+namespace csalt
+{
+
+/** Flattened replacement state for all sets of one structure. */
+class ReplBlock
+{
+  public:
+    ReplBlock() = default;
+
+    ReplBlock(ReplacementKind kind, std::uint64_t sets, unsigned ways)
+        : kind_(kind), ways_(ways), sets_(sets)
+    {
+        if (ways == 0 || ways > 255)
+            panic(msgOf("ReplBlock: unsupported associativity ", ways));
+        if (kind == ReplacementKind::btPlru) {
+            if ((ways & (ways - 1)) != 0)
+                panic(msgOf("BT-PLRU requires power-of-two ways, got ",
+                            ways));
+            for (unsigned v = ways; v > 1; v >>= 1)
+                ++levels_;
+        }
+        state_.resize(sets * ways);
+        reset();
+    }
+
+    ReplacementKind kind() const { return kind_; }
+    unsigned ways() const { return ways_; }
+    std::uint64_t sets() const { return sets_; }
+
+    /** Reinitialise every set (all-invalid structure). */
+    void
+    reset()
+    {
+        switch (kind_) {
+          case ReplacementKind::trueLru:
+            for (std::uint64_t s = 0; s < sets_; ++s)
+                for (unsigned w = 0; w < ways_; ++w)
+                    state_[s * ways_ + w] =
+                        static_cast<std::uint8_t>(w);
+            break;
+          case ReplacementKind::nru:
+          case ReplacementKind::btPlru:
+            std::fill(state_.begin(), state_.end(),
+                      std::uint8_t{0});
+            break;
+          case ReplacementKind::rrip:
+            std::fill(state_.begin(), state_.end(), kRripMax);
+            break;
+        }
+    }
+
+    /** Promote a way on hit or fill. */
+    void
+    touch(std::uint64_t set, unsigned way)
+    {
+        std::uint8_t *s = &state_[set * ways_];
+        switch (kind_) {
+          case ReplacementKind::trueLru: {
+            // Branchless so the compiler vectorizes the rank shift
+            // (one SIMD op for a 16-way set): every rank below the
+            // touched way's old rank moves down one stack position.
+            const std::uint8_t old = s[way];
+            for (unsigned w = 0; w < ways_; ++w)
+                s[w] = static_cast<std::uint8_t>(s[w] + (s[w] < old));
+            s[way] = 0;
+            break;
+          }
+          case ReplacementKind::nru: {
+            s[way] = 1;
+            bool all = true;
+            for (unsigned w = 0; w < ways_; ++w)
+                all = all && s[w];
+            if (all) {
+                for (unsigned w = 0; w < ways_; ++w)
+                    s[w] = 0;
+                s[way] = 1;
+            }
+            break;
+          }
+          case ReplacementKind::btPlru: {
+            unsigned node = 1;
+            for (unsigned level = 0; level < levels_; ++level) {
+                const bool right =
+                    (way >> (levels_ - 1 - level)) & 1u;
+                s[node] = right ? 0 : 1; // 0 -> victim is left
+                node = 2 * node + (right ? 1 : 0);
+            }
+            break;
+          }
+          case ReplacementKind::rrip:
+            s[way] = 0;
+            break;
+        }
+    }
+
+    /** RRIP fill-time placement (distant vs far RRPV). */
+    void
+    insertAt(std::uint64_t set, unsigned way, bool long_rrpv)
+    {
+        state_[set * ways_ + way] =
+            long_rrpv ? kRripMax
+                      : static_cast<std::uint8_t>(kRripMax - 1);
+    }
+
+    /**
+     * Pick the eviction victim among ways in [lo, hi]. Non-const:
+     * RRIP ages the set's RRPVs until a victim exists (exactly the
+     * reference RripSet::victimIn sequence).
+     */
+    unsigned
+    victimIn(std::uint64_t set, unsigned lo, unsigned hi)
+    {
+        std::uint8_t *s = &state_[set * ways_];
+        switch (kind_) {
+          case ReplacementKind::trueLru: {
+            unsigned victim = lo;
+            std::uint8_t worst = s[lo];
+            for (unsigned w = lo + 1; w <= hi; ++w) {
+                if (s[w] > worst) {
+                    worst = s[w];
+                    victim = w;
+                }
+            }
+            return victim;
+          }
+          case ReplacementKind::nru: {
+            for (unsigned w = lo; w <= hi; ++w)
+                if (!s[w])
+                    return w;
+            return lo;
+          }
+          case ReplacementKind::btPlru: {
+            unsigned node = 1;
+            unsigned first = 0;
+            unsigned count = ways_;
+            for (unsigned level = 0; level < levels_; ++level) {
+                count /= 2;
+                const unsigned left_first = first;
+                const unsigned right_first = first + count;
+                bool go_right = s[node] != 0;
+                const bool left_ok =
+                    left_first + count > lo && left_first <= hi;
+                const bool right_ok =
+                    right_first + count > lo && right_first <= hi;
+                if (go_right && !right_ok)
+                    go_right = false;
+                else if (!go_right && !left_ok)
+                    go_right = true;
+                first = go_right ? right_first : left_first;
+                node = 2 * node + (go_right ? 1 : 0);
+            }
+            return std::clamp(first, lo, hi);
+          }
+          case ReplacementKind::rrip: {
+            for (;;) {
+                for (unsigned w = lo; w <= hi; ++w)
+                    if (s[w] >= kRripMax)
+                        return w;
+                for (unsigned w = lo; w <= hi; ++w)
+                    ++s[w];
+            }
+          }
+        }
+        panic("unknown ReplacementKind");
+    }
+
+    /** Estimated LRU stack position (0 = MRU .. K-1 = LRU). */
+    unsigned
+    stackPosOf(std::uint64_t set, unsigned way) const
+    {
+        const std::uint8_t *s = &state_[set * ways_];
+        switch (kind_) {
+          case ReplacementKind::trueLru:
+            return s[way];
+          case ReplacementKind::nru:
+            return s[way] ? (ways_ - 1) / 4 : (3 * (ways_ - 1)) / 4;
+          case ReplacementKind::btPlru: {
+            unsigned node = 1;
+            unsigned pos = 0;
+            for (unsigned level = 0; level < levels_; ++level) {
+                const bool right =
+                    (way >> (levels_ - 1 - level)) & 1u;
+                const bool points_to_way = (s[node] != 0) == right;
+                pos = (pos << 1) | (points_to_way ? 1u : 0u);
+                node = 2 * node + (right ? 1 : 0);
+            }
+            return pos;
+          }
+          case ReplacementKind::rrip:
+            return s[way] * (ways_ - 1) / kRripMax;
+        }
+        panic("unknown ReplacementKind");
+    }
+
+    /**
+     * Fault-injection hook mirroring SetReplacement::corruptForTest:
+     * trueLru duplicates a rank (permutation invariant fires), RRIP
+     * plants an out-of-range RRPV (stack-position invariant fires);
+     * NRU / BT-PLRU have no corruptible encoding (no-op).
+     */
+    void
+    corrupt(std::uint64_t set)
+    {
+        std::uint8_t *s = &state_[set * ways_];
+        switch (kind_) {
+          case ReplacementKind::trueLru:
+            if (ways_ >= 2)
+                s[0] = s[1];
+            break;
+          case ReplacementKind::rrip:
+            s[0] = 7;
+            break;
+          case ReplacementKind::nru:
+          case ReplacementKind::btPlru:
+            break;
+        }
+    }
+
+  private:
+    static constexpr std::uint8_t kRripMax = 3;
+
+    ReplacementKind kind_ = ReplacementKind::trueLru;
+    unsigned ways_ = 0;
+    unsigned levels_ = 0; //!< btPlru tree depth
+    std::uint64_t sets_ = 0;
+    std::vector<std::uint8_t> state_;
+};
+
+} // namespace csalt
+
+#endif // CSALT_CACHE_REPL_FLAT_H

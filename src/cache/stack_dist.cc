@@ -69,17 +69,12 @@ StackDistProfiler::setCounters(const std::vector<std::uint64_t> &values)
 ShadowTagArray::ShadowTagArray(std::uint64_t sets, unsigned ways,
                                ReplacementKind kind, unsigned sample_shift)
     : ways_(ways), sample_mask_((std::uint64_t{1} << sample_shift) - 1),
-      profiler_(ways)
+      sample_shift_(sample_shift), profiler_(ways)
 {
     const std::uint64_t sampled_sets =
         (sets + sample_mask_) >> sample_shift;
-    sets_.reserve(sampled_sets);
-    for (std::uint64_t s = 0; s < sampled_sets; ++s) {
-        ShadowSet shadow;
-        shadow.tags.assign(ways, kInvalidAddr);
-        shadow.repl = makeSetReplacement(kind, ways);
-        sets_.push_back(std::move(shadow));
-    }
+    tags_.assign(sampled_sets * ways, kInvalidAddr);
+    repl_ = ReplBlock(kind, sampled_sets, ways);
 }
 
 void
@@ -87,20 +82,21 @@ ShadowTagArray::access(std::uint64_t set, Addr tag)
 {
     if (!sampled(set))
         return;
-    auto &shadow = sets_[set >> __builtin_ctzll(sample_mask_ + 1)];
+    const std::uint64_t si = sampledIndexOf(set);
+    Addr *tags = &tags_[si * ways_];
 
     // Look for the tag; note its estimated stack position on hit.
     unsigned hit_way = ways_;
     for (unsigned w = 0; w < ways_; ++w) {
-        if (shadow.tags[w] == tag) {
+        if (tags[w] == tag) {
             hit_way = w;
             break;
         }
     }
 
     if (hit_way != ways_) {
-        profiler_.recordHit(shadow.repl->stackPosOf(hit_way));
-        shadow.repl->touch(hit_way);
+        profiler_.recordHit(repl_.stackPosOf(si, hit_way));
+        repl_.touch(si, hit_way);
         return;
     }
 
@@ -108,15 +104,15 @@ ShadowTagArray::access(std::uint64_t set, Addr tag)
     // Fill: prefer an invalid way, else the policy's victim.
     unsigned fill_way = ways_;
     for (unsigned w = 0; w < ways_; ++w) {
-        if (shadow.tags[w] == kInvalidAddr) {
+        if (tags[w] == kInvalidAddr) {
             fill_way = w;
             break;
         }
     }
     if (fill_way == ways_)
-        fill_way = shadow.repl->victimIn(0, ways_ - 1);
-    shadow.tags[fill_way] = tag;
-    shadow.repl->touch(fill_way);
+        fill_way = repl_.victimIn(si, 0, ways_ - 1);
+    tags[fill_way] = tag;
+    repl_.touch(si, fill_way);
 }
 
 } // namespace csalt

@@ -15,10 +15,9 @@
 #define CSALT_CACHE_STACK_DIST_H
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
-#include "cache/replacement.h"
+#include "cache/repl_flat.h"
 #include "common/types.h"
 
 namespace csalt
@@ -112,15 +111,19 @@ class ShadowTagArray
     }
 
   private:
-    struct ShadowSet
+    /** Index of @p set within the compacted sampled-set arrays. */
+    std::uint64_t sampledIndexOf(std::uint64_t set) const
     {
-        std::vector<Addr> tags; //!< kInvalidAddr when empty
-        std::unique_ptr<SetReplacement> repl;
-    };
+        return set >> sample_shift_;
+    }
 
     unsigned ways_;
     std::uint64_t sample_mask_;
-    std::vector<ShadowSet> sets_;
+    unsigned sample_shift_;
+    /** Flat shadow tags over sampled sets only, indexed by
+     *  sampledIndex*ways + way; kInvalidAddr when empty. */
+    std::vector<Addr> tags_;
+    ReplBlock repl_;
     StackDistProfiler profiler_;
 };
 

@@ -103,10 +103,9 @@ checkCache(const Cache &cache, const std::string &where,
                   : std::min<std::uint64_t>(opts.sample_sets,
                                             cache.numSets());
     for (std::uint64_t s = 0; s < scan; ++s) {
-        const SetReplacement &repl = cache.replacementOf(s);
         bool set_bad = false;
         for (unsigned w = 0; w < ways; ++w) {
-            const unsigned pos = repl.stackPosOf(w);
+            const unsigned pos = cache.replStackPosOf(s, w);
             if (pos >= ways) {
                 out.push_back(
                     {"replacement.stack", where,
@@ -120,10 +119,10 @@ checkCache(const Cache &cache, const std::string &where,
             continue;
         // True LRU is exact: the positions must be a permutation of
         // 0..K-1 (estimating policies legitimately alias positions).
-        if (dynamic_cast<const TrueLruSet *>(&repl) != nullptr) {
+        if (cache.replKind() == ReplacementKind::trueLru) {
             std::vector<bool> seen(ways, false);
             for (unsigned w = 0; w < ways; ++w) {
-                const unsigned pos = repl.stackPosOf(w);
+                const unsigned pos = cache.replStackPosOf(s, w);
                 if (seen[pos]) {
                     out.push_back(
                         {"replacement.stack", where,

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Open-addressing hash map for the functional-translation hot path.
+ *
+ * std::unordered_map costs two dependent pointer loads per find
+ * (bucket array, then node) plus a modulo by a prime; on the
+ * per-access mappingOf/hostTranslate path that is the single largest
+ * host-side overhead in the simulator (see docs/performance.md).
+ * FlatMap64 stores key/value slots in one contiguous power-of-two
+ * array probed linearly from a Fibonacci-hashed start index: a find
+ * is one multiply, one shift and (almost always) one cache-line
+ * touch.
+ *
+ * Deliberately minimal — exactly what the address-space maps need:
+ *  - keys are uint64 and must never equal kEmptyKey (~0); VPNs and
+ *    page numbers are < 2^52, so the sentinel is unreachable
+ *  - no erase (demand paging only ever adds mappings)
+ *  - values are trivially copyable
+ */
+
+#ifndef CSALT_COMMON_FLAT_MAP_H
+#define CSALT_COMMON_FLAT_MAP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.h"
+
+namespace csalt
+{
+
+/** Append-only open-addressing map keyed by uint64 (no erase). */
+template <typename Value>
+class FlatMap64
+{
+  public:
+    /** Reserved key marking an empty slot. */
+    static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+    explicit FlatMap64(std::size_t initial_capacity = 1024)
+    {
+        std::size_t cap = 16;
+        while (cap < initial_capacity)
+            cap <<= 1;
+        slots_.assign(cap, Slot{});
+        mask_ = cap - 1;
+    }
+
+    /** @return the value for @p key, or nullptr when absent. */
+    const Value *
+    find(std::uint64_t key) const
+    {
+        for (std::size_t i = indexOf(key);; i = (i + 1) & mask_) {
+            const Slot &s = slots_[i];
+            if (s.key == key)
+                return &s.value;
+            if (s.key == kEmptyKey)
+                return nullptr;
+        }
+    }
+
+    /**
+     * Value slot for @p key, inserted default-constructed when
+     * absent. The reference is invalidated by the next insert.
+     */
+    Value &
+    operator[](std::uint64_t key)
+    {
+        if (key == kEmptyKey)
+            panic("FlatMap64: reserved key");
+        if ((count_ + 1) * 4 > slots_.size() * 3)
+            grow();
+        for (std::size_t i = indexOf(key);; i = (i + 1) & mask_) {
+            Slot &s = slots_[i];
+            if (s.key == key)
+                return s.value;
+            if (s.key == kEmptyKey) {
+                s.key = key;
+                ++count_;
+                return s.value;
+            }
+        }
+    }
+
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t key = kEmptyKey;
+        Value value{};
+    };
+
+    /** Fibonacci hash: spreads sequential VPNs across the table. */
+    std::size_t
+    indexOf(std::uint64_t key) const
+    {
+        return static_cast<std::size_t>(
+                   (key * 0x9e3779b97f4a7c15ULL) >> 32) &
+               mask_;
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(old.size() * 2, Slot{});
+        mask_ = slots_.size() - 1;
+        for (const Slot &s : old) {
+            if (s.key == kEmptyKey)
+                continue;
+            for (std::size_t i = indexOf(s.key);;
+                 i = (i + 1) & mask_) {
+                if (slots_[i].key == kEmptyKey) {
+                    slots_[i] = s;
+                    break;
+                }
+            }
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t mask_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace csalt
+
+#endif // CSALT_COMMON_FLAT_MAP_H

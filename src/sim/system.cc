@@ -114,26 +114,61 @@ System::run(std::uint64_t instructions_per_core)
     std::uint64_t next_occ = steps_ + occupancy_interval_;
     std::uint64_t next_stat = steps_ + stat_sample_interval_;
 
+    // The watchdog heartbeat fires every 4096 steps. Resolve the
+    // thread's ProgressToken once: the TLS lookup is not free and the
+    // token cannot change mid-run (the runner installs it before the
+    // job body and clears it after).
+    constexpr std::uint64_t kHeartbeatMask = 0xfff;
+    ProgressToken *token = progressToken();
+
+    // Slow-path bookkeeping (heartbeat, occupancy epoch, stat sample)
+    // is amortized behind one merged comparison: the hot loop does a
+    // single `steps_ >= next_event` test, and only on event steps do
+    // we sort out which of the three fired and re-arm. All three fire
+    // at exact step values (steps_ advances by 1), so firing order
+    // and firing steps are identical to testing each per iteration.
+    const auto nextEventAfter = [&](std::uint64_t step) {
+        std::uint64_t next = (step | kHeartbeatMask) + 1;
+        if (occupancy_interval_)
+            next = std::min(next, next_occ);
+        if (stat_sample_interval_)
+            next = std::min(next, next_stat);
+        return next;
+    };
+    std::uint64_t next_event = nextEventAfter(steps_);
+
+    // Single-core runs (every throughput bench) skip the min-clock
+    // scan entirely.
+    CoreModel *const only =
+        cores_.size() == 1 ? cores_.front().get() : nullptr;
+
     while (true) {
-        // Min-clock scheduling: advance the core that is furthest
-        // behind in simulated time among those still running.
-        CoreModel *next = nullptr;
-        for (auto &core : cores_) {
-            if (core->instructions() >= instructions_per_core)
-                continue;
-            if (!next || core->clock() < next->clock())
-                next = core.get();
+        CoreModel *next = only;
+        if (only) {
+            if (only->instructions() >= instructions_per_core)
+                break;
+        } else {
+            // Min-clock scheduling: advance the core that is furthest
+            // behind in simulated time among those still running.
+            next = nullptr;
+            for (auto &core : cores_) {
+                if (core->instructions() >= instructions_per_core)
+                    continue;
+                if (!next || core->clock() < next->clock())
+                    next = core.get();
+            }
+            if (!next)
+                break;
         }
-        if (!next)
-            break;
         next->step();
 
-        ++steps_;
-        // Watchdog heartbeat: cheap enough to live on the hot loop,
-        // frequent enough that a stall is noticed within one epoch.
-        if ((steps_ & 0xfff) == 0) {
-            progressTick(4096);
-            if (progressCancelled())
+        if (++steps_ < next_event)
+            continue;
+
+        if ((steps_ & kHeartbeatMask) == 0) {
+            if (token)
+                token->tick(kHeartbeatMask + 1);
+            if (token && token->cancelled())
                 raiseCancelled();
         }
         if (occupancy_interval_ && steps_ >= next_occ) {
@@ -150,6 +185,7 @@ System::run(std::uint64_t instructions_per_core)
             sampler_.sample(static_cast<double>(next->clock()),
                             steps_);
         }
+        next_event = nextEventAfter(steps_);
     }
 
     if (paranoid_) {

@@ -12,9 +12,8 @@ PomTlb::PomTlb(const PomTlbParams &params, Addr base_addr)
     const std::uint64_t nsets = params.size_bytes / kLineSize;
     if (nsets == 0 || (nsets & (nsets - 1)) != 0)
         fatal("POM-TLB set count must be a nonzero power of two");
-    sets_.resize(nsets);
-    for (auto &set : sets_)
-        set.entries.resize(ways_);
+    num_sets_ = nsets;
+    entries_.resize(nsets * ways_);
 }
 
 std::uint64_t
@@ -26,7 +25,7 @@ PomTlb::setIndexOf(Asid asid, Vpn vpn, PageSize ps) const
     const std::uint64_t salt =
         std::uint64_t{asid} * 0x2545f491'4f6cdd1dULL +
         (ps == PageSize::size2M ? 0x9e3779b9'7f4a7c15ULL : 0);
-    return (vpn + salt) & (sets_.size() - 1);
+    return (vpn + salt) & (num_sets_ - 1);
 }
 
 Addr
@@ -37,32 +36,35 @@ PomTlb::lineAddrOf(Asid asid, Addr gva, PageSize ps) const
 }
 
 void
-PomTlb::promote(Set &set, std::size_t way)
+PomTlb::promote(Entry *set, std::size_t way)
 {
     // Fresh fills enter with age 255 (see insert) so every resident
     // entry ages; ages are capped at ways-1 to keep the recency
     // ordering stable under saturation.
-    const std::uint8_t old = set.entries[way].age;
+    const std::uint8_t old = ageOf(set[way]);
     const auto cap = static_cast<std::uint8_t>(ways_ - 1);
-    for (auto &e : set.entries)
-        if (e.valid && e.age < old && e.age < cap)
-            ++e.age;
-    set.entries[way].age = 0;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Entry &e = set[w];
+        const std::uint8_t age = ageOf(e);
+        if ((e.key & kValidBit) && age < old && age < cap)
+            setAge(e, static_cast<std::uint8_t>(age + 1));
+    }
+    setAge(set[way], 0);
 }
 
 PomTlb::Probe
 PomTlb::probe(Asid asid, Addr gva, PageSize ps)
 {
     const Vpn vpn = gva >> pageShift(ps);
-    Set &set = sets_[setIndexOf(asid, vpn, ps)];
+    Entry *set = &entries_[setIndexOf(asid, vpn, ps) * ways_];
+    const std::uint64_t want = keyOf(asid, vpn, ps);
 
     Probe res;
     res.line_addr = lineAddrOf(asid, gva, ps);
-    for (std::size_t w = 0; w < set.entries.size(); ++w) {
-        const Entry &e = set.entries[w];
-        if (e.valid && e.asid == asid && e.vpn == vpn && e.ps == ps) {
+    for (std::size_t w = 0; w < ways_; ++w) {
+        if (set[w].key == want) {
             res.hit = true;
-            res.mapping = {e.frame, e.ps};
+            res.mapping = {set[w].data & kFrameMask, ps};
             promote(set, w);
             ++stats_.hits;
             return res;
@@ -76,47 +78,45 @@ void
 PomTlb::insert(Asid asid, Addr gva, const Mapping &mapping)
 {
     const Vpn vpn = gva >> pageShift(mapping.ps);
-    Set &set = sets_[setIndexOf(asid, vpn, mapping.ps)];
+    Entry *set = &entries_[setIndexOf(asid, vpn, mapping.ps) * ways_];
+    const std::uint64_t want = keyOf(asid, vpn, mapping.ps);
     ++stats_.inserts;
 
     // Update in place if present.
-    for (std::size_t w = 0; w < set.entries.size(); ++w) {
-        Entry &e = set.entries[w];
-        if (e.valid && e.asid == asid && e.vpn == vpn &&
-            e.ps == mapping.ps) {
-            e.frame = mapping.frame;
+    for (std::size_t w = 0; w < ways_; ++w) {
+        Entry &e = set[w];
+        if (e.key == want) {
+            e.data = (mapping.frame & kFrameMask) |
+                     (e.data & ~kFrameMask);
             promote(set, w);
             return;
         }
     }
 
     // Invalid way first, else evict the set-local LRU.
-    std::size_t victim = set.entries.size();
-    for (std::size_t w = 0; w < set.entries.size(); ++w) {
-        if (!set.entries[w].valid) {
+    std::size_t victim = ways_;
+    for (std::size_t w = 0; w < ways_; ++w) {
+        if (!(set[w].key & kValidBit)) {
             victim = w;
             break;
         }
     }
-    if (victim == set.entries.size()) {
+    if (victim == ways_) {
         std::uint8_t oldest = 0;
         victim = 0;
-        for (std::size_t w = 0; w < set.entries.size(); ++w) {
-            if (set.entries[w].age >= oldest) {
-                oldest = set.entries[w].age;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            if (ageOf(set[w]) >= oldest) {
+                oldest = ageOf(set[w]);
                 victim = w;
             }
         }
         ++stats_.set_evictions;
     }
 
-    Entry &e = set.entries[victim];
-    e.asid = asid;
-    e.vpn = vpn;
-    e.frame = mapping.frame;
-    e.ps = mapping.ps;
-    e.valid = true;
-    e.age = 255; // enters from "infinitely old": ages the residents
+    Entry &e = set[victim];
+    e.key = want;
+    // Enters from "infinitely old" (255): ages the residents.
+    e.data = (mapping.frame & kFrameMask) | (std::uint64_t{255} << 56);
     promote(set, victim);
 }
 
@@ -160,13 +160,14 @@ PageSizePredictor::update(Addr gva, PageSize actual)
 bool
 PomTlb::corruptEntryForTest(std::uint64_t seed)
 {
-    const std::uint64_t start = seed % sets_.size();
-    for (std::uint64_t i = 0; i < sets_.size(); ++i) {
-        auto &set = sets_[(start + i) % sets_.size()];
-        for (auto &e : set.entries) {
-            if (!e.valid)
+    const std::uint64_t start = seed % num_sets_;
+    for (std::uint64_t i = 0; i < num_sets_; ++i) {
+        const std::uint64_t si = (start + i) % num_sets_;
+        for (unsigned w = 0; w < ways_; ++w) {
+            Entry &e = entries_[si * ways_ + w];
+            if (!(e.key & kValidBit))
                 continue;
-            e.frame ^= Addr{1} << (12 + seed % 8);
+            e.data ^= Addr{1} << (12 + seed % 8);
             return true;
         }
     }

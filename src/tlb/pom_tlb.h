@@ -80,7 +80,7 @@ class PomTlb
     void registerStats(obs::StatRegistry &reg,
                        const std::string &prefix) const;
 
-    std::uint64_t numSets() const { return sets_.size(); }
+    std::uint64_t numSets() const { return num_sets_; }
     Addr base() const { return base_; }
     unsigned ways() const { return ways_; }
 
@@ -94,12 +94,13 @@ class PomTlb
     forEachEntry(Fn fn, std::uint64_t max_sets = 0) const
     {
         const std::uint64_t n =
-            max_sets && max_sets < sets_.size() ? max_sets
-                                                : sets_.size();
-        for (std::uint64_t s = 0; s < n; ++s)
-            for (const auto &entry : sets_[s].entries)
-                if (entry.valid)
-                    fn(entry.asid, entry.vpn, entry.frame, entry.ps);
+            max_sets && max_sets < num_sets_ ? max_sets : num_sets_;
+        for (std::uint64_t i = 0; i < n * ways_; ++i) {
+            const Entry &entry = entries_[i];
+            if (entry.key & kValidBit)
+                fn(asidOf(entry.key), vpnOf(entry.key),
+                   entry.data & kFrameMask, psOf(entry.key));
+        }
     }
 
     /**
@@ -109,27 +110,72 @@ class PomTlb
     bool corruptEntryForTest(std::uint64_t seed);
 
   private:
+    /**
+     * 16-byte packed entry so a 4-way set is exactly one 64B host
+     * cache line: the structure is tens of MB and every probe is a
+     * random access, so lines touched per scan dominate probe cost.
+     *
+     *   key  = vpn[43:0] | asid << 44 | ps << 60 | valid << 61
+     *   data = frame[55:0] | age << 56
+     *
+     * A probe compares one u64 against the (valid-tagged) wanted
+     * key. key == 0 (zero-init) is an invalid entry.
+     */
     struct Entry
     {
-        Asid asid = 0;
-        Vpn vpn = 0;
-        Addr frame = kInvalidAddr;
-        PageSize ps = PageSize::size4K;
-        bool valid = false;
-        std::uint8_t age = 0; //!< set-local recency (0 = MRU)
+        std::uint64_t key = 0;
+        std::uint64_t data = 0;
     };
 
-    struct Set
+    static constexpr std::uint64_t kVpnMask =
+        (std::uint64_t{1} << 44) - 1;
+    static constexpr std::uint64_t kPsBit = std::uint64_t{1} << 60;
+    static constexpr std::uint64_t kValidBit = std::uint64_t{1} << 61;
+    static constexpr std::uint64_t kFrameMask =
+        (std::uint64_t{1} << 56) - 1;
+
+    static std::uint64_t
+    keyOf(Asid asid, Vpn vpn, PageSize ps)
     {
-        std::vector<Entry> entries;
-    };
+        return (vpn & kVpnMask) | (std::uint64_t{asid} << 44) |
+               (ps == PageSize::size2M ? kPsBit : 0) | kValidBit;
+    }
+
+    static Asid
+    asidOf(std::uint64_t key)
+    {
+        return static_cast<Asid>(key >> 44);
+    }
+
+    static Vpn vpnOf(std::uint64_t key) { return key & kVpnMask; }
+
+    static PageSize
+    psOf(std::uint64_t key)
+    {
+        return (key & kPsBit) ? PageSize::size2M : PageSize::size4K;
+    }
+
+    static std::uint8_t
+    ageOf(const Entry &e)
+    {
+        return static_cast<std::uint8_t>(e.data >> 56);
+    }
+
+    static void
+    setAge(Entry &e, std::uint8_t age)
+    {
+        e.data = (e.data & kFrameMask) | (std::uint64_t{age} << 56);
+    }
 
     std::uint64_t setIndexOf(Asid asid, Vpn vpn, PageSize ps) const;
-    void promote(Set &set, std::size_t way);
+    void promote(Entry *set, std::size_t way);
 
     Addr base_;
     unsigned ways_;
-    std::vector<Set> sets_;
+    std::uint64_t num_sets_ = 0;
+    /** Flat entry storage indexed by set*ways + way (hot path —
+     *  see docs/performance.md). */
+    std::vector<Entry> entries_;
     PomTlbStats stats_;
 };
 

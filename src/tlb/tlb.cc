@@ -12,21 +12,20 @@ Tlb::Tlb(std::string name, const TlbParams &params)
     const std::uint64_t nsets = params.entries / params.ways;
     if (nsets == 0 || (nsets & (nsets - 1)) != 0)
         fatal(msgOf(name_, ": TLB sets must be a nonzero power of two"));
-    sets_.resize(nsets);
-    for (auto &set : sets_) {
-        set.entries.resize(ways_);
-        set.repl = makeSetReplacement(ReplacementKind::trueLru, ways_);
-    }
+    num_sets_ = nsets;
+    entries_.resize(nsets * ways_);
+    repl_ = ReplBlock(ReplacementKind::trueLru, nsets, ways_);
 }
 
 std::optional<TlbEntry>
 Tlb::lookup(Asid asid, Vpn vpn, PageSize ps)
 {
-    Set &set = sets_[setIndexOf(vpn)];
+    const std::uint64_t si = setIndexOf(vpn);
+    TlbEntry *set = &entries_[si * ways_];
     for (unsigned w = 0; w < ways_; ++w) {
-        const TlbEntry &e = set.entries[w];
+        const TlbEntry &e = set[w];
         if (e.valid && e.asid == asid && e.vpn == vpn && e.ps == ps) {
-            set.repl->touch(w);
+            repl_.touch(si, w);
             ++stats_.hits;
             return e;
         }
@@ -38,69 +37,71 @@ Tlb::lookup(Asid asid, Vpn vpn, PageSize ps)
 bool
 Tlb::contains(Asid asid, Vpn vpn, PageSize ps) const
 {
-    const Set &set = sets_[setIndexOf(vpn)];
-    for (const TlbEntry &e : set.entries)
+    const TlbEntry *set = &entries_[setIndexOf(vpn) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        const TlbEntry &e = set[w];
         if (e.valid && e.asid == asid && e.vpn == vpn && e.ps == ps)
             return true;
+    }
     return false;
 }
 
 void
 Tlb::insert(const TlbEntry &entry)
 {
-    Set &set = sets_[setIndexOf(entry.vpn)];
+    const std::uint64_t si = setIndexOf(entry.vpn);
+    TlbEntry *set = &entries_[si * ways_];
 
     // Update in place when already present (e.g. refilled by another
     // core's thread of the same VM).
     for (unsigned w = 0; w < ways_; ++w) {
-        TlbEntry &e = set.entries[w];
+        TlbEntry &e = set[w];
         if (e.valid && e.asid == entry.asid && e.vpn == entry.vpn &&
             e.ps == entry.ps) {
             e = entry;
             e.valid = true;
-            set.repl->touch(w);
+            repl_.touch(si, w);
             return;
         }
     }
 
     unsigned victim = ways_;
     for (unsigned w = 0; w < ways_; ++w) {
-        if (!set.entries[w].valid) {
+        if (!set[w].valid) {
             victim = w;
             break;
         }
     }
     if (victim == ways_)
-        victim = set.repl->victimIn(0, ways_ - 1);
-    set.entries[victim] = entry;
-    set.entries[victim].valid = true;
-    set.repl->touch(victim);
+        victim = repl_.victimIn(si, 0, ways_ - 1);
+    set[victim] = entry;
+    set[victim].valid = true;
+    repl_.touch(si, victim);
 }
 
 void
 Tlb::flushAsid(Asid asid)
 {
-    for (auto &set : sets_)
-        for (auto &e : set.entries)
-            if (e.valid && e.asid == asid)
-                e.valid = false;
+    for (TlbEntry &e : entries_)
+        if (e.valid && e.asid == asid)
+            e.valid = false;
 }
 
 void
 Tlb::flushAll()
 {
-    for (auto &set : sets_)
-        for (auto &e : set.entries)
-            e.valid = false;
+    for (TlbEntry &e : entries_)
+        e.valid = false;
 }
 
 bool
 Tlb::corruptEntryForTest(std::uint64_t seed)
 {
-    const std::uint64_t start = seed % sets_.size();
-    for (std::uint64_t i = 0; i < sets_.size(); ++i) {
-        auto &set = sets_[(start + i) % sets_.size()];
-        for (auto &e : set.entries) {
+    const std::uint64_t start = seed % num_sets_;
+    for (std::uint64_t i = 0; i < num_sets_; ++i) {
+        const std::uint64_t si = (start + i) % num_sets_;
+        for (unsigned w = 0; w < ways_; ++w) {
+            TlbEntry &e = entries_[si * ways_ + w];
             if (!e.valid)
                 continue;
             // Flip one frame bit above the page offset: the entry

@@ -13,12 +13,11 @@
 #define CSALT_TLB_TLB_H
 
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "cache/replacement.h"
+#include "cache/repl_flat.h"
 #include "common/config.h"
 #include "common/types.h"
 #include "vm/address_space.h"
@@ -60,6 +59,31 @@ class Tlb
     bool contains(Asid asid, Vpn vpn, PageSize ps) const;
 
     /**
+     * Single-scan probe: promotes and counts a hit exactly like
+     * lookup(), but records nothing on a miss — the hierarchy
+     * accounts misses once per architectural access across its
+     * split/dual-size probes (see countMiss). Equivalent to
+     * contains() followed by lookup(), at one set scan instead of
+     * two. The pointer is invalidated by the next insert or flush.
+     */
+    const TlbEntry *
+    findAndTouch(Asid asid, Vpn vpn, PageSize ps)
+    {
+        const std::uint64_t si = setIndexOf(vpn);
+        TlbEntry *set = &entries_[si * ways_];
+        for (unsigned w = 0; w < ways_; ++w) {
+            const TlbEntry &e = set[w];
+            if (e.valid && e.asid == asid && e.vpn == vpn &&
+                e.ps == ps) {
+                repl_.touch(si, w);
+                ++stats_.hits;
+                return &set[w];
+            }
+        }
+        return nullptr;
+    }
+
+    /**
      * Record one miss. Dual-size probes use contains() + lookup() so
      * a single architectural access never counts two misses; the
      * hierarchy calls this exactly once when both probes fail.
@@ -80,7 +104,7 @@ class Tlb
 
     Cycles latency() const { return latency_; }
     unsigned ways() const { return ways_; }
-    std::uint64_t numSets() const { return sets_.size(); }
+    std::uint64_t numSets() const { return num_sets_; }
     const std::string &name() const { return name_; }
 
     /** Visit every valid entry (paranoid-mode coherence checks). */
@@ -88,10 +112,9 @@ class Tlb
     void
     forEachEntry(Fn fn) const
     {
-        for (const auto &set : sets_)
-            for (const auto &entry : set.entries)
-                if (entry.valid)
-                    fn(entry);
+        for (const TlbEntry &entry : entries_)
+            if (entry.valid)
+                fn(entry);
     }
 
     /**
@@ -102,21 +125,19 @@ class Tlb
     bool corruptEntryForTest(std::uint64_t seed);
 
   private:
-    struct Set
-    {
-        std::vector<TlbEntry> entries;
-        std::unique_ptr<SetReplacement> repl;
-    };
-
     std::uint64_t setIndexOf(Vpn vpn) const
     {
-        return vpn & (sets_.size() - 1);
+        return vpn & (num_sets_ - 1);
     }
 
     std::string name_;
     unsigned ways_;
     Cycles latency_;
-    std::vector<Set> sets_;
+    std::uint64_t num_sets_ = 0;
+    /** Flat entry storage indexed by set*ways + way (hot path —
+     *  see docs/performance.md). */
+    std::vector<TlbEntry> entries_;
+    ReplBlock repl_; //!< always trueLru
     TlbStats stats_;
 };
 

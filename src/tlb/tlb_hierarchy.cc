@@ -20,16 +20,16 @@ TlbHierarchy::lookup(Asid asid, Addr gva)
 
     // Split L1s are probed in parallel on real hardware; model a
     // single pipelined L1 access (hit = no added latency). The
-    // contains()+lookup() pattern ensures exactly one hit or one miss
+    // findAndTouch() pattern ensures exactly one hit or one miss
     // is recorded per architectural access.
-    if (l1_4k_.contains(asid, vpn4k, PageSize::size4K)) {
-        const auto e = l1_4k_.lookup(asid, vpn4k, PageSize::size4K);
+    if (const TlbEntry *e =
+            l1_4k_.findAndTouch(asid, vpn4k, PageSize::size4K)) {
         res.l1_hit = true;
         res.mapping = {e->frame, e->ps};
         return res;
     }
-    if (l1_2m_.contains(asid, vpn2m, PageSize::size2M)) {
-        const auto e = l1_2m_.lookup(asid, vpn2m, PageSize::size2M);
+    if (const TlbEntry *e =
+            l1_2m_.findAndTouch(asid, vpn2m, PageSize::size2M)) {
         res.l1_hit = true;
         res.mapping = {e->frame, e->ps};
         return res;
@@ -39,15 +39,15 @@ TlbHierarchy::lookup(Asid asid, Addr gva)
     // Unified L2: one access latency covers the (parallel) dual-size
     // probe; exactly one miss is recorded when both sizes fail.
     res.latency += l2_.latency();
-    if (l2_.contains(asid, vpn4k, PageSize::size4K)) {
-        const auto e = l2_.lookup(asid, vpn4k, PageSize::size4K);
+    if (const TlbEntry *e =
+            l2_.findAndTouch(asid, vpn4k, PageSize::size4K)) {
         res.l2_hit = true;
         res.mapping = {e->frame, e->ps};
         fill(asid, gva, res.mapping); // refill L1
         return res;
     }
-    if (l2_.contains(asid, vpn2m, PageSize::size2M)) {
-        const auto e = l2_.lookup(asid, vpn2m, PageSize::size2M);
+    if (const TlbEntry *e =
+            l2_.findAndTouch(asid, vpn2m, PageSize::size2M)) {
         res.l2_hit = true;
         res.mapping = {e->frame, e->ps};
         fill(asid, gva, res.mapping);

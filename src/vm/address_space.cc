@@ -30,7 +30,8 @@ constexpr Addr kGpa2mBase = Addr{1} << 40;
 VmContext::VmContext(const Params &params, FrameAllocator &data_frames,
                      FrameAllocator &pt_frames)
     : params_(params), data_frames_(data_frames), pt_frames_(pt_frames),
-      gpa_next_4k_(kGpa4kBase), gpa_next_2m_(kGpa2mBase)
+      gpa_next_4k_(kGpa4kBase), gpa_next_2m_(kGpa2mBase),
+      memo_(kMemoSize)
 {
     if (params_.virtualized) {
         // Host table first: guest-table nodes are host-mapped as they
@@ -118,16 +119,12 @@ VmContext::demandMap(Addr gva)
 }
 
 Mapping
-VmContext::mappingOf(Addr gva)
+VmContext::mappingOfSlow(Addr gva)
 {
-    if (auto it = fast_2m_.find(gva >> kHugePageShift);
-        it != fast_2m_.end()) {
-        return it->second;
-    }
-    if (auto it = fast_4k_.find(gva >> kPageShift);
-        it != fast_4k_.end()) {
-        return it->second;
-    }
+    if (const Mapping *m = fast_2m_.find(gva >> kHugePageShift))
+        return *m;
+    if (const Mapping *m = fast_4k_.find(gva >> kPageShift))
+        return *m;
     return demandMap(gva);
 }
 
@@ -136,8 +133,8 @@ VmContext::peek(Vpn vpn, PageSize ps) const
 {
     const auto &fast =
         ps == PageSize::size2M ? fast_2m_ : fast_4k_;
-    if (auto it = fast.find(vpn); it != fast.end())
-        return it->second;
+    if (const Mapping *m = fast.find(vpn))
+        return *m;
     return std::nullopt;
 }
 
@@ -161,14 +158,10 @@ VmContext::guestPhysOf(Addr gva)
 Addr
 VmContext::hostTranslate(Addr gpa) const
 {
-    if (auto it = host_2m_.find(gpa >> kHugePageShift);
-        it != host_2m_.end()) {
-        return it->second + (gpa & (kHugePageSize - 1));
-    }
-    if (auto it = host_4k_.find(gpa >> kPageShift);
-        it != host_4k_.end()) {
-        return it->second + (gpa & (kPageSize - 1));
-    }
+    if (const Addr *hpa = host_2m_.find(gpa >> kHugePageShift))
+        return *hpa + (gpa & (kHugePageSize - 1));
+    if (const Addr *hpa = host_4k_.find(gpa >> kPageShift))
+        return *hpa + (gpa & (kPageSize - 1));
     panic(msgOf("hostTranslate: unmapped gpa ", gpa));
 }
 

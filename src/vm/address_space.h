@@ -21,8 +21,9 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
+#include "common/flat_map.h"
 #include "common/types.h"
 #include "mem/phys_alloc.h"
 #include "vm/page_table.h"
@@ -68,8 +69,23 @@ class VmContext
      */
     Addr translate(Addr gva);
 
-    /** Page geometry backing @p gva (maps on demand). */
-    Mapping mappingOf(Addr gva);
+    /**
+     * Page geometry backing @p gva (maps on demand). Inline memo
+     * fast path: one array probe on the hottest call in the
+     * simulator (every access of every core lands here first).
+     */
+    Mapping
+    mappingOf(Addr gva)
+    {
+        const Vpn vpn = gva >> kPageShift;
+        MemoEntry &e = memo_[vpn & (kMemoSize - 1)];
+        if (e.vpn == vpn)
+            return e.m;
+        const Mapping m = mappingOfSlow(gva);
+        e.vpn = vpn;
+        e.m = m;
+        return m;
+    }
 
     /**
      * Read-only lookup of an existing mapping by VPN — never maps on
@@ -108,6 +124,9 @@ class VmContext
     /** Decide (deterministically) if gva's 2MB region is huge. */
     bool regionIsHuge(Addr gva) const;
 
+    /** mappingOf behind the memo: map probes + demand mapping. */
+    Mapping mappingOfSlow(Addr gva);
+
     /** Map the page containing @p gva; returns its Mapping. */
     Mapping demandMap(Addr gva);
 
@@ -122,12 +141,27 @@ class VmContext
     std::unique_ptr<PageTable> host_pt_;
 
     /** Fast functional maps (vpn -> Mapping), one per page size. */
-    std::unordered_map<Vpn, Mapping> fast_4k_;
-    std::unordered_map<Vpn, Mapping> fast_2m_;
+    FlatMap64<Mapping> fast_4k_;
+    FlatMap64<Mapping> fast_2m_;
 
     /** Host-side functional maps for gPA pages. */
-    std::unordered_map<Vpn, Addr> host_4k_;
-    std::unordered_map<Vpn, Addr> host_2m_;
+    FlatMap64<Addr> host_4k_;
+    FlatMap64<Addr> host_2m_;
+
+    /**
+     * Direct-mapped memo in front of mappingOf, keyed by 4K VPN
+     * (a VPN inside a huge region memoizes the huge Mapping).
+     * Mappings are append-only and immutable once created, so
+     * entries never go stale. Purely host-side: a memo hit returns
+     * exactly what the maps would.
+     */
+    struct MemoEntry
+    {
+        Vpn vpn = ~Vpn{0}; //!< unreachable: real VPNs are < 2^52
+        Mapping m;
+    };
+    static constexpr std::size_t kMemoSize = 65536;
+    std::vector<MemoEntry> memo_;
 
     /** Guest-physical bump allocators (separate 4K / 2M arenas). */
     Addr gpa_next_4k_;

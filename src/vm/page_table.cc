@@ -27,6 +27,8 @@ PageTable::ensureChild(Node *node, unsigned idx)
         slot.child = std::make_unique<Node>();
         slot.child->base = alloc_();
         ++node_count_;
+        ++node->used;
+        ++used_slots_;
     }
     return slot.child.get();
 }
@@ -51,6 +53,8 @@ PageTable::map(Addr va, Addr pa, PageSize ps)
     slot.is_leaf = true;
     slot.leaf_pa = pa;
     slot.ps = ps;
+    ++node->used;
+    ++used_slots_;
 }
 
 void
@@ -60,10 +64,9 @@ PageTable::walkPath(Addr va, std::vector<PteRef> &out) const
     const Node *node = root_.get();
     for (int level = top_level_; level >= kLeafLevel4K; --level) {
         const unsigned idx = radixIndex(va, level);
-        const auto it = node->slots.find(idx);
-        if (it == node->slots.end())
+        const Slot &slot = node->slots[idx];
+        if (slot.empty())
             panic(msgOf("walkPath: unmapped va ", va));
-        const Slot &slot = it->second;
         PteRef ref;
         ref.level = level;
         ref.pte_addr = node->base + idx * kPteBytes;
@@ -89,10 +92,9 @@ PageTable::leafOf(Addr va) const
     const Node *node = root_.get();
     for (int level = top_level_; level >= kLeafLevel4K; --level) {
         const unsigned idx = radixIndex(va, level);
-        const auto it = node->slots.find(idx);
-        if (it == node->slots.end())
+        const Slot &slot = node->slots[idx];
+        if (slot.empty())
             return std::nullopt;
-        const Slot &slot = it->second;
         if (slot.is_leaf) {
             PteRef ref;
             ref.level = level;

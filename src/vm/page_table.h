@@ -16,11 +16,11 @@
 #ifndef CSALT_VM_PAGE_TABLE_H
 #define CSALT_VM_PAGE_TABLE_H
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -107,6 +107,9 @@ class PageTable
     /** Bytes of table storage (nodeCount * 4KB). */
     std::uint64_t nodeBytes() const { return node_count_ * kPageSize; }
 
+    /** Total populated slots across all nodes (stats/teardown). */
+    std::uint64_t usedSlotCount() const { return used_slots_; }
+
   private:
     struct Node;
 
@@ -123,12 +126,14 @@ class PageTable
     struct Node
     {
         Addr base = kInvalidAddr;
+        unsigned used = 0; //!< populated slots (stats/teardown)
         /**
-         * Sparse slot storage: big-footprint workloads touch widely
-         * scattered VA regions, so dense 512-entry arrays per node
-         * would dominate simulation memory.
+         * Dense slot storage: a walk indexes the radix slot directly
+         * — no hashing on the per-access path. A node is ~12KB of
+         * host memory against the 4KB of simulated memory it models,
+         * a fine trade even for sparse big-footprint workloads.
          */
-        std::unordered_map<unsigned, Slot> slots;
+        std::array<Slot, kSlotsPerNode> slots;
     };
 
     Node *ensureChild(Node *node, unsigned idx);
@@ -137,6 +142,7 @@ class PageTable
     int top_level_;
     std::unique_ptr<Node> root_;
     std::uint64_t node_count_ = 0;
+    std::uint64_t used_slots_ = 0;
 };
 
 } // namespace csalt

@@ -70,6 +70,7 @@ class CcompTrace final : public TraceSource
         hot_map_.reserve(hot_pages_);
         for (std::uint64_t i = 0; i < hot_pages_; ++i)
             hot_map_.push_back(pool_rng.below(kVaSpanPages));
+        hot_zipf_ = ZipfDist(hot_pages_, 0.7);
         sweep_addr_ = kSweepBase;
     }
 
@@ -131,7 +132,7 @@ class CcompTrace final : public TraceSource
             // way earns hits, and the flood-heavy unpartitioned cache
             // keeps losing the warm core across context switches.
             const std::uint64_t rank =
-                (hot_base_ + rng_.zipf(hot_pages_, 0.7)) % hot_pages_;
+                (hot_base_ + hot_zipf_(rng_)) % hot_pages_;
             const std::uint64_t page = hot_map_[rank];
             burst_addr_ = kHotBase + page * kPageSize +
                           (rng_.below(kPageSize - 64) & ~63ull);
@@ -185,6 +186,7 @@ class CcompTrace final : public TraceSource
     std::uint64_t sweep_pages_;
     std::vector<std::vector<std::uint64_t>> windows_;
     std::vector<std::uint64_t> hot_map_; //!< rank -> scattered page
+    ZipfDist hot_zipf_;
     unsigned window_idx_ = 0;
     std::uint64_t hot_base_ = 0;
     std::uint64_t refs_ = 0;

@@ -39,6 +39,8 @@ class PagerankTrace final : public TraceSource
         vertex_map_.reserve(vertex_pages_);
         for (std::uint64_t i = 0; i < vertex_pages_; ++i)
             vertex_map_.push_back(map_rng.below(kVaSpanPages));
+        hot_zipf_ = ZipfDist(kHotPages, 0.4);
+        tail_zipf_ = ZipfDist(vertex_pages_, 0.6);
     }
 
     TraceRecord
@@ -67,10 +69,9 @@ class PagerankTrace final : public TraceSource
             hot_base_ = (hot_base_ + kHotPages / 8) % vertex_pages_;
         std::uint64_t rank;
         if (rng_.chance(0.93)) {
-            rank = (hot_base_ + rng_.zipf(kHotPages, 0.4)) %
-                   vertex_pages_;
+            rank = (hot_base_ + hot_zipf_(rng_)) % vertex_pages_;
         } else {
-            rank = rng_.zipf(vertex_pages_, 0.6);
+            rank = tail_zipf_(rng_);
         }
         const std::uint64_t page = vertex_map_[rank];
         vertex_addr_ = kVertexBase + page * kPageSize +
@@ -95,6 +96,8 @@ class PagerankTrace final : public TraceSource
     std::uint64_t vertex_pages_;
     std::uint64_t edge_pages_;
     std::vector<std::uint64_t> vertex_map_; //!< rank page -> VA page
+    ZipfDist hot_zipf_;
+    ZipfDist tail_zipf_;
     std::uint64_t hot_base_ = 0;
     std::uint64_t vrefs_ = 0;
     Addr edge_addr_;

@@ -1,5 +1,6 @@
 #include "workloads/trace_file.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
@@ -78,14 +79,25 @@ TraceFile::load(const std::string &path)
                               std::strerror(errno)),
                         path, "check the file:<path> workload spec"));
     }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
+    // Block reads into one pre-sized string: rdbuf() streaming costs
+    // a virtual call per chunk plus repeated stringbuf growth; a
+    // seek-to-end size probe lets us reserve once and read() straight
+    // into the buffer.
+    std::string buffer;
+    in.seekg(0, std::ios::end);
+    const auto end_pos = in.tellg();
+    in.seekg(0, std::ios::beg);
+    if (end_pos > 0)
+        buffer.reserve(static_cast<std::size_t>(end_pos));
+    char block[1 << 16];
+    while (in.read(block, sizeof(block)) || in.gcount() > 0)
+        buffer.append(block, static_cast<std::size_t>(in.gcount()));
     if (in.bad()) {
         raise(makeError(ErrorKind::io, "read failed mid-file", path,
                         "the file may be truncated or on failing "
                         "storage"));
     }
-    return parse(buffer.str(), path);
+    return parse(buffer, path);
 }
 
 std::shared_ptr<const TraceFile>
@@ -95,6 +107,12 @@ TraceFile::parse(const std::string &text, const std::string &name)
     file->name_ = name;
 
     const std::string_view all(text);
+    // One line is at most one record; reserving on the newline count
+    // avoids reallocation during the parse loop.
+    file->records_.reserve(
+        static_cast<std::size_t>(
+            std::count(all.begin(), all.end(), '\n')) +
+        1);
     std::size_t offset = 0;
     std::size_t line_no = 0;
     while (offset < all.size()) {
@@ -219,7 +237,8 @@ TraceRecord
 TraceFileSource::next()
 {
     const TraceRecord rec = file_->records()[pos_];
-    pos_ = (pos_ + 1) % file_->records().size();
+    if (++pos_ == file_->records().size())
+        pos_ = 0;
     return rec;
 }
 

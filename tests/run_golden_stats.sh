@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Golden-stats regression gate: the SoA/devirtualized hot path must
+# change ZERO model behavior. Re-runs four pinned-seed csalt-sim
+# configs (chosen to cover CSALT-CD partitioning, POM multi-core,
+# DIP-over-POM native, and TSB 5-level walks) and byte-compares the
+# metrics JSON against goldens committed from the pre-refactor
+# simulator. Any intentional model change must regenerate the goldens
+# with the commands below and say so in the commit message.
+#
+# Also re-asserts --jobs 1 vs --jobs 4 stdout identity on a reduced
+# fig07 grid (cells are shared-nothing; parallelism must never leak
+# into results).
+#
+# Usage: run_golden_stats.sh <csalt-sim> <fig07_performance> <golden-dir>
+set -euo pipefail
+
+SIM="$1"
+FIG07="$2"
+GOLDEN="$3"
+
+tmp="$(mktemp -d /tmp/csalt-golden-XXXXXX)"
+trap 'rm -rf "$tmp"' EXIT
+
+# Defensive: strip a wall_clock field if one is ever added to the
+# metrics JSON, so the gate keeps comparing only simulated results.
+strip_wall() {
+    sed -E 's/,?"wall_clock[^,}]*//g' "$1"
+}
+
+check() {
+    local name="$1"
+    shift
+    "$SIM" "$@" --format json > "$tmp/$name"
+    if ! cmp -s <(strip_wall "$GOLDEN/$name") <(strip_wall "$tmp/$name"); then
+        echo "FAIL: $name diverged from golden ($SIM $*)"
+        diff <(strip_wall "$GOLDEN/$name") <(strip_wall "$tmp/$name") | head -20
+        exit 1
+    fi
+    echo "ok: $name byte-identical"
+}
+
+check csalt_cd_ccomp.json \
+    --pair ccomp --scheme csalt-cd --quota 60000 --warmup 20000 --seed 7
+check pom_gups_pagerank.json \
+    --vm gups --vm pagerank --scheme pom --cores 4 --quota 60000 \
+    --warmup 20000 --seed 9
+check dip_streamcluster_native.json \
+    --pair streamcluster --scheme dip --quota 40000 --warmup 10000 \
+    --native --seed 11
+check tsb_graph500_5lvl.json \
+    --vm graph500 --scheme tsb --quota 40000 --warmup 10000 \
+    --five-level --seed 13
+
+export CSALT_QUOTA=20000 CSALT_WARMUP=5000
+CSALT_BENCH_JSON="$tmp/j1.json" "$FIG07" --jobs 1 > "$tmp/out1"
+CSALT_BENCH_JSON="$tmp/j4.json" "$FIG07" --jobs 4 > "$tmp/out4" 2>/dev/null
+if ! cmp -s "$tmp/out1" "$tmp/out4"; then
+    echo "FAIL: fig07 --jobs 1 vs --jobs 4 stdout differ"
+    diff "$tmp/out1" "$tmp/out4" | head -20
+    exit 1
+fi
+echo "ok: fig07 stdout identical at --jobs 1 and --jobs 4"
+echo "OK"

@@ -1,0 +1,96 @@
+#include "common/flat_map.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace csalt
+{
+namespace
+{
+
+TEST(FlatMap, EmptyFindsNothing)
+{
+    FlatMap64<int> map;
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.find(0), nullptr);
+    EXPECT_EQ(map.find(42), nullptr);
+}
+
+TEST(FlatMap, InsertThenFind)
+{
+    FlatMap64<std::uint64_t> map;
+    map[7] = 70;
+    map[0] = 1; // key 0 is a valid key (only ~0 is reserved)
+    ASSERT_NE(map.find(7), nullptr);
+    EXPECT_EQ(*map.find(7), 70u);
+    ASSERT_NE(map.find(0), nullptr);
+    EXPECT_EQ(*map.find(0), 1u);
+    EXPECT_EQ(map.find(8), nullptr);
+    EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatMap, OverwriteKeepsSize)
+{
+    FlatMap64<int> map;
+    map[5] = 1;
+    map[5] = 2;
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_EQ(*map.find(5), 2);
+}
+
+TEST(FlatMap, ReservedKeyPanics)
+{
+    FlatMap64<int> map;
+    EXPECT_DEATH(map[FlatMap64<int>::kEmptyKey] = 1, "reserved key");
+}
+
+TEST(FlatMap, GrowthPreservesContents)
+{
+    // Start tiny so many doublings happen.
+    FlatMap64<std::uint64_t> map(16);
+    for (std::uint64_t k = 0; k < 10000; ++k)
+        map[k * 3 + 1] = k;
+    EXPECT_EQ(map.size(), 10000u);
+    for (std::uint64_t k = 0; k < 10000; ++k) {
+        ASSERT_NE(map.find(k * 3 + 1), nullptr) << k;
+        EXPECT_EQ(*map.find(k * 3 + 1), k);
+    }
+    EXPECT_EQ(map.find(0), nullptr);
+}
+
+TEST(FlatMap, MatchesUnorderedMapUnderRandomOps)
+{
+    FlatMap64<std::uint64_t> flat(16);
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    Rng rng(1234);
+    for (int i = 0; i < 50000; ++i) {
+        // Mix dense (VPN-like sequential) and sparse keys.
+        const std::uint64_t key = (i % 3 == 0)
+                                      ? rng.below(256)
+                                      : rng.next() >> 12;
+        if (key == FlatMap64<std::uint64_t>::kEmptyKey)
+            continue;
+        if (rng.below(2) == 0) {
+            flat[key] = i;
+            ref[key] = static_cast<std::uint64_t>(i);
+        } else {
+            const auto *got = flat.find(key);
+            const auto it = ref.find(key);
+            if (it == ref.end()) {
+                EXPECT_EQ(got, nullptr) << key;
+            } else {
+                ASSERT_NE(got, nullptr) << key;
+                EXPECT_EQ(*got, it->second) << key;
+            }
+        }
+    }
+    EXPECT_EQ(flat.size(), ref.size());
+}
+
+} // namespace
+} // namespace csalt

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * ReplBlock (the flattened, enum-dispatched replacement engine on the
+ * per-access hot path) must be observationally identical to the
+ * polymorphic reference implementations it transcribed: TrueLruSet,
+ * NruSet, BtPlruSet (cache/replacement.h) and RripSet (cache/rrip.h).
+ * These tests drive both through long random operation sequences and
+ * compare every victim choice and every stack position — the goldens
+ * pin whole-simulator behavior, this pins the engine itself for all
+ * policies including those the default configs never exercise.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/repl_flat.h"
+#include "cache/replacement.h"
+#include "cache/rrip.h"
+#include "common/rng.h"
+
+using namespace csalt;
+
+namespace
+{
+
+struct FlatCase
+{
+    ReplacementKind kind;
+    unsigned ways;
+};
+
+class FlatVsReference : public ::testing::TestWithParam<FlatCase>
+{
+};
+
+std::unique_ptr<SetReplacement>
+makeReference(ReplacementKind kind, unsigned ways)
+{
+    if (kind == ReplacementKind::rrip)
+        return std::make_unique<RripSet>(ways);
+    return makeSetReplacement(kind, ways);
+}
+
+} // namespace
+
+TEST_P(FlatVsReference, RandomOpSequenceMatchesReference)
+{
+    const auto param = GetParam();
+    constexpr std::uint64_t kSets = 4;
+
+    ReplBlock flat(param.kind, kSets, param.ways);
+    std::vector<std::unique_ptr<SetReplacement>> refs;
+    for (std::uint64_t s = 0; s < kSets; ++s)
+        refs.push_back(makeReference(param.kind, param.ways));
+
+    Rng rng(0x5eed + static_cast<int>(param.kind) * 100 + param.ways);
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t set = rng.below(kSets);
+        SetReplacement &ref = *refs[set];
+        switch (rng.below(3)) {
+          case 0: {
+            const auto way =
+                static_cast<unsigned>(rng.below(param.ways));
+            flat.touch(set, way);
+            ref.touch(way);
+            break;
+          }
+          case 1: {
+            const auto lo =
+                static_cast<unsigned>(rng.below(param.ways));
+            const auto hi =
+                lo + static_cast<unsigned>(rng.below(param.ways - lo));
+            // Both victimIn calls may age (RRIP), so they must be
+            // issued in lockstep to stay comparable.
+            ASSERT_EQ(flat.victimIn(set, lo, hi),
+                      ref.victimIn(lo, hi))
+                << "set " << set << " range [" << lo << "," << hi
+                << "] op " << i;
+            break;
+          }
+          case 2: {
+            if (param.kind == ReplacementKind::rrip) {
+                const auto way =
+                    static_cast<unsigned>(rng.below(param.ways));
+                const bool long_rrpv = rng.below(2) != 0;
+                flat.insertAt(set, way, long_rrpv);
+                static_cast<RripSet &>(ref).insertAt(way, long_rrpv);
+            } else {
+                const auto way =
+                    static_cast<unsigned>(rng.below(param.ways));
+                flat.touch(set, way);
+                ref.touch(way);
+            }
+            break;
+          }
+        }
+        for (unsigned w = 0; w < param.ways; ++w) {
+            ASSERT_EQ(flat.stackPosOf(set, w), ref.stackPosOf(w))
+                << "set " << set << " way " << w << " op " << i;
+        }
+    }
+}
+
+TEST_P(FlatVsReference, SetsAreIndependent)
+{
+    const auto param = GetParam();
+    ReplBlock flat(param.kind, 2, param.ways);
+    auto ref = makeReference(param.kind, param.ways);
+
+    // Hammer set 1; set 0 must stay bit-identical to a fresh
+    // reference set.
+    Rng rng(42);
+    for (int i = 0; i < 200; ++i)
+        flat.touch(1, static_cast<unsigned>(rng.below(param.ways)));
+    for (unsigned w = 0; w < param.ways; ++w)
+        EXPECT_EQ(flat.stackPosOf(0, w), ref->stackPosOf(w));
+}
+
+TEST_P(FlatVsReference, CorruptMatchesReferenceHook)
+{
+    const auto param = GetParam();
+    ReplBlock flat(param.kind, 1, param.ways);
+    auto ref = makeReference(param.kind, param.ways);
+
+    flat.corrupt(0);
+    ref->corruptForTest();
+    for (unsigned w = 0; w < param.ways; ++w)
+        EXPECT_EQ(flat.stackPosOf(0, w), ref->stackPosOf(w));
+}
+
+TEST(ReplBlockGeometry, ReportsKindWaysSets)
+{
+    ReplBlock flat(ReplacementKind::nru, 8, 4);
+    EXPECT_EQ(flat.kind(), ReplacementKind::nru);
+    EXPECT_EQ(flat.ways(), 4u);
+    EXPECT_EQ(flat.sets(), 8u);
+}
+
+TEST(ReplBlockGeometry, ResetRestoresFreshState)
+{
+    ReplBlock flat(ReplacementKind::trueLru, 2, 4);
+    flat.touch(0, 3);
+    flat.touch(1, 1);
+    flat.reset();
+    ReplBlock fresh(ReplacementKind::trueLru, 2, 4);
+    for (std::uint64_t s = 0; s < 2; ++s)
+        for (unsigned w = 0; w < 4; ++w)
+            EXPECT_EQ(flat.stackPosOf(s, w), fresh.stackPosOf(s, w));
+}
+
+TEST(ReplBlockGeometry, BtPlruRequiresPowerOfTwoWays)
+{
+    EXPECT_DEATH(ReplBlock(ReplacementKind::btPlru, 4, 6),
+                 "power-of-two");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, FlatVsReference,
+    ::testing::Values(FlatCase{ReplacementKind::trueLru, 4},
+                      FlatCase{ReplacementKind::trueLru, 8},
+                      FlatCase{ReplacementKind::trueLru, 16},
+                      FlatCase{ReplacementKind::nru, 4},
+                      FlatCase{ReplacementKind::nru, 8},
+                      FlatCase{ReplacementKind::nru, 16},
+                      FlatCase{ReplacementKind::btPlru, 4},
+                      FlatCase{ReplacementKind::btPlru, 8},
+                      FlatCase{ReplacementKind::btPlru, 16},
+                      FlatCase{ReplacementKind::rrip, 4},
+                      FlatCase{ReplacementKind::rrip, 8},
+                      FlatCase{ReplacementKind::rrip, 16}));

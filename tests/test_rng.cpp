@@ -160,6 +160,33 @@ TEST(Rng, ZipfNegativeExponentClampsToUniform)
         EXPECT_NEAR(count, 5000, 600);
 }
 
+// The workload generators draw from ZipfDist (constants hoisted out
+// of the per-draw path); golden-stats byte-identity across the
+// refactor requires it to consume generator state and produce indices
+// exactly like Rng::zipf. Exercise the main branch, the s-near-1
+// branch, the negative-s clamp, and the degenerate sizes (which must
+// not touch the generator at all).
+TEST(Rng, ZipfDistMatchesZipfExactly)
+{
+    const struct
+    {
+        std::uint64_t n;
+        double s;
+    } cases[] = {{100000, 0.8}, {49152, 0.7}, {1280, 0.4},
+                 {1000, 1.0},   {1000, -3.0}, {1, 0.8},
+                 {0, 0.8}};
+    for (const auto &c : cases) {
+        Rng a(12345);
+        Rng b(12345);
+        const ZipfDist dist(c.n, c.s);
+        for (int i = 0; i < 5000; ++i)
+            ASSERT_EQ(dist(b), a.zipf(c.n, c.s))
+                << "n=" << c.n << " s=" << c.s << " draw " << i;
+        // Both generators must be in the same state afterwards.
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
 TEST(Rng, ZipfHigherSkewConcentratesMore)
 {
     Rng a(29);
