@@ -48,6 +48,7 @@
 #include "harness/results.h"
 #include "obs/json.h"
 #include "sim/metrics.h"
+#include "sim/metrics_io.h"
 #include "sim/system_builder.h"
 #include "workloads/registry.h"
 
@@ -276,8 +277,9 @@ inline const Scheme kDip{"DIP", applyDipOverPom};
  * Collects one row per workload pair (value per scheme), a geomean
  * summary, and the host wall-clock of the whole run, then writes:
  *
- *   {"figure":"fig07","metric":"ipc_norm_pom","quota":...,
- *    "warmup":...,"rows":[{"label":"...","values":{"CSALT-D":1.1}}],
+ *   {"schema_version":2,"figure":"fig07","metric":"ipc_norm_pom",
+ *    "quota":...,"warmup":...,
+ *    "rows":[{"label":"...","values":{"CSALT-D":1.1}}],
  *    "geomean":{"CSALT-D":1.1},"wall_clock_s":12.3}
  *
  * to $CSALT_BENCH_JSON (default ./BENCH_results.json), so sweeps can
@@ -318,7 +320,11 @@ class ResultsJson
 
         std::ostringstream os;
         os.precision(10);
-        os << "{\"figure\":\"" << obs::escapeJson(figure_)
+        // schema_version tracks sim/metrics_io.h's metrics schema:
+        // the bench gate (tools/bench_report) refuses files from a
+        // different schema generation.
+        os << "{\"schema_version\":" << kMetricsSchemaVersion
+           << ",\"figure\":\"" << obs::escapeJson(figure_)
            << "\",\"metric\":\"" << obs::escapeJson(metric_)
            << "\",\"quota\":" << env_.quota
            << ",\"warmup\":" << env_.warmup

@@ -46,14 +46,17 @@ cmake --build "$ASAN_DIR" -j "$JOBS" --target \
     test_histogram test_cpi_stack test_stat_registry test_trace_events
 ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS" -L obs
 
-echo "== harness suite under TSan =="
+echo "== harness suite + live writer/reader pair under TSan =="
 TSAN_DIR="${BUILD_DIR}-tsan"
 if [[ "${KEEP_BUILD:-0}" != 1 ]]; then
     rm -rf "$TSAN_DIR"
 fi
 cmake -B "$TSAN_DIR" -S . -DCSALT_SANITIZE=thread
-cmake --build "$TSAN_DIR" -j "$JOBS" --target test_job_runner
+cmake --build "$TSAN_DIR" -j "$JOBS" --target test_job_runner \
+    test_live_export
 ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" -L harness
+ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
+    -L obs_live
 
 echo "== fault-injection smoke: a corrupted run must fail loudly =="
 inject_log="$(mktemp /tmp/csalt-inject-XXXXXX.log)"
@@ -106,7 +109,8 @@ if [[ "${KEEP_BUILD:-0}" != 1 ]]; then
     rm -rf "$PERF_DIR"
 fi
 cmake -B "$PERF_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$PERF_DIR" -j "$JOBS" --target perf_throughput
+cmake --build "$PERF_DIR" -j "$JOBS" --target perf_throughput \
+    bench_report
 perf_json="$(mktemp /tmp/csalt-perf-XXXXXX.json)"
 CSALT_QUOTA=100000 CSALT_WARMUP=20000 CSALT_BENCH_JSON="$perf_json" \
     "$PERF_DIR/bench/perf_throughput" --jobs 1
@@ -138,6 +142,18 @@ assert doc["geomean"]["MAPS"] > 0
 print(f"ok: {len(rows)} schemes, geomean "
       f"{doc['geomean']['MAPS']:.1f} MAPS")
 EOF
+
+echo "== perf-trajectory gate vs committed BENCH_results.json =="
+# The committed baseline was produced at the full quota on an
+# unloaded host; this smoke runs a shorter slice on whatever CI
+# machine we got, so gate loosely — 25% catches real collapses
+# (an accidental O(n) scan, a debug build) without flaking on noise.
+if [[ -f BENCH_results.json ]]; then
+    "$PERF_DIR/tools/bench_report" --baseline BENCH_results.json \
+        --threshold 25% "$perf_json"
+else
+    echo "SKIP: no committed BENCH_results.json baseline"
+fi
 rm -f "$perf_json"
 
 echo "== telemetry smoke test =="

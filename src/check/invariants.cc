@@ -9,6 +9,7 @@
 #include "cache/cache.h"
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/phase_profiler.h"
 #include "sim/core_model.h"
 #include "sim/system.h"
 #include "tlb/pom_tlb.h"
@@ -232,6 +233,7 @@ checkCpiAccounting(const CoreModel &core, const std::string &where,
 std::vector<Violation>
 checkSystem(const System &system, const CheckOptions &opts)
 {
+    CSALT_PROFILE_SCOPE(checker);
     std::vector<Violation> out;
     const MemorySystem &mem = system.mem();
 

@@ -23,12 +23,26 @@ ioError(std::string message, const std::string &path)
 
 } // namespace
 
+std::string
+atomicTmpPath(const std::string &path)
+{
+    return path + ".tmp." + std::to_string(::getpid());
+}
+
+Status
+commitFileAtomic(const std::string &path)
+{
+    const std::string tmp = atomicTmpPath(path);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        return ioError("rename failed", path);
+    return {};
+}
+
 Status
 writeFileAtomic(const std::string &path, const std::string &content,
                 bool crash_before_rename)
 {
-    const std::string tmp =
-        path + ".tmp." + std::to_string(::getpid());
+    const std::string tmp = atomicTmpPath(path);
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out)
@@ -46,10 +60,9 @@ writeFileAtomic(const std::string &path, const std::string &content,
         // must still hold its previous (complete) contents.
         return {};
     }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        Error err = ioError("rename failed", path);
+    if (Status st = commitFileAtomic(path); !st.ok()) {
         std::remove(tmp.c_str());
-        return err;
+        return st;
     }
     return {};
 }

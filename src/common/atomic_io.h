@@ -29,6 +29,22 @@ Status writeFileAtomic(const std::string &path,
                        const std::string &content,
                        bool crash_before_rename = false);
 
+/**
+ * The sibling tmp path (`<path>.tmp.<pid>`) writeFileAtomic writes
+ * through. Streaming writers (the telemetry trace) open this path
+ * directly and commit with commitFileAtomic() when done, so a killed
+ * process never leaves a torn file at @p path.
+ */
+std::string atomicTmpPath(const std::string &path);
+
+/**
+ * Final commit for a file streamed into atomicTmpPath(@p path):
+ * renames the tmp sibling onto @p path. Typed io error when the tmp
+ * file is missing or the rename fails (the tmp file is left behind
+ * for diagnosis in that case).
+ */
+Status commitFileAtomic(const std::string &path);
+
 } // namespace csalt
 
 #endif // CSALT_COMMON_ATOMIC_IO_H

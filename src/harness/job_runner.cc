@@ -86,6 +86,28 @@ jobsFromEnv(unsigned fallback)
     return parseJobsValue(s, "$CSALT_JOBS");
 }
 
+std::string
+liveDirFromEnv()
+{
+    const char *s = std::getenv("CSALT_LIVE_DIR");
+    return s ? std::string(s) : std::string();
+}
+
+std::string
+sanitizeJobKey(std::string_view key)
+{
+    std::string out;
+    out.reserve(key.size());
+    for (const char c : key) {
+        const bool safe = (c >= 'a' && c <= 'z') ||
+                          (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '.' ||
+                          c == '_' || c == '-';
+        out += safe ? c : '_';
+    }
+    return out;
+}
+
 unsigned
 parseJobsFlag(int &argc, char **argv)
 {

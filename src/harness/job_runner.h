@@ -62,6 +62,7 @@
 #include "common/progress.h"
 #include "harness/journal.h"
 #include "harness/thread_pool.h"
+#include "obs/live_export.h"
 
 namespace csalt::harness
 {
@@ -76,6 +77,17 @@ std::uint64_t deriveSeed(std::uint64_t base_seed,
 
 /** Worker count from $CSALT_JOBS; @p fallback when unset/invalid. */
 unsigned jobsFromEnv(unsigned fallback = 1);
+
+/**
+ * $CSALT_LIVE_DIR, or empty when per-job live export is off. When
+ * set, the runner installs a per-thread live-region path
+ * ($CSALT_LIVE_DIR/<sanitized job key>.live) around every job so each
+ * grid cell's System publishes its own attachable region.
+ */
+std::string liveDirFromEnv();
+
+/** Filename-safe rendering of a job key ([^A-Za-z0-9._-] -> '_'). */
+std::string sanitizeJobKey(std::string_view key);
 
 /**
  * Consume a `--jobs N` / `--jobs=N` flag from argv (compacting the
@@ -445,6 +457,11 @@ class JobRunner
             ProgressToken token;
             if (watchdog_ && watchdog_->enabled())
                 watchdog_->attach(i, &token);
+            const std::string live_dir = liveDirFromEnv();
+            if (!live_dir.empty())
+                obs::setThreadLiveExportPath(
+                    live_dir + "/" + sanitizeJobKey(outcome.key) +
+                    ".live");
             setProgressToken(&token);
             bool failed = false;
             bool retryable = true;
@@ -471,6 +488,8 @@ class JobRunner
                 outcome.error_kind = "exception";
             }
             setProgressToken(nullptr);
+            if (!live_dir.empty())
+                obs::setThreadLiveExportPath({});
             if (watchdog_ && watchdog_->enabled())
                 watchdog_->detach(i);
             if (!failed || !retryable || attempt >= opts_.retries)

@@ -8,6 +8,7 @@
 #include "common/atomic_io.h"
 #include "common/log.h"
 #include "obs/json.h"
+#include "obs/phase_profiler.h"
 
 namespace csalt::harness
 {
@@ -245,6 +246,7 @@ Journal::encodeRecord(const JournalRecord &record) const
 Status
 Journal::append(const JournalRecord &record)
 {
+    CSALT_PROFILE_SCOPE(journal_io);
     std::lock_guard<std::mutex> lock(mu_);
     if (record.value_json.find('\n') != std::string::npos)
         return makeError(ErrorKind::internal,

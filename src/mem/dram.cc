@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/phase_profiler.h"
 #include "obs/stat_registry.h"
 
 namespace csalt
@@ -27,6 +28,7 @@ DramChannel::drainTo(Cycles now)
 Cycles
 DramChannel::access(Addr addr, Cycles now)
 {
+    CSALT_PROFILE_SCOPE(dram);
     // Row-interleaved mapping: consecutive rows rotate across banks.
     const std::uint64_t row_global = addr / params_.row_bytes;
     const std::uint64_t bank_idx = row_global % params_.banks;

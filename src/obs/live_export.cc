@@ -1,0 +1,400 @@
+#include "obs/live_export.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "harness/journal.h" // crc32 (shared with the results journal)
+
+namespace csalt::obs
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'C', 'S', 'A', 'L', 'T', 'L', 'I', 'V'};
+
+/**
+ * Fixed-size region header. All fields are written once at create()
+ * except seq (the seqlock word) and payload_crc (restamped per
+ * publish, inside the seqlock critical section).
+ */
+struct LiveHeader
+{
+    char magic[8];
+    std::uint32_t version;        //!< kLiveLayoutVersion
+    std::uint32_t total_size;     //!< whole file, bytes
+    std::uint32_t names_offset;   //!< from file start
+    std::uint32_t names_size;     //!< bytes, '\n'-separated
+    std::uint32_t payload_offset; //!< from file start
+    std::uint32_t payload_size;   //!< bytes
+    std::uint32_t num_values;
+    std::uint32_t reserved;
+    alignas(8) std::uint64_t seq; //!< seqlock: odd = write in flight
+    std::uint32_t payload_crc;    //!< crc32 over the payload bytes
+    std::uint32_t reserved2;
+};
+static_assert(sizeof(LiveHeader) % 8 == 0, "payload stays aligned");
+
+/** Fixed prefix of the payload, followed by num_values doubles. */
+struct LivePayloadHead
+{
+    double t;
+    std::uint64_t step;
+    std::uint64_t epoch;
+    std::uint64_t publish_count;
+    double wall_unix;
+    std::uint32_t pid;
+    std::uint32_t finished;
+};
+static_assert(sizeof(LivePayloadHead) % 8 == 0, "values stay aligned");
+
+std::uint64_t
+loadSeq(const LiveHeader *header)
+{
+    return __atomic_load_n(&header->seq, __ATOMIC_ACQUIRE);
+}
+
+void
+storeSeq(LiveHeader *header, std::uint64_t value)
+{
+    __atomic_store_n(&header->seq, value, __ATOMIC_RELEASE);
+}
+
+double
+wallUnixNow()
+{
+    timespec ts{};
+    ::clock_gettime(CLOCK_REALTIME, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+Error
+ioError(std::string message, const std::string &path)
+{
+    return makeError(ErrorKind::io,
+                     message + ": " + std::strerror(errno), path,
+                     "check the live-region path and permissions");
+}
+
+} // namespace
+
+std::string
+LiveExport::defaultDir()
+{
+    struct stat st{};
+    if (::stat("/dev/shm", &st) == 0 && S_ISDIR(st.st_mode) &&
+        ::access("/dev/shm", W_OK) == 0)
+        return "/dev/shm";
+    if (const char *tmp = std::getenv("TMPDIR"); tmp && *tmp)
+        return tmp;
+    return "/tmp";
+}
+
+std::string
+LiveExport::defaultPathFor(std::uint64_t pid)
+{
+    return defaultDir() + "/csalt-live." + std::to_string(pid);
+}
+
+Expected<std::unique_ptr<LiveExport>>
+LiveExport::create(const std::string &path,
+                   const StatRegistry &registry)
+{
+    std::string names;
+    for (const auto &entry : registry.entries()) {
+        names += entry.name;
+        names += '\n';
+    }
+    const std::uint32_t num_values =
+        static_cast<std::uint32_t>(registry.size());
+
+    // 8-align the payload after the names block.
+    const std::size_t names_offset = sizeof(LiveHeader);
+    const std::size_t payload_offset =
+        (names_offset + names.size() + 7) & ~std::size_t{7};
+    const std::size_t payload_size =
+        sizeof(LivePayloadHead) + num_values * sizeof(double);
+    const std::size_t total = payload_offset + payload_size;
+
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC,
+                          0644);
+    if (fd < 0)
+        return ioError("cannot create live region", path);
+    if (::ftruncate(fd, static_cast<off_t>(total)) != 0) {
+        Error err = ioError("cannot size live region", path);
+        ::close(fd);
+        return err;
+    }
+    void *map = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                       MAP_SHARED, fd, 0);
+    ::close(fd); // the mapping keeps the file open
+    if (map == MAP_FAILED)
+        return ioError("cannot map live region", path);
+
+    auto live = std::unique_ptr<LiveExport>(new LiveExport);
+    live->registry_ = &registry;
+    live->path_ = path;
+    live->map_ = static_cast<unsigned char *>(map);
+    live->map_size_ = total;
+
+    auto *header = reinterpret_cast<LiveHeader *>(live->map_);
+    std::memset(header, 0, sizeof(*header));
+    std::memcpy(header->magic, kMagic, sizeof(kMagic));
+    header->version = kLiveLayoutVersion;
+    header->total_size = static_cast<std::uint32_t>(total);
+    header->names_offset =
+        static_cast<std::uint32_t>(names_offset);
+    header->names_size = static_cast<std::uint32_t>(names.size());
+    header->payload_offset =
+        static_cast<std::uint32_t>(payload_offset);
+    header->payload_size =
+        static_cast<std::uint32_t>(payload_size);
+    header->num_values = num_values;
+    std::memcpy(live->map_ + names_offset, names.data(),
+                names.size());
+    storeSeq(header, 0);
+    return live;
+}
+
+LiveExport::~LiveExport()
+{
+    if (map_)
+        ::munmap(map_, map_size_);
+}
+
+void
+LiveExport::publish(double t, std::uint64_t step,
+                    std::uint64_t epoch, bool finished)
+{
+    auto *header = reinterpret_cast<LiveHeader *>(map_);
+    unsigned char *payload = map_ + header->payload_offset;
+
+    // Seqlock write: readers see either the previous complete
+    // payload or this one, never a mix.
+    storeSeq(header, loadSeq(header) + 1); // odd: write in flight
+
+    auto *head = reinterpret_cast<LivePayloadHead *>(payload);
+    head->t = t;
+    head->step = step;
+    head->epoch = epoch;
+    head->publish_count = ++publish_count_;
+    head->wall_unix = wallUnixNow();
+    head->pid = static_cast<std::uint32_t>(::getpid());
+    head->finished = finished ? 1 : 0;
+
+    auto *values = reinterpret_cast<double *>(
+        payload + sizeof(LivePayloadHead));
+    const auto &entries = registry_->entries();
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        values[i] = entries[i].get();
+
+    __atomic_store_n(&header->payload_crc,
+                     harness::crc32(std::string_view(
+                         reinterpret_cast<const char *>(payload),
+                         header->payload_size)),
+                     __ATOMIC_RELEASE);
+
+    storeSeq(header, loadSeq(header) + 1); // even: consistent
+}
+
+// ------------------------------------------------------------ reader
+
+Expected<LiveReader>
+LiveReader::open(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return ioError("cannot open live region", path);
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+        Error err = ioError("cannot stat live region", path);
+        ::close(fd);
+        return err;
+    }
+    const std::size_t size = static_cast<std::size_t>(st.st_size);
+    if (size < sizeof(LiveHeader)) {
+        ::close(fd);
+        return makeError(ErrorKind::parse,
+                         "live region shorter than its header", path,
+                         "the writer may still be creating it");
+    }
+    void *map = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (map == MAP_FAILED)
+        return ioError("cannot map live region", path);
+
+    LiveReader reader;
+    reader.path_ = path;
+    reader.map_ = static_cast<const unsigned char *>(map);
+    reader.map_size_ = size;
+
+    const auto *header =
+        reinterpret_cast<const LiveHeader *>(reader.map_);
+    if (std::memcmp(header->magic, kMagic, sizeof(kMagic)) != 0)
+        return makeError(ErrorKind::parse,
+                         "not a csalt live region (bad magic)", path,
+                         "pass the path printed by the running sim");
+    if (header->version != kLiveLayoutVersion)
+        return makeError(
+            ErrorKind::parse,
+            "live region layout version " +
+                std::to_string(header->version) + " (reader speaks " +
+                std::to_string(kLiveLayoutVersion) + ")",
+            path, "rebuild reader and writer from the same tree");
+    if (header->total_size != size ||
+        header->payload_offset + header->payload_size != size ||
+        header->names_offset + header->names_size >
+            header->payload_offset ||
+        header->payload_size <
+            sizeof(LivePayloadHead) +
+                header->num_values * sizeof(double))
+        return makeError(ErrorKind::parse,
+                         "live region header is inconsistent with "
+                         "its file size",
+                         path, "region truncated or corrupt");
+
+    const char *names_begin = reinterpret_cast<const char *>(
+        reader.map_ + header->names_offset);
+    std::string_view names(names_begin, header->names_size);
+    while (!names.empty()) {
+        const std::size_t nl = names.find('\n');
+        if (nl == std::string_view::npos)
+            break;
+        reader.names_.emplace_back(names.substr(0, nl));
+        names.remove_prefix(nl + 1);
+    }
+    if (reader.names_.size() != header->num_values)
+        return makeError(ErrorKind::parse,
+                         "live region names block does not match "
+                         "its value count",
+                         path, "region truncated or corrupt");
+    reader.num_values_ = header->num_values;
+    reader.payload_offset_ = header->payload_offset;
+    reader.payload_size_ = header->payload_size;
+    return reader;
+}
+
+LiveReader::LiveReader(LiveReader &&other) noexcept
+    : path_(std::move(other.path_)), map_(other.map_),
+      map_size_(other.map_size_), num_values_(other.num_values_),
+      payload_offset_(other.payload_offset_),
+      payload_size_(other.payload_size_),
+      names_(std::move(other.names_))
+{
+    other.map_ = nullptr;
+    other.map_size_ = 0;
+}
+
+LiveReader &
+LiveReader::operator=(LiveReader &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    if (map_)
+        ::munmap(const_cast<unsigned char *>(map_), map_size_);
+    path_ = std::move(other.path_);
+    map_ = other.map_;
+    map_size_ = other.map_size_;
+    num_values_ = other.num_values_;
+    payload_offset_ = other.payload_offset_;
+    payload_size_ = other.payload_size_;
+    names_ = std::move(other.names_);
+    other.map_ = nullptr;
+    other.map_size_ = 0;
+    return *this;
+}
+
+LiveReader::~LiveReader()
+{
+    if (map_)
+        ::munmap(const_cast<unsigned char *>(map_), map_size_);
+}
+
+Expected<LiveSnapshot>
+LiveReader::read() const
+{
+    const auto *header =
+        reinterpret_cast<const LiveHeader *>(map_);
+    std::vector<unsigned char> copy(payload_size_);
+    std::uint32_t crc_copy = 0;
+
+    // Bounded seqlock retry: a healthy writer holds the lock for the
+    // duration of one memcpy+crc, so a handful of spins suffices; a
+    // writer that died mid-publish leaves seq odd forever and we
+    // report that instead of spinning.
+    constexpr int kMaxAttempts = 1000;
+    bool consistent = false;
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+        const std::uint64_t s1 = loadSeq(header);
+        if (s1 & 1) {
+            ::usleep(100);
+            continue;
+        }
+        std::memcpy(copy.data(), map_ + payload_offset_,
+                    payload_size_);
+        crc_copy = __atomic_load_n(&header->payload_crc,
+                                   __ATOMIC_ACQUIRE);
+        __atomic_thread_fence(__ATOMIC_ACQUIRE);
+        const std::uint64_t s2 = loadSeq(header);
+        if (s1 == s2) {
+            consistent = true;
+            break;
+        }
+    }
+    if (!consistent)
+        return makeError(ErrorKind::cancelled,
+                         "live region busy: seqlock never settled "
+                         "(writer died mid-publish?)",
+                         path_, "re-attach or inspect post-hoc");
+
+    const std::uint32_t crc = harness::crc32(std::string_view(
+        reinterpret_cast<const char *>(copy.data()), copy.size()));
+    if (crc != crc_copy)
+        return makeError(ErrorKind::parse,
+                         "live region payload CRC mismatch", path_,
+                         "region corrupt; restart the writer");
+
+    const auto *head =
+        reinterpret_cast<const LivePayloadHead *>(copy.data());
+    LiveSnapshot snap;
+    snap.t = head->t;
+    snap.step = head->step;
+    snap.epoch = head->epoch;
+    snap.publish_count = head->publish_count;
+    snap.wall_unix = head->wall_unix;
+    snap.pid = head->pid;
+    snap.finished = head->finished != 0;
+    const auto *values = reinterpret_cast<const double *>(
+        copy.data() + sizeof(LivePayloadHead));
+    snap.values.assign(values, values + num_values_);
+    return snap;
+}
+
+// ------------------------------------------- per-thread path override
+
+namespace
+{
+thread_local std::string t_live_path;
+} // namespace
+
+void
+setThreadLiveExportPath(std::string path)
+{
+    t_live_path = std::move(path);
+}
+
+const std::string &
+threadLiveExportPath()
+{
+    return t_live_path;
+}
+
+} // namespace csalt::obs

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Live telemetry export: a versioned shared-memory snapshot region a
+ * *running* simulation publishes into, and an external reader maps
+ * read-only — the attach path behind `trace_inspect --attach`.
+ *
+ * The region is a plain file (by default under /dev/shm, so publishes
+ * never touch a disk) with a fixed layout:
+ *
+ *   [ LiveHeader | names block | payload ]
+ *
+ * The names block ('\n'-separated StatRegistry names, written once at
+ * create) fixes the value order; the payload (timestamp, step, epoch,
+ * heartbeat, finished flag, then one double per registered stat) is
+ * republished at every epoch/sample boundary under a seqlock:
+ *
+ *   writer:  seq++ (odd)  -> write payload -> crc -> seq++ (even)
+ *   reader:  s1 = seq; if odd retry; copy payload+crc; s2 = seq;
+ *            consistent iff s1 == s2 (then the CRC must also match —
+ *            a mismatch with a stable seq means external corruption).
+ *
+ * The CRC32 (same polynomial as the PR 4 results journal) stamps the
+ * payload bytes so a reader never trusts a region torn by a writer
+ * that died mid-publish (seq stuck odd) or corrupted on disk.
+ *
+ * Writers: System::run() publishes automatically when live export is
+ * enabled (explicitly, via $CSALT_LIVE_EXPORT, or through the
+ * per-thread path the JobRunner installs under $CSALT_LIVE_DIR).
+ * Readers: LiveReader::open() + read(), used by trace_inspect and the
+ * tests. Both sides are wait-free except the reader's bounded retry.
+ */
+
+#ifndef CSALT_OBS_LIVE_EXPORT_H
+#define CSALT_OBS_LIVE_EXPORT_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/stat_registry.h"
+
+namespace csalt::obs
+{
+
+/** Layout version stamped into the region header. */
+constexpr std::uint32_t kLiveLayoutVersion = 1;
+
+/** One consistent read of a live region. */
+struct LiveSnapshot
+{
+    double t = 0.0;                  //!< simulated cycles
+    std::uint64_t step = 0;          //!< scheduler steps
+    std::uint64_t epoch = 0;         //!< occupancy epochs published
+    std::uint64_t publish_count = 0; //!< heartbeat (monotone)
+    double wall_unix = 0.0;          //!< writer's CLOCK_REALTIME (s)
+    std::uint32_t pid = 0;           //!< writer process
+    bool finished = false;           //!< writer closed the region
+    /** Values aligned with names(); registry entries() order. */
+    std::vector<double> values;
+};
+
+/**
+ * Writer side. Created against a *frozen* StatRegistry (the layout —
+ * names and value count — must not change after create).
+ */
+class LiveExport
+{
+  public:
+    /** /dev/shm when usable, else $TMPDIR, else /tmp. */
+    static std::string defaultDir();
+
+    /** The conventional region path for process @p pid. */
+    static std::string defaultPathFor(std::uint64_t pid);
+
+    /**
+     * Create (truncate) the region file for @p registry and map it.
+     * Typed io error when the file cannot be created or mapped.
+     */
+    static Expected<std::unique_ptr<LiveExport>>
+    create(const std::string &path, const StatRegistry &registry);
+
+    /** Unmaps; the file stays behind for post-mortem attach. */
+    ~LiveExport();
+
+    LiveExport(const LiveExport &) = delete;
+    LiveExport &operator=(const LiveExport &) = delete;
+
+    /**
+     * Publish the registry's current values under the seqlock.
+     * @p finished marks the final publish (readers detach on it).
+     */
+    void publish(double t, std::uint64_t step, std::uint64_t epoch,
+                 bool finished = false);
+
+    /** Publishes so far (the region heartbeat). */
+    std::uint64_t publishCount() const { return publish_count_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    LiveExport() = default;
+
+    const StatRegistry *registry_ = nullptr;
+    std::string path_;
+    unsigned char *map_ = nullptr;
+    std::size_t map_size_ = 0;
+    std::uint64_t publish_count_ = 0;
+};
+
+/** Reader side: maps an existing region read-only. */
+class LiveReader
+{
+  public:
+    /**
+     * Map @p path read-only. Typed errors: io (missing/unmappable),
+     * parse (bad magic, wrong layout version, or a size that does
+     * not match its own header).
+     */
+    static Expected<LiveReader> open(const std::string &path);
+
+    LiveReader(LiveReader &&other) noexcept;
+    LiveReader &operator=(LiveReader &&other) noexcept;
+    ~LiveReader();
+
+    LiveReader(const LiveReader &) = delete;
+    LiveReader &operator=(const LiveReader &) = delete;
+
+    /** Stat names, in payload value order (parsed at open). */
+    const std::vector<std::string> &names() const { return names_; }
+
+    /**
+     * One consistent snapshot. Spins on the seqlock for a bounded
+     * number of attempts; typed errors: cancelled (writer busy or
+     * died mid-publish — seq stayed odd/unstable), parse (CRC
+     * mismatch on a stable payload: the region is corrupt).
+     */
+    Expected<LiveSnapshot> read() const;
+
+    const std::string &path() const { return path_; }
+
+  private:
+    LiveReader() = default;
+
+    std::string path_;
+    const unsigned char *map_ = nullptr;
+    std::size_t map_size_ = 0;
+    std::uint32_t num_values_ = 0;
+    std::size_t payload_offset_ = 0;
+    std::size_t payload_size_ = 0;
+    std::vector<std::string> names_;
+};
+
+/**
+ * Per-thread live-region path override, installed by the harness
+ * JobRunner around each job ($CSALT_LIVE_DIR/<job key>.live) and
+ * consumed by System::run() when no explicit path was set. Empty
+ * string clears the override.
+ */
+void setThreadLiveExportPath(std::string path);
+const std::string &threadLiveExportPath();
+
+} // namespace csalt::obs
+
+#endif // CSALT_OBS_LIVE_EXPORT_H

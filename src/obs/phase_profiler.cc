@@ -1,0 +1,125 @@
+#include "obs/phase_profiler.h"
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace csalt::obs
+{
+
+namespace
+{
+
+/** One thread's accumulators; kept alive after thread exit so a
+ *  global merge never reads freed memory. */
+struct ThreadState
+{
+    std::array<Histogram, kNumPhases> hists;
+    std::mutex mu; //!< record vs. cross-thread merge
+};
+
+std::mutex g_registry_mu;
+std::vector<std::shared_ptr<ThreadState>> &
+registry()
+{
+    static std::vector<std::shared_ptr<ThreadState>> states;
+    return states;
+}
+
+ThreadState &
+threadState()
+{
+    thread_local std::shared_ptr<ThreadState> state = [] {
+        auto s = std::make_shared<ThreadState>();
+        std::lock_guard<std::mutex> lock(g_registry_mu);
+        registry().push_back(s);
+        return s;
+    }();
+    return *state;
+}
+
+PhaseReport
+reportOf(const std::array<Histogram, kNumPhases> &hists)
+{
+    PhaseReport report;
+    for (std::size_t i = 0; i < kNumPhases; ++i)
+        report.phases[i].digest = hists[i].percentileSummary();
+    return report;
+}
+
+} // namespace
+
+std::atomic<bool> PhaseProfiler::enabled_{false};
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::tlb_probe:
+        return "tlb_probe";
+      case Phase::pom_access:
+        return "pom_access";
+      case Phase::page_walk:
+        return "page_walk";
+      case Phase::cache_access:
+        return "cache_access";
+      case Phase::dram:
+        return "dram";
+      case Phase::journal_io:
+        return "journal_io";
+      case Phase::checker:
+        return "checker";
+    }
+    return "?";
+}
+
+void
+PhaseProfiler::enableFromEnv()
+{
+    const char *env = std::getenv("CSALT_SELF_PROFILE");
+    if (env && *env && *env != '0')
+        setEnabled(true);
+}
+
+void
+PhaseProfiler::record(Phase phase, std::uint64_t ns)
+{
+    ThreadState &state = threadState();
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.hists[static_cast<std::size_t>(phase)].record(ns);
+}
+
+PhaseReport
+PhaseProfiler::threadReport()
+{
+    ThreadState &state = threadState();
+    std::lock_guard<std::mutex> lock(state.mu);
+    return reportOf(state.hists);
+}
+
+PhaseReport
+PhaseProfiler::globalReport()
+{
+    std::array<Histogram, kNumPhases> merged;
+    std::lock_guard<std::mutex> lock(g_registry_mu);
+    for (const auto &state : registry()) {
+        std::lock_guard<std::mutex> slock(state->mu);
+        for (std::size_t i = 0; i < kNumPhases; ++i)
+            merged[i].merge(state->hists[i]);
+    }
+    return reportOf(merged);
+}
+
+void
+PhaseProfiler::reset()
+{
+    std::lock_guard<std::mutex> lock(g_registry_mu);
+    for (const auto &state : registry()) {
+        std::lock_guard<std::mutex> slock(state->mu);
+        for (auto &hist : state->hists)
+            hist.clear();
+    }
+}
+
+} // namespace csalt::obs

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * In-simulator self-profiler: where does the *host* wall clock go?
+ *
+ * Scoped RAII timers (CSALT_PROFILE_SCOPE) wrap the simulator's own
+ * hot phases — TLB probe, POM access, page walk, cache access, DRAM,
+ * journal I/O, invariant checking — and aggregate the elapsed
+ * nanoseconds per phase into log2-bucketed obs::Histograms. This is
+ * host time, not simulated time: the CPI stack (obs/cpi_stack.h)
+ * attributes *simulated* cycles; the PhaseProfiler attributes the
+ * simulator's execution time, so "why is this sweep slow" can be
+ * answered before attempting throughput work (ROADMAP "next 10x").
+ *
+ * Aggregation is per-thread (each JobRunner worker accumulates its
+ * own state, so a job's profile covers exactly that job's work) with
+ * an optional global merge across every thread that ever recorded.
+ * Disabled by default: a disarmed scope costs one relaxed atomic load
+ * and a branch, and never touches simulated behavior either way.
+ *
+ * Enabled via PhaseProfiler::setEnabled(true), csalt-sim --profile,
+ * or CSALT_SELF_PROFILE=1. Results surface as the "self_profile"
+ * section of the metrics JSON and the --profile summary table.
+ */
+
+#ifndef CSALT_OBS_PHASE_PROFILER_H
+#define CSALT_OBS_PHASE_PROFILER_H
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "obs/histogram.h"
+
+namespace csalt::obs
+{
+
+/** The instrumented simulator phases (host-time attribution). */
+enum class Phase : std::uint8_t
+{
+    tlb_probe,    //!< TlbHierarchy::lookup
+    pom_access,   //!< MemorySystem::pomLookup
+    page_walk,    //!< PageWalker::walk (native or nested)
+    cache_access, //!< MemorySystem::dataAccess (includes dram)
+    dram,         //!< DramChannel::access
+    journal_io,   //!< harness::Journal::append
+    checker,      //!< check::checkSystem (paranoid mode)
+};
+
+constexpr std::size_t kNumPhases = 7;
+
+/** Stable lowercase phase name ("tlb_probe", ...). */
+const char *phaseName(Phase phase);
+
+/** Per-thread (or merged) profile: one ns-histogram per phase. */
+struct PhaseReport
+{
+    struct Entry
+    {
+        Histogram::Summary digest; //!< per-scope ns distribution
+    };
+    std::array<Entry, kNumPhases> phases{};
+
+    /** Sum of every phase's total ns (phases nest; inclusive). */
+    double totalNs() const
+    {
+        double total = 0.0;
+        for (const auto &p : phases)
+            total += p.digest.sum;
+        return total;
+    }
+};
+
+/**
+ * Global profiler switch + per-thread accumulators. All methods are
+ * static: the profiler is process-wide infrastructure, like the
+ * active EventTracer.
+ */
+class PhaseProfiler
+{
+  public:
+    /** Arm/disarm every CSALT_PROFILE_SCOPE in the process. */
+    static void setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    static bool enabled()
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Honour CSALT_SELF_PROFILE=1 (read once, idempotent). */
+    static void enableFromEnv();
+
+    /** Record one completed scope (called by ScopedPhase). */
+    static void record(Phase phase, std::uint64_t ns);
+
+    /** The calling thread's accumulated profile. */
+    static PhaseReport threadReport();
+
+    /** Merge across every thread that ever recorded. */
+    static PhaseReport globalReport();
+
+    /** Drop all accumulated state (every thread). */
+    static void reset();
+
+  private:
+    static std::atomic<bool> enabled_;
+};
+
+/**
+ * RAII phase scope. Armed state is latched at construction, so
+ * toggling the profiler mid-scope never produces a torn sample.
+ */
+class ScopedPhase
+{
+  public:
+    explicit ScopedPhase(Phase phase)
+        : phase_(phase), armed_(PhaseProfiler::enabled())
+    {
+        if (armed_)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedPhase()
+    {
+        if (!armed_)
+            return;
+        const auto ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        PhaseProfiler::record(phase_,
+                              ns > 0 ? static_cast<std::uint64_t>(ns)
+                                     : 0);
+    }
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    Phase phase_;
+    bool armed_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace csalt::obs
+
+/** Time the rest of the enclosing scope as @p phase. */
+#define CSALT_PROFILE_SCOPE(phase)                                    \
+    ::csalt::obs::ScopedPhase csalt_profile_scope_##phase(            \
+        ::csalt::obs::Phase::phase)
+
+#endif // CSALT_OBS_PHASE_PROFILER_H

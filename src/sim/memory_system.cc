@@ -1,6 +1,7 @@
 #include "sim/memory_system.h"
 
 #include "common/log.h"
+#include "obs/phase_profiler.h"
 #include "obs/stat_registry.h"
 
 namespace csalt
@@ -86,6 +87,7 @@ Cycles
 MemorySystem::dataAccess(unsigned core, Addr hpa, AccessType type,
                          Cycles now, obs::LatencyBreakdown *bd)
 {
+    CSALT_PROFILE_SCOPE(cache_access);
     const LineType lt = map_.classify(hpa);
 
     Cycles lat = l1d_[core]->latency();
@@ -170,6 +172,7 @@ MemorySystem::PomResult
 MemorySystem::pomLookup(unsigned core, Asid asid, Addr gva,
                         PageSizePredictor &predictor, Cycles now)
 {
+    CSALT_PROFILE_SCOPE(pom_access);
     PomResult res;
     ++pom_stats_.lookups;
 

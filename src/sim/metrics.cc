@@ -1,6 +1,7 @@
 #include "sim/metrics.h"
 
 #include "common/stats.h"
+#include "obs/phase_profiler.h"
 #include "sim/system.h"
 
 namespace csalt
@@ -107,6 +108,22 @@ collectMetrics(const System &system)
             continue;
         m.histograms.push_back(
             HistogramMetrics{he.name, he.hist->percentileSummary()});
+    }
+
+    // The calling thread ran the simulation (bench cells are
+    // shared-nothing), so its profiler state is this run's profile —
+    // parallel jobs never bleed into each other's self_profile.
+    if (obs::PhaseProfiler::enabled()) {
+        const obs::PhaseReport report =
+            obs::PhaseProfiler::threadReport();
+        for (std::size_t i = 0; i < obs::kNumPhases; ++i) {
+            const auto &digest = report.phases[i].digest;
+            if (!digest.count)
+                continue;
+            m.self_profile.push_back(PhaseMetrics{
+                obs::phaseName(static_cast<obs::Phase>(i)),
+                digest});
+        }
     }
     return m;
 }

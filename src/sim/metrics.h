@@ -47,6 +47,13 @@ struct HistogramMetrics
     obs::Histogram::Summary digest;
 };
 
+/** Host-time digest of one self-profiler phase (ns per scope). */
+struct PhaseMetrics
+{
+    std::string name; //!< obs::phaseName ("tlb_probe", ...)
+    obs::Histogram::Summary digest;
+};
+
 /** Whole-run summary. */
 struct RunMetrics
 {
@@ -66,6 +73,14 @@ struct RunMetrics
 
     /** Digest of every registered, non-empty latency histogram. */
     std::vector<HistogramMetrics> histograms;
+
+    /**
+     * Host wall-clock attribution per simulator phase (the calling
+     * thread's obs::PhaseProfiler state); empty unless the profiler
+     * is enabled. Host-dependent, so excluded from the resume
+     * journal and from golden comparisons.
+     */
+    std::vector<PhaseMetrics> self_profile;
 
     /** Geometric-mean IPC across cores (paper §4.2 metric). */
     double ipc_geomean = 0.0;

@@ -310,6 +310,7 @@ metricsJson(const std::string &label, const RunMetrics &m)
     std::ostringstream os;
     os << std::setprecision(6);
     os << "{\n";
+    os << "  \"schema_version\": " << kMetricsSchemaVersion << ",\n";
     os << "  \"label\": \"" << label << "\",\n";
     os << "  \"ipc_geomean\": " << m.ipc_geomean << ",\n";
     os << "  \"total_instructions\": " << m.total_instructions
@@ -351,6 +352,25 @@ metricsJson(const std::string &label, const RunMetrics &m)
     writeCpiStackJson(os, "  ", m);
     os << ",\n";
     writeHistogramsJson(os, "  ", m);
+    // Host-time self-profile (obs::PhaseProfiler), present only when
+    // profiling was enabled: host-dependent, so golden comparisons
+    // strip it and the resume journal never carries it.
+    if (!m.self_profile.empty()) {
+        os << ",\n  \"self_profile\": {";
+        for (std::size_t i = 0; i < m.self_profile.size(); ++i) {
+            const auto &p = m.self_profile[i];
+            const auto &d = p.digest;
+            os << (i ? ",\n" : "\n") << "    \""
+               << obs::escapeJson(p.name)
+               << "\": {\"count\": " << d.count << ", \"sum_ns\": ";
+            obs::writeJsonNumber(os, d.sum);
+            os << ", \"mean_ns\": ";
+            obs::writeJsonNumber(os, d.mean);
+            os << ", \"p50\": " << d.p50 << ", \"p99\": " << d.p99
+               << ", \"max\": " << d.max << "}";
+        }
+        os << "\n  }";
+    }
     os << "\n}";
     return os.str();
 }

@@ -17,6 +17,13 @@
 namespace csalt
 {
 
+/**
+ * Version stamped into metricsJson output ("schema_version").
+ * History: 1 = implicit (no field, PRs 1-5); 2 = adds the field
+ * itself and the optional "self_profile" section.
+ */
+constexpr int kMetricsSchemaVersion = 2;
+
 /** Comma-separated header matching metricsCsvRow(). */
 std::string metricsCsvHeader();
 

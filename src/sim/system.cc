@@ -1,9 +1,14 @@
 #include "sim/system.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 
+#include <unistd.h>
+
 #include "check/invariants.h"
+#include "common/atomic_io.h"
 #include "common/log.h"
 #include "common/progress.h"
 
@@ -20,6 +25,13 @@ System::System(const SystemParams &params)
 
 System::~System()
 {
+    if (live_export_) {
+        double end_clock = 0.0;
+        for (const auto &core : cores_)
+            end_clock = std::max(end_clock,
+                                 static_cast<double>(core->clock()));
+        publishLive(end_clock, /*finished=*/true);
+    }
     closeTrace();
 }
 
@@ -72,11 +84,15 @@ System::finalizeStats()
 bool
 System::openTrace(const std::string &path, unsigned categories)
 {
-    auto file = std::make_unique<std::ofstream>(path);
+    // Stream into a tmp sibling; closeTrace() commits it onto the
+    // real path with one atomic rename, so a killed run never leaves
+    // a torn trace where a complete one is expected.
+    auto file = std::make_unique<std::ofstream>(atomicTmpPath(path));
     if (!*file)
         return false;
     closeTrace();
     trace_file_ = std::move(file);
+    trace_path_ = path;
     sampler_.setSink(trace_file_.get());
     tracer_.setSink(trace_file_.get());
     tracer_.setCategories(categories);
@@ -97,19 +113,72 @@ System::setTraceSink(std::ostream *out, unsigned categories)
 }
 
 void
-System::closeTrace()
+System::closeTrace(bool crash_before_rename)
 {
     sampler_.setSink(nullptr);
     tracer_.setSink(nullptr);
     if (obs::activeTracer() == &tracer_)
         obs::setActiveTracer(nullptr);
     trace_file_.reset(); // flushes + closes the file, if any
+    if (trace_path_.empty())
+        return;
+    const std::string path = std::move(trace_path_);
+    trace_path_.clear();
+    if (crash_before_rename)
+        return; // simulated kill: tmp stays, destination untouched
+    if (Status st = commitFileAtomic(path); !st.ok())
+        warn("trace not committed: " + oneLine(st.error()));
+}
+
+void
+System::enableLiveExport(std::string path)
+{
+    live_export_requested_ = true;
+    live_export_path_ = std::move(path);
+}
+
+void
+System::maybeOpenLiveExport()
+{
+    if (live_export_ || live_export_failed_)
+        return;
+    std::string path;
+    if (live_export_requested_) {
+        path = live_export_path_;
+    } else if (!obs::threadLiveExportPath().empty()) {
+        path = obs::threadLiveExportPath();
+    } else if (const char *env = std::getenv("CSALT_LIVE_EXPORT");
+               env && *env && std::strcmp(env, "0") != 0) {
+        if (std::strcmp(env, "1") != 0)
+            path = env;
+    } else {
+        return;
+    }
+    if (path.empty())
+        path = obs::LiveExport::defaultPathFor(
+            static_cast<std::uint64_t>(::getpid()));
+    auto live = obs::LiveExport::create(path, registry_);
+    if (!live.ok()) {
+        // Telemetry must never kill the run it observes.
+        warn("live export disabled: " + oneLine(live.error()));
+        live_export_failed_ = true;
+        return;
+    }
+    live_export_ = live.take();
+}
+
+void
+System::publishLive(double t, bool finished)
+{
+    if (live_export_)
+        live_export_->publish(t, steps_, live_epoch_, finished);
 }
 
 void
 System::run(std::uint64_t instructions_per_core)
 {
     finalizeStats();
+    maybeOpenLiveExport();
 
     std::uint64_t next_occ = steps_ + occupancy_interval_;
     std::uint64_t next_stat = steps_ + stat_sample_interval_;
@@ -170,10 +239,15 @@ System::run(std::uint64_t instructions_per_core)
                 token->tick(kHeartbeatMask + 1);
             if (token && token->cancelled())
                 raiseCancelled();
+            // Liveness between epochs: attached readers see the
+            // heartbeat advance even when sampling is sparse.
+            publishLive(static_cast<double>(next->clock()));
         }
         if (occupancy_interval_ && steps_ >= next_occ) {
             next_occ += occupancy_interval_;
             mem_->sampleOccupancy(static_cast<double>(next->clock()));
+            ++live_epoch_;
+            publishLive(static_cast<double>(next->clock()));
             if (paranoid_) {
                 check::raiseIfViolated(
                     check::checkSystem(*this, check::CheckOptions{}),
@@ -184,9 +258,22 @@ System::run(std::uint64_t instructions_per_core)
             next_stat += stat_sample_interval_;
             sampler_.sample(static_cast<double>(next->clock()),
                             steps_);
+            // Same (t, step) and registry state as the sample just
+            // written: an attached snapshot for this instant is
+            // field-identical to the post-hoc stream.
+            publishLive(static_cast<double>(next->clock()));
         }
         next_event = nextEventAfter(steps_);
     }
+
+    // Final values for this run() call; `finished` stays false so a
+    // follower attached during warmup survives into the measured run.
+    // The destructor publishes the finished marker.
+    double end_clock = 0.0;
+    for (const auto &core : cores_)
+        end_clock = std::max(end_clock,
+                             static_cast<double>(core->clock()));
+    publishLive(end_clock);
 
     if (paranoid_) {
         check::CheckOptions full;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "obs/live_export.h"
 #include "obs/sampler.h"
 #include "obs/stat_registry.h"
 #include "obs/trace_event.h"
@@ -134,10 +135,38 @@ class System
     void setTraceSink(std::ostream *out,
                       unsigned categories = obs::kCatAll);
 
-    /** Flush and detach the trace sink; deactivates the tracer. */
-    void closeTrace();
+    /**
+     * Flush and detach the trace sink; deactivates the tracer. A
+     * file opened by openTrace() streams into a tmp sibling and is
+     * committed (renamed onto the real path) here, so a crash never
+     * leaves a torn trace. Test hook: @p crash_before_rename skips
+     * the commit, simulating a kill after the final flush.
+     */
+    void closeTrace(bool crash_before_rename = false);
+
+    // ---------------------------------------------------- live export
+
+    /**
+     * Publish live snapshots from run() into a shared-memory region
+     * external tools attach to (trace_inspect --attach). Empty
+     * @p path means the conventional per-pid region under /dev/shm.
+     * Also enabled without this call by a harness thread override
+     * (obs::setThreadLiveExportPath) or $CSALT_LIVE_EXPORT (=1 for
+     * the default path, or =<path>). The region file outlives the
+     * system for post-mortem attach.
+     */
+    void enableLiveExport(std::string path = {});
+
+    /** The active live region (null until run() opens it). */
+    const obs::LiveExport *liveExport() const
+    {
+        return live_export_.get();
+    }
 
   private:
+    void maybeOpenLiveExport();
+    void publishLive(double t, bool finished = false);
+
     SystemParams params_;
     obs::StatRegistry registry_;
     std::unique_ptr<MemorySystem> mem_;
@@ -149,9 +178,16 @@ class System
     obs::Sampler sampler_{registry_};
     obs::EventTracer tracer_;
     std::unique_ptr<std::ofstream> trace_file_; //!< owned file sink
+    std::string trace_path_; //!< commit target; stream goes to tmp
     std::uint64_t stat_sample_interval_ = 0;
     std::uint64_t steps_ = 0; //!< lifetime scheduler steps
     bool stats_registered_ = false;
+
+    std::unique_ptr<obs::LiveExport> live_export_;
+    std::string live_export_path_;      //!< explicit override
+    bool live_export_requested_ = false;
+    bool live_export_failed_ = false;   //!< create failed; don't retry
+    std::uint64_t live_epoch_ = 0;      //!< occupancy epochs published
 };
 
 } // namespace csalt

@@ -1,5 +1,6 @@
 #include "tlb/tlb_hierarchy.h"
 
+#include "obs/phase_profiler.h"
 #include "obs/stat_registry.h"
 
 namespace csalt
@@ -14,6 +15,7 @@ TlbHierarchy::TlbHierarchy(const SystemParams &params)
 TlbLookupResult
 TlbHierarchy::lookup(Asid asid, Addr gva)
 {
+    CSALT_PROFILE_SCOPE(tlb_probe);
     TlbLookupResult res;
     const Vpn vpn4k = gva >> kPageShift;
     const Vpn vpn2m = gva >> kHugePageShift;

@@ -1,6 +1,7 @@
 #include "vm/page_walker.h"
 
 #include "common/log.h"
+#include "obs/phase_profiler.h"
 #include "obs/stat_registry.h"
 #include "obs/trace_event.h"
 
@@ -30,6 +31,7 @@ PageWalker::Outcome
 PageWalker::walk(VmContext &ctx, Addr gva, Cycles now,
                  obs::LatencyBreakdown *bd)
 {
+    CSALT_PROFILE_SCOPE(page_walk);
     tracing_refs_ = CSALT_TRACE_ACTIVE(obs::kCatWalk);
     if (tracing_refs_)
         ref_cycles_.clear();

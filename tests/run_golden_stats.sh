@@ -41,6 +41,26 @@ check() {
 
 check csalt_cd_ccomp.json \
     --pair ccomp --scheme csalt-cd --quota 60000 --warmup 20000 --seed 7
+
+# Observability must be free: the same config re-run with the phase
+# profiler armed AND a live-export region attached must produce the
+# exact same simulated results — only the (host-dependent)
+# self_profile section may differ.
+CSALT_SELF_PROFILE=1 CSALT_LIVE_EXPORT="$tmp/golden.live" \
+    "$SIM" --pair ccomp --scheme csalt-cd --quota 60000 \
+    --warmup 20000 --seed 7 --format json > "$tmp/obs_on.json"
+python3 - "$GOLDEN/csalt_cd_ccomp.json" "$tmp/obs_on.json" <<'EOF'
+import json, sys
+plain, obs = (json.load(open(p)) for p in sys.argv[1:3])
+assert obs.pop("self_profile", None), \
+    "CSALT_SELF_PROFILE=1 produced no self_profile section"
+plain.pop("self_profile", None)
+assert plain == obs, \
+    "profiler/live export changed simulated results"
+print("ok: obs-enabled run identical (minus self_profile)")
+EOF
+test -s "$tmp/golden.live" \
+    || { echo "FAIL: no live region written"; exit 1; }
 check pom_gups_pagerank.json \
     --vm gups --vm pagerank --scheme pom --cores 4 --quota 60000 \
     --warmup 20000 --seed 9

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Tool-level contract checks, run as one ctest case:
+#
+#  - trace_inspect exit-code matrix: unreadable, empty, or fully
+#    malformed traces must FAIL (typed error, non-zero exit) instead
+#    of printing empty tables and returning 0; a trace with a bad
+#    tail reports partial data but still exits 1.
+#  - live attach smoke: csalt-sim --live + trace_inspect --attach
+#    against the region (live or post-mortem), table and NDJSON modes.
+#  - bench_report gate: a synthetic regressed results file must trip
+#    the gate (exit 1); a within-threshold file must pass; mismatched
+#    bench metrics and missing files are typed failures.
+#
+# Usage: run_tool_checks.sh <csalt-sim> <trace_inspect> <bench_report>
+set -euo pipefail
+
+SIM="$1"
+INSPECT="$2"
+REPORT="$3"
+
+tmp="$(mktemp -d /tmp/csalt-toolchk-XXXXXX)"
+trap 'rm -rf "$tmp"' EXIT
+
+expect_rc() {
+    local want="$1"
+    shift
+    local rc=0
+    "$@" > "$tmp/last.out" 2> "$tmp/last.err" || rc=$?
+    if [[ "$rc" != "$want" ]]; then
+        echo "FAIL: '$*' exited $rc, want $want"
+        cat "$tmp/last.out" "$tmp/last.err"
+        exit 1
+    fi
+}
+
+echo "== trace_inspect: malformed-input matrix =="
+expect_rc 1 "$INSPECT" "$tmp/does-not-exist.jsonl"
+grep -q 'error\[io\]' "$tmp/last.err" \
+    || { echo "FAIL: missing file not a typed io error"; exit 1; }
+
+: > "$tmp/empty.jsonl"
+expect_rc 1 "$INSPECT" "$tmp/empty.jsonl"
+grep -q 'error\[parse\]' "$tmp/last.err" \
+    || { echo "FAIL: empty trace not a typed parse error"; exit 1; }
+
+printf 'not json\n{"half": \n' > "$tmp/garbage.jsonl"
+expect_rc 1 "$INSPECT" "$tmp/garbage.jsonl"
+grep -q 'error\[parse\]' "$tmp/last.err" \
+    || { echo "FAIL: garbage trace not a typed parse error"; exit 1; }
+
+expect_rc 2 "$INSPECT" --follow-json "$tmp/empty.jsonl"
+
+"$SIM" --vm gups --quota 60000 --warmup 20000 \
+    --trace-out "$tmp/good.jsonl" --format csv > /dev/null
+expect_rc 0 "$INSPECT" "$tmp/good.jsonl"
+
+cp "$tmp/good.jsonl" "$tmp/torn.jsonl"
+printf '{"type":"sample","t":99\n' >> "$tmp/torn.jsonl"
+expect_rc 1 "$INSPECT" "$tmp/torn.jsonl"
+grep -q 'partial data' "$tmp/last.err" \
+    || { echo "FAIL: torn trace did not report partial data"; exit 1; }
+echo "ok: trace_inspect exit codes"
+
+echo "== live attach smoke =="
+region="$tmp/live.region"
+"$SIM" --vm gups --quota 200000 --warmup 0 --live \
+    --live-out "$region" --format csv > /dev/null 2>&1 &
+sim_pid=$!
+expect_rc 0 "$INSPECT" --attach "$region" --samples 3 --interval-ms 20
+grep -q 'attached:' "$tmp/last.out" \
+    || { echo "FAIL: attach printed no header"; exit 1; }
+wait "$sim_pid"
+# Post-mortem: the region outlives the sim with finished=true set.
+expect_rc 0 "$INSPECT" --attach "$region" --follow-json --samples 1
+python3 - "$tmp/last.out" <<'EOF'
+import json, sys
+line = open(sys.argv[1]).readline()
+doc = json.loads(line)
+assert doc["type"] == "live_sample", doc
+assert doc["finished"] is True, "post-mortem snapshot not finished"
+assert doc["values"], "no values in live sample"
+print(f"ok: post-mortem live sample with {len(doc['values'])} values")
+EOF
+echo "ok: live attach"
+
+echo "== bench_report: synthetic regression gate =="
+results() {
+    local maps="$1"
+    printf '{"schema_version":2,"figure":"perf_throughput",'
+    printf '"metric":"maps","quota":1000,"warmup":0,"failed_jobs":0,'
+    printf '"rows":[{"label":"CSALT-CD","values":{"MAPS":%s}}],' "$maps"
+    printf '"geomean":{"MAPS":%s},"wall_clock_s":1.0}\n' "$maps"
+}
+results 100 > "$tmp/base.json"
+results 95 > "$tmp/ok.json"
+results 80 > "$tmp/bad.json"
+
+expect_rc 0 "$REPORT" --baseline "$tmp/base.json" \
+    --threshold 10% "$tmp/ok.json"
+expect_rc 1 "$REPORT" --baseline "$tmp/base.json" \
+    --threshold 10% "$tmp/bad.json"
+grep -q 'REGRESSION' "$tmp/last.out" \
+    || { echo "FAIL: regressed run not flagged"; exit 1; }
+# Lower-is-better flips the gate direction.
+expect_rc 0 "$REPORT" --baseline "$tmp/base.json" \
+    --threshold 10% --lower-is-better "$tmp/bad.json"
+expect_rc 1 "$REPORT" --baseline "$tmp/bad.json" \
+    --threshold 10% --lower-is-better "$tmp/base.json"
+# Mismatched benches and unreadable files are typed failures.
+sed 's/"maps"/"ipc"/' "$tmp/base.json" > "$tmp/other.json"
+expect_rc 1 "$REPORT" --baseline "$tmp/base.json" "$tmp/other.json"
+expect_rc 1 "$REPORT" --baseline "$tmp/missing.json" "$tmp/ok.json"
+printf 'not json\n' > "$tmp/junk.json"
+expect_rc 1 "$REPORT" --baseline "$tmp/base.json" "$tmp/junk.json"
+echo "ok: bench_report gate"
+
+echo "OK"

@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Tests for the live telemetry export (obs/live_export.h): writer/
+ * reader round trip, the seqlock torn-read property under a hammering
+ * writer, CRC rejection of corrupted regions, typed open/read errors,
+ * and the System-level contract that an attached snapshot is
+ * field-identical to the post-hoc sample stream for the same instant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "obs/json.h"
+#include "obs/live_export.h"
+#include "obs/sampler.h"
+#include "obs/stat_registry.h"
+#include "sim/system_builder.h"
+
+using namespace csalt;
+
+namespace
+{
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + "csalt_live_test_" +
+           std::to_string(::getpid()) + "_" + name;
+}
+
+/** Registry of gauges over caller-owned storage. */
+struct TestStats
+{
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint64_t c = 0;
+    obs::StatRegistry registry;
+
+    TestStats()
+    {
+        registry.addCounter("test.a", &a);
+        registry.addCounter("test.b", &b);
+        registry.addCounter("test.c", &c);
+        registry.freeze();
+    }
+};
+
+} // namespace
+
+TEST(LiveExport, RoundTrip)
+{
+    const std::string path = tmpPath("roundtrip");
+    TestStats stats;
+    stats.a = 11;
+    stats.b = 22;
+    stats.c = 33;
+
+    auto live = obs::LiveExport::create(path, stats.registry);
+    ASSERT_TRUE(live.ok()) << oneLine(live.error());
+    live.value()->publish(123.5, 42, 7);
+
+    auto reader = obs::LiveReader::open(path);
+    ASSERT_TRUE(reader.ok()) << oneLine(reader.error());
+    EXPECT_EQ(reader.value().names(),
+              (std::vector<std::string>{"test.a", "test.b",
+                                        "test.c"}));
+
+    auto snap = reader.value().read();
+    ASSERT_TRUE(snap.ok()) << oneLine(snap.error());
+    EXPECT_DOUBLE_EQ(snap.value().t, 123.5);
+    EXPECT_EQ(snap.value().step, 42u);
+    EXPECT_EQ(snap.value().epoch, 7u);
+    EXPECT_EQ(snap.value().publish_count, 1u);
+    EXPECT_EQ(snap.value().pid,
+              static_cast<std::uint32_t>(::getpid()));
+    EXPECT_FALSE(snap.value().finished);
+    EXPECT_GT(snap.value().wall_unix, 0.0);
+    ASSERT_EQ(snap.value().values.size(), 3u);
+    EXPECT_DOUBLE_EQ(snap.value().values[0], 11.0);
+    EXPECT_DOUBLE_EQ(snap.value().values[1], 22.0);
+    EXPECT_DOUBLE_EQ(snap.value().values[2], 33.0);
+
+    // Republish: the reader sees the new payload through the same
+    // mapping.
+    stats.a = 100;
+    live.value()->publish(200.0, 50, 8, /*finished=*/true);
+    snap = reader.value().read();
+    ASSERT_TRUE(snap.ok()) << oneLine(snap.error());
+    EXPECT_DOUBLE_EQ(snap.value().values[0], 100.0);
+    EXPECT_EQ(snap.value().publish_count, 2u);
+    EXPECT_TRUE(snap.value().finished);
+
+    std::remove(path.c_str());
+}
+
+/**
+ * Seqlock property: a reader racing a hammering writer never observes
+ * a torn payload. The writer publishes value tuples derived from one
+ * base (values[i] = base * (i + 1), epoch = base); any snapshot mixing
+ * two publishes violates that relation.
+ */
+TEST(LiveExport, TornReadPropertyUnderHammeringWriter)
+{
+    const std::string path = tmpPath("torn");
+    TestStats stats;
+    auto live = obs::LiveExport::create(path, stats.registry);
+    ASSERT_TRUE(live.ok()) << oneLine(live.error());
+    live.value()->publish(0.0, 0, 0); // valid initial payload
+
+    auto reader = obs::LiveReader::open(path);
+    ASSERT_TRUE(reader.ok()) << oneLine(reader.error());
+
+    constexpr std::uint64_t kIterations = 20'000;
+    std::thread writer([&] {
+        for (std::uint64_t i = 1; i <= kIterations; ++i) {
+            // The registry getters run inside publish() on this
+            // thread, so plain stores are race-free.
+            stats.a = i;
+            stats.b = 2 * i;
+            stats.c = 3 * i;
+            live.value()->publish(static_cast<double>(i), i, i);
+        }
+    });
+
+    std::uint64_t reads = 0, busy = 0;
+    std::uint64_t last_count = 0;
+    while (true) {
+        auto snap = reader.value().read();
+        if (!snap.ok()) {
+            // The only legal failure while the writer lives is
+            // "busy" (kind=cancelled); CRC/parse failures mean a
+            // torn read slipped through the seqlock.
+            ASSERT_EQ(snap.error().kind, ErrorKind::cancelled)
+                << oneLine(snap.error());
+            ++busy;
+            continue;
+        }
+        ++reads;
+        const auto &s = snap.value();
+        ASSERT_EQ(s.values.size(), 3u);
+        const double base = s.values[0];
+        EXPECT_DOUBLE_EQ(s.values[1], 2 * base);
+        EXPECT_DOUBLE_EQ(s.values[2], 3 * base);
+        EXPECT_DOUBLE_EQ(static_cast<double>(s.epoch), base);
+        EXPECT_DOUBLE_EQ(s.t, base);
+        // Heartbeat is monotone.
+        EXPECT_GE(s.publish_count, last_count);
+        last_count = s.publish_count;
+        if (s.epoch == kIterations)
+            break;
+    }
+    writer.join();
+    EXPECT_GT(reads, 0u);
+
+    std::remove(path.c_str());
+}
+
+TEST(LiveExport, CrcRejectsCorruptedRegion)
+{
+    const std::string path = tmpPath("crc");
+    {
+        TestStats stats;
+        stats.a = 1;
+        auto live = obs::LiveExport::create(path, stats.registry);
+        ASSERT_TRUE(live.ok()) << oneLine(live.error());
+        live.value()->publish(1.0, 1, 1);
+    } // writer unmapped; region persists for post-mortem attach
+
+    // Flip one byte of the last payload value without touching seq:
+    // the seqlock reads as stable, so only the CRC can catch it.
+    {
+        std::fstream file(path, std::ios::in | std::ios::out |
+                                    std::ios::binary);
+        ASSERT_TRUE(file);
+        file.seekg(0, std::ios::end);
+        const auto size = file.tellg();
+        file.seekp(size - std::streamoff(1));
+        file.put('\x5a');
+    }
+
+    auto reader = obs::LiveReader::open(path);
+    ASSERT_TRUE(reader.ok()) << oneLine(reader.error());
+    auto snap = reader.value().read();
+    ASSERT_FALSE(snap.ok());
+    EXPECT_EQ(snap.error().kind, ErrorKind::parse);
+    EXPECT_NE(snap.error().message.find("CRC"), std::string::npos);
+
+    std::remove(path.c_str());
+}
+
+TEST(LiveExport, OpenErrorsAreTyped)
+{
+    auto missing = obs::LiveReader::open(tmpPath("does_not_exist"));
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.error().kind, ErrorKind::io);
+
+    // Too short to hold a header.
+    const std::string shorty = tmpPath("short");
+    {
+        std::ofstream out(shorty, std::ios::binary);
+        out << "hello";
+    }
+    auto r1 = obs::LiveReader::open(shorty);
+    ASSERT_FALSE(r1.ok());
+    EXPECT_EQ(r1.error().kind, ErrorKind::parse);
+    std::remove(shorty.c_str());
+
+    // Header-sized garbage: bad magic.
+    const std::string garbage = tmpPath("garbage");
+    {
+        std::ofstream out(garbage, std::ios::binary);
+        out << std::string(256, 'x');
+    }
+    auto r2 = obs::LiveReader::open(garbage);
+    ASSERT_FALSE(r2.ok());
+    EXPECT_EQ(r2.error().kind, ErrorKind::parse);
+    std::remove(garbage.c_str());
+
+    // A truncated real region: header claims more than the file has.
+    const std::string trunc = tmpPath("trunc");
+    {
+        TestStats stats;
+        auto live = obs::LiveExport::create(trunc, stats.registry);
+        ASSERT_TRUE(live.ok()) << oneLine(live.error());
+        live.value()->publish(1.0, 1, 1);
+    }
+    std::string bytes;
+    {
+        std::ifstream in(trunc, std::ios::binary);
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        bytes = buffer.str();
+    }
+    {
+        std::ofstream out(trunc, std::ios::binary | std::ios::trunc);
+        out << bytes.substr(0, bytes.size() - 8);
+    }
+    auto r3 = obs::LiveReader::open(trunc);
+    ASSERT_FALSE(r3.ok());
+    EXPECT_EQ(r3.error().kind, ErrorKind::parse);
+    std::remove(trunc.c_str());
+}
+
+namespace
+{
+
+BuildSpec
+tinySpec()
+{
+    BuildSpec spec;
+    applyCsaltCD(spec.params);
+    spec.params.num_cores = 2;
+    spec.params.cs_interval = 20'000;
+    spec.params.seed = 5;
+    spec.vm_workloads = {"canneal", "ccomp"};
+    spec.workload_scale = 0.01;
+    return spec;
+}
+
+} // namespace
+
+/**
+ * End-to-end System contract: an attached reader sees the running
+ * registry exactly, and the destructor's final publish flips the
+ * finished flag in the persisted region.
+ */
+TEST(LiveExport, SystemPublishesAndFinishes)
+{
+    const std::string path = tmpPath("system");
+    {
+        auto system = buildSystem(tinySpec());
+        system->enableLiveExport(path);
+        system->run(60'000);
+
+        ASSERT_NE(system->liveExport(), nullptr);
+        EXPECT_GT(system->liveExport()->publishCount(), 1u);
+
+        auto reader = obs::LiveReader::open(path);
+        ASSERT_TRUE(reader.ok()) << oneLine(reader.error());
+        auto snap = reader.value().read();
+        ASSERT_TRUE(snap.ok()) << oneLine(snap.error());
+        EXPECT_FALSE(snap.value().finished);
+        EXPECT_GT(snap.value().step, 0u);
+
+        // Attach equality: every exported value is exactly the
+        // registry's current value — the same numbers collectMetrics
+        // and the metrics JSON derive from.
+        const auto &names = reader.value().names();
+        const auto &registry = system->statRegistry();
+        ASSERT_EQ(names.size(), registry.size());
+        for (std::size_t i = 0; i < names.size(); ++i)
+            EXPECT_DOUBLE_EQ(snap.value().values[i],
+                             registry.valueOf(names[i]))
+                << names[i];
+    }
+
+    // Post-mortem attach after the System died.
+    auto reader = obs::LiveReader::open(path);
+    ASSERT_TRUE(reader.ok()) << oneLine(reader.error());
+    auto snap = reader.value().read();
+    ASSERT_TRUE(snap.ok()) << oneLine(snap.error());
+    EXPECT_TRUE(snap.value().finished);
+
+    std::remove(path.c_str());
+}
+
+/**
+ * Field identity between the attach path and the post-hoc stream:
+ * one sampler JSONL record and one live publish taken at the same
+ * instant carry identical (t, step) and identical values per name.
+ * System::run emits exactly this pair back-to-back at every sample
+ * boundary.
+ */
+TEST(LiveExport, AttachSnapshotMatchesSampleStream)
+{
+    const std::string path = tmpPath("identity");
+    auto system = buildSystem(tinySpec());
+    system->run(60'000); // populate every counter
+
+    std::ostringstream stream;
+    obs::Sampler sampler(system->statRegistry());
+    sampler.setSink(&stream);
+
+    auto live =
+        obs::LiveExport::create(path, system->statRegistry());
+    ASSERT_TRUE(live.ok()) << oneLine(live.error());
+
+    sampler.sample(4242.0, 999);
+    live.value()->publish(4242.0, 999, 3);
+
+    auto reader = obs::LiveReader::open(path);
+    ASSERT_TRUE(reader.ok()) << oneLine(reader.error());
+    auto snap = reader.value().read();
+    ASSERT_TRUE(snap.ok()) << oneLine(snap.error());
+
+    std::string err;
+    auto doc = obs::parseJson(stream.str(), &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+    EXPECT_DOUBLE_EQ(doc->numberOr("t", -1.0), snap.value().t);
+    EXPECT_DOUBLE_EQ(doc->numberOr("step", -1.0),
+                     static_cast<double>(snap.value().step));
+
+    const obs::JsonValue *values = doc->find("values");
+    ASSERT_NE(values, nullptr);
+    const auto &names = reader.value().names();
+    ASSERT_EQ(values->obj.size(), names.size());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        EXPECT_EQ(values->obj[i].first, names[i]);
+        EXPECT_DOUBLE_EQ(values->obj[i].second.num_v,
+                         snap.value().values[i])
+            << names[i];
+    }
+
+    std::remove(path.c_str());
+}
+
+/** The thread-local path override the JobRunner installs. */
+TEST(LiveExport, ThreadPathOverrideOpensRegion)
+{
+    const std::string path = tmpPath("tls");
+    obs::setThreadLiveExportPath(path);
+    {
+        auto system = buildSystem(tinySpec());
+        system->run(30'000);
+        ASSERT_NE(system->liveExport(), nullptr);
+        EXPECT_EQ(system->liveExport()->path(), path);
+    }
+    obs::setThreadLiveExportPath({});
+
+    auto reader = obs::LiveReader::open(path);
+    ASSERT_TRUE(reader.ok()) << oneLine(reader.error());
+    std::remove(path.c_str());
+}

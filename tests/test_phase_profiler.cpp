@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the in-simulator self-profiler (obs/phase_profiler.h):
+ * disarmed scopes record nothing, armed scopes land in the right
+ * phase, per-thread reports stay isolated while the global report
+ * merges, and an instrumented System run surfaces a self_profile
+ * section in its metrics without perturbing simulated results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/phase_profiler.h"
+#include "sim/metrics.h"
+#include "sim/metrics_io.h"
+#include "sim/system_builder.h"
+
+using namespace csalt;
+
+namespace
+{
+
+/** Each test starts from a clean, disarmed profiler. */
+class PhaseProfilerTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        obs::PhaseProfiler::setEnabled(false);
+        obs::PhaseProfiler::reset();
+    }
+    void TearDown() override
+    {
+        obs::PhaseProfiler::setEnabled(false);
+        obs::PhaseProfiler::reset();
+    }
+};
+
+BuildSpec
+tinySpec()
+{
+    BuildSpec spec;
+    applyCsaltCD(spec.params);
+    spec.params.num_cores = 2;
+    spec.params.cs_interval = 20'000;
+    spec.params.seed = 5;
+    spec.vm_workloads = {"canneal", "ccomp"};
+    spec.workload_scale = 0.01;
+    return spec;
+}
+
+} // namespace
+
+TEST_F(PhaseProfilerTest, DisarmedScopesRecordNothing)
+{
+    {
+        CSALT_PROFILE_SCOPE(tlb_probe);
+        CSALT_PROFILE_SCOPE(dram);
+    }
+    const auto report = obs::PhaseProfiler::threadReport();
+    EXPECT_EQ(report.totalNs(), 0.0);
+    for (const auto &entry : report.phases)
+        EXPECT_EQ(entry.digest.count, 0u);
+}
+
+TEST_F(PhaseProfilerTest, ArmedScopeLandsInItsPhase)
+{
+    obs::PhaseProfiler::setEnabled(true);
+    for (int i = 0; i < 10; ++i) {
+        CSALT_PROFILE_SCOPE(page_walk);
+    }
+    {
+        CSALT_PROFILE_SCOPE(dram);
+    }
+    const auto report = obs::PhaseProfiler::threadReport();
+    const auto &walk = report.phases[static_cast<std::size_t>(
+        obs::Phase::page_walk)];
+    const auto &dram =
+        report.phases[static_cast<std::size_t>(obs::Phase::dram)];
+    const auto &tlb = report.phases[static_cast<std::size_t>(
+        obs::Phase::tlb_probe)];
+    EXPECT_EQ(walk.digest.count, 10u);
+    EXPECT_EQ(dram.digest.count, 1u);
+    EXPECT_EQ(tlb.digest.count, 0u);
+}
+
+TEST_F(PhaseProfilerTest, PhaseNamesAreStable)
+{
+    EXPECT_STREQ(obs::phaseName(obs::Phase::tlb_probe), "tlb_probe");
+    EXPECT_STREQ(obs::phaseName(obs::Phase::pom_access),
+                 "pom_access");
+    EXPECT_STREQ(obs::phaseName(obs::Phase::page_walk), "page_walk");
+    EXPECT_STREQ(obs::phaseName(obs::Phase::cache_access),
+                 "cache_access");
+    EXPECT_STREQ(obs::phaseName(obs::Phase::dram), "dram");
+    EXPECT_STREQ(obs::phaseName(obs::Phase::journal_io),
+                 "journal_io");
+    EXPECT_STREQ(obs::phaseName(obs::Phase::checker), "checker");
+}
+
+TEST_F(PhaseProfilerTest, ThreadReportsAreIsolatedGlobalMerges)
+{
+    obs::PhaseProfiler::setEnabled(true);
+    {
+        CSALT_PROFILE_SCOPE(tlb_probe);
+    }
+    std::thread other([] {
+        for (int i = 0; i < 5; ++i) {
+            CSALT_PROFILE_SCOPE(dram);
+        }
+        const auto mine = obs::PhaseProfiler::threadReport();
+        EXPECT_EQ(mine.phases[static_cast<std::size_t>(
+                                  obs::Phase::dram)]
+                      .digest.count,
+                  5u);
+        // The main thread's tlb_probe scope is invisible here.
+        EXPECT_EQ(mine.phases[static_cast<std::size_t>(
+                                  obs::Phase::tlb_probe)]
+                      .digest.count,
+                  0u);
+    });
+    other.join();
+
+    // The global merge sees both threads — including the exited one.
+    const auto merged = obs::PhaseProfiler::globalReport();
+    EXPECT_EQ(merged.phases[static_cast<std::size_t>(
+                                obs::Phase::tlb_probe)]
+                  .digest.count,
+              1u);
+    EXPECT_EQ(
+        merged.phases[static_cast<std::size_t>(obs::Phase::dram)]
+            .digest.count,
+        5u);
+}
+
+TEST_F(PhaseProfilerTest, InstrumentedRunFillsSelfProfile)
+{
+    obs::PhaseProfiler::setEnabled(true);
+    auto system = buildSystem(tinySpec());
+    system->run(60'000);
+    const RunMetrics metrics = collectMetrics(*system);
+
+    ASSERT_FALSE(metrics.self_profile.empty());
+    double total = 0.0;
+    bool saw_tlb = false;
+    for (const auto &phase : metrics.self_profile) {
+        EXPECT_GT(phase.digest.count, 0u) << phase.name;
+        total += phase.digest.sum;
+        saw_tlb = saw_tlb || phase.name == "tlb_probe";
+    }
+    EXPECT_GT(total, 0.0);
+    EXPECT_TRUE(saw_tlb);
+
+    // The section reaches the metrics JSON...
+    const std::string json = metricsJson("profiled", metrics);
+    EXPECT_NE(json.find("\"self_profile\""), std::string::npos);
+    EXPECT_NE(json.find("\"tlb_probe\""), std::string::npos);
+    // ...but never the resume journal (host time is not replayable).
+    EXPECT_EQ(metricsJournalJson(metrics).find("self_profile"),
+              std::string::npos);
+}
+
+TEST_F(PhaseProfilerTest, ProfilingNeverChangesSimulatedResults)
+{
+    auto plain = buildSystem(tinySpec());
+    plain->run(60'000);
+    const RunMetrics base = collectMetrics(*plain);
+
+    obs::PhaseProfiler::setEnabled(true);
+    auto profiled = buildSystem(tinySpec());
+    profiled->run(60'000);
+    const RunMetrics prof = collectMetrics(*profiled);
+    obs::PhaseProfiler::setEnabled(false);
+
+    // Identical simulated behavior: the journal encoding is
+    // bit-exact and excludes host-time fields.
+    EXPECT_EQ(metricsJournalJson(base), metricsJournalJson(prof));
+    EXPECT_TRUE(base.self_profile.empty());
+    EXPECT_FALSE(prof.self_profile.empty());
+}

@@ -11,8 +11,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
+#include "common/atomic_io.h"
 #include "common/error.h"
 #include "sim/metrics.h"
 #include "sim/system_builder.h"
@@ -227,6 +231,43 @@ TEST(SystemIntegration, SeedChangesOutcome)
     b->run(kQuota);
     EXPECT_NE(collectMetrics(*a).l2_tlb_misses,
               collectMetrics(*b).l2_tlb_misses);
+}
+
+TEST(SystemIntegration, TraceStreamsToTmpAndCommitsAtomically)
+{
+    const std::string path =
+        testing::TempDir() + "trace_commit_test.jsonl";
+    const std::string tmp = atomicTmpPath(path);
+    std::remove(path.c_str());
+    std::remove(tmp.c_str());
+
+    // Crash before the rename: the destination must stay absent (a
+    // downstream reader never sees a torn trace), only the tmp
+    // sibling holds the partial stream.
+    {
+        auto system = buildSystem(tinySpec(applyPomTlb));
+        ASSERT_TRUE(system->openTrace(path));
+        system->run(kQuota / 2);
+        system->closeTrace(/*crash_before_rename=*/true);
+    }
+    EXPECT_FALSE(std::ifstream(path).good());
+    EXPECT_TRUE(std::ifstream(tmp).good());
+    std::remove(tmp.c_str());
+
+    // The normal path (destructor-driven closeTrace) commits: the
+    // destination exists, is non-empty JSONL, and the tmp is gone.
+    {
+        auto system = buildSystem(tinySpec(applyPomTlb));
+        ASSERT_TRUE(system->openTrace(path));
+        system->run(kQuota / 2);
+    }
+    std::ifstream committed(path);
+    ASSERT_TRUE(committed.good());
+    std::string first_line;
+    ASSERT_TRUE(std::getline(committed, first_line));
+    EXPECT_EQ(first_line.front(), '{');
+    EXPECT_FALSE(std::ifstream(tmp).good());
+    std::remove(path.c_str());
 }
 
 TEST(SystemIntegration, EmptyWorkloadListIsTypedBuildError)

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * bench_report: the perf-trajectory regression gate.
+ *
+ * Compares a fresh bench results file (the ResultsJson schema that
+ * perf_throughput and the fig benches write) against the committed
+ * baseline and prints per-config deltas:
+ *
+ *   bench_report fresh.json                      # vs BENCH_results.json
+ *   bench_report --baseline old.json fresh.json
+ *   bench_report --threshold 25% fresh.json      # gate at -25%
+ *
+ * The metric is treated as higher-is-better (MAPS, IPC, hit rates —
+ * everything the benches emit); pass --lower-is-better for latency
+ * metrics. Exit status: 0 when every shared config is within the
+ * threshold, 1 when any config regressed past it (the gate), and the
+ * usual fatal() path (exit 1, typed diagnostics) for unreadable or
+ * malformed inputs. Configs present on only one side are reported but
+ * never gate — a new scheme must not fail the check that would let it
+ * land.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/table.h"
+#include "obs/json.h"
+
+using namespace csalt;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--baseline FILE] [--threshold PCT[%%]] "
+                 "[--lower-is-better] FRESH.json\n"
+                 "  compares FRESH.json (ResultsJson schema) against "
+                 "the committed baseline\n"
+                 "  (default BENCH_results.json) and exits 1 when any "
+                 "shared config regressed\n"
+                 "  more than PCT%% (default 10)\n",
+                 argv0);
+    std::exit(2);
+}
+
+/** One flattened (row label, scheme) cell. */
+struct Cell
+{
+    std::string config; //!< "<label>/<scheme>" or "geomean/<scheme>"
+    double value = 0.0;
+};
+
+struct Results
+{
+    std::string figure;
+    std::string metric;
+    double schema_version = 0.0;
+    std::vector<Cell> cells;
+};
+
+Results
+loadResults(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        fatal(makeError(ErrorKind::io, "cannot open results file",
+                        path,
+                        "run the bench first, or pass --baseline"));
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    std::string err;
+    const auto doc = obs::parseJson(text, &err);
+    if (!doc || !doc->isObject()) {
+        fatal(makeError(ErrorKind::parse,
+                        "not a bench results object: " + err, path,
+                        "expected the ResultsJson schema written by "
+                        "the bench binaries"));
+    }
+    Results r;
+    r.figure = doc->stringOr("figure", "");
+    r.metric = doc->stringOr("metric", "");
+    r.schema_version = doc->numberOr("schema_version", 1.0);
+
+    const obs::JsonValue *rows = doc->find("rows");
+    if (!rows || !rows->isArray()) {
+        fatal(makeError(ErrorKind::parse,
+                        "results object has no rows array", path,
+                        "file truncated or from an incompatible "
+                        "bench build"));
+    }
+    for (const auto &row : rows->arr) {
+        const std::string label = row.stringOr("label", "?");
+        const obs::JsonValue *values = row.find("values");
+        if (!values || !values->isObject())
+            continue;
+        for (const auto &[scheme, v] : values->obj)
+            if (v.isNumber())
+                r.cells.push_back({label + "/" + scheme, v.num_v});
+    }
+    if (const obs::JsonValue *gm = doc->find("geomean");
+        gm && gm->isObject()) {
+        for (const auto &[scheme, v] : gm->obj)
+            if (v.isNumber())
+                r.cells.push_back({"geomean/" + scheme, v.num_v});
+    }
+    if (r.cells.empty()) {
+        fatal(makeError(ErrorKind::parse,
+                        "results object has no numeric cells", path,
+                        "file truncated or from an incompatible "
+                        "bench build"));
+    }
+    return r;
+}
+
+const Cell *
+findCell(const Results &r, const std::string &config)
+{
+    for (const Cell &c : r.cells)
+        if (c.config == config)
+            return &c;
+    return nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string baseline_path = "BENCH_results.json";
+    std::string fresh_path;
+    double threshold_pct = 10.0;
+    bool lower_is_better = false;
+
+    auto next_arg = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--baseline")
+            baseline_path = next_arg(i);
+        else if (arg == "--threshold") {
+            std::string pct = next_arg(i);
+            if (!pct.empty() && pct.back() == '%')
+                pct.pop_back();
+            char *end = nullptr;
+            threshold_pct = std::strtod(pct.c_str(), &end);
+            if (!end || *end || threshold_pct < 0.0) {
+                fatal(makeError(ErrorKind::usage,
+                                "bad --threshold value", pct,
+                                "pass a percentage like 10 or 25%"));
+            }
+        } else if (arg == "--lower-is-better")
+            lower_is_better = true;
+        else if (arg == "--help" || arg == "-h")
+            usage(argv[0]);
+        else if (!arg.empty() && arg[0] == '-')
+            usage(argv[0]);
+        else if (fresh_path.empty())
+            fresh_path = arg;
+        else
+            usage(argv[0]);
+    }
+    if (fresh_path.empty())
+        usage(argv[0]);
+
+    const Results base = loadResults(baseline_path);
+    const Results fresh = loadResults(fresh_path);
+
+    if (base.figure != fresh.figure || base.metric != fresh.metric) {
+        fatal(makeError(
+            ErrorKind::usage,
+            "baseline is " + base.figure + "/" + base.metric +
+                " but fresh run is " + fresh.figure + "/" +
+                fresh.metric,
+            fresh_path,
+            "compare results files from the same bench binary"));
+    }
+
+    std::printf("== bench_report: %s (%s, %s-is-better, "
+                "threshold %.3g%%) ==\n",
+                base.figure.c_str(), base.metric.c_str(),
+                lower_is_better ? "lower" : "higher", threshold_pct);
+    std::printf("baseline %s (schema v%g)  vs  fresh %s (schema "
+                "v%g)\n\n",
+                baseline_path.c_str(), base.schema_version,
+                fresh_path.c_str(), fresh.schema_version);
+
+    TextTable table(
+        {"config", "baseline", "fresh", "delta%", "status"});
+    std::vector<std::string> regressed;
+    std::size_t compared = 0, only_base = 0, only_fresh = 0;
+
+    for (const Cell &b : base.cells) {
+        const Cell *f = findCell(fresh, b.config);
+        if (!f) {
+            table.row()
+                .add(b.config)
+                .add(b.value, 3)
+                .add("-")
+                .add("-")
+                .add("baseline-only");
+            ++only_base;
+            continue;
+        }
+        ++compared;
+        const double delta_pct =
+            b.value != 0.0
+                ? 100.0 * (f->value - b.value) / std::fabs(b.value)
+                : (f->value == 0.0 ? 0.0 : 100.0);
+        const double harm =
+            lower_is_better ? delta_pct : -delta_pct;
+        const bool bad = harm > threshold_pct;
+        if (bad)
+            regressed.push_back(b.config);
+        table.row()
+            .add(b.config)
+            .add(b.value, 3)
+            .add(f->value, 3)
+            .add(delta_pct, 2)
+            .add(bad ? "REGRESSED"
+                     : (harm < -threshold_pct ? "improved" : "ok"));
+    }
+    for (const Cell &f : fresh.cells) {
+        if (findCell(base, f.config))
+            continue;
+        table.row()
+            .add(f.config)
+            .add("-")
+            .add(f.value, 3)
+            .add("-")
+            .add("new");
+        ++only_fresh;
+    }
+    table.print();
+
+    std::printf("\n%zu configs compared, %zu baseline-only, %zu "
+                "new\n",
+                compared, only_base, only_fresh);
+    if (compared == 0) {
+        fatal(makeError(ErrorKind::config,
+                        "baseline and fresh run share no configs",
+                        fresh_path,
+                        "regenerate the baseline from this bench"));
+    }
+    if (!regressed.empty()) {
+        std::printf("REGRESSION: %zu config(s) worse than the "
+                    "baseline by more than %.3g%%:\n",
+                    regressed.size(), threshold_pct);
+        for (const std::string &config : regressed)
+            std::printf("  %s\n", config.c_str());
+        return 1;
+    }
+    std::printf("within threshold: no perf regression detected\n");
+    return 0;
+}

@@ -32,6 +32,16 @@
  *                        (default 8192 when tracing, else off)
  *   --trace-events LIST  comma list of event categories to record:
  *                        cs,epoch,walk | all | none  (default: all)
+ *   --live               publish live snapshots to the conventional
+ *                        per-pid region under /dev/shm; attach with
+ *                        `trace_inspect --attach <pid|path>` (also
+ *                        enabled by CSALT_LIVE_EXPORT=1|PATH)
+ *   --live-out PATH      like --live, to an explicit region path
+ *   --profile            arm the in-sim phase profiler (host-time
+ *                        RAII scopes; also CSALT_SELF_PROFILE=1) and
+ *                        print the self-profile summary table; the
+ *                        digests also land in --format json as the
+ *                        "self_profile" section
  *   --paranoid           run the invariant self-checks at every
  *                        occupancy epoch and at end of run (also
  *                        enabled by CSALT_PARANOID=1); any violation
@@ -53,10 +63,14 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "check/fault_injector.h"
 #include "common/error.h"
 #include "common/log.h"
 #include "common/table.h"
+#include "obs/live_export.h"
+#include "obs/phase_profiler.h"
 #include "obs/trace_event.h"
 #include "sim/metrics_io.h"
 #include "sim/system_builder.h"
@@ -78,6 +92,7 @@ usage(const char *argv0)
                  "[--cpi-stack] [--histograms] "
                  "[--trace-out FILE] [--sample-interval N] "
                  "[--trace-events cs,epoch,walk|all|none] "
+                 "[--live] [--live-out PATH] [--profile] "
                  "[--paranoid] [--inject FAULT] [--inject-seed N]\n",
                  argv0);
     std::exit(2);
@@ -200,6 +215,38 @@ printHistograms(const RunMetrics &m)
     table.print();
 }
 
+/** The --profile summary: host ns per instrumented phase. */
+void
+printSelfProfile(const RunMetrics &m)
+{
+    std::printf("\nSelf-profile (host time per simulator phase)\n");
+    if (m.self_profile.empty()) {
+        std::printf("(no scopes recorded — profiler disarmed or "
+                    "phases never ran)\n");
+        return;
+    }
+    double total_ns = 0.0;
+    for (const auto &p : m.self_profile)
+        total_ns += p.digest.sum;
+    TextTable table({"phase", "scopes", "total ms", "share%",
+                     "mean ns", "p50", "p99", "max"});
+    for (const auto &p : m.self_profile) {
+        const auto &d = p.digest;
+        table.row()
+            .add(p.name)
+            .add(d.count)
+            .add(d.sum / 1e6, 2)
+            .add(total_ns > 0.0 ? 100.0 * d.sum / total_ns : 0.0, 1)
+            .add(d.mean, 0)
+            .add(d.p50)
+            .add(d.p99)
+            .add(d.max);
+    }
+    table.print();
+    std::printf("(phases nest: cache_access includes dram, "
+                "page_walk includes its memory refs)\n");
+}
+
 void
 applyScheme(SystemParams &params, const std::string &scheme)
 {
@@ -236,6 +283,9 @@ main(int argc, char **argv)
     bool show_cpi_stack = false;
     bool show_histograms = false;
     bool paranoid = false;
+    bool live = false;
+    std::string live_out;
+    bool profile = false;
     std::string inject_name;
     std::uint64_t inject_seed = 1;
 
@@ -289,6 +339,13 @@ main(int argc, char **argv)
             sample_interval_set = true;
         } else if (arg == "--trace-events") {
             trace_cats = obs::parseEventCats(next_arg(i));
+        } else if (arg == "--live") {
+            live = true;
+        } else if (arg == "--live-out") {
+            live_out = next_arg(i);
+            live = true;
+        } else if (arg == "--profile") {
+            profile = true;
         } else if (arg == "--paranoid") {
             paranoid = true;
         } else if (arg == "--inject") {
@@ -316,6 +373,19 @@ main(int argc, char **argv)
         auto system = buildSystem(spec);
         if (paranoid || !inject_name.empty())
             system->setParanoid(true);
+        if (profile)
+            obs::PhaseProfiler::setEnabled(true);
+        obs::PhaseProfiler::enableFromEnv();
+        if (live) {
+            system->enableLiveExport(live_out);
+            std::fprintf(
+                stderr, "live region: %s\n",
+                live_out.empty()
+                    ? obs::LiveExport::defaultPathFor(
+                          static_cast<std::uint64_t>(::getpid()))
+                          .c_str()
+                    : live_out.c_str());
+        }
         if (warmup) {
             system->run(warmup);
             system->clearAllStats();
@@ -386,5 +456,7 @@ main(int argc, char **argv)
         printCpiStack(m);
     if (show_histograms)
         printHistograms(m);
+    if (profile && format != "json")
+        printSelfProfile(m);
     return 0;
 }

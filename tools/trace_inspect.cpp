@@ -1,13 +1,33 @@
 /**
  * @file
- * trace_inspect: offline reader for csalt-sim telemetry traces
- * (--trace-out JSONL files; schema in docs/observability.md).
+ * trace_inspect: reader for csalt-sim telemetry — offline JSONL
+ * traces (--trace-out files; schema in docs/observability.md) and
+ * live attach against a *running* simulation.
  *
  *   trace_inspect run.jsonl                # tables on stdout
  *   trace_inspect --top 10 run.jsonl       # widen the worst-epoch list
  *   trace_inspect --label ctrl.l3 run.jsonl
  *   trace_inspect --cpi run.jsonl          # CPI stacks over time
  *   trace_inspect --chrome out.json run.jsonl
+ *
+ *   trace_inspect --attach <pid|path>      # follow a live sim
+ *   trace_inspect --attach <pid> --follow-json   # NDJSON stream
+ *   trace_inspect --attach <pid> --samples 5 --interval-ms 100
+ *
+ * Attach maps the sim's shared-memory live region (obs::LiveExport;
+ * a PID resolves to the conventional /dev/shm path) read-only and
+ * prints one row per new publish: heartbeat, simulated time, epoch,
+ * instruction count, cumulative and per-window L2 TLB MPKI, and the
+ * current partition state (every *.data_ways gauge), with a
+ * worst-window summary on exit. --follow-json instead streams one
+ * NDJSON object per publish ({"type":"live_sample",...,"values":
+ * {...}}) for external consumers. Detaches when the sim publishes
+ * its finished marker, after --samples N rows, or on ^C.
+ *
+ * Exit status: 0 clean; 1 on malformed input (any skipped trace
+ * line, a corrupt live region, or a writer that died mid-publish);
+ * 2 on usage errors. A trace with *no* valid record is always an
+ * error — truncated or unreadable files no longer pass silently.
  *
  * Prints, per partition-controller label:
  *  - a per-epoch table (way split, criticality weights, and the L2
@@ -29,13 +49,17 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "common/error.h"
 #include "common/log.h"
 #include "common/table.h"
 #include "obs/json.h"
+#include "obs/live_export.h"
 
 using namespace csalt;
 
@@ -47,8 +71,10 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--top K] [--label L] [--cpi] "
-                 "[--chrome OUT] FILE.jsonl\n",
-                 argv0);
+                 "[--chrome OUT] FILE.jsonl\n"
+                 "       %s --attach PID|PATH [--follow-json] "
+                 "[--samples N] [--interval-ms N]\n",
+                 argv0, argv0);
     std::exit(2);
 }
 
@@ -191,6 +217,184 @@ cumulativeAt(const std::vector<SampleRow> &samples, double at)
     return {lo->instructions, lo->l2tlb_misses};
 }
 
+// ------------------------------------------------------ live attach
+
+/** Sum of the values at @p idxs in a snapshot. */
+double
+sumAt(const std::vector<double> &values,
+      const std::vector<std::size_t> &idxs)
+{
+    double sum = 0.0;
+    for (std::size_t i : idxs)
+        sum += values[i];
+    return sum;
+}
+
+/**
+ * Follow a live region until the sim finishes (or @p max_samples
+ * rows). Returns the process exit code.
+ */
+int
+runAttach(const std::string &target, bool follow_json,
+          unsigned interval_ms, std::uint64_t max_samples)
+{
+    // A bare PID names the conventional region of that process.
+    std::string path = target;
+    if (!target.empty() &&
+        target.find_first_not_of("0123456789") == std::string::npos)
+        path = obs::LiveExport::defaultPathFor(std::atoi(target.c_str()));
+
+    // The writer creates the region a moment after startup; retry
+    // briefly so `csalt-sim ... & trace_inspect --attach $!` works.
+    Expected<obs::LiveReader> reader =
+        makeError(ErrorKind::io, "unreachable");
+    for (int tries = 0; tries < 50; ++tries) {
+        reader = obs::LiveReader::open(path);
+        if (reader.ok())
+            break;
+        usleep(100'000);
+    }
+    if (!reader.ok())
+        fatal(makeError(reader.error().kind,
+                        "cannot attach to live region: " +
+                            reader.error().message,
+                        path,
+                        "is the sim running with --live (or "
+                        "CSALT_LIVE_EXPORT=1)?"));
+    obs::LiveReader live = reader.take();
+
+    // Index the stat names once: they are frozen for the region's
+    // lifetime.
+    std::vector<std::size_t> instr_idx, miss_idx, ways_idx;
+    std::vector<std::string> ways_names;
+    const std::vector<std::string> &names = live.names();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string &n = names[i];
+        if (startsWith(n, "core") && endsWith(n, ".instructions") &&
+            n.find(".vm") == std::string::npos)
+            instr_idx.push_back(i);
+        else if (startsWith(n, "core") && endsWith(n, ".l2tlb.misses"))
+            miss_idx.push_back(i);
+        else if (endsWith(n, ".data_ways")) {
+            ways_idx.push_back(i);
+            ways_names.push_back(n.substr(0, n.size() -
+                                                 strlen(".data_ways")));
+        }
+    }
+
+    if (!follow_json) {
+        std::printf("attached: %s (%zu stats", path.c_str(),
+                    names.size());
+        for (std::size_t k = 0; k < ways_names.size(); ++k)
+            std::printf("%s%s", k ? ", " : "; partitions: ",
+                        ways_names[k].c_str());
+        std::printf(")\n%10s %14s %14s %7s %12s %10s %10s  %s\n",
+                    "hb", "t", "step", "epoch", "Minstr",
+                    "mpki_cum", "mpki_win", "data_ways");
+    }
+
+    std::uint64_t last_pc = 0, printed = 0, stuck = 0;
+    double prev_instr = 0.0, prev_miss = 0.0;
+    bool have_prev = false;
+    double worst_win = -1.0, worst_t = 0.0;
+    std::uint64_t worst_epoch = 0;
+
+    for (;;) {
+        auto snap = live.read();
+        if (!snap.ok()) {
+            if (snap.error().kind == ErrorKind::cancelled) {
+                // Writer mid-publish; transient unless it died there.
+                if (++stuck >= 100) {
+                    warn("live region stuck mid-publish (writer "
+                         "died?): " + snap.error().message);
+                    return 1;
+                }
+                usleep(interval_ms * 1000);
+                continue;
+            }
+            fatal(makeError(snap.error().kind,
+                            "live region unreadable: " +
+                                snap.error().message,
+                            path));
+        }
+        stuck = 0;
+        const obs::LiveSnapshot &s = snap.value();
+        if (printed != 0 && s.publish_count == last_pc) {
+            if (s.finished)
+                break; // saw the final publish already
+            usleep(interval_ms * 1000);
+            continue;
+        }
+        last_pc = s.publish_count;
+
+        const double instr = sumAt(s.values, instr_idx);
+        const double miss = sumAt(s.values, miss_idx);
+        const double mpki_cum =
+            instr > 0.0 ? miss / (instr / 1000.0) : 0.0;
+        const double d_instr = have_prev ? instr - prev_instr : instr;
+        const double d_miss = have_prev ? miss - prev_miss : miss;
+        const double mpki_win =
+            d_instr > 0.0 ? d_miss / (d_instr / 1000.0) : 0.0;
+        if (have_prev && d_instr > 0.0 && mpki_win > worst_win) {
+            worst_win = mpki_win;
+            worst_t = s.t;
+            worst_epoch = s.epoch;
+        }
+        prev_instr = instr;
+        prev_miss = miss;
+        have_prev = true;
+
+        if (follow_json) {
+            std::ostringstream os;
+            os << "{\"type\":\"live_sample\",\"t\":";
+            obs::writeJsonNumber(os, s.t);
+            os << ",\"step\":" << s.step << ",\"epoch\":" << s.epoch
+               << ",\"publish_count\":" << s.publish_count
+               << ",\"pid\":" << s.pid << ",\"finished\":"
+               << (s.finished ? "true" : "false") << ",\"values\":{";
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                if (i)
+                    os << ',';
+                os << '"' << obs::escapeJson(names[i]) << "\":";
+                obs::writeJsonNumber(os, s.values[i]);
+            }
+            os << "}}";
+            std::printf("%s\n", os.str().c_str());
+        } else {
+            std::string ways;
+            for (std::size_t k = 0; k < ways_idx.size(); ++k) {
+                if (k)
+                    ways += ',';
+                ways += std::to_string(static_cast<unsigned>(
+                    s.values[ways_idx[k]]));
+            }
+            std::printf("%10llu %14.0f %14llu %7llu %12.2f %10.3f "
+                        "%10.3f  %s%s\n",
+                        static_cast<unsigned long long>(
+                            s.publish_count),
+                        s.t,
+                        static_cast<unsigned long long>(s.step),
+                        static_cast<unsigned long long>(s.epoch),
+                        instr / 1e6, mpki_cum, mpki_win,
+                        ways.empty() ? "-" : ways.c_str(),
+                        s.finished ? "  [finished]" : "");
+        }
+        std::fflush(stdout);
+        ++printed;
+        if (s.finished || (max_samples && printed >= max_samples))
+            break;
+        usleep(interval_ms * 1000);
+    }
+
+    if (!follow_json && worst_win >= 0.0)
+        std::printf("worst window: %.3f L2 TLB MPKI at t=%.0f "
+                    "(epoch %llu) over %llu publish(es)\n",
+                    worst_win, worst_t,
+                    static_cast<unsigned long long>(worst_epoch),
+                    static_cast<unsigned long long>(printed));
+    return 0;
+}
+
 } // namespace
 
 int
@@ -200,7 +404,11 @@ main(int argc, char **argv)
     std::string only_label;
     std::string chrome_out;
     std::string path;
+    std::string attach_target;
     bool cpi_mode = false;
+    bool follow_json = false;
+    std::uint64_t max_samples = 0;
+    unsigned interval_ms = 200;
 
     auto next_arg = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -218,6 +426,16 @@ main(int argc, char **argv)
             chrome_out = next_arg(i);
         else if (arg == "--cpi")
             cpi_mode = true;
+        else if (arg == "--attach")
+            attach_target = next_arg(i);
+        else if (arg == "--follow-json")
+            follow_json = true;
+        else if (arg == "--samples")
+            max_samples = static_cast<std::uint64_t>(
+                std::atoll(next_arg(i)));
+        else if (arg == "--interval-ms")
+            interval_ms = static_cast<unsigned>(
+                std::atoi(next_arg(i)));
         else if (arg == "--help" || arg == "-h")
             usage(argv[0]);
         else if (!arg.empty() && arg[0] == '-')
@@ -227,6 +445,14 @@ main(int argc, char **argv)
         else
             usage(argv[0]);
     }
+    if (!attach_target.empty()) {
+        if (!path.empty())
+            usage(argv[0]); // offline file + live attach don't mix
+        return runAttach(attach_target, follow_json,
+                         std::max(1u, interval_ms), max_samples);
+    }
+    if (follow_json)
+        usage(argv[0]); // only meaningful with --attach
     if (path.empty())
         usage(argv[0]);
 
@@ -340,6 +566,15 @@ main(int argc, char **argv)
     }
     if (bad_lines > 3)
         warn(msgOf(bad_lines, " bad/unknown lines total"));
+    if (samples.empty() && !have_t && event_counts.empty()) {
+        fatal(makeError(
+            ErrorKind::parse, "no valid trace records", path,
+            line_no == 0
+                ? "the file is empty — did the sim run with "
+                  "--trace-out?"
+                : "every line is malformed; this is not a csalt-sim "
+                  "telemetry trace (or it was truncated at birth)"));
+    }
 
     // ---------------------------------------------------------- chrome
     if (!chrome_out.empty()) {
@@ -582,6 +817,12 @@ main(int argc, char **argv)
         std::printf("(no repartition events in trace — run with "
                     "--scheme csalt-d/csalt-cd and --trace-events "
                     "epoch)\n");
+    }
+    if (bad_lines) {
+        warn(msgOf("trace had ", bad_lines,
+                   " malformed/unknown line(s); reporting partial "
+                   "data and exiting non-zero"));
+        return 1;
     }
     return 0;
 }
