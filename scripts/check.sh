@@ -159,12 +159,25 @@ rm -f "$perf_json"
 echo "== telemetry smoke test =="
 trace="$(mktemp /tmp/csalt-check-XXXXXX.jsonl)"
 chrome="${trace%.jsonl}.chrome.json"
-trap 'rm -f "$trace" "$chrome"' EXIT
+spans="${trace%.jsonl}.spans.bin"
+trap 'rm -f "$trace" "$chrome" "$spans"' EXIT
 "$BUILD_DIR/tools/csalt-sim" --vm gups --quota 100000 \
     --warmup 20000 --trace-out "$trace" --format csv > /dev/null
 test -s "$trace" || { echo "empty trace"; exit 1; }
 "$BUILD_DIR/tools/trace_inspect" --chrome "$chrome" "$trace" \
     > /dev/null
 test -s "$chrome" || { echo "empty chrome conversion"; exit 1; }
+
+echo "== span-trace smoke: sidecar + trees + folded stacks =="
+"$BUILD_DIR/tools/csalt-sim" --pair ccomp --scheme csalt-cd \
+    --quota 100000 --warmup 20000 --span-trace "$spans" \
+    --span-rate 64 --format csv > /dev/null 2>&1
+test -s "$spans" || { echo "empty span sidecar"; exit 1; }
+"$BUILD_DIR/tools/trace_inspect" --spans "$spans" > /dev/null
+"$BUILD_DIR/tools/trace_inspect" --spans --folded "$spans" \
+    | grep -q '^access' \
+    || { echo "FAIL: no folded span stacks"; exit 1; }
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+    -L obs_span
 
 echo "== OK =="

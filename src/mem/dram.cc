@@ -26,7 +26,7 @@ DramChannel::drainTo(Cycles now)
 }
 
 Cycles
-DramChannel::access(Addr addr, Cycles now)
+DramChannel::access(Addr addr, Cycles now, DramAccessDetail *detail)
 {
     CSALT_PROFILE_SCOPE(dram);
     // Row-interleaved mapping: consecutive rows rotate across banks.
@@ -38,8 +38,10 @@ DramChannel::access(Addr addr, Cycles now)
     Bank &bank = banks_[bank_idx];
 
     Cycles row_latency;
+    bool row_hit = false;
     if (bank.any_open && bank.open_row == row) {
         row_latency = params_.tcas;
+        row_hit = true;
         ++stats_.row_hits;
     } else if (bank.any_open) {
         row_latency = params_.trp + params_.trcd + params_.tcas;
@@ -64,6 +66,11 @@ DramChannel::access(Addr addr, Cycles now)
     stats_.service_cycles += service + params_.overhead;
     const Cycles total =
         static_cast<Cycles>(queue) + service + params_.overhead;
+    if (detail) {
+        detail->queue = static_cast<Cycles>(queue);
+        detail->service = service + params_.overhead;
+        detail->row_hit = row_hit;
+    }
     lat_hist_.record(total);
     return total;
 }

@@ -53,6 +53,17 @@ struct DramStats
     }
 };
 
+/**
+ * Per-access latency split (span tracing). Queue + service sum to
+ * the value access() returns.
+ */
+struct DramAccessDetail
+{
+    Cycles queue = 0;   //!< wait behind bank/channel backlog
+    Cycles service = 0; //!< row access + burst + bus overhead
+    bool row_hit = false;
+};
+
 /** A single-rank multi-bank DRAM channel. */
 class DramChannel
 {
@@ -64,9 +75,11 @@ class DramChannel
      *
      * @param addr physical byte address
      * @param now requestor's current time
+     * @param detail when non-null, receives the queue/service split
      * @return total latency in core cycles (queueing + service)
      */
-    Cycles access(Addr addr, Cycles now);
+    Cycles access(Addr addr, Cycles now,
+                  DramAccessDetail *detail = nullptr);
 
     const DramStats &stats() const { return stats_; }
 

@@ -90,6 +90,11 @@ Sampler::writeJsonl(const Snapshot &snap)
         os << "}";
     }
     os << "}\n";
+    // Line-buffered semantics: a consumer tailing the trace (or a
+    // pipe) sees each complete sample immediately, and a crashed run
+    // leaves at most the line being written — never a page of
+    // buffered, already-sampled history.
+    os.flush();
 }
 
 } // namespace csalt::obs

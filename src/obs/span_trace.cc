@@ -1,0 +1,437 @@
+#include "obs/span_trace.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <type_traits>
+
+namespace csalt::obs
+{
+
+namespace
+{
+
+thread_local SpanBuilder *tls_builder = nullptr;
+
+/** SplitMix64 finalizer (same mixing constants as common/rng.h). */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+constexpr char kMagic[8] = {'C', 'S', 'A', 'L', 'T', 'S', 'P', 'N'};
+constexpr std::uint32_t kSpanFileVersion = 1;
+
+template <typename T>
+void
+put(std::string &out, T v)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    out.append(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+/** Bounds-checked POD reader over a serialized image. */
+class Cursor
+{
+  public:
+    explicit Cursor(std::string_view buf) : buf_(buf) {}
+
+    template <typename T>
+    bool
+    read(T &out)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        if (buf_.size() - pos_ < sizeof(T))
+            return false;
+        std::memcpy(&out, buf_.data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return true;
+    }
+
+    bool
+    readBytes(void *out, std::size_t n)
+    {
+        if (buf_.size() - pos_ < n)
+            return false;
+        std::memcpy(out, buf_.data() + pos_, n);
+        pos_ += n;
+        return true;
+    }
+
+    std::size_t remaining() const { return buf_.size() - pos_; }
+
+  private:
+    std::string_view buf_;
+    std::size_t pos_ = 0;
+};
+
+Error
+formatError(const std::string &what)
+{
+    return makeError(ErrorKind::parse, "bad span sidecar: " + what,
+                     "parseSpanFile",
+                     "re-run csalt-sim --span-trace to regenerate");
+}
+
+} // namespace
+
+const char *
+spanKindName(SpanKind kind)
+{
+    switch (kind) {
+      case SpanKind::access: return "access";
+      case SpanKind::tlb_l1: return "tlb_l1";
+      case SpanKind::tlb_l2: return "tlb_l2";
+      case SpanKind::pom_lookup: return "pom_lookup";
+      case SpanKind::tsb_lookup: return "tsb_lookup";
+      case SpanKind::mmu_cache: return "mmu_cache";
+      case SpanKind::walk: return "walk";
+      case SpanKind::walk_guest_ref: return "walk_guest_ref";
+      case SpanKind::walk_host_ref: return "walk_host_ref";
+      case SpanKind::cache_l1d: return "cache_l1d";
+      case SpanKind::cache_l2: return "cache_l2";
+      case SpanKind::cache_l3: return "cache_l3";
+      case SpanKind::dram: return "dram";
+      case SpanKind::dram_queue: return "dram_queue";
+      case SpanKind::dram_service: return "dram_service";
+    }
+    return "unknown";
+}
+
+SpanBuilder *
+spanBuilder()
+{
+    return tls_builder;
+}
+
+bool
+spanIsTranslation(const Span &s)
+{
+    if (s.flags & kSpanFlagTranslation)
+        return true;
+    switch (s.kindOf()) {
+      case SpanKind::tlb_l1:
+      case SpanKind::tlb_l2:
+      case SpanKind::pom_lookup:
+      case SpanKind::tsb_lookup:
+      case SpanKind::mmu_cache:
+      case SpanKind::walk:
+      case SpanKind::walk_guest_ref:
+      case SpanKind::walk_host_ref:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::vector<std::uint64_t>
+spanSelfCycles(const SpanJourney &j)
+{
+    std::vector<std::uint64_t> self(j.spans.size());
+    for (std::size_t i = 0; i < j.spans.size(); ++i)
+        self[i] = j.spans[i].dur;
+    // Children always follow their parent, so one reverse pass
+    // subtracts every child exactly once.
+    for (std::size_t i = j.spans.size(); i-- > 1;) {
+        const Span &s = j.spans[i];
+        if (s.parent < 0)
+            continue;
+        auto &parent_self = self[static_cast<std::size_t>(s.parent)];
+        parent_self -= std::min<std::uint64_t>(parent_self, s.dur);
+    }
+    return self;
+}
+
+void
+SpanSummary::merge(const SpanSummary &other)
+{
+    rate = other.rate ? other.rate : rate;
+    sampled += other.sampled;
+    dropped += other.dropped;
+    translation_evictions += other.translation_evictions;
+    for (std::size_t k = 0; k < kNumSpanKinds; ++k) {
+        kinds[k].count += other.kinds[k].count;
+        kinds[k].cycles += other.kinds[k].cycles;
+        kinds[k].self_cycles += other.kinds[k].self_cycles;
+    }
+    for (const auto &[asid, agg] : other.per_asid) {
+        SpanAsidAgg &mine = per_asid[asid];
+        mine.journeys += agg.journeys;
+        mine.cycles += agg.cycles;
+        for (std::size_t k = 0; k < kNumSpanKinds; ++k)
+            mine.self[k] += agg.self[k];
+    }
+    for (const auto &[epoch, agg] : other.per_epoch) {
+        SpanEpochAgg &mine = per_epoch[epoch];
+        mine.journeys += agg.journeys;
+        mine.cycles += agg.cycles;
+        mine.translation_self += agg.translation_self;
+    }
+}
+
+SpanRecorder::SpanRecorder(std::uint16_t core,
+                           const SpanTraceConfig &cfg,
+                           const std::uint64_t *epoch)
+    : core_(core), cfg_(cfg), epoch_(epoch)
+{
+    summary_.rate = cfg_.rate;
+    ring_.reserve(std::min<std::size_t>(cfg_.ring_capacity, 4096));
+}
+
+SpanRecorder::~SpanRecorder()
+{
+    if (tls_builder == &builder_)
+        tls_builder = nullptr;
+}
+
+std::uint64_t
+SpanRecorder::hashOf(std::uint64_t access_index) const
+{
+    return mix64(mix64(cfg_.seed ^ (std::uint64_t{core_} << 48)) ^
+                 access_index);
+}
+
+void
+SpanRecorder::begin(std::uint64_t access_index, Addr vaddr, Asid asid,
+                    Cycles now)
+{
+    pending_ = SpanJourney{};
+    pending_.access_index = access_index;
+    pending_.vaddr = vaddr;
+    pending_.start_cycle = now;
+    pending_.epoch = static_cast<std::uint32_t>(*epoch_);
+    pending_.core = core_;
+    pending_.asid = asid;
+    builder_.reset(now);
+    builder_.open(SpanKind::access, now);
+    in_flight_ = true;
+    tls_builder = &builder_;
+}
+
+void
+SpanRecorder::end(Cycles now, std::uint32_t charged)
+{
+    tls_builder = nullptr;
+    if (!in_flight_)
+        return;
+    in_flight_ = false;
+
+    pending_.spans = builder_.spans_;
+    pending_.charged = charged;
+    if (pending_.spans.empty())
+        return; // cannot happen; defensive
+    // Root duration: the journey's causal latency. The core charges
+    // only data_latency/mlp, so the charged end can precede the data
+    // path's raw end — take the max so every child stays nested.
+    std::uint32_t end_rel = builder_.rel(now);
+    for (std::size_t i = 1; i < pending_.spans.size(); ++i)
+        end_rel = std::max(end_rel, pending_.spans[i].end());
+    Span &root = pending_.spans.front();
+    root.dur = end_rel;
+    pending_.total = end_rel;
+
+    // Fold into the summary (covers every sampled journey, even ones
+    // the ring later drops).
+    ++summary_.sampled;
+    const std::vector<std::uint64_t> self = spanSelfCycles(pending_);
+    std::uint64_t translation_self = 0;
+    for (std::size_t i = 0; i < pending_.spans.size(); ++i) {
+        const Span &s = pending_.spans[i];
+        SpanKindAgg &agg =
+            summary_.kinds[static_cast<std::size_t>(s.kind)];
+        ++agg.count;
+        agg.cycles += s.dur;
+        agg.self_cycles += self[i];
+        if (s.flags & kSpanFlagEvictedData)
+            ++summary_.translation_evictions;
+        if (spanIsTranslation(s))
+            translation_self += self[i];
+    }
+    SpanAsidAgg &by_asid = summary_.per_asid[pending_.asid];
+    ++by_asid.journeys;
+    by_asid.cycles += pending_.total;
+    for (std::size_t i = 0; i < pending_.spans.size(); ++i) {
+        by_asid.self[static_cast<std::size_t>(
+            pending_.spans[i].kind)] += self[i];
+    }
+    SpanEpochAgg &by_epoch = summary_.per_epoch[pending_.epoch];
+    ++by_epoch.journeys;
+    by_epoch.cycles += pending_.total;
+    by_epoch.translation_self += translation_self;
+
+    // Ring: keep the most recent cfg_.ring_capacity journeys; count
+    // (never crash on) overflow.
+    if (ring_.size() < cfg_.ring_capacity) {
+        ring_.push_back(std::move(pending_));
+    } else if (cfg_.ring_capacity > 0) {
+        ring_[ring_head_] = std::move(pending_);
+        ring_head_ = (ring_head_ + 1) % cfg_.ring_capacity;
+        ++summary_.dropped;
+    } else {
+        ++summary_.dropped;
+    }
+}
+
+std::vector<const SpanJourney *>
+SpanRecorder::journeys() const
+{
+    std::vector<const SpanJourney *> out;
+    out.reserve(ring_.size());
+    // ring_head_ is the oldest slot once the ring has wrapped.
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(&ring_[(ring_head_ + i) % ring_.size()]);
+    return out;
+}
+
+void
+SpanRecorder::clear()
+{
+    ring_.clear();
+    ring_head_ = 0;
+    summary_ = SpanSummary{};
+    summary_.rate = cfg_.rate;
+    // An in-flight journey (begin() during warmup, end() after the
+    // clear) completes normally and is counted in the fresh summary.
+}
+
+SpanTrace::SpanTrace(unsigned num_cores, const SpanTraceConfig &cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.rate == 0)
+        cfg_.rate = 1;
+    for (unsigned c = 0; c < num_cores; ++c) {
+        recorders_.push_back(std::make_unique<SpanRecorder>(
+            static_cast<std::uint16_t>(c), cfg_, &epoch_));
+    }
+}
+
+SpanSummary
+SpanTrace::summary() const
+{
+    SpanSummary merged;
+    merged.rate = cfg_.rate;
+    for (const auto &rec : recorders_)
+        merged.merge(rec->summary());
+    return merged;
+}
+
+void
+SpanTrace::clear()
+{
+    for (auto &rec : recorders_)
+        rec->clear();
+}
+
+std::string
+SpanTrace::serialize(const std::string &label) const
+{
+    std::string out;
+    out.append(kMagic, sizeof(kMagic));
+    put(out, kSpanFileVersion);
+    put(out, static_cast<std::uint32_t>(recorders_.size()));
+    put(out, cfg_.rate);
+    put(out, cfg_.seed);
+    std::uint64_t sampled = 0;
+    std::uint64_t dropped = 0;
+    for (const auto &rec : recorders_) {
+        sampled += rec->sampled();
+        dropped += rec->dropped();
+    }
+    put(out, sampled);
+    put(out, dropped);
+    put(out, static_cast<std::uint32_t>(label.size()));
+    out.append(label);
+
+    std::uint64_t count = 0;
+    for (const auto &rec : recorders_)
+        count += rec->journeys().size();
+    put(out, count);
+    for (const auto &rec : recorders_) {
+        for (const SpanJourney *j : rec->journeys()) {
+            put(out, j->access_index);
+            put(out, j->vaddr);
+            put(out, j->start_cycle);
+            put(out, j->total);
+            put(out, j->charged);
+            put(out, j->epoch);
+            put(out, j->core);
+            put(out, j->asid);
+            put(out, static_cast<std::uint32_t>(j->spans.size()));
+            out.append(
+                reinterpret_cast<const char *>(j->spans.data()),
+                j->spans.size() * sizeof(Span));
+        }
+    }
+    return out;
+}
+
+Expected<SpanFile>
+parseSpanFile(std::string_view buf)
+{
+    Cursor cur(buf);
+    char magic[8];
+    if (!cur.readBytes(magic, sizeof(magic)) ||
+        std::memcmp(magic, kMagic, sizeof(magic)) != 0)
+        return formatError("missing CSALTSPN magic");
+    std::uint32_t version = 0;
+    if (!cur.read(version) || version != kSpanFileVersion)
+        return formatError("unsupported version");
+
+    SpanFile file;
+    std::uint32_t label_len = 0;
+    if (!cur.read(file.num_cores) || !cur.read(file.rate) ||
+        !cur.read(file.seed) || !cur.read(file.sampled) ||
+        !cur.read(file.dropped) || !cur.read(label_len))
+        return formatError("truncated header");
+    if (label_len > cur.remaining())
+        return formatError("label overruns file");
+    file.label.resize(label_len);
+    if (label_len && !cur.readBytes(file.label.data(), label_len))
+        return formatError("truncated label");
+
+    std::uint64_t count = 0;
+    if (!cur.read(count))
+        return formatError("truncated journey count");
+    for (std::uint64_t i = 0; i < count; ++i) {
+        SpanJourney j;
+        std::uint32_t nspans = 0;
+        if (!cur.read(j.access_index) || !cur.read(j.vaddr) ||
+            !cur.read(j.start_cycle) || !cur.read(j.total) ||
+            !cur.read(j.charged) || !cur.read(j.epoch) ||
+            !cur.read(j.core) || !cur.read(j.asid) ||
+            !cur.read(nspans))
+            return formatError("truncated journey header");
+        if (static_cast<std::size_t>(nspans) * sizeof(Span) >
+            cur.remaining())
+            return formatError("journey spans overrun file");
+        j.spans.resize(nspans);
+        if (nspans &&
+            !cur.readBytes(j.spans.data(), nspans * sizeof(Span)))
+            return formatError("truncated spans");
+        file.journeys.push_back(std::move(j));
+    }
+    return file;
+}
+
+Expected<SpanFile>
+readSpanFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return makeError(ErrorKind::io,
+                         "cannot open span sidecar: " + path,
+                         "readSpanFile",
+                         "run csalt-sim --span-trace " + path);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string buf = ss.str();
+    return parseSpanFile(buf);
+}
+
+} // namespace csalt::obs

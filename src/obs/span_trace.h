@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Causal access-span tracing: sampled per-access journey trees.
+ *
+ * Aggregates (CPI stacks, histograms, the phase profiler) say where
+ * cycles went on average; they cannot show one access's path through
+ * the context-switch cascade the paper argues about — L2 TLB miss,
+ * POM-TLB probe, nested 2-D walk fanning out into up to 24 PTE
+ * references, each rippling through L2/L3 and DRAM. Span tracing
+ * records exactly that: a deterministic 1-in-N sample of memory
+ * accesses (hash of the stable per-core access index + seed, so no
+ * RNG stream is perturbed and the sample set is bit-exact across
+ * --jobs), each captured as a compact tree of timed spans.
+ *
+ * Structure per sampled access ("journey"):
+ *  - root span (kind=access) opened at core_model dispatch;
+ *  - children for L1/L2 TLB probes, POM-TLB / TSB lookups, MMU-cache
+ *    consults, the page walk with one span per guest/host PTE
+ *    reference, L2/L3 cache probes tagged data-vs-translation, and
+ *    DRAM access split into queue + service.
+ *
+ * Recording follows the PhaseProfiler pattern: components check one
+ *  thread-local pointer (null unless a sampled journey is in flight
+ * on this thread), so the disarmed cost is a single load + branch and
+ * simulated behavior never changes — the golden-stats gate pins that.
+ * Finished journeys land in per-core rings (overflow drops the oldest
+ * and is counted, never fatal) and feed a binary sidecar file plus
+ * the "span_summary" metrics section; tools/trace_inspect --spans
+ * renders trees, folded stacks (flamegraphs) and critical-path
+ * tables from the sidecar.
+ */
+
+#ifndef CSALT_OBS_SPAN_TRACE_H
+#define CSALT_OBS_SPAN_TRACE_H
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace csalt::obs
+{
+
+/** What one span measures (tree node type). */
+enum class SpanKind : std::uint8_t
+{
+    access = 0,     //!< journey root: whole reference at the core
+    tlb_l1,         //!< split L1 TLB probe (pipelined: 0 cycles)
+    tlb_l2,         //!< unified L2 TLB probe
+    pom_lookup,     //!< POM-TLB lookup (may cover two set probes)
+    tsb_lookup,     //!< TSB probe sequence
+    mmu_cache,      //!< paging-structure / nested-agawa cache consult
+    walk,           //!< whole page walk (1-D or 2-D)
+    walk_guest_ref, //!< one guest-dimension PTE reference
+    walk_host_ref,  //!< one host-dimension PTE reference
+    cache_l1d,      //!< L1D probe (data path only)
+    cache_l2,       //!< L2 probe
+    cache_l3,       //!< L3 probe
+    dram,           //!< DRAM channel access (queue + service + bus)
+    dram_queue,     //!< time waiting behind bank/channel backlog
+    dram_service,   //!< row access + burst + overhead
+};
+
+constexpr std::size_t kNumSpanKinds = 15;
+
+/** Stable lowercase kind name ("access", "walk_host_ref", ...). */
+const char *spanKindName(SpanKind kind);
+
+// Span flags (bitmask).
+constexpr std::uint16_t kSpanFlagHit = 1u << 0;         //!< probe hit
+constexpr std::uint16_t kSpanFlagTranslation = 1u << 1; //!< trans. line
+constexpr std::uint16_t kSpanFlagEvictedData = 1u << 2; //!< fill evicted a data line
+constexpr std::uint16_t kSpanFlagVirtualized = 1u << 3; //!< 2-D walk
+constexpr std::uint16_t kSpanFlagSecondProbe = 1u << 4; //!< POM size mispredict
+
+/**
+ * One timed node of a journey tree. 16 bytes, trivially copyable —
+ * the sidecar stores these verbatim. Times are cycles relative to
+ * the journey origin (u32 spans ~4G cycles, far beyond any single
+ * access).
+ */
+struct Span
+{
+    std::uint32_t start = 0; //!< offset from journey origin
+    std::uint32_t dur = 0;   //!< duration in cycles
+    std::int16_t parent = -1; //!< index into the journey, -1 = root
+    std::uint8_t kind = 0;    //!< SpanKind
+    std::uint8_t level = 0;   //!< PTE level / DRAM channel (kind-dep.)
+    std::uint16_t flags = 0;  //!< kSpanFlag* bits
+    std::uint16_t reserved = 0;
+
+    SpanKind kindOf() const { return static_cast<SpanKind>(kind); }
+    std::uint32_t end() const { return start + dur; }
+};
+
+static_assert(sizeof(Span) == 16, "sidecar format relies on layout");
+
+/** One sampled access: the root span plus its whole tree. */
+struct SpanJourney
+{
+    std::uint64_t access_index = 0; //!< per-core memref ordinal
+    Addr vaddr = 0;                 //!< guest-virtual address
+    Cycles start_cycle = 0;         //!< core clock at dispatch
+    std::uint32_t total = 0;        //!< root duration (causal cycles)
+    std::uint32_t charged = 0;      //!< cycles charged to the core
+                                    //!< (MLP overlaps the data part)
+    std::uint32_t epoch = 0;        //!< occupancy epoch at dispatch
+    std::uint16_t core = 0;
+    Asid asid = 0;
+    std::vector<Span> spans; //!< spans[0] is the root (kind=access)
+};
+
+/** Sampling + buffering knobs. */
+struct SpanTraceConfig
+{
+    std::uint64_t rate = 256; //!< sample 1 in N accesses (>=1)
+    std::uint64_t seed = 0;   //!< folded into the sampling hash
+    std::size_t ring_capacity = 4096; //!< retained journeys per core
+};
+
+/**
+ * Builds one journey tree. Components obtain the active builder via
+ * spanBuilder() (null unless a sampled journey is in flight on this
+ * thread) and open/close spans in LIFO order; opens while suppressed
+ * (writebacks — off the critical path, at future timestamps) return
+ * -1 and close(-1) is a no-op, so call sites never branch on it.
+ */
+class SpanBuilder
+{
+  public:
+    /** Open a child of the innermost open span. @return span index. */
+    int
+    open(SpanKind kind, Cycles now, std::uint8_t level = 0)
+    {
+        if (suppress_ > 0 || spans_.size() >= kMaxSpans)
+            return -1;
+        Span s;
+        s.start = rel(now);
+        s.parent = open_.empty() ? std::int16_t{-1} : open_.back();
+        s.kind = static_cast<std::uint8_t>(kind);
+        s.level = level;
+        const auto idx = static_cast<std::int16_t>(spans_.size());
+        spans_.push_back(s);
+        open_.push_back(idx);
+        return idx;
+    }
+
+    /** Close span @p idx at time @p end, OR-ing @p flags in. */
+    void
+    close(int idx, Cycles end, std::uint16_t flags = 0)
+    {
+        if (idx < 0)
+            return;
+        Span &s = spans_[static_cast<std::size_t>(idx)];
+        const std::uint32_t e = rel(end);
+        s.dur = e > s.start ? e - s.start : 0;
+        s.flags |= flags;
+        if (!open_.empty() && open_.back() == idx)
+            open_.pop_back();
+    }
+
+    /** OR extra flags into an already-opened span. */
+    void
+    addFlags(int idx, std::uint16_t flags)
+    {
+        if (idx >= 0)
+            spans_[static_cast<std::size_t>(idx)].flags |= flags;
+    }
+
+    void pushSuppress() { ++suppress_; }
+    void popSuppress() { --suppress_; }
+
+    const std::vector<Span> &spans() const { return spans_; }
+
+  private:
+    friend class SpanRecorder;
+
+    //!< Generous bound: a 2-D walk journey peaks well under 200 spans.
+    static constexpr std::size_t kMaxSpans = 1024;
+
+    std::uint32_t
+    rel(Cycles now) const
+    {
+        return now <= origin_
+                   ? 0u
+                   : static_cast<std::uint32_t>(now - origin_);
+    }
+
+    void
+    reset(Cycles origin)
+    {
+        origin_ = origin;
+        spans_.clear();
+        open_.clear();
+        suppress_ = 0;
+    }
+
+    Cycles origin_ = 0;
+    int suppress_ = 0;
+    std::vector<Span> spans_;
+    std::vector<std::int16_t> open_; //!< stack of open span indices
+};
+
+/**
+ * The thread's active builder; null unless a sampled journey is in
+ * flight. This single thread-local load is the whole disarmed cost,
+ * and thread-locality is what keeps --jobs N bit-exact: each job's
+ * journeys are built on its own thread, invisible to the others.
+ */
+SpanBuilder *spanBuilder();
+
+/** RAII suppression for off-critical-path work (writebacks). */
+class SpanSuppressScope
+{
+  public:
+    SpanSuppressScope() : sb_(spanBuilder())
+    {
+        if (sb_)
+            sb_->pushSuppress();
+    }
+    ~SpanSuppressScope()
+    {
+        if (sb_)
+            sb_->popSuppress();
+    }
+    SpanSuppressScope(const SpanSuppressScope &) = delete;
+    SpanSuppressScope &operator=(const SpanSuppressScope &) = delete;
+
+  private:
+    SpanBuilder *sb_;
+};
+
+/** Per-kind critical-path aggregate. */
+struct SpanKindAgg
+{
+    std::uint64_t count = 0;
+    std::uint64_t cycles = 0;      //!< inclusive (span durations)
+    std::uint64_t self_cycles = 0; //!< exclusive (minus children)
+};
+
+/** Per-ASID critical-path aggregate. */
+struct SpanAsidAgg
+{
+    std::uint64_t journeys = 0;
+    std::uint64_t cycles = 0; //!< sum of journey totals
+    std::array<std::uint64_t, kNumSpanKinds> self{}; //!< per-kind
+};
+
+/** Per-occupancy-epoch aggregate. */
+struct SpanEpochAgg
+{
+    std::uint64_t journeys = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t translation_self = 0; //!< translation-path share
+};
+
+/**
+ * The "span_summary" metrics section. Accumulated at journey
+ * completion over *every* sampled journey (ring overflow drops a
+ * journey's tree from the sidecar, never from this summary).
+ */
+struct SpanSummary
+{
+    std::uint64_t rate = 0;
+    std::uint64_t sampled = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t translation_evictions = 0;
+    std::array<SpanKindAgg, kNumSpanKinds> kinds{};
+    std::map<Asid, SpanAsidAgg> per_asid;
+    std::map<std::uint32_t, SpanEpochAgg> per_epoch;
+
+    void merge(const SpanSummary &other);
+};
+
+/** True for kinds/flags on the translation (not data) path. */
+bool spanIsTranslation(const Span &s);
+
+/** Exclusive self-cycles per span of one journey (dur − children). */
+std::vector<std::uint64_t> spanSelfCycles(const SpanJourney &j);
+
+/**
+ * Per-core journey recorder: decides sampling, owns the builder and
+ * the retained-journey ring, and accumulates the summary.
+ */
+class SpanRecorder
+{
+  public:
+    SpanRecorder(std::uint16_t core, const SpanTraceConfig &cfg,
+                 const std::uint64_t *epoch);
+    ~SpanRecorder();
+
+    SpanRecorder(const SpanRecorder &) = delete;
+    SpanRecorder &operator=(const SpanRecorder &) = delete;
+
+    /**
+     * Deterministic 1-in-rate decision from (core, index, seed)
+     * only — pure, so identical at --jobs 1 and --jobs 8.
+     */
+    bool
+    shouldSample(std::uint64_t access_index) const
+    {
+        if (cfg_.rate <= 1)
+            return true;
+        return hashOf(access_index) % cfg_.rate == 0;
+    }
+
+    /** Start a journey: installs the thread's builder, opens root. */
+    void begin(std::uint64_t access_index, Addr vaddr, Asid asid,
+               Cycles now);
+
+    /**
+     * Finish the journey: closes the root (duration = max of the
+     * charged end and the deepest child end, so MLP-overlapped data
+     * latency still nests), pushes it into the ring, folds it into
+     * the summary, clears the thread-local builder.
+     */
+    void end(Cycles now, std::uint32_t charged);
+
+    /** Retained journeys, oldest first. */
+    std::vector<const SpanJourney *> journeys() const;
+
+    std::uint64_t sampled() const { return summary_.sampled; }
+    std::uint64_t dropped() const { return summary_.dropped; }
+    const SpanSummary &summary() const { return summary_; }
+
+    /** Drop journeys + summary (warmup discard). */
+    void clear();
+
+  private:
+    std::uint64_t hashOf(std::uint64_t access_index) const;
+
+    std::uint16_t core_;
+    SpanTraceConfig cfg_;
+    const std::uint64_t *epoch_; //!< owner-updated occupancy epoch
+    SpanBuilder builder_;
+    SpanJourney pending_; //!< journey being built (begin()..end())
+    bool in_flight_ = false;
+
+    std::vector<SpanJourney> ring_; //!< capacity cfg_.ring_capacity
+    std::size_t ring_head_ = 0;     //!< next slot when saturated
+    SpanSummary summary_;
+};
+
+/** Parsed sidecar file (header + journeys). */
+struct SpanFile
+{
+    std::uint32_t num_cores = 0;
+    std::uint64_t rate = 0;
+    std::uint64_t seed = 0;
+    std::uint64_t sampled = 0;
+    std::uint64_t dropped = 0;
+    std::string label;
+    std::vector<SpanJourney> journeys;
+};
+
+/**
+ * Whole-system span trace: one recorder per core plus the shared
+ * occupancy-epoch counter System::run() advances.
+ */
+class SpanTrace
+{
+  public:
+    SpanTrace(unsigned num_cores, const SpanTraceConfig &cfg);
+
+    SpanRecorder &recorder(unsigned core) { return *recorders_[core]; }
+    const SpanRecorder &recorder(unsigned core) const
+    {
+        return *recorders_[core];
+    }
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(recorders_.size());
+    }
+
+    void setEpoch(std::uint64_t epoch) { epoch_ = epoch; }
+    const SpanTraceConfig &config() const { return cfg_; }
+
+    /** Merged summary across every core. */
+    SpanSummary summary() const;
+
+    /** Binary sidecar image (all cores' retained journeys). */
+    std::string serialize(const std::string &label) const;
+
+    void clear();
+
+  private:
+    SpanTraceConfig cfg_;
+    std::uint64_t epoch_ = 0;
+    std::vector<std::unique_ptr<SpanRecorder>> recorders_;
+};
+
+/** Parse a sidecar image (inverse of SpanTrace::serialize). */
+Expected<SpanFile> parseSpanFile(std::string_view buf);
+
+/** Read + parse a sidecar file from disk. */
+Expected<SpanFile> readSpanFile(const std::string &path);
+
+} // namespace csalt::obs
+
+#endif // CSALT_OBS_SPAN_TRACE_H

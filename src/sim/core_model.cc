@@ -68,7 +68,7 @@ CoreModel::translate(SimContext &ctx, Addr gva, Mapping &out,
     out = vm.mappingOf(gva);
 
     const Cycles now = clock();
-    TlbLookupResult tlb = tlbs_.lookup(vm.asid(), gva);
+    TlbLookupResult tlb = tlbs_.lookup(vm.asid(), gva, now);
     bd.add(obs::CpiComponent::tlbProbe,
            static_cast<double>(tlb.latency));
     if (tlb.l1_hit || tlb.l2_hit) {
@@ -143,6 +143,19 @@ CoreModel::step()
     SimContext &ctx = *contexts_[current_];
     const TraceRecord rec = ctx.trace().next();
 
+    // Sampled journey? Decided purely by (core, memref ordinal,
+    // seed), so the sample set is identical at --jobs 1 and N and no
+    // RNG stream is perturbed. Root span opens at dispatch; every
+    // component below records children through the thread-local
+    // builder until end().
+    const bool sampled =
+        span_rec_ && span_rec_->shouldSample(stats_.memrefs);
+    const double span_start = cycles_;
+    if (sampled) {
+        span_rec_->begin(stats_.memrefs, rec.vaddr, ctx.asid(),
+                         clock());
+    }
+
     // One ledger per reference: every cycle charged below is stamped
     // into exactly one component, then folded into the core and slot
     // CPI stacks, so the stacks always sum to the charged cycles.
@@ -174,6 +187,11 @@ CoreModel::step()
     cycles_ += charged;
     bd.addScaled(data_bd, charged);
     stats_.data_cycles += static_cast<Cycles>(charged);
+
+    if (sampled) {
+        span_rec_->end(clock(), static_cast<std::uint32_t>(
+                                    cycles_ - span_start));
+    }
 
     cpi_ += bd;
     ctx_cpi_[current_] += bd;

@@ -24,6 +24,7 @@
 
 #include "common/config.h"
 #include "obs/cpi_stack.h"
+#include "obs/span_trace.h"
 #include "sim/context.h"
 #include "sim/memory_system.h"
 #include "tlb/tlb_hierarchy.h"
@@ -164,6 +165,14 @@ class CoreModel
     void registerStats(obs::StatRegistry &reg,
                        const std::string &prefix) const;
 
+    /**
+     * Attach (or detach, nullptr) the span recorder for this core.
+     * When attached, step() samples journeys by the recorder's
+     * deterministic hash of the per-core memref ordinal; when null
+     * the cost is one branch per access.
+     */
+    void setSpanRecorder(obs::SpanRecorder *rec) { span_rec_ = rec; }
+
   private:
     /**
      * Resolve the translation of @p gva; returns blocking latency.
@@ -190,6 +199,7 @@ class CoreModel
     double cycle_baseline_ = 0.0;
     Cycles next_switch_;
     CoreStats stats_;
+    obs::SpanRecorder *span_rec_ = nullptr;
     std::vector<ContextStats> ctx_stats_;
     obs::CpiStack cpi_;                 //!< whole-core cycle ledger
     std::vector<obs::CpiStack> ctx_cpi_; //!< per-slot cycle ledgers

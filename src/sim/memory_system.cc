@@ -2,10 +2,31 @@
 
 #include "common/log.h"
 #include "obs/phase_profiler.h"
+#include "obs/span_trace.h"
 #include "obs/stat_registry.h"
 
 namespace csalt
 {
+
+namespace
+{
+
+/** Span flags of one cache-probe outcome on a sampled journey. */
+std::uint16_t
+cacheSpanFlags(bool hit, LineType lt, const Victim &victim)
+{
+    std::uint16_t flags = hit ? obs::kSpanFlagHit : 0;
+    if (lt == LineType::translation) {
+        flags |= obs::kSpanFlagTranslation;
+        // A translation fill that pushed out a data line: the
+        // pollution CSALT's partitioning exists to stop.
+        if (!hit && victim.valid && victim.type == LineType::data)
+            flags |= obs::kSpanFlagEvictedData;
+    }
+    return flags;
+}
+
+} // namespace
 
 MemorySystem::MemorySystem(const SystemParams &params)
     : params_(params),
@@ -64,15 +85,39 @@ MemorySystem::~MemorySystem() = default;
 Cycles
 MemorySystem::dramAccess(Addr hpa, Cycles now)
 {
-    return map_.backingOf(hpa) == Backing::stacked
-               ? stacked_->access(hpa, now)
-               : ddr_->access(hpa, now);
+    const bool is_stacked = map_.backingOf(hpa) == Backing::stacked;
+    DramChannel &ch = is_stacked ? *stacked_ : *ddr_;
+    obs::SpanBuilder *sb = obs::spanBuilder();
+    if (!sb)
+        return ch.access(hpa, now);
+
+    const std::uint16_t trans_flag =
+        map_.classify(hpa) == LineType::translation
+            ? obs::kSpanFlagTranslation
+            : 0;
+    const int sd = sb->open(obs::SpanKind::dram, now,
+                            is_stacked ? 1 : 0);
+    DramAccessDetail det;
+    const Cycles total = ch.access(hpa, now, &det);
+    const int sq = sb->open(obs::SpanKind::dram_queue, now);
+    sb->close(sq, now + det.queue, trans_flag);
+    const int ss =
+        sb->open(obs::SpanKind::dram_service, now + det.queue);
+    sb->close(ss, now + det.queue + det.service,
+              trans_flag |
+                  (det.row_hit ? obs::kSpanFlagHit : 0));
+    sb->close(sd, now + total,
+              trans_flag | (det.row_hit ? obs::kSpanFlagHit : 0));
+    return total;
 }
 
 void
 MemorySystem::writeback(unsigned core, const Victim &victim,
                         unsigned from_level, Cycles now)
 {
+    // Writebacks happen at future timestamps off the demand path; a
+    // sampled journey must not absorb their cache/DRAM spans.
+    obs::SpanSuppressScope no_spans;
     if (from_level < 2 &&
         l2_[core]->markDirtyIfPresent(victim.line_addr)) {
         return;
@@ -88,6 +133,7 @@ MemorySystem::dataAccess(unsigned core, Addr hpa, AccessType type,
                          Cycles now, obs::LatencyBreakdown *bd)
 {
     CSALT_PROFILE_SCOPE(cache_access);
+    obs::SpanBuilder *sb = obs::spanBuilder();
     const LineType lt = map_.classify(hpa);
 
     Cycles lat = l1d_[core]->latency();
@@ -95,6 +141,10 @@ MemorySystem::dataAccess(unsigned core, Addr hpa, AccessType type,
         bd->add(obs::CpiComponent::dataL1d,
                 static_cast<double>(lat));
     const auto r1 = l1d_[core]->access(hpa, type, lt);
+    if (sb) {
+        const int s = sb->open(obs::SpanKind::cache_l1d, now, 1);
+        sb->close(s, now + lat, cacheSpanFlags(r1.hit, lt, r1.victim));
+    }
     if (r1.hit) {
         data_hist_[core].record(lat);
         return lat;
@@ -102,12 +152,17 @@ MemorySystem::dataAccess(unsigned core, Addr hpa, AccessType type,
     if (r1.victim.valid && r1.victim.dirty)
         writeback(core, r1.victim, 1, now + lat);
 
+    const Cycles t_l2 = now + lat;
     lat += l2_[core]->latency();
     if (bd)
         bd->add(obs::CpiComponent::dataL2,
                 static_cast<double>(l2_[core]->latency()));
     l2_ctl_[core]->onAccess(now);
     const auto r2 = l2_[core]->access(hpa, AccessType::read, lt);
+    if (sb) {
+        const int s = sb->open(obs::SpanKind::cache_l2, t_l2, 2);
+        sb->close(s, now + lat, cacheSpanFlags(r2.hit, lt, r2.victim));
+    }
     if (r2.victim.valid && r2.victim.dirty)
         writeback(core, r2.victim, 2, now + lat);
     if (r2.hit) {
@@ -116,12 +171,17 @@ MemorySystem::dataAccess(unsigned core, Addr hpa, AccessType type,
     }
     const Cycles beyond_l2_base = lat;
 
+    const Cycles t_l3 = now + lat;
     lat += l3_->latency();
     if (bd)
         bd->add(obs::CpiComponent::dataL3,
                 static_cast<double>(l3_->latency()));
     l3_ctl_->onAccess(now);
     const auto r3 = l3_->access(hpa, AccessType::read, lt);
+    if (sb) {
+        const int s = sb->open(obs::SpanKind::cache_l3, t_l3, 3);
+        sb->close(s, now + lat, cacheSpanFlags(r3.hit, lt, r3.victim));
+    }
     if (r3.victim.valid && r3.victim.dirty)
         writeback(core, r3.victim, 3, now + lat);
     if (!r3.hit) {
@@ -143,19 +203,29 @@ MemorySystem::translationAccess(unsigned core, Addr hpa, Cycles now)
     const LineType lt = map_.classify(hpa);
     if (lt != LineType::translation)
         panic(msgOf("translationAccess to data address ", hpa));
+    obs::SpanBuilder *sb = obs::spanBuilder();
 
     Cycles lat = l2_[core]->latency();
     l2_ctl_[core]->onAccess(now);
     const auto r2 = l2_[core]->access(hpa, AccessType::read, lt);
+    if (sb) {
+        const int s = sb->open(obs::SpanKind::cache_l2, now, 2);
+        sb->close(s, now + lat, cacheSpanFlags(r2.hit, lt, r2.victim));
+    }
     if (r2.victim.valid && r2.victim.dirty)
         writeback(core, r2.victim, 2, now + lat);
     if (r2.hit)
         return lat;
     const Cycles beyond_l2_base = lat;
 
+    const Cycles t_l3 = now + lat;
     lat += l3_->latency();
     l3_ctl_->onAccess(now);
     const auto r3 = l3_->access(hpa, AccessType::read, lt);
+    if (sb) {
+        const int s = sb->open(obs::SpanKind::cache_l3, t_l3, 3);
+        sb->close(s, now + lat, cacheSpanFlags(r3.hit, lt, r3.victim));
+    }
     if (r3.victim.valid && r3.victim.dirty)
         writeback(core, r3.victim, 3, now + lat);
     if (!r3.hit) {
@@ -175,6 +245,10 @@ MemorySystem::pomLookup(unsigned core, Asid asid, Addr gva,
     CSALT_PROFILE_SCOPE(pom_access);
     PomResult res;
     ++pom_stats_.lookups;
+    obs::SpanBuilder *sb = obs::spanBuilder();
+    const int sp =
+        sb ? sb->open(obs::SpanKind::pom_lookup, now) : -1;
+    bool second_probe = false;
 
     const PageSize first = predictor.predict(gva);
     const auto p1 = pom_->probe(asid, gva, first);
@@ -188,6 +262,7 @@ MemorySystem::pomLookup(unsigned core, Asid asid, Addr gva,
                                     ? PageSize::size2M
                                     : PageSize::size4K;
         ++pom_stats_.second_probes;
+        second_probe = true;
         const auto p2 = pom_->probe(asid, gva, second);
         res.latency +=
             translationAccess(core, p2.line_addr, now + res.latency);
@@ -200,6 +275,12 @@ MemorySystem::pomLookup(unsigned core, Asid asid, Addr gva,
     if (res.hit) {
         ++pom_stats_.hits;
         predictor.update(gva, res.mapping.ps);
+    }
+    if (sb) {
+        sb->close(sp, now + res.latency,
+                  (res.hit ? obs::kSpanFlagHit : 0) |
+                      (second_probe ? obs::kSpanFlagSecondProbe
+                                    : 0));
     }
     pom_lat_hist_.record(res.latency);
     l2_crit_->recordPomOutcome(res.hit);
@@ -218,6 +299,9 @@ MemorySystem::tsbLookup(unsigned core, VmContext &ctx, Addr gva,
                         Cycles now)
 {
     TsbResult res;
+    obs::SpanBuilder *sb = obs::spanBuilder();
+    const int st =
+        sb ? sb->open(obs::SpanKind::tsb_lookup, now) : -1;
     const auto plan = tsb_->lookup(ctx, gva);
     for (unsigned i = 0; i < plan.num_probes; ++i) {
         res.latency += translationAccess(core, plan.probe_addrs[i],
@@ -225,6 +309,10 @@ MemorySystem::tsbLookup(unsigned core, VmContext &ctx, Addr gva,
     }
     res.hit = plan.hit;
     res.mapping = plan.mapping;
+    if (sb) {
+        sb->close(st, now + res.latency,
+                  res.hit ? obs::kSpanFlagHit : 0);
+    }
     l2_crit_->recordPomOutcome(res.hit);
     l3_crit_->recordPomOutcome(res.hit);
     return res;

@@ -110,6 +110,9 @@ collectMetrics(const System &system)
             HistogramMetrics{he.name, he.hist->percentileSummary()});
     }
 
+    if (const obs::SpanTrace *spans = system.spanTrace())
+        m.span_summary = spans->summary();
+
     // The calling thread ran the simulation (bench cells are
     // shared-nothing), so its profiler state is this run's profile —
     // parallel jobs never bleed into each other's self_profile.

@@ -8,12 +8,14 @@
 #define CSALT_SIM_METRICS_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
 #include "obs/cpi_stack.h"
 #include "obs/histogram.h"
+#include "obs/span_trace.h"
 
 namespace csalt
 {
@@ -81,6 +83,16 @@ struct RunMetrics
      * journal and from golden comparisons.
      */
     std::vector<PhaseMetrics> self_profile;
+
+    /**
+     * Sampled access-span critical-path summary (obs/span_trace.h);
+     * present only when span tracing was enabled. Derived from a
+     * deterministic sample of simulated accesses, so it is stable
+     * across hosts — but like self_profile it is an observability
+     * layer, not a simulated metric: the resume journal and golden
+     * comparisons exclude it.
+     */
+    std::optional<obs::SpanSummary> span_summary;
 
     /** Geometric-mean IPC across cores (paper §4.2 metric). */
     double ipc_geomean = 0.0;

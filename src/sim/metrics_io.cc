@@ -72,6 +72,70 @@ writeHistogramsJson(std::ostream &os, const std::string &indent,
     os << "}";
 }
 
+/**
+ * "span_summary": sampled critical-path attribution. Only kinds that
+ * occurred are emitted; per-ASID and per-epoch maps are ordered, so
+ * the section is deterministic for a given simulated history.
+ */
+void
+writeSpanSummaryJson(std::ostream &os, const std::string &indent,
+                     const obs::SpanSummary &s)
+{
+    os << indent << "\"span_summary\": {\n";
+    os << indent << "  \"rate\": " << s.rate
+       << ", \"sampled\": " << s.sampled
+       << ", \"dropped\": " << s.dropped
+       << ", \"translation_evictions\": " << s.translation_evictions
+       << ",\n";
+    os << indent << "  \"kinds\": {";
+    bool first = true;
+    for (std::size_t k = 0; k < obs::kNumSpanKinds; ++k) {
+        const obs::SpanKindAgg &agg = s.kinds[k];
+        if (!agg.count)
+            continue;
+        os << (first ? "\n" : ",\n") << indent << "    \""
+           << obs::spanKindName(static_cast<obs::SpanKind>(k))
+           << "\": {\"count\": " << agg.count
+           << ", \"cycles\": " << agg.cycles
+           << ", \"self_cycles\": " << agg.self_cycles << "}";
+        first = false;
+    }
+    os << "\n" << indent << "  },\n";
+
+    os << indent << "  \"per_asid\": {";
+    first = true;
+    for (const auto &[asid, agg] : s.per_asid) {
+        os << (first ? "\n" : ",\n") << indent << "    \""
+           << static_cast<unsigned>(asid)
+           << "\": {\"journeys\": " << agg.journeys
+           << ", \"cycles\": " << agg.cycles << ", \"self\": {";
+        bool kfirst = true;
+        for (std::size_t k = 0; k < obs::kNumSpanKinds; ++k) {
+            if (!agg.self[k])
+                continue;
+            os << (kfirst ? "" : ", ") << "\""
+               << obs::spanKindName(static_cast<obs::SpanKind>(k))
+               << "\": " << agg.self[k];
+            kfirst = false;
+        }
+        os << "}}";
+        first = false;
+    }
+    os << "\n" << indent << "  },\n";
+
+    os << indent << "  \"per_epoch\": [";
+    first = true;
+    for (const auto &[epoch, agg] : s.per_epoch) {
+        os << (first ? "\n" : ",\n") << indent << "    {\"epoch\": "
+           << epoch << ", \"journeys\": " << agg.journeys
+           << ", \"cycles\": " << agg.cycles
+           << ", \"translation_self\": " << agg.translation_self
+           << "}";
+        first = false;
+    }
+    os << "\n" << indent << "  ]\n" << indent << "}";
+}
+
 } // namespace
 
 std::string
@@ -370,6 +434,13 @@ metricsJson(const std::string &label, const RunMetrics &m)
                << ", \"max\": " << d.max << "}";
         }
         os << "\n  }";
+    }
+    // Sampled span-trace critical-path summary, present only when
+    // span tracing ran. Like self_profile, the resume journal and
+    // golden comparisons exclude it (spans observe, never perturb).
+    if (m.span_summary) {
+        os << ",\n";
+        writeSpanSummaryJson(os, "  ", *m.span_summary);
     }
     os << "\n}";
     return os.str();

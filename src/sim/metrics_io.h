@@ -20,9 +20,10 @@ namespace csalt
 /**
  * Version stamped into metricsJson output ("schema_version").
  * History: 1 = implicit (no field, PRs 1-5); 2 = adds the field
- * itself and the optional "self_profile" section.
+ * itself and the optional "self_profile" section; 3 = adds the
+ * optional "span_summary" section (--span-trace).
  */
-constexpr int kMetricsSchemaVersion = 2;
+constexpr int kMetricsSchemaVersion = 3;
 
 /** Comma-separated header matching metricsCsvRow(). */
 std::string metricsCsvHeader();

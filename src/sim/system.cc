@@ -63,6 +63,29 @@ System::clearAllStats()
     }
     mem_->clearAllStats();
     sampler_.clear();
+    if (span_trace_)
+        span_trace_->clear();
+}
+
+void
+System::enableSpanTrace(const obs::SpanTraceConfig &cfg)
+{
+    span_trace_ = std::make_unique<obs::SpanTrace>(numCores(), cfg);
+    for (unsigned c = 0; c < numCores(); ++c)
+        cores_[c]->setSpanRecorder(&span_trace_->recorder(c));
+}
+
+Status
+System::writeSpanSidecar(const std::string &path,
+                         const std::string &label) const
+{
+    if (!span_trace_) {
+        return makeError(ErrorKind::usage,
+                         "span tracing is not enabled",
+                         "System::writeSpanSidecar",
+                         "call enableSpanTrace() before run()");
+    }
+    return writeFileAtomic(path, span_trace_->serialize(label));
 }
 
 void
@@ -247,6 +270,8 @@ System::run(std::uint64_t instructions_per_core)
             next_occ += occupancy_interval_;
             mem_->sampleOccupancy(static_cast<double>(next->clock()));
             ++live_epoch_;
+            if (span_trace_)
+                span_trace_->setEpoch(live_epoch_);
             publishLive(static_cast<double>(next->clock()));
             if (paranoid_) {
                 check::raiseIfViolated(

@@ -20,8 +20,10 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/error.h"
 #include "obs/live_export.h"
 #include "obs/sampler.h"
+#include "obs/span_trace.h"
 #include "obs/stat_registry.h"
 #include "obs/trace_event.h"
 #include "sim/core_model.h"
@@ -163,6 +165,28 @@ class System
         return live_export_.get();
     }
 
+    // ---------------------------------------------------- span tracing
+
+    /**
+     * Arm causal access-span tracing (obs/span_trace.h): every core
+     * gets a recorder that deterministically samples 1 in
+     * cfg.rate accesses into journey trees. Behavior-neutral — the
+     * golden-stats gate compares a traced run's metrics byte-for-byte
+     * against an untraced one. clearAllStats() drops warmup journeys.
+     */
+    void enableSpanTrace(const obs::SpanTraceConfig &cfg);
+
+    /** The span trace (null unless enableSpanTrace() was called). */
+    obs::SpanTrace *spanTrace() { return span_trace_.get(); }
+    const obs::SpanTrace *spanTrace() const
+    {
+        return span_trace_.get();
+    }
+
+    /** Atomically write the binary span sidecar to @p path. */
+    Status writeSpanSidecar(const std::string &path,
+                            const std::string &label) const;
+
   private:
     void maybeOpenLiveExport();
     void publishLive(double t, bool finished = false);
@@ -183,6 +207,7 @@ class System
     std::uint64_t steps_ = 0; //!< lifetime scheduler steps
     bool stats_registered_ = false;
 
+    std::unique_ptr<obs::SpanTrace> span_trace_;
     std::unique_ptr<obs::LiveExport> live_export_;
     std::string live_export_path_;      //!< explicit override
     bool live_export_requested_ = false;

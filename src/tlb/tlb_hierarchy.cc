@@ -1,6 +1,7 @@
 #include "tlb/tlb_hierarchy.h"
 
 #include "obs/phase_profiler.h"
+#include "obs/span_trace.h"
 #include "obs/stat_registry.h"
 
 namespace csalt
@@ -13,9 +14,10 @@ TlbHierarchy::TlbHierarchy(const SystemParams &params)
 }
 
 TlbLookupResult
-TlbHierarchy::lookup(Asid asid, Addr gva)
+TlbHierarchy::lookup(Asid asid, Addr gva, Cycles now)
 {
     CSALT_PROFILE_SCOPE(tlb_probe);
+    obs::SpanBuilder *sb = obs::spanBuilder();
     TlbLookupResult res;
     const Vpn vpn4k = gva >> kPageShift;
     const Vpn vpn2m = gva >> kHugePageShift;
@@ -24,28 +26,40 @@ TlbHierarchy::lookup(Asid asid, Addr gva)
     // single pipelined L1 access (hit = no added latency). The
     // findAndTouch() pattern ensures exactly one hit or one miss
     // is recorded per architectural access.
+    const int s1 =
+        sb ? sb->open(obs::SpanKind::tlb_l1, now, 1) : -1;
     if (const TlbEntry *e =
             l1_4k_.findAndTouch(asid, vpn4k, PageSize::size4K)) {
         res.l1_hit = true;
         res.mapping = {e->frame, e->ps};
+        if (sb)
+            sb->close(s1, now, obs::kSpanFlagHit);
         return res;
     }
     if (const TlbEntry *e =
             l1_2m_.findAndTouch(asid, vpn2m, PageSize::size2M)) {
         res.l1_hit = true;
         res.mapping = {e->frame, e->ps};
+        if (sb)
+            sb->close(s1, now, obs::kSpanFlagHit);
         return res;
     }
     l1_4k_.countMiss();
+    if (sb)
+        sb->close(s1, now); // pipelined probe: 0-cycle miss
 
     // Unified L2: one access latency covers the (parallel) dual-size
     // probe; exactly one miss is recorded when both sizes fail.
     res.latency += l2_.latency();
+    const int s2 =
+        sb ? sb->open(obs::SpanKind::tlb_l2, now, 2) : -1;
     if (const TlbEntry *e =
             l2_.findAndTouch(asid, vpn4k, PageSize::size4K)) {
         res.l2_hit = true;
         res.mapping = {e->frame, e->ps};
         fill(asid, gva, res.mapping); // refill L1
+        if (sb)
+            sb->close(s2, now + res.latency, obs::kSpanFlagHit);
         return res;
     }
     if (const TlbEntry *e =
@@ -53,9 +67,13 @@ TlbHierarchy::lookup(Asid asid, Addr gva)
         res.l2_hit = true;
         res.mapping = {e->frame, e->ps};
         fill(asid, gva, res.mapping);
+        if (sb)
+            sb->close(s2, now + res.latency, obs::kSpanFlagHit);
         return res;
     }
     l2_.countMiss();
+    if (sb)
+        sb->close(s2, now + res.latency);
     return res;
 }
 

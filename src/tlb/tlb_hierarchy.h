@@ -43,7 +43,8 @@ class TlbHierarchy
      * Probe L1 then L2 for @p gva in address space @p asid.
      * Page size is unknown a priori, so both sizes are probed.
      */
-    TlbLookupResult lookup(Asid asid, Addr gva);
+    /** @p now: requestor time, used only to stamp sampled spans. */
+    TlbLookupResult lookup(Asid asid, Addr gva, Cycles now = 0);
 
     /** Install a resolved translation into L2 and the right L1. */
     void fill(Asid asid, Addr gva, const Mapping &mapping);

@@ -2,6 +2,7 @@
 
 #include "common/log.h"
 #include "obs/phase_profiler.h"
+#include "obs/span_trace.h"
 #include "obs/stat_registry.h"
 #include "obs/trace_event.h"
 
@@ -36,8 +37,14 @@ PageWalker::walk(VmContext &ctx, Addr gva, Cycles now,
     if (tracing_refs_)
         ref_cycles_.clear();
 
+    obs::SpanBuilder *sb = obs::spanBuilder();
+    const int sw = sb ? sb->open(obs::SpanKind::walk, now) : -1;
     Outcome out = ctx.virtualized() ? nestedWalk(ctx, gva, now, bd)
                                     : nativeWalk(ctx, gva, now, bd);
+    if (sb) {
+        sb->close(sw, now + out.latency,
+                  ctx.virtualized() ? obs::kSpanFlagVirtualized : 0);
+    }
     ++stats_.walks;
     stats_.refs += out.refs;
     stats_.cycles += out.latency;
@@ -64,6 +71,7 @@ PageWalker::nativeWalk(VmContext &ctx, Addr gva, Cycles now,
 {
     Outcome out;
     ctx.guestPt().walkPath(gva, path_);
+    obs::SpanBuilder *sb = obs::spanBuilder();
 
     // Consult the paging-structure caches once per walk.
     out.latency += mmu_.latency();
@@ -71,13 +79,25 @@ PageWalker::nativeWalk(VmContext &ctx, Addr gva, Cycles now,
     const auto skip = mmu_.skipFor(ctx.asid(), gva, /*host=*/false);
     const int start_level =
         skip ? skip->next_level : ctx.guestPt().topLevel();
+    if (sb) {
+        const int sm = sb->open(obs::SpanKind::mmu_cache, now);
+        sb->close(sm, now + mmu_.latency(),
+                  skip ? obs::kSpanFlagHit : 0);
+    }
 
     for (const PteRef &ref : path_) {
         if (ref.level > start_level)
             continue; // shortcut provided by the PSC
+        const Cycles t_ref = now + out.latency;
+        const int sr =
+            sb ? sb->open(obs::SpanKind::walk_guest_ref, t_ref,
+                          static_cast<std::uint8_t>(ref.level))
+               : -1;
         const Cycles ref_lat = mem_.translationAccess(
             core_id_, ref.pte_addr, now + out.latency);
         out.latency += ref_lat;
+        if (sb)
+            sb->close(sr, t_ref + ref_lat);
         stamp(bd, obs::walkComponent(/*host=*/false, ref.level),
               ref_lat);
         noteRef(ref_lat);
@@ -96,10 +116,16 @@ PageWalker::nestedTranslate(VmContext &ctx, Addr gpa, Cycles now,
                             Cycles &lat, unsigned &refs,
                             obs::LatencyBreakdown *bd)
 {
+    obs::SpanBuilder *sb = obs::spanBuilder();
+    const Cycles t_mmu = now + lat;
     lat += mmu_.latency();
     stamp(bd, obs::CpiComponent::walkMmu, mmu_.latency());
     if (auto hpa_page = mmu_.nestedLookup(ctx.asid(), gpa)) {
         ++stats_.nested_hits;
+        if (sb) {
+            const int sm = sb->open(obs::SpanKind::mmu_cache, t_mmu);
+            sb->close(sm, t_mmu + mmu_.latency(), obs::kSpanFlagHit);
+        }
         return *hpa_page + (gpa & (kPageSize - 1));
     }
 
@@ -108,14 +134,26 @@ PageWalker::nestedTranslate(VmContext &ctx, Addr gpa, Cycles now,
     const auto skip = mmu_.skipFor(ctx.asid(), gpa, /*host=*/true);
     const int start_level =
         skip ? skip->next_level : ctx.hostPt().topLevel();
+    if (sb) {
+        const int sm = sb->open(obs::SpanKind::mmu_cache, t_mmu);
+        sb->close(sm, t_mmu + mmu_.latency(),
+                  skip ? obs::kSpanFlagHit : 0);
+    }
 
     Addr hpa_byte = kInvalidAddr;
     for (const PteRef &ref : host_path_) {
         if (ref.level > start_level)
             continue;
+        const Cycles t_ref = now + lat;
+        const int sr =
+            sb ? sb->open(obs::SpanKind::walk_host_ref, t_ref,
+                          static_cast<std::uint8_t>(ref.level))
+               : -1;
         const Cycles ref_lat =
             mem_.translationAccess(core_id_, ref.pte_addr, now + lat);
         lat += ref_lat;
+        if (sb)
+            sb->close(sr, t_ref + ref_lat);
         stamp(bd, obs::walkComponent(/*host=*/true, ref.level),
               ref_lat);
         noteRef(ref_lat);
@@ -157,12 +195,18 @@ PageWalker::nestedWalk(VmContext &ctx, Addr gva, Cycles now,
 {
     Outcome out;
     ctx.guestPt().walkPath(gva, path_);
+    obs::SpanBuilder *sb = obs::spanBuilder();
 
     out.latency += mmu_.latency();
     stamp(bd, obs::CpiComponent::walkMmu, mmu_.latency());
     const auto skip = mmu_.skipFor(ctx.asid(), gva, /*host=*/false);
     const int start_level =
         skip ? skip->next_level : ctx.guestPt().topLevel();
+    if (sb) {
+        const int sm = sb->open(obs::SpanKind::mmu_cache, now);
+        sb->close(sm, now + mmu_.latency(),
+                  skip ? obs::kSpanFlagHit : 0);
+    }
 
     Addr leaf_gpa = kInvalidAddr;
     PageSize leaf_ps = PageSize::size4K;
@@ -175,13 +219,22 @@ PageWalker::nestedWalk(VmContext &ctx, Addr gva, Cycles now,
             continue;
 
         // The guest PTE lives in guest-physical memory: translate its
-        // address through the host dimension, then read it.
+        // address through the host dimension, then read it. The span
+        // covers both, so the host-dimension refs nest under the
+        // guest level that caused them (paper Fig. 2b rows).
+        const Cycles t_ref = now + out.latency;
+        const int sr =
+            sb ? sb->open(obs::SpanKind::walk_guest_ref, t_ref,
+                          static_cast<std::uint8_t>(ref.level))
+               : -1;
         const Addr hpa_pte = nestedTranslate(ctx, ref.pte_addr, now,
                                              out.latency, out.refs,
                                              bd);
         const Cycles ref_lat = mem_.translationAccess(
             core_id_, hpa_pte, now + out.latency);
         out.latency += ref_lat;
+        if (sb)
+            sb->close(sr, now + out.latency);
         stamp(bd, obs::walkComponent(/*host=*/false, ref.level),
               ref_lat);
         noteRef(ref_lat);

@@ -61,6 +61,28 @@ print("ok: obs-enabled run identical (minus self_profile)")
 EOF
 test -s "$tmp/golden.live" \
     || { echo "FAIL: no live region written"; exit 1; }
+
+# Span tracing must be free too: the same config with --span-trace
+# armed (sampling every 16th access) must keep the simulated metrics
+# byte-identical — the journeys live only in the sidecar and the
+# span_summary section — and the sidecar must be non-empty.
+"$SIM" --pair ccomp --scheme csalt-cd --quota 60000 \
+    --warmup 20000 --seed 7 --span-trace "$tmp/golden.spans" \
+    --span-rate 16 --format json > "$tmp/spans_on.json" 2>/dev/null
+python3 - "$GOLDEN/csalt_cd_ccomp.json" "$tmp/spans_on.json" <<'EOF'
+import json, sys
+plain, spans = (json.load(open(p)) for p in sys.argv[1:3])
+summary = spans.pop("span_summary", None)
+assert summary, "--span-trace produced no span_summary section"
+assert summary["sampled"] > 0, "span trace sampled nothing"
+plain.pop("self_profile", None)
+spans.pop("self_profile", None)
+assert plain == spans, "span tracing changed simulated results"
+print("ok: span-traced run identical (minus span_summary)")
+EOF
+test -s "$tmp/golden.spans" \
+    || { echo "FAIL: no span sidecar written"; exit 1; }
+
 check pom_gups_pagerank.json \
     --vm gups --vm pagerank --scheme pom --cores 4 --quota 60000 \
     --warmup 20000 --seed 9

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Tests for causal access-span tracing (obs/span_trace.h): the
+ * sampling decision is a pure hash (identical sequentially and under
+ * thread-parallel runs), a disarmed run is bit-exact against an
+ * untraced one, recorded journey trees are well-formed (children
+ * nested inside parents, root covering the whole access), ring
+ * overflow drops oldest-and-counts instead of crashing, and the
+ * sidecar round-trips through serialize/parse.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/span_trace.h"
+#include "sim/metrics.h"
+#include "sim/metrics_io.h"
+#include "sim/system_builder.h"
+
+using namespace csalt;
+
+namespace
+{
+
+BuildSpec
+tinySpec()
+{
+    BuildSpec spec;
+    applyCsaltCD(spec.params);
+    spec.params.num_cores = 2;
+    spec.params.cs_interval = 20'000;
+    spec.params.seed = 5;
+    spec.vm_workloads = {"canneal", "ccomp"};
+    spec.workload_scale = 0.01;
+    return spec;
+}
+
+obs::SpanTraceConfig
+testConfig(std::uint64_t rate = 16)
+{
+    obs::SpanTraceConfig cfg;
+    cfg.rate = rate;
+    cfg.seed = 5;
+    cfg.ring_capacity = 4096;
+    return cfg;
+}
+
+/** Build, trace, run, and serialize one tiny system. */
+std::string
+tracedRunImage(const obs::SpanTraceConfig &cfg)
+{
+    auto system = buildSystem(tinySpec());
+    system->enableSpanTrace(cfg);
+    system->run(40'000);
+    return system->spanTrace()->serialize("det");
+}
+
+} // namespace
+
+TEST(SpanBuilder, NestingAndSuppression)
+{
+    obs::SpanBuilder b;
+    // No journey in flight on this thread.
+    EXPECT_EQ(obs::spanBuilder(), nullptr);
+
+    const int root = b.open(obs::SpanKind::access, 100);
+    const int child = b.open(obs::SpanKind::walk, 110);
+    const int grand = b.open(obs::SpanKind::cache_l2, 112);
+    b.close(grand, 120, obs::kSpanFlagTranslation);
+    b.close(child, 130);
+    // Sibling opened after the nest closed parents to the root.
+    const int sib = b.open(obs::SpanKind::dram, 130);
+    b.close(sib, 150, obs::kSpanFlagHit);
+    b.close(root, 150);
+
+    const auto &spans = b.spans();
+    ASSERT_EQ(spans.size(), 4u);
+    EXPECT_EQ(spans[0].parent, -1);
+    EXPECT_EQ(spans[1].parent, 0);
+    EXPECT_EQ(spans[2].parent, 1);
+    EXPECT_EQ(spans[3].parent, 0);
+    // A raw builder's origin is 0 (SpanRecorder::begin re-bases it
+    // to the dispatch cycle), so starts are absolute here.
+    EXPECT_EQ(spans[0].start, 100u);
+    EXPECT_EQ(spans[0].dur, 50u);
+    EXPECT_EQ(spans[2].flags, obs::kSpanFlagTranslation);
+    EXPECT_EQ(spans[3].flags, obs::kSpanFlagHit);
+
+    // Suppressed opens vanish; close(-1) is a no-op.
+    b.pushSuppress();
+    const int hidden = b.open(obs::SpanKind::cache_l3, 200);
+    EXPECT_EQ(hidden, -1);
+    b.close(hidden, 210);
+    b.popSuppress();
+    EXPECT_EQ(b.spans().size(), 4u);
+}
+
+TEST(SpanRecorder, SamplingIsAPureHash)
+{
+    const std::uint64_t epoch = 0;
+    obs::SpanRecorder a(0, testConfig(64), &epoch);
+    obs::SpanRecorder b(0, testConfig(64), &epoch);
+    std::uint64_t hits = 0;
+    for (std::uint64_t i = 0; i < 100'000; ++i) {
+        EXPECT_EQ(a.shouldSample(i), b.shouldSample(i));
+        hits += a.shouldSample(i);
+    }
+    // ~1/64 of accesses, with generous slack for hash variance.
+    EXPECT_GT(hits, 100'000 / 64 / 2);
+    EXPECT_LT(hits, 100'000 / 64 * 2);
+
+    // rate<=1 samples everything; another core differs (decorrelated).
+    obs::SpanRecorder every(0, testConfig(1), &epoch);
+    EXPECT_TRUE(every.shouldSample(12345));
+    obs::SpanRecorder other_core(1, testConfig(64), &epoch);
+    bool any_diff = false;
+    for (std::uint64_t i = 0; i < 10'000 && !any_diff; ++i)
+        any_diff = a.shouldSample(i) != other_core.shouldSample(i);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(SpanTrace, DeterministicAcrossParallelRuns)
+{
+    // The sampling hash and the journeys depend only on simulated
+    // state, so a run on the main thread and runs racing on 8
+    // threads (the --jobs N bench layout) serialize byte-identically.
+    const std::string baseline = tracedRunImage(testConfig());
+
+    std::vector<std::string> images(8);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < images.size(); ++t)
+        threads.emplace_back([&images, t] {
+            images[t] = tracedRunImage(testConfig());
+        });
+    for (auto &th : threads)
+        th.join();
+    for (const std::string &img : images)
+        EXPECT_EQ(img, baseline);
+}
+
+TEST(SpanTrace, TracedRunIsBitExactAgainstUntraced)
+{
+    auto plain = buildSystem(tinySpec());
+    plain->run(40'000);
+    const RunMetrics base = collectMetrics(*plain);
+
+    auto traced = buildSystem(tinySpec());
+    traced->enableSpanTrace(testConfig());
+    traced->run(40'000);
+    const RunMetrics spans = collectMetrics(*traced);
+
+    // Identical simulated behavior: the resume-journal encoding is
+    // bit-exact and excludes the span_summary section by design.
+    EXPECT_EQ(metricsJournalJson(base), metricsJournalJson(spans));
+    EXPECT_FALSE(base.span_summary.has_value());
+    ASSERT_TRUE(spans.span_summary.has_value());
+    EXPECT_GT(spans.span_summary->sampled, 0u);
+
+    // The section reaches the metrics JSON under its own key.
+    const std::string json = metricsJson("traced", spans);
+    EXPECT_NE(json.find("\"span_summary\""), std::string::npos);
+    EXPECT_EQ(metricsJournalJson(spans).find("span_summary"),
+              std::string::npos);
+}
+
+TEST(SpanTrace, JourneyTreesAreWellFormed)
+{
+    auto system = buildSystem(tinySpec());
+    system->enableSpanTrace(testConfig());
+    system->run(40'000);
+
+    const obs::SpanTrace &trace = *system->spanTrace();
+    std::uint64_t journeys = 0, with_children = 0;
+    for (unsigned c = 0; c < trace.numCores(); ++c) {
+        for (const obs::SpanJourney *j :
+             trace.recorder(c).journeys()) {
+            ++journeys;
+            ASSERT_FALSE(j->spans.empty());
+            const obs::Span &root = j->spans[0];
+            EXPECT_EQ(root.parent, -1);
+            EXPECT_EQ(root.kindOf(), obs::SpanKind::access);
+            EXPECT_EQ(root.start, 0u);
+            // Root duration IS the journey's causal latency, and
+            // never shorter than the cycles charged to the core.
+            EXPECT_EQ(root.dur, j->total);
+            EXPECT_GE(j->total, j->charged);
+            if (j->spans.size() > 1)
+                ++with_children;
+            for (std::size_t i = 1; i < j->spans.size(); ++i) {
+                const obs::Span &s = j->spans[i];
+                // Parents precede children (topological order)...
+                ASSERT_GE(s.parent, 0);
+                ASSERT_LT(static_cast<std::size_t>(s.parent), i);
+                // ...and contain their intervals.
+                const obs::Span &p =
+                    j->spans[static_cast<std::size_t>(s.parent)];
+                EXPECT_GE(s.start, p.start);
+                EXPECT_LE(s.end(), p.end());
+            }
+            // Exclusive self-cycles re-sum to the inclusive total.
+            const std::vector<std::uint64_t> self =
+                obs::spanSelfCycles(*j);
+            std::uint64_t sum = 0;
+            for (std::uint64_t v : self)
+                sum += v;
+            EXPECT_EQ(sum, j->total);
+        }
+    }
+    EXPECT_GT(journeys, 0u);
+    EXPECT_GT(with_children, 0u);
+
+    // The summary counted every journey (no ring pressure here).
+    const obs::SpanSummary sum = trace.summary();
+    EXPECT_EQ(sum.sampled, journeys);
+    EXPECT_EQ(sum.dropped, 0u);
+    std::uint64_t asid_journeys = 0;
+    for (const auto &[asid, agg] : sum.per_asid)
+        asid_journeys += agg.journeys;
+    EXPECT_EQ(asid_journeys, journeys);
+}
+
+TEST(SpanTrace, RingOverflowDropsOldestAndCounts)
+{
+    obs::SpanTraceConfig cfg = testConfig(4);
+    cfg.ring_capacity = 8;
+    auto system = buildSystem(tinySpec());
+    system->enableSpanTrace(cfg);
+    system->run(40'000);
+
+    const obs::SpanTrace &trace = *system->spanTrace();
+    for (unsigned c = 0; c < trace.numCores(); ++c) {
+        const obs::SpanRecorder &rec = trace.recorder(c);
+        ASSERT_GT(rec.sampled(), 8u) << "run too short to overflow";
+        EXPECT_EQ(rec.journeys().size(), 8u);
+        EXPECT_EQ(rec.dropped(), rec.sampled() - 8);
+        // Oldest-first order survives wraparound.
+        const auto js = rec.journeys();
+        for (std::size_t i = 1; i < js.size(); ++i)
+            EXPECT_GT(js[i]->access_index, js[i - 1]->access_index);
+    }
+    // Drops reach the summary; sampled still counts every journey.
+    const obs::SpanSummary sum = trace.summary();
+    EXPECT_GT(sum.dropped, 0u);
+    EXPECT_EQ(sum.sampled - sum.dropped, 16u); // 8 retained x 2 cores
+}
+
+TEST(SpanTrace, SidecarRoundTripsAndRejectsGarbage)
+{
+    auto system = buildSystem(tinySpec());
+    system->enableSpanTrace(testConfig());
+    system->run(40'000);
+
+    const std::string image =
+        system->spanTrace()->serialize("roundtrip:label");
+    Expected<obs::SpanFile> parsed = obs::parseSpanFile(image);
+    ASSERT_TRUE(parsed.ok()) << oneLine(parsed.error());
+    const obs::SpanFile &file = parsed.value();
+    EXPECT_EQ(file.num_cores, 2u);
+    EXPECT_EQ(file.rate, 16u);
+    EXPECT_EQ(file.seed, 5u);
+    EXPECT_EQ(file.label, "roundtrip:label");
+
+    const obs::SpanSummary sum = system->spanTrace()->summary();
+    EXPECT_EQ(file.sampled, sum.sampled);
+    EXPECT_EQ(file.journeys.size(), sum.sampled - sum.dropped);
+
+    // Every parsed journey matches a live one field-for-field (spot
+    // check the first of each core via access_index lookup).
+    ASSERT_FALSE(file.journeys.empty());
+    const obs::SpanJourney &j0 = file.journeys.front();
+    const auto live = system->spanTrace()
+                          ->recorder(j0.core)
+                          .journeys();
+    ASSERT_FALSE(live.empty());
+    EXPECT_EQ(j0.access_index, live.front()->access_index);
+    EXPECT_EQ(j0.vaddr, live.front()->vaddr);
+    EXPECT_EQ(j0.total, live.front()->total);
+    EXPECT_EQ(j0.spans.size(), live.front()->spans.size());
+
+    // Truncation and bad magic fail with parse errors, not crashes.
+    EXPECT_FALSE(obs::parseSpanFile(image.substr(0, 10)).ok());
+    EXPECT_FALSE(
+        obs::parseSpanFile(image.substr(0, image.size() - 3)).ok());
+    std::string corrupt = image;
+    corrupt[0] = 'X';
+    EXPECT_FALSE(obs::parseSpanFile(corrupt).ok());
+}
+
+TEST(SpanTrace, ClearDiscardsWarmupJourneys)
+{
+    auto system = buildSystem(tinySpec());
+    system->enableSpanTrace(testConfig());
+    system->run(20'000);
+    ASSERT_GT(system->spanTrace()->summary().sampled, 0u);
+
+    // The warmup discard (System::clearAllStats) empties the rings
+    // and the summary, so the sidecar covers only the measured run.
+    system->clearAllStats();
+    EXPECT_EQ(system->spanTrace()->summary().sampled, 0u);
+    for (unsigned c = 0; c < system->spanTrace()->numCores(); ++c)
+        EXPECT_TRUE(
+            system->spanTrace()->recorder(c).journeys().empty());
+
+    system->run(20'000);
+    EXPECT_GT(system->spanTrace()->summary().sampled, 0u);
+}

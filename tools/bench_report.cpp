@@ -12,7 +12,10 @@
  *
  * The metric is treated as higher-is-better (MAPS, IPC, hit rates —
  * everything the benches emit); pass --lower-is-better for latency
- * metrics. Exit status: 0 when every shared config is within the
+ * metrics. Wall-time value keys ("seconds", "wall_*", "time") are
+ * always gated lower-is-better regardless: a faster run must never
+ * read as a regression because its elapsed time dropped alongside a
+ * rising rate metric. Exit status: 0 when every shared config is within the
  * threshold, 1 when any config regressed past it (the gate), and the
  * usual fatal() path (exit 1, typed diagnostics) for unreadable or
  * malformed inputs. Configs present on only one side are reported but
@@ -135,6 +138,22 @@ findCell(const Results &r, const std::string &config)
     return nullptr;
 }
 
+/**
+ * Wall-time cells ("<label>/seconds", ".../wall_clock_s") measure
+ * elapsed time, so less is ALWAYS better — even in a
+ * higher-is-better figure, where they move inversely to the rate
+ * metric being gated.
+ */
+bool
+cellIsWallTime(const std::string &config)
+{
+    const std::size_t slash = config.rfind('/');
+    const std::string key =
+        slash == std::string::npos ? config : config.substr(slash + 1);
+    return key == "seconds" || key == "time" ||
+           key.rfind("wall", 0) == 0;
+}
+
 } // namespace
 
 int
@@ -224,8 +243,9 @@ main(int argc, char **argv)
             b.value != 0.0
                 ? 100.0 * (f->value - b.value) / std::fabs(b.value)
                 : (f->value == 0.0 ? 0.0 : 100.0);
-        const double harm =
-            lower_is_better ? delta_pct : -delta_pct;
+        const bool cell_lower =
+            cellIsWallTime(b.config) || lower_is_better;
+        const double harm = cell_lower ? delta_pct : -delta_pct;
         const bool bad = harm > threshold_pct;
         if (bad)
             regressed.push_back(b.config);

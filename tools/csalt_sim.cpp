@@ -51,6 +51,15 @@
  *                        --paranoid, so the run must FAIL with a
  *                        checker diagnostic — see docs/robustness.md)
  *   --inject-seed N      which set/entry the fault lands in
+ *   --span-trace FILE    record sampled per-access journey trees
+ *                        (obs/span_trace.h) into binary sidecar
+ *                        FILE; inspect with `trace_inspect --spans`.
+ *                        Adds a "span_summary" section to --format
+ *                        json and a critical-path table otherwise.
+ *                        Behavior-neutral (golden-stats gated).
+ *   --span-rate N        sample 1 in N accesses (default 256;
+ *                        deterministic hash of the per-core access
+ *                        index — bit-exact across --jobs)
  *
  * The trace sink is attached after warmup so the telemetry covers
  * exactly the measured region (and the epoch events line up with the
@@ -93,7 +102,8 @@ usage(const char *argv0)
                  "[--trace-out FILE] [--sample-interval N] "
                  "[--trace-events cs,epoch,walk|all|none] "
                  "[--live] [--live-out PATH] [--profile] "
-                 "[--paranoid] [--inject FAULT] [--inject-seed N]\n",
+                 "[--paranoid] [--inject FAULT] [--inject-seed N] "
+                 "[--span-trace FILE] [--span-rate N]\n",
                  argv0);
     std::exit(2);
 }
@@ -288,6 +298,8 @@ main(int argc, char **argv)
     bool profile = false;
     std::string inject_name;
     std::uint64_t inject_seed = 1;
+    std::string span_trace_out;
+    std::uint64_t span_rate = 256;
 
     auto next_arg = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -352,6 +364,12 @@ main(int argc, char **argv)
             inject_name = next_arg(i);
         } else if (arg == "--inject-seed") {
             inject_seed = std::strtoull(next_arg(i), nullptr, 10);
+        } else if (arg == "--span-trace") {
+            span_trace_out = next_arg(i);
+        } else if (arg == "--span-rate") {
+            span_rate = std::strtoull(next_arg(i), nullptr, 10);
+            if (span_rate == 0)
+                span_rate = 1;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
         } else {
@@ -362,6 +380,10 @@ main(int argc, char **argv)
     }
     if (spec.vm_workloads.empty())
         spec.vm_workloads = {"pagerank", "ccomp"};
+
+    std::string label = scheme;
+    for (const auto &vm : spec.vm_workloads)
+        label += ":" + vm;
 
     RunMetrics m;
     try {
@@ -385,6 +407,12 @@ main(int argc, char **argv)
                           static_cast<std::uint64_t>(::getpid()))
                           .c_str()
                     : live_out.c_str());
+        }
+        if (!span_trace_out.empty()) {
+            obs::SpanTraceConfig span_cfg;
+            span_cfg.rate = span_rate;
+            span_cfg.seed = spec.params.seed;
+            system->enableSpanTrace(span_cfg);
         }
         if (warmup) {
             system->run(warmup);
@@ -415,13 +443,23 @@ main(int argc, char **argv)
         }
         system->closeTrace();
         m = collectMetrics(*system);
+        if (!span_trace_out.empty()) {
+            system->writeSpanSidecar(span_trace_out, label)
+                .okOrRaise();
+            const obs::SpanSummary summary =
+                system->spanTrace()->summary();
+            std::fprintf(stderr,
+                         "span sidecar: %s (%llu journeys sampled, "
+                         "%llu dropped from rings)\n",
+                         span_trace_out.c_str(),
+                         static_cast<unsigned long long>(
+                             summary.sampled),
+                         static_cast<unsigned long long>(
+                             summary.dropped));
+        }
     } catch (const CsaltError &e) {
         fatal(e.error()); // structured diagnostic + exit(1)
     }
-
-    std::string label = scheme;
-    for (const auto &vm : spec.vm_workloads)
-        label += ":" + vm;
 
     if (format == "csv") {
         std::printf("%s\n%s\n", metricsCsvHeader().c_str(),

@@ -13,6 +13,13 @@
  *   trace_inspect --attach <pid|path>      # follow a live sim
  *   trace_inspect --attach <pid> --follow-json   # NDJSON stream
  *   trace_inspect --attach <pid> --samples 5 --interval-ms 100
+ *   trace_inspect --attach <pid> --stale-after 2000  # die if frozen
+ *
+ *   trace_inspect --spans spans.bin        # access-span sidecars
+ *   trace_inspect --spans --top 10 spans.bin     # slowest journeys
+ *   trace_inspect --spans --folded spans.bin | flamegraph.pl
+ *   trace_inspect --spans --chrome out.json spans.bin
+ *   trace_inspect --spans a.bin b.bin      # cross-scheme table
  *
  * Attach maps the sim's shared-memory live region (obs::LiveExport;
  * a PID resolves to the conventional /dev/shm path) read-only and
@@ -41,9 +48,26 @@
  * walk-latency percentiles (the "walk.lat" histogram digest).
  * --chrome rewraps the events into the {"traceEvents":[...]} array
  * form chrome://tracing and Perfetto load directly.
+ *
+ * --spans switches to the binary access-span sidecars written by
+ * `csalt-sim --span-trace` (obs/span_trace.h): per file it prints the
+ * header, a per-kind critical-path table (self cycles — child time
+ * subtracted from parents), a per-ASID attribution table, and the
+ * top-K slowest sampled journeys as indented span trees. --folded
+ * emits folded-stack lines ("access;walk;dram self_cycles") for
+ * flamegraph tooling instead of tables; --chrome writes the spans as
+ * Chrome "X" events (one track per core). Several sidecars at once
+ * produce a cross-scheme comparison table keyed by each file's
+ * embedded run label.
+ *
+ * --stale-after MS makes --attach exit(1) with a diagnostic when the
+ * writer's heartbeat (publish_count) stops advancing for MS
+ * milliseconds — a frozen table means the sim is stalled or dead,
+ * not idle.
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -60,6 +84,7 @@
 #include "common/table.h"
 #include "obs/json.h"
 #include "obs/live_export.h"
+#include "obs/span_trace.h"
 
 using namespace csalt;
 
@@ -72,9 +97,12 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--top K] [--label L] [--cpi] "
                  "[--chrome OUT] FILE.jsonl\n"
+                 "       %s --spans [--top K] [--folded] "
+                 "[--chrome OUT] SPANS.bin [SPANS.bin ...]\n"
                  "       %s --attach PID|PATH [--follow-json] "
-                 "[--samples N] [--interval-ms N]\n",
-                 argv0, argv0);
+                 "[--samples N] [--interval-ms N] "
+                 "[--stale-after MS]\n",
+                 argv0, argv0, argv0);
     std::exit(2);
 }
 
@@ -217,6 +245,345 @@ cumulativeAt(const std::vector<SampleRow> &samples, double at)
     return {lo->instructions, lo->l2tlb_misses};
 }
 
+// ------------------------------------------------- span sidecars
+
+/** "hit,trans,evicted-data" style rendering of span flags. */
+std::string
+spanFlagStr(const obs::Span &s)
+{
+    std::string out;
+    const auto add = [&](const char *tag) {
+        if (!out.empty())
+            out += ',';
+        out += tag;
+    };
+    if (s.flags & obs::kSpanFlagHit)
+        add("hit");
+    if (s.flags & obs::kSpanFlagTranslation)
+        add("trans");
+    if (s.flags & obs::kSpanFlagEvictedData)
+        add("evicted-data");
+    if (s.flags & obs::kSpanFlagVirtualized)
+        add("virt");
+    if (s.flags & obs::kSpanFlagSecondProbe)
+        add("2nd-probe");
+    return out.empty() ? "-" : out;
+}
+
+/** Span display name: kind, plus the walk/TLB level when set. */
+std::string
+spanName(const obs::Span &s)
+{
+    std::string name = obs::spanKindName(s.kindOf());
+    if (s.level)
+        name += ".L" + std::to_string(s.level);
+    return name;
+}
+
+/** Depth of every span (parents always precede children). */
+std::vector<int>
+spanDepths(const obs::SpanJourney &j)
+{
+    std::vector<int> depth(j.spans.size(), 0);
+    for (std::size_t i = 1; i < j.spans.size(); ++i)
+        depth[i] = depth[static_cast<std::size_t>(j.spans[i].parent)] + 1;
+    return depth;
+}
+
+/** Folded flamegraph stack ("access;walk;dram") for span @p i. */
+std::string
+foldedStack(const obs::SpanJourney &j, std::size_t i)
+{
+    std::vector<std::string> frames;
+    for (int at = static_cast<int>(i); at >= 0;
+         at = j.spans[static_cast<std::size_t>(at)].parent)
+        frames.push_back(spanName(j.spans[static_cast<std::size_t>(at)]));
+    std::string out;
+    for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+        if (!out.empty())
+            out += ';';
+        out += *it;
+    }
+    return out;
+}
+
+/** Per-file aggregates the span reports need. */
+struct SpanFileReport
+{
+    std::string path;
+    obs::SpanFile file;
+    std::uint64_t journey_cycles = 0; //!< sum of root totals (ring)
+    std::uint64_t kind_count[obs::kNumSpanKinds] = {};
+    std::uint64_t kind_cycles[obs::kNumSpanKinds] = {};
+    std::uint64_t kind_self[obs::kNumSpanKinds] = {};
+};
+
+/** Inspect binary span sidecars (`csalt-sim --span-trace`). */
+int
+runSpans(const std::vector<std::string> &paths, int top_k,
+         bool folded, const std::string &chrome_out)
+{
+    std::vector<SpanFileReport> reports;
+    for (const std::string &p : paths) {
+        Expected<obs::SpanFile> file = obs::readSpanFile(p);
+        if (!file.ok())
+            fatal(makeError(file.error().kind,
+                            "cannot read span sidecar: " +
+                                file.error().message,
+                            p,
+                            "pass the --span-trace file written by "
+                            "csalt-sim"));
+        SpanFileReport rep;
+        rep.path = p;
+        rep.file = std::move(file).valueOrRaise();
+        for (const obs::SpanJourney &j : rep.file.journeys) {
+            rep.journey_cycles += j.total;
+            const std::vector<std::uint64_t> self =
+                obs::spanSelfCycles(j);
+            for (std::size_t i = 0; i < j.spans.size(); ++i) {
+                const auto k = static_cast<std::size_t>(j.spans[i].kind);
+                ++rep.kind_count[k];
+                rep.kind_cycles[k] += j.spans[i].dur;
+                rep.kind_self[k] += self[i];
+            }
+        }
+        reports.push_back(std::move(rep));
+    }
+
+    // ---------------------------------------------------- folded
+    // Pure folded-stack output (pipe straight into flamegraph.pl):
+    // one "stack weight" line per distinct path, weight = self
+    // cycles. Multiple files are distinguished by a label root frame.
+    if (folded) {
+        std::map<std::string, std::uint64_t> stacks;
+        for (const SpanFileReport &rep : reports) {
+            for (const obs::SpanJourney &j : rep.file.journeys) {
+                const std::vector<std::uint64_t> self =
+                    obs::spanSelfCycles(j);
+                for (std::size_t i = 0; i < j.spans.size(); ++i) {
+                    if (!self[i])
+                        continue;
+                    std::string stack = foldedStack(j, i);
+                    if (reports.size() > 1)
+                        stack = rep.file.label + ";" + stack;
+                    stacks[stack] += self[i];
+                }
+            }
+        }
+        for (const auto &[stack, cycles] : stacks)
+            std::printf("%s %llu\n", stack.c_str(),
+                        static_cast<unsigned long long>(cycles));
+        return 0;
+    }
+
+    // ---------------------------------------------------- chrome
+    if (!chrome_out.empty()) {
+        std::ofstream out(chrome_out);
+        if (!out)
+            fatal("cannot open '" + chrome_out + "'");
+        out << "{\"traceEvents\":[";
+        bool first = true;
+        for (std::size_t f = 0; f < reports.size(); ++f) {
+            const SpanFileReport &rep = reports[f];
+            for (const obs::SpanJourney &j : rep.file.journeys) {
+                for (const obs::Span &s : j.spans) {
+                    if (!first)
+                        out << ",\n";
+                    first = false;
+                    out << "{\"name\":\"" << spanName(s)
+                        << "\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":"
+                        << static_cast<double>(j.start_cycle) + s.start
+                        << ",\"dur\":" << s.dur << ",\"pid\":" << f + 1
+                        << ",\"tid\":" << j.core << ",\"args\":{"
+                        << "\"asid\":" << j.asid << ",\"epoch\":"
+                        << j.epoch << ",\"flags\":\""
+                        << spanFlagStr(s) << "\"}}";
+                }
+            }
+        }
+        out << "]}\n";
+        std::printf("wrote span events to %s\n", chrome_out.c_str());
+    }
+
+    // ------------------------------------------------ per-file view
+    for (const SpanFileReport &rep : reports) {
+        const obs::SpanFile &sf = rep.file;
+        std::printf("== span sidecar: %s ==\n", rep.path.c_str());
+        TextTable head({"field", "value"});
+        head.row().add("label").add(sf.label);
+        head.row().add("cores").add(
+            static_cast<std::uint64_t>(sf.num_cores));
+        head.row().add("sample rate").add(
+            "1/" + std::to_string(sf.rate));
+        head.row().add("seed").add(sf.seed);
+        head.row().add("journeys sampled").add(sf.sampled);
+        head.row().add("journeys retained").add(
+            static_cast<std::uint64_t>(sf.journeys.size()));
+        head.row().add("ring drops").add(sf.dropped);
+        head.print();
+        std::printf("\n");
+
+        if (rep.file.journeys.empty()) {
+            std::printf("(no journeys retained — empty run?)\n\n");
+            continue;
+        }
+
+        // Critical path: self cycles per kind, as a share of total
+        // sampled journey cycles. "cycles" is inclusive (children
+        // counted in parents), "self" is exclusive.
+        std::printf("== critical path by span kind: %s ==\n",
+                    sf.label.c_str());
+        TextTable kinds({"kind", "count", "cycles", "self", "self%"});
+        for (std::size_t k = 0; k < obs::kNumSpanKinds; ++k) {
+            if (!rep.kind_count[k])
+                continue;
+            kinds.row()
+                .add(obs::spanKindName(
+                    static_cast<obs::SpanKind>(k)))
+                .add(rep.kind_count[k])
+                .add(rep.kind_cycles[k])
+                .add(rep.kind_self[k])
+                .add(rep.journey_cycles
+                         ? 100.0 *
+                               static_cast<double>(rep.kind_self[k]) /
+                               static_cast<double>(rep.journey_cycles)
+                         : 0.0,
+                     1);
+        }
+        kinds.print();
+        std::printf("\n");
+
+        // Per-ASID attribution: which VM pays the translation tax.
+        struct AsidRow
+        {
+            std::uint64_t journeys = 0;
+            std::uint64_t cycles = 0;
+            std::uint64_t trans_self = 0;
+        };
+        std::map<Asid, AsidRow> per_asid;
+        for (const obs::SpanJourney &j : sf.journeys) {
+            AsidRow &row = per_asid[j.asid];
+            ++row.journeys;
+            row.cycles += j.total;
+            const std::vector<std::uint64_t> self =
+                obs::spanSelfCycles(j);
+            for (std::size_t i = 0; i < j.spans.size(); ++i)
+                if (obs::spanIsTranslation(j.spans[i]))
+                    row.trans_self += self[i];
+        }
+        std::printf("== per-ASID critical path: %s ==\n",
+                    sf.label.c_str());
+        TextTable asids({"asid", "journeys", "cycles", "avg",
+                         "translation%"});
+        for (const auto &[asid, row] : per_asid)
+            asids.row()
+                .add(static_cast<std::uint64_t>(asid))
+                .add(row.journeys)
+                .add(row.cycles)
+                .add(row.journeys ? static_cast<double>(row.cycles) /
+                                        static_cast<double>(
+                                            row.journeys)
+                                  : 0.0,
+                     1)
+                .add(row.cycles ? 100.0 *
+                                      static_cast<double>(
+                                          row.trans_self) /
+                                      static_cast<double>(row.cycles)
+                                : 0.0,
+                     1);
+        asids.print();
+        std::printf("\n");
+
+        // Top-K slowest journeys, each as an indented span tree.
+        std::vector<const obs::SpanJourney *> slow;
+        for (const obs::SpanJourney &j : sf.journeys)
+            slow.push_back(&j);
+        std::sort(slow.begin(), slow.end(),
+                  [](const obs::SpanJourney *a,
+                     const obs::SpanJourney *b) {
+                      return a->total > b->total;
+                  });
+        if (slow.size() > static_cast<std::size_t>(top_k))
+            slow.resize(static_cast<std::size_t>(top_k));
+        std::printf("== top-%d slowest journeys: %s ==\n", top_k,
+                    sf.label.c_str());
+        for (std::size_t n = 0; n < slow.size(); ++n) {
+            const obs::SpanJourney &j = *slow[n];
+            std::printf("#%zu  core=%u asid=%u epoch=%u "
+                        "vaddr=0x%llx access#%llu  total=%u cycles "
+                        "(charged %u)\n",
+                        n + 1, j.core, j.asid, j.epoch,
+                        static_cast<unsigned long long>(j.vaddr),
+                        static_cast<unsigned long long>(
+                            j.access_index),
+                        j.total, j.charged);
+            const std::vector<int> depth = spanDepths(j);
+            const std::vector<std::uint64_t> self =
+                obs::spanSelfCycles(j);
+            for (std::size_t i = 0; i < j.spans.size(); ++i) {
+                const obs::Span &s = j.spans[i];
+                std::printf("  %*s%-*s [%6u..%6u] dur=%-6u self=%-6llu"
+                            " %s\n",
+                            depth[i] * 2, "",
+                            std::max(2, 24 - depth[i] * 2),
+                            spanName(s).c_str(), s.start, s.end(),
+                            s.dur,
+                            static_cast<unsigned long long>(self[i]),
+                            spanFlagStr(s).c_str());
+            }
+        }
+        std::printf("\n");
+    }
+
+    // --------------------------------- cross-scheme comparison table
+    if (reports.size() > 1) {
+        std::printf("== cross-scheme critical path (self%% of "
+                    "journey cycles) ==\n");
+        TextTable table({"label", "journeys", "avg cycles", "tlb%",
+                         "pom%", "tsb%", "walk%", "cache%", "dram%"});
+        const auto share = [](const SpanFileReport &r,
+                              std::initializer_list<obs::SpanKind> ks) {
+            std::uint64_t self = 0;
+            for (obs::SpanKind k : ks)
+                self += r.kind_self[static_cast<std::size_t>(k)];
+            return r.journey_cycles
+                       ? 100.0 * static_cast<double>(self) /
+                             static_cast<double>(r.journey_cycles)
+                       : 0.0;
+        };
+        for (const SpanFileReport &rep : reports) {
+            const std::size_t n = rep.file.journeys.size();
+            table.row()
+                .add(rep.file.label)
+                .add(static_cast<std::uint64_t>(n))
+                .add(n ? static_cast<double>(rep.journey_cycles) /
+                             static_cast<double>(n)
+                       : 0.0,
+                     1)
+                .add(share(rep, {obs::SpanKind::tlb_l1,
+                                 obs::SpanKind::tlb_l2}),
+                     1)
+                .add(share(rep, {obs::SpanKind::pom_lookup}), 1)
+                .add(share(rep, {obs::SpanKind::tsb_lookup}), 1)
+                .add(share(rep, {obs::SpanKind::walk,
+                                 obs::SpanKind::walk_guest_ref,
+                                 obs::SpanKind::walk_host_ref,
+                                 obs::SpanKind::mmu_cache}),
+                     1)
+                .add(share(rep, {obs::SpanKind::cache_l1d,
+                                 obs::SpanKind::cache_l2,
+                                 obs::SpanKind::cache_l3}),
+                     1)
+                .add(share(rep, {obs::SpanKind::dram,
+                                 obs::SpanKind::dram_queue,
+                                 obs::SpanKind::dram_service}),
+                     1);
+        }
+        table.print();
+    }
+    return 0;
+}
+
 // ------------------------------------------------------ live attach
 
 /** Sum of the values at @p idxs in a snapshot. */
@@ -236,8 +603,15 @@ sumAt(const std::vector<double> &values,
  */
 int
 runAttach(const std::string &target, bool follow_json,
-          unsigned interval_ms, std::uint64_t max_samples)
+          unsigned interval_ms, std::uint64_t max_samples,
+          unsigned stale_after_ms)
 {
+    // NDJSON consumers read us through a pipe: line-buffer stdout so
+    // every sample is visible the moment its newline lands, even
+    // when the default full-buffering of a non-tty would hold it.
+    if (follow_json)
+        std::setvbuf(stdout, nullptr, _IOLBF, 0);
+
     // A bare PID names the conventional region of that process.
     std::string path = target;
     if (!target.empty() &&
@@ -299,7 +673,27 @@ runAttach(const std::string &target, bool follow_json,
     double worst_win = -1.0, worst_t = 0.0;
     std::uint64_t worst_epoch = 0;
 
+    // Staleness watchdog (--stale-after): wall time since the
+    // heartbeat last advanced. A live-but-idle sim still publishes
+    // (the run loop heartbeats every 4096 steps), so a frozen
+    // publish_count really does mean stalled or dead.
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point last_advance = Clock::now();
+    const auto frozenMs = [&] {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                Clock::now() - last_advance)
+                .count());
+    };
+
     for (;;) {
+        if (stale_after_ms && frozenMs() >= stale_after_ms) {
+            warn(msgOf("sim appears stalled or dead: heartbeat "
+                       "(publish_count=", last_pc,
+                       ") has not advanced in ", frozenMs(),
+                       " ms (--stale-after ", stale_after_ms, ")"));
+            return 1;
+        }
         auto snap = live.read();
         if (!snap.ok()) {
             if (snap.error().kind == ErrorKind::cancelled) {
@@ -326,6 +720,7 @@ runAttach(const std::string &target, bool follow_json,
             continue;
         }
         last_pc = s.publish_count;
+        last_advance = Clock::now();
 
         const double instr = sumAt(s.values, instr_idx);
         const double miss = sumAt(s.values, miss_idx);
@@ -403,12 +798,15 @@ main(int argc, char **argv)
     int top_k = 5;
     std::string only_label;
     std::string chrome_out;
-    std::string path;
+    std::vector<std::string> paths;
     std::string attach_target;
     bool cpi_mode = false;
     bool follow_json = false;
+    bool spans_mode = false;
+    bool folded = false;
     std::uint64_t max_samples = 0;
     unsigned interval_ms = 200;
+    unsigned stale_after_ms = 0;
 
     auto next_arg = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -426,10 +824,17 @@ main(int argc, char **argv)
             chrome_out = next_arg(i);
         else if (arg == "--cpi")
             cpi_mode = true;
+        else if (arg == "--spans")
+            spans_mode = true;
+        else if (arg == "--folded")
+            folded = true;
         else if (arg == "--attach")
             attach_target = next_arg(i);
         else if (arg == "--follow-json")
             follow_json = true;
+        else if (arg == "--stale-after")
+            stale_after_ms = static_cast<unsigned>(
+                std::atoi(next_arg(i)));
         else if (arg == "--samples")
             max_samples = static_cast<std::uint64_t>(
                 std::atoll(next_arg(i)));
@@ -440,21 +845,29 @@ main(int argc, char **argv)
             usage(argv[0]);
         else if (!arg.empty() && arg[0] == '-')
             usage(argv[0]);
-        else if (path.empty())
-            path = arg;
         else
-            usage(argv[0]);
+            paths.push_back(arg);
     }
     if (!attach_target.empty()) {
-        if (!path.empty())
-            usage(argv[0]); // offline file + live attach don't mix
+        if (!paths.empty() || spans_mode)
+            usage(argv[0]); // offline files + live attach don't mix
         return runAttach(attach_target, follow_json,
-                         std::max(1u, interval_ms), max_samples);
+                         std::max(1u, interval_ms), max_samples,
+                         stale_after_ms);
     }
-    if (follow_json)
+    if (follow_json || stale_after_ms)
         usage(argv[0]); // only meaningful with --attach
-    if (path.empty())
-        usage(argv[0]);
+    if (spans_mode) {
+        if (paths.empty())
+            usage(argv[0]);
+        return runSpans(paths, std::max(1, top_k), folded,
+                        chrome_out);
+    }
+    if (folded)
+        usage(argv[0]); // only meaningful with --spans
+    if (paths.size() != 1)
+        usage(argv[0]); // JSONL mode reads exactly one trace
+    const std::string path = paths.front();
 
     std::ifstream in(path);
     if (!in) {
