@@ -49,6 +49,7 @@
 #include "obs/json.h"
 #include "sim/metrics.h"
 #include "sim/metrics_io.h"
+#include "sim/scheme.h"
 #include "sim/system_builder.h"
 #include "workloads/registry.h"
 
@@ -108,12 +109,13 @@ benchEnv(int &argc, char **argv)
     return env;
 }
 
-/** Scheme selector used across benches. */
-struct Scheme
-{
-    const char *name;
-    void (*apply)(SystemParams &);
-};
+/**
+ * Scheme selector used across benches — an alias of the registry row
+ * (sim/scheme.h), so every bench's `.name` is the display spelling
+ * ("CSALT-CD") that keys BENCH_results.json and the journal, and
+ * `.apply` is the one registered params mapping.
+ */
+using Scheme = SchemeInfo;
 
 /**
  * Build the two-VM (or n-VM) system for a paper pair label.
@@ -264,12 +266,14 @@ class CellSet
     std::vector<harness::JobOutcome<RunMetrics>> outcomes_;
 };
 
-inline const Scheme kConventional{"Conventional", applyConventional};
-inline const Scheme kPomTlb{"POM-TLB", applyPomTlb};
-inline const Scheme kCsaltD{"CSALT-D", applyCsaltD};
-inline const Scheme kCsaltCD{"CSALT-CD", applyCsaltCD};
-inline const Scheme kTsb{"TSB", applyTsb};
-inline const Scheme kDip{"DIP", applyDipOverPom};
+inline const Scheme &kConventional = schemeInfo(SchemeId::conventional);
+inline const Scheme &kPomTlb = schemeInfo(SchemeId::pom);
+inline const Scheme &kCsaltD = schemeInfo(SchemeId::csaltD);
+inline const Scheme &kCsaltCD = schemeInfo(SchemeId::csaltCD);
+inline const Scheme &kTsb = schemeInfo(SchemeId::tsb);
+inline const Scheme &kDip = schemeInfo(SchemeId::dip);
+inline const Scheme &kVictima = schemeInfo(SchemeId::victima);
+inline const Scheme &kPcax = schemeInfo(SchemeId::pcax);
 
 /**
  * Machine-readable bench results, written next to the human table.

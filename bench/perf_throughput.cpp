@@ -4,8 +4,9 @@
  * simulator itself runs the fig07 reference configs.
  *
  * For each reference scheme (POM-TLB baseline, CSALT-D, CSALT-CD,
- * DIP) this builds the fig07 system for one workload pair, warms it
- * up, clears stats, and times the measured slice with a pinned seed.
+ * DIP, Victima, PCAX) this builds the fig07 system for one workload
+ * pair, warms it up, clears stats, and times the measured slice with
+ * a pinned seed.
  * It reports
  *
  *   MAPS  simulated memory accesses per second, in millions
@@ -76,8 +77,8 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(env.warmup),
                 static_cast<unsigned long long>(env.quota));
 
-    const std::vector<Scheme> schemes = {kPomTlb, kCsaltD, kCsaltCD,
-                                         kDip};
+    const std::vector<Scheme> schemes = {kPomTlb,  kCsaltD, kCsaltCD,
+                                         kDip,     kVictima, kPcax};
 
     TextTable table(
         {"scheme", "MAPS", "MIPS", "accesses", "seconds"});

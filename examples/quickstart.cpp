@@ -5,13 +5,18 @@
  * run a short slice, and print the headline metrics.
  *
  * This is the smallest end-to-end use of the public API:
- *   BuildSpec -> buildSystem() -> run() -> collectMetrics().
+ *   BuildSpec -> buildSystem() -> run() -> collectMetrics(),
+ * with the scheme resolved through the TranslationScheme registry
+ * (sim/scheme.h) — the same table every tool dispatches on.
  */
 
+#include <array>
 #include <cstdio>
+#include <vector>
 
 #include "common/table.h"
 #include "sim/metrics.h"
+#include "sim/scheme.h"
 #include "sim/system_builder.h"
 
 using namespace csalt;
@@ -20,11 +25,10 @@ namespace
 {
 
 RunMetrics
-runScheme(const char *label, void (*apply)(SystemParams &),
-          std::uint64_t instructions)
+runScheme(SchemeId id, std::uint64_t instructions)
 {
     BuildSpec spec;
-    apply(spec.params);
+    applyScheme(spec.params, id);
     spec.vm_workloads = {"canneal", "ccomp"};
     auto system = buildSystem(spec);
     // Warm the TLBs/caches/POM-TLB past the compulsory misses, then
@@ -32,7 +36,7 @@ runScheme(const char *label, void (*apply)(SystemParams &),
     system->run(instructions / 2);
     system->clearAllStats();
     system->run(instructions);
-    std::printf("  [%s] done\n", label);
+    std::printf("  [%s] done\n", schemeInfo(id).name);
     return collectMetrics(*system);
 }
 
@@ -44,28 +48,26 @@ main()
     constexpr std::uint64_t kInstructions = 1'000'000;
 
     std::printf("csalt quickstart: canneal+ccomp, 8 cores, 2 VMs\n");
-    const RunMetrics conv =
-        runScheme("conventional", applyConventional, kInstructions);
-    const RunMetrics pom =
-        runScheme("POM-TLB", applyPomTlb, kInstructions);
-    const RunMetrics csalt_cd =
-        runScheme("CSALT-CD", applyCsaltCD, kInstructions);
+    const std::array<SchemeId, 3> schemes = {
+        SchemeId::conventional, SchemeId::pom, SchemeId::csaltCD};
+    std::vector<RunMetrics> results;
+    for (SchemeId id : schemes)
+        results.push_back(runScheme(id, kInstructions));
+    const RunMetrics &conv = results[0];
 
     TextTable table({"scheme", "IPC(gmean)", "L2TLB MPKI", "walks",
                      "walk cyc", "L3 tr-occ", "speedup vs conv"});
-    const auto add = [&](const char *name, const RunMetrics &m) {
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+        const RunMetrics &m = results[i];
         table.row()
-            .add(name)
+            .add(schemeInfo(schemes[i]).name)
             .add(m.ipc_geomean)
             .add(m.l2_tlb_mpki)
             .add(m.walks)
             .add(m.avg_walk_cycles, 1)
             .add(m.l3_translation_occupancy)
             .add(m.ipc_geomean / conv.ipc_geomean, 3);
-    };
-    add("conventional", conv);
-    add("POM-TLB", pom);
-    add("CSALT-CD", csalt_cd);
+    }
     table.print();
     return 0;
 }

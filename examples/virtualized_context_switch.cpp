@@ -13,6 +13,7 @@
 
 #include "common/table.h"
 #include "sim/metrics.h"
+#include "sim/scheme.h"
 #include "sim/system_builder.h"
 
 using namespace csalt;
@@ -22,15 +23,15 @@ namespace
 
 struct Row
 {
-    const char *name;
+    SchemeId scheme;
     RunMetrics metrics;
 };
 
 RunMetrics
-run(void (*apply)(SystemParams &), unsigned vms)
+run(SchemeId scheme, unsigned vms)
 {
     BuildSpec spec;
-    apply(spec.params);
+    applyScheme(spec.params, scheme);
     spec.vm_workloads = {"pagerank"};
     if (vms > 1)
         spec.vm_workloads.push_back("ccomp");
@@ -50,8 +51,8 @@ main()
                 "context switch every 10 scaled ms\n\n");
 
     // First: what does context switching alone do to the L2 TLB?
-    const RunMetrics alone = run(applyConventional, 1);
-    const RunMetrics both = run(applyConventional, 2);
+    const RunMetrics alone = run(SchemeId::conventional, 1);
+    const RunMetrics both = run(SchemeId::conventional, 2);
     std::printf("pagerank L2 TLB MPKI alone:          %.2f\n",
                 alone.vms[0].l2_tlb_mpki);
     std::printf("pagerank L2 TLB MPKI context-switched: %.2f  (%.1fx)\n\n",
@@ -61,12 +62,13 @@ main()
                           alone.vms[0].l2_tlb_mpki
                     : 0.0);
 
-    // Then: how the four machines cope with it.
+    // Then: how the four machines cope with it — each resolved
+    // through the TranslationScheme registry (sim/scheme.h).
     const std::vector<Row> rows = {
-        {"conventional", run(applyConventional, 2)},
-        {"POM-TLB", run(applyPomTlb, 2)},
-        {"CSALT-D", run(applyCsaltD, 2)},
-        {"CSALT-CD", run(applyCsaltCD, 2)},
+        {SchemeId::conventional, run(SchemeId::conventional, 2)},
+        {SchemeId::pom, run(SchemeId::pom, 2)},
+        {SchemeId::csaltD, run(SchemeId::csaltD, 2)},
+        {SchemeId::csaltCD, run(SchemeId::csaltCD, 2)},
     };
     const double conv_ipc = rows[0].metrics.ipc_geomean;
 
@@ -74,7 +76,7 @@ main()
                      "walks", "walk cyc", "L3 tr-occupancy"});
     for (const auto &row : rows) {
         table.row()
-            .add(row.name)
+            .add(schemeInfo(row.scheme).name)
             .add(row.metrics.ipc_geomean, 4)
             .add(conv_ipc > 0 ? row.metrics.ipc_geomean / conv_ipc
                               : 0.0,

@@ -127,6 +127,23 @@ Cache::probe(Addr addr) const
 }
 
 bool
+Cache::touch(Addr addr, LineType ltype)
+{
+    const Addr line_addr = addr >> kLineShift;
+    const std::uint64_t si = setIndexOf(line_addr);
+    const Addr *tags = &tags_[si * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (tags[w] == line_addr) {
+            ++stats_.hits[static_cast<int>(ltype)];
+            repl_.touch(si, w);
+            return true;
+        }
+    }
+    ++stats_.misses[static_cast<int>(ltype)];
+    return false;
+}
+
+bool
 Cache::markDirtyIfPresent(Addr addr)
 {
     const Addr line_addr = addr >> kLineShift;

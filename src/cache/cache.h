@@ -110,6 +110,16 @@ class Cache
     bool probe(Addr addr) const;
 
     /**
+     * Non-filling demand probe: on hit, promote the line and count a
+     * hit; on miss, count a miss but do NOT allocate (no victim, no
+     * DIP/shadow updates). Victima lookups use this — whether its
+     * entry line is still cache-resident IS the residency question,
+     * so the probe must never fabricate residency by filling.
+     * @return true on hit.
+     */
+    bool touch(Addr addr, LineType ltype);
+
+    /**
      * Writeback landing: mark the line dirty if present (no fill, no
      * demand stats, no profiler update — absorbing a writeback saves
      * bandwidth, not load latency, so it must not bias the partition

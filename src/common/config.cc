@@ -32,6 +32,10 @@ translationKindName(TranslationKind t)
         return "POM-TLB";
       case TranslationKind::tsb:
         return "TSB";
+      case TranslationKind::victima:
+        return "Victima";
+      case TranslationKind::pcax:
+        return "PCAX";
     }
     return "?";
 }
@@ -151,6 +155,20 @@ validate(const SystemParams &params)
         raiseConfig("POM-TLB",
                     "one set must fill exactly one cache line",
                     msgOf("entry_bytes*ways must be ", kLineSize));
+
+    if (!isPow2(params.victima.size_bytes) || params.victima.ways == 0)
+        raiseConfig("Victima", "bad geometry",
+                    "size must be a power of two with nonzero ways");
+    if (params.victima.entry_bytes * params.victima.ways != kLineSize)
+        raiseConfig("Victima",
+                    "one set must fill exactly one cache line",
+                    msgOf("entry_bytes*ways must be ", kLineSize));
+    if (params.victima.max_translation_occupancy < 0.0 ||
+        params.victima.max_translation_occupancy > 1.0)
+        raiseConfig("Victima",
+                    "max_translation_occupancy out of [0,1]");
+    if (!isPow2(params.pcax.entries))
+        raiseConfig("PCAX", "entries must be a power of two");
 
     if (params.huge_page_fraction < 0.0 || params.huge_page_fraction > 1.0)
         raiseConfig("huge_page_fraction", "out of [0,1]");

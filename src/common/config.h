@@ -62,6 +62,8 @@ enum class TranslationKind : std::uint8_t
     conventional, //!< L1-L2 TLBs + page walk (baseline)
     pomTlb,       //!< adds the 16MB in-memory L3 TLB [Ryoo et al.]
     tsb,          //!< software translation storage buffer [SPARC]
+    victima,      //!< TLB entries in L2/L3 data blocks [MICRO'23]
+    pcax,         //!< PC-indexed translation prediction
 };
 
 /** Cache partitioning policy between data and translation lines. */
@@ -150,6 +152,39 @@ struct TsbParams
     unsigned lookups = 2; //!< dependent cacheable probes per miss
 };
 
+/**
+ * Victima-style cache-resident TLB entries [Kanellopoulos et al.,
+ * MICRO'23]: L2 TLB victims are re-inserted as translation lines in
+ * the L2/L3 data arrays, reusing blocks the occupancy machinery shows
+ * as underutilized. The functional store is a set-associative array
+ * of packed entries whose sets alias onto cache lines in a dedicated
+ * physical range, so residency and timing come from the ordinary
+ * cache model.
+ */
+struct VictimaParams
+{
+    std::uint64_t size_bytes = 4ull << 20;
+    unsigned ways = 4;    //!< entries per 64B line-set
+    std::uint64_t entry_bytes = 16;
+    /**
+     * Victims are only cached while translation lines occupy at most
+     * this fraction of the L2/L3 (the underutilization gate).
+     */
+    double max_translation_occupancy = 0.5;
+};
+
+/**
+ * PC-indexed translation predictor (PCAX-style): a direct-mapped
+ * table of recent {frame, page size} results indexed by a hash of the
+ * access PC, probed alongside the L2 TLB so a correct prediction
+ * bypasses the L2-miss translation machinery.
+ */
+struct PcaxParams
+{
+    unsigned entries = 4096; //!< direct-mapped, power of two
+    Cycles latency = 2;      //!< probe cost charged on prediction
+};
+
 /** CSALT partition controller configuration (one per cache). */
 struct PartitionParams
 {
@@ -197,6 +232,8 @@ struct SystemParams
     DramParams stacked; //!< die-stacked DRAM holding the POM-TLB
     PomTlbParams pom;
     TsbParams tsb;
+    VictimaParams victima;
+    PcaxParams pcax;
     PartitionParams l2_partition;
     PartitionParams l3_partition;
     CoreParams core;

@@ -97,7 +97,7 @@ std::string
 sanitizeJobKey(std::string_view key)
 {
     std::string out;
-    out.reserve(key.size());
+    out.reserve(key.size() + 9);
     for (const char c : key) {
         const bool safe = (c >= 'a' && c <= 'z') ||
                           (c >= 'A' && c <= 'Z') ||
@@ -105,6 +105,13 @@ sanitizeJobKey(std::string_view key)
                           c == '_' || c == '-';
         out += safe ? c : '_';
     }
+    // The replacement alone is lossy ("a/b" and "a_b" both render as
+    // "a_b", so two cells would clobber one live region); a short
+    // hash of the RAW key keeps distinct keys on distinct files.
+    char hash[10];
+    std::snprintf(hash, sizeof hash, "-%08x",
+                  static_cast<unsigned>(fnv1a(key) & 0xffffffffu));
+    out += hash;
     return out;
 }
 

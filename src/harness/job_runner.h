@@ -86,7 +86,11 @@ unsigned jobsFromEnv(unsigned fallback = 1);
  */
 std::string liveDirFromEnv();
 
-/** Filename-safe rendering of a job key ([^A-Za-z0-9._-] -> '_'). */
+/**
+ * Filename-safe rendering of a job key: [^A-Za-z0-9._-] -> '_', plus
+ * "-<8 hex>" of the raw key so keys that only differ in replaced
+ * characters ("a/b" vs "a_b") still map to distinct file names.
+ */
 std::string sanitizeJobKey(std::string_view key);
 
 /**

@@ -6,11 +6,13 @@ namespace csalt
 {
 
 MemoryMap::MemoryMap(std::uint64_t data_bytes, std::uint64_t pt_bytes,
-                     std::uint64_t pom_bytes)
-    : data_bytes_(data_bytes), pt_bytes_(pt_bytes), pom_bytes_(pom_bytes)
+                     std::uint64_t pom_bytes,
+                     std::uint64_t victima_bytes)
+    : data_bytes_(data_bytes), pt_bytes_(pt_bytes),
+      pom_bytes_(pom_bytes), victima_bytes_(victima_bytes)
 {
     if (data_bytes % kPageSize || pt_bytes % kPageSize ||
-        pom_bytes % kPageSize) {
+        pom_bytes % kPageSize || victima_bytes % kPageSize) {
         fatal("MemoryMap ranges must be page aligned");
     }
     if (data_bytes == 0 || pt_bytes == 0)

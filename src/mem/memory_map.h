@@ -2,10 +2,12 @@
  * @file
  * Host-physical address-space layout.
  *
- * Three disjoint ranges:
+ * Disjoint ranges:
  *   [0, data)                ordinary data pages, off-chip DDR4
  *   [data, data+pt)          page-table pages, off-chip DDR4
  *   [data+pt, data+pt+pom)   the POM-TLB, die-stacked DRAM
+ *   [pomLimit, +victima)     Victima cache-resident TLB entry lines
+ *                            (zero-sized unless the scheme is active)
  *
  * The cache controller classifies a line as data vs translation by
  * address range (paper §3.1, "Classifying Addresses as Data or TLB"
@@ -37,9 +39,11 @@ class MemoryMap
      * @param data_bytes size of the ordinary-data range
      * @param pt_bytes size of the page-table range
      * @param pom_bytes size of the POM-TLB range
+     * @param victima_bytes size of the Victima entry-line range
      */
     MemoryMap(std::uint64_t data_bytes, std::uint64_t pt_bytes,
-              std::uint64_t pom_bytes);
+              std::uint64_t pom_bytes,
+              std::uint64_t victima_bytes = 0);
 
     Addr dataBase() const { return 0; }
     Addr dataLimit() const { return data_bytes_; }
@@ -47,6 +51,8 @@ class MemoryMap
     Addr ptLimit() const { return data_bytes_ + pt_bytes_; }
     Addr pomBase() const { return data_bytes_ + pt_bytes_; }
     Addr pomLimit() const { return data_bytes_ + pt_bytes_ + pom_bytes_; }
+    Addr victimaBase() const { return pomLimit(); }
+    Addr victimaLimit() const { return pomLimit() + victima_bytes_; }
 
     bool inData(Addr a) const { return a < dataLimit(); }
     bool inPageTable(Addr a) const
@@ -54,6 +60,10 @@ class MemoryMap
         return a >= ptBase() && a < ptLimit();
     }
     bool inPom(Addr a) const { return a >= pomBase() && a < pomLimit(); }
+    bool inVictima(Addr a) const
+    {
+        return a >= victimaBase() && a < victimaLimit();
+    }
 
     /** Data vs translation classification for cache partitioning. */
     LineType classify(Addr a) const
@@ -71,6 +81,7 @@ class MemoryMap
     std::uint64_t data_bytes_;
     std::uint64_t pt_bytes_;
     std::uint64_t pom_bytes_;
+    std::uint64_t victima_bytes_;
 };
 
 } // namespace csalt

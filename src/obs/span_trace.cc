@@ -99,6 +99,8 @@ spanKindName(SpanKind kind)
       case SpanKind::dram: return "dram";
       case SpanKind::dram_queue: return "dram_queue";
       case SpanKind::dram_service: return "dram_service";
+      case SpanKind::victima_lookup: return "victima_lookup";
+      case SpanKind::pcax_lookup: return "pcax_lookup";
     }
     return "unknown";
 }
@@ -123,6 +125,8 @@ spanIsTranslation(const Span &s)
       case SpanKind::walk:
       case SpanKind::walk_guest_ref:
       case SpanKind::walk_host_ref:
+      case SpanKind::victima_lookup:
+      case SpanKind::pcax_lookup:
         return true;
       default:
         return false;

@@ -64,9 +64,11 @@ enum class SpanKind : std::uint8_t
     dram,           //!< DRAM channel access (queue + service + bus)
     dram_queue,     //!< time waiting behind bank/channel backlog
     dram_service,   //!< row access + burst + overhead
+    victima_lookup, //!< Victima cache-resident TLB entry lookup
+    pcax_lookup,    //!< PCAX PC-indexed prediction probe
 };
 
-constexpr std::size_t kNumSpanKinds = 15;
+constexpr std::size_t kNumSpanKinds = 17;
 
 /** Stable lowercase kind name ("access", "walk_host_ref", ...). */
 const char *spanKindName(SpanKind kind);

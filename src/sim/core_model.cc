@@ -13,6 +13,8 @@ CoreModel::CoreModel(unsigned id, const SystemParams &params,
       mmu_(params.psc), next_switch_(params.cs_interval)
 {
     walker_ = std::make_unique<PageWalker>(id_, mmu_, mem_);
+    if (params_.translation == TranslationKind::pcax)
+        pcax_ = std::make_unique<PcaxPredictor>(params_.pcax);
 }
 
 CoreModel::~CoreModel() = default;
@@ -59,7 +61,7 @@ CoreModel::maybeContextSwitch()
 }
 
 Cycles
-CoreModel::translate(SimContext &ctx, Addr gva, Mapping &out,
+CoreModel::translate(SimContext &ctx, Addr gva, Addr pc, Mapping &out,
                      obs::LatencyBreakdown &bd)
 {
     VmContext &vm = ctx.vm();
@@ -121,6 +123,64 @@ CoreModel::translate(SimContext &ctx, Addr gva, Mapping &out,
         tlbs_.fill(vm.asid(), gva, out);
         return lat;
       }
+      case TranslationKind::victima: {
+        const auto vic = mem_.victimaLookup(id_, vm.asid(), gva,
+                                            size_predictor_,
+                                            now + lat);
+        lat += vic.latency;
+        // Victima probes ARE cache accesses to the entry line; like
+        // the POM-TLB they land in the pomAccess component (no new
+        // CPI component — the stack layout is pinned by goldens).
+        bd.add(obs::CpiComponent::pomAccess,
+               static_cast<double>(vic.latency));
+        if (vic.hit) {
+            out = vic.mapping;
+            tlbs_.fill(vm.asid(), gva, out);
+            return lat;
+        }
+        const auto walk = walker_->walk(vm, gva, now + lat, &bd);
+        lat += walk.latency;
+        ++stats_.walks;
+        stats_.walk_cycles += walk.latency;
+        mem_.recordWalk(walk.latency);
+        out = walk.mapping;
+        size_predictor_.update(gva, out.ps);
+        mem_.victimaInsert(id_, vm.asid(), gva, out, now + lat);
+        tlbs_.fill(vm.asid(), gva, out);
+        return lat;
+      }
+      case TranslationKind::pcax: {
+        // Probed alongside the L2 TLB: the prediction is only
+        // consumed here, on an L2 miss, so charging its fixed cost
+        // at this point is timing-equivalent to the parallel probe.
+        obs::SpanBuilder *sb = obs::spanBuilder();
+        const int sp = sb ? sb->open(obs::SpanKind::pcax_lookup,
+                                     now + lat)
+                          : -1;
+        const Cycles plat = params_.pcax.latency;
+        lat += plat;
+        bd.add(obs::CpiComponent::tlbProbe,
+               static_cast<double>(plat));
+        const auto pred = pcax_->predict(vm.asid(), pc, gva);
+        if (sb) {
+            sb->close(sp, now + lat,
+                      pred.hit ? obs::kSpanFlagHit : 0);
+        }
+        if (pred.hit) {
+            out = pred.mapping;
+            tlbs_.fill(vm.asid(), gva, out);
+            return lat;
+        }
+        const auto walk = walker_->walk(vm, gva, now + lat, &bd);
+        lat += walk.latency;
+        ++stats_.walks;
+        stats_.walk_cycles += walk.latency;
+        mem_.recordWalk(walk.latency);
+        out = walk.mapping;
+        pcax_->update(vm.asid(), pc, gva, out);
+        tlbs_.fill(vm.asid(), gva, out);
+        return lat;
+      }
       case TranslationKind::conventional:
       default: {
         const auto walk = walker_->walk(vm, gva, now + lat, &bd);
@@ -170,7 +230,8 @@ CoreModel::step()
     ++ctx_stats_[current_].memrefs;
 
     Mapping mapping;
-    const Cycles tlat = translate(ctx, rec.vaddr, mapping, bd);
+    const Cycles tlat =
+        translate(ctx, rec.vaddr, rec.pc, mapping, bd);
     cycles_ += static_cast<double>(tlat);
     stats_.translation_cycles += tlat;
 
@@ -230,6 +291,8 @@ CoreModel::registerStats(obs::StatRegistry &reg,
 
     tlbs_.registerStats(reg, prefix);
     walker_->registerStats(reg, prefix);
+    if (pcax_)
+        pcax_->registerStats(reg, prefix + ".pcax");
 
     // Per-context (= per-VM slot) attribution. ctx_stats_ is sized by
     // setContexts() and never reallocates afterwards, so the counter

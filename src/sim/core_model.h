@@ -27,6 +27,7 @@
 #include "obs/span_trace.h"
 #include "sim/context.h"
 #include "sim/memory_system.h"
+#include "tlb/pcax.h"
 #include "tlb/tlb_hierarchy.h"
 #include "vm/mmu_cache.h"
 #include "vm/page_walker.h"
@@ -111,6 +112,8 @@ class CoreModel
         stats_ = CoreStats{};
         for (auto &cs : ctx_stats_)
             cs = ContextStats{};
+        if (pcax_)
+            pcax_->clearStats();
         cpi_.clear();
         for (auto &stack : ctx_cpi_)
             stack.clear();
@@ -175,11 +178,12 @@ class CoreModel
 
   private:
     /**
-     * Resolve the translation of @p gva; returns blocking latency.
-     * Stamps every returned cycle into @p bd (tlb_probe, pom_access,
-     * tsb_access, and the walker's walk_* components).
+     * Resolve the translation of @p gva (@p pc = issuing site, used
+     * by the PCAX predictor); returns blocking latency. Stamps every
+     * returned cycle into @p bd (tlb_probe, pom_access, tsb_access,
+     * and the walker's walk_* components).
      */
-    Cycles translate(SimContext &ctx, Addr gva, Mapping &out,
+    Cycles translate(SimContext &ctx, Addr gva, Addr pc, Mapping &out,
                      obs::LatencyBreakdown &bd);
 
     /** Rotate to the next context when the interval expires. */
@@ -192,6 +196,8 @@ class CoreModel
     MmuCaches mmu_;
     std::unique_ptr<PageWalker> walker_;
     PageSizePredictor size_predictor_;
+    /** PC-indexed predictor; built only for the pcax scheme. */
+    std::unique_ptr<PcaxPredictor> pcax_;
 
     std::vector<std::unique_ptr<SimContext>> contexts_;
     std::size_t current_ = 0;

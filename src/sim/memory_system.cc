@@ -31,7 +31,7 @@ cacheSpanFlags(bool hit, LineType lt, const Victim &victim)
 MemorySystem::MemorySystem(const SystemParams &params)
     : params_(params),
       map_(params.ranges.data_bytes, params.ranges.pt_bytes,
-           params.pom.size_bytes)
+           params.pom.size_bytes, params.victima.size_bytes)
 {
     validate(params_);
 
@@ -51,6 +51,16 @@ MemorySystem::MemorySystem(const SystemParams &params)
                                  params_.max_asids);
 
     pom_ = std::make_unique<PomTlb>(params_.pom, map_.pomBase());
+
+    // The Victima entry store reuses the PomTlb packing: one 64B line
+    // per set, addressed in its own range so the caches classify it
+    // as translation. Always built (it is only memory); only the
+    // victima scheme probes it.
+    const PomTlbParams victima_geom{params_.victima.size_bytes,
+                                    params_.victima.ways,
+                                    params_.victima.entry_bytes};
+    victima_ =
+        std::make_unique<PomTlb>(victima_geom, map_.victimaBase());
 
     for (unsigned c = 0; c < params_.num_cores; ++c) {
         l1d_.push_back(std::make_unique<Cache>(params_.l1d));
@@ -324,6 +334,105 @@ MemorySystem::tsbInsert(VmContext &ctx, Addr gva, const Mapping &mapping)
     tsb_->insert(ctx, gva, mapping);
 }
 
+Cycles
+MemorySystem::touchTranslationLine(unsigned core, Addr hpa,
+                                   Cycles now, bool &resident)
+{
+    Cycles lat = l2_[core]->latency();
+    l2_ctl_[core]->onAccess(now);
+    if (l2_[core]->touch(hpa, LineType::translation)) {
+        resident = true;
+        return lat;
+    }
+    lat += l3_->latency();
+    l3_ctl_->onAccess(now);
+    resident = l3_->touch(hpa, LineType::translation);
+    return lat;
+}
+
+MemorySystem::VictimaResult
+MemorySystem::victimaLookup(unsigned core, Asid asid, Addr gva,
+                            PageSizePredictor &predictor, Cycles now)
+{
+    CSALT_PROFILE_SCOPE(pom_access);
+    VictimaResult res;
+    ++victima_stats_.lookups;
+    obs::SpanBuilder *sb = obs::spanBuilder();
+    const int sv =
+        sb ? sb->open(obs::SpanKind::victima_lookup, now) : -1;
+    bool second_probe = false;
+
+    const auto probe_once = [&](PageSize ps) {
+        const auto p = victima_->probe(asid, gva, ps);
+        bool resident = false;
+        res.latency += touchTranslationLine(
+            core, p.line_addr, now + res.latency, resident);
+        if (p.hit && resident) {
+            res.hit = true;
+            res.mapping = p.mapping;
+        } else if (p.hit) {
+            // The entry survives functionally but its line was
+            // evicted from both arrays: Victima's defining miss.
+            ++victima_stats_.evicted_entries;
+        }
+        return res.hit;
+    };
+
+    const PageSize first = predictor.predict(gva);
+    if (!probe_once(first)) {
+        second_probe = true;
+        ++victima_stats_.second_probes;
+        probe_once(first == PageSize::size4K ? PageSize::size2M
+                                             : PageSize::size4K);
+    }
+
+    if (res.hit) {
+        ++victima_stats_.hits;
+        predictor.update(gva, res.mapping.ps);
+    }
+    if (sb) {
+        sb->close(sv, now + res.latency,
+                  (res.hit ? obs::kSpanFlagHit : 0) |
+                      (second_probe ? obs::kSpanFlagSecondProbe
+                                    : 0));
+    }
+    victima_lat_hist_.record(res.latency);
+    l2_crit_->recordPomOutcome(res.hit);
+    l3_crit_->recordPomOutcome(res.hit);
+    return res;
+}
+
+void
+MemorySystem::victimaInsert(unsigned core, Asid asid, Addr gva,
+                            const Mapping &mapping, Cycles now)
+{
+    // Underutilization gate: only steal blocks while translation
+    // lines stay under the configured share of either target array.
+    const double gate = params_.victima.max_translation_occupancy;
+    if (l2_[core]->occupancyOf(LineType::translation) > gate ||
+        l3_->occupancyOf(LineType::translation) > gate) {
+        ++victima_stats_.inserts_gated;
+        return;
+    }
+    ++victima_stats_.inserts;
+    victima_->insert(asid, gva, mapping);
+
+    // Fill the entry line into both arrays off the critical path:
+    // the walk that produced the mapping has already completed, so
+    // like a writeback this charges nobody and records no spans.
+    obs::SpanSuppressScope no_spans;
+    const Addr line = victima_->lineAddrOf(asid, gva, mapping.ps);
+    const auto r2 =
+        l2_[core]->access(line, AccessType::read,
+                          LineType::translation);
+    if (r2.victim.valid && r2.victim.dirty)
+        writeback(core, r2.victim, 2, now);
+    const auto r3 =
+        l3_->access(line, AccessType::read, LineType::translation);
+    if (r3.victim.valid && r3.victim.dirty)
+        writeback(core, r3.victim, 3, now);
+}
+
 void
 MemorySystem::recordWalk(Cycles latency)
 {
@@ -344,6 +453,7 @@ MemorySystem::clearAllStats()
         trans_hist_[c].clear();
     }
     pom_lat_hist_.clear();
+    victima_lat_hist_.clear();
     walk_hist_.clear();
     l3_->clearStats();
     l3_occ_->reset();
@@ -351,8 +461,10 @@ MemorySystem::clearAllStats()
     ddr_->clearStats();
     stacked_->clearStats();
     pom_->clearStats();
+    victima_->clearStats();
     tsb_->clearStats();
     pom_stats_ = PomLookupStats{};
+    victima_stats_ = VictimaLookupStats{};
 }
 
 void
@@ -389,6 +501,22 @@ MemorySystem::registerStats(obs::StatRegistry &reg) const
                  [this] { return pom_stats_.hitRate(); });
     reg.addHistogram("pom.lookup.lat", &pom_lat_hist_);
     reg.addHistogram("walk.lat", &walk_hist_);
+
+    victima_->registerStats(reg, "victima");
+    reg.addCounter("victima.lookup.lookups",
+                   &victima_stats_.lookups);
+    reg.addCounter("victima.lookup.hits", &victima_stats_.hits);
+    reg.addCounter("victima.lookup.second_probes",
+                   &victima_stats_.second_probes);
+    reg.addCounter("victima.lookup.evicted_entries",
+                   &victima_stats_.evicted_entries);
+    reg.addCounter("victima.lookup.inserts",
+                   &victima_stats_.inserts);
+    reg.addCounter("victima.lookup.inserts_gated",
+                   &victima_stats_.inserts_gated);
+    reg.addGauge("victima.lookup.hit_rate",
+                 [this] { return victima_stats_.hitRate(); });
+    reg.addHistogram("victima.lookup.lat", &victima_lat_hist_);
 
     tsb_->registerStats(reg, "tsb");
 }

@@ -57,6 +57,25 @@ struct PomLookupStats
     }
 };
 
+/** Lookup-level Victima counters. */
+struct VictimaLookupStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t second_probes = 0;
+    /** Functional entry found but its line left the caches. */
+    std::uint64_t evicted_entries = 0;
+    std::uint64_t inserts = 0;
+    /** Inserts skipped by the underutilization gate. */
+    std::uint64_t inserts_gated = 0;
+
+    double
+    hitRate() const
+    {
+        return lookups ? static_cast<double>(hits) / lookups : 0.0;
+    }
+};
+
 /** The complete memory side of the simulated machine. */
 class MemorySystem : public TranslationMemIf
 {
@@ -116,6 +135,29 @@ class MemorySystem : public TranslationMemIf
     /** Fill the TSB arrays after a walk. */
     void tsbInsert(VmContext &ctx, Addr gva, const Mapping &mapping);
 
+    // -------------------------------------------------- Victima path
+
+    using VictimaResult = PomResult;
+
+    /**
+     * Victima lookup: probe the predicted-size entry set, then the
+     * other size. An entry only hits while its 64B set line is still
+     * resident in the L2/L3 data arrays — the probe is a non-filling
+     * cache touch, so residency is decided by the ordinary
+     * replacement/partition machinery and never fabricated.
+     */
+    VictimaResult victimaLookup(unsigned core, Asid asid, Addr gva,
+                                PageSizePredictor &predictor,
+                                Cycles now);
+
+    /**
+     * Install a walk result: functional insert plus an off-path fill
+     * of the entry line into L2 and L3, gated by the translation-
+     * occupancy ceiling (Victima only steals underutilized blocks).
+     */
+    void victimaInsert(unsigned core, Asid asid, Addr gva,
+                       const Mapping &mapping, Cycles now);
+
     // -------------------------------------------------- walk feedback
 
     /** Record a completed page walk (criticality estimation). */
@@ -152,6 +194,8 @@ class MemorySystem : public TranslationMemIf
     DramChannel &stacked() { return *stacked_; }
     PomTlb &pom() { return *pom_; }
     const PomTlb &pom() const { return *pom_; }
+    PomTlb &victima() { return *victima_; }
+    const PomTlb &victima() const { return *victima_; }
     Tsb &tsb() { return *tsb_; }
     const MemoryMap &map() const { return map_; }
     FrameAllocator &dataFrames() { return *data_frames_; }
@@ -177,6 +221,10 @@ class MemorySystem : public TranslationMemIf
     const OccupancySampler &l3Occupancy() const { return *l3_occ_; }
 
     const PomLookupStats &pomLookupStats() const { return pom_stats_; }
+    const VictimaLookupStats &victimaLookupStats() const
+    {
+        return victima_stats_;
+    }
 
     /** System-wide walk-latency distribution (fed by recordWalk()). */
     const obs::Histogram &walkLatHist() const { return walk_hist_; }
@@ -200,6 +248,14 @@ class MemorySystem : public TranslationMemIf
     /** DRAM access for @p hpa on the right channel. */
     Cycles dramAccess(Addr hpa, Cycles now);
 
+    /**
+     * Non-filling residency touch of a translation line: L2, then L3
+     * on an L2 miss. Never descends to DRAM — absence from both
+     * arrays IS the Victima miss. @return probe latency.
+     */
+    Cycles touchTranslationLine(unsigned core, Addr hpa, Cycles now,
+                                bool &resident);
+
     SystemParams params_;
     MemoryMap map_;
     std::unique_ptr<FrameAllocator> data_frames_;
@@ -211,6 +267,7 @@ class MemorySystem : public TranslationMemIf
     std::unique_ptr<DramChannel> ddr_;
     std::unique_ptr<DramChannel> stacked_;
     std::unique_ptr<PomTlb> pom_;
+    std::unique_ptr<PomTlb> victima_; //!< cache-resident entry store
     std::unique_ptr<Tsb> tsb_;
 
     std::unique_ptr<CriticalityEstimator> l2_crit_;
@@ -222,12 +279,14 @@ class MemorySystem : public TranslationMemIf
     std::unique_ptr<OccupancySampler> l3_occ_;
 
     PomLookupStats pom_stats_;
+    VictimaLookupStats victima_stats_;
 
     //!< Per-core demand-latency distributions ("coreN.mem.*_lat").
     std::vector<obs::Histogram> data_hist_;
     std::vector<obs::Histogram> trans_hist_;
-    obs::Histogram pom_lat_hist_; //!< "pom.lookup.lat"
-    obs::Histogram walk_hist_;    //!< "walk.lat" (recordWalk feed)
+    obs::Histogram pom_lat_hist_;     //!< "pom.lookup.lat"
+    obs::Histogram victima_lat_hist_; //!< "victima.lookup.lat"
+    obs::Histogram walk_hist_;        //!< "walk.lat" (recordWalk feed)
 };
 
 } // namespace csalt

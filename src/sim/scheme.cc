@@ -1,0 +1,175 @@
+#include "sim/scheme.h"
+
+#include <sstream>
+
+#include "common/log.h"
+
+namespace csalt
+{
+
+void
+applyConventional(SystemParams &params)
+{
+    params.translation = TranslationKind::conventional;
+    params.l2_partition.policy = PartitionPolicy::none;
+    params.l3_partition.policy = PartitionPolicy::none;
+    params.l2.insertion = InsertionKind::mru;
+    params.l3.insertion = InsertionKind::mru;
+}
+
+void
+applyPomTlb(SystemParams &params)
+{
+    params.translation = TranslationKind::pomTlb;
+    params.l2_partition.policy = PartitionPolicy::none;
+    params.l3_partition.policy = PartitionPolicy::none;
+    params.l2.insertion = InsertionKind::mru;
+    params.l3.insertion = InsertionKind::mru;
+}
+
+void
+applyCsaltD(SystemParams &params)
+{
+    applyPomTlb(params);
+    params.l2_partition.policy = PartitionPolicy::csaltD;
+    params.l3_partition.policy = PartitionPolicy::csaltD;
+}
+
+void
+applyCsaltCD(SystemParams &params)
+{
+    applyPomTlb(params);
+    params.l2_partition.policy = PartitionPolicy::csaltCD;
+    params.l3_partition.policy = PartitionPolicy::csaltCD;
+}
+
+void
+applyTsb(SystemParams &params)
+{
+    params.translation = TranslationKind::tsb;
+    params.l2_partition.policy = PartitionPolicy::none;
+    params.l3_partition.policy = PartitionPolicy::none;
+    params.l2.insertion = InsertionKind::mru;
+    params.l3.insertion = InsertionKind::mru;
+}
+
+void
+applyDipOverPom(SystemParams &params)
+{
+    applyPomTlb(params);
+    params.l2.insertion = InsertionKind::dip;
+    params.l3.insertion = InsertionKind::dip;
+}
+
+void
+applyVictima(SystemParams &params)
+{
+    params.translation = TranslationKind::victima;
+    params.l2_partition.policy = PartitionPolicy::none;
+    params.l3_partition.policy = PartitionPolicy::none;
+    params.l2.insertion = InsertionKind::mru;
+    params.l3.insertion = InsertionKind::mru;
+}
+
+void
+applyPcax(SystemParams &params)
+{
+    params.translation = TranslationKind::pcax;
+    params.l2_partition.policy = PartitionPolicy::none;
+    params.l3_partition.policy = PartitionPolicy::none;
+    params.l2.insertion = InsertionKind::mru;
+    params.l3.insertion = InsertionKind::mru;
+}
+
+const std::array<SchemeInfo, kNumSchemes> &
+allSchemes()
+{
+    static const std::array<SchemeInfo, kNumSchemes> table = {{
+        {SchemeId::conventional, "conventional", "Conventional",
+         "L1-L2 TLBs + page walks (baseline)", applyConventional},
+        {SchemeId::pom, "pom", "POM-TLB",
+         "large in-memory L3 TLB in stacked DRAM", applyPomTlb},
+        {SchemeId::csaltD, "csalt-d", "CSALT-D",
+         "POM-TLB + dynamic cache partitioning", applyCsaltD},
+        {SchemeId::csaltCD, "csalt-cd", "CSALT-CD",
+         "POM-TLB + criticality-weighted partitioning", applyCsaltCD},
+        {SchemeId::tsb, "tsb", "TSB",
+         "software translation storage buffer", applyTsb},
+        {SchemeId::dip, "dip", "DIP",
+         "DIP cache insertion over POM-TLB", applyDipOverPom},
+        {SchemeId::victima, "victima", "Victima",
+         "TLB entries in underutilized L2/L3 cache blocks",
+         applyVictima},
+        {SchemeId::pcax, "pcax", "PCAX",
+         "PC-indexed translation prediction beside the L2 TLB",
+         applyPcax},
+    }};
+    return table;
+}
+
+const SchemeInfo &
+schemeInfo(SchemeId id)
+{
+    return allSchemes()[static_cast<std::size_t>(id)];
+}
+
+Expected<SchemeId>
+schemeFromName(std::string_view name)
+{
+    for (const SchemeInfo &info : allSchemes()) {
+        if (name == info.cli || name == info.name)
+            return info.id;
+    }
+    return makeError(ErrorKind::usage,
+                     "unknown scheme '" + std::string(name) + "'",
+                     "--scheme", "one of: " + schemeCliNames());
+}
+
+void
+applyScheme(SystemParams &params, SchemeId id)
+{
+    // Enum dispatch (repl_flat.h pattern): no indirection through the
+    // table's function pointers for callers that know their id.
+    switch (id) {
+      case SchemeId::conventional:
+        applyConventional(params);
+        return;
+      case SchemeId::pom:
+        applyPomTlb(params);
+        return;
+      case SchemeId::csaltD:
+        applyCsaltD(params);
+        return;
+      case SchemeId::csaltCD:
+        applyCsaltCD(params);
+        return;
+      case SchemeId::tsb:
+        applyTsb(params);
+        return;
+      case SchemeId::dip:
+        applyDipOverPom(params);
+        return;
+      case SchemeId::victima:
+        applyVictima(params);
+        return;
+      case SchemeId::pcax:
+        applyPcax(params);
+        return;
+    }
+    panic(msgOf("applyScheme: bad SchemeId ",
+                static_cast<unsigned>(id)));
+}
+
+std::string
+schemeCliNames()
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const SchemeInfo &info : allSchemes()) {
+        os << (first ? "" : " | ") << info.cli;
+        first = false;
+    }
+    return os.str();
+}
+
+} // namespace csalt

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The TranslationScheme registry: the single name <-> enum <->
+ * SystemParams mapping for every compared translation scheme.
+ *
+ * Before this seam existed the scheme concept was smeared across the
+ * tree — a string dispatch in tools/csalt_sim.cpp, another in
+ * tools/sweep.cpp and tools/tune.cpp, and ad-hoc {name, apply}
+ * structs in bench/bench_common.h — a drift bug waiting to happen and
+ * the thing blocking new backends. Now every front end resolves a
+ * name to a SchemeId here and applies it through one table; the hot
+ * path stays enum-dispatched (a switch over SchemeId, following the
+ * repl_flat.h devirtualization pattern — no function-pointer or
+ * virtual indirection is required by callers that know their id).
+ *
+ * Registered schemes:
+ *  - conventional: L1-L2 TLBs + page walks (baseline)
+ *  - pom:          POM-TLB large in-memory L3 TLB [Ryoo et al.]
+ *  - csalt-d:      POM-TLB + dynamic cache partitioning (paper §3.1)
+ *  - csalt-cd:     + criticality weighting (paper §3.2)
+ *  - tsb:          software translation storage buffer [SPARC]
+ *  - dip:          DIP insertion over POM-TLB (Fig. 13 baseline)
+ *  - victima:      TLB entries resident in underutilized L2/L3
+ *                  cache blocks [Kanellopoulos et al., MICRO'23]
+ *  - pcax:         PC-indexed translation prediction probed beside
+ *                  the L2 TLB
+ */
+
+#ifndef CSALT_SIM_SCHEME_H
+#define CSALT_SIM_SCHEME_H
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "common/config.h"
+#include "common/error.h"
+
+namespace csalt
+{
+
+/** Stable identifier of one registered translation scheme. */
+enum class SchemeId : std::uint8_t
+{
+    conventional = 0,
+    pom,
+    csaltD,
+    csaltCD,
+    tsb,
+    dip,
+    victima,
+    pcax,
+};
+
+inline constexpr std::size_t kNumSchemes = 8;
+
+/** One registry row: names, description and the params mapping. */
+struct SchemeInfo
+{
+    SchemeId id = SchemeId::conventional;
+    const char *cli = "";     //!< command-line name ("csalt-cd")
+    const char *name = "";    //!< display name ("CSALT-CD")
+    const char *summary = ""; //!< one-line description (usage text)
+    void (*apply)(SystemParams &) = nullptr;
+};
+
+/** Every registered scheme, in SchemeId order. */
+const std::array<SchemeInfo, kNumSchemes> &allSchemes();
+
+/** Registry row of @p id. */
+const SchemeInfo &schemeInfo(SchemeId id);
+
+/**
+ * Resolve a scheme name (either the cli or the display spelling) to
+ * its id. Unknown names return a typed kind=usage error listing the
+ * registered names — callers decide whether that is fatal.
+ */
+Expected<SchemeId> schemeFromName(std::string_view name);
+
+/**
+ * Configure @p params for @p id — THE name->params mapping; every
+ * duplicated applyScheme/Scheme-struct copy collapsed into this.
+ */
+void applyScheme(SystemParams &params, SchemeId id);
+
+/** " | "-joined cli names for usage strings. */
+std::string schemeCliNames();
+
+/**
+ * Per-scheme params entry points (single definitions; the registry's
+ * apply table points here). Direct calls are fine for code that knows
+ * its scheme statically (examples, tests).
+ */
+void applyConventional(SystemParams &params);
+void applyPomTlb(SystemParams &params);
+void applyCsaltD(SystemParams &params);
+void applyCsaltCD(SystemParams &params);
+void applyTsb(SystemParams &params);
+void applyDipOverPom(SystemParams &params);
+void applyVictima(SystemParams &params);
+void applyPcax(SystemParams &params);
+
+} // namespace csalt
+
+#endif // CSALT_SIM_SCHEME_H

@@ -62,58 +62,4 @@ buildSystem(const BuildSpec &spec)
     return system;
 }
 
-void
-applyConventional(SystemParams &params)
-{
-    params.translation = TranslationKind::conventional;
-    params.l2_partition.policy = PartitionPolicy::none;
-    params.l3_partition.policy = PartitionPolicy::none;
-    params.l2.insertion = InsertionKind::mru;
-    params.l3.insertion = InsertionKind::mru;
-}
-
-void
-applyPomTlb(SystemParams &params)
-{
-    params.translation = TranslationKind::pomTlb;
-    params.l2_partition.policy = PartitionPolicy::none;
-    params.l3_partition.policy = PartitionPolicy::none;
-    params.l2.insertion = InsertionKind::mru;
-    params.l3.insertion = InsertionKind::mru;
-}
-
-void
-applyCsaltD(SystemParams &params)
-{
-    applyPomTlb(params);
-    params.l2_partition.policy = PartitionPolicy::csaltD;
-    params.l3_partition.policy = PartitionPolicy::csaltD;
-}
-
-void
-applyCsaltCD(SystemParams &params)
-{
-    applyPomTlb(params);
-    params.l2_partition.policy = PartitionPolicy::csaltCD;
-    params.l3_partition.policy = PartitionPolicy::csaltCD;
-}
-
-void
-applyTsb(SystemParams &params)
-{
-    params.translation = TranslationKind::tsb;
-    params.l2_partition.policy = PartitionPolicy::none;
-    params.l3_partition.policy = PartitionPolicy::none;
-    params.l2.insertion = InsertionKind::mru;
-    params.l3.insertion = InsertionKind::mru;
-}
-
-void
-applyDipOverPom(SystemParams &params)
-{
-    applyPomTlb(params);
-    params.l2.insertion = InsertionKind::dip;
-    params.l3.insertion = InsertionKind::dip;
-}
-
 } // namespace csalt

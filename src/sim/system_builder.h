@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "sim/scheme.h"
 #include "sim/system.h"
 
 namespace csalt
@@ -43,19 +44,8 @@ struct BuildSpec
 /** Build the system, VMs and per-core context rotations. */
 std::unique_ptr<System> buildSystem(const BuildSpec &spec);
 
-/**
- * Configure @p params for one of the compared schemes:
- *  - conventional: L1-L2 TLBs + page walks
- *  - POM-TLB: large L3 TLB, unpartitioned caches
- *  - CSALT-D / CSALT-CD: POM-TLB + dynamic partitioning in L2 & L3
- *  - TSB / DIP: the Fig. 13 prior-work baselines
- */
-void applyConventional(SystemParams &params);
-void applyPomTlb(SystemParams &params);
-void applyCsaltD(SystemParams &params);
-void applyCsaltCD(SystemParams &params);
-void applyTsb(SystemParams &params);
-void applyDipOverPom(SystemParams &params);
+// The per-scheme apply* entry points live in the TranslationScheme
+// registry (sim/scheme.h, included above for existing callers).
 
 } // namespace csalt
 

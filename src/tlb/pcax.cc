@@ -1,0 +1,75 @@
+#include "tlb/pcax.h"
+
+#include "obs/stat_registry.h"
+
+namespace csalt
+{
+
+namespace
+{
+
+/** SplitMix64 finalizer: table index spread for clustered PCs. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
+PcaxPredictor::PcaxPredictor(const PcaxParams &params)
+    : table_(params.entries)
+{
+}
+
+std::size_t
+PcaxPredictor::indexOf(Asid asid, Addr pc) const
+{
+    return static_cast<std::size_t>(
+        mix64(pc ^ (std::uint64_t{asid} << 48)) &
+        (table_.size() - 1));
+}
+
+PcaxPredictor::Prediction
+PcaxPredictor::predict(Asid asid, Addr pc, Addr gva)
+{
+    ++stats_.probes;
+    const Entry &e = table_[indexOf(asid, pc)];
+    if (e.valid && e.asid == asid && e.pc == pc &&
+        (gva & ~(pageBytes(e.mapping.ps) - 1)) == e.page_base) {
+        ++stats_.hits;
+        return {true, e.mapping};
+    }
+    return {};
+}
+
+void
+PcaxPredictor::update(Asid asid, Addr pc, Addr gva,
+                      const Mapping &mapping)
+{
+    ++stats_.updates;
+    Entry &e = table_[indexOf(asid, pc)];
+    e.valid = true;
+    e.asid = asid;
+    e.pc = pc;
+    e.page_base = gva & ~(pageBytes(mapping.ps) - 1);
+    e.mapping = mapping;
+}
+
+void
+PcaxPredictor::registerStats(obs::StatRegistry &reg,
+                             const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".probes", &stats_.probes);
+    reg.addCounter(prefix + ".hits", &stats_.hits);
+    reg.addCounter(prefix + ".updates", &stats_.updates);
+    reg.addGauge(prefix + ".hit_rate",
+                 [this] { return stats_.hitRate(); });
+}
+
+} // namespace csalt

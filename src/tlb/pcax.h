@@ -1,0 +1,104 @@
+/**
+ * @file
+ * PCAX: a PC-indexed translation predictor probed alongside the L2
+ * TLB (PC-based address-translation prediction; cf. PCAX related
+ * work in PAPERS.md).
+ *
+ * Observation: the static memory instruction is a strong predictor
+ * of the page it touches next — pointer-chasing sites revisit the
+ * same structures, streaming sites walk a region. A small
+ * direct-mapped table keyed by a hash of the access PC remembers the
+ * last translation each site produced; on an L2 TLB miss the table
+ * is probed in parallel with the miss handling, and a correct
+ * prediction bypasses the POM-TLB/walk machinery at a fixed small
+ * cost.
+ *
+ * The model is conservative and never mis-translates: a prediction
+ * only counts as a hit when the stored (asid, page) exactly covers
+ * the accessed address, and mappings are immutable in this
+ * simulator, so a covering entry is always correct. A wrong or
+ * missing prediction falls through to the conventional walk path and
+ * trains the table with the walk result.
+ */
+
+#ifndef CSALT_TLB_PCAX_H
+#define CSALT_TLB_PCAX_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "vm/address_space.h"
+
+namespace csalt
+{
+
+namespace obs
+{
+class StatRegistry;
+} // namespace obs
+
+/** Counters for one PCAX predictor (one per core). */
+struct PcaxStats
+{
+    std::uint64_t probes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t updates = 0;
+
+    double
+    hitRate() const
+    {
+        return probes ? static_cast<double>(hits) / probes : 0.0;
+    }
+};
+
+/** Direct-mapped PC -> last-translation prediction table. */
+class PcaxPredictor
+{
+  public:
+    explicit PcaxPredictor(const PcaxParams &params);
+
+    /** Result of one prediction probe. */
+    struct Prediction
+    {
+        bool hit = false;
+        Mapping mapping;
+    };
+
+    /**
+     * Probe the slot hashed from (@p asid, @p pc). Hits only when
+     * the stored page covers @p gva for the same address space.
+     */
+    Prediction predict(Asid asid, Addr pc, Addr gva);
+
+    /** Train the slot with a resolved translation. */
+    void update(Asid asid, Addr pc, Addr gva, const Mapping &mapping);
+
+    const PcaxStats &stats() const { return stats_; }
+    void clearStats() { stats_ = PcaxStats{}; }
+
+    /** Register counters under "<prefix>.*". */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Asid asid = 0;
+        Addr pc = 0;        //!< full PC as the tag
+        Addr page_base = 0; //!< gva base of the covered page
+        Mapping mapping;
+    };
+
+    std::size_t indexOf(Asid asid, Addr pc) const;
+
+    std::vector<Entry> table_;
+    PcaxStats stats_;
+};
+
+} // namespace csalt
+
+#endif // CSALT_TLB_PCAX_H

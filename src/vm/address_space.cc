@@ -30,8 +30,8 @@ constexpr Addr kGpa2mBase = Addr{1} << 40;
 VmContext::VmContext(const Params &params, FrameAllocator &data_frames,
                      FrameAllocator &pt_frames)
     : params_(params), data_frames_(data_frames), pt_frames_(pt_frames),
-      gpa_next_4k_(kGpa4kBase), gpa_next_2m_(kGpa2mBase),
-      memo_(kMemoSize)
+      memo_(kMemoSize), gpa_next_4k_(kGpa4kBase),
+      gpa_next_2m_(kGpa2mBase)
 {
     if (params_.virtualized) {
         // Host table first: guest-table nodes are host-mapped as they

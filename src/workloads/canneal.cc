@@ -69,7 +69,8 @@ class CannealTrace final : public TraceSource
         --burst_left_;
         const Addr addr = burst_addr_ + rng_.below(512) / 8 * 8;
         const bool write = rng_.chance(0.3);
-        return {addr, write ? AccessType::write : AccessType::read, 3};
+        return {addr, write ? AccessType::write : AccessType::read, 3,
+                kPcElement};
     }
 
     std::uint64_t footprintPages() const override
@@ -81,6 +82,8 @@ class CannealTrace final : public TraceSource
     static constexpr Addr kElementsBase = Addr{1} << 40;
     static constexpr std::uint64_t kVaSpanPages = 1ull << 23;
     static constexpr std::uint64_t kDriftPeriod = 400000;
+    // Pseudo-PC of the single emission site (PCAX predictor input).
+    static constexpr Addr kPcElement = 0x403000;
 
     Rng rng_;
     std::uint64_t total_pages_;

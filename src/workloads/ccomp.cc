@@ -110,7 +110,8 @@ class CcompTrace final : public TraceSource
             --burst_left_;
             const bool write = rng_.chance(0.3);
             return {burst_addr_ + rng_.below(64) / 8 * 8,
-                    write ? AccessType::write : AccessType::read, 2};
+                    write ? AccessType::write : AccessType::read, 2,
+                    kPcBurst};
         }
 
         const double roll = rng_.uniform();
@@ -121,7 +122,7 @@ class CcompTrace final : public TraceSource
                 (rng_.below(union_pages_ * kPageSize) & ~63ull);
             burst_addr_ = addr;
             burst_left_ = 1; // two touches of the record
-            return {addr, AccessType::read, 2};
+            return {addr, AccessType::read, 2, kPcUnionFind};
         }
         if (roll < 0.94) {
             // Active vertex visit: a 6-reference record burst over
@@ -137,7 +138,7 @@ class CcompTrace final : public TraceSource
             burst_addr_ = kHotBase + page * kPageSize +
                           (rng_.below(kPageSize - 64) & ~63ull);
             burst_left_ = 3;
-            return {burst_addr_, AccessType::read, 2};
+            return {burst_addr_, AccessType::read, 2, kPcVisit};
         }
         // Cold frontier scan: one touch of a scattered page; its
         // translation costs more cache space than its data earns.
@@ -146,7 +147,8 @@ class CcompTrace final : public TraceSource
         const Addr addr = kActiveBase + page * kPageSize +
                           rng_.below(kPageSize) / 8 * 8;
         const bool write = rng_.chance(0.3); // label updates
-        return {addr, write ? AccessType::write : AccessType::read, 2};
+        return {addr, write ? AccessType::write : AccessType::read, 2,
+                kPcFrontier};
     }
 
     TraceRecord
@@ -156,7 +158,7 @@ class CcompTrace final : public TraceSource
             // Short random parent chase.
             const Addr addr = kUnionBase +
                               rng_.below(union_pages_ * kPageSize);
-            return {addr & ~7ull, AccessType::read, 3};
+            return {addr & ~7ull, AccessType::read, 3, kPcChase};
         }
         // Cyclic sweep over edge shards (~16MB): reuse distance
         // beyond L3 capacity, so LRU earns nothing from these lines
@@ -167,7 +169,8 @@ class CcompTrace final : public TraceSource
             sweep_addr_ = kSweepBase;
         const bool write = rng_.chance(0.25);
         return {sweep_addr_,
-                write ? AccessType::write : AccessType::read, 3};
+                write ? AccessType::write : AccessType::read, 3,
+                kPcSweep};
     }
 
     /** Scatter span: windows draw pages from a 32M-page VA range. */
@@ -178,6 +181,13 @@ class CcompTrace final : public TraceSource
     static constexpr Addr kSweepBase = Addr{1} << 44;
     static constexpr unsigned kPoolWindows = 8;
     static constexpr std::uint64_t kPhaseLen = 40000;
+    // Pseudo-PCs, one per emission site (PCAX predictor input).
+    static constexpr Addr kPcBurst = 0x405000;
+    static constexpr Addr kPcUnionFind = 0x405010;
+    static constexpr Addr kPcVisit = 0x405020;
+    static constexpr Addr kPcFrontier = 0x405030;
+    static constexpr Addr kPcChase = 0x405040;
+    static constexpr Addr kPcSweep = 0x405050;
 
     Rng rng_;
     std::uint64_t window_pages_;

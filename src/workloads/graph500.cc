@@ -75,7 +75,8 @@ class Graph500Trace final : public TraceSource
             const bool write =
                 probe_left_ == 0 && rng_.chance(0.5); // visited mark
             return {probe_addr_ + rng_.below(64) / 8 * 8,
-                    write ? AccessType::write : AccessType::read, 3};
+                    write ? AccessType::write : AccessType::read, 3,
+                    kPcProbe};
         }
 
         // Sequential frontier scan.
@@ -84,7 +85,7 @@ class Graph500Trace final : public TraceSource
             frontierBase() + frontier_pages_ * kPageSize) {
             scan_addr_ = frontierBase();
         }
-        return {scan_addr_, AccessType::read, 3};
+        return {scan_addr_, AccessType::read, 3, kPcScan};
     }
 
     std::uint64_t footprintPages() const override
@@ -100,6 +101,9 @@ class Graph500Trace final : public TraceSource
     static constexpr std::uint64_t kVaSpanPages = 1ull << 23;
     static constexpr std::uint64_t kNeighborhoodPages = 1408;
     static constexpr std::uint64_t kLevelPeriod = 250000;
+    // Pseudo-PCs, one per emission site (PCAX predictor input).
+    static constexpr Addr kPcProbe = 0x404000;
+    static constexpr Addr kPcScan = 0x404010;
 
     Addr
     frontierBase() const

@@ -34,12 +34,12 @@ class GupsTrace final : public TraceSource
         if (pending_write_) {
             pending_write_ = false;
             // The update half of the read-modify-write.
-            return {pending_addr_, AccessType::write, 1};
+            return {pending_addr_, AccessType::write, 1, kPcUpdate};
         }
         const Addr offset = rng_.below(table_pages_ * kPageSize) & ~7ull;
         pending_addr_ = kTableBase + offset;
         pending_write_ = true;
-        return {pending_addr_, AccessType::read, 2};
+        return {pending_addr_, AccessType::read, 2, kPcGather};
     }
 
     std::uint64_t footprintPages() const override
@@ -49,6 +49,9 @@ class GupsTrace final : public TraceSource
 
   private:
     static constexpr Addr kTableBase = Addr{1} << 40;
+    // Pseudo-PCs, one per emission site (PCAX predictor input).
+    static constexpr Addr kPcGather = 0x401000;
+    static constexpr Addr kPcUpdate = 0x401010;
 
     Rng rng_;
     std::uint64_t table_pages_;

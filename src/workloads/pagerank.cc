@@ -51,14 +51,15 @@ class PagerankTrace final : public TraceSource
             --vertex_left_;
             const bool write = rng_.chance(0.25); // rank update
             return {vertex_addr_ + 8 + rng_.below(48) / 8 * 8,
-                    write ? AccessType::write : AccessType::read, 3};
+                    write ? AccessType::write : AccessType::read, 3,
+                    kPcRank};
         }
         if (rng_.chance(0.55)) {
             // Stream the edge list.
             edge_addr_ += 8;
             if (edge_addr_ >= kEdgeBase + edge_pages_ * kPageSize)
                 edge_addr_ = kEdgeBase;
-            return {edge_addr_, AccessType::read, 3};
+            return {edge_addr_, AccessType::read, 3, kPcEdges};
         }
         // Vertex accesses: iterations process a drifting active set
         // near the L2 TLB's reach (low MPKI standalone, heavy refill
@@ -77,7 +78,7 @@ class PagerankTrace final : public TraceSource
         vertex_addr_ = kVertexBase + page * kPageSize +
                        rng_.below(64) * 64;
         vertex_left_ = 1;
-        return {vertex_addr_, AccessType::read, 3};
+        return {vertex_addr_, AccessType::read, 3, kPcVertex};
     }
 
     std::uint64_t footprintPages() const override
@@ -91,6 +92,10 @@ class PagerankTrace final : public TraceSource
     static constexpr std::uint64_t kVaSpanPages = 1ull << 23;
     static constexpr std::uint64_t kHotPages = 1280;
     static constexpr std::uint64_t kDriftPeriod = 300000;
+    // Pseudo-PCs, one per emission site (PCAX predictor input).
+    static constexpr Addr kPcRank = 0x402000;
+    static constexpr Addr kPcEdges = 0x402010;
+    static constexpr Addr kPcVertex = 0x402020;
 
     Rng rng_;
     std::uint64_t vertex_pages_;

@@ -46,7 +46,7 @@ class StreamclusterTrace final : public TraceSource
             const Addr addr =
                 kAssignBase +
                 (rng_.below(kAssignPages * kPageSize) & ~7ull);
-            return {addr, AccessType::read, 4};
+            return {addr, AccessType::read, 4, kPcAssign};
         }
         if (rng_.chance(0.05)) {
             // Distance-to-centre updates in the hot centres block.
@@ -54,12 +54,13 @@ class StreamclusterTrace final : public TraceSource
                 kCentersBase + rng_.below(kCenterPages * kPageSize);
             const bool write = rng_.chance(0.5);
             return {addr & ~7ull,
-                    write ? AccessType::write : AccessType::read, 4};
+                    write ? AccessType::write : AccessType::read, 4,
+                    kPcCenters};
         }
         scan_addr_ += 8;
         if (scan_addr_ >= kPointsBase + point_pages_ * kPageSize)
             scan_addr_ = kPointsBase;
-        return {scan_addr_, AccessType::read, 4};
+        return {scan_addr_, AccessType::read, 4, kPcPoints};
     }
 
     std::uint64_t footprintPages() const override
@@ -73,6 +74,10 @@ class StreamclusterTrace final : public TraceSource
     static constexpr Addr kAssignBase = Addr{3} << 41;
     static constexpr std::uint64_t kCenterPages = 64;
     static constexpr std::uint64_t kAssignPages = 16384;
+    // Pseudo-PCs, one per emission site (PCAX predictor input).
+    static constexpr Addr kPcAssign = 0x406000;
+    static constexpr Addr kPcCenters = 0x406010;
+    static constexpr Addr kPcPoints = 0x406020;
 
     Rng rng_;
     std::uint64_t point_pages_;

@@ -27,6 +27,13 @@ struct TraceRecord
     AccessType type = AccessType::read;
     /** Instructions this record retires (>=1, includes the memop). */
     std::uint32_t icount = 1;
+    /**
+     * Pseudo-PC of the issuing memory instruction. The synthetic
+     * generators tag each emission site with a distinct constant so
+     * PC-indexed predictors (PCAX) see a realistic static-site
+     * distribution; file traces carry 0 (no PC column).
+     */
+    Addr pc = 0;
 };
 
 /** Endless deterministic reference stream of one workload thread. */

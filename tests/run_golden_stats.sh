@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Golden-stats regression gate: the SoA/devirtualized hot path must
-# change ZERO model behavior. Re-runs four pinned-seed csalt-sim
+# change ZERO model behavior. Re-runs six pinned-seed csalt-sim
 # configs (chosen to cover CSALT-CD partitioning, POM multi-core,
-# DIP-over-POM native, and TSB 5-level walks) and byte-compares the
+# DIP-over-POM native, TSB 5-level walks, Victima cache-resident
+# entries, and the PCAX predictor) and byte-compares the
 # metrics JSON against goldens committed from the pre-refactor
 # simulator. Any intentional model change must regenerate the goldens
 # with the commands below and say so in the commit message.
@@ -92,6 +93,12 @@ check dip_streamcluster_native.json \
 check tsb_graph500_5lvl.json \
     --vm graph500 --scheme tsb --quota 40000 --warmup 10000 \
     --five-level --seed 13
+check victima_gups_canneal.json \
+    --vm gups --vm canneal --scheme victima --quota 40000 \
+    --warmup 10000 --seed 17
+check pcax_pagerank.json \
+    --pair pagerank --scheme pcax --quota 40000 --warmup 10000 \
+    --seed 19
 
 export CSALT_QUOTA=20000 CSALT_WARMUP=5000
 CSALT_BENCH_JSON="$tmp/j1.json" "$FIG07" --jobs 1 > "$tmp/out1"

@@ -112,6 +112,57 @@ expect_rc 1 "$REPORT" --baseline "$tmp/base.json" "$tmp/other.json"
 expect_rc 1 "$REPORT" --baseline "$tmp/missing.json" "$tmp/ok.json"
 printf 'not json\n' > "$tmp/junk.json"
 expect_rc 1 "$REPORT" --baseline "$tmp/base.json" "$tmp/junk.json"
+# Wall-time cells mirror the rate metric as its reciprocal, so they
+# gate at the reciprocal-equivalent threshold: MAPS 100->60 (-40%)
+# with seconds 1->1.667 (+66.7%) is ONE slowdown, inside a 50% rate
+# gate on both cells; MAPS 100->40 must trip it.
+rate_and_wall() {
+    printf '{"schema_version":2,"figure":"perf_throughput",'
+    printf '"metric":"maps","quota":1000,"warmup":0,"failed_jobs":0,'
+    printf '"rows":[{"label":"X","values":{"MAPS":%s,"seconds":%s}}],' \
+        "$1" "$2"
+    printf '"geomean":{"MAPS":%s},"wall_clock_s":1.0}\n' "$1"
+}
+rate_and_wall 100 1.0 > "$tmp/rw_base.json"
+rate_and_wall 60 1.667 > "$tmp/rw_slow.json"
+rate_and_wall 40 2.5 > "$tmp/rw_collapse.json"
+expect_rc 0 "$REPORT" --baseline "$tmp/rw_base.json" \
+    --threshold 50% "$tmp/rw_slow.json"
+expect_rc 1 "$REPORT" --baseline "$tmp/rw_base.json" \
+    --threshold 50% "$tmp/rw_collapse.json"
+# Comparing runs of different lengths is refused — every delta would
+# be an artifact of the quota mismatch.
+sed 's/"quota":1000/"quota":100/' "$tmp/ok.json" > "$tmp/short.json"
+expect_rc 1 "$REPORT" --baseline "$tmp/base.json" "$tmp/short.json"
+grep -q 'error\[usage\]' "$tmp/last.err" \
+    || { echo "FAIL: quota mismatch not a typed error"; exit 1; }
+# A baseline config missing from the fresh run is a hard failure
+# (a coverage hole reads as a clean pass otherwise), opt-out with
+# --allow-retired; fresh-only configs are "new" and never gate.
+two_schemes() {
+    local a="$1" b="$2"
+    printf '{"schema_version":2,"figure":"perf_throughput",'
+    printf '"metric":"maps","quota":1000,"warmup":0,"failed_jobs":0,'
+    printf '"rows":[{"label":"%s","values":{"MAPS":100}},' "$a"
+    printf '{"label":"%s","values":{"MAPS":50}}],' "$b"
+    printf '"geomean":{"MAPS":70.7},"wall_clock_s":1.0}\n'
+}
+two_schemes CSALT-CD POM-TLB > "$tmp/base2.json"
+two_schemes NEW-SCHEME POM-TLB > "$tmp/gone.json"
+expect_rc 1 "$REPORT" --baseline "$tmp/base2.json" \
+    --threshold 10% "$tmp/gone.json"
+grep -q 'VANISHED' "$tmp/last.out" \
+    || { echo "FAIL: vanished config not flagged"; exit 1; }
+grep -Eq 'NEW-SCHEME/MAPS.*new' "$tmp/last.out" \
+    || { echo "FAIL: fresh-only config not reported as new"; exit 1; }
+expect_rc 0 "$REPORT" --baseline "$tmp/base2.json" --threshold 10% \
+    --allow-retired CSALT-CD/MAPS "$tmp/gone.json"
+grep -q 'retired' "$tmp/last.out" \
+    || { echo "FAIL: allowed retirement not reported"; exit 1; }
+# The geomean is recomputed over the config intersection (here the
+# one surviving scheme), never copied from the files' own aggregates.
+grep -Eq 'geomean/MAPS \(1 cfgs\).*ok' "$tmp/last.out" \
+    || { echo "FAIL: no intersection geomean row"; exit 1; }
 echo "ok: bench_report gate"
 
 echo "OK"

@@ -86,6 +86,31 @@ TEST(DeriveSeed, StableAcrossRuns)
     EXPECT_NE(deriveSeed(1, "a"), deriveSeed(1, "b"));
 }
 
+TEST(SanitizeJobKey, DistinctKeysNeverCollide)
+{
+    // The character replacement alone is lossy: "a/b" and "a_b" both
+    // render as "a_b", so two grid cells would publish into the same
+    // $CSALT_LIVE_DIR live region and clobber each other. The
+    // appended raw-key hash keeps them apart.
+    EXPECT_NE(sanitizeJobKey("a/b"), sanitizeJobKey("a_b"));
+    EXPECT_NE(sanitizeJobKey("gups/csalt-cd"),
+              sanitizeJobKey("gups_csalt-cd"));
+    EXPECT_NE(sanitizeJobKey("a:b"), sanitizeJobKey("a/b"));
+
+    // Same key -> same file name (resume/attach depend on it).
+    EXPECT_EQ(sanitizeJobKey("gups/pom"), sanitizeJobKey("gups/pom"));
+
+    // Still filename-safe: nothing outside [A-Za-z0-9._-].
+    const std::string s = sanitizeJobKey("a/b:c d*");
+    for (const char c : s) {
+        const bool safe = (c >= 'a' && c <= 'z') ||
+                          (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '.' ||
+                          c == '_' || c == '-';
+        EXPECT_TRUE(safe) << "unsafe char in " << s;
+    }
+}
+
 TEST(DeriveSeed, IndependentOfSubmissionOrder)
 {
     // The seed depends only on (base, key): submitting the same keys

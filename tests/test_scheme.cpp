@@ -1,0 +1,130 @@
+/**
+ * @file
+ * TranslationScheme registry contract (sim/scheme.h): the name <->
+ * enum <-> params mapping every front end (csalt-sim, sweep, tune,
+ * the bench binaries, the examples) dispatches through.
+ */
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "sim/scheme.h"
+
+namespace csalt
+{
+namespace
+{
+
+TEST(SchemeRegistry, TableIsCompleteAndIdOrdered)
+{
+    const auto &schemes = allSchemes();
+    ASSERT_EQ(schemes.size(), kNumSchemes);
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+        EXPECT_EQ(static_cast<std::size_t>(schemes[i].id), i)
+            << "row " << i << " out of SchemeId order";
+        EXPECT_NE(schemes[i].cli, std::string())
+            << "row " << i << " has no cli name";
+        EXPECT_NE(schemes[i].name, std::string())
+            << "row " << i << " has no display name";
+        EXPECT_NE(schemes[i].apply, nullptr)
+            << schemes[i].cli << " has no apply fn";
+    }
+}
+
+TEST(SchemeRegistry, NamesAreUnique)
+{
+    std::set<std::string> seen;
+    for (const SchemeInfo &info : allSchemes()) {
+        EXPECT_TRUE(seen.insert(info.cli).second)
+            << "duplicate name: " << info.cli;
+        // The display spelling also resolves via schemeFromName, so
+        // it must not collide with any other scheme's names either.
+        if (info.name != std::string(info.cli)) {
+            EXPECT_TRUE(seen.insert(info.name).second)
+                << "duplicate name: " << info.name;
+        }
+    }
+}
+
+// The round-trip property: every registered name — cli and display
+// spelling — parses back to the scheme that registered it.
+TEST(SchemeRegistry, EveryRegisteredNameParsesBackToItself)
+{
+    for (const SchemeInfo &info : allSchemes()) {
+        const Expected<SchemeId> by_cli = schemeFromName(info.cli);
+        ASSERT_TRUE(by_cli.ok()) << info.cli;
+        EXPECT_EQ(by_cli.value(), info.id) << info.cli;
+
+        const Expected<SchemeId> by_name = schemeFromName(info.name);
+        ASSERT_TRUE(by_name.ok()) << info.name;
+        EXPECT_EQ(by_name.value(), info.id) << info.name;
+
+        EXPECT_EQ(schemeInfo(info.id).cli, std::string(info.cli));
+    }
+}
+
+// Unknown names must come back as a typed usage error a caller can
+// render (csalt-sim turns it into a structured fatal) — never as a
+// fatal() inside the registry itself.
+TEST(SchemeRegistry, UnknownNameYieldsTypedUsageError)
+{
+    const Expected<SchemeId> r = schemeFromName("no-such-scheme");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, ErrorKind::usage);
+    // The hint lists the registered names, so the error is actionable
+    // without grepping the source.
+    EXPECT_NE(r.error().hint.find("csalt-cd"), std::string::npos)
+        << r.error().hint;
+    EXPECT_NE(r.error().hint.find("victima"), std::string::npos)
+        << r.error().hint;
+
+    EXPECT_FALSE(schemeFromName("").ok());
+    EXPECT_FALSE(schemeFromName("CSALT").ok());
+}
+
+// Every registered mapping must produce a buildable configuration:
+// applyScheme over defaults passes the same validation buildSystem
+// runs.
+TEST(SchemeRegistry, EveryApplyYieldsValidParams)
+{
+    for (const SchemeInfo &info : allSchemes()) {
+        SystemParams params = defaultParams();
+        applyScheme(params, info.id);
+        EXPECT_NO_THROW(validate(params)) << info.cli;
+    }
+}
+
+// The enum dispatch and the table's function pointer are the same
+// mapping — a registry row pointing at the wrong apply* would make
+// bench binaries (table) and tools (enum switch) silently diverge.
+TEST(SchemeRegistry, EnumDispatchMatchesTableApply)
+{
+    for (const SchemeInfo &info : allSchemes()) {
+        SystemParams via_switch;
+        applyScheme(via_switch, info.id);
+        SystemParams via_table;
+        info.apply(via_table);
+        EXPECT_EQ(via_switch.translation, via_table.translation)
+            << info.cli;
+        EXPECT_EQ(via_switch.l2_partition.policy,
+                  via_table.l2_partition.policy)
+            << info.cli;
+        EXPECT_EQ(via_switch.l3_partition.policy,
+                  via_table.l3_partition.policy)
+            << info.cli;
+    }
+}
+
+TEST(SchemeRegistry, CliNamesListsEveryScheme)
+{
+    const std::string names = schemeCliNames();
+    for (const SchemeInfo &info : allSchemes())
+        EXPECT_NE(names.find(info.cli), std::string::npos)
+            << names;
+}
+
+} // namespace
+} // namespace csalt

@@ -15,12 +15,30 @@
  * metrics. Wall-time value keys ("seconds", "wall_*", "time") are
  * always gated lower-is-better regardless: a faster run must never
  * read as a regression because its elapsed time dropped alongside a
- * rising rate metric. Exit status: 0 when every shared config is within the
+ * rising rate metric. Because such cells move as the reciprocal of
+ * the rate being gated, they use the reciprocal-equivalent threshold
+ * (t -> 100t/(100-t)): one slowdown trips the rate cell and its
+ * wall-time mirror together or neither. Exit status: 0 when every shared config is within the
  * threshold, 1 when any config regressed past it (the gate), and the
  * usual fatal() path (exit 1, typed diagnostics) for unreadable or
- * malformed inputs. Configs present on only one side are reported but
- * never gate — a new scheme must not fail the check that would let it
- * land.
+ * malformed inputs.
+ *
+ * The files' own "geomean" objects are never compared against each
+ * other: each side computes its geomean over ITS row set, so when the
+ * config sets drift (a scheme added or retired) the naive delta mixes
+ * incomparable aggregates. Instead the report recomputes both
+ * geomeans over the config intersection and gates on that.
+ *
+ * Configs only in the fresh file are reported as "new" and never gate
+ * — a new scheme must not fail the check that would let it land. A
+ * config that VANISHED from the fresh run is a hard failure (a silent
+ * coverage hole looks exactly like a clean pass); retire one
+ * deliberately with --allow-retired CFG.
+ *
+ * Comparing runs of different lengths is refused outright (typed
+ * usage error): volume cells scale with the quota and rate cells are
+ * depressed by cold-start effects on short slices, so every delta
+ * would be an artifact of the mismatch.
  */
 
 #include <algorithm>
@@ -29,6 +47,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -47,12 +66,17 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--baseline FILE] [--threshold PCT[%%]] "
-                 "[--lower-is-better] FRESH.json\n"
+                 "[--lower-is-better] [--allow-retired CFG]... "
+                 "FRESH.json\n"
                  "  compares FRESH.json (ResultsJson schema) against "
                  "the committed baseline\n"
                  "  (default BENCH_results.json) and exits 1 when any "
                  "shared config regressed\n"
-                 "  more than PCT%% (default 10)\n",
+                 "  more than PCT%% (default 10); geomeans are "
+                 "recomputed over the config\n"
+                 "  intersection. A baseline config missing from "
+                 "FRESH fails hard unless\n"
+                 "  named by --allow-retired\n",
                  argv0);
     std::exit(2);
 }
@@ -69,7 +93,14 @@ struct Results
     std::string figure;
     std::string metric;
     double schema_version = 0.0;
-    std::vector<Cell> cells;
+    double quota = -1.0;  //!< measured instructions per core
+    double warmup = -1.0; //!< warmup instructions per core
+    std::vector<Cell> cells; //!< row cells only, no geomeans
+    /** The file's own geomean keys ("CSALT-D", "MAPS", ...). The
+     *  values are deliberately dropped: each file aggregates over its
+     *  own row set, so they are only comparable after recomputation
+     *  over the config intersection. */
+    std::vector<std::string> geomean_keys;
 };
 
 Results
@@ -97,6 +128,8 @@ loadResults(const std::string &path)
     r.figure = doc->stringOr("figure", "");
     r.metric = doc->stringOr("metric", "");
     r.schema_version = doc->numberOr("schema_version", 1.0);
+    r.quota = doc->numberOr("quota", -1.0);
+    r.warmup = doc->numberOr("warmup", -1.0);
 
     const obs::JsonValue *rows = doc->find("rows");
     if (!rows || !rows->isArray()) {
@@ -118,7 +151,7 @@ loadResults(const std::string &path)
         gm && gm->isObject()) {
         for (const auto &[scheme, v] : gm->obj)
             if (v.isNumber())
-                r.cells.push_back({"geomean/" + scheme, v.num_v});
+                r.geomean_keys.push_back(scheme);
     }
     if (r.cells.empty()) {
         fatal(makeError(ErrorKind::parse,
@@ -154,6 +187,38 @@ cellIsWallTime(const std::string &config)
            key.rfind("wall", 0) == 0;
 }
 
+/** The value key of a "<label>/<key>" config. */
+std::string
+cellKey(const std::string &config)
+{
+    const std::size_t slash = config.rfind('/');
+    return slash == std::string::npos ? config
+                                      : config.substr(slash + 1);
+}
+
+/**
+ * Geomean of one side's @p key cells over the config intersection —
+ * the only aggregation in which baseline and fresh are comparable.
+ * Returns 0 with *n == 0 when no positive shared cell exists.
+ */
+double
+intersectionGeomean(const Results &self, const Results &other,
+                    const std::string &key, std::size_t *n)
+{
+    double log_sum = 0.0;
+    *n = 0;
+    for (const Cell &c : self.cells) {
+        if (cellKey(c.config) != key || c.value <= 0.0)
+            continue;
+        const Cell *o = findCell(other, c.config);
+        if (!o || o->value <= 0.0)
+            continue;
+        log_sum += std::log(c.value);
+        ++*n;
+    }
+    return *n ? std::exp(log_sum / static_cast<double>(*n)) : 0.0;
+}
+
 } // namespace
 
 int
@@ -163,6 +228,7 @@ main(int argc, char **argv)
     std::string fresh_path;
     double threshold_pct = 10.0;
     bool lower_is_better = false;
+    std::vector<std::string> allow_retired;
 
     auto next_arg = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -187,6 +253,8 @@ main(int argc, char **argv)
             }
         } else if (arg == "--lower-is-better")
             lower_is_better = true;
+        else if (arg == "--allow-retired")
+            allow_retired.emplace_back(next_arg(i));
         else if (arg == "--help" || arg == "-h")
             usage(argv[0]);
         else if (!arg.empty() && arg[0] == '-')
@@ -211,6 +279,22 @@ main(int argc, char **argv)
             fresh_path,
             "compare results files from the same bench binary"));
     }
+    // Different run lengths make every delta meaningless: volume
+    // cells (accesses) scale with the quota by construction, and rate
+    // cells (MAPS) are depressed by cold-start effects on short
+    // slices — a quota mismatch once made this gate read "-88%
+    // REGRESSED" against a healthy build.
+    if (base.quota != fresh.quota || base.warmup != fresh.warmup) {
+        fatal(makeError(
+            ErrorKind::usage,
+            "baseline ran quota=" + std::to_string(base.quota) +
+                " warmup=" + std::to_string(base.warmup) +
+                " but fresh ran quota=" + std::to_string(fresh.quota) +
+                " warmup=" + std::to_string(fresh.warmup),
+            fresh_path,
+            "re-run the bench at the baseline's run lengths, or "
+            "regenerate the baseline"));
+    }
 
     std::printf("== bench_report: %s (%s, %s-is-better, "
                 "threshold %.3g%%) ==\n",
@@ -224,17 +308,25 @@ main(int argc, char **argv)
     TextTable table(
         {"config", "baseline", "fresh", "delta%", "status"});
     std::vector<std::string> regressed;
+    std::vector<std::string> retired;
     std::size_t compared = 0, only_base = 0, only_fresh = 0;
 
     for (const Cell &b : base.cells) {
         const Cell *f = findCell(fresh, b.config);
         if (!f) {
+            // A config that vanished is a coverage hole, not a pass:
+            // it gates unless the retirement was named explicitly.
+            const bool allowed =
+                std::find(allow_retired.begin(), allow_retired.end(),
+                          b.config) != allow_retired.end();
+            if (!allowed)
+                retired.push_back(b.config);
             table.row()
                 .add(b.config)
                 .add(b.value, 3)
                 .add("-")
                 .add("-")
-                .add("baseline-only");
+                .add(allowed ? "retired" : "VANISHED");
             ++only_base;
             continue;
         }
@@ -245,8 +337,20 @@ main(int argc, char **argv)
                 : (f->value == 0.0 ? 0.0 : 100.0);
         const bool cell_lower =
             cellIsWallTime(b.config) || lower_is_better;
+        // Wall-time cells in a higher-is-better figure move as the
+        // RECIPROCAL of the rate metric, and a percentage threshold
+        // is not symmetric under inversion: -33% rate == +50% time.
+        // Gate them at the reciprocal-equivalent threshold so the
+        // same slowdown trips both cells together or neither.
+        const bool inverted = cell_lower != lower_is_better;
+        const double cell_threshold =
+            inverted ? (threshold_pct < 100.0
+                            ? 100.0 * threshold_pct /
+                                  (100.0 - threshold_pct)
+                            : std::numeric_limits<double>::infinity())
+                     : threshold_pct;
         const double harm = cell_lower ? delta_pct : -delta_pct;
-        const bool bad = harm > threshold_pct;
+        const bool bad = harm > cell_threshold;
         if (bad)
             regressed.push_back(b.config);
         table.row()
@@ -255,7 +359,7 @@ main(int argc, char **argv)
             .add(f->value, 3)
             .add(delta_pct, 2)
             .add(bad ? "REGRESSED"
-                     : (harm < -threshold_pct ? "improved" : "ok"));
+                     : (harm < -cell_threshold ? "improved" : "ok"));
     }
     for (const Cell &f : fresh.cells) {
         if (findCell(base, f.config))
@@ -268,6 +372,47 @@ main(int argc, char **argv)
             .add("new");
         ++only_fresh;
     }
+
+    // Geomean rows, recomputed over the config intersection so both
+    // sides aggregate the SAME set — the files' own geomean objects
+    // cover whatever rows each run happened to have.
+    for (const std::string &key : base.geomean_keys) {
+        if (std::find(fresh.geomean_keys.begin(),
+                      fresh.geomean_keys.end(),
+                      key) == fresh.geomean_keys.end())
+            continue;
+        std::size_t bn = 0, fn = 0;
+        const double bg = intersectionGeomean(base, fresh, key, &bn);
+        const double fg = intersectionGeomean(fresh, base, key, &fn);
+        if (bn == 0 || fn == 0)
+            continue;
+        const std::string config =
+            "geomean/" + key + " (" + std::to_string(bn) + " cfgs)";
+        const double delta_pct =
+            100.0 * (fg - bg) / std::fabs(bg);
+        const bool cell_lower =
+            cellIsWallTime("geomean/" + key) || lower_is_better;
+        // Same reciprocal-equivalent threshold as the per-config
+        // cells for direction-flipped (wall-time) keys.
+        const bool inverted = cell_lower != lower_is_better;
+        const double cell_threshold =
+            inverted ? (threshold_pct < 100.0
+                            ? 100.0 * threshold_pct /
+                                  (100.0 - threshold_pct)
+                            : std::numeric_limits<double>::infinity())
+                     : threshold_pct;
+        const double harm = cell_lower ? delta_pct : -delta_pct;
+        const bool bad = harm > cell_threshold;
+        if (bad)
+            regressed.push_back(config);
+        table.row()
+            .add(config)
+            .add(bg, 3)
+            .add(fg, 3)
+            .add(delta_pct, 2)
+            .add(bad ? "REGRESSED"
+                     : (harm < -cell_threshold ? "improved" : "ok"));
+    }
     table.print();
 
     std::printf("\n%zu configs compared, %zu baseline-only, %zu "
@@ -278,6 +423,16 @@ main(int argc, char **argv)
                         "baseline and fresh run share no configs",
                         fresh_path,
                         "regenerate the baseline from this bench"));
+    }
+    if (!retired.empty()) {
+        std::printf("VANISHED: %zu baseline config(s) missing from "
+                    "the fresh run:\n",
+                    retired.size());
+        for (const std::string &config : retired)
+            std::printf("  %s\n", config.c_str());
+        std::printf("retire deliberately with --allow-retired CFG, "
+                    "or fix the fresh run's coverage\n");
+        return 1;
     }
     if (!regressed.empty()) {
         std::printf("REGRESSION: %zu config(s) worse than the "

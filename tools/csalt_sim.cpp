@@ -9,8 +9,10 @@
  * Options:
  *   --vm NAME            add a VM (repeatable; also "file:<path>")
  *   --pair LABEL         add both VMs of a paper pair label
- *   --scheme S           conventional | pom | csalt-d | csalt-cd |
- *                        tsb | dip            (default: csalt-cd)
+ *   --scheme S           any registered scheme (sim/scheme.h):
+ *                        conventional | pom | csalt-d | csalt-cd |
+ *                        tsb | dip | victima | pcax
+ *                        (default: csalt-cd)
  *   --quota N            measured instructions per core (default 1M)
  *   --warmup N           warmup instructions per core (default 500K)
  *   --cores N            core count (default 8)
@@ -105,6 +107,7 @@ usage(const char *argv0)
                  "[--paranoid] [--inject FAULT] [--inject-seed N] "
                  "[--span-trace FILE] [--span-rate N]\n",
                  argv0);
+    std::fprintf(stderr, "schemes: %s\n", schemeCliNames().c_str());
     std::exit(2);
 }
 
@@ -257,25 +260,6 @@ printSelfProfile(const RunMetrics &m)
                 "page_walk includes its memory refs)\n");
 }
 
-void
-applyScheme(SystemParams &params, const std::string &scheme)
-{
-    if (scheme == "conventional")
-        applyConventional(params);
-    else if (scheme == "pom")
-        applyPomTlb(params);
-    else if (scheme == "csalt-d")
-        applyCsaltD(params);
-    else if (scheme == "csalt-cd")
-        applyCsaltCD(params);
-    else if (scheme == "tsb")
-        applyTsb(params);
-    else if (scheme == "dip")
-        applyDipOverPom(params);
-    else
-        fatal("unknown scheme '" + scheme + "'");
-}
-
 } // namespace
 
 int
@@ -387,7 +371,8 @@ main(int argc, char **argv)
 
     RunMetrics m;
     try {
-        applyScheme(spec.params, scheme);
+        applyScheme(spec.params,
+                    schemeFromName(scheme).valueOrRaise());
         if (!trace_out.empty() && !sample_interval_set)
             sample_interval = 8192;
         spec.stat_sample_interval = sample_interval;

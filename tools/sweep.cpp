@@ -6,6 +6,15 @@
  *   sweep [label] [--jobs N] [--json results.json]
  *         [--resume | --fresh] [--retries N] [--job-timeout S]
  *         [--stall-timeout S]
+ *   sweep --schemes all|S1,S2,... [label] [--jobs N] [--json F]
+ *
+ * --schemes switches to the translation-scheme shoot-out: every
+ * requested scheme (from the sim/scheme.h registry; "all" = every
+ * registered one) runs on every paper workload pair (or just [label]
+ * when given), and the table reports per-workload IPC speedup
+ * normalized to the conventional scheme plus a per-scheme geomean
+ * row. Results are collected before anything prints, so the table is
+ * byte-identical at any --jobs count.
  *
  * The (L2 ways × L3 ways) grid runs through the parallel job runner
  * ($CSALT_JOBS or --jobs; default sequential); rows stream in grid
@@ -18,10 +27,13 @@
  * counted in the exit code instead of aborting the grid.
  */
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -30,6 +42,7 @@
 #include "harness/job_runner.h"
 #include "harness/results.h"
 #include "sim/metrics.h"
+#include "sim/scheme.h"
 #include "sim/system_builder.h"
 #include "workloads/registry.h"
 
@@ -70,6 +83,145 @@ run(const std::string &label, unsigned l2_data, unsigned l3_data,
     system->clearAllStats();
     system->run(quota);
     return collectMetrics(*system);
+}
+
+RunMetrics
+runScheme(const std::string &label, SchemeId scheme,
+          std::uint64_t warmup, std::uint64_t quota)
+{
+    BuildSpec spec;
+    applyScheme(spec.params, scheme);
+    const PairSpec pair = resolvePair(label);
+    spec.vm_workloads = {pair.vm1, pair.vm2};
+    auto system = buildSystem(spec);
+    system->run(warmup);
+    system->clearAllStats();
+    system->run(quota);
+    return collectMetrics(*system);
+}
+
+int
+schemesMain(const harness::RunnerOptions &opts,
+            const std::string &schemes_arg, const std::string &label,
+            const std::string &json_path)
+{
+    const std::uint64_t quota = envU64("CSALT_QUOTA", 1'000'000);
+    const std::uint64_t warmup = envU64("CSALT_WARMUP", quota * 4 / 5);
+
+    std::vector<SchemeId> schemes;
+    if (schemes_arg == "all") {
+        for (const SchemeInfo &info : allSchemes())
+            schemes.push_back(info.id);
+    } else {
+        std::stringstream ss(schemes_arg);
+        std::string item;
+        while (std::getline(ss, item, ','))
+            if (!item.empty())
+                schemes.push_back(
+                    schemeFromName(item).valueOrRaise());
+    }
+    // The table normalizes to conventional, so it always runs.
+    if (std::find(schemes.begin(), schemes.end(),
+                  SchemeId::conventional) == schemes.end())
+        schemes.insert(schemes.begin(), SchemeId::conventional);
+    const std::size_t conv_i = static_cast<std::size_t>(
+        std::find(schemes.begin(), schemes.end(),
+                  SchemeId::conventional) -
+        schemes.begin());
+
+    const std::vector<std::string> labels =
+        label.empty() ? paperPairLabels()
+                      : std::vector<std::string>{label};
+
+    harness::JobRunner<RunMetrics> runner(opts);
+    std::unique_ptr<harness::Journal> journal;
+    if (!json_path.empty()) {
+        journal = harness::Journal::open(
+                      json_path + ".journal.jsonl",
+                      msgOf("shootout:quota=", quota,
+                            ":warmup=", warmup),
+                      !opts.resume)
+                      .valueOrRaise();
+        runner.attachJournal(journal.get(),
+                             harness::metricsJournalCodec());
+    } else if (opts.resume) {
+        fatal(makeError(ErrorKind::usage,
+                        "--resume needs --json: the journal lives "
+                        "beside the results file",
+                        "--resume"));
+    }
+
+    for (const std::string &wl : labels)
+        for (SchemeId s : schemes)
+            runner.add(wl + "/" + schemeInfo(s).cli, [=] {
+                return runScheme(wl, s, warmup, quota);
+            });
+
+    // Collect everything before printing: every row needs its
+    // conventional cell for normalization, so the table prints only
+    // after the grid completes — byte-identical at any --jobs count.
+    const auto outcomes = runner.run(
+        opts.jobs > 1 ? harness::stderrProgress()
+                      : harness::ProgressFn{});
+    const auto cell =
+        [&](std::size_t w,
+            std::size_t s) -> const harness::JobOutcome<RunMetrics> & {
+        return outcomes[w * schemes.size() + s];
+    };
+
+    std::printf("scheme shoot-out: IPC speedup vs conventional "
+                "(quota %llu)\n",
+                static_cast<unsigned long long>(quota));
+    std::printf("%-16s", "workload");
+    for (SchemeId s : schemes)
+        std::printf(" %12s", schemeInfo(s).cli);
+    std::printf("\n");
+
+    std::vector<double> log_sum(schemes.size(), 0.0);
+    std::vector<std::size_t> log_n(schemes.size(), 0);
+    for (std::size_t w = 0; w < labels.size(); ++w) {
+        std::printf("%-16s", labels[w].c_str());
+        const auto &base = cell(w, conv_i);
+        const double base_ipc =
+            base.ok ? base.value->ipc_geomean : 0.0;
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            const auto &o = cell(w, s);
+            if (!o.ok || base_ipc <= 0.0) {
+                std::printf(" %12s", "FAILED");
+                continue;
+            }
+            const double speedup = o.value->ipc_geomean / base_ipc;
+            std::printf(" %12.3f", speedup);
+            if (speedup > 0.0) {
+                log_sum[s] += std::log(speedup);
+                ++log_n[s];
+            }
+        }
+        std::printf("\n");
+    }
+    // A geomean over a row subset would silently reward failure, so
+    // any hole in a column turns its geomean into a visible "n/a".
+    std::printf("%-16s", "geomean");
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+        if (log_n[s] == labels.size())
+            std::printf(" %12.3f",
+                        std::exp(log_sum[s] /
+                                 static_cast<double>(log_n[s])));
+        else
+            std::printf(" %12s", "n/a");
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+
+    if (!json_path.empty()) {
+        if (!harness::writeJobsJson(json_path, outcomes))
+            fatal("cannot write sweep results to '" + json_path +
+                  "'");
+        std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+    }
+    harness::printFailureTable(outcomes);
+    const std::size_t failed = harness::countFailures(outcomes);
+    return static_cast<int>(std::min<std::size_t>(failed, 125));
 }
 
 int
@@ -169,19 +321,28 @@ main(int argc, char **argv)
 {
     const harness::RunnerOptions opts =
         harness::parseRunnerFlags(argc, argv);
-    std::string label = "ccomp";
+    std::string label;
     std::string json_path;
+    std::string schemes;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) {
             if (i + 1 >= argc)
                 fatal("--json needs a path");
             json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--schemes") == 0) {
+            if (i + 1 >= argc)
+                fatal("--schemes needs 'all' or a comma list (" +
+                      schemeCliNames() + ")");
+            schemes = argv[++i];
         } else {
             label = argv[i];
         }
     }
     try {
-        return sweepMain(opts, label, json_path);
+        if (!schemes.empty())
+            return schemesMain(opts, schemes, label, json_path);
+        return sweepMain(opts, label.empty() ? "ccomp" : label,
+                         json_path);
     } catch (const CsaltError &e) {
         fatal(e.error()); // structured diagnostic + exit(1)
     }

@@ -58,7 +58,10 @@
  * flamegraph tooling instead of tables; --chrome writes the spans as
  * Chrome "X" events (one track per core). Several sidecars at once
  * produce a cross-scheme comparison table keyed by each file's
- * embedded run label.
+ * embedded run label, with one self%% column per translation backend
+ * (tlb/pom/tsb/victima/pcax) plus walk, cache and dram; a sidecar
+ * with no sampled cycles shows an explicit "(no samples)" row
+ * instead of an all-zero one.
  *
  * --stale-after MS makes --attach exit(1) with a diagnostic when the
  * writer's heartbeat (publish_count) stops advancing for MS
@@ -427,6 +430,14 @@ runSpans(const std::vector<std::string> &paths, int top_k,
             std::printf("(no journeys retained — empty run?)\n\n");
             continue;
         }
+        if (rep.journey_cycles == 0) {
+            // Percentages below divide by the sampled journey
+            // cycles; with none, say so instead of printing 0-for-0
+            // as if it were a measurement.
+            std::printf("(no samples — every retained journey has "
+                        "zero length)\n\n");
+            continue;
+        }
 
         // Critical path: self cycles per kind, as a share of total
         // sampled journey cycles. "cycles" is inclusive (children
@@ -540,31 +551,44 @@ runSpans(const std::vector<std::string> &paths, int top_k,
         std::printf("== cross-scheme critical path (self%% of "
                     "journey cycles) ==\n");
         TextTable table({"label", "journeys", "avg cycles", "tlb%",
-                         "pom%", "tsb%", "walk%", "cache%", "dram%"});
+                         "pom%", "tsb%", "victima%", "pcax%", "walk%",
+                         "cache%", "dram%"});
         const auto share = [](const SpanFileReport &r,
                               std::initializer_list<obs::SpanKind> ks) {
             std::uint64_t self = 0;
             for (obs::SpanKind k : ks)
                 self += r.kind_self[static_cast<std::size_t>(k)];
-            return r.journey_cycles
-                       ? 100.0 * static_cast<double>(self) /
-                             static_cast<double>(r.journey_cycles)
-                       : 0.0;
+            return 100.0 * static_cast<double>(self) /
+                   static_cast<double>(r.journey_cycles);
         };
         for (const SpanFileReport &rep : reports) {
             const std::size_t n = rep.file.journeys.size();
+            // An empty sidecar (or one whose journeys are all
+            // zero-length) has no denominator: an all-zero row would
+            // read as "this scheme spends nothing anywhere", so say
+            // explicitly that there is nothing to attribute.
+            if (n == 0 || rep.journey_cycles == 0) {
+                auto &row = table.row();
+                row.add(rep.file.label)
+                    .add(static_cast<std::uint64_t>(n))
+                    .add("(no samples)");
+                for (int c = 0; c < 8; ++c)
+                    row.add("-");
+                continue;
+            }
             table.row()
                 .add(rep.file.label)
                 .add(static_cast<std::uint64_t>(n))
-                .add(n ? static_cast<double>(rep.journey_cycles) /
-                             static_cast<double>(n)
-                       : 0.0,
+                .add(static_cast<double>(rep.journey_cycles) /
+                         static_cast<double>(n),
                      1)
                 .add(share(rep, {obs::SpanKind::tlb_l1,
                                  obs::SpanKind::tlb_l2}),
                      1)
                 .add(share(rep, {obs::SpanKind::pom_lookup}), 1)
                 .add(share(rep, {obs::SpanKind::tsb_lookup}), 1)
+                .add(share(rep, {obs::SpanKind::victima_lookup}), 1)
+                .add(share(rep, {obs::SpanKind::pcax_lookup}), 1)
                 .add(share(rep, {obs::SpanKind::walk,
                                  obs::SpanKind::walk_guest_ref,
                                  obs::SpanKind::walk_host_ref,

@@ -34,6 +34,7 @@
 #include "obs/json.h"
 #include "sim/metrics_io.h"
 #include "sim/metrics.h"
+#include "sim/scheme.h"
 #include "sim/system_builder.h"
 #include "workloads/registry.h"
 
@@ -70,11 +71,11 @@ struct RunOutput
 };
 
 RunOutput
-runOne(const std::string &label, void (*apply)(SystemParams &),
+runOne(const std::string &label, SchemeId scheme,
        bool context_switch, std::uint64_t warmup, std::uint64_t quota)
 {
     BuildSpec spec;
-    apply(spec.params);
+    applyScheme(spec.params, scheme);
     const PairSpec pair = resolvePair(label);
     spec.vm_workloads = {pair.vm1};
     if (context_switch)
@@ -218,18 +219,21 @@ tuneMain(const harness::RunnerOptions &opts,
          std::uint64_t quota)
 {
 
+    // Short column labels over registry schemes (sim/scheme.h); the
+    // conv-noCS calibration point reuses conventional without the
+    // second VM.
     struct Variant
     {
         const char *name;
-        void (*apply)(SystemParams &);
+        SchemeId scheme;
         bool context_switch;
     };
     const std::vector<Variant> variants = {
-        {"conv-noCS", applyConventional, false},
-        {"conv", applyConventional, true},
-        {"pom", applyPomTlb, true},
-        {"csD", applyCsaltD, true},
-        {"csCD", applyCsaltCD, true},
+        {"conv-noCS", SchemeId::conventional, false},
+        {"conv", SchemeId::conventional, true},
+        {"pom", SchemeId::pom, true},
+        {"csD", SchemeId::csaltD, true},
+        {"csCD", SchemeId::csaltCD, true},
     };
 
     harness::JobRunner<RunOutput> runner(opts);
@@ -249,7 +253,7 @@ tuneMain(const harness::RunnerOptions &opts,
     for (const auto &label : labels) {
         for (const auto &v : variants) {
             runner.add(label + "/" + v.name, [=] {
-                return runOne(label, v.apply, v.context_switch,
+                return runOne(label, v.scheme, v.context_switch,
                               warmup, quota);
             });
         }
