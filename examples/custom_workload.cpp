@@ -14,6 +14,7 @@
 #include "common/table.h"
 #include "sim/metrics.h"
 #include "sim/system.h"
+#include "snapshot/state_io.h"
 #include "workloads/trace_source.h"
 
 using namespace csalt;
@@ -61,6 +62,26 @@ class KvStoreTrace final : public TraceSource
     std::uint64_t footprintPages() const override
     {
         return kIndexPages + kValuePages + kShardBytes / kPageSize;
+    }
+
+    // Custom workloads opt into checkpointing by serializing their
+    // generator state; see docs/robustness.md.
+    void
+    saveState(snapshot::StateSerializer &s) const override
+    {
+        rng_.saveState(s);
+        s.putU64(refs_);
+        s.putU64(scan_left_);
+        s.putU64(scan_addr_);
+    }
+
+    void
+    loadState(snapshot::StateDeserializer &d) override
+    {
+        rng_.loadState(d);
+        refs_ = d.getU64();
+        scan_left_ = d.getU64();
+        scan_addr_ = d.getU64();
     }
 
   private:

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Full pre-merge gate: pristine configure with warnings-as-errors,
 # the whole test suite (twice: plain, then under CSALT_PARANOID=1 so
-# every simulation self-checks its invariants), the obs suite under
-# ASan+UBSan, the harness (thread-pool job runner) suite under
-# ThreadSanitizer, a fault-injection smoke (a corrupted simulator
-# must fail loudly), a SIGKILL+resume smoke (an interrupted sweep
-# resumed with --resume must match the uninterrupted run), a
+# every simulation self-checks its invariants), the obs and snapshot
+# suites under ASan+UBSan, the harness (thread-pool job runner) suite
+# under ThreadSanitizer, a fault-injection smoke (a corrupted
+# simulator must fail loudly), a SIGKILL+resume smoke (an interrupted
+# sweep resumed with --resume must match the uninterrupted run), a
+# SIGKILL+restore smoke (csalt-sim killed -9 mid-run and resumed from
+# its periodic checkpoint must reproduce the uninterrupted metrics
+# JSON byte for byte, for two translation schemes), a
 # scheme shoot-out smoke (`sweep --schemes all` must fill every cell
 # for every registered translation scheme), and an end-to-end
 # telemetry smoke test (csalt-sim --trace-out piped through
@@ -38,17 +41,22 @@ echo "== tests again, paranoid (every run self-checks invariants) =="
 CSALT_PARANOID=1 ctest --test-dir "$BUILD_DIR" \
     --output-on-failure -j "$JOBS"
 
-echo "== obs suite under ASan+UBSan =="
+echo "== obs + snapshot suites under ASan+UBSan =="
 ASAN_DIR="${BUILD_DIR}-asan"
 if [[ "${KEEP_BUILD:-0}" != 1 ]]; then
     rm -rf "$ASAN_DIR"
 fi
 cmake -B "$ASAN_DIR" -S . -DCSALT_SANITIZE=ON
 cmake --build "$ASAN_DIR" -j "$JOBS" --target \
-    test_histogram test_cpi_stack test_stat_registry test_trace_events
+    test_histogram test_cpi_stack test_stat_registry \
+    test_trace_events test_snapshot
 # -L is a REGEX: anchored, or `obs` would also select obs_live,
 # obs_span and the tools suite — none of which are built here.
 ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS" -L '^obs$'
+# The serializers walk every byte of every component's state — the
+# exact place a stale pointer or over-read would hide.
+ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS" \
+    -L '^snapshot$'
 
 echo "== harness suite + live writer/reader pair under TSan =="
 TSAN_DIR="${BUILD_DIR}-tsan"
@@ -107,6 +115,33 @@ assert a == b, "resumed results differ from the uninterrupted run"
 print("ok: resumed sweep identical (minus wall clock)")
 EOF
 rm -rf "$sweep_dir"
+
+echo "== SIGKILL + restore smoke: checkpointed sim must resume =="
+ckpt_dir="$(mktemp -d /tmp/csalt-ckpt-XXXXXX)"
+for scheme in csalt-d victima; do
+    args=(--pair ccomp --scheme "$scheme" --quota 3000000
+          --warmup 20000 --seed 7 --format json)
+    "$BUILD_DIR/tools/csalt-sim" "${args[@]}" \
+        > "$ckpt_dir/$scheme.ref.json"
+    "$BUILD_DIR/tools/csalt-sim" "${args[@]}" \
+        --checkpoint-out "$ckpt_dir/$scheme.ckpt" \
+        --checkpoint-every 1 > "$ckpt_dir/$scheme.killed.json" &
+    sim_pid=$!
+    sleep 2
+    kill -KILL "$sim_pid" 2>/dev/null || true
+    wait "$sim_pid" 2>/dev/null || true
+    test -s "$ckpt_dir/$scheme.ckpt" \
+        || { echo "FAIL: $scheme left no checkpoint"; exit 1; }
+    "$BUILD_DIR/tools/csalt-sim" "${args[@]}" \
+        --restore "$ckpt_dir/$scheme.ckpt" \
+        > "$ckpt_dir/$scheme.res.json"
+    cmp -s "$ckpt_dir/$scheme.ref.json" "$ckpt_dir/$scheme.res.json" \
+        || { echo "FAIL: $scheme restore diverged"; \
+             diff "$ckpt_dir/$scheme.ref.json" \
+                  "$ckpt_dir/$scheme.res.json" | head; exit 1; }
+    echo "ok: $scheme killed -9 and restored byte-identical"
+done
+rm -rf "$ckpt_dir"
 
 echo "== scheme shoot-out smoke: every registered backend must run =="
 shoot_dir="$(mktemp -d /tmp/csalt-shootout-XXXXXX)"

@@ -2,6 +2,7 @@
 
 #include "common/log.h"
 #include "obs/stat_registry.h"
+#include "snapshot/state_io.h"
 
 namespace csalt
 {
@@ -273,6 +274,95 @@ Cache::registerStats(obs::StatRegistry &reg,
     reg.addGauge(prefix + ".xlat_occupancy", [this] {
         return occupancyOf(LineType::translation);
     });
+}
+
+void
+Cache::saveState(snapshot::StateSerializer &s) const
+{
+    s.putU64(num_sets_);
+    s.putU32(ways_);
+    s.putU64(tags_.size());
+    for (const Addr tag : tags_)
+        s.putU64(tag);
+    for (const std::uint8_t m : meta_)
+        s.putU8(m);
+    repl_.saveState(s);
+
+    s.putBool(partition_.has_value());
+    if (partition_) {
+        s.putU32(partition_->total_ways);
+        s.putU32(partition_->data_ways);
+    }
+    s.putBool(data_shadow_ != nullptr);
+    if (data_shadow_) {
+        data_shadow_->saveState(s);
+        tlb_shadow_->saveState(s);
+    }
+    s.putBool(dip_ != nullptr);
+    if (dip_)
+        dip_->saveState(s);
+    s.putBool(drrip_ != nullptr);
+    if (drrip_)
+        drrip_->saveState(s);
+
+    for (int t = 0; t < 2; ++t) {
+        s.putU64(stats_.hits[t]);
+        s.putU64(stats_.misses[t]);
+    }
+    s.putU64(stats_.evictions);
+    s.putU64(stats_.writebacks);
+    s.putU64(type_count_[0]);
+    s.putU64(type_count_[1]);
+}
+
+void
+Cache::loadState(snapshot::StateDeserializer &d)
+{
+    // Geometry and enabled features are derived from the (already
+    // config-CRC-verified) scheme; a mismatch here means the snapshot
+    // was taken under a different build and must not half-apply.
+    if (d.getU64() != num_sets_ || d.getU32() != ways_)
+        d.fail(msgOf("cache '", name_, "' geometry mismatch"));
+    if (d.getU64() != tags_.size())
+        d.fail(msgOf("cache '", name_, "' line-array size mismatch"));
+    for (auto &tag : tags_)
+        tag = d.getU64();
+    for (auto &m : meta_)
+        m = d.getU8();
+    repl_.loadState(d);
+
+    if (d.getBool() != partition_.has_value())
+        d.fail(msgOf("cache '", name_, "' partition presence mismatch"));
+    if (partition_) {
+        partition_->total_ways = d.getU32();
+        partition_->data_ways = d.getU32();
+        if (partition_->total_ways != ways_ ||
+            partition_->data_ways > ways_)
+            d.fail(msgOf("cache '", name_, "' partition out of range"));
+    }
+    if (d.getBool() != (data_shadow_ != nullptr))
+        d.fail(msgOf("cache '", name_, "' profiler presence mismatch"));
+    if (data_shadow_) {
+        data_shadow_->loadState(d);
+        tlb_shadow_->loadState(d);
+    }
+    if (d.getBool() != (dip_ != nullptr))
+        d.fail(msgOf("cache '", name_, "' DIP presence mismatch"));
+    if (dip_)
+        dip_->loadState(d);
+    if (d.getBool() != (drrip_ != nullptr))
+        d.fail(msgOf("cache '", name_, "' DRRIP presence mismatch"));
+    if (drrip_)
+        drrip_->loadState(d);
+
+    for (int t = 0; t < 2; ++t) {
+        stats_.hits[t] = d.getU64();
+        stats_.misses[t] = d.getU64();
+    }
+    stats_.evictions = d.getU64();
+    stats_.writebacks = d.getU64();
+    type_count_[0] = d.getU64();
+    type_count_[1] = d.getU64();
 }
 
 } // namespace csalt

@@ -48,6 +48,12 @@ namespace obs
 class StatRegistry;
 } // namespace obs
 
+namespace snapshot
+{
+class StateSerializer;
+class StateDeserializer;
+} // namespace snapshot
+
 /** Raw event counters of one cache. */
 struct CacheStats
 {
@@ -240,6 +246,17 @@ class Cache
         if (partition_)
             partition_->data_ways = ways_ + 3;
     }
+
+    // ------------------------------------------------------ checkpoint
+
+    /**
+     * Serialize the full mutable state: SoA line arrays, replacement
+     * bytes, partition split, shadow profilers, insertion-duel
+     * counters and stats. Geometry and enabled features come from the
+     * (config-CRC-matched) scheme; loadState verifies they agree.
+     */
+    void saveState(snapshot::StateSerializer &s) const;
+    void loadState(snapshot::StateDeserializer &d);
 
     // -------------------------------------------------------- geometry
 

@@ -48,6 +48,25 @@ class DipController
     /** True when follower sets currently use BIP. */
     bool followersUseBip() const { return psel_ >= kPselThreshold; }
 
+    /** Checkpoint: PSEL counter + the bimodal coin's RNG stream. */
+    template <class Sink>
+    void
+    saveState(Sink &s) const
+    {
+        s.putU32(psel_);
+        rng_.saveState(s);
+    }
+
+    template <class Src>
+    void
+    loadState(Src &d)
+    {
+        psel_ = d.getU32();
+        if (psel_ > kPselMax)
+            d.fail("DIP PSEL out of range");
+        rng_.loadState(d);
+    }
+
   private:
     enum class SetRole { lruLeader, bipLeader, follower };
 

@@ -43,6 +43,23 @@ class OccupancySampler
 
     const TimeSeries &series() const { return series_; }
 
+    /** Checkpoint support (snapshot/state_io.h). */
+    template <class Sink>
+    void
+    saveState(Sink &s) const
+    {
+        series_.saveState(s);
+        acc_.saveState(s);
+    }
+
+    template <class Src>
+    void
+    loadState(Src &d)
+    {
+        series_.loadState(d);
+        acc_.loadState(d);
+    }
+
   private:
     const Cache &cache_;
     TimeSeries series_;

@@ -252,6 +252,36 @@ class ReplBlock
         }
     }
 
+    /**
+     * Checkpoint: geometry is ctor-derived (verified on load), the
+     * per-way byte array is the only mutable state.
+     */
+    template <class Sink>
+    void
+    saveState(Sink &s) const
+    {
+        s.putU8(static_cast<std::uint8_t>(kind_));
+        s.putU32(ways_);
+        s.putU64(sets_);
+        s.putU64(state_.size());
+        for (const std::uint8_t b : state_)
+            s.putU8(b);
+    }
+
+    template <class Src>
+    void
+    loadState(Src &d)
+    {
+        if (d.getU8() != static_cast<std::uint8_t>(kind_))
+            d.fail("ReplBlock policy kind mismatch");
+        if (d.getU32() != ways_ || d.getU64() != sets_)
+            d.fail("ReplBlock geometry mismatch");
+        if (d.getU64() != state_.size())
+            d.fail("ReplBlock state size mismatch");
+        for (auto &b : state_)
+            b = d.getU8();
+    }
+
   private:
     static constexpr std::uint8_t kRripMax = 3;
 

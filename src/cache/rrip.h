@@ -81,6 +81,25 @@ class DrripController
     std::uint32_t psel() const { return psel_; }
     bool followersUseBrrip() const { return psel_ >= kThreshold; }
 
+    /** Checkpoint: PSEL counter + the BRRIP coin's RNG stream. */
+    template <class Sink>
+    void
+    saveState(Sink &s) const
+    {
+        s.putU32(psel_);
+        rng_.saveState(s);
+    }
+
+    template <class Src>
+    void
+    loadState(Src &d)
+    {
+        psel_ = d.getU32();
+        if (psel_ > kPselMax)
+            d.fail("DRRIP PSEL out of range");
+        rng_.loadState(d);
+    }
+
   private:
     enum class Role
     {

@@ -68,6 +68,28 @@ class StackDistProfiler
      */
     void corruptForTest() { counters_[0] += 7; }
 
+    /** Checkpoint support (snapshot/state_io.h). */
+    template <class Sink>
+    void
+    saveState(Sink &s) const
+    {
+        s.putU64(counters_.size());
+        for (const std::uint64_t c : counters_)
+            s.putU64(c);
+        s.putU64(total_);
+    }
+
+    template <class Src>
+    void
+    loadState(Src &d)
+    {
+        if (d.getU64() != counters_.size())
+            d.fail("StackDistProfiler counter-count mismatch");
+        for (auto &c : counters_)
+            c = d.getU64();
+        total_ = d.getU64();
+    }
+
   private:
     std::vector<std::uint64_t> counters_;
     std::uint64_t total_ = 0;
@@ -108,6 +130,30 @@ class ShadowTagArray
     bool sampled(std::uint64_t set) const
     {
         return (set & sample_mask_) == 0;
+    }
+
+    /** Checkpoint: shadow tags + recency state + profiler counters. */
+    template <class Sink>
+    void
+    saveState(Sink &s) const
+    {
+        s.putU64(tags_.size());
+        for (const Addr tag : tags_)
+            s.putU64(tag);
+        repl_.saveState(s);
+        profiler_.saveState(s);
+    }
+
+    template <class Src>
+    void
+    loadState(Src &d)
+    {
+        if (d.getU64() != tags_.size())
+            d.fail("ShadowTagArray tag-count mismatch");
+        for (auto &tag : tags_)
+            tag = d.getU64();
+        repl_.loadState(d);
+        profiler_.loadState(d);
     }
 
   private:

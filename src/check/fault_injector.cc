@@ -4,6 +4,7 @@
 #include "common/log.h"
 #include "sim/core_model.h"
 #include "sim/system.h"
+#include "snapshot/snapshot.h"
 #include "tlb/pom_tlb.h"
 #include "tlb/tlb.h"
 
@@ -128,6 +129,147 @@ injectFault(System &system, Fault fault, std::uint64_t seed)
         return;
     }
     panic("injectFault: unknown fault");
+}
+
+namespace
+{
+
+struct SnapshotFaultNameEntry
+{
+    SnapshotFault fault;
+    const char *name;
+};
+
+constexpr SnapshotFaultNameEntry kSnapshotFaultNames[] = {
+    {SnapshotFault::truncatedTail, "truncated-tail"},
+    {SnapshotFault::payloadBitFlip, "payload-bit-flip"},
+    {SnapshotFault::crcFlip, "crc-flip"},
+    {SnapshotFault::versionSkew, "version-skew"},
+    {SnapshotFault::missingChunk, "missing-chunk"},
+};
+
+std::string
+validSnapshotFaultNames()
+{
+    std::string names;
+    for (const auto &e : kSnapshotFaultNames) {
+        if (!names.empty())
+            names += ", ";
+        names += e.name;
+    }
+    return names;
+}
+
+/**
+ * Seed-selected component chunk (meta excluded: the component-level
+ * faults must hit model state, and missing-chunk on meta would trip
+ * the unrelated first-chunk-must-be-meta check). When
+ * @p need_payload, chunks with empty payloads are skipped.
+ */
+const snapshot::ChunkInfo &
+pickComponentChunk(const std::vector<snapshot::ChunkInfo> &chunks,
+                   std::uint64_t seed, bool need_payload)
+{
+    std::vector<const snapshot::ChunkInfo *> candidates;
+    for (const auto &c : chunks) {
+        if (c.name == "meta")
+            continue;
+        if (need_payload && c.payload_size == 0)
+            continue;
+        candidates.push_back(&c);
+    }
+    if (candidates.empty()) {
+        raise(makeError(ErrorKind::usage,
+                        "snapshot holds no component chunk to corrupt",
+                        "snapshot fault injection",
+                        "serialize a full system before injecting"));
+    }
+    return *candidates[seed % candidates.size()];
+}
+
+} // namespace
+
+const char *
+snapshotFaultName(SnapshotFault fault)
+{
+    for (const auto &e : kSnapshotFaultNames)
+        if (e.fault == fault)
+            return e.name;
+    panic("snapshotFaultName: unknown fault");
+}
+
+Expected<SnapshotFault>
+snapshotFaultFromName(const std::string &name)
+{
+    for (const auto &e : kSnapshotFaultNames)
+        if (name == e.name)
+            return e.fault;
+    return makeError(ErrorKind::config,
+                     msgOf("unknown snapshot fault '", name, "'"),
+                     "snapshot fault injection",
+                     "valid faults: " + validSnapshotFaultNames());
+}
+
+std::vector<SnapshotFault>
+allSnapshotFaults()
+{
+    std::vector<SnapshotFault> faults;
+    for (const auto &e : kSnapshotFaultNames)
+        faults.push_back(e.fault);
+    return faults;
+}
+
+std::string
+injectSnapshotFault(std::string bytes, SnapshotFault fault,
+                    std::uint64_t seed)
+{
+    // Parse first (validates the input is a real image) so every
+    // corruption below lands on a known structural target.
+    const snapshot::SnapshotReader reader =
+        snapshot::SnapshotReader::parse(bytes, "fault-injection input");
+
+    switch (fault) {
+    case SnapshotFault::truncatedTail: {
+        // Drop the END sentinel's tail plus up to 7 more bytes: the
+        // torn tail a crashed non-atomic writer would leave.
+        const std::size_t drop = 1 + seed % 8;
+        bytes.resize(bytes.size() - std::min(drop, bytes.size()));
+        return bytes;
+    }
+    case SnapshotFault::payloadBitFlip: {
+        const snapshot::ChunkInfo &c = pickComponentChunk(
+            reader.chunks(), seed, /*need_payload=*/true);
+        const std::uint64_t at =
+            c.payload_offset + seed % c.payload_size;
+        bytes[at] ^= static_cast<char>(1u << (seed % 8));
+        return bytes;
+    }
+    case SnapshotFault::crcFlip: {
+        const snapshot::ChunkInfo &c = pickComponentChunk(
+            reader.chunks(), seed, /*need_payload=*/false);
+        // The u32 CRC stamp sits immediately before the payload.
+        const std::uint64_t at = c.payload_offset - 4 + seed % 4;
+        bytes[at] ^= static_cast<char>(1u << (seed % 8));
+        return bytes;
+    }
+    case SnapshotFault::versionSkew: {
+        // The u32 version follows the 9-byte magic; bump its low byte
+        // so the image claims a format this build does not read.
+        bytes[snapshot::kSnapshotMagicLen] =
+            static_cast<char>(std::uint8_t(
+                bytes[snapshot::kSnapshotMagicLen]) + 1);
+        return bytes;
+    }
+    case SnapshotFault::missingChunk: {
+        const snapshot::ChunkInfo &c = pickComponentChunk(
+            reader.chunks(), seed, /*need_payload=*/false);
+        bytes.erase(c.header_offset,
+                    c.payload_offset + c.payload_size -
+                        c.header_offset);
+        return bytes;
+    }
+    }
+    panic("injectSnapshotFault: unknown fault");
 }
 
 } // namespace csalt::check

@@ -62,6 +62,41 @@ std::vector<Fault> allFaults();
  */
 void injectFault(System &system, Fault fault, std::uint64_t seed = 1);
 
+/**
+ * Which part of a serialized CSALTSNAP image to corrupt. Each fault
+ * must make SnapshotReader::parse() (or the restore that follows)
+ * reject the image with a typed kind=parse error naming the chunk and
+ * byte offset — a corrupted snapshot never restores partially. The
+ * pairing is proven per fault in tests/test_snapshot.cpp.
+ */
+enum class SnapshotFault : std::uint8_t
+{
+    truncatedTail,  //!< drop the image's final bytes (torn write)
+    payloadBitFlip, //!< flip one bit inside a component payload
+    crcFlip,        //!< flip one bit of a stored CRC stamp
+    versionSkew,    //!< bump the u32 format version field
+    missingChunk,   //!< splice one component chunk out entirely
+};
+
+/** Stable name ("truncated-tail", "payload-bit-flip", ...). */
+const char *snapshotFaultName(SnapshotFault fault);
+
+/** Parse a snapshot-fault name; config error lists the valid names. */
+Expected<SnapshotFault> snapshotFaultFromName(const std::string &name);
+
+/** Every injectable snapshot fault (test matrices iterate this). */
+std::vector<SnapshotFault> allSnapshotFaults();
+
+/**
+ * Return @p bytes corrupted per @p fault. @p bytes must be a valid
+ * CSALTSNAP image — it is parsed first to locate chunk boundaries, so
+ * the corruption lands on a real structural target (a component
+ * payload byte, a CRC stamp, the version field) rather than a random
+ * offset. @p seed picks which component chunk / byte is hit.
+ */
+std::string injectSnapshotFault(std::string bytes, SnapshotFault fault,
+                                std::uint64_t seed = 1);
+
 } // namespace check
 } // namespace csalt
 

@@ -86,6 +86,48 @@ class FlatMap64
     std::size_t size() const { return count_; }
     bool empty() const { return count_ == 0; }
 
+    /**
+     * Checkpoint the table verbatim — capacity and slot placement
+     * included — so a restored map is byte-identical in layout (probe
+     * sequences, growth points) to the saved one. @p put/@p get
+     * serialize one Value (values are POD aggregates the caller
+     * knows how to encode field-wise).
+     */
+    template <class Sink, class PutValue>
+    void
+    saveState(Sink &s, PutValue &&put) const
+    {
+        s.putU64(slots_.size());
+        s.putU64(count_);
+        for (const Slot &slot : slots_) {
+            s.putU64(slot.key);
+            if (slot.key != kEmptyKey)
+                put(s, slot.value);
+        }
+    }
+
+    template <class Src, class GetValue>
+    void
+    loadState(Src &d, GetValue &&get)
+    {
+        const std::uint64_t cap = d.getU64();
+        if (cap < 16 || (cap & (cap - 1)) != 0)
+            d.fail("FlatMap64 capacity must be a power of two >= 16");
+        const std::uint64_t count = d.getU64();
+        slots_.assign(cap, Slot{});
+        mask_ = cap - 1;
+        count_ = 0;
+        for (auto &slot : slots_) {
+            slot.key = d.getU64();
+            if (slot.key != kEmptyKey) {
+                slot.value = get(d);
+                ++count_;
+            }
+        }
+        if (count_ != count)
+            d.fail("FlatMap64 occupied-slot count mismatch");
+    }
+
   private:
     struct Slot
     {

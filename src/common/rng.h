@@ -72,6 +72,23 @@ class Rng
     /** Bernoulli trial with probability p. */
     bool chance(double p) { return uniform() < p; }
 
+    /** Checkpoint the full generator state (snapshot/state_io.h). */
+    template <class Sink>
+    void
+    saveState(Sink &s) const
+    {
+        for (const auto &word : state_)
+            s.putU64(word);
+    }
+
+    template <class Src>
+    void
+    loadState(Src &d)
+    {
+        for (auto &word : state_)
+            word = d.getU64();
+    }
+
     /**
      * Approximate Zipf-distributed index in [0, n) with exponent s.
      *

@@ -50,6 +50,27 @@ class Accumulator
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
 
+    /** Checkpoint support (snapshot/state_io.h). */
+    template <class Sink>
+    void
+    saveState(Sink &s) const
+    {
+        s.putU64(count_);
+        s.putDouble(sum_);
+        s.putDouble(min_);
+        s.putDouble(max_);
+    }
+
+    template <class Src>
+    void
+    loadState(Src &d)
+    {
+        count_ = d.getU64();
+        sum_ = d.getDouble();
+        min_ = d.getDouble();
+        max_ = d.getDouble();
+    }
+
   private:
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
@@ -84,6 +105,32 @@ class TimeSeries
      * (used when printing long traces in benches).
      */
     TimeSeries downsampled(std::size_t n) const;
+
+    /** Checkpoint support (snapshot/state_io.h). */
+    template <class Sink>
+    void
+    saveState(Sink &s) const
+    {
+        s.putU64(points_.size());
+        for (const Point &p : points_) {
+            s.putDouble(p.time);
+            s.putDouble(p.value);
+        }
+    }
+
+    template <class Src>
+    void
+    loadState(Src &d)
+    {
+        const std::uint64_t n = d.getU64();
+        points_.clear();
+        points_.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const double time = d.getDouble();
+            const double value = d.getDouble();
+            points_.push_back(Point{time, value});
+        }
+    }
 
   private:
     std::vector<Point> points_;

@@ -59,6 +59,31 @@ class CriticalityEstimator
     /** Halve history at epoch boundaries (phase tracking). */
     void decay();
 
+    /** Checkpoint support (snapshot/state_io.h). */
+    template <class Sink>
+    void
+    saveState(Sink &s) const
+    {
+        for (const DecayingAvg *a : {&dram_, &pom_, &walk_}) {
+            s.putDouble(a->sum);
+            s.putDouble(a->count);
+        }
+        s.putDouble(pom_hits_);
+        s.putDouble(pom_lookups_);
+    }
+
+    template <class Src>
+    void
+    loadState(Src &d)
+    {
+        for (DecayingAvg *a : {&dram_, &pom_, &walk_}) {
+            a->sum = d.getDouble();
+            a->count = d.getDouble();
+        }
+        pom_hits_ = d.getDouble();
+        pom_lookups_ = d.getDouble();
+    }
+
   private:
     struct DecayingAvg
     {

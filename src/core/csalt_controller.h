@@ -78,6 +78,33 @@ class PartitionController
      */
     void registerStats(obs::StatRegistry &reg) const;
 
+    /**
+     * Checkpoint: epoch position, decision trace and last weights.
+     * The governed cache's partition/profilers are saved by the Cache
+     * itself; the criticality estimator by its owner.
+     */
+    template <class Sink>
+    void
+    saveState(Sink &s) const
+    {
+        s.putU64(accesses_in_epoch_);
+        s.putU64(epochs_);
+        trace_.saveState(s);
+        s.putDouble(last_weights_.s_dat);
+        s.putDouble(last_weights_.s_tr);
+    }
+
+    template <class Src>
+    void
+    loadState(Src &d)
+    {
+        accesses_in_epoch_ = d.getU64();
+        epochs_ = d.getU64();
+        trace_.loadState(d);
+        last_weights_.s_dat = d.getDouble();
+        last_weights_.s_tr = d.getDouble();
+    }
+
   private:
     Cache &cache_;
     PartitionParams params_;

@@ -4,6 +4,7 @@
 
 #include "obs/phase_profiler.h"
 #include "obs/stat_registry.h"
+#include "snapshot/state_io.h"
 
 namespace csalt
 {
@@ -89,6 +90,48 @@ DramChannel::registerStats(obs::StatRegistry &reg,
     reg.addGauge(prefix + ".row_hit_rate",
                  [this] { return stats_.rowHitRate(); });
     reg.addHistogram(prefix + ".lat", &lat_hist_);
+}
+
+
+void
+DramChannel::saveState(snapshot::StateSerializer &s) const
+{
+    s.putU64(banks_.size());
+    for (const Bank &bank : banks_) {
+        s.putU64(bank.open_row);
+        s.putBool(bank.any_open);
+        s.putDouble(bank.backlog);
+    }
+    s.putDouble(channel_backlog_);
+    s.putU64(drain_time_);
+    s.putU64(stats_.accesses);
+    s.putU64(stats_.row_hits);
+    s.putU64(stats_.row_conflicts);
+    s.putU64(stats_.row_cold);
+    s.putU64(stats_.queue_wait_cycles);
+    s.putU64(stats_.service_cycles);
+    lat_hist_.saveState(s);
+}
+
+void
+DramChannel::loadState(snapshot::StateDeserializer &d)
+{
+    if (d.getU64() != banks_.size())
+        d.fail("DRAM bank count mismatch");
+    for (Bank &bank : banks_) {
+        bank.open_row = d.getU64();
+        bank.any_open = d.getBool();
+        bank.backlog = d.getDouble();
+    }
+    channel_backlog_ = d.getDouble();
+    drain_time_ = d.getU64();
+    stats_.accesses = d.getU64();
+    stats_.row_hits = d.getU64();
+    stats_.row_conflicts = d.getU64();
+    stats_.row_cold = d.getU64();
+    stats_.queue_wait_cycles = d.getU64();
+    stats_.service_cycles = d.getU64();
+    lat_hist_.loadState(d);
 }
 
 } // namespace csalt

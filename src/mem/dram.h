@@ -28,6 +28,12 @@ namespace obs
 class StatRegistry;
 } // namespace obs
 
+namespace snapshot
+{
+class StateSerializer;
+class StateDeserializer;
+} // namespace snapshot
+
 /** Counters for one DRAM channel. */
 struct DramStats
 {
@@ -101,6 +107,10 @@ class DramChannel
      */
     void registerStats(obs::StatRegistry &reg,
                        const std::string &prefix) const;
+
+    /** Checkpoint: bank rows/backlogs, drain clock, counters. */
+    void saveState(snapshot::StateSerializer &s) const;
+    void loadState(snapshot::StateDeserializer &d);
 
   private:
     /**

@@ -1,6 +1,7 @@
 #include "mem/phys_alloc.h"
 
 #include "common/log.h"
+#include "snapshot/state_io.h"
 
 namespace csalt
 {
@@ -50,6 +51,55 @@ FrameAllocator::alloc2M()
     huge_next_ -= kHugePageSize;
     allocated_bytes_ += kHugePageSize;
     return huge_next_;
+}
+
+
+void
+FrameAllocator::saveState(snapshot::StateSerializer &s) const
+{
+    s.putU64(base_);
+    s.putU64(limit_);
+    rng_.saveState(s);
+    s.putU64(small_frames_);
+    // Bit-packed bitmap: slot i -> byte i/8, bit i%8.
+    std::uint8_t byte = 0;
+    for (std::uint64_t i = 0; i < small_frames_; ++i) {
+        if (small_used_[i])
+            byte |= static_cast<std::uint8_t>(1u << (i % 8));
+        if ((i % 8) == 7 || i + 1 == small_frames_) {
+            s.putU8(byte);
+            byte = 0;
+        }
+    }
+    s.putU64(small_count_);
+    s.putU64(huge_next_);
+    s.putU64(allocated_bytes_);
+}
+
+void
+FrameAllocator::loadState(snapshot::StateDeserializer &d)
+{
+    if (d.getU64() != base_ || d.getU64() != limit_)
+        d.fail("frame-allocator range mismatch");
+    rng_.loadState(d);
+    if (d.getU64() != small_frames_)
+        d.fail("frame-allocator 4KB-slot count mismatch");
+    std::uint64_t used = 0;
+    std::uint8_t byte = 0;
+    for (std::uint64_t i = 0; i < small_frames_; ++i) {
+        if (i % 8 == 0)
+            byte = d.getU8();
+        const bool bit = (byte >> (i % 8)) & 1u;
+        small_used_[i] = bit;
+        used += bit;
+    }
+    small_count_ = d.getU64();
+    if (small_count_ != used)
+        d.fail("frame-allocator bitmap population mismatch");
+    huge_next_ = d.getU64();
+    if (huge_next_ > limit_ || huge_next_ < base_)
+        d.fail("frame-allocator huge bump pointer out of range");
+    allocated_bytes_ = d.getU64();
 }
 
 } // namespace csalt

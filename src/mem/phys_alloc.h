@@ -22,6 +22,12 @@
 namespace csalt
 {
 
+namespace snapshot
+{
+class StateSerializer;
+class StateDeserializer;
+} // namespace snapshot
+
 /** Allocator over [base, limit) handing out 4KB and 2MB frames. */
 class FrameAllocator
 {
@@ -48,6 +54,14 @@ class FrameAllocator
 
     /** Total manageable bytes. */
     std::uint64_t capacityBytes() const { return limit_ - base_; }
+
+    /**
+     * Checkpoint: RNG stream, bit-packed 4KB bitmap, huge bump
+     * pointer. Geometry (base/limit) is verified, not restored —
+     * it is config-derived.
+     */
+    void saveState(snapshot::StateSerializer &s) const;
+    void loadState(snapshot::StateDeserializer &d);
 
   private:
     Addr base_;

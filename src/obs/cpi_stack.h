@@ -118,6 +118,23 @@ class LatencyBreakdown
         return v_;
     }
 
+    /** Checkpoint support (snapshot/state_io.h). */
+    template <class Sink>
+    void
+    saveState(Sink &s) const
+    {
+        for (const double v : v_)
+            s.putDouble(v);
+    }
+
+    template <class Src>
+    void
+    loadState(Src &d)
+    {
+        for (auto &v : v_)
+            v = d.getDouble();
+    }
+
   private:
     std::array<double, kNumCpiComponents> v_{};
 };

@@ -95,6 +95,45 @@ class Histogram
         return buckets_[i];
     }
 
+    /** Checkpoint: only nonzero buckets travel (sparse encoding). */
+    template <class Sink>
+    void
+    saveState(Sink &s) const
+    {
+        std::uint64_t nonzero = 0;
+        for (const std::uint64_t b : buckets_)
+            nonzero += b != 0;
+        s.putU64(nonzero);
+        for (std::size_t i = 0; i < buckets_.size(); ++i) {
+            if (buckets_[i]) {
+                s.putU64(i);
+                s.putU64(buckets_[i]);
+            }
+        }
+        s.putU64(count_);
+        s.putDouble(sum_);
+        s.putU64(min_);
+        s.putU64(max_);
+    }
+
+    template <class Src>
+    void
+    loadState(Src &d)
+    {
+        buckets_.fill(0);
+        const std::uint64_t nonzero = d.getU64();
+        for (std::uint64_t i = 0; i < nonzero; ++i) {
+            const std::uint64_t idx = d.getU64();
+            if (idx >= buckets_.size())
+                d.fail("histogram bucket index out of range");
+            buckets_[idx] = d.getU64();
+        }
+        count_ = d.getU64();
+        sum_ = d.getDouble();
+        min_ = d.getU64();
+        max_ = d.getU64();
+    }
+
   private:
     std::array<std::uint64_t, kNumBuckets> buckets_{};
     std::uint64_t count_ = 0;

@@ -1,6 +1,7 @@
 #include "sim/core_model.h"
 
 #include "common/log.h"
+#include "snapshot/state_io.h"
 #include "obs/stat_registry.h"
 #include "obs/trace_event.h"
 
@@ -305,6 +306,94 @@ CoreModel::registerStats(obs::StatRegistry &reg,
         reg.addCounter(vm + ".l2_tlb_misses",
                        &ctx_stats_[i].l2_tlb_misses);
     }
+}
+
+
+void
+CoreModel::saveState(snapshot::StateSerializer &s) const
+{
+    s.putU64(current_);
+    s.putDouble(cycles_);
+    s.putDouble(cycle_baseline_);
+    s.putU64(next_switch_);
+
+    tlbs_.saveState(s);
+    mmu_.saveState(s);
+    walker_->saveState(s);
+    size_predictor_.saveState(s);
+    s.putBool(pcax_ != nullptr);
+    if (pcax_)
+        pcax_->saveState(s);
+
+    s.putU64(stats_.instructions);
+    s.putU64(stats_.memrefs);
+    s.putU64(stats_.context_switches);
+    s.putU64(stats_.translation_cycles);
+    s.putU64(stats_.data_cycles);
+    s.putU64(stats_.walks);
+    s.putU64(stats_.walk_cycles);
+
+    s.putU64(ctx_stats_.size());
+    for (const ContextStats &cs : ctx_stats_) {
+        s.putU64(cs.instructions);
+        s.putU64(cs.memrefs);
+        s.putU64(cs.l2_tlb_misses);
+    }
+    cpi_.saveState(s);
+    s.putU64(ctx_cpi_.size());
+    for (const obs::CpiStack &stack : ctx_cpi_)
+        stack.saveState(s);
+
+    s.putU64(contexts_.size());
+    for (const auto &ctx : contexts_)
+        ctx->trace().saveState(s);
+}
+
+void
+CoreModel::loadState(snapshot::StateDeserializer &d)
+{
+    const std::uint64_t slot = d.getU64();
+    if (slot >= contexts_.size())
+        d.fail("core scheduler slot beyond the context rotation");
+    current_ = static_cast<std::size_t>(slot);
+    cycles_ = d.getDouble();
+    cycle_baseline_ = d.getDouble();
+    next_switch_ = d.getU64();
+
+    tlbs_.loadState(d);
+    mmu_.loadState(d);
+    walker_->loadState(d);
+    size_predictor_.loadState(d);
+    if (d.getBool() != (pcax_ != nullptr))
+        d.fail("core PCAX-predictor presence mismatch");
+    if (pcax_)
+        pcax_->loadState(d);
+
+    stats_.instructions = d.getU64();
+    stats_.memrefs = d.getU64();
+    stats_.context_switches = d.getU64();
+    stats_.translation_cycles = d.getU64();
+    stats_.data_cycles = d.getU64();
+    stats_.walks = d.getU64();
+    stats_.walk_cycles = d.getU64();
+
+    if (d.getU64() != ctx_stats_.size())
+        d.fail("core per-context stats count mismatch");
+    for (ContextStats &cs : ctx_stats_) {
+        cs.instructions = d.getU64();
+        cs.memrefs = d.getU64();
+        cs.l2_tlb_misses = d.getU64();
+    }
+    cpi_.loadState(d);
+    if (d.getU64() != ctx_cpi_.size())
+        d.fail("core per-context CPI-stack count mismatch");
+    for (obs::CpiStack &stack : ctx_cpi_)
+        stack.loadState(d);
+
+    if (d.getU64() != contexts_.size())
+        d.fail("core context-rotation size mismatch");
+    for (const auto &ctx : contexts_)
+        ctx->trace().loadState(d);
 }
 
 } // namespace csalt

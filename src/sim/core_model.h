@@ -176,6 +176,16 @@ class CoreModel
      */
     void setSpanRecorder(obs::SpanRecorder *rec) { span_rec_ = rec; }
 
+    /**
+     * Checkpoint: scheduler slot + clock, the whole translation
+     * datapath (TLBs, MMU caches, walker, predictors), per-context
+     * counters/CPI ledgers, and each context's trace stream. Call
+     * loadState only after setContexts() — the snapshot is validated
+     * against the built rotation.
+     */
+    void saveState(snapshot::StateSerializer &s) const;
+    void loadState(snapshot::StateDeserializer &d);
+
   private:
     /**
      * Resolve the translation of @p gva (@p pc = issuing site, used

@@ -1,6 +1,7 @@
 #include "sim/memory_system.h"
 
 #include "common/log.h"
+#include "snapshot/state_io.h"
 #include "obs/phase_profiler.h"
 #include "obs/span_trace.h"
 #include "obs/stat_registry.h"
@@ -519,6 +520,98 @@ MemorySystem::registerStats(obs::StatRegistry &reg) const
     reg.addHistogram("victima.lookup.lat", &victima_lat_hist_);
 
     tsb_->registerStats(reg, "tsb");
+}
+
+
+void
+MemorySystem::saveState(snapshot::StateSerializer &s) const
+{
+    s.putU64(l1d_.size());
+    data_frames_->saveState(s);
+    pt_frames_->saveState(s);
+    for (std::size_t c = 0; c < l1d_.size(); ++c) {
+        l1d_[c]->saveState(s);
+        l2_[c]->saveState(s);
+    }
+    l3_->saveState(s);
+    ddr_->saveState(s);
+    stacked_->saveState(s);
+    pom_->saveState(s);
+    victima_->saveState(s);
+    tsb_->saveState(s);
+
+    l2_crit_->saveState(s);
+    l3_crit_->saveState(s);
+    for (const auto &ctl : l2_ctl_)
+        ctl->saveState(s);
+    l3_ctl_->saveState(s);
+    for (const auto &occ : l2_occ_)
+        occ->saveState(s);
+    l3_occ_->saveState(s);
+
+    s.putU64(pom_stats_.lookups);
+    s.putU64(pom_stats_.hits);
+    s.putU64(pom_stats_.second_probes);
+    s.putU64(victima_stats_.lookups);
+    s.putU64(victima_stats_.hits);
+    s.putU64(victima_stats_.second_probes);
+    s.putU64(victima_stats_.evicted_entries);
+    s.putU64(victima_stats_.inserts);
+    s.putU64(victima_stats_.inserts_gated);
+
+    for (const obs::Histogram &h : data_hist_)
+        h.saveState(s);
+    for (const obs::Histogram &h : trans_hist_)
+        h.saveState(s);
+    pom_lat_hist_.saveState(s);
+    victima_lat_hist_.saveState(s);
+    walk_hist_.saveState(s);
+}
+
+void
+MemorySystem::loadState(snapshot::StateDeserializer &d)
+{
+    if (d.getU64() != l1d_.size())
+        d.fail("memory-system core count mismatch");
+    data_frames_->loadState(d);
+    pt_frames_->loadState(d);
+    for (std::size_t c = 0; c < l1d_.size(); ++c) {
+        l1d_[c]->loadState(d);
+        l2_[c]->loadState(d);
+    }
+    l3_->loadState(d);
+    ddr_->loadState(d);
+    stacked_->loadState(d);
+    pom_->loadState(d);
+    victima_->loadState(d);
+    tsb_->loadState(d);
+
+    l2_crit_->loadState(d);
+    l3_crit_->loadState(d);
+    for (const auto &ctl : l2_ctl_)
+        ctl->loadState(d);
+    l3_ctl_->loadState(d);
+    for (const auto &occ : l2_occ_)
+        occ->loadState(d);
+    l3_occ_->loadState(d);
+
+    pom_stats_.lookups = d.getU64();
+    pom_stats_.hits = d.getU64();
+    pom_stats_.second_probes = d.getU64();
+    victima_stats_.lookups = d.getU64();
+    victima_stats_.hits = d.getU64();
+    victima_stats_.second_probes = d.getU64();
+    victima_stats_.evicted_entries = d.getU64();
+    victima_stats_.inserts = d.getU64();
+    victima_stats_.inserts_gated = d.getU64();
+
+    for (obs::Histogram &h : data_hist_)
+        h.loadState(d);
+    for (obs::Histogram &h : trans_hist_)
+        h.loadState(d);
+    pom_lat_hist_.loadState(d);
+    victima_lat_hist_.loadState(d);
+    walk_hist_.loadState(d);
 }
 
 } // namespace csalt

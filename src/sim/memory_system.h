@@ -237,6 +237,17 @@ class MemorySystem : public TranslationMemIf
         return static_cast<unsigned>(l1d_.size());
     }
 
+    /**
+     * Checkpoint: every stateful memory-side component — frame
+     * allocators, caches, DRAM channels, POM/Victima/TSB stores,
+     * criticality estimators, partition controllers, occupancy
+     * samplers, lookup counters and latency histograms. Optional
+     * components travel behind presence flags validated against the
+     * scheme-derived build.
+     */
+    void saveState(snapshot::StateSerializer &s) const;
+    void loadState(snapshot::StateDeserializer &d);
+
   private:
     /**
      * Route a dirty victim downward (off the critical path).

@@ -11,6 +11,7 @@
 #include "common/atomic_io.h"
 #include "common/log.h"
 #include "common/progress.h"
+#include "snapshot/state_io.h"
 
 namespace csalt
 {
@@ -203,8 +204,14 @@ System::run(std::uint64_t instructions_per_core)
     finalizeStats();
     maybeOpenLiveExport();
 
-    std::uint64_t next_occ = steps_ + occupancy_interval_;
-    std::uint64_t next_stat = steps_ + stat_sample_interval_;
+    // A restore mid-run() freezes the pending sample offsets; the
+    // resumed call continues them so every occupancy/stat event fires
+    // at the same lifetime step as in the uninterrupted run.
+    if (!resume_pending_) {
+        next_occ_ = steps_ + occupancy_interval_;
+        next_stat_ = steps_ + stat_sample_interval_;
+    }
+    resume_pending_ = false;
 
     // The watchdog heartbeat fires every 4096 steps. Resolve the
     // thread's ProgressToken once: the TLS lookup is not free and the
@@ -222,9 +229,9 @@ System::run(std::uint64_t instructions_per_core)
     const auto nextEventAfter = [&](std::uint64_t step) {
         std::uint64_t next = (step | kHeartbeatMask) + 1;
         if (occupancy_interval_)
-            next = std::min(next, next_occ);
+            next = std::min(next, next_occ_);
         if (stat_sample_interval_)
-            next = std::min(next, next_stat);
+            next = std::min(next, next_stat_);
         return next;
     };
     std::uint64_t next_event = nextEventAfter(steps_);
@@ -266,8 +273,8 @@ System::run(std::uint64_t instructions_per_core)
             // heartbeat advance even when sampling is sparse.
             publishLive(static_cast<double>(next->clock()));
         }
-        if (occupancy_interval_ && steps_ >= next_occ) {
-            next_occ += occupancy_interval_;
+        if (occupancy_interval_ && steps_ >= next_occ_) {
+            next_occ_ += occupancy_interval_;
             mem_->sampleOccupancy(static_cast<double>(next->clock()));
             ++live_epoch_;
             if (span_trace_)
@@ -279,8 +286,8 @@ System::run(std::uint64_t instructions_per_core)
                     msgOf("epoch boundary (step ", steps_, ")"));
             }
         }
-        if (stat_sample_interval_ && steps_ >= next_stat) {
-            next_stat += stat_sample_interval_;
+        if (stat_sample_interval_ && steps_ >= next_stat_) {
+            next_stat_ += stat_sample_interval_;
             sampler_.sample(static_cast<double>(next->clock()),
                             steps_);
             // Same (t, step) and registry state as the sample just
@@ -288,6 +295,12 @@ System::run(std::uint64_t instructions_per_core)
             // field-identical to the post-hoc stream.
             publishLive(static_cast<double>(next->clock()));
         }
+        // Checkpoint/signal polling LAST: every due sample above has
+        // been taken and all pending offsets are strictly future, so
+        // a snapshot written here resumes without skipping or
+        // replaying an event. May raise kind=cancelled.
+        if (checkpoint_hook_)
+            checkpoint_hook_();
         next_event = nextEventAfter(steps_);
     }
 
@@ -306,6 +319,44 @@ System::run(std::uint64_t instructions_per_core)
         check::raiseIfViolated(check::checkSystem(*this, full),
                                "end of run");
     }
+}
+
+
+void
+System::saveRunState(snapshot::StateSerializer &s) const
+{
+    s.putU64(steps_);
+    s.putU64(live_epoch_);
+    s.putU64(occupancy_interval_);
+    s.putU64(stat_sample_interval_);
+    s.putU64(next_occ_);
+    s.putU64(next_stat_);
+}
+
+void
+System::loadRunState(snapshot::StateDeserializer &d)
+{
+    const std::uint64_t steps = d.getU64();
+    const std::uint64_t epoch = d.getU64();
+    if (d.getU64() != occupancy_interval_)
+        d.fail("occupancy-sample interval mismatch");
+    if (d.getU64() != stat_sample_interval_)
+        d.fail("stat-sample interval mismatch");
+    const std::uint64_t next_occ = d.getU64();
+    const std::uint64_t next_stat = d.getU64();
+    // A disabled interval's pending offset is never consulted (and
+    // freezes at a stale value), so only enabled samplers must have
+    // a strictly-future offset.
+    if ((occupancy_interval_ != 0 && next_occ <= steps) ||
+        (stat_sample_interval_ != 0 && next_stat <= steps))
+        d.fail("pending sample offset not in the future");
+    steps_ = steps;
+    live_epoch_ = epoch;
+    next_occ_ = next_occ;
+    next_stat_ = next_stat;
+    if (span_trace_)
+        span_trace_->setEpoch(live_epoch_);
+    resume_pending_ = true;
 }
 
 } // namespace csalt

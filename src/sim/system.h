@@ -14,6 +14,7 @@
 #ifndef CSALT_SIM_SYSTEM_H
 #define CSALT_SIM_SYSTEM_H
 
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -68,6 +69,7 @@ class System
     const MemorySystem &mem() const { return *mem_; }
 
     const VmContext &vm(unsigned i) const { return *vms_[i]; }
+    VmContext &vm(unsigned i) { return *vms_[i]; }
     unsigned numVms() const
     {
         return static_cast<unsigned>(vms_.size());
@@ -187,6 +189,38 @@ class System
     Status writeSpanSidecar(const std::string &path,
                             const std::string &label) const;
 
+    // --------------------------------------------------- checkpointing
+
+    /**
+     * Run-position state ("system" snapshot chunk): lifetime step
+     * counter, occupancy epoch, and the pending occupancy/stat
+     * sample offsets of the in-progress run() call. Restoring marks
+     * the next run() as a resume so it continues those offsets
+     * instead of re-basing them — that is what makes a resumed run
+     * fire every event at the same step as the uninterrupted one.
+     */
+    void saveRunState(snapshot::StateSerializer &s) const;
+    void loadRunState(snapshot::StateDeserializer &d);
+
+    /** Lifetime scheduler steps (snapshot metadata). */
+    std::uint64_t steps() const { return steps_; }
+
+    /** Occupancy epochs sampled so far (snapshot metadata). */
+    std::uint64_t liveEpoch() const { return live_epoch_; }
+
+    /**
+     * Install a hook run() invokes at every event-block boundary
+     * (heartbeat/occupancy/stat steps, after all due samples are
+     * taken and every pending offset is strictly in the future — so
+     * a checkpoint written from the hook resumes without skipping or
+     * replaying a sample). The hook may raise kind=cancelled to stop
+     * the run (signal-triggered final checkpoint). Null clears it.
+     */
+    void setCheckpointHook(std::function<void()> hook)
+    {
+        checkpoint_hook_ = std::move(hook);
+    }
+
   private:
     void maybeOpenLiveExport();
     void publishLive(double t, bool finished = false);
@@ -206,6 +240,14 @@ class System
     std::uint64_t stat_sample_interval_ = 0;
     std::uint64_t steps_ = 0; //!< lifetime scheduler steps
     bool stats_registered_ = false;
+
+    /** Pending sample offsets of the in-progress run() (members so a
+     *  checkpoint can freeze them and a resumed run() can continue
+     *  them instead of re-basing). */
+    std::uint64_t next_occ_ = 0;
+    std::uint64_t next_stat_ = 0;
+    bool resume_pending_ = false; //!< next run() continues next_*_
+    std::function<void()> checkpoint_hook_;
 
     std::unique_ptr<obs::SpanTrace> span_trace_;
     std::unique_ptr<obs::LiveExport> live_export_;

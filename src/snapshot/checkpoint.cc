@@ -1,0 +1,192 @@
+#include "snapshot/checkpoint.h"
+
+#include "common/config.h"
+#include "common/error.h"
+#include "harness/journal.h"
+#include "sim/system.h"
+
+namespace csalt::snapshot
+{
+
+namespace
+{
+
+void
+putCache(StateSerializer &s, const CacheParams &p)
+{
+    s.putString(p.name);
+    s.putU64(p.size_bytes);
+    s.putU32(p.ways);
+    s.putU64(p.latency);
+    s.putU8(static_cast<std::uint8_t>(p.repl));
+    s.putU8(static_cast<std::uint8_t>(p.insertion));
+}
+
+void
+putTlb(StateSerializer &s, const TlbParams &p)
+{
+    s.putU32(p.entries);
+    s.putU32(p.ways);
+    s.putU64(p.latency);
+}
+
+void
+putDram(StateSerializer &s, const DramParams &p)
+{
+    s.putString(p.name);
+    s.putU32(p.banks);
+    s.putU64(p.row_bytes);
+    s.putU64(p.tcas);
+    s.putU64(p.trcd);
+    s.putU64(p.trp);
+    s.putU64(p.burst);
+    s.putU64(p.overhead);
+}
+
+void
+putPartition(StateSerializer &s, const PartitionParams &p)
+{
+    s.putU8(static_cast<std::uint8_t>(p.policy));
+    s.putU64(p.epoch_accesses);
+    s.putU32(p.min_ways_per_type);
+    s.putU32(p.static_data_ways);
+}
+
+} // namespace
+
+std::uint32_t
+configSignature(const SystemParams &params,
+                const std::vector<std::string> &vm_workloads,
+                double scale)
+{
+    std::string bytes;
+    StateSerializer s(bytes);
+    s.putU32(params.num_cores);
+    s.putU32(params.contexts_per_core);
+    s.putU64(params.cs_interval);
+    s.putBool(params.virtualized);
+    s.putU8(static_cast<std::uint8_t>(params.translation));
+    putCache(s, params.l1d);
+    putCache(s, params.l2);
+    putCache(s, params.l3);
+    putTlb(s, params.l1tlb_4k);
+    putTlb(s, params.l1tlb_2m);
+    putTlb(s, params.l2tlb);
+    s.putU32(params.psc.pml4e_entries);
+    s.putU32(params.psc.pdpe_entries);
+    s.putU32(params.psc.pde_entries);
+    s.putU64(params.psc.latency);
+    s.putU32(params.psc.nested_entries);
+    putDram(s, params.ddr);
+    putDram(s, params.stacked);
+    s.putU64(params.pom.size_bytes);
+    s.putU32(params.pom.ways);
+    s.putU64(params.pom.entry_bytes);
+    s.putU64(params.tsb.entries_per_context);
+    s.putU32(params.tsb.lookups);
+    s.putU64(params.victima.size_bytes);
+    s.putU32(params.victima.ways);
+    s.putU64(params.victima.entry_bytes);
+    s.putDouble(params.victima.max_translation_occupancy);
+    s.putU32(params.pcax.entries);
+    s.putU64(params.pcax.latency);
+    putPartition(s, params.l2_partition);
+    putPartition(s, params.l3_partition);
+    s.putDouble(params.core.base_cpi);
+    s.putDouble(params.core.mlp);
+    s.putU64(params.core.cs_penalty);
+    s.putU64(params.ranges.data_bytes);
+    s.putU64(params.ranges.pt_bytes);
+    s.putU32(params.max_asids);
+    s.putDouble(params.huge_page_fraction);
+    s.putU32(static_cast<std::uint32_t>(params.page_table_levels));
+    s.putU64(params.seed);
+    s.putU64(vm_workloads.size());
+    for (const std::string &name : vm_workloads)
+        s.putString(name);
+    s.putDouble(scale);
+    return harness::crc32(bytes);
+}
+
+std::string
+serializeSystem(const System &sys, const SnapshotMeta &meta)
+{
+    SnapshotWriter writer(meta);
+
+    std::string payload;
+    {
+        StateSerializer s(payload);
+        sys.saveRunState(s);
+    }
+    writer.addChunk("system", std::move(payload));
+
+    payload.clear();
+    {
+        StateSerializer s(payload);
+        sys.mem().saveState(s);
+    }
+    writer.addChunk("mem", std::move(payload));
+
+    for (unsigned c = 0; c < sys.numCores(); ++c) {
+        payload.clear();
+        StateSerializer s(payload);
+        sys.core(c).saveState(s);
+        writer.addChunk("core." + std::to_string(c),
+                        std::move(payload));
+    }
+    for (unsigned v = 0; v < sys.numVms(); ++v) {
+        payload.clear();
+        StateSerializer s(payload);
+        sys.vm(v).saveState(s);
+        writer.addChunk("vm." + std::to_string(v), std::move(payload));
+    }
+    return writer.serialize();
+}
+
+void
+restoreSystem(System &sys, const SnapshotReader &reader,
+              std::uint32_t expected_crc)
+{
+    if (reader.meta().config_crc != expected_crc) {
+        raise(makeError(
+            ErrorKind::config,
+            msgOf("snapshot was taken under a different configuration "
+                  "(signature ",
+                  reader.meta().config_crc, ", this build computes ",
+                  expected_crc, ")"),
+            "snapshot restore",
+            "restore with the exact scheme/workloads/scale/seed the "
+            "checkpoint was written with"));
+    }
+
+    std::vector<std::string> wanted = {"system", "mem"};
+    for (unsigned c = 0; c < sys.numCores(); ++c)
+        wanted.push_back("core." + std::to_string(c));
+    for (unsigned v = 0; v < sys.numVms(); ++v)
+        wanted.push_back("vm." + std::to_string(v));
+    reader.requireChunks(wanted);
+
+    {
+        StateDeserializer d = reader.open("system");
+        sys.loadRunState(d);
+        d.finish();
+    }
+    {
+        StateDeserializer d = reader.open("mem");
+        sys.mem().loadState(d);
+        d.finish();
+    }
+    for (unsigned c = 0; c < sys.numCores(); ++c) {
+        StateDeserializer d =
+            reader.open("core." + std::to_string(c));
+        sys.core(c).loadState(d);
+        d.finish();
+    }
+    for (unsigned v = 0; v < sys.numVms(); ++v) {
+        StateDeserializer d = reader.open("vm." + std::to_string(v));
+        sys.vm(v).loadState(d);
+        d.finish();
+    }
+}
+
+} // namespace csalt::snapshot

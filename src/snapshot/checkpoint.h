@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Whole-system checkpoint/restore orchestration over the CSALTSNAP
+ * container (snapshot.h): one chunk per component ("system", "mem",
+ * "core.N", "vm.N"), a config-signature guard, and the shared
+ * periodic/signal checkpoint hook csalt_sim and the sweep runner
+ * both install.
+ *
+ * Guarantee (pinned by tests/test_snapshot and the check.sh smoke):
+ * checkpoint at access K, restore in a fresh process, run to
+ * completion => metrics byte-identical to the uninterrupted run.
+ */
+
+#ifndef CSALT_SNAPSHOT_CHECKPOINT_H
+#define CSALT_SNAPSHOT_CHECKPOINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "snapshot/snapshot.h"
+
+namespace csalt
+{
+
+class System;
+struct SystemParams;
+
+namespace snapshot
+{
+
+/**
+ * CRC32 over the field-wise-serialized build configuration: every
+ * SystemParams field plus the VM workload names and the footprint
+ * scale. Two runs with equal signatures build structurally identical
+ * systems, so restore refuses a snapshot whose signature differs
+ * (kind=config) instead of tripping geometry checks one by one.
+ */
+std::uint32_t configSignature(const SystemParams &params,
+                              const std::vector<std::string> &vm_workloads,
+                              double scale);
+
+/**
+ * Serialize the complete simulated machine into a CSALTSNAP byte
+ * string: @p meta, then "system" (run position), "mem", one "core.N"
+ * per core and one "vm.N" per address space.
+ */
+std::string serializeSystem(const System &sys, const SnapshotMeta &meta);
+
+/**
+ * Restore @p sys (freshly built with the same configuration) from a
+ * parsed snapshot. Validates the config signature and the presence
+ * of every component chunk BEFORE mutating anything, then loads each
+ * component and rejects trailing bytes per chunk — a failed restore
+ * raises a typed CsaltError and never leaves the system half-loaded
+ * silently. After a successful restore the next System::run()
+ * continues the interrupted one.
+ *
+ * @param expected_crc configSignature() of the current build
+ */
+void restoreSystem(System &sys, const SnapshotReader &reader,
+                   std::uint32_t expected_crc);
+
+} // namespace snapshot
+} // namespace csalt
+
+#endif // CSALT_SNAPSHOT_CHECKPOINT_H

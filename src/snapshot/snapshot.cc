@@ -1,0 +1,337 @@
+#include "snapshot/snapshot.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
+#include "common/atomic_io.h"
+#include "common/log.h"
+#include "common/progress.h"
+#include "harness/journal.h" // crc32
+
+namespace csalt::snapshot
+{
+
+namespace
+{
+
+[[noreturn]] void
+parseFail(const std::string &origin, std::uint64_t offset,
+          const std::string &chunk, const std::string &msg)
+{
+    std::string where = msgOf(origin, " at byte ", offset);
+    if (!chunk.empty())
+        where += msgOf(", chunk '", chunk, "'");
+    raise(makeError(ErrorKind::parse, msg, where,
+                    "the snapshot is truncated or corrupt; restore "
+                    "refuses to load partial state — rerun from "
+                    "scratch or use an older rotation (FILE.1, ...)"));
+}
+
+} // namespace
+
+std::string
+encodeMeta(const SnapshotMeta &meta)
+{
+    std::string payload;
+    StateSerializer s(payload);
+    s.putU32(meta.config_crc);
+    s.putString(meta.scheme);
+    s.putU64(meta.vms.size());
+    for (const auto &vm : meta.vms)
+        s.putString(vm);
+    s.putDouble(meta.scale);
+    s.putU64(meta.seed);
+    s.putU64(meta.warmup);
+    s.putU64(meta.quota);
+    s.putU8(meta.phase);
+    s.putU64(meta.steps);
+    s.putU64(meta.epoch);
+    s.putU64(meta.instructions);
+    return payload;
+}
+
+namespace
+{
+
+SnapshotMeta
+decodeMeta(StateDeserializer d)
+{
+    SnapshotMeta meta;
+    meta.config_crc = d.getU32();
+    meta.scheme = d.getString();
+    const std::uint64_t n = d.getU64();
+    if (n > 100000)
+        d.fail(msgOf("implausible VM count ", n));
+    for (std::uint64_t i = 0; i < n; ++i)
+        meta.vms.push_back(d.getString());
+    meta.scale = d.getDouble();
+    meta.seed = d.getU64();
+    meta.warmup = d.getU64();
+    meta.quota = d.getU64();
+    meta.phase = d.getU8();
+    if (meta.phase > 1)
+        d.fail(msgOf("phase must be 0 or 1, got ",
+                     unsigned(meta.phase)));
+    meta.steps = d.getU64();
+    meta.epoch = d.getU64();
+    meta.instructions = d.getU64();
+    d.finish();
+    return meta;
+}
+
+void
+appendChunk(std::string &out, const std::string &name,
+            const std::string &payload)
+{
+    StateSerializer s(out);
+    s.putU32(static_cast<std::uint32_t>(name.size()));
+    out.append(name);
+    s.putU64(payload.size());
+    s.putU32(harness::crc32(payload));
+    out.append(payload);
+}
+
+} // namespace
+
+void
+SnapshotWriter::addChunk(std::string name, std::string payload)
+{
+    chunks_.emplace_back(std::move(name), std::move(payload));
+}
+
+std::string
+SnapshotWriter::serialize() const
+{
+    std::string out;
+    out.append(kSnapshotMagic, kSnapshotMagicLen);
+    {
+        StateSerializer s(out);
+        s.putU32(kSnapshotVersion);
+    }
+    appendChunk(out, "meta", encodeMeta(meta_));
+    for (const auto &[name, payload] : chunks_)
+        appendChunk(out, name, payload);
+    appendChunk(out, "END", "");
+    return out;
+}
+
+SnapshotReader
+SnapshotReader::parse(std::string bytes, const std::string &origin)
+{
+    SnapshotReader r;
+    r.bytes_ = std::move(bytes);
+    r.origin_ = origin;
+    const std::string &b = r.bytes_;
+
+    std::uint64_t pos = 0;
+    auto need = [&](std::uint64_t n, const std::string &chunk,
+                    const std::string &what) {
+        if (pos + n > b.size()) {
+            parseFail(origin, pos, chunk,
+                      msgOf("unexpected end of snapshot: need ", n,
+                            " bytes for ", what, ", have ",
+                            b.size() - pos));
+        }
+    };
+    auto getU32 = [&](const std::string &chunk,
+                      const std::string &what) {
+        need(4, chunk, what);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= std::uint32_t(std::uint8_t(b[pos + i])) << (8 * i);
+        pos += 4;
+        return v;
+    };
+    auto getU64 = [&](const std::string &chunk,
+                      const std::string &what) {
+        need(8, chunk, what);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= std::uint64_t(std::uint8_t(b[pos + i])) << (8 * i);
+        pos += 8;
+        return v;
+    };
+
+    need(kSnapshotMagicLen, "", "magic");
+    if (b.compare(0, kSnapshotMagicLen, kSnapshotMagic,
+                  kSnapshotMagicLen) != 0) {
+        parseFail(origin, 0, "",
+                  "bad magic: not a CSALTSNAP snapshot");
+    }
+    pos = kSnapshotMagicLen;
+    const std::uint32_t version = getU32("", "format version");
+    if (version != kSnapshotVersion) {
+        parseFail(origin, kSnapshotMagicLen, "",
+                  msgOf("unsupported snapshot version ", version,
+                        " (this build reads version ",
+                        kSnapshotVersion, ")"));
+    }
+
+    bool saw_end = false;
+    while (!saw_end) {
+        ChunkInfo info;
+        info.header_offset = pos;
+        const std::uint32_t name_len = getU32("", "chunk name length");
+        if (name_len > 4096) {
+            parseFail(origin, info.header_offset, "",
+                      msgOf("implausible chunk name length ",
+                            name_len));
+        }
+        need(name_len, "", "chunk name");
+        info.name = b.substr(pos, name_len);
+        pos += name_len;
+        info.payload_size = getU64(info.name, "payload length");
+        info.crc = getU32(info.name, "payload CRC stamp");
+        info.payload_offset = pos;
+        need(info.payload_size, info.name, "chunk payload");
+        const std::uint32_t actual = harness::crc32(
+            std::string_view(b).substr(pos, info.payload_size));
+        if (actual != info.crc) {
+            parseFail(
+                origin, info.payload_offset, info.name,
+                msgOf("payload CRC mismatch: stored ",
+                      info.crc, ", computed ", actual, " over ",
+                      info.payload_size, " bytes"));
+        }
+        pos += info.payload_size;
+        if (info.name == "END") {
+            if (info.payload_size != 0) {
+                parseFail(origin, info.payload_offset, "END",
+                          "END sentinel must have an empty payload");
+            }
+            saw_end = true;
+        } else {
+            for (const auto &prev : r.chunks_) {
+                if (prev.name == info.name) {
+                    parseFail(origin, info.header_offset, info.name,
+                              "duplicate chunk");
+                }
+            }
+            r.chunks_.push_back(std::move(info));
+        }
+    }
+    if (pos != b.size()) {
+        parseFail(origin, pos, "",
+                  msgOf(b.size() - pos,
+                        " trailing bytes after the END sentinel"));
+    }
+
+    const ChunkInfo *meta = r.find("meta");
+    if (!meta || meta->header_offset != kSnapshotMagicLen + 4) {
+        parseFail(origin, kSnapshotMagicLen + 4, "meta",
+                  "first chunk must be 'meta'");
+    }
+    r.meta_ = decodeMeta(r.open("meta"));
+    return r;
+}
+
+SnapshotReader
+SnapshotReader::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        raise(makeError(ErrorKind::io,
+                        msgOf("cannot open snapshot '", path, "'"),
+                        "SnapshotReader::load",
+                        "check the path passed to --restore / "
+                        "--snapshot"));
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!in.good() && !in.eof()) {
+        raise(makeError(ErrorKind::io,
+                        msgOf("error reading snapshot '", path, "'"),
+                        "SnapshotReader::load"));
+    }
+    return parse(buf.str(), path);
+}
+
+const ChunkInfo *
+SnapshotReader::find(const std::string &name) const
+{
+    for (const auto &c : chunks_)
+        if (c.name == name)
+            return &c;
+    return nullptr;
+}
+
+bool
+SnapshotReader::hasChunk(const std::string &name) const
+{
+    return find(name) != nullptr;
+}
+
+StateDeserializer
+SnapshotReader::open(const std::string &name) const
+{
+    const ChunkInfo *c = find(name);
+    if (!c) {
+        parseFail(origin_, bytes_.size(), name,
+                  msgOf("required chunk '", name,
+                        "' is missing from the snapshot"));
+    }
+    return StateDeserializer(
+        std::string_view(bytes_).substr(c->payload_offset,
+                                        c->payload_size),
+        name);
+}
+
+void
+SnapshotReader::requireChunks(
+    const std::vector<std::string> &names) const
+{
+    std::string missing;
+    for (const auto &name : names) {
+        if (!hasChunk(name)) {
+            if (!missing.empty())
+                missing += ", ";
+            missing += "'" + name + "'";
+        }
+    }
+    if (!missing.empty()) {
+        parseFail(origin_, bytes_.size(), "",
+                  msgOf("missing component chunk(s): ", missing,
+                        " — snapshot topology does not match this "
+                        "configuration"));
+    }
+}
+
+Status
+writeSnapshotRotating(const std::string &path,
+                      const std::string &bytes, unsigned keep)
+{
+    // A multi-hundred-MB serialization + fsync can exceed the
+    // watchdog's --stall-timeout; heartbeat around the I/O so a
+    // checkpointing job is never mistaken for a hung one.
+    progressTick();
+    if (keep > 1) {
+        // path.(keep-2) -> path.(keep-1), ...: the numbered backups
+        // shift by rename (a missing source simply leaves the
+        // destination absent). But path -> path.1 is a COPY: a
+        // rename would open a crash window in which no primary
+        // checkpoint exists at all, and a kill mid-copy only tears
+        // the backup (caught by its CRC), never the primary.
+        for (unsigned i = keep - 1; i >= 2; --i) {
+            const std::string dst = path + "." + std::to_string(i);
+            const std::string src = path + "." + std::to_string(i - 1);
+            std::remove(dst.c_str());
+            std::rename(src.c_str(), dst.c_str());
+        }
+        std::ifstream prev(path, std::ios::binary);
+        if (prev) {
+            const std::string old(
+                (std::istreambuf_iterator<char>(prev)),
+                std::istreambuf_iterator<char>());
+            // Backup rotation is best-effort; the primary write
+            // below decides success.
+            (void)!writeFileAtomic(path + ".1", old).ok();
+        }
+    }
+    Status st = writeFileAtomic(path, bytes);
+    progressTick();
+    return st;
+}
+
+} // namespace csalt::snapshot

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * CSALTSNAP — the versioned, chunked, CRC32-guarded full-state
+ * snapshot container (gem5-style checkpointing for week-long runs).
+ *
+ * Layout:
+ *
+ *   "CSALTSNAP"                     9-byte magic
+ *   u32 version (= 1)
+ *   chunk*                          in write order; first is "meta"
+ *   end chunk                       name "END", empty payload
+ *
+ * where each chunk is
+ *
+ *   [u32 name_len][name][u64 payload_len][u32 crc32(payload)][payload]
+ *
+ * All integers little-endian. SnapshotReader::parse() walks and
+ * CRC-verifies every chunk eagerly — truncation, bit flips (payload
+ * or stamp), version skew and trailing garbage are all rejected with
+ * typed kind=parse errors naming the chunk and byte offset BEFORE any
+ * component state is touched, so a restore can never be partial.
+ *
+ * Component chunks ("system", "core.0", "mem", "vm.1", ...) each hold
+ * one component's saveState() payload (state_io.h).
+ */
+
+#ifndef CSALT_SNAPSHOT_SNAPSHOT_H
+#define CSALT_SNAPSHOT_SNAPSHOT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "snapshot/state_io.h"
+
+namespace csalt::snapshot
+{
+
+inline constexpr char kSnapshotMagic[] = "CSALTSNAP";
+inline constexpr std::size_t kSnapshotMagicLen = 9;
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/** Run position + identity carried in the mandatory "meta" chunk. */
+struct SnapshotMeta
+{
+    /** CRC32 over the field-wise-serialized build configuration
+     *  (SystemParams + VM workload names + scale); restore refuses a
+     *  snapshot taken under a different configuration. */
+    std::uint32_t config_crc = 0;
+    std::string scheme;             //!< display label from the CLI
+    std::vector<std::string> vms;   //!< workload names, VM order
+    double scale = 1.0;
+    std::uint64_t seed = 0;
+    std::uint64_t warmup = 0;
+    std::uint64_t quota = 0;
+    std::uint8_t phase = 0;         //!< 0 = warmup, 1 = measured
+    std::uint64_t steps = 0;        //!< lifetime scheduler steps
+    std::uint64_t epoch = 0;        //!< occupancy epochs elapsed
+    std::uint64_t instructions = 0; //!< total retired (display)
+};
+
+/** One entry of the parsed chunk table. */
+struct ChunkInfo
+{
+    std::string name;
+    std::uint64_t header_offset = 0;  //!< of the [name_len] field
+    std::uint64_t payload_offset = 0; //!< first payload byte
+    std::uint64_t payload_size = 0;
+    std::uint32_t crc = 0;
+};
+
+/** Builds one snapshot byte string. */
+class SnapshotWriter
+{
+  public:
+    explicit SnapshotWriter(const SnapshotMeta &meta) : meta_(meta) {}
+
+    /** Append one component chunk (insertion order is preserved). */
+    void addChunk(std::string name, std::string payload);
+
+    /** The complete container: magic + version + meta + chunks + END. */
+    std::string serialize() const;
+
+  private:
+    SnapshotMeta meta_;
+    std::vector<std::pair<std::string, std::string>> chunks_;
+};
+
+/** Parsed, fully-CRC-verified snapshot. */
+class SnapshotReader
+{
+  public:
+    /**
+     * Parse and validate @p bytes (every chunk CRC checked eagerly).
+     * Raises kind=parse naming the chunk and byte offset on any
+     * corruption; @p origin labels the error context (a path).
+     */
+    static SnapshotReader parse(std::string bytes,
+                                const std::string &origin = "snapshot");
+
+    /** Read @p path (kind=io on failure) then parse(). */
+    static SnapshotReader load(const std::string &path);
+
+    const SnapshotMeta &meta() const { return meta_; }
+
+    /** Every chunk except the END sentinel, in file order. */
+    const std::vector<ChunkInfo> &chunks() const { return chunks_; }
+
+    bool hasChunk(const std::string &name) const;
+
+    /** Deserializer over @p name's payload; kind=parse when absent. */
+    StateDeserializer open(const std::string &name) const;
+
+    /**
+     * Raise kind=parse listing every missing chunk of @p names.
+     * Restore calls this before mutating any component, so a snapshot
+     * from a mismatched topology is rejected up front.
+     */
+    void requireChunks(const std::vector<std::string> &names) const;
+
+  private:
+    SnapshotReader() = default;
+
+    const ChunkInfo *find(const std::string &name) const;
+
+    std::string bytes_;
+    std::string origin_;
+    SnapshotMeta meta_;
+    std::vector<ChunkInfo> chunks_;
+};
+
+/** Serialize @p meta as the "meta" chunk payload (shared with tests). */
+std::string encodeMeta(const SnapshotMeta &meta);
+
+/**
+ * Atomically write @p bytes to @p path, first rotating existing
+ * snapshots (path -> path.1 -> ... -> path.(keep-1); older dropped).
+ * @p keep counts total retained files including the new one; keep<=1
+ * disables rotation. Beats the calling thread's ProgressToken before
+ * and after the write so a large snapshot cannot trip the watchdog's
+ * --stall-timeout.
+ */
+Status writeSnapshotRotating(const std::string &path,
+                             const std::string &bytes, unsigned keep);
+
+} // namespace csalt::snapshot
+
+#endif // CSALT_SNAPSHOT_SNAPSHOT_H

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Byte-level visitor pair every stateful component implements its
+ * saveState/loadState against.
+ *
+ * StateSerializer appends fixed-width little-endian fields to a
+ * payload string; StateDeserializer reads them back with bounds
+ * checking. Every decode failure raises a typed kind=parse CsaltError
+ * naming the component chunk and the byte offset of the bad field, so
+ * a corrupted snapshot is rejected with a pinpointed diagnostic — and
+ * because the container validates every chunk CRC before any
+ * component's loadState runs, a restore either completes fully or
+ * mutates nothing.
+ *
+ * Padded structs are serialized field-wise (never raw memcpy) and
+ * doubles travel as their IEEE-754 bit pattern, so save → load → save
+ * is byte-equal on every component (pinned by tests/test_snapshot).
+ */
+
+#ifndef CSALT_SNAPSHOT_STATE_IO_H
+#define CSALT_SNAPSHOT_STATE_IO_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace csalt::snapshot
+{
+
+/** Appends fields to one component chunk's payload. */
+class StateSerializer
+{
+  public:
+    explicit StateSerializer(std::string &out) : out_(out) {}
+
+    void putU8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+    void putBool(bool v) { putU8(v ? 1 : 0); }
+
+    void putU32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void putU64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void putI64(std::int64_t v)
+    {
+        putU64(static_cast<std::uint64_t>(v));
+    }
+
+    /** Bit pattern, not a decimal round-trip: byte-exact. */
+    void putDouble(double v)
+    {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof bits);
+        putU64(bits);
+    }
+
+    void putString(std::string_view s)
+    {
+        putU64(s.size());
+        out_.append(s.data(), s.size());
+    }
+
+    std::size_t size() const { return out_.size(); }
+
+  private:
+    std::string &out_;
+};
+
+/** Bounds-checked reader over one component chunk's payload. */
+class StateDeserializer
+{
+  public:
+    StateDeserializer(std::string_view payload, std::string chunk)
+        : data_(payload), chunk_(std::move(chunk))
+    {
+    }
+
+    std::uint8_t getU8()
+    {
+        need(1, "u8");
+        return static_cast<std::uint8_t>(data_[pos_++]);
+    }
+
+    bool getBool()
+    {
+        const std::uint8_t v = getU8();
+        if (v > 1)
+            fail(msgOf("bool field holds ", unsigned(v)));
+        return v != 0;
+    }
+
+    std::uint32_t getU32()
+    {
+        need(4, "u32");
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= std::uint32_t(std::uint8_t(data_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t getU64()
+    {
+        need(8, "u64");
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= std::uint64_t(std::uint8_t(data_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    std::int64_t getI64()
+    {
+        return static_cast<std::int64_t>(getU64());
+    }
+
+    double getDouble()
+    {
+        const std::uint64_t bits = getU64();
+        double v = 0.0;
+        std::memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+
+    std::string getString()
+    {
+        const std::uint64_t n = getU64();
+        need(n, "string body");
+        std::string s(data_.substr(pos_, n));
+        pos_ += n;
+        return s;
+    }
+
+    std::size_t offset() const { return pos_; }
+    std::size_t remaining() const { return data_.size() - pos_; }
+    bool atEnd() const { return pos_ == data_.size(); }
+
+    /** Component payloads must be consumed exactly. */
+    void finish()
+    {
+        if (!atEnd())
+            fail(msgOf(remaining(), " unconsumed trailing bytes"));
+    }
+
+    /**
+     * Component-level validation failure (geometry mismatch, value
+     * out of range, ...): typed parse error naming chunk + offset.
+     */
+    [[noreturn]] void fail(const std::string &msg) const
+    {
+        raise(makeError(
+            ErrorKind::parse, msg,
+            msgOf("snapshot chunk '", chunk_, "' at byte ", pos_),
+            "the snapshot is corrupt or from an incompatible build; "
+            "re-checkpoint or rerun from scratch"));
+    }
+
+    const std::string &chunk() const { return chunk_; }
+
+  private:
+    void need(std::uint64_t n, const char *what)
+    {
+        if (pos_ + n > data_.size()) {
+            fail(msgOf("truncated payload: need ", n, " bytes for ",
+                       what, ", have ", remaining()));
+        }
+    }
+
+    std::string_view data_;
+    std::string chunk_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace csalt::snapshot
+
+#endif // CSALT_SNAPSHOT_STATE_IO_H

@@ -1,6 +1,7 @@
 #include "tlb/pcax.h"
 
 #include "obs/stat_registry.h"
+#include "snapshot/state_io.h"
 
 namespace csalt
 {
@@ -70,6 +71,48 @@ PcaxPredictor::registerStats(obs::StatRegistry &reg,
     reg.addCounter(prefix + ".updates", &stats_.updates);
     reg.addGauge(prefix + ".hit_rate",
                  [this] { return stats_.hitRate(); });
+}
+
+
+void
+PcaxPredictor::saveState(snapshot::StateSerializer &s) const
+{
+    s.putU64(table_.size());
+    for (const Entry &e : table_) {
+        s.putBool(e.valid);
+        s.putU32(e.asid);
+        s.putU64(e.pc);
+        s.putU64(e.page_base);
+        s.putU64(e.mapping.frame);
+        s.putU8(static_cast<std::uint8_t>(e.mapping.ps));
+    }
+    s.putU64(stats_.probes);
+    s.putU64(stats_.hits);
+    s.putU64(stats_.updates);
+}
+
+void
+PcaxPredictor::loadState(snapshot::StateDeserializer &d)
+{
+    if (d.getU64() != table_.size())
+        d.fail("PCAX table-size mismatch");
+    for (Entry &e : table_) {
+        e.valid = d.getBool();
+        const std::uint32_t asid = d.getU32();
+        if (asid > 0xffff)
+            d.fail("PCAX entry ASID out of range");
+        e.asid = static_cast<Asid>(asid);
+        e.pc = d.getU64();
+        e.page_base = d.getU64();
+        e.mapping.frame = d.getU64();
+        const std::uint8_t ps = d.getU8();
+        if (ps > 1)
+            d.fail("PCAX entry has invalid page-size code");
+        e.mapping.ps = static_cast<PageSize>(ps);
+    }
+    stats_.probes = d.getU64();
+    stats_.hits = d.getU64();
+    stats_.updates = d.getU64();
 }
 
 } // namespace csalt

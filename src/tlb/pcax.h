@@ -40,6 +40,12 @@ namespace obs
 class StatRegistry;
 } // namespace obs
 
+namespace snapshot
+{
+class StateSerializer;
+class StateDeserializer;
+} // namespace snapshot
+
 /** Counters for one PCAX predictor (one per core). */
 struct PcaxStats
 {
@@ -82,6 +88,10 @@ class PcaxPredictor
     /** Register counters under "<prefix>.*". */
     void registerStats(obs::StatRegistry &reg,
                        const std::string &prefix) const;
+
+    /** Checkpoint: full table (field-wise) plus counters. */
+    void saveState(snapshot::StateSerializer &s) const;
+    void loadState(snapshot::StateDeserializer &d);
 
   private:
     struct Entry

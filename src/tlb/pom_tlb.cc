@@ -1,5 +1,9 @@
 #include "tlb/pom_tlb.h"
 
+#include <algorithm>
+
+#include "snapshot/state_io.h"
+
 #include "common/log.h"
 #include "obs/stat_registry.h"
 
@@ -182,6 +186,48 @@ PomTlb::registerStats(obs::StatRegistry &reg,
     reg.addCounter(prefix + ".misses", &stats_.misses);
     reg.addCounter(prefix + ".inserts", &stats_.inserts);
     reg.addCounter(prefix + ".set_evictions", &stats_.set_evictions);
+}
+
+void
+PomTlb::saveState(snapshot::StateSerializer &s) const
+{
+    s.putU64(num_sets_);
+    s.putU32(ways_);
+    std::uint64_t occupied = 0;
+    for (const Entry &e : entries_)
+        occupied += e.key != 0;
+    s.putU64(occupied);
+    for (std::uint64_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].key) {
+            s.putU64(i);
+            s.putU64(entries_[i].key);
+            s.putU64(entries_[i].data);
+        }
+    }
+    s.putU64(stats_.hits);
+    s.putU64(stats_.misses);
+    s.putU64(stats_.inserts);
+    s.putU64(stats_.set_evictions);
+}
+
+void
+PomTlb::loadState(snapshot::StateDeserializer &d)
+{
+    if (d.getU64() != num_sets_ || d.getU32() != ways_)
+        d.fail("POM-TLB geometry mismatch");
+    std::fill(entries_.begin(), entries_.end(), Entry{});
+    const std::uint64_t occupied = d.getU64();
+    for (std::uint64_t i = 0; i < occupied; ++i) {
+        const std::uint64_t idx = d.getU64();
+        if (idx >= entries_.size())
+            d.fail("POM-TLB entry index out of range");
+        entries_[idx].key = d.getU64();
+        entries_[idx].data = d.getU64();
+    }
+    stats_.hits = d.getU64();
+    stats_.misses = d.getU64();
+    stats_.inserts = d.getU64();
+    stats_.set_evictions = d.getU64();
 }
 
 } // namespace csalt

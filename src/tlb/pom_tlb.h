@@ -33,6 +33,12 @@ namespace obs
 class StatRegistry;
 } // namespace obs
 
+namespace snapshot
+{
+class StateSerializer;
+class StateDeserializer;
+} // namespace snapshot
+
 /** Counters for the POM-TLB. */
 struct PomTlbStats
 {
@@ -108,6 +114,13 @@ class PomTlb
      * the POM-coherence invariant fires. @return false when empty.
      */
     bool corruptEntryForTest(std::uint64_t seed);
+
+    /**
+     * Checkpoint: sparse encoding — only occupied entries travel
+     * (the structure is millions of mostly-empty packed slots).
+     */
+    void saveState(snapshot::StateSerializer &s) const;
+    void loadState(snapshot::StateDeserializer &d);
 
   private:
     /**
@@ -196,6 +209,30 @@ class PageSizePredictor
 
     std::uint64_t mispredicts() const { return mispredicts_; }
     std::uint64_t predictions() const { return predictions_; }
+
+    /** Checkpoint support (snapshot/state_io.h). */
+    template <class Sink>
+    void
+    saveState(Sink &s) const
+    {
+        s.putU64(counters_.size());
+        for (const std::uint8_t c : counters_)
+            s.putU8(c);
+        s.putU64(mispredicts_);
+        s.putU64(predictions_);
+    }
+
+    template <class Src>
+    void
+    loadState(Src &d)
+    {
+        if (d.getU64() != counters_.size())
+            d.fail("PageSizePredictor table-size mismatch");
+        for (auto &c : counters_)
+            c = d.getU8();
+        mispredicts_ = d.getU64();
+        predictions_ = d.getU64();
+    }
 
   private:
     std::size_t indexOf(Addr gva) const;

@@ -1,6 +1,7 @@
 #include "tlb/tlb.h"
 
 #include "common/log.h"
+#include "snapshot/state_io.h"
 
 namespace csalt
 {
@@ -112,6 +113,46 @@ Tlb::corruptEntryForTest(std::uint64_t seed)
         }
     }
     return false;
+}
+
+void
+Tlb::saveState(snapshot::StateSerializer &s) const
+{
+    s.putU64(num_sets_);
+    s.putU32(ways_);
+    for (const TlbEntry &e : entries_) {
+        s.putU32(e.asid);
+        s.putU64(e.vpn);
+        s.putU64(e.frame);
+        s.putU8(static_cast<std::uint8_t>(e.ps));
+        s.putBool(e.valid);
+    }
+    repl_.saveState(s);
+    s.putU64(stats_.hits);
+    s.putU64(stats_.misses);
+}
+
+void
+Tlb::loadState(snapshot::StateDeserializer &d)
+{
+    if (d.getU64() != num_sets_ || d.getU32() != ways_)
+        d.fail(msgOf("TLB '", name_, "' geometry mismatch"));
+    for (TlbEntry &e : entries_) {
+        const std::uint32_t asid = d.getU32();
+        if (asid > 0xffff)
+            d.fail(msgOf("TLB '", name_, "' ASID out of range"));
+        e.asid = static_cast<Asid>(asid);
+        e.vpn = d.getU64();
+        e.frame = d.getU64();
+        const std::uint8_t ps = d.getU8();
+        if (ps > 1)
+            d.fail(msgOf("TLB '", name_, "' bad page-size tag"));
+        e.ps = static_cast<PageSize>(ps);
+        e.valid = d.getBool();
+    }
+    repl_.loadState(d);
+    stats_.hits = d.getU64();
+    stats_.misses = d.getU64();
 }
 
 } // namespace csalt

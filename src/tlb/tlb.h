@@ -25,6 +25,12 @@
 namespace csalt
 {
 
+namespace snapshot
+{
+class StateSerializer;
+class StateDeserializer;
+} // namespace snapshot
+
 /** One TLB entry: (asid, vpn, page size) -> host frame. */
 struct TlbEntry
 {
@@ -123,6 +129,10 @@ class Tlb
      * TLB-coherence invariant fires. @return false when empty.
      */
     bool corruptEntryForTest(std::uint64_t seed);
+
+    /** Checkpoint: entry array (field-wise), recency bytes, stats. */
+    void saveState(snapshot::StateSerializer &s) const;
+    void loadState(snapshot::StateDeserializer &d);
 
   private:
     std::uint64_t setIndexOf(Vpn vpn) const

@@ -1,5 +1,7 @@
 #include "tlb/tlb_hierarchy.h"
 
+#include "snapshot/state_io.h"
+
 #include "obs/phase_profiler.h"
 #include "obs/span_trace.h"
 #include "obs/stat_registry.h"
@@ -119,6 +121,22 @@ TlbHierarchy::registerStats(obs::StatRegistry &reg,
     level(prefix + ".l1tlb_4k", l1_4k_);
     level(prefix + ".l1tlb_2m", l1_2m_);
     level(prefix + ".l2tlb", l2_);
+}
+
+void
+TlbHierarchy::saveState(snapshot::StateSerializer &s) const
+{
+    l1_4k_.saveState(s);
+    l1_2m_.saveState(s);
+    l2_.saveState(s);
+}
+
+void
+TlbHierarchy::loadState(snapshot::StateDeserializer &d)
+{
+    l1_4k_.loadState(d);
+    l1_2m_.loadState(d);
+    l2_.loadState(d);
 }
 
 } // namespace csalt

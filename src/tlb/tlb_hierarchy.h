@@ -72,6 +72,10 @@ class TlbHierarchy
     void registerStats(obs::StatRegistry &reg,
                        const std::string &prefix) const;
 
+    /** Checkpoint: delegate to all three levels. */
+    void saveState(snapshot::StateSerializer &s) const;
+    void loadState(snapshot::StateDeserializer &d);
+
   private:
     Tlb l1_4k_;
     Tlb l1_2m_;

@@ -1,7 +1,10 @@
 #include "tlb/tsb.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 #include "obs/stat_registry.h"
+#include "snapshot/state_io.h"
 
 namespace csalt
 {
@@ -131,6 +134,74 @@ Tsb::registerStats(obs::StatRegistry &reg,
     reg.addCounter(prefix + ".hits", &stats_.hits);
     reg.addCounter(prefix + ".misses", &stats_.misses);
     reg.addCounter(prefix + ".probes", &stats_.probes);
+}
+
+
+void
+Tsb::saveState(snapshot::StateSerializer &s) const
+{
+    std::vector<Asid> asids;
+    asids.reserve(contexts_.size());
+    for (const auto &kv : contexts_)
+        asids.push_back(kv.first);
+    std::sort(asids.begin(), asids.end());
+
+    const auto putArray = [&s](const std::vector<Slot> &arr) {
+        s.putU64(arr.size());
+        for (const Slot &slot : arr) {
+            s.putU64(slot.tag);
+            s.putBool(slot.valid);
+            s.putU64(slot.value);
+            s.putU8(static_cast<std::uint8_t>(slot.ps));
+        }
+    };
+
+    s.putU64(asids.size());
+    for (const Asid asid : asids) {
+        const ContextArrays &arrays = contexts_.at(asid);
+        s.putU32(asid);
+        putArray(arrays.guest);
+        putArray(arrays.host);
+    }
+    s.putU64(stats_.hits);
+    s.putU64(stats_.misses);
+    s.putU64(stats_.probes);
+}
+
+void
+Tsb::loadState(snapshot::StateDeserializer &d)
+{
+    const auto getArray = [&d, this](std::vector<Slot> &arr) {
+        const std::uint64_t n = d.getU64();
+        if (n != params_.entries_per_context)
+            d.fail("TSB context array size mismatch");
+        arr.resize(n);
+        for (Slot &slot : arr) {
+            slot.tag = d.getU64();
+            slot.valid = d.getBool();
+            slot.value = d.getU64();
+            const std::uint8_t ps = d.getU8();
+            if (ps > 1)
+                d.fail("TSB slot has invalid page-size code");
+            slot.ps = static_cast<PageSize>(ps);
+        }
+    };
+
+    contexts_.clear();
+    const std::uint64_t num_contexts = d.getU64();
+    if (num_contexts > max_asids_)
+        d.fail("TSB context count exceeds max_asids");
+    for (std::uint64_t i = 0; i < num_contexts; ++i) {
+        const std::uint32_t asid = d.getU32();
+        if (asid > 0xffff)
+            d.fail("TSB context ASID out of range");
+        ContextArrays &arrays = contexts_[static_cast<Asid>(asid)];
+        getArray(arrays.guest);
+        getArray(arrays.host);
+    }
+    stats_.hits = d.getU64();
+    stats_.misses = d.getU64();
+    stats_.probes = d.getU64();
 }
 
 } // namespace csalt

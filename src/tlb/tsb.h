@@ -35,6 +35,12 @@ namespace obs
 class StatRegistry;
 } // namespace obs
 
+namespace snapshot
+{
+class StateSerializer;
+class StateDeserializer;
+} // namespace snapshot
+
 /** Counters for the TSB. */
 struct TsbStats
 {
@@ -82,6 +88,14 @@ class Tsb
     /** Register probe/hit counters under "<prefix>.*". */
     void registerStats(obs::StatRegistry &reg,
                        const std::string &prefix) const;
+
+    /**
+     * Checkpoint: per-context arrays serialized in ascending-ASID
+     * order so the byte stream is independent of unordered_map
+     * iteration order.
+     */
+    void saveState(snapshot::StateSerializer &s) const;
+    void loadState(snapshot::StateDeserializer &d);
 
   private:
     struct Slot

@@ -1,7 +1,10 @@
 #include "vm/address_space.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 #include "common/rng.h"
+#include "snapshot/state_io.h"
 
 namespace csalt
 {
@@ -163,6 +166,76 @@ VmContext::hostTranslate(Addr gpa) const
     if (const Addr *hpa = host_4k_.find(gpa >> kPageShift))
         return *hpa + (gpa & (kPageSize - 1));
     panic(msgOf("hostTranslate: unmapped gpa ", gpa));
+}
+
+
+void
+VmContext::saveState(snapshot::StateSerializer &s) const
+{
+    guest_pt_->saveState(s);
+    s.putBool(params_.virtualized);
+    if (params_.virtualized)
+        host_pt_->saveState(s);
+
+    fast_4k_.saveState(s, [](snapshot::StateSerializer &sink,
+                             const Mapping &m) {
+        sink.putU64(m.frame);
+        sink.putU8(static_cast<std::uint8_t>(m.ps));
+    });
+    fast_2m_.saveState(s, [](snapshot::StateSerializer &sink,
+                             const Mapping &m) {
+        sink.putU64(m.frame);
+        sink.putU8(static_cast<std::uint8_t>(m.ps));
+    });
+    host_4k_.saveState(
+        s, [](snapshot::StateSerializer &sink, const Addr &a) {
+            sink.putU64(a);
+        });
+    host_2m_.saveState(
+        s, [](snapshot::StateSerializer &sink, const Addr &a) {
+            sink.putU64(a);
+        });
+
+    s.putU64(gpa_next_4k_);
+    s.putU64(gpa_next_2m_);
+    s.putU64(mapped_4k_);
+    s.putU64(mapped_2m_);
+}
+
+void
+VmContext::loadState(snapshot::StateDeserializer &d)
+{
+    guest_pt_->loadState(d);
+    if (d.getBool() != params_.virtualized)
+        d.fail("VmContext virtualization-mode mismatch");
+    if (params_.virtualized)
+        host_pt_->loadState(d);
+
+    const auto getMapping = [](snapshot::StateDeserializer &src) {
+        Mapping m;
+        m.frame = src.getU64();
+        const std::uint8_t ps = src.getU8();
+        if (ps > 1)
+            src.fail("mapping has invalid page-size code");
+        m.ps = static_cast<PageSize>(ps);
+        return m;
+    };
+    fast_4k_.loadState(d, getMapping);
+    fast_2m_.loadState(d, getMapping);
+    const auto getAddr = [](snapshot::StateDeserializer &src) {
+        return src.getU64();
+    };
+    host_4k_.loadState(d, getAddr);
+    host_2m_.loadState(d, getAddr);
+
+    gpa_next_4k_ = d.getU64();
+    gpa_next_2m_ = d.getU64();
+    mapped_4k_ = d.getU64();
+    mapped_2m_ = d.getU64();
+
+    // The memo fronting mappingOf() is a pure cache over the maps
+    // just restored; stale host entries would alias new VPNs.
+    std::fill(memo_.begin(), memo_.end(), MemoEntry{});
 }
 
 } // namespace csalt

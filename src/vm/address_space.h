@@ -120,6 +120,15 @@ class VmContext
     std::uint64_t mapped4K() const { return mapped_4k_; }
     std::uint64_t mapped2M() const { return mapped_2m_; }
 
+    /**
+     * Checkpoint: page tables, functional maps (verbatim FlatMap64
+     * slot layout so probe sequences replay identically), and the
+     * guest-physical bump allocators. The memo is a pure host-side
+     * cache and is cleared on restore instead of travelling.
+     */
+    void saveState(snapshot::StateSerializer &s) const;
+    void loadState(snapshot::StateDeserializer &d);
+
   private:
     /** Decide (deterministically) if gva's 2MB region is huge. */
     bool regionIsHuge(Addr gva) const;

@@ -45,6 +45,38 @@ class SmallLruCache
         return static_cast<unsigned>(entries_.size());
     }
 
+    /** Checkpoint: entry order (MRU at back) travels verbatim. */
+    template <class Sink>
+    void
+    saveState(Sink &s) const
+    {
+        s.putU64(entries_.size());
+        for (const Entry &e : entries_) {
+            s.putU64(e.key);
+            s.putU64(e.value);
+        }
+        s.putU64(hits_);
+        s.putU64(misses_);
+    }
+
+    template <class Src>
+    void
+    loadState(Src &d)
+    {
+        const std::uint64_t n = d.getU64();
+        if (n > capacity_)
+            d.fail("SmallLruCache entry count exceeds capacity");
+        entries_.clear();
+        entries_.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const std::uint64_t key = d.getU64();
+            const std::uint64_t value = d.getU64();
+            entries_.push_back(Entry{key, value});
+        }
+        hits_ = d.getU64();
+        misses_ = d.getU64();
+    }
+
   private:
     struct Entry
     {
@@ -103,6 +135,27 @@ class MmuCaches
     SmallLruCache &pdpe() { return pdpe_; }
     SmallLruCache &pde() { return pde_; }
     SmallLruCache &nested() { return nested_; }
+
+    /** Checkpoint support (snapshot/state_io.h). */
+    template <class Sink>
+    void
+    saveState(Sink &s) const
+    {
+        pml4e_.saveState(s);
+        pdpe_.saveState(s);
+        pde_.saveState(s);
+        nested_.saveState(s);
+    }
+
+    template <class Src>
+    void
+    loadState(Src &d)
+    {
+        pml4e_.loadState(d);
+        pdpe_.loadState(d);
+        pde_.loadState(d);
+        nested_.loadState(d);
+    }
 
   private:
     SmallLruCache pml4e_;

@@ -1,6 +1,7 @@
 #include "vm/page_table.h"
 
 #include "common/log.h"
+#include "snapshot/state_io.h"
 
 namespace csalt
 {
@@ -113,6 +114,87 @@ Addr
 PageTable::root() const
 {
     return root_->base;
+}
+
+
+void
+PageTable::saveNode(const Node &node,
+                    snapshot::StateSerializer &s) const
+{
+    s.putU64(node.base);
+    for (const Slot &slot : node.slots) {
+        if (slot.empty()) {
+            s.putU8(0);
+        } else if (slot.is_leaf) {
+            s.putU8(1);
+            s.putU64(slot.leaf_pa);
+            s.putU8(static_cast<std::uint8_t>(slot.ps));
+        } else {
+            s.putU8(2);
+            saveNode(*slot.child, s);
+        }
+    }
+}
+
+void
+PageTable::loadNode(Node &node, snapshot::StateDeserializer &d,
+                    int level)
+{
+    node.base = d.getU64();
+    ++node_count_;
+    for (Slot &slot : node.slots) {
+        const std::uint8_t tag = d.getU8();
+        if (tag == 0)
+            continue;
+        ++node.used;
+        ++used_slots_;
+        if (tag == 1) {
+            slot.leaf_pa = d.getU64();
+            const std::uint8_t ps = d.getU8();
+            if (ps > 1)
+                d.fail("page-table leaf has invalid page-size code");
+            slot.is_leaf = true;
+            slot.ps = static_cast<PageSize>(ps);
+            if (level > kLeafLevel2M)
+                d.fail("page-table leaf PTE above the 2MB level");
+            if (level == kLeafLevel2M &&
+                slot.ps != PageSize::size2M)
+                d.fail("page-table 4K leaf at the 2MB level");
+        } else if (tag == 2) {
+            if (level <= kLeafLevel4K)
+                d.fail("page-table interior node below the leaf level");
+            slot.child = std::make_unique<Node>();
+            loadNode(*slot.child, d, level - 1);
+        } else {
+            d.fail("page-table slot has invalid tag byte");
+        }
+    }
+}
+
+void
+PageTable::saveState(snapshot::StateSerializer &s) const
+{
+    s.putU8(static_cast<std::uint8_t>(top_level_));
+    s.putU64(node_count_);
+    s.putU64(used_slots_);
+    saveNode(*root_, s);
+}
+
+void
+PageTable::loadState(snapshot::StateDeserializer &d)
+{
+    if (d.getU8() != top_level_)
+        d.fail("page-table paging-depth mismatch");
+    const std::uint64_t want_nodes = d.getU64();
+    const std::uint64_t want_used = d.getU64();
+    root_ = std::make_unique<Node>();
+    node_count_ = 0;
+    used_slots_ = 0;
+    loadNode(*root_, d, top_level_);
+    if (node_count_ != want_nodes)
+        d.fail("page-table node count mismatch after rebuild");
+    if (used_slots_ != want_used)
+        d.fail("page-table used-slot count mismatch after rebuild");
 }
 
 } // namespace csalt

@@ -28,6 +28,12 @@
 namespace csalt
 {
 
+namespace snapshot
+{
+class StateSerializer;
+class StateDeserializer;
+} // namespace snapshot
+
 /**
  * x86-64 paging: level 4 = PML4 down to level 1 = PT. Five-level
  * paging (Intel LA57, the paper's "emerging architectures" note)
@@ -110,6 +116,15 @@ class PageTable
     /** Total populated slots across all nodes (stats/teardown). */
     std::uint64_t usedSlotCount() const { return used_slots_; }
 
+    /**
+     * Checkpoint: the radix tree travels with its node base
+     * addresses verbatim (nodes are NOT re-allocated on restore —
+     * the FrameAllocator that fed NodeAlloc is restored separately,
+     * so re-allocating would double-consume frames and panic map()).
+     */
+    void saveState(snapshot::StateSerializer &s) const;
+    void loadState(snapshot::StateDeserializer &d);
+
   private:
     struct Node;
 
@@ -137,6 +152,9 @@ class PageTable
     };
 
     Node *ensureChild(Node *node, unsigned idx);
+
+    void saveNode(const Node &node, snapshot::StateSerializer &s) const;
+    void loadNode(Node &node, snapshot::StateDeserializer &d, int level);
 
     NodeAlloc alloc_;
     int top_level_;

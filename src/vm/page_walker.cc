@@ -1,5 +1,7 @@
 #include "vm/page_walker.h"
 
+#include "snapshot/state_io.h"
+
 #include "common/log.h"
 #include "obs/phase_profiler.h"
 #include "obs/span_trace.h"
@@ -255,6 +257,36 @@ PageWalker::nestedWalk(VmContext &ctx, Addr gva, Cycles now,
 
     out.mapping = ctx.mappingOf(gva);
     return out;
+}
+
+
+void
+PageWalker::saveState(snapshot::StateSerializer &s) const
+{
+    s.putU64(stats_.walks);
+    s.putU64(stats_.refs);
+    s.putU64(stats_.cycles);
+    s.putU64(stats_.nested_hits);
+    s.putU64(stats_.nested_walks);
+    walk_hist_.saveState(s);
+    ref_hist_.saveState(s);
+}
+
+void
+PageWalker::loadState(snapshot::StateDeserializer &d)
+{
+    stats_.walks = d.getU64();
+    stats_.refs = d.getU64();
+    stats_.cycles = d.getU64();
+    stats_.nested_hits = d.getU64();
+    stats_.nested_walks = d.getU64();
+    walk_hist_.loadState(d);
+    ref_hist_.loadState(d);
+    // Per-walk scratch never spans a checkpoint boundary.
+    path_.clear();
+    host_path_.clear();
+    ref_cycles_.clear();
+    tracing_refs_ = false;
 }
 
 } // namespace csalt

@@ -122,6 +122,10 @@ class PageWalker
     void registerStats(obs::StatRegistry &reg,
                        const std::string &prefix) const;
 
+    /** Checkpoint: counters + histograms; scratch is cleared. */
+    void saveState(snapshot::StateSerializer &s) const;
+    void loadState(snapshot::StateDeserializer &d);
+
   private:
     Outcome nativeWalk(VmContext &ctx, Addr gva, Cycles now,
                        obs::LatencyBreakdown *bd);

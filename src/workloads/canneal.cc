@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "snapshot/state_io.h"
 
 namespace csalt
 {
@@ -76,6 +77,26 @@ class CannealTrace final : public TraceSource
     std::uint64_t footprintPages() const override
     {
         return total_pages_;
+    }
+
+    void
+    saveState(snapshot::StateSerializer &s) const override
+    {
+        rng_.saveState(s);
+        s.putU64(hot_base_);
+        s.putU64(refs_);
+        s.putU32(burst_left_);
+        s.putU64(burst_addr_);
+    }
+
+    void
+    loadState(snapshot::StateDeserializer &d) override
+    {
+        rng_.loadState(d);
+        hot_base_ = d.getU64();
+        refs_ = d.getU64();
+        burst_left_ = d.getU32();
+        burst_addr_ = d.getU64();
     }
 
   private:

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "snapshot/state_io.h"
 
 namespace csalt
 {
@@ -100,6 +101,36 @@ class CcompTrace final : public TraceSource
     {
         return kPoolWindows * window_pages_ + hot_pages_ +
                union_pages_ + sweep_pages_;
+    }
+
+    void
+    saveState(snapshot::StateSerializer &s) const override
+    {
+        rng_.saveState(s);
+        s.putU32(window_idx_);
+        s.putU64(hot_base_);
+        s.putU64(refs_);
+        s.putU64(phase_start_);
+        s.putBool(expansion_);
+        s.putU32(burst_left_);
+        s.putU64(burst_addr_);
+        s.putU64(sweep_addr_);
+    }
+
+    void
+    loadState(snapshot::StateDeserializer &d) override
+    {
+        rng_.loadState(d);
+        window_idx_ = d.getU32();
+        if (window_idx_ >= kPoolWindows)
+            d.fail("ccomp window index out of range");
+        hot_base_ = d.getU64();
+        refs_ = d.getU64();
+        phase_start_ = d.getU64();
+        expansion_ = d.getBool();
+        burst_left_ = d.getU32();
+        burst_addr_ = d.getU64();
+        sweep_addr_ = d.getU64();
     }
 
   private:

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "snapshot/state_io.h"
 
 namespace csalt
 {
@@ -93,6 +94,28 @@ class Graph500Trace final : public TraceSource
         // Frontier arrays are a separate allocation from the
         // (scattered) vertex pool.
         return vertex_pages_ + frontier_pages_;
+    }
+
+    void
+    saveState(snapshot::StateSerializer &s) const override
+    {
+        rng_.saveState(s);
+        s.putU64(frontier_idx_);
+        s.putU64(refs_);
+        s.putU32(probe_left_);
+        s.putU64(probe_addr_);
+        s.putU64(scan_addr_);
+    }
+
+    void
+    loadState(snapshot::StateDeserializer &d) override
+    {
+        rng_.loadState(d);
+        frontier_idx_ = d.getU64();
+        refs_ = d.getU64();
+        probe_left_ = d.getU32();
+        probe_addr_ = d.getU64();
+        scan_addr_ = d.getU64();
     }
 
   private:

@@ -10,6 +10,7 @@
 #include "workloads/generators.h"
 
 #include "common/rng.h"
+#include "snapshot/state_io.h"
 
 namespace csalt
 {
@@ -45,6 +46,22 @@ class GupsTrace final : public TraceSource
     std::uint64_t footprintPages() const override
     {
         return table_pages_;
+    }
+
+    void
+    saveState(snapshot::StateSerializer &s) const override
+    {
+        rng_.saveState(s);
+        s.putBool(pending_write_);
+        s.putU64(pending_addr_);
+    }
+
+    void
+    loadState(snapshot::StateDeserializer &d) override
+    {
+        rng_.loadState(d);
+        pending_write_ = d.getBool();
+        pending_addr_ = d.getU64();
     }
 
   private:

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "snapshot/state_io.h"
 
 namespace csalt
 {
@@ -84,6 +85,28 @@ class PagerankTrace final : public TraceSource
     std::uint64_t footprintPages() const override
     {
         return vertex_pages_ + edge_pages_;
+    }
+
+    void
+    saveState(snapshot::StateSerializer &s) const override
+    {
+        rng_.saveState(s);
+        s.putU64(hot_base_);
+        s.putU64(vrefs_);
+        s.putU64(edge_addr_);
+        s.putU64(vertex_addr_);
+        s.putU32(vertex_left_);
+    }
+
+    void
+    loadState(snapshot::StateDeserializer &d) override
+    {
+        rng_.loadState(d);
+        hot_base_ = d.getU64();
+        vrefs_ = d.getU64();
+        edge_addr_ = d.getU64();
+        vertex_addr_ = d.getU64();
+        vertex_left_ = d.getU32();
     }
 
   private:

@@ -10,6 +10,7 @@
 #include "workloads/generators.h"
 
 #include "common/rng.h"
+#include "snapshot/state_io.h"
 
 namespace csalt
 {
@@ -66,6 +67,20 @@ class StreamclusterTrace final : public TraceSource
     std::uint64_t footprintPages() const override
     {
         return point_pages_ + kCenterPages + kAssignPages;
+    }
+
+    void
+    saveState(snapshot::StateSerializer &s) const override
+    {
+        rng_.saveState(s);
+        s.putU64(scan_addr_);
+    }
+
+    void
+    loadState(snapshot::StateDeserializer &d) override
+    {
+        rng_.loadState(d);
+        scan_addr_ = d.getU64();
     }
 
   private:

@@ -10,6 +10,7 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "snapshot/state_io.h"
 
 namespace csalt
 {
@@ -249,6 +250,22 @@ TraceFileSource::footprintPages() const
     for (const auto &rec : file_->records())
         pages.insert(rec.vaddr >> kPageShift);
     return pages.size();
+}
+
+
+void
+TraceFileSource::saveState(snapshot::StateSerializer &s) const
+{
+    s.putU64(pos_);
+}
+
+void
+TraceFileSource::loadState(snapshot::StateDeserializer &d)
+{
+    const std::uint64_t pos = d.getU64();
+    if (pos >= file_->records().size())
+        d.fail("trace-file replay cursor beyond the record count");
+    pos_ = static_cast<std::size_t>(pos);
 }
 
 } // namespace csalt

@@ -73,6 +73,10 @@ class TraceFileSource final : public TraceSource
     TraceRecord next() override;
     std::uint64_t footprintPages() const override;
 
+    /** Checkpoint: replay cursor only (the file itself is config). */
+    void saveState(snapshot::StateSerializer &s) const override;
+    void loadState(snapshot::StateDeserializer &d) override;
+
   private:
     std::shared_ptr<const TraceFile> file_;
     std::size_t pos_;

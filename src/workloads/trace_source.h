@@ -20,6 +20,12 @@
 namespace csalt
 {
 
+namespace snapshot
+{
+class StateSerializer;
+class StateDeserializer;
+} // namespace snapshot
+
 /** One memory reference plus the instructions retired with it. */
 struct TraceRecord
 {
@@ -51,6 +57,14 @@ class TraceSource
 
     /** Approximate distinct 4KB pages the thread will touch. */
     virtual std::uint64_t footprintPages() const = 0;
+
+    /**
+     * Checkpoint the generator's position in its endless stream.
+     * Pure virtual: a source without these cannot participate in
+     * checkpoint/restore, and every source must participate.
+     */
+    virtual void saveState(snapshot::StateSerializer &s) const = 0;
+    virtual void loadState(snapshot::StateDeserializer &d) = 0;
 
     const std::string &name() const { return name_; }
 

@@ -84,6 +84,24 @@ EOF
 test -s "$tmp/golden.spans" \
     || { echo "FAIL: no span sidecar written"; exit 1; }
 
+# Checkpointing must be free as well: the same config re-run with
+# periodic epoch-boundary checkpoints armed must keep the metrics
+# JSON byte-identical — the snapshots live only on disk, and the
+# checkpoint hook fires strictly between simulation events.
+"$SIM" --pair ccomp --scheme csalt-cd --quota 60000 \
+    --warmup 20000 --seed 7 --checkpoint-out "$tmp/golden.ckpt" \
+    --checkpoint-every 1 --format json > "$tmp/ckpt_on.json"
+if ! cmp -s <(strip_wall "$GOLDEN/csalt_cd_ccomp.json") \
+            <(strip_wall "$tmp/ckpt_on.json"); then
+    echo "FAIL: --checkpoint-every changed simulated results"
+    diff <(strip_wall "$GOLDEN/csalt_cd_ccomp.json") \
+         <(strip_wall "$tmp/ckpt_on.json") | head -20
+    exit 1
+fi
+test -s "$tmp/golden.ckpt" \
+    || { echo "FAIL: no checkpoint written"; exit 1; }
+echo "ok: checkpoint-armed run identical"
+
 check pom_gups_pagerank.json \
     --vm gups --vm pagerank --scheme pom --cores 4 --quota 60000 \
     --warmup 20000 --seed 9

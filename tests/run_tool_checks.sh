@@ -5,6 +5,12 @@
 #    malformed traces must FAIL (typed error, non-zero exit) instead
 #    of printing empty tables and returning 0; a trace with a bad
 #    tail reports partial data but still exits 1.
+#  - snapshot matrix: csalt-sim --checkpoint-out writes a CSALTSNAP
+#    file trace_inspect --snapshot dumps (exit 0); a missing path is
+#    a typed io error, truncated and bit-flipped checkpoints are
+#    typed parse errors naming the chunk/offset, and --restore from
+#    the checkpoint reproduces the uninterrupted run's metrics JSON
+#    byte for byte.
 #  - live attach smoke: csalt-sim --live + trace_inspect --attach
 #    against the region (live or post-mortem), table and NDJSON modes.
 #  - bench_report gate: a synthetic regressed results file must trip
@@ -60,6 +66,65 @@ expect_rc 1 "$INSPECT" "$tmp/torn.jsonl"
 grep -q 'partial data' "$tmp/last.err" \
     || { echo "FAIL: torn trace did not report partial data"; exit 1; }
 echo "ok: trace_inspect exit codes"
+
+echo "== snapshot matrix =="
+ckpt="$tmp/run.ckpt"
+# Uninterrupted reference run (checkpointing armed: it must not
+# change the metrics), leaving periodic epoch-boundary checkpoints.
+"$SIM" --vm gups --quota 60000 --warmup 20000 --seed 7 \
+    --checkpoint-out "$ckpt" --checkpoint-every 1 \
+    --format json > "$tmp/straight.json"
+[[ -f "$ckpt" ]] || { echo "FAIL: no checkpoint written"; exit 1; }
+
+expect_rc 0 "$INSPECT" --snapshot "$ckpt"
+grep -q 'component chunks' "$tmp/last.out" \
+    || { echo "FAIL: snapshot dump has no chunk table"; exit 1; }
+grep -q 'core\.0' "$tmp/last.out" \
+    || { echo "FAIL: snapshot dump lists no core chunk"; exit 1; }
+
+expect_rc 1 "$INSPECT" --snapshot "$tmp/does-not-exist.ckpt"
+grep -q 'error\[io\]' "$tmp/last.err" \
+    || { echo "FAIL: missing snapshot not a typed io error"; exit 1; }
+
+head -c 100 "$ckpt" > "$tmp/torn.ckpt"
+expect_rc 1 "$INSPECT" --snapshot "$tmp/torn.ckpt"
+grep -q 'error\[parse\]' "$tmp/last.err" \
+    || { echo "FAIL: torn snapshot not a typed parse error"; exit 1; }
+
+# Flip one payload byte mid-file: the per-chunk CRC must catch it
+# and the diagnostic must name the chunk and byte offset.
+python3 - "$ckpt" "$tmp/flipped.ckpt" <<'EOF'
+import sys
+data = bytearray(open(sys.argv[1], 'rb').read())
+data[len(data) // 2] ^= 0x40
+open(sys.argv[2], 'wb').write(bytes(data))
+EOF
+expect_rc 1 "$INSPECT" --snapshot "$tmp/flipped.ckpt"
+grep -q 'error\[parse\]' "$tmp/last.err" \
+    || { echo "FAIL: flipped snapshot not a typed parse error"; exit 1; }
+grep -q 'byte' "$tmp/last.err" \
+    || { echo "FAIL: snapshot error names no byte offset"; exit 1; }
+expect_rc 1 "$SIM" --vm gups --quota 60000 --warmup 20000 --seed 7 \
+    --restore "$tmp/flipped.ckpt" --format json
+
+# --snapshot is its own mode; mixing it with others is a usage error.
+expect_rc 2 "$INSPECT" --snapshot "$ckpt" --spans "$tmp/x.bin"
+
+# The rotation keeps the previous epoch's checkpoint at .1; restoring
+# it and finishing must reproduce the uninterrupted metrics exactly.
+[[ -f "$ckpt.1" ]] || { echo "FAIL: no rotated checkpoint"; exit 1; }
+expect_rc 0 "$SIM" --vm gups --quota 60000 --warmup 20000 --seed 7 \
+    --restore "$ckpt.1" --format json
+cmp -s "$tmp/straight.json" "$tmp/last.out" \
+    || { echo "FAIL: restored run diverged from straight run"; \
+         diff "$tmp/straight.json" "$tmp/last.out" | head; exit 1; }
+
+# Restoring under a different configuration must be refused.
+expect_rc 1 "$SIM" --vm gups --quota 60000 --warmup 20000 --seed 8 \
+    --restore "$ckpt" --format json
+grep -q 'error\[config\]' "$tmp/last.err" \
+    || { echo "FAIL: config mismatch not a typed error"; exit 1; }
+echo "ok: snapshot matrix"
 
 echo "== live attach smoke =="
 region="$tmp/live.region"

@@ -62,12 +62,26 @@
  *   --span-rate N        sample 1 in N accesses (default 256;
  *                        deterministic hash of the per-core access
  *                        index — bit-exact across --jobs)
+ *   --checkpoint-out F   write CSALTSNAP checkpoints to F; SIGTERM /
+ *                        SIGINT then write a final checkpoint and
+ *                        exit 75 (resumable) instead of dying dirty
+ *   --checkpoint-every N checkpoint every N occupancy epochs
+ *                        (requires --checkpoint-out; snapshots land
+ *                        at epoch boundaries only)
+ *   --checkpoint-keep K  rotation depth: F, F.1, ... F.(K-1)
+ *                        (default 3)
+ *   --restore F          resume a checkpointed run; the scheme /
+ *                        VMs / scale / seed / quotas must match the
+ *                        ones the checkpoint was taken with, and the
+ *                        completed run's metrics are byte-identical
+ *                        to the uninterrupted run's
  *
  * The trace sink is attached after warmup so the telemetry covers
  * exactly the measured region (and the epoch events line up with the
  * controller partition trace, which is also cleared post-warmup).
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -85,12 +99,27 @@
 #include "obs/trace_event.h"
 #include "sim/metrics_io.h"
 #include "sim/system_builder.h"
+#include "snapshot/checkpoint.h"
 #include "workloads/registry.h"
 
 using namespace csalt;
 
 namespace
 {
+
+/**
+ * Which checkpoint signal arrived, if any. The handler only sets the
+ * flag; System::run()'s checkpoint hook polls it at the next event
+ * boundary, writes the final snapshot, and unwinds with
+ * kind=cancelled so main can exit 75 (resumable interruption).
+ */
+volatile std::sig_atomic_t g_signal = 0;
+
+void
+onCheckpointSignal(int sig)
+{
+    g_signal = sig;
+}
 
 [[noreturn]] void
 usage(const char *argv0)
@@ -105,7 +134,9 @@ usage(const char *argv0)
                  "[--trace-events cs,epoch,walk|all|none] "
                  "[--live] [--live-out PATH] [--profile] "
                  "[--paranoid] [--inject FAULT] [--inject-seed N] "
-                 "[--span-trace FILE] [--span-rate N]\n",
+                 "[--span-trace FILE] [--span-rate N] "
+                 "[--checkpoint-out FILE] [--checkpoint-every N] "
+                 "[--checkpoint-keep K] [--restore FILE]\n",
                  argv0);
     std::fprintf(stderr, "schemes: %s\n", schemeCliNames().c_str());
     std::exit(2);
@@ -284,6 +315,10 @@ main(int argc, char **argv)
     std::uint64_t inject_seed = 1;
     std::string span_trace_out;
     std::uint64_t span_rate = 256;
+    std::string checkpoint_out;
+    std::uint64_t checkpoint_every = 0;
+    unsigned checkpoint_keep = 3;
+    std::string restore_path;
 
     auto next_arg = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -354,6 +389,18 @@ main(int argc, char **argv)
             span_rate = std::strtoull(next_arg(i), nullptr, 10);
             if (span_rate == 0)
                 span_rate = 1;
+        } else if (arg == "--checkpoint-out") {
+            checkpoint_out = next_arg(i);
+        } else if (arg == "--checkpoint-every") {
+            checkpoint_every =
+                std::strtoull(next_arg(i), nullptr, 10);
+        } else if (arg == "--checkpoint-keep") {
+            checkpoint_keep = static_cast<unsigned>(
+                std::strtoul(next_arg(i), nullptr, 10));
+            if (checkpoint_keep == 0)
+                checkpoint_keep = 1;
+        } else if (arg == "--restore") {
+            restore_path = next_arg(i);
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
         } else {
@@ -377,9 +424,102 @@ main(int argc, char **argv)
             sample_interval = 8192;
         spec.stat_sample_interval = sample_interval;
 
+        if (checkpoint_every && checkpoint_out.empty()) {
+            raise(makeError(ErrorKind::usage,
+                            "--checkpoint-every requires "
+                            "--checkpoint-out",
+                            "--checkpoint-every",
+                            "pass a snapshot path to write to"));
+        }
+
         auto system = buildSystem(spec);
         if (paranoid || !inject_name.empty())
             system->setParanoid(true);
+
+        const std::uint32_t config_crc = snapshot::configSignature(
+            spec.params, spec.vm_workloads, spec.workload_scale);
+
+        // Which run() we are inside (0 = warmup, 1 = measured); the
+        // checkpoint hook stamps it into the meta so a restore knows
+        // whether warmup still needs finishing.
+        std::uint8_t phase = 0;
+
+        if (!restore_path.empty()) {
+            const snapshot::SnapshotReader reader =
+                snapshot::SnapshotReader::load(restore_path);
+            // The config signature guards the machine's structure;
+            // the run quotas additionally pin where warmup ends and
+            // the measured region stops, so they must match too for
+            // the resumed run to equal the uninterrupted one.
+            if (reader.meta().warmup != warmup ||
+                reader.meta().quota != quota) {
+                raise(makeError(
+                    ErrorKind::config,
+                    msgOf("snapshot was taken with --warmup ",
+                          reader.meta().warmup, " --quota ",
+                          reader.meta().quota, ", this run asks for ",
+                          warmup, " / ", quota),
+                    restore_path,
+                    "pass the same --warmup/--quota as the "
+                    "checkpointed run"));
+            }
+            snapshot::restoreSystem(*system, reader, config_crc);
+            phase = reader.meta().phase;
+            std::fprintf(
+                stderr,
+                "restored %s: %s phase, step %llu, epoch %llu\n",
+                restore_path.c_str(),
+                phase == 0 ? "warmup" : "measured",
+                static_cast<unsigned long long>(system->steps()),
+                static_cast<unsigned long long>(
+                    system->liveEpoch()));
+        }
+
+        if (!checkpoint_out.empty()) {
+            std::signal(SIGTERM, onCheckpointSignal);
+            std::signal(SIGINT, onCheckpointSignal);
+            System *sys = system.get();
+            system->setCheckpointHook([&, sys,
+                                       last_epoch =
+                                           sys->liveEpoch()]() mutable {
+                const bool signaled = g_signal != 0;
+                const bool periodic =
+                    checkpoint_every &&
+                    sys->liveEpoch() >= last_epoch + checkpoint_every;
+                if (!signaled && !periodic)
+                    return;
+                snapshot::SnapshotMeta meta;
+                meta.config_crc = config_crc;
+                meta.scheme = scheme;
+                meta.vms = spec.vm_workloads;
+                meta.scale = spec.workload_scale;
+                meta.seed = spec.params.seed;
+                meta.warmup = warmup;
+                meta.quota = quota;
+                meta.phase = phase;
+                meta.steps = sys->steps();
+                meta.epoch = sys->liveEpoch();
+                for (unsigned c = 0; c < sys->numCores(); ++c)
+                    meta.instructions +=
+                        sys->core(c).instructions();
+                snapshot::writeSnapshotRotating(
+                    checkpoint_out,
+                    snapshot::serializeSystem(*sys, meta),
+                    checkpoint_keep)
+                    .okOrRaise();
+                last_epoch = sys->liveEpoch();
+                if (signaled) {
+                    raise(makeError(
+                        ErrorKind::cancelled,
+                        msgOf("caught ",
+                              g_signal == SIGINT ? "SIGINT"
+                                                 : "SIGTERM",
+                              "; final checkpoint written"),
+                        checkpoint_out,
+                        "resume with --restore " + checkpoint_out));
+                }
+            });
+        }
         if (profile)
             obs::PhaseProfiler::setEnabled(true);
         obs::PhaseProfiler::enableFromEnv();
@@ -399,10 +539,11 @@ main(int argc, char **argv)
             span_cfg.seed = spec.params.seed;
             system->enableSpanTrace(span_cfg);
         }
-        if (warmup) {
+        if (phase == 0 && warmup) {
             system->run(warmup);
             system->clearAllStats();
         }
+        phase = 1;
         // Attach telemetry only now: the stream then covers exactly
         // the measured region, so trace_inspect's reconstructed
         // partition timeline matches the controllers' (also cleared)
@@ -443,6 +584,13 @@ main(int argc, char **argv)
                              summary.dropped));
         }
     } catch (const CsaltError &e) {
+        if (g_signal != 0 && e.error().kind == ErrorKind::cancelled) {
+            // Interrupted but resumable: the final checkpoint is on
+            // disk. 75 (EX_TEMPFAIL) tells wrappers to --restore.
+            std::fprintf(stderr, "%s\n",
+                         describe(e.error()).c_str());
+            return 75;
+        }
         fatal(e.error()); // structured diagnostic + exit(1)
     }
 

@@ -23,8 +23,13 @@
  * maintains a crash-safe journal beside it
  * (results.json.journal.jsonl): kill the sweep at any point and
  * --resume replays the finished cells instead of re-simulating, with
- * byte-identical stdout. Failed cells are reported in a table and
- * counted in the exit code instead of aborting the grid.
+ * byte-identical stdout. Cells that were *in flight* when the sweep
+ * died additionally leave a per-cell CSALTSNAP checkpoint beside the
+ * results file (KEY.ckpt, refreshed every few occupancy epochs);
+ * --resume restores those mid-run instead of restarting them from
+ * scratch, and a finished cell deletes its checkpoint. Failed cells
+ * are reported in a table and counted in the exit code instead of
+ * aborting the grid.
  */
 
 #include <algorithm>
@@ -32,6 +37,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -44,6 +50,7 @@
 #include "sim/metrics.h"
 #include "sim/scheme.h"
 #include "sim/system_builder.h"
+#include "snapshot/checkpoint.h"
 #include "workloads/registry.h"
 
 using namespace csalt;
@@ -59,9 +66,102 @@ envU64(const char *name, std::uint64_t fallback)
     return fallback;
 }
 
+/** Occupancy epochs between per-cell checkpoint refreshes. */
+constexpr std::uint64_t kCellCheckpointEpochs = 4;
+
+/**
+ * Warmup + measured run with per-cell checkpointing. When @p ckpt is
+ * non-empty the run snapshots itself every kCellCheckpointEpochs
+ * occupancy epochs; on @p resume a cell that was in flight when the
+ * previous sweep died restores from that checkpoint and continues
+ * mid-run instead of restarting from scratch (finished cells never
+ * get here — the journal replays them without calling the job body).
+ * The checkpoint is deleted once the cell completes, so only
+ * interrupted cells leave one behind. Checkpointing never changes
+ * the cell's metrics: restore-and-finish equals run-uninterrupted
+ * byte for byte (pinned by tests/test_snapshot.cpp).
+ */
+RunMetrics
+runCell(const BuildSpec &spec, std::uint64_t warmup,
+        std::uint64_t quota, const std::string &ckpt, bool resume)
+{
+    auto system = buildSystem(spec);
+    std::uint8_t phase = 0; //!< 0 = warmup, 1 = measured
+    if (!ckpt.empty()) {
+        const std::uint32_t crc = snapshot::configSignature(
+            spec.params, spec.vm_workloads, spec.workload_scale);
+        if (resume && std::ifstream(ckpt).good()) {
+            try {
+                const snapshot::SnapshotReader reader =
+                    snapshot::SnapshotReader::load(ckpt);
+                if (reader.meta().warmup != warmup ||
+                    reader.meta().quota != quota) {
+                    raise(makeError(
+                        ErrorKind::config,
+                        "checkpoint was taken with different run "
+                        "quotas",
+                        ckpt));
+                }
+                snapshot::restoreSystem(*system, reader, crc);
+                phase = reader.meta().phase;
+            } catch (const CsaltError &e) {
+                // A stale or corrupt per-cell checkpoint must not
+                // fail the cell: rebuild and run it from scratch.
+                warn(msgOf("ignoring per-cell checkpoint '", ckpt,
+                           "': ", oneLine(e.error())));
+                system = buildSystem(spec);
+                phase = 0;
+            }
+        }
+        System *sys = system.get();
+        system->setCheckpointHook(
+            [sys, crc, &spec, warmup, quota, ckpt, &phase,
+             last_epoch = sys->liveEpoch()]() mutable {
+                if (sys->liveEpoch() <
+                    last_epoch + kCellCheckpointEpochs)
+                    return;
+                snapshot::SnapshotMeta meta;
+                meta.config_crc = crc;
+                meta.scheme = "sweep-cell";
+                meta.vms = spec.vm_workloads;
+                meta.scale = spec.workload_scale;
+                meta.seed = spec.params.seed;
+                meta.warmup = warmup;
+                meta.quota = quota;
+                meta.phase = phase;
+                meta.steps = sys->steps();
+                meta.epoch = sys->liveEpoch();
+                for (unsigned c = 0; c < sys->numCores(); ++c)
+                    meta.instructions +=
+                        sys->core(c).instructions();
+                if (Status st = snapshot::writeSnapshotRotating(
+                        ckpt,
+                        snapshot::serializeSystem(*sys, meta),
+                        /*keep=*/1);
+                    !st.ok()) {
+                    // Checkpointing is a convenience; the cell's
+                    // result must not depend on writable disk.
+                    warn("cell checkpoint not written: " +
+                         oneLine(st.error()));
+                }
+                last_epoch = sys->liveEpoch();
+            });
+    }
+    if (phase == 0) {
+        system->run(warmup);
+        system->clearAllStats();
+    }
+    phase = 1;
+    system->run(quota);
+    if (!ckpt.empty())
+        std::remove(ckpt.c_str()); // finished: the journal owns it now
+    return collectMetrics(*system);
+}
+
 RunMetrics
 run(const std::string &label, unsigned l2_data, unsigned l3_data,
-    std::uint64_t warmup, std::uint64_t quota)
+    std::uint64_t warmup, std::uint64_t quota,
+    const std::string &ckpt, bool resume)
 {
     BuildSpec spec;
     applyPomTlb(spec.params);
@@ -78,26 +178,38 @@ run(const std::string &label, unsigned l2_data, unsigned l3_data,
     }
     const PairSpec pair = resolvePair(label);
     spec.vm_workloads = {pair.vm1, pair.vm2};
-    auto system = buildSystem(spec);
-    system->run(warmup);
-    system->clearAllStats();
-    system->run(quota);
-    return collectMetrics(*system);
+    return runCell(spec, warmup, quota, ckpt, resume);
 }
 
 RunMetrics
 runScheme(const std::string &label, SchemeId scheme,
-          std::uint64_t warmup, std::uint64_t quota)
+          std::uint64_t warmup, std::uint64_t quota,
+          const std::string &ckpt, bool resume)
 {
     BuildSpec spec;
     applyScheme(spec.params, scheme);
     const PairSpec pair = resolvePair(label);
     spec.vm_workloads = {pair.vm1, pair.vm2};
-    auto system = buildSystem(spec);
-    system->run(warmup);
-    system->clearAllStats();
-    system->run(quota);
-    return collectMetrics(*system);
+    return runCell(spec, warmup, quota, ckpt, resume);
+}
+
+/**
+ * KEY.ckpt beside the results file ("/" and friends flattened so the
+ * key stays one path component); empty when there is no --json to
+ * anchor it.
+ */
+std::string
+cellCheckpointPath(const std::string &json_path,
+                   const std::string &key)
+{
+    if (json_path.empty())
+        return {};
+    std::string flat = key;
+    for (char &ch : flat) {
+        if (ch == '/' || ch == ',' || ch == '=')
+            ch = '_';
+    }
+    return json_path + "." + flat + ".ckpt";
 }
 
 int
@@ -152,10 +264,15 @@ schemesMain(const harness::RunnerOptions &opts,
     }
 
     for (const std::string &wl : labels)
-        for (SchemeId s : schemes)
-            runner.add(wl + "/" + schemeInfo(s).cli, [=] {
-                return runScheme(wl, s, warmup, quota);
+        for (SchemeId s : schemes) {
+            const std::string key = wl + "/" + schemeInfo(s).cli;
+            const std::string ckpt =
+                cellCheckpointPath(json_path, key);
+            runner.add(key, [=] {
+                return runScheme(wl, s, warmup, quota, ckpt,
+                                 opts.resume);
             });
+        }
 
     // Collect everything before printing: every row needs its
     // conventional cell for normalization, so the table prints only
@@ -265,8 +382,10 @@ sweepMain(const harness::RunnerOptions &opts, const std::string &label,
                 ? label + "/unpartitioned"
                 : label + "/L2d=" + std::to_string(cell.l2d) +
                       ",L3d=" + std::to_string(cell.l3d);
+        const std::string ckpt = cellCheckpointPath(json_path, key);
         runner.add(key, [=] {
-            return run(label, cell.l2d, cell.l3d, warmup, quota);
+            return run(label, cell.l2d, cell.l3d, warmup, quota,
+                       ckpt, opts.resume);
         });
     }
 

@@ -21,6 +21,8 @@
  *   trace_inspect --spans --chrome out.json spans.bin
  *   trace_inspect --spans a.bin b.bin      # cross-scheme table
  *
+ *   trace_inspect --snapshot run.ckpt      # CSALTSNAP header dump
+ *
  * Attach maps the sim's shared-memory live region (obs::LiveExport;
  * a PID resolves to the conventional /dev/shm path) read-only and
  * prints one row per new publish: heartbeat, simulated time, epoch,
@@ -67,6 +69,14 @@
  * writer's heartbeat (publish_count) stops advancing for MS
  * milliseconds — a frozen table means the sim is stalled or dead,
  * not idle.
+ *
+ * --snapshot FILE dumps a CSALTSNAP checkpoint (snapshot/snapshot.h):
+ * format version, the run-identity meta block (scheme, VM workloads,
+ * scale, seed, config signature, warmup/measured position) and the
+ * component chunk table with per-chunk payload sizes, offsets and
+ * CRC32 stamps. The file is fully CRC-verified while loading, so a
+ * corrupt or truncated checkpoint exits 1 with the same typed
+ * diagnostic `csalt-sim --restore` would print.
  */
 
 #include <algorithm>
@@ -88,6 +98,7 @@
 #include "obs/json.h"
 #include "obs/live_export.h"
 #include "obs/span_trace.h"
+#include "snapshot/snapshot.h"
 
 using namespace csalt;
 
@@ -104,8 +115,9 @@ usage(const char *argv0)
                  "[--chrome OUT] SPANS.bin [SPANS.bin ...]\n"
                  "       %s --attach PID|PATH [--follow-json] "
                  "[--samples N] [--interval-ms N] "
-                 "[--stale-after MS]\n",
-                 argv0, argv0, argv0);
+                 "[--stale-after MS]\n"
+                 "       %s --snapshot FILE.ckpt\n",
+                 argv0, argv0, argv0, argv0);
     std::exit(2);
 }
 
@@ -814,6 +826,67 @@ runAttach(const std::string &target, bool follow_json,
     return 0;
 }
 
+/**
+ * --snapshot: CSALTSNAP header + chunk-table dump. Loading fully
+ * CRC-verifies the image, so this doubles as an offline integrity
+ * check: a corrupt checkpoint makes load() raise and we exit 1 with
+ * the chunk + byte-offset diagnostic.
+ */
+int
+runSnapshot(const std::string &path)
+try {
+    const snapshot::SnapshotReader reader =
+        snapshot::SnapshotReader::load(path);
+    const snapshot::SnapshotMeta &meta = reader.meta();
+
+    std::string vms;
+    for (const auto &vm : meta.vms) {
+        if (!vms.empty())
+            vms += ", ";
+        vms += vm;
+    }
+
+    std::printf("snapshot: %s\n", path.c_str());
+    TextTable info({"field", "value"});
+    info.row().add("format version").add(
+        std::uint64_t(snapshot::kSnapshotVersion));
+    char crc_buf[16];
+    std::snprintf(crc_buf, sizeof crc_buf, "0x%08x",
+                  meta.config_crc);
+    info.row().add("config signature").add(std::string(crc_buf));
+    info.row().add("scheme").add(meta.scheme);
+    info.row().add("vm workloads").add(vms.empty() ? "-" : vms);
+    info.row().add("scale").add(meta.scale, 3);
+    info.row().add("seed").add(meta.seed);
+    info.row().add("phase").add(std::string(
+        meta.phase == 0 ? "0 (warmup)" : "1 (measured)"));
+    info.row().add("warmup quota/core").add(meta.warmup);
+    info.row().add("measured quota/core").add(meta.quota);
+    info.row().add("scheduler steps").add(meta.steps);
+    info.row().add("occupancy epoch").add(meta.epoch);
+    info.row().add("instructions retired").add(meta.instructions);
+    info.print();
+
+    std::printf("\ncomponent chunks (CRC-verified)\n");
+    TextTable chunks({"chunk", "payload bytes", "offset", "crc32"});
+    std::uint64_t payload_total = 0;
+    for (const auto &c : reader.chunks()) {
+        std::snprintf(crc_buf, sizeof crc_buf, "0x%08x", c.crc);
+        chunks.row()
+            .add(c.name)
+            .add(c.payload_size)
+            .add(c.payload_offset)
+            .add(std::string(crc_buf));
+        payload_total += c.payload_size;
+    }
+    chunks.row().add("total").add(payload_total).add("").add("");
+    chunks.print();
+    return 0;
+} catch (const CsaltError &e) {
+    std::fprintf(stderr, "%s\n", describe(e.error()).c_str());
+    return 1;
+}
+
 } // namespace
 
 int
@@ -824,6 +897,7 @@ main(int argc, char **argv)
     std::string chrome_out;
     std::vector<std::string> paths;
     std::string attach_target;
+    std::string snapshot_path;
     bool cpi_mode = false;
     bool follow_json = false;
     bool spans_mode = false;
@@ -854,6 +928,8 @@ main(int argc, char **argv)
             folded = true;
         else if (arg == "--attach")
             attach_target = next_arg(i);
+        else if (arg == "--snapshot")
+            snapshot_path = next_arg(i);
         else if (arg == "--follow-json")
             follow_json = true;
         else if (arg == "--stale-after")
@@ -871,6 +947,13 @@ main(int argc, char **argv)
             usage(argv[0]);
         else
             paths.push_back(arg);
+    }
+    if (!snapshot_path.empty()) {
+        // Snapshot dump is its own mode: no trace files, no spans,
+        // no live attach.
+        if (!paths.empty() || spans_mode || !attach_target.empty())
+            usage(argv[0]);
+        return runSnapshot(snapshot_path);
     }
     if (!attach_target.empty()) {
         if (!paths.empty() || spans_mode)
